@@ -1,0 +1,44 @@
+//! E15b — head-to-head schedule construction cost of the four algorithms
+//! (ConcurrentUpDown, Simple, UpDown, Telephone) on a fixed tree, plus the
+//! full graph-to-schedule pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gossip_core::{Algorithm, GossipPlanner};
+use gossip_graph::{min_depth_spanning_tree, ChildOrder};
+use gossip_workloads::{random_connected, Family};
+use std::hint::black_box;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithms");
+    let g = Family::RandomTree.instance(128, 7);
+    let tree = min_depth_spanning_tree(&g, ChildOrder::ById).unwrap();
+    for alg in [
+        Algorithm::ConcurrentUpDown,
+        Algorithm::Simple,
+        Algorithm::UpDown,
+        Algorithm::Telephone,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(alg.name()), &tree, |b, tree| {
+            b.iter(|| alg.schedule(black_box(tree)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_plan");
+    for &n in &[64usize, 256] {
+        let g = random_connected(n, 0.05, 31);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| GossipPlanner::new(black_box(g)).unwrap().plan().unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_algorithms, bench_full_pipeline
+}
+criterion_main!(benches);

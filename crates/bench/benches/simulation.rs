@@ -1,0 +1,57 @@
+//! E15c — model-simulator throughput: full rule validation of a complete
+//! gossip schedule, measured in deliveries per second, plus the exact
+//! solver and the online executor on reference instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gossip_core::{concurrent_updown, run_online, GossipPlanner};
+use gossip_graph::{min_depth_spanning_tree, ChildOrder};
+use gossip_model::simulate_gossip;
+use gossip_workloads::random_connected;
+use std::hint::black_box;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_gossip");
+    for &n in &[64usize, 256, 512] {
+        let g = random_connected(n, 0.05, 77);
+        let plan = GossipPlanner::new(&g).unwrap().plan().unwrap();
+        group.throughput(Throughput::Elements(plan.schedule.stats().deliveries as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(g, plan),
+            |b, (g, plan)| {
+                b.iter(|| {
+                    simulate_gossip(
+                        black_box(g),
+                        black_box(&plan.schedule),
+                        black_box(&plan.origin_of_message),
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_online_executor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online_lockstep");
+    for &n in &[32usize, 128] {
+        let g = random_connected(n, 0.1, 13);
+        let tree = min_depth_spanning_tree(&g, ChildOrder::ById).unwrap();
+        // Sanity once outside the hot loop.
+        let mut offline = concurrent_updown(&tree);
+        offline.normalize();
+        assert_eq!(run_online(&tree), offline);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &tree, |b, tree| {
+            b.iter(|| run_online(black_box(tree)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_simulator, bench_online_executor
+}
+criterion_main!(benches);

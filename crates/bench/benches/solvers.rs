@@ -1,0 +1,84 @@
+//! E15d — timing of the search-based components: the exact hold-set
+//! solver, the exact line scheduler, schedule compaction, and the
+//! broadcast-model greedy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gossip_core::{
+    broadcast_model_gossip, line_gossip_schedule, optimal_gossip_time, GossipPlanner,
+};
+use gossip_model::{compact_schedule, CommModel};
+use gossip_workloads::{path, random_connected, star};
+use std::hint::black_box;
+
+fn bench_exact_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_solver");
+    group.sample_size(10);
+    for (name, g) in [("path-5", path(5)), ("star-5", star(5)), ("ring-5", gossip_workloads::ring(5))] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
+            b.iter(|| {
+                optimal_gossip_time(black_box(g), CommModel::Multicast, 2 * g.n() + 4, 50_000_000)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_line_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("line_scheduler");
+    group.sample_size(10);
+    for n in [4usize, 5, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| line_gossip_schedule(black_box(n)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_compaction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compaction");
+    group.sample_size(10);
+    for &n in &[32usize, 128] {
+        let g = random_connected(n, 0.05, 5);
+        let plan = GossipPlanner::new(&g)
+            .unwrap()
+            .algorithm(gossip_core::Algorithm::Simple)
+            .plan()
+            .unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(g, plan),
+            |b, (g, plan)| {
+                b.iter(|| {
+                    compact_schedule(
+                        black_box(g),
+                        black_box(&plan.schedule),
+                        black_box(&plan.origin_of_message),
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_broadcast_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broadcast_model_greedy");
+    group.sample_size(10);
+    for &n in &[16usize, 48] {
+        let g = random_connected(n, 0.1, 9);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| broadcast_model_gossip(black_box(g)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_exact_solver,
+    bench_line_scheduler,
+    bench_compaction,
+    bench_broadcast_model
+);
+criterion_main!(benches);

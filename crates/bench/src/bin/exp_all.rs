@@ -1,0 +1,11 @@
+//! Runs every experiment in DESIGN.md order and prints the full report
+//! (the source of EXPERIMENTS.md's measured columns).
+
+fn main() {
+    for (id, title, report) in gossip_bench::experiments::all_reports() {
+        println!("================================================================");
+        println!("{id}: {title}");
+        println!("================================================================");
+        println!("{report}");
+    }
+}

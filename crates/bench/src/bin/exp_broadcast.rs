@@ -1,0 +1,5 @@
+//! E13: broadcast = eccentricity.
+
+fn main() {
+    println!("{}", gossip_bench::experiments::exp_broadcast());
+}

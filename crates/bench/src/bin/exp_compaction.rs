@@ -1,0 +1,5 @@
+//! E22: schedule compaction ablation.
+
+fn main() {
+    println!("{}", gossip_bench::experiments::exp_compaction());
+}

@@ -1,0 +1,5 @@
+//! E23: knowledge curves per algorithm.
+
+fn main() {
+    println!("{}", gossip_bench::experiments::exp_curves());
+}

@@ -1,0 +1,5 @@
+//! E20: sensor-field energy under the paper's wireless power model.
+
+fn main() {
+    println!("{}", gossip_bench::experiments::exp_energy());
+}

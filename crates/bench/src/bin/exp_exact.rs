@@ -1,0 +1,5 @@
+//! E18: exact optima on tiny networks.
+
+fn main() {
+    println!("{}", gossip_bench::experiments::exp_exact());
+}

@@ -1,0 +1,5 @@
+//! E19: exhaustive optimality study over all tiny connected graphs.
+
+fn main() {
+    println!("{}", gossip_bench::experiments::exp_exhaustive());
+}

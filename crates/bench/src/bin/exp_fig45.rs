@@ -1,0 +1,5 @@
+//! E8: Figs 4-5 pipeline.
+
+fn main() {
+    println!("{}", gossip_bench::experiments::exp_fig45());
+}

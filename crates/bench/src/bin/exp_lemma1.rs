@@ -1,0 +1,5 @@
+//! E10: Lemma 1 (Simple).
+
+fn main() {
+    println!("{}", gossip_bench::experiments::exp_lemma1());
+}

@@ -1,0 +1,5 @@
+//! E12: line-network bounds.
+
+fn main() {
+    println!("{}", gossip_bench::experiments::exp_line());
+}

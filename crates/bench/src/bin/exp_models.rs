@@ -1,0 +1,5 @@
+//! E14: multicast vs telephone.
+
+fn main() {
+    println!("{}", gossip_bench::experiments::exp_models());
+}

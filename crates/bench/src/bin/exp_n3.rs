@@ -1,0 +1,5 @@
+//! E7: Fig 3 substitute (K_{2,3}).
+
+fn main() {
+    println!("{}", gossip_bench::experiments::exp_n3());
+}

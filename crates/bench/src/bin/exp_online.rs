@@ -1,0 +1,5 @@
+//! E17: online/distributed execution.
+
+fn main() {
+    println!("{}", gossip_bench::experiments::exp_online());
+}

@@ -1,0 +1,5 @@
+//! E6: Fig 2, the Petersen graph.
+
+fn main() {
+    println!("{}", gossip_bench::experiments::exp_petersen());
+}

@@ -1,0 +1,5 @@
+//! E21: pipelined repeated gossiping throughput.
+
+fn main() {
+    println!("{}", gossip_bench::experiments::exp_pipeline());
+}

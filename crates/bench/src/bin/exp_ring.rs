@@ -1,0 +1,5 @@
+//! E5: Fig 1 ring gossip at the n - 1 optimum.
+
+fn main() {
+    println!("{}", gossip_bench::experiments::exp_ring());
+}

@@ -1,0 +1,5 @@
+//! E15 (textual): wall-clock scaling of the pipeline stages.
+
+fn main() {
+    println!("{}", gossip_bench::experiments::exp_scaling());
+}

@@ -1,0 +1,5 @@
+//! E1-E4: the paper's Tables 1-4.
+
+fn main() {
+    println!("{}", gossip_bench::experiments::exp_tables());
+}

@@ -1,0 +1,5 @@
+//! E9: Theorem 1 sweep.
+
+fn main() {
+    println!("{}", gossip_bench::experiments::exp_theorem1());
+}

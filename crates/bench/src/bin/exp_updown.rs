@@ -1,0 +1,5 @@
+//! E11: UpDown ablation.
+
+fn main() {
+    println!("{}", gossip_bench::experiments::exp_updown());
+}

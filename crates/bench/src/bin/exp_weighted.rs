@@ -1,0 +1,5 @@
+//! E16: weighted gossiping.
+
+fn main() {
+    println!("{}", gossip_bench::experiments::exp_weighted());
+}

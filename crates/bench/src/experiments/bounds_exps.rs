@@ -1,0 +1,179 @@
+//! E9–E12: the paper's quantitative claims (Theorem 1, Lemma 1, the UpDown
+//! middle ground, and the line-network bounds).
+
+use crate::table::TextTable;
+use gossip_core::{
+    concurrent_updown, gossip_lower_bound, simple_gossip, tree_origins, updown_gossip,
+    GossipPlanner,
+};
+use gossip_graph::min_depth_spanning_tree;
+use gossip_model::simulate_gossip;
+use gossip_workloads::{odd_line, Family};
+
+/// E9 — Theorem 1 sweep: on every family and size, the pipeline's makespan
+/// equals `n + r` exactly, sits above the `n - 1` lower bound, and every
+/// schedule is machine-verified.
+pub fn exp_theorem1() -> String {
+    let mut t = TextTable::new(vec![
+        "family", "n", "m", "r", "makespan", "n + r", "lower bound", "ratio", "ok",
+    ]);
+    for &family in Family::all() {
+        for target in [16, 64] {
+            let g = family.instance(target, 42);
+            let plan = GossipPlanner::new(&g).unwrap().plan().unwrap();
+            let o = simulate_gossip(&g, &plan.schedule, &plan.origin_of_message).unwrap();
+            assert!(o.complete);
+            let n = g.n();
+            let r = plan.radius as usize;
+            assert_eq!(plan.makespan(), n + r);
+            let lb = gossip_lower_bound(&g);
+            t.row(vec![
+                family.name().to_string(),
+                n.to_string(),
+                g.m().to_string(),
+                r.to_string(),
+                plan.makespan().to_string(),
+                (n + r).to_string(),
+                lb.to_string(),
+                format!("{:.3}", plan.makespan() as f64 / lb as f64),
+                "yes".into(),
+            ]);
+        }
+    }
+    format!(
+        "Theorem 1 (makespan = n + r, verified complete) across families:\n{}\n\
+         ratio = achieved / best-known lower bound; bounded by 1.5 n/(n-1) since\n\
+         r <= n/2 (the paper's S4 near-optimality claim), worst on rings.\n",
+        t.render()
+    )
+}
+
+/// E10 — Lemma 1: algorithm Simple takes exactly `2n + r - 3` rounds; the
+/// head-to-head shows ConcurrentUpDown halving it at small radius.
+pub fn exp_lemma1() -> String {
+    let mut t = TextTable::new(vec![
+        "family", "n", "r", "Simple", "2n + r - 3", "ConcurrentUpDown", "speedup",
+    ]);
+    for &family in Family::all() {
+        let g = family.instance(32, 9);
+        let tree = min_depth_spanning_tree(&g, gossip_graph::ChildOrder::ById).unwrap();
+        let simple = simple_gossip(&tree);
+        let cud = concurrent_updown(&tree);
+        let go = simulate_gossip(&tree.to_graph(), &simple, &tree_origins(&tree)).unwrap();
+        assert!(go.complete);
+        let n = tree.n();
+        let r = tree.height() as usize;
+        assert_eq!(simple.makespan(), 2 * n + r - 3);
+        t.row(vec![
+            family.name().to_string(),
+            n.to_string(),
+            r.to_string(),
+            simple.makespan().to_string(),
+            (2 * n + r - 3).to_string(),
+            cud.makespan().to_string(),
+            format!("{:.2}x", simple.makespan() as f64 / cud.makespan() as f64),
+        ]);
+    }
+    format!("Lemma 1 (Simple = 2n + r - 3) vs Theorem 1 (n + r):\n{}", t.render())
+}
+
+/// E11 — the ablation the paper's §3.2 narrative implies: remove the
+/// lookahead machinery (UpDown) and schedules stretch toward Simple; keep
+/// it (ConcurrentUpDown) and they pin to `n + r`.
+pub fn exp_updown() -> String {
+    let mut t = TextTable::new(vec![
+        "family", "n", "r", "n + r (CUD)", "UpDown", "Simple (2n+r-3)", "UpDown overhead",
+    ]);
+    for &family in Family::all() {
+        let g = family.instance(24, 5);
+        let tree = min_depth_spanning_tree(&g, gossip_graph::ChildOrder::ById).unwrap();
+        let cud = concurrent_updown(&tree).makespan();
+        let ud = updown_gossip(&tree).makespan();
+        let simple = simple_gossip(&tree).makespan();
+        let n = tree.n();
+        let r = tree.height() as usize;
+        t.row(vec![
+            family.name().to_string(),
+            n.to_string(),
+            r.to_string(),
+            cud.to_string(),
+            ud.to_string(),
+            simple.to_string(),
+            format!("{:+}", ud as i64 - cud as i64),
+        ]);
+    }
+    format!(
+        "Ablation: the lookahead (lip) messages are what buy n + r.\n{}\n\
+         UpDown = same up-phase, eager down-flood, no lookahead: its schedules sit\n\
+         between the two published bounds (occasionally a round below n + r on very\n\
+         shallow trees, where ConcurrentUpDown's uniform root-message deferral costs 1).\n",
+        t.render()
+    )
+}
+
+/// E12 — the straight-line story (§1 and §4): lower bound `n + r - 1`,
+/// generic algorithm at `n + r`, and the §4 "improve by one unit"
+/// schedule realized constructively where the exact line scheduler
+/// reaches (`n <= MAX_LINE_N`).
+pub fn exp_line() -> String {
+    let mut t = TextTable::new(vec![
+        "m", "n = 2m+1", "r", "lower bound n+r-1", "generic n+r", "non-uniform schedule",
+    ]);
+    for m in [1usize, 2, 4, 8, 16, 32] {
+        let g = odd_line(m);
+        let n = 2 * m + 1;
+        let lb = gossip_lower_bound(&g);
+        assert_eq!(lb, n + m - 1);
+        let plan = GossipPlanner::new(&g).unwrap().plan().unwrap();
+        assert_eq!(plan.makespan(), n + m);
+        let improved = if n <= gossip_core::MAX_LINE_N {
+            let s = gossip_core::line_gossip_schedule(n);
+            let o = simulate_gossip(&g, &s, &gossip_model::identity_origins(n)).unwrap();
+            assert!(o.complete);
+            assert_eq!(s.makespan(), lb);
+            format!("{} (verified)", s.makespan())
+        } else {
+            "- (exists per paper; construction open)".to_string()
+        };
+        t.row(vec![
+            m.to_string(),
+            n.to_string(),
+            m.to_string(),
+            lb.to_string(),
+            plan.makespan().to_string(),
+            improved,
+        ]);
+    }
+    format!(
+        "Odd straight lines (the paper's §1 lower-bound instance):\n{}\n\
+         The uniform algorithm is always exactly one round above the bound. The §4\n\
+         remark — a non-uniform protocol alternating subtree deliveries closes the\n\
+         gap — is realized constructively (exact search) for n <= {}.\n",
+        t.render(),
+        gossip_core::MAX_LINE_N
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn theorem1_report_builds() {
+        assert!(super::exp_theorem1().contains("ratio"));
+    }
+
+    #[test]
+    fn lemma1_report_builds() {
+        assert!(super::exp_lemma1().contains("Simple"));
+    }
+
+    #[test]
+    fn updown_report_builds() {
+        assert!(super::exp_updown().contains("UpDown"));
+    }
+
+    #[test]
+    fn line_report_builds() {
+        let r = super::exp_line();
+        assert!(r.contains("n + r - 1") || r.contains("n+r-1"));
+    }
+}

@@ -1,0 +1,191 @@
+//! E16–E18: the §4 extensions (weighted gossip, online execution) and the
+//! exact-optimality study.
+
+use crate::table::TextTable;
+use gossip_core::{
+    concurrent_updown, gossip_lower_bound, min_pipeline_period, optimal_gossip_time,
+    pipelined_gossip, run_online, run_online_threaded, weighted_gossip, ExactResult,
+    GossipPlanner,
+};
+use gossip_graph::{min_depth_spanning_tree, ChildOrder, Graph};
+use gossip_model::{simulate_gossip, CommModel};
+use gossip_workloads::{complete, path, petersen, ring, star, Family};
+
+/// E16 — weighted gossiping: chain splitting turns `w_p`-message processors
+/// into `w_p` virtual ones; the schedule length is `W + r'`.
+pub fn exp_weighted() -> String {
+    let mut t = TextTable::new(vec![
+        "base tree", "weights", "W", "expanded height r'", "makespan", "W + r'", "ok",
+    ]);
+    let cases: Vec<(&str, Graph, Vec<usize>)> = vec![
+        ("path-5", path(5), vec![1, 2, 3, 2, 1]),
+        ("star-6", star(6), vec![3, 1, 1, 1, 1, 1]),
+        ("ring-6", ring(6), vec![2, 2, 2, 2, 2, 2]),
+        ("petersen", petersen(), vec![1, 2, 1, 2, 1, 2, 1, 2, 1, 2]),
+    ];
+    for (name, g, weights) in cases {
+        let tree = min_depth_spanning_tree(&g, ChildOrder::ById).unwrap();
+        let plan = weighted_gossip(&tree, &weights).unwrap();
+        let o = simulate_gossip(&plan.expanded_tree.to_graph(), &plan.schedule, &plan.origins())
+            .unwrap();
+        assert!(o.complete);
+        let rp = plan.expanded_tree.height() as usize;
+        assert_eq!(plan.schedule.makespan(), plan.total_weight + rp);
+        t.row(vec![
+            name.to_string(),
+            format!("{weights:?}"),
+            plan.total_weight.to_string(),
+            rp.to_string(),
+            plan.schedule.makespan().to_string(),
+            (plan.total_weight + rp).to_string(),
+            "yes".into(),
+        ]);
+    }
+    format!(
+        "Weighted gossiping via chain splitting (paper §4):\n{}\n\
+         W = total messages; the n + r guarantee lifts verbatim to W + r'.\n",
+        t.render()
+    )
+}
+
+/// E17 — the online claim (§4): per-vertex protocols knowing only
+/// `(i, j, k)` (plus the parent's label and children's ranges, which are
+/// local) reproduce the offline schedule exactly — in lock-step and as a
+/// real thread-per-processor system over channels.
+pub fn exp_online() -> String {
+    let mut t = TextTable::new(vec![
+        "family", "n", "lockstep == offline", "threads == offline",
+    ]);
+    for &family in Family::all() {
+        let g = family.instance(14, 3);
+        let tree = min_depth_spanning_tree(&g, ChildOrder::ById).unwrap();
+        let mut offline = concurrent_updown(&tree);
+        offline.normalize();
+        let lockstep = run_online(&tree) == offline;
+        let threaded = run_online_threaded(&tree) == offline;
+        assert!(lockstep && threaded, "{}", family.name());
+        t.row(vec![
+            family.name().to_string(),
+            tree.n().to_string(),
+            lockstep.to_string(),
+            threaded.to_string(),
+        ]);
+    }
+    format!(
+        "Online/distributed ConcurrentUpDown (one OS thread per processor,\n\
+         crossbeam channels as links, barrier-synchronized rounds):\n{}",
+        t.render()
+    )
+}
+
+/// E18 — exact optima on every tiny instance vs the `n + r` schedule and
+/// the lower bounds: the gap is always at most `r + 1`.
+pub fn exp_exact() -> String {
+    let mut t = TextTable::new(vec![
+        "graph", "n", "r", "lower bound", "exact optimal", "n + r", "gap",
+    ]);
+    let cases: Vec<(&str, Graph)> = vec![
+        ("path-3", path(3)),
+        ("path-4", path(4)),
+        ("path-5", path(5)),
+        ("ring-4", ring(4)),
+        ("ring-5", ring(5)),
+        ("ring-6", ring(6)),
+        ("star-4", star(4)),
+        ("star-5", star(5)),
+        ("star-6", star(6)),
+        ("K4", complete(4)),
+        ("K5", complete(5)),
+        (
+            "K2,3",
+            Graph::from_edges(5, &[(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4)]).unwrap(),
+        ),
+    ];
+    for (name, g) in cases {
+        let plan = GossipPlanner::new(&g).unwrap().plan().unwrap();
+        let opt = match optimal_gossip_time(&g, CommModel::Multicast, 2 * g.n() + 4, 80_000_000)
+        {
+            ExactResult::Optimal(v) => v,
+            other => panic!("{name}: {other:?}"),
+        };
+        let lb = gossip_lower_bound(&g);
+        assert!(lb <= opt && opt <= plan.makespan());
+        t.row(vec![
+            name.to_string(),
+            g.n().to_string(),
+            plan.radius.to_string(),
+            lb.to_string(),
+            opt.to_string(),
+            plan.makespan().to_string(),
+            (plan.makespan() - opt).to_string(),
+        ]);
+    }
+    format!(
+        "Exact optimal gossip times (IDA* over hold-set states) vs the paper's\n\
+         n + r schedule:\n{}\n\
+         the n + r schedule is never more than r + 1 rounds above the true optimum\n\
+         on these instances, and the cut-vertex lower bound is tight on lines/stars.\n",
+        t.render()
+    )
+}
+
+/// E21 — pipelined repeated gossiping (§4's "execute the gossiping
+/// algorithms a large number of times"): overlaying batches at the minimal
+/// conflict-free period beats serializing them.
+pub fn exp_pipeline() -> String {
+    let mut t = TextTable::new(vec![
+        "family", "n", "r", "single (n+r)", "min period", "amortized (8 batches)", "speedup",
+    ]);
+    for &family in Family::all() {
+        let g = family.instance(12, 13);
+        let tree = min_depth_spanning_tree(&g, ChildOrder::ById).unwrap();
+        let n = tree.n();
+        let r = tree.height() as usize;
+        let single = n + r;
+        let period = min_pipeline_period(&tree, 8);
+        let plan = pipelined_gossip(&tree, 8, period).expect("period is feasible");
+        t.row(vec![
+            family.name().to_string(),
+            n.to_string(),
+            r.to_string(),
+            single.to_string(),
+            period.to_string(),
+            format!("{:.1}", plan.amortized_rounds()),
+            format!("{:.2}x", single as f64 / plan.amortized_rounds()),
+        ]);
+    }
+    format!(
+        "Pipelined repeated gossiping on the fixed tree (period = rounds between\n\
+         batch starts, verified conflict-free end to end):\n{}\n\
+         A largely *negative* result that certifies the schedule's density: every\n\
+         non-root vertex's receive calendar is busy through time n + level, so\n\
+         only the shallow families (stars/cliques, r = 1) admit any overlap, and\n\
+         even there just one round — ConcurrentUpDown leaves almost no idle\n\
+         receive capacity for a following batch to exploit.\n",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn pipeline_report_builds() {
+        assert!(super::exp_pipeline().contains("min period"));
+    }
+
+    #[test]
+    fn weighted_report_builds() {
+        assert!(super::exp_weighted().contains("W + r'"));
+    }
+
+    #[test]
+    fn online_report_builds() {
+        assert!(super::exp_online().contains("true"));
+    }
+
+    #[test]
+    fn exact_report_builds() {
+        let r = super::exp_exact();
+        assert!(r.contains("K2,3"));
+    }
+}

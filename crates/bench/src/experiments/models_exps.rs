@@ -1,0 +1,190 @@
+//! E13–E14: broadcasting and the model comparison.
+
+use crate::table::TextTable;
+use gossip_core::{broadcast_model_gossip, broadcast_schedule, Algorithm, GossipPlanner};
+use gossip_graph::distance_metrics;
+use gossip_model::{compact_schedule, validate_gossip_schedule, CommModel};
+use gossip_workloads::Family;
+
+/// E13 — §2's broadcast claim: total communication time equals the source's
+/// eccentricity, for every source, on every family.
+pub fn exp_broadcast() -> String {
+    let mut t = TextTable::new(vec![
+        "family", "n", "source", "eccentricity", "broadcast rounds", "match",
+    ]);
+    for &family in Family::all() {
+        let g = family.instance(30, 17);
+        let metrics = distance_metrics(&g).unwrap();
+        for source in [0, g.n() / 2, g.n() - 1] {
+            let (s, time) = broadcast_schedule(&g, source);
+            assert_eq!(time, metrics.ecc[source] as usize);
+            assert_eq!(s.makespan(), time);
+            t.row(vec![
+                family.name().to_string(),
+                g.n().to_string(),
+                source.to_string(),
+                metrics.ecc[source].to_string(),
+                time.to_string(),
+                "yes".into(),
+            ]);
+        }
+    }
+    format!(
+        "Offline broadcasting under the multicast model (paper §2):\n{}\n\
+         every vertex at distance d receives the message at time exactly d.\n",
+        t.render()
+    )
+}
+
+/// E14 — the paper's motivating comparison: gossip rounds under all three
+/// §1 communication regimes. Multicast (choose any neighbour subset) vs
+/// the telephone restriction (one destination) vs local broadcast (all
+/// neighbours, wanted or not). Wide, shallow topologies show the multicast
+/// advantage growing with fan-out; paths show it vanishing.
+pub fn exp_models() -> String {
+    let mut t = TextTable::new(vec![
+        "family", "n", "max degree", "multicast (n + r)", "telephone", "broadcast",
+        "tel/mc", "bc/mc",
+    ]);
+    for &family in Family::all() {
+        for target in [16, 48] {
+            let g = family.instance(target, 29);
+            let planner = GossipPlanner::new(&g).unwrap();
+            let mc = planner.clone().plan().unwrap();
+            let tp = planner
+                .clone()
+                .algorithm(Algorithm::Telephone)
+                .plan()
+                .unwrap();
+            let bm = broadcast_model_gossip(&g);
+            let mo = validate_gossip_schedule(
+                &g,
+                &mc.schedule,
+                &mc.origin_of_message,
+                CommModel::Multicast,
+            )
+            .unwrap();
+            let to = validate_gossip_schedule(
+                &g,
+                &tp.schedule,
+                &tp.origin_of_message,
+                CommModel::Telephone,
+            )
+            .unwrap();
+            let bo = validate_gossip_schedule(
+                &g,
+                &bm,
+                &gossip_model::identity_origins(g.n()),
+                CommModel::Broadcast,
+            )
+            .unwrap();
+            assert!(mo.complete && to.complete && bo.complete);
+            t.row(vec![
+                family.name().to_string(),
+                g.n().to_string(),
+                g.max_degree().to_string(),
+                mc.makespan().to_string(),
+                tp.makespan().to_string(),
+                bm.makespan().to_string(),
+                format!("{:.2}x", tp.makespan() as f64 / mc.makespan() as f64),
+                format!("{:.2}x", bm.makespan() as f64 / mc.makespan() as f64),
+            ]);
+        }
+    }
+    format!(
+        "Gossip under the three communication regimes of the paper's §1 (multicast\n\
+         and telephone on the same minimum-depth tree; broadcast greedy on the graph):\n{}\n\
+         telephone pays per-child repetition (up to n/2 x on stars); forced local\n\
+         broadcast pays receiver-conflict serialization; free-subset multicast wins,\n\
+         which is the paper's \"multicasting is a much more efficient way to communicate\".\n",
+        t.render()
+    )
+}
+
+/// E22 — compaction ablation: run the post-optimizer over each algorithm's
+/// schedules. ConcurrentUpDown compacts by at most one round (it is
+/// redundancy-free and dense); Simple's wait-for-everything down phase
+/// leaves large slack.
+pub fn exp_compaction() -> String {
+    let mut t = TextTable::new(vec![
+        "family", "algorithm", "makespan", "compacted", "saved", "deliveries pruned",
+    ]);
+    for &family in Family::all() {
+        let g = family.instance(20, 3);
+        for alg in [Algorithm::ConcurrentUpDown, Algorithm::Simple, Algorithm::UpDown] {
+            let plan = GossipPlanner::new(&g).unwrap().algorithm(alg).plan().unwrap();
+            let report = compact_schedule(&g, &plan.schedule, &plan.origin_of_message).unwrap();
+            assert!(
+                gossip_model::verify_compaction(&g, &report, &plan.origin_of_message).unwrap()
+            );
+            t.row(vec![
+                family.name().to_string(),
+                alg.name().to_string(),
+                report.makespan_before.to_string(),
+                report.makespan_after.to_string(),
+                (report.makespan_before - report.makespan_after).to_string(),
+                report.deliveries_pruned.to_string(),
+            ]);
+        }
+    }
+    format!(
+        "Greedy schedule compaction (prune redundant deliveries + shift\n\
+         transmissions earlier, to a fixed point):\n{}\n\
+         ConcurrentUpDown leaves essentially nothing on the table; Simple's\n\
+         serialized phases compact dramatically (toward UpDown's eager overlap).\n",
+        t.render()
+    )
+}
+
+/// E23 — knowledge curves: the round-by-round fraction of (processor,
+/// message) pairs known, per algorithm, rendered as sparklines. Shows
+/// *where* each algorithm spends its rounds: ConcurrentUpDown climbs
+/// steadily from round one; Simple is flat while everything funnels
+/// through the root, then vertical.
+pub fn exp_curves() -> String {
+    use gossip_model::{knowledge_curve, render_sparkline};
+    let mut out = String::from(
+        "Knowledge curves (fraction of (processor, message) pairs known per round):\n\n",
+    );
+    for &family in [Family::BinaryTree, Family::Path, Family::Star].iter() {
+        let g = family.instance(24, 7);
+        out.push_str(&format!("{} (n = {}):\n", family.name(), g.n()));
+        for alg in [Algorithm::ConcurrentUpDown, Algorithm::UpDown, Algorithm::Simple] {
+            let plan = GossipPlanner::new(&g).unwrap().algorithm(alg).plan().unwrap();
+            let curve = knowledge_curve(&g, &plan.schedule, &plan.origin_of_message).unwrap();
+            assert!((curve.last().unwrap() - 1.0).abs() < 1e-9);
+            out.push_str(&format!(
+                "  {:<18} |{}| {} rounds\n",
+                alg.name(),
+                render_sparkline(&curve),
+                plan.makespan()
+            ));
+        }
+        out.push('\n');
+    }
+    out.push_str(
+        "one glyph per round; ConcurrentUpDown's lookahead keeps information moving\n\
+         every round, while Simple's two-phase structure shows a long shallow ramp\n\
+         (up phase: only the root-path learns) before the steep broadcast phase.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn curves_report_builds() {
+        let r = super::exp_curves();
+        assert!(r.contains("rounds"));
+    }
+
+    #[test]
+    fn broadcast_report_builds() {
+        assert!(super::exp_broadcast().contains("eccentricity"));
+    }
+
+    #[test]
+    fn models_report_builds() {
+        assert!(super::exp_models().contains("tel/mc"));
+    }
+}

@@ -1,0 +1,39 @@
+//! E1–E4: regenerate the paper's Tables 1–4.
+
+use gossip_core::{concurrent_updown, tree_origins};
+use gossip_model::{simulate_gossip, vertex_trace};
+use gossip_workloads::fig5_tree;
+
+/// Computes the ConcurrentUpDown schedule on the Fig 5 tree and renders the
+/// four published per-vertex tables (vertices with messages 0, 1, 4, 8).
+pub fn exp_tables() -> String {
+    let tree = fig5_tree();
+    let schedule = concurrent_updown(&tree);
+    let g = tree.to_graph();
+    let outcome = simulate_gossip(&g, &schedule, &tree_origins(&tree)).expect("valid");
+    assert!(outcome.complete);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Fig 5 tree: n = 16, height r = 3; schedule length {} = n + r\n\n",
+        schedule.makespan()
+    ));
+    for (table, vertex) in [(1, 0usize), (2, 1), (3, 4), (4, 8)] {
+        out.push_str(&format!("--- Table {table}: vertex with message {vertex} ---\n"));
+        out.push_str(&vertex_trace(&schedule, &tree, vertex).render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn report_contains_the_four_tables() {
+        let r = super::exp_tables();
+        for t in 1..=4 {
+            assert!(r.contains(&format!("Table {t}")));
+        }
+        assert!(r.contains("19 = n + r"));
+    }
+}

@@ -1,0 +1,15 @@
+//! # gossip-bench
+//!
+//! The experiment harness: one module per paper artifact (table, figure, or
+//! stated bound), each producing a plain-text report that regenerates the
+//! artifact. Binaries under `src/bin/` print individual reports;
+//! `exp_all` prints everything (and is what EXPERIMENTS.md's measured
+//! columns come from).
+//!
+//! Criterion timing benches (experiment E15, the O(mn) construction claim)
+//! live under `benches/`.
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod table;

@@ -1,0 +1,111 @@
+//! Tiny dependency-free flag parser for the `gossip` CLI.
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand, positional arguments, and `--key
+/// value` / `--flag` options.
+#[derive(Debug, Default)]
+pub struct Args {
+    /// The subcommand (first argument).
+    pub command: String,
+    /// Positional arguments after the subcommand.
+    pub positional: Vec<String>,
+    /// `--key value` options (flags without values map to "true").
+    pub options: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses `std::env::args`-style input (element 0 = program name).
+    pub fn parse<I: IntoIterator<Item = String>>(input: I) -> Result<Self, String> {
+        let mut iter = input.into_iter().skip(1).peekable();
+        let mut args = Args {
+            command: iter.next().unwrap_or_default(),
+            ..Args::default()
+        };
+        while let Some(tok) = iter.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                let value = match iter.peek() {
+                    Some(v) if !v.starts_with("--") => iter.next().unwrap(),
+                    _ => "true".to_string(),
+                };
+                if args.options.insert(key.to_string(), value).is_some() {
+                    return Err(format!("duplicate option --{key}"));
+                }
+            } else {
+                args.positional.push(tok);
+            }
+        }
+        Ok(args)
+    }
+
+    /// Returns an option value, or the default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.options.get(key).map(String::as_str).unwrap_or(default)
+    }
+
+    /// Returns a numeric option value, or the default; errors on non-numeric.
+    pub fn get_usize(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key} expects a number, got {v:?}")),
+        }
+    }
+
+    /// Returns a u64 option value, or the default.
+    pub fn get_u64(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key} expects a number, got {v:?}")),
+        }
+    }
+
+    /// Whether a boolean flag was passed.
+    pub fn flag(&self, key: &str) -> bool {
+        self.options.get(key).map(String::as_str) == Some("true")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn basic_parse() {
+        let a = parse("gossip plan --family ring --n 12 --verbose");
+        assert_eq!(a.command, "plan");
+        assert_eq!(a.get_or("family", "?"), "ring");
+        assert_eq!(a.get_usize("n", 0).unwrap(), 12);
+        assert!(a.flag("verbose"));
+        assert!(!a.flag("quiet"));
+    }
+
+    #[test]
+    fn positional_args() {
+        let a = parse("gossip trace 4 --family path");
+        assert_eq!(a.positional, vec!["4"]);
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let r = Args::parse(
+            "gossip x --n 1 --n 2".split_whitespace().map(String::from),
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn bad_number() {
+        let a = parse("gossip x --n abc");
+        assert!(a.get_usize("n", 0).is_err());
+    }
+
+    #[test]
+    fn empty() {
+        let a = Args::parse(vec!["prog".to_string()]).unwrap();
+        assert_eq!(a.command, "");
+    }
+}

@@ -1,0 +1,391 @@
+//! Subcommand implementations for the `gossip` CLI.
+
+use crate::args::Args;
+use gossip_core::{
+    gossip_lower_bound, optimal_gossip_time, Algorithm, ExactResult, GossipPlanner,
+};
+use gossip_graph::Graph;
+use gossip_model::{simulate_gossip, vertex_trace, CommModel};
+use gossip_workloads::Family;
+use serde::{Deserialize, Serialize};
+
+/// Usage text shown by `gossip help`.
+pub const USAGE: &str = "\
+gossip — communication schedules for the multicast gossiping problem
+          (Gonzalez, IPPS 2001: n + r rounds on any network of radius r)
+
+commands:
+  generate  --family F --n N [--seed S] [--out FILE] [--compact]
+                                                       emit a graph as JSON
+  plan      (--family F --n N | --graph FILE)
+            [--algorithm concurrent-updown|simple|updown|telephone]
+            [--out FILE]                               build + verify a schedule
+  trace     --family F --n N --vertex V                per-vertex table (paper style)
+  bounds    --family F --n N                           lower bounds for a network
+  exact     --family F --n N [--model telephone]       exact optimum (n <= 8)
+  sweep     [--sizes 16,32,64] [--seed S]              n + r across all families
+  analyze   (--family F --n N | --graph FILE) [--gantt] schedule profile
+  compare   (--family F --n N | --graph FILE)           all algorithms side by side
+  line      --n N (N <= 6)                              the n + r - 1 line schedule
+  pipeline  --family F --n N [--batches K]              repeated-gossip overlap
+  energy    --n N [--range R] [--seed S]                sensor-field energy model
+
+families: path ring star complete binary-tree caterpillar grid torus
+          hypercube random-tree random-sparse";
+
+fn family_by_name(name: &str) -> Result<Family, String> {
+    Family::all()
+        .iter()
+        .copied()
+        .find(|f| f.name() == name)
+        .ok_or_else(|| format!("unknown family {name:?} (see `gossip help`)"))
+}
+
+fn load_graph(args: &Args) -> Result<Graph, String> {
+    if let Some(path) = args.options.get("graph") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        // JSON first; fall back to the plain edge-list text format.
+        match serde_json::from_str(&text) {
+            Ok(g) => Ok(g),
+            Err(json_err) => gossip_graph::parse_edge_list(&text)
+                .map_err(|el_err| format!("{path}: not JSON ({json_err}) nor edge list ({el_err})")),
+        }
+    } else {
+        let family = family_by_name(args.get_or("family", "ring"))?;
+        let n = args.get_usize("n", 16)?;
+        let seed = args.get_u64("seed", 0)?;
+        Ok(family.instance(n, seed))
+    }
+}
+
+/// `gossip generate`: write a family instance as JSON.
+pub fn generate(args: &Args) -> Result<(), String> {
+    let g = load_graph(args)?;
+    // --compact emits single-line JSON for piping; default is pretty.
+    let json = if args.flag("compact") {
+        serde_json::to_string(&g).map_err(|e| e.to_string())?
+    } else {
+        serde_json::to_string_pretty(&g).map_err(|e| e.to_string())?
+    };
+    match args.options.get("out") {
+        Some(path) => {
+            std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+            println!("wrote graph (n = {}, m = {}) to {path}", g.n(), g.m());
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+/// Serialized form of a plan for `--out`.
+#[derive(Serialize, Deserialize)]
+struct PlanArtifact {
+    algorithm: String,
+    n: usize,
+    radius: u32,
+    makespan: usize,
+    origin_of_message: Vec<usize>,
+    schedule: gossip_model::Schedule,
+}
+
+/// `gossip plan`: build, verify, and summarize (optionally dump) a schedule.
+pub fn plan(args: &Args) -> Result<(), String> {
+    let g = load_graph(args)?;
+    let alg = match args.get_or("algorithm", "concurrent-updown") {
+        "concurrent-updown" => Algorithm::ConcurrentUpDown,
+        "simple" => Algorithm::Simple,
+        "updown" => Algorithm::UpDown,
+        "telephone" => Algorithm::Telephone,
+        other => return Err(format!("unknown algorithm {other:?}")),
+    };
+    let plan = GossipPlanner::new(&g)
+        .map_err(|e| e.to_string())?
+        .algorithm(alg)
+        .plan()
+        .map_err(|e| e.to_string())?;
+    let model = if alg == Algorithm::Telephone {
+        CommModel::Telephone
+    } else {
+        CommModel::Multicast
+    };
+    let outcome = gossip_model::validate_gossip_schedule(
+        &g,
+        &plan.schedule,
+        &plan.origin_of_message,
+        model,
+    )
+    .map_err(|e| e.to_string())?;
+    if !outcome.complete {
+        return Err("schedule did not complete gossip (bug)".into());
+    }
+    println!(
+        "network: n = {}, m = {}, radius r = {}",
+        g.n(),
+        g.m(),
+        plan.radius
+    );
+    println!("algorithm: {}", alg.name());
+    match alg {
+        Algorithm::ConcurrentUpDown => println!(
+            "makespan: {} rounds (guarantee n + r = {})",
+            plan.makespan(),
+            plan.guarantee()
+        ),
+        _ => println!(
+            "makespan: {} rounds (concurrent-updown reference: n + r = {})",
+            plan.makespan(),
+            plan.guarantee()
+        ),
+    }
+    let stats = plan.schedule.stats();
+    println!(
+        "verified: complete; {} transmissions, {} deliveries, max fanout {}",
+        stats.transmissions, stats.deliveries, stats.max_fanout
+    );
+    if let Some(path) = args.options.get("out") {
+        let artifact = PlanArtifact {
+            algorithm: alg.name().to_string(),
+            n: g.n(),
+            radius: plan.radius,
+            makespan: plan.makespan(),
+            origin_of_message: plan.origin_of_message.clone(),
+            schedule: plan.schedule.clone(),
+        };
+        let json = serde_json::to_string_pretty(&artifact).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote plan to {path}");
+    }
+    Ok(())
+}
+
+/// `gossip trace`: print one vertex's schedule in the paper's table format.
+pub fn trace(args: &Args) -> Result<(), String> {
+    let g = load_graph(args)?;
+    let plan = GossipPlanner::new(&g)
+        .map_err(|e| e.to_string())?
+        .plan()
+        .map_err(|e| e.to_string())?;
+    let v = args.get_usize("vertex", plan.tree.root())?;
+    if v >= g.n() {
+        return Err(format!("vertex {v} out of range (n = {})", g.n()));
+    }
+    println!("spanning tree (vertex  [DFS label, subtree range, level]):");
+    print!("{}", gossip_graph::render_tree(&plan.tree));
+    println!(
+        "\nvertex {v}: label i = {}, level k = {}, subtree range {:?}",
+        plan.tree.label(v),
+        plan.tree.level(v),
+        plan.tree.subtree_range(v)
+    );
+    println!("{}", vertex_trace(&plan.schedule, &plan.tree, v).render());
+    Ok(())
+}
+
+/// `gossip bounds`: lower bounds and what the pipeline achieves.
+pub fn bounds(args: &Args) -> Result<(), String> {
+    let g = load_graph(args)?;
+    let plan = GossipPlanner::new(&g)
+        .map_err(|e| e.to_string())?
+        .plan()
+        .map_err(|e| e.to_string())?;
+    println!("n - 1 trivial bound:       {}", g.n().saturating_sub(1));
+    println!("cut-vertex bound:          {}", gossip_core::cut_vertex_lower_bound(&g));
+    println!("best lower bound:          {}", gossip_lower_bound(&g));
+    println!("achieved (n + r):          {}", plan.makespan());
+    Ok(())
+}
+
+/// `gossip exact`: exact optimum for tiny networks.
+pub fn exact(args: &Args) -> Result<(), String> {
+    let g = load_graph(args)?;
+    if g.n() > 8 {
+        return Err(format!("exact search supports n <= 8, got {}", g.n()));
+    }
+    let model = match args.get_or("model", "multicast") {
+        "multicast" => CommModel::Multicast,
+        "telephone" => CommModel::Telephone,
+        other => return Err(format!("unknown model {other:?}")),
+    };
+    let budget = args.get_u64("budget", 50_000_000)?;
+    match optimal_gossip_time(&g, model, 2 * g.n() + 4, budget) {
+        ExactResult::Optimal(t) => {
+            println!("optimal {} gossip time: {t} rounds", model.name());
+            Ok(())
+        }
+        other => Err(format!("search did not converge: {other:?}")),
+    }
+}
+
+/// `gossip sweep`: the Theorem 1 table across families.
+pub fn sweep(args: &Args) -> Result<(), String> {
+    let sizes: Vec<usize> = args
+        .get_or("sizes", "16,32,64")
+        .split(',')
+        .map(|s| s.trim().parse().map_err(|_| format!("bad size {s:?}")))
+        .collect::<Result<_, _>>()?;
+    let seed = args.get_u64("seed", 0)?;
+    println!(
+        "{:>14} {:>6} {:>6} {:>5} {:>9} {:>7} {:>6}",
+        "family", "n", "m", "r", "makespan", "n + r", "ok"
+    );
+    for &family in Family::all() {
+        for &target in &sizes {
+            let g = family.instance(target, seed);
+            let plan = GossipPlanner::new(&g)
+                .map_err(|e| e.to_string())?
+                .plan()
+                .map_err(|e| e.to_string())?;
+            let o = simulate_gossip(&g, &plan.schedule, &plan.origin_of_message)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "{:>14} {:>6} {:>6} {:>5} {:>9} {:>7} {:>6}",
+                family.name(),
+                g.n(),
+                g.m(),
+                plan.radius,
+                plan.makespan(),
+                plan.guarantee(),
+                if o.complete { "yes" } else { "NO" }
+            );
+        }
+    }
+    Ok(())
+}
+
+/// `gossip analyze`: latency/redundancy/link-load profile of the plan.
+pub fn analyze(args: &Args) -> Result<(), String> {
+    let g = load_graph(args)?;
+    let plan = GossipPlanner::new(&g)
+        .map_err(|e| e.to_string())?
+        .plan()
+        .map_err(|e| e.to_string())?;
+    let a = gossip_model::analyze_schedule(&g, &plan.schedule, &plan.origin_of_message)
+        .map_err(|e| e.to_string())?;
+    println!("makespan:             {}", plan.makespan());
+    println!(
+        "last message complete: {}",
+        a.last_completion().map_or("never".into(), |t| t.to_string())
+    );
+    println!("deliveries:           {} ({} redundant, {:.1}%)",
+        a.total_deliveries, a.redundant_deliveries, 100.0 * a.redundancy());
+    println!("link imbalance:       {:.2}", a.link_imbalance());
+    println!("busiest links:");
+    for &(u, v, uses) in a.link_loads.iter().take(5) {
+        println!("  {u} -- {v}: {uses} deliveries");
+    }
+    let curve = gossip_model::knowledge_curve(&g, &plan.schedule, &plan.origin_of_message)
+        .map_err(|e| e.to_string())?;
+    println!("knowledge curve:      |{}|", gossip_model::render_sparkline(&curve));
+    if args.flag("gantt") {
+        println!("\nper-processor timeline (S = send, R = receive, B = both):");
+        print!("{}", gossip_model::render_gantt(&plan.schedule));
+    }
+    Ok(())
+}
+
+/// `gossip line`: the optimal n + r - 1 line schedule (paper §4 remark).
+pub fn line(args: &Args) -> Result<(), String> {
+    let n = args.get_usize("n", 5)?;
+    if !(2..=gossip_core::MAX_LINE_N).contains(&n) {
+        return Err(format!(
+            "line schedules are available for 2 <= n <= {}",
+            gossip_core::MAX_LINE_N
+        ));
+    }
+    let s = gossip_core::line_gossip_schedule(n);
+    let g = gossip_workloads::path(n);
+    let o = gossip_model::simulate_gossip(&g, &s, &gossip_model::identity_origins(n))
+        .map_err(|e| e.to_string())?;
+    if !o.complete {
+        return Err("line schedule incomplete (bug)".into());
+    }
+    println!(
+        "path of {n}: {} rounds = n + r - 1 (generic algorithm: {})",
+        s.makespan(),
+        n + n / 2
+    );
+    for (t, round) in s.rounds.iter().enumerate() {
+        let txs: Vec<String> = round
+            .transmissions
+            .iter()
+            .map(|x| format!("{}--m{}-->{:?}", x.from, x.msg, x.to))
+            .collect();
+        println!("  t{t}: {}", txs.join("  "));
+    }
+    Ok(())
+}
+
+/// `gossip pipeline`: minimal repeated-gossip period on the plan's tree.
+pub fn pipeline(args: &Args) -> Result<(), String> {
+    let g = load_graph(args)?;
+    let batches = args.get_usize("batches", 4)?.max(1);
+    let plan = GossipPlanner::new(&g)
+        .map_err(|e| e.to_string())?
+        .plan()
+        .map_err(|e| e.to_string())?;
+    let period = gossip_core::min_pipeline_period(&plan.tree, batches);
+    let pipelined = gossip_core::pipelined_gossip(&plan.tree, batches, period)
+        .ok_or("period search failed (bug)")?;
+    println!("single gossip:   {} rounds (n + r)", plan.makespan());
+    println!("minimal period:  {period} rounds between batch starts");
+    println!(
+        "{batches} batches:       {} rounds total ({:.1} amortized, {:.2}x speedup)",
+        pipelined.schedule.makespan(),
+        pipelined.amortized_rounds(),
+        plan.makespan() as f64 / pipelined.amortized_rounds()
+    );
+    Ok(())
+}
+
+/// `gossip energy`: sensor-field rounds + radio energy, multicast vs
+/// telephone.
+pub fn energy(args: &Args) -> Result<(), String> {
+    let n = args.get_usize("n", 30)?;
+    let range: f64 = args
+        .get_or("range", "0.22")
+        .parse()
+        .map_err(|_| "--range expects a number".to_string())?;
+    let seed = args.get_u64("seed", 1)?;
+    let (g, pts, used) = gossip_workloads::unit_disk_connected(n, range, seed);
+    let planner = GossipPlanner::new(&g).map_err(|e| e.to_string())?;
+    let mc = planner.clone().plan().map_err(|e| e.to_string())?;
+    let tel = planner
+        .clone()
+        .algorithm(Algorithm::Telephone)
+        .plan()
+        .map_err(|e| e.to_string())?;
+    let e_mc = gossip_workloads::schedule_energy(&mc.schedule, &pts, 2.0);
+    let e_tel = gossip_workloads::schedule_energy(&tel.schedule, &pts, 2.0);
+    println!("sensor field: {n} nodes, radio range {used:.2}, {} links", g.m());
+    println!("multicast: {:>5} rounds, energy {e_mc:.2}", mc.makespan());
+    println!("telephone: {:>5} rounds, energy {e_tel:.2}", tel.makespan());
+    println!("multicast saves {:.1}% energy and {:.1}% rounds",
+        100.0 * (1.0 - e_mc / e_tel),
+        100.0 * (1.0 - mc.makespan() as f64 / tel.makespan() as f64));
+    Ok(())
+}
+
+/// `gossip compare`: all algorithms and models on one network.
+pub fn compare(args: &Args) -> Result<(), String> {
+    let g = load_graph(args)?;
+    let planner = GossipPlanner::new(&g).map_err(|e| e.to_string())?;
+    println!("network: n = {}, m = {}", g.n(), g.m());
+    println!("{:<22} {:>9} {:>9}", "algorithm", "makespan", "model");
+    for alg in [
+        Algorithm::ConcurrentUpDown,
+        Algorithm::Simple,
+        Algorithm::UpDown,
+        Algorithm::Telephone,
+    ] {
+        let plan = planner.clone().algorithm(alg).plan().map_err(|e| e.to_string())?;
+        let model = if alg == Algorithm::Telephone { "telephone" } else { "multicast" };
+        println!("{:<22} {:>9} {:>9}", alg.name(), plan.makespan(), model);
+    }
+    let bm = gossip_core::broadcast_model_gossip(&g);
+    println!("{:<22} {:>9} {:>9}", "broadcast-greedy", bm.makespan(), "broadcast");
+    if let Some(ham) = gossip_core::ring_gossip_schedule(&g) {
+        println!("{:<22} {:>9} {:>9}", "hamiltonian-circuit", ham.makespan(), "telephone");
+    }
+    println!("{:<22} {:>9}", "lower bound", gossip_core::gossip_lower_bound(&g));
+    Ok(())
+}

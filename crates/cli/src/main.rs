@@ -1,0 +1,51 @@
+//! `gossip` — command-line interface to the multigossip library.
+//!
+//! ```text
+//! gossip generate --family ring --n 12 --out ring.json
+//! gossip plan     --family torus --n 64 [--algorithm simple] [--out plan.json]
+//! gossip plan     --graph ring.json
+//! gossip trace    --family path --n 9 --vertex 4
+//! gossip bounds   --family path --n 9
+//! gossip exact    --family star --n 5 [--model telephone]
+//! gossip sweep    [--sizes 16,32,64]
+//! ```
+//!
+//! Graphs and plans serialize as JSON so schedules can be inspected or
+//! replayed by other tooling.
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let args = match Args::parse(std::env::args()) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let result = match args.command.as_str() {
+        "generate" => commands::generate(&args),
+        "plan" => commands::plan(&args),
+        "trace" => commands::trace(&args),
+        "bounds" => commands::bounds(&args),
+        "exact" => commands::exact(&args),
+        "sweep" => commands::sweep(&args),
+        "analyze" => commands::analyze(&args),
+        "compare" => commands::compare(&args),
+        "line" => commands::line(&args),
+        "pipeline" => commands::pipeline(&args),
+        "energy" => commands::energy(&args),
+        "" | "help" | "--help" => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{}", commands::USAGE)),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,124 @@
+//! End-to-end tests of the `gossip` binary.
+
+use std::process::Command;
+
+fn gossip(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_gossip"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_lists_commands() {
+    let (ok, stdout, _) = gossip(&["help"]);
+    assert!(ok);
+    for cmd in ["generate", "plan", "trace", "bounds", "exact", "sweep", "analyze", "line"] {
+        assert!(stdout.contains(cmd), "missing {cmd}");
+    }
+}
+
+#[test]
+fn unknown_command_fails() {
+    let (ok, _, stderr) = gossip(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn plan_reports_guarantee() {
+    let (ok, stdout, _) = gossip(&["plan", "--family", "ring", "--n", "10"]);
+    assert!(ok);
+    assert!(stdout.contains("makespan: 15 rounds"));
+    assert!(stdout.contains("n + r = 15"));
+    assert!(stdout.contains("verified: complete"));
+}
+
+#[test]
+fn plan_rejects_unknown_algorithm() {
+    let (ok, _, stderr) = gossip(&["plan", "--family", "ring", "--n", "8", "--algorithm", "magic"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown algorithm"));
+}
+
+#[test]
+fn generate_plan_round_trip() {
+    let dir = std::env::temp_dir().join(format!("gossip-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("g.json");
+    let path_str = path.to_str().unwrap();
+
+    let (ok, stdout, _) = gossip(&["generate", "--family", "grid", "--n", "16", "--out", path_str]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("wrote graph"));
+
+    let (ok, stdout, _) = gossip(&["plan", "--graph", path_str]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("n = 16"));
+    assert!(stdout.contains("verified: complete"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_prints_paper_style_table() {
+    let (ok, stdout, _) = gossip(&["trace", "--family", "path", "--n", "9", "--vertex", "4"]);
+    assert!(ok);
+    assert!(stdout.contains("Receive from Parent"));
+    assert!(stdout.contains("Send to Children"));
+}
+
+#[test]
+fn bounds_on_odd_line() {
+    let (ok, stdout, _) = gossip(&["bounds", "--family", "path", "--n", "9"]);
+    assert!(ok);
+    assert!(stdout.contains("best lower bound:          12"));
+    assert!(stdout.contains("achieved (n + r):          13"));
+}
+
+#[test]
+fn exact_star_five() {
+    let (ok, stdout, _) = gossip(&["exact", "--family", "star", "--n", "5"]);
+    assert!(ok);
+    assert!(stdout.contains("optimal multicast gossip time: 5 rounds"));
+}
+
+#[test]
+fn exact_rejects_large_n() {
+    let (ok, _, stderr) = gossip(&["exact", "--family", "star", "--n", "9"]);
+    assert!(!ok);
+    assert!(stderr.contains("n <= 8"));
+}
+
+#[test]
+fn line_schedule_prints_rounds() {
+    let (ok, stdout, _) = gossip(&["line", "--n", "5"]);
+    assert!(ok);
+    assert!(stdout.contains("6 rounds = n + r - 1"));
+    assert!(stdout.contains("t0:"));
+}
+
+#[test]
+fn line_rejects_oversize() {
+    let (ok, _, stderr) = gossip(&["line", "--n", "12"]);
+    assert!(!ok);
+    assert!(stderr.contains("2 <= n <="));
+}
+
+#[test]
+fn analyze_reports_zero_redundancy() {
+    let (ok, stdout, _) = gossip(&["analyze", "--family", "binary-tree", "--n", "15"]);
+    assert!(ok);
+    assert!(stdout.contains("0 redundant"));
+}
+
+#[test]
+fn duplicate_flag_rejected() {
+    let (ok, _, stderr) = gossip(&["plan", "--n", "4", "--n", "5"]);
+    assert!(!ok);
+    assert!(stderr.contains("duplicate option"));
+}

@@ -1,0 +1,180 @@
+//! Lower bounds on gossip time.
+//!
+//! The paper gives two: the trivial `n - 1` (every processor must receive
+//! `n - 1` messages, at most one per round) and, for the straight line with
+//! `n = 2m + 1` processors, `n + r - 1` — the last message to arrive at the
+//! center still has to reach an end of the line.
+//!
+//! The line argument generalizes to any **cut vertex** `c`: all `n - 1`
+//! foreign messages arrive at `c` one per round, so the last arrives no
+//! earlier than `n - 1`; that message originated in some component `A` of
+//! `g - c` and must still travel from `c` to the farthest vertex *outside*
+//! `A`. A schedule gets to choose which message is last, so the bound takes
+//! the minimum over components:
+//!
+//! `T >= n - 1 + min_A max_{w ∉ A ∪ {c}} dist(c, w)`.
+//!
+//! On the odd line with `c` = center both sides have depth `r`, recovering
+//! the paper's `n + r - 1` exactly.
+
+use gossip_graph::{articulation_points, bfs, Graph};
+
+/// The trivial lower bound `n - 1` (0 for `n <= 1`).
+pub fn trivial_lower_bound(n: usize) -> usize {
+    n.saturating_sub(1)
+}
+
+/// The cut-vertex lower bound described in the module docs, maximized over
+/// all articulation points; `0` when the graph has none.
+pub fn cut_vertex_lower_bound(g: &Graph) -> usize {
+    let n = g.n();
+    if n < 3 {
+        return 0;
+    }
+    let mut best = 0usize;
+    for c in articulation_points(g) {
+        // Distances from c and the component id of each non-c vertex in
+        // g - c: both come out of BFS sweeps of the intact graph (distances)
+        // plus a component labelling of g - c.
+        let dist = bfs(g, c).dist;
+        let comp = components_without(g, c);
+        let k = comp.iter().filter(|&&x| x != u32::MAX).max().map_or(0, |&m| m as usize + 1);
+        if k < 2 {
+            continue;
+        }
+        // depth[a] = farthest distance from c among component a's vertices.
+        let mut depth = vec![0u32; k];
+        for v in 0..n {
+            if v != c {
+                let a = comp[v] as usize;
+                depth[a] = depth[a].max(dist[v]);
+            }
+        }
+        // For a last-message origin component A, the reach needed is the
+        // max depth among the *other* components.
+        let max1 = depth.iter().copied().max().unwrap_or(0);
+        let max2 = {
+            let mut sorted = depth.clone();
+            sorted.sort_unstable_by(|a, b| b.cmp(a));
+            sorted.get(1).copied().unwrap_or(0)
+        };
+        // min over A of (max depth outside A): removing the deepest
+        // component leaves max2; removing any other leaves max1.
+        let reach = max2.min(max1) as usize;
+        best = best.max(n - 1 + reach);
+    }
+    best
+}
+
+/// The best lower bound this crate knows for gossiping on `g` under the
+/// multicast model: `max(n - 1, cut-vertex bound)`.
+///
+/// # Examples
+///
+/// ```
+/// use gossip_graph::Graph;
+/// use gossip_core::gossip_lower_bound;
+///
+/// // Odd line with 7 processors: the paper's n + r - 1 = 9.
+/// let g = Graph::from_edges(7, &[(0,1),(1,2),(2,3),(3,4),(4,5),(5,6)]).unwrap();
+/// assert_eq!(gossip_lower_bound(&g), 7 + 3 - 1);
+///
+/// // A ring has no cut vertex: only the trivial bound applies.
+/// let ring = Graph::from_edges(5, &[(0,1),(1,2),(2,3),(3,4),(4,0)]).unwrap();
+/// assert_eq!(gossip_lower_bound(&ring), 4);
+/// ```
+pub fn gossip_lower_bound(g: &Graph) -> usize {
+    trivial_lower_bound(g.n()).max(cut_vertex_lower_bound(g))
+}
+
+/// Component labels of `g - c` (vertex `c` gets `u32::MAX`).
+fn components_without(g: &Graph, c: usize) -> Vec<u32> {
+    let n = g.n();
+    let mut comp = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut queue = Vec::new();
+    for s in 0..n {
+        if s == c || comp[s] != u32::MAX {
+            continue;
+        }
+        comp[s] = next;
+        queue.clear();
+        queue.push(s);
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            for &w in g.neighbors_raw(u) {
+                let w = w as usize;
+                if w != c && comp[w] == u32::MAX {
+                    comp[w] = next;
+                    queue.push(w);
+                }
+            }
+        }
+        next += 1;
+    }
+    comp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Graph {
+        Graph::from_edges(n, &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn odd_lines_match_paper() {
+        // n = 2m + 1, r = m: bound n + r - 1.
+        for m in 1..6 {
+            let n = 2 * m + 1;
+            assert_eq!(gossip_lower_bound(&path(n)), n + m - 1, "m = {m}");
+        }
+    }
+
+    #[test]
+    fn even_lines() {
+        // Center vertex at ⌊n/2⌋: sides of depth n/2 and n/2 - 1; the bound
+        // is n - 1 + (n/2 - 1) via the min over sides.
+        let g = path(6);
+        assert_eq!(gossip_lower_bound(&g), 5 + 2);
+    }
+
+    #[test]
+    fn star_bound() {
+        // Center is a cut vertex with all components depth 1: n - 1 + 1.
+        let g = Graph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]).unwrap();
+        assert_eq!(gossip_lower_bound(&g), 6);
+    }
+
+    #[test]
+    fn biconnected_graphs_get_trivial_bound() {
+        let ring =
+            Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]).unwrap();
+        assert_eq!(gossip_lower_bound(&ring), 5);
+        assert_eq!(cut_vertex_lower_bound(&ring), 0);
+    }
+
+    #[test]
+    fn lopsided_spider() {
+        // c with a depth-3 leg and a depth-1 leg: last message can be chosen
+        // from the deep leg, needing only depth-1 reach: n - 1 + 1.
+        // Vertices: 0 = c, leg A: 1-2-3, leg B: 4.
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (0, 4)]).unwrap();
+        // Cut vertices: 0, 1, 2. Vertex 1 splits {0, 4} (depths 1, 2 from 1)
+        // and {2, 3}: depth max {2,3} side = 2, other = 2 -> min = 2:
+        // bound = 4 + 2 = 6. Vertex 0: legs depth 3 and 1 -> min = 1: 4 + 1.
+        // Vertex 2: sides {3} depth 1 and {1,0,4} depth 2 -> min 1... wait
+        // depth from 2: {1:1, 0:2, 4:3} -> 3 and {3:1} -> min(3,1) = 1: 4+1.
+        assert_eq!(gossip_lower_bound(&g), 6);
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        assert_eq!(trivial_lower_bound(0), 0);
+        assert_eq!(trivial_lower_bound(1), 0);
+        assert_eq!(gossip_lower_bound(&Graph::from_edges(2, &[(0, 1)]).unwrap()), 1);
+    }
+}

@@ -1,0 +1,150 @@
+//! Offline broadcasting under the multicast model (the paper's §2).
+//!
+//! "At time zero, the processor that has the message broadcasts it to all
+//! its neighbors. Then, at each iteration, each processor that just received
+//! a message will plan to multicast it to all its neighbors that do not have
+//! the message. But, if there are two or more processors currently planning
+//! to send a processor the message, then only one of them will actually send
+//! it." Every processor at BFS distance `d` from the source receives the
+//! message at time exactly `d`, so the total communication time is the
+//! source's eccentricity.
+
+use gossip_graph::{bfs, Graph};
+use gossip_model::{Schedule, Transmission};
+
+/// Builds the optimal broadcast schedule for one message originating at
+/// `source` (message id 0 by convention — broadcast has a single message).
+///
+/// The conflict rule "only one of them will actually send it" is realized
+/// by BFS parenthood: each vertex receives from its BFS-tree parent, and a
+/// vertex at distance `d` multicasts at time `d` to its BFS children.
+///
+/// Returns the schedule and its makespan (= eccentricity of `source`).
+/// Unreachable vertices simply never receive (the caller should check
+/// connectivity; gossiping is undefined on disconnected graphs anyway).
+///
+/// # Examples
+///
+/// ```
+/// use gossip_graph::Graph;
+/// use gossip_core::broadcast_schedule;
+///
+/// let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+/// let (s, time) = broadcast_schedule(&g, 2);
+/// assert_eq!(time, 2); // eccentricity of the center
+/// assert_eq!(s.makespan(), 2);
+/// ```
+pub fn broadcast_schedule(g: &Graph, source: usize) -> (Schedule, usize) {
+    let n = g.n();
+    let mut schedule = Schedule::new(n);
+    if n <= 1 {
+        return (schedule, 0);
+    }
+    let bfs_result = bfs(g, source);
+
+    // Group BFS children under their parents; parent at distance d sends at
+    // time d (it received at d, or is the source at 0).
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for v in 0..n {
+        let p = bfs_result.parent[v];
+        if p != u32::MAX {
+            children[p as usize].push(v);
+        }
+    }
+    let mut makespan = 0;
+    for v in 0..n {
+        if children[v].is_empty() {
+            continue;
+        }
+        let t = bfs_result.dist[v] as usize;
+        makespan = makespan.max(t + 1);
+        schedule.add_transmission(t, Transmission::new(0, v, children[v].clone()));
+    }
+    schedule.trim();
+    (schedule, makespan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_model::{CommModel, CommRound, Simulator};
+
+    /// Runs the broadcast schedule and checks each vertex learns message 0
+    /// exactly at its BFS distance.
+    fn check(g: &Graph, source: usize) {
+        let (s, time) = broadcast_schedule(g, source);
+        let d = bfs(g, source);
+        assert_eq!(time as u32, d.eccentricity().unwrap());
+
+        // The broadcast uses a single real message (id 0): build a gossip
+        // simulator where message 0 starts at `source` (the other origins
+        // are irrelevant placeholders).
+        let mut origins: Vec<usize> = (0..g.n()).collect();
+        origins.swap(0, source);
+        let mut sim = Simulator::new(g, CommModel::Multicast, &origins).unwrap();
+        let empty = CommRound::new();
+        for t in 0..time {
+            let round = s.rounds.get(t).unwrap_or(&empty);
+            sim.step(round).unwrap();
+            for v in 0..g.n() {
+                let should_have = d.dist[v] as usize <= t + 1;
+                assert_eq!(
+                    sim.holds(v).contains(0),
+                    should_have,
+                    "vertex {v} at time {}",
+                    t + 1
+                );
+            }
+        }
+        assert!(sim.everyone_holds(0));
+    }
+
+    #[test]
+    fn path_from_center_and_end() {
+        let g = Graph::from_edges(7, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6)]).unwrap();
+        check(&g, 3);
+        check(&g, 0);
+    }
+
+    #[test]
+    fn cycle_and_clique() {
+        let ring = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]).unwrap();
+        check(&ring, 0);
+        let mut edges = Vec::new();
+        for u in 0..5 {
+            for v in (u + 1)..5 {
+                edges.push((u, v));
+            }
+        }
+        let clique = Graph::from_edges(5, &edges).unwrap();
+        let (s, time) = broadcast_schedule(&clique, 2);
+        assert_eq!(time, 1);
+        assert_eq!(s.rounds[0].transmissions.len(), 1);
+        assert_eq!(s.rounds[0].transmissions[0].to.len(), 4);
+        check(&clique, 2);
+    }
+
+    #[test]
+    fn singleton() {
+        let g = Graph::from_edges(1, &[]).unwrap();
+        let (s, time) = broadcast_schedule(&g, 0);
+        assert_eq!(time, 0);
+        assert_eq!(s.makespan(), 0);
+    }
+
+    #[test]
+    fn every_vertex_receives_exactly_once() {
+        let g = Graph::from_edges(6, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5)]).unwrap();
+        let (s, _) = broadcast_schedule(&g, 0);
+        let mut receive_count = vec![0usize; 6];
+        for (_, tx) in s.iter() {
+            for &d in &tx.to {
+                receive_count[d] += 1;
+            }
+        }
+        assert_eq!(receive_count[0], 0);
+        for v in 1..6 {
+            assert_eq!(receive_count[v], 1, "vertex {v}");
+        }
+    }
+}

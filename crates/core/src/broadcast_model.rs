@@ -1,0 +1,211 @@
+//! Gossiping under the *(local) broadcasting* model — the third
+//! communication regime of the paper's §1: "a processor may transmit a
+//! message to all the adjacent processors", i.e. the destination set is
+//! always the full neighbourhood.
+//!
+//! This is wireless radio without power control: every emission reaches all
+//! neighbours, wanted or not, so two processors may transmit in the same
+//! round only if their neighbourhoods are disjoint (otherwise some common
+//! neighbour would receive twice). Scheduling becomes an iterated
+//! maximum-weight independent-set problem in the *neighbourhood-conflict
+//! graph*; this module uses a greedy most-new-information heuristic, which
+//! completes on every connected graph and lets the experiments compare all
+//! three models on equal footing.
+
+use gossip_graph::Graph;
+use gossip_model::{BitSet, Schedule, Transmission};
+
+/// Upper bound factor on rounds before the greedy is declared stuck
+/// (cannot happen on connected graphs; assertion guards regressions).
+const ROUND_CAP_FACTOR: usize = 8;
+
+/// Builds a gossip schedule legal under [`gossip_model::CommModel::Broadcast`]:
+/// every transmission's destination set is the sender's entire
+/// neighbourhood. Message ids equal origin vertex ids.
+///
+/// Greedy: each round, repeatedly pick the sender/message pair delivering
+/// the most *new* information (ties: scarcer message, lower vertex id),
+/// then exclude every sender whose neighbourhood intersects an already
+/// chosen one.
+///
+/// # Panics
+///
+/// Panics if `g` is empty or disconnected.
+///
+/// # Examples
+///
+/// ```
+/// use gossip_graph::Graph;
+/// use gossip_core::broadcast_model_gossip;
+/// use gossip_model::{validate_gossip_schedule, identity_origins, CommModel};
+///
+/// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+/// let s = broadcast_model_gossip(&g);
+/// let o = validate_gossip_schedule(&g, &s, &identity_origins(4), CommModel::Broadcast).unwrap();
+/// assert!(o.complete);
+/// ```
+pub fn broadcast_model_gossip(g: &Graph) -> Schedule {
+    let n = g.n();
+    assert!(n > 0, "empty graph");
+    assert!(gossip_graph::is_connected(g), "disconnected graph");
+    let mut schedule = Schedule::new(n);
+    if n <= 1 {
+        return schedule;
+    }
+
+    let mut hold: Vec<BitSet> = (0..n)
+        .map(|p| {
+            let mut b = BitSet::new(n);
+            b.insert(p);
+            b
+        })
+        .collect();
+    let mut holders = vec![1usize; n];
+
+    let cap = ROUND_CAP_FACTOR * n * n + 8;
+    for t in 0..cap {
+        if hold.iter().all(BitSet::is_full) {
+            schedule.trim();
+            return schedule;
+        }
+        // Candidate (gain, scarcity, sender, msg), best first.
+        let mut blocked_recv = vec![false; n];
+        let mut used_sender = vec![false; n];
+        let mut any = false;
+        // Deliveries land at t + 1: stage them so no same-round sender can
+        // transmit information it only receives this round.
+        let mut staged: Vec<(usize, u32)> = Vec::new();
+        loop {
+            let mut best: Option<(usize, usize, usize, u32)> = None; // gain, holders, sender, msg
+            for v in 0..n {
+                if used_sender[v] || g.degree(v) == 0 {
+                    continue;
+                }
+                // A sender is feasible only if no neighbour is blocked.
+                if g.neighbors(v).any(|w| blocked_recv[w]) {
+                    continue;
+                }
+                for m in hold[v].iter() {
+                    let gain = g.neighbors(v).filter(|&w| !hold[w].contains(m)).count();
+                    if gain == 0 {
+                        continue;
+                    }
+                    let better = match best {
+                        None => true,
+                        Some((bg, bh, bv, bm)) => {
+                            (gain, std::cmp::Reverse(holders[m]), std::cmp::Reverse(v), std::cmp::Reverse(m as u32))
+                                > (bg, std::cmp::Reverse(bh), std::cmp::Reverse(bv), std::cmp::Reverse(bm))
+                        }
+                    };
+                    if better {
+                        best = Some((gain, holders[m], v, m as u32));
+                    }
+                }
+            }
+            let Some((_, _, v, m)) = best else { break };
+            let dests: Vec<usize> = g.neighbors(v).collect();
+            for &w in &dests {
+                blocked_recv[w] = true;
+                if !hold[w].contains(m as usize) {
+                    staged.push((w, m));
+                }
+            }
+            // Neighbours of any destination may no longer send (their
+            // emission would hit a blocked receiver) — handled by the
+            // feasibility check above; the sender itself is spent.
+            used_sender[v] = true;
+            schedule.add_transmission(t, Transmission::new(m, v, dests));
+            any = true;
+        }
+        assert!(any, "broadcast-model greedy stalled (bug)");
+        for (w, m) in staged {
+            if hold[w].insert(m as usize) {
+                holders[m as usize] += 1;
+            }
+        }
+    }
+    panic!("broadcast-model greedy exceeded the round cap (bug)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_model::{identity_origins, validate_gossip_schedule, CommModel};
+
+    fn check(g: &Graph) -> usize {
+        let s = broadcast_model_gossip(g);
+        let o = validate_gossip_schedule(g, &s, &identity_origins(g.n()), CommModel::Broadcast)
+            .unwrap();
+        assert!(o.complete);
+        s.makespan()
+    }
+
+    fn path(n: usize) -> Graph {
+        Graph::from_edges(n, &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>()).unwrap()
+    }
+
+    fn star(n: usize) -> Graph {
+        Graph::from_edges(n, &(1..n).map(|v| (0, v)).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn completes_on_basic_families() {
+        for g in [path(6), star(7), path(2)] {
+            let t = check(&g);
+            assert!(t >= g.n() - 1, "below the universal bound");
+        }
+    }
+
+    #[test]
+    fn star_rounds_pair_center_with_one_leaf() {
+        // N(center) = leaves and N(leaf) = {center} are disjoint, so a round
+        // can hold the center plus exactly one leaf — never two leaves
+        // (their neighbourhoods coincide at the center).
+        let g = star(6);
+        let s = broadcast_model_gossip(&g);
+        for round in &s.rounds {
+            assert!(round.transmissions.len() <= 2);
+            let leaf_senders = round.transmissions.iter().filter(|t| t.from != 0).count();
+            assert!(leaf_senders <= 1, "two leaves cannot share the center");
+        }
+    }
+
+    #[test]
+    fn path_allows_parallel_far_senders() {
+        let g = path(12);
+        let s = broadcast_model_gossip(&g);
+        let parallel = s.rounds.iter().any(|r| r.transmissions.len() >= 2);
+        assert!(parallel, "far-apart path vertices should broadcast concurrently");
+    }
+
+    #[test]
+    fn respects_universal_bound_and_beats_nothing_fundamental() {
+        // On stars the broadcast model is as expressive as multicast (the
+        // center's multicast IS its broadcast), so it may beat the generic
+        // n + r; it can never beat the universal n - 1.
+        for g in [path(8), star(8)] {
+            let bm = check(&g);
+            assert!(bm >= g.n() - 1);
+        }
+        // On paths the forced two-sided emissions cost it dearly vs the
+        // unrestricted multicast pipeline.
+        use crate::pipeline::GossipPlanner;
+        let g = path(10);
+        let bm = check(&g);
+        let mc = GossipPlanner::new(&g).unwrap().plan().unwrap().makespan();
+        assert!(bm >= mc, "broadcast {bm} beat multicast {mc} on a path");
+    }
+
+    #[test]
+    fn ring_works() {
+        let edges: Vec<_> = (0..8).map(|i| (i, (i + 1) % 8)).collect();
+        let g = Graph::from_edges(8, &edges).unwrap();
+        check(&g);
+    }
+
+    #[test]
+    fn singleton() {
+        let g = Graph::from_edges(1, &[]).unwrap();
+        assert_eq!(broadcast_model_gossip(&g).makespan(), 0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Message classification (the paper's §3.2 vocabulary).
+//!
+//! Relative to a vertex `v` with subtree range `[i, j]`, every message is
+//! either an *o-message* (originating outside the subtree) or a *b-message*
+//! (inside); b-messages split into the *s-message* (`i` itself), the
+//! *l-message* (`i + 1`, the lookahead), and *r-messages* (the rest).
+//! Relative to `v`'s parent, `i` may additionally be the *lip-message*
+//! (lookahead-in-parent, when `i = i' + 1`) and the tail of the b-messages
+//! are *rip-messages* (remaining-in-parent).
+
+use crate::labeling::VertexParams;
+
+/// The class of a message with respect to one vertex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageClass {
+    /// Originates outside the vertex's subtree (`m < i` or `m > j`).
+    Other,
+    /// The vertex's own message (`m == i`).
+    Start,
+    /// The lookahead message (`m == i + 1 <= j`).
+    Lookahead,
+    /// A remaining b-message (`i + 2 <= m <= j`).
+    Remaining,
+}
+
+/// Classifies message `m` relative to the vertex described by `p`.
+pub fn classify(p: &VertexParams, m: u32) -> MessageClass {
+    if m < p.i || m > p.j {
+        MessageClass::Other
+    } else if m == p.i {
+        MessageClass::Start
+    } else if m == p.i + 1 {
+        MessageClass::Lookahead
+    } else {
+        MessageClass::Remaining
+    }
+}
+
+/// Whether message `m` is the vertex's *lip-message* (sent to the parent at
+/// time 0 by Propagate-Up step U3).
+pub fn is_lip(p: &VertexParams, m: u32) -> bool {
+    !p.is_root() && m == p.i && p.has_lip()
+}
+
+/// Whether message `m` is one of the vertex's *rip-messages* (sent to the
+/// parent at time `m - k` by Propagate-Up step U4).
+pub fn is_rip(p: &VertexParams, m: u32) -> bool {
+    !p.is_root() && m >= p.rip_start() && m <= p.j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(i: u32, j: u32, k: u32, parent_i: u32, parent_j: u32) -> VertexParams {
+        VertexParams { i, j, k, parent_i, parent_j }
+    }
+
+    #[test]
+    fn classes_partition_messages() {
+        // Vertex 4 of Fig 5: range [4, 10], parent root [0, 15].
+        let p = params(4, 10, 1, 0, 15);
+        let n = 16;
+        let mut counts = [0usize; 4];
+        for m in 0..n {
+            match classify(&p, m) {
+                MessageClass::Other => counts[0] += 1,
+                MessageClass::Start => counts[1] += 1,
+                MessageClass::Lookahead => counts[2] += 1,
+                MessageClass::Remaining => counts[3] += 1,
+            }
+        }
+        assert_eq!(counts, [9, 1, 1, 5]);
+    }
+
+    #[test]
+    fn leaf_has_no_lookahead() {
+        let p = params(3, 3, 3, 2, 3);
+        assert_eq!(classify(&p, 3), MessageClass::Start);
+        assert_eq!(classify(&p, 4), MessageClass::Other);
+        assert_eq!(classify(&p, 2), MessageClass::Other);
+    }
+
+    #[test]
+    fn lip_and_rip_for_first_child() {
+        // Vertex 1 of Fig 5: [1, 3] under the root [0, 15]; 1 == 0 + 1.
+        let p = params(1, 3, 1, 0, 15);
+        assert!(is_lip(&p, 1));
+        assert!(!is_rip(&p, 1));
+        assert!(is_rip(&p, 2));
+        assert!(is_rip(&p, 3));
+        assert!(!is_rip(&p, 4));
+    }
+
+    #[test]
+    fn lip_and_rip_for_non_first_child() {
+        // Vertex 8 of Fig 5: [8, 10] under vertex 4 [4, 10]; 8 != 5.
+        let p = params(8, 10, 2, 4, 10);
+        assert!(!is_lip(&p, 8));
+        assert!(is_rip(&p, 8));
+        assert!(is_rip(&p, 10));
+    }
+
+    #[test]
+    fn every_b_message_is_lip_or_rip_exactly_once() {
+        // Paper invariant behind Lemma 2's induction: each b-message of the
+        // parent is a lip or rip message in exactly one child.
+        for p in [
+            params(1, 3, 1, 0, 15),
+            params(4, 10, 1, 0, 15),
+            params(8, 10, 2, 4, 10),
+            params(5, 7, 2, 4, 10),
+        ] {
+            for m in p.i..=p.j {
+                let l = is_lip(&p, m);
+                let r = is_rip(&p, m);
+                if m == p.i && p.has_lip() {
+                    assert!(l && !r, "m = {m}");
+                } else if m >= p.rip_start() {
+                    assert!(!l && r, "m = {m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn root_has_neither_lip_nor_rip() {
+        let p = params(0, 15, 0, u32::MAX, u32::MAX);
+        assert!(!is_lip(&p, 0));
+        assert!(!is_rip(&p, 5));
+    }
+}

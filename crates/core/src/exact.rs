@@ -1,0 +1,447 @@
+//! Exact optimal gossip times for tiny networks, by IDA* over hold-set
+//! states.
+//!
+//! The paper frames its `n + r` schedule against the optimum (`>= n - 1`
+//! always, `>= n + r - 1` on odd lines); this module computes the optimum
+//! outright on small instances, giving the experiments a ground truth to
+//! measure the algorithm's gap against.
+//!
+//! A state is the vector of hold sets. One search step applies a complete
+//! communication round: every processor may receive one message from an
+//! adjacent sender, senders multicast a single message each (or serve a
+//! single receiver under the telephone model). Receiving more never hurts
+//! (hold sets are monotone and extra knowledge can be ignored), so the
+//! admissible heuristics below plus a transposition table keep the
+//! exponential blowup usable through `n ≈ 6`.
+
+use gossip_graph::{all_pairs_distances, Graph};
+use gossip_model::CommModel;
+use std::collections::HashMap;
+
+/// Outcome of an exact search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExactResult {
+    /// The optimal gossip time.
+    Optimal(usize),
+    /// No schedule completes within the round limit given.
+    ExceedsLimit,
+    /// The node budget ran out before the bound was proven (instance too
+    /// large for exact search).
+    BudgetExhausted,
+}
+
+/// Hard cap on processor count: states pack into a `u64` (n² bits).
+const MAX_N: usize = 8;
+
+struct Searcher {
+    n: usize,
+    /// Sorted adjacency (vertex ids) per processor.
+    adj: Vec<Vec<usize>>,
+    dist: Vec<Vec<u32>>,
+    telephone: bool,
+    full: u8,
+    budget: u64,
+    exhausted: bool,
+    /// `memo[state]` = largest remaining-round budget already proven
+    /// insufficient from `state`.
+    memo: HashMap<u64, u32>,
+    /// Rounds of the successful schedule, pushed on the unwind of a
+    /// successful DFS (deepest round first).
+    witness: Vec<Vec<(usize, u8, Vec<usize>)>>,
+}
+
+#[inline]
+fn pack(hold: &[u8], n: usize) -> u64 {
+    let mut key = 0u64;
+    for (p, &h) in hold.iter().enumerate() {
+        key |= (h as u64) << (p * n);
+    }
+    key
+}
+
+impl Searcher {
+    fn heuristic(&self, hold: &[u8]) -> usize {
+        let mut h_max = 0usize;
+        let mut total_missing = 0usize;
+        for (p, &hp) in hold.iter().enumerate() {
+            let missing = (self.full & !hp).count_ones() as usize;
+            total_missing += missing;
+            h_max = h_max.max(missing);
+            // Distance bound: a missing message must travel from its
+            // nearest current holder.
+            let mut miss = self.full & !hp;
+            while miss != 0 {
+                let m = miss.trailing_zeros() as usize;
+                miss &= miss - 1;
+                let mut nearest = u32::MAX;
+                for (q, &hq) in hold.iter().enumerate() {
+                    if hq >> m & 1 == 1 {
+                        nearest = nearest.min(self.dist[q][p]);
+                    }
+                }
+                h_max = h_max.max(nearest as usize);
+            }
+        }
+        h_max.max(total_missing.div_ceil(self.n))
+    }
+
+    /// Depth-limited search: can gossip finish in `remaining` more rounds?
+    fn dfs(&mut self, hold: &[u8], remaining: usize) -> bool {
+        if hold.iter().all(|&h| h == self.full) {
+            return true;
+        }
+        if remaining == 0 {
+            return false;
+        }
+        let h = self.heuristic(hold);
+        if h > remaining {
+            return false;
+        }
+        let key = pack(hold, self.n);
+        if let Some(&failed) = self.memo.get(&key) {
+            if remaining as u32 <= failed {
+                return false;
+            }
+        }
+        if self.budget == 0 {
+            self.exhausted = true;
+            return false;
+        }
+        self.budget -= 1;
+
+        // Receivers that still need something, most-starved first (their
+        // skip branches are pruned hardest).
+        let mut receivers: Vec<usize> =
+            (0..self.n).filter(|&p| hold[p] != self.full).collect();
+        receivers.sort_by_key(|&p| std::cmp::Reverse((self.full & !hold[p]).count_ones()));
+
+        let mut sending: Vec<Option<u8>> = vec![None; self.n]; // committed message per sender
+        let mut telephone_used = vec![false; self.n];
+        let mut gains: Vec<u8> = hold.to_vec();
+        let found = self.assign(
+            hold,
+            &receivers,
+            0,
+            &mut sending,
+            &mut telephone_used,
+            &mut gains,
+            remaining,
+            false,
+        );
+        if !found && !self.exhausted {
+            let e = self.memo.entry(key).or_insert(0);
+            *e = (*e).max(remaining as u32);
+        }
+        found
+    }
+
+    /// Enumerates round assignments receiver-by-receiver, recursing into the
+    /// next round at the leaves.
+    #[allow(clippy::too_many_arguments)]
+    fn assign(
+        &mut self,
+        hold: &[u8],
+        receivers: &[usize],
+        idx: usize,
+        sending: &mut Vec<Option<u8>>,
+        telephone_used: &mut Vec<bool>,
+        gains: &mut Vec<u8>,
+        remaining: usize,
+        any_delivery: bool,
+    ) -> bool {
+        if self.exhausted {
+            return false;
+        }
+        if idx == receivers.len() {
+            if !any_delivery {
+                return false; // an empty round can never help
+            }
+            let next: Vec<u8> = gains.clone();
+            if self.dfs(&next, remaining - 1) {
+                // Record this round: (sender, msg, dests) triples.
+                let mut round: Vec<(usize, u8, Vec<usize>)> = Vec::new();
+                for r in receivers {
+                    let gained = gains[*r] & !hold[*r];
+                    if gained == 0 {
+                        continue;
+                    }
+                    let m = gained.trailing_zeros() as u8;
+                    // Find the sender committed to m that is adjacent to r.
+                    let s = self.adj[*r]
+                        .iter()
+                        .copied()
+                        .find(|&s| sending[s] == Some(m))
+                        .expect("sender exists");
+                    match round.iter_mut().find(|(rs, rm, _)| *rs == s && *rm == m) {
+                        Some((_, _, dests)) => dests.push(*r),
+                        None => round.push((s, m, vec![*r])),
+                    }
+                }
+                self.witness.push(round);
+                return true;
+            }
+            return false;
+        }
+        let r = receivers[idx];
+        let missing_r = (self.full & !hold[r]).count_ones() as usize;
+
+        // Try every (sender, message) option for r.
+        let adj_r = self.adj[r].clone();
+        for &s in &adj_r {
+            if self.telephone && telephone_used[s] {
+                continue;
+            }
+            let candidates: u8 = match sending[s] {
+                Some(m) => {
+                    if self.telephone {
+                        0
+                    } else {
+                        // Sender already multicasting m; r can join only
+                        // for that same message.
+                        let bit = 1u8 << m;
+                        bit & hold[s] & !hold[r]
+                    }
+                }
+                None => hold[s] & !hold[r],
+            };
+            let mut cand = candidates;
+            while cand != 0 {
+                let m = cand.trailing_zeros() as u8;
+                cand &= cand - 1;
+                let prev = sending[s];
+                sending[s] = Some(m);
+                telephone_used[s] = true;
+                let prev_gain = gains[r];
+                gains[r] |= 1 << m;
+                if self.assign(
+                    hold,
+                    receivers,
+                    idx + 1,
+                    sending,
+                    telephone_used,
+                    gains,
+                    remaining,
+                    true,
+                ) {
+                    return true;
+                }
+                gains[r] = prev_gain;
+                sending[s] = prev;
+                telephone_used[s] = prev.is_some();
+            }
+        }
+
+        // Skip branch: legal only if r can still finish in the rounds after
+        // this one.
+        if missing_r <= remaining - 1
+            && self.assign(
+                hold,
+                receivers,
+                idx + 1,
+                sending,
+                telephone_used,
+                gains,
+                remaining,
+                any_delivery,
+            )
+        {
+            return true;
+        }
+        false
+    }
+}
+
+/// Computes the exact optimal gossip time of `g` under `model`, searching
+/// schedules up to `limit` rounds with a node budget of `budget` search
+/// states (try `10_000_000` for n ≤ 6).
+///
+/// # Panics
+///
+/// Panics if `g.n() > 8` (states no longer pack into a `u64`) or if `g` is
+/// disconnected/empty.
+///
+/// # Examples
+///
+/// ```
+/// use gossip_graph::Graph;
+/// use gossip_model::CommModel;
+/// use gossip_core::{optimal_gossip_time, ExactResult};
+///
+/// // The paper's 3-processor line: optimal is 3 (= n + r - 1), not n - 1.
+/// let p3 = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+/// assert_eq!(
+///     optimal_gossip_time(&p3, CommModel::Multicast, 6, 1_000_000),
+///     ExactResult::Optimal(3)
+/// );
+/// ```
+pub fn optimal_gossip_time(
+    g: &Graph,
+    model: CommModel,
+    limit: usize,
+    budget: u64,
+) -> ExactResult {
+    optimal_gossip_schedule(g, model, limit, budget).0
+}
+
+/// Like [`optimal_gossip_time`], but also returns a *witness schedule* of
+/// optimal length (when the search succeeds), suitable for simulation and
+/// inspection. The witness uses identity origins (message `p` starts at
+/// processor `p`).
+///
+/// # Panics
+///
+/// Same conditions as [`optimal_gossip_time`].
+pub fn optimal_gossip_schedule(
+    g: &Graph,
+    model: CommModel,
+    limit: usize,
+    budget: u64,
+) -> (ExactResult, Option<gossip_model::Schedule>) {
+    let n = g.n();
+    assert!(n >= 1, "empty graph");
+    assert!(n <= MAX_N, "exact search packs states into u64: n <= {MAX_N}");
+    if n == 1 {
+        return (ExactResult::Optimal(0), Some(gossip_model::Schedule::new(1)));
+    }
+    let dist = all_pairs_distances(g).expect("nonempty");
+    assert!(
+        dist.iter().all(|row| row.iter().all(|&d| d != u32::MAX)),
+        "disconnected graph"
+    );
+    let telephone = matches!(model, CommModel::Telephone);
+
+    let mut searcher = Searcher {
+        n,
+        adj: (0..n).map(|v| g.neighbors(v).collect()).collect(),
+        dist,
+        telephone,
+        full: if n == 8 { 0xFF } else { (1u8 << n) - 1 },
+        budget,
+        exhausted: false,
+        memo: HashMap::new(),
+        witness: Vec::new(),
+    };
+
+    let init: Vec<u8> = (0..n).map(|p| 1u8 << p).collect();
+    let start = searcher.heuristic(&init).max(n - 1);
+    for bound in start..=limit {
+        searcher.exhausted = false;
+        if searcher.dfs(&init, bound) {
+            // Witness rounds were pushed deepest-first on the unwind.
+            let mut schedule = gossip_model::Schedule::new(n);
+            searcher.witness.reverse();
+            for (t, round) in searcher.witness.iter().enumerate() {
+                for (sender, msg, dests) in round {
+                    schedule.add_transmission(
+                        t,
+                        gossip_model::Transmission::new(*msg as u32, *sender, dests.clone()),
+                    );
+                }
+            }
+            schedule.trim();
+            return (ExactResult::Optimal(bound), Some(schedule));
+        }
+        if searcher.exhausted {
+            return (ExactResult::BudgetExhausted, None);
+        }
+    }
+    (ExactResult::ExceedsLimit, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BUDGET: u64 = 5_000_000;
+
+    fn path(n: usize) -> Graph {
+        Graph::from_edges(n, &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>()).unwrap()
+    }
+
+    fn cycle(n: usize) -> Graph {
+        Graph::from_edges(n, &(0..n).map(|i| (i, (i + 1) % n)).collect::<Vec<_>>()).unwrap()
+    }
+
+    fn complete(n: usize) -> Graph {
+        let mut e = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                e.push((u, v));
+            }
+        }
+        Graph::from_edges(n, &e).unwrap()
+    }
+
+    fn star(n: usize) -> Graph {
+        Graph::from_edges(n, &(1..n).map(|v| (0, v)).collect::<Vec<_>>()).unwrap()
+    }
+
+    fn solve(g: &Graph) -> usize {
+        match optimal_gossip_time(g, CommModel::Multicast, 2 * g.n() + 4, BUDGET) {
+            ExactResult::Optimal(t) => t,
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_line_argument_p3() {
+        // §1: a 3-line cannot finish in 2 rounds; optimal is n + r - 1 = 3.
+        assert_eq!(solve(&path(3)), 3);
+    }
+
+    #[test]
+    fn odd_line_p5() {
+        // n = 5, r = 2: the paper's bound n + r - 1 = 6 is tight.
+        assert_eq!(solve(&path(5)), 6);
+    }
+
+    #[test]
+    fn rings_hit_n_minus_1() {
+        assert_eq!(solve(&cycle(4)), 3);
+        assert_eq!(solve(&cycle(5)), 4);
+    }
+
+    #[test]
+    fn cliques_hit_n_minus_1() {
+        assert_eq!(solve(&complete(4)), 3);
+    }
+
+    #[test]
+    fn stars_hit_n_plus_r_minus_1() {
+        assert_eq!(solve(&star(4)), 4);
+        assert_eq!(solve(&star(5)), 5);
+    }
+
+    #[test]
+    fn pair_and_singleton() {
+        assert_eq!(solve(&path(2)), 1);
+        let g1 = Graph::from_edges(1, &[]).unwrap();
+        assert_eq!(
+            optimal_gossip_time(&g1, CommModel::Multicast, 4, 1000),
+            ExactResult::Optimal(0)
+        );
+    }
+
+    #[test]
+    fn telephone_never_faster_than_multicast() {
+        for g in [path(4), star(4), cycle(4)] {
+            let mc = match optimal_gossip_time(&g, CommModel::Multicast, 12, BUDGET) {
+                ExactResult::Optimal(t) => t,
+                o => panic!("{o:?}"),
+            };
+            let tp = match optimal_gossip_time(&g, CommModel::Telephone, 12, BUDGET) {
+                ExactResult::Optimal(t) => t,
+                o => panic!("{o:?}"),
+            };
+            assert!(tp >= mc, "telephone {tp} < multicast {mc}");
+        }
+    }
+
+    #[test]
+    fn limit_respected() {
+        assert_eq!(
+            optimal_gossip_time(&path(3), CommModel::Multicast, 2, 1000),
+            ExactResult::ExceedsLimit
+        );
+    }
+}

@@ -1,0 +1,221 @@
+//! Greedy eager down-flooding: the engine behind the **UpDown** baseline
+//! (reconstruction of Gonzalez's PDCS 2000 algorithm, cited as \[15\]) and the
+//! **telephone-model** tree-gossip baseline.
+//!
+//! Both algorithms share the same shape: the up phase is algorithm Simple's
+//! (message `m` relayed so the vertex at level `l` sends it at `m - l`;
+//! the root holds everything by `n - 1`), and the down phase starts
+//! *immediately* — each vertex forwards the messages it has acquired to
+//! each child as soon as that child has a free receive slot. Without the
+//! lookahead machinery of ConcurrentUpDown, messages "get stuck" waiting for
+//! children that are still busy feeding the up phase, which is exactly the
+//! behaviour the paper describes for UpDown and why its schedules are longer
+//! than `n + r`.
+//!
+//! The multicast variant serves every currently-free child that still needs
+//! the chosen message in one round; the telephone variant serves exactly one
+//! child per round.
+
+use crate::labeling::LabelView;
+use gossip_graph::RootedTree;
+use gossip_model::{Schedule, Transmission};
+use std::collections::BTreeSet;
+
+/// Safety margin multiplier for the round loop; no greedy run should ever
+/// approach it (panic = algorithm bug, not input problem).
+const ROUND_LIMIT_FACTOR: usize = 8;
+
+/// Builds an "eager down-flood" schedule: Simple's up phase overlaid with a
+/// greedy as-soon-as-possible down phase.
+///
+/// `multicast = true` gives the UpDown reconstruction; `false` restricts
+/// every down transmission to a single destination (telephone-legal — and
+/// the up phase is unicast by construction).
+pub(crate) fn eager_flood_gossip(tree: &RootedTree, multicast: bool) -> Schedule {
+    let lv = LabelView::new(tree);
+    let n = lv.n();
+    let mut schedule = Schedule::new(n);
+    if n <= 1 {
+        return schedule;
+    }
+    let r = lv.height() as usize;
+
+    // --- Fixed up phase (identical to algorithm Simple's phase 1). ---
+    for label in lv.labels() {
+        let p = lv.params(label);
+        if p.is_root() {
+            continue;
+        }
+        let vertex = lv.vertex(label);
+        let parent = lv.vertex(p.parent_i);
+        for m in p.i..=p.j {
+            let t = (m - p.k) as usize;
+            schedule.add_transmission(t, Transmission::unicast(m, vertex, parent));
+        }
+    }
+
+    // Busy calendars from the up phase. send_busy[v][t] / recv_busy[v][t]
+    // grow on demand as the down phase commits transmissions.
+    let horizon_guess = 2 * n + r + 4;
+    let mut send_busy = vec![vec![false; horizon_guess]; n];
+    let mut recv_busy = vec![vec![false; horizon_guess]; n];
+    for label in lv.labels() {
+        let p = lv.params(label);
+        if !p.is_root() {
+            for m in p.i..=p.j {
+                send_busy[label as usize][(m - p.k) as usize] = true;
+            }
+        }
+        if !p.is_leaf() {
+            // Receives of the up phase: message m in (i, j] arrives at m - k.
+            for m in (p.i + 1)..=p.j {
+                recv_busy[label as usize][(m - p.k) as usize] = true;
+            }
+        }
+    }
+
+    // acquired[v] = (time, msg) log; undelivered[v][c_idx] = messages not
+    // yet pushed to child c, ordered by acquisition time (oldest first).
+    let mut undelivered: Vec<Vec<BTreeSet<(usize, u32)>>> = (0..n as u32)
+        .map(|label| vec![BTreeSet::new(); lv.children(label).len()])
+        .collect();
+
+    // Seed: every vertex acquires its own message at 0 and its up-phase
+    // receives at their fixed times; each acquisition is owed to every child
+    // whose subtree does not contain it. Returns how many debts were added.
+    fn owe(
+        lv: &LabelView,
+        und: &mut [Vec<BTreeSet<(usize, u32)>>],
+        label: u32,
+        t: usize,
+        m: u32,
+    ) -> usize {
+        let mut added = 0;
+        for (ci, &c) in lv.children(label).iter().enumerate() {
+            let cp = lv.params(c);
+            if m < cp.i || m > cp.j {
+                let fresh = und[label as usize][ci].insert((t, m));
+                debug_assert!(fresh, "double acquisition of {m} at vertex {label}");
+                added += 1;
+            }
+        }
+        added
+    }
+    for label in lv.labels() {
+        let p = lv.params(label);
+        owe(&lv, &mut undelivered, label, 0, p.i);
+        for m in (p.i + 1)..=p.j {
+            owe(&lv, &mut undelivered, label, (m - p.k) as usize, m);
+        }
+    }
+
+    let ensure = |cal: &mut Vec<bool>, t: usize| {
+        if cal.len() <= t {
+            cal.resize(t + 1, false);
+        }
+    };
+
+    // --- Greedy down phase. ---
+    let limit = ROUND_LIMIT_FACTOR * (n * n + n + r + 8);
+    let mut remaining: usize = undelivered
+        .iter()
+        .flat_map(|per_child| per_child.iter().map(BTreeSet::len))
+        .sum();
+    let mut t = 0usize;
+    while remaining > 0 {
+        assert!(t < limit, "down flood failed to converge (bug)");
+        for label in lv.labels() {
+            let v = label as usize;
+            ensure(&mut send_busy[v], t);
+            if send_busy[v][t] {
+                continue;
+            }
+            let kids = lv.children(label);
+            // Free children with something deliverable now, keyed by their
+            // oldest owed acquisition.
+            let mut best: Option<(usize, u32)> = None;
+            for (ci, &c) in kids.iter().enumerate() {
+                ensure(&mut recv_busy[c as usize], t + 1);
+                if recv_busy[c as usize][t + 1] {
+                    continue;
+                }
+                if let Some(&(ta, m)) = undelivered[v][ci].first() {
+                    if ta <= t && best.map_or(true, |b| (ta, m) < b) {
+                        best = Some((ta, m));
+                    }
+                }
+            }
+            let Some((ta, msg)) = best else { continue };
+            // Serve every free child owed this message (or just one under
+            // the telephone restriction).
+            let mut dests = Vec::new();
+            for (ci, &c) in kids.iter().enumerate() {
+                if recv_busy[c as usize][t + 1] || !undelivered[v][ci].remove(&(ta, msg)) {
+                    continue;
+                }
+                remaining -= 1;
+                recv_busy[c as usize][t + 1] = true;
+                dests.push(c);
+                // The child now owes this message to its own children.
+                remaining += owe(&lv, &mut undelivered, c, t + 1, msg);
+                if !multicast {
+                    break;
+                }
+            }
+            debug_assert!(!dests.is_empty());
+            send_busy[v][t] = true;
+            let dest_vertices: Vec<usize> = dests.iter().map(|&c| lv.vertex(c)).collect();
+            schedule.add_transmission(t, Transmission::new(msg, lv.vertex(label), dest_vertices));
+        }
+        t += 1;
+    }
+
+    schedule.trim();
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concurrent::tree_origins;
+    use gossip_graph::{RootedTree, NO_PARENT};
+    use gossip_model::{validate_gossip_schedule, CommModel};
+
+    fn star(n: usize) -> RootedTree {
+        let mut p = vec![0u32; n];
+        p[0] = NO_PARENT;
+        RootedTree::from_parents(0, &p).unwrap()
+    }
+
+    #[test]
+    fn multicast_flood_completes_and_validates() {
+        let t = star(8);
+        let s = eager_flood_gossip(&t, true);
+        let g = t.to_graph();
+        let o = validate_gossip_schedule(&g, &s, &tree_origins(&t), CommModel::Multicast)
+            .unwrap();
+        assert!(o.complete);
+    }
+
+    #[test]
+    fn unicast_flood_is_telephone_legal() {
+        let t = star(6);
+        let s = eager_flood_gossip(&t, false);
+        let g = t.to_graph();
+        let o = validate_gossip_schedule(&g, &s, &tree_origins(&t), CommModel::Telephone)
+            .unwrap();
+        assert!(o.complete);
+    }
+
+    #[test]
+    fn multicast_never_slower_than_unicast() {
+        for tree in [
+            star(9),
+            RootedTree::from_parents(2, &[1, 2, NO_PARENT, 2, 3]).unwrap(),
+        ] {
+            let mc = eager_flood_gossip(&tree, true).makespan();
+            let tp = eager_flood_gossip(&tree, false).makespan();
+            assert!(mc <= tp, "multicast {mc} > telephone {tp}");
+        }
+    }
+}

@@ -1,0 +1,403 @@
+//! Optimal gossiping on straight-line networks: the paper's §4 remark,
+//! made constructive.
+//!
+//! "One may improve the performance of our algorithm by one unit, but the
+//! protocol for each processor will not be uniform and the algorithm will
+//! be much more complex. The reason is that one needs to alternate the
+//! delivery of messages from different subtrees."
+//!
+//! The paper claims the `n + r - 1` schedule exists but gives no
+//! construction, and the structure really is irregular: simple per-round
+//! greedy rules (earliest-deadline-first under several tie-breaking
+//! policies) already miss the optimum at `n = 5`. This module therefore
+//! *searches* for the schedule exactly, in a state space tailored to lines:
+//! the state is the pair of **propagation fronts** per message (how far
+//! left and right it has spread — on a path, every hold set is a contiguous
+//! interval). Moving more fronts never hurts (fronts are monotone), so only
+//! maximal move-sets are enumerated; a slack cut kills any branch where a
+//! front can no longer meet its deadline; a transposition table caches
+//! refuted states. The search resolves every `n <= MAX_LINE_N` quickly, and
+//! the resulting schedules are machine-verified optimal
+//! (`n + ⌊n/2⌋ - 1`, matching the §1 lower bound on odd lines).
+
+use gossip_model::{Schedule, Transmission};
+use std::collections::HashMap;
+
+/// Largest line the exact scheduler accepts. The search cost grows
+/// steeply (sub-second through `n = 6`, tens of seconds at `n = 7`), and
+/// `n = 5` (= the paper's `P_5`) already exhibits the full phenomenon, so
+/// the public API stops where interactive use stays snappy.
+pub const MAX_LINE_N: usize = 6;
+
+/// Builds a gossip schedule for the path `0 — 1 — … — n-1` of exactly
+/// `n + ⌊n/2⌋ - 1` rounds (`= n + r - 1` on odd lines; one round better
+/// than the topology-oblivious `n + r` algorithm), with message ids equal
+/// to vertex ids. For `n = 2` the schedule is the single-round swap.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `n > MAX_LINE_N`.
+///
+/// # Examples
+///
+/// ```
+/// use gossip_core::line_gossip_schedule;
+/// use gossip_model::{simulate_gossip, identity_origins};
+/// use gossip_graph::Graph;
+///
+/// let n = 5;
+/// let s = line_gossip_schedule(n);
+/// assert_eq!(s.makespan(), n + n / 2 - 1); // beats the generic n + r by one
+/// let g = Graph::from_edges(n, &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>()).unwrap();
+/// assert!(simulate_gossip(&g, &s, &identity_origins(n)).unwrap().complete);
+/// ```
+pub fn line_gossip_schedule(n: usize) -> Schedule {
+    assert!(n >= 2, "a line needs at least two processors");
+    assert!(
+        n <= MAX_LINE_N,
+        "the exact line scheduler supports n <= {MAX_LINE_N}, got {n}"
+    );
+    if n == 2 {
+        let mut s = Schedule::new(2);
+        s.add_transmission(0, Transmission::unicast(0, 0, 1));
+        s.add_transmission(0, Transmission::unicast(1, 1, 0));
+        return s;
+    }
+    let target = n + n / 2 - 1;
+    let mut search = LineSearch::new(n, target);
+    let found = search.dfs(&LineState::initial(n), 0);
+    assert!(found, "n + r - 1 line schedule must exist (paper §4); n = {n}");
+    let mut schedule = Schedule::new(n);
+    search.witness.reverse();
+    for (t, round) in search.witness.iter().enumerate() {
+        for &(from, msg, ref dests) in round {
+            schedule.add_transmission(t, Transmission::new(msg, from, dests.clone()));
+        }
+    }
+    schedule.trim();
+    schedule
+}
+
+/// Knowledge intervals: message `o` is held by exactly the processors in
+/// `[left[o], right[o]]` (always an interval on a path).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct LineState {
+    left: Vec<u8>,
+    right: Vec<u8>,
+}
+
+impl LineState {
+    fn initial(n: usize) -> Self {
+        LineState {
+            left: (0..n as u8).collect(),
+            right: (0..n as u8).collect(),
+        }
+    }
+
+    fn done(&self, n: usize) -> bool {
+        self.left.iter().all(|&l| l == 0) && self.right.iter().all(|&r| r as usize == n - 1)
+    }
+
+    fn key(&self) -> u128 {
+        let mut k = 0u128;
+        for (i, (&l, &r)) in self.left.iter().zip(&self.right).enumerate() {
+            k |= (l as u128) << (8 * i);
+            k |= (r as u128) << (8 * i + 4);
+        }
+        k
+    }
+
+    /// Largest remaining travel distance over all fronts.
+    fn worst_remaining(&self, n: usize) -> usize {
+        let l = self.left.iter().map(|&l| l as usize).max().unwrap_or(0);
+        let r = self
+            .right
+            .iter()
+            .map(|&r| n - 1 - r as usize)
+            .max()
+            .unwrap_or(0);
+        l.max(r)
+    }
+}
+
+type Round = Vec<(usize, u32, Vec<usize>)>;
+
+struct LineSearch {
+    n: usize,
+    target: usize,
+    /// `memo[state]` = largest remaining-round budget proven insufficient.
+    memo: HashMap<u128, u32>,
+    /// Rounds of the successful schedule, deepest first (unwind order).
+    witness: Vec<Round>,
+}
+
+impl LineSearch {
+    fn new(n: usize, target: usize) -> Self {
+        LineSearch { n, target, memo: HashMap::new(), witness: Vec::new() }
+    }
+
+    fn dfs(&mut self, state: &LineState, t: usize) -> bool {
+        let n = self.n;
+        if state.done(n) {
+            return true;
+        }
+        if t >= self.target {
+            return false;
+        }
+        let remaining = self.target - t;
+        if state.worst_remaining(n) > remaining {
+            return false;
+        }
+        // Receive-demand cut: vertex v still needs one receive per message
+        // it lacks; it can take at most one per round.
+        for v in 0..n {
+            let missing = state
+                .left
+                .iter()
+                .zip(&state.right)
+                .filter(|&(&l, &r)| v < l as usize || v > r as usize)
+                .count();
+            if missing > remaining {
+                return false;
+            }
+        }
+        let key = state.key();
+        if let Some(&failed) = self.memo.get(&key) {
+            if remaining as u32 <= failed {
+                return false;
+            }
+        }
+
+        // Receivers with at least one front one hop away, most urgent
+        // (least best-candidate slack) first.
+        let mut receivers: Vec<usize> = (0..n)
+            .filter(|&w| {
+                state.right.iter().any(|&r| (r as usize) + 1 == w)
+                    || state.left.iter().any(|&l| l as usize == w + 1)
+            })
+            .collect();
+        let urgency = |w: usize| -> usize {
+            let mut best = usize::MAX;
+            for (&l, &r) in state.left.iter().zip(&state.right) {
+                if (r as usize) + 1 == w {
+                    best = best.min((self.target - t - 1).saturating_sub(n - 1 - w));
+                }
+                if w + 1 == l as usize {
+                    best = best.min((self.target - t - 1).saturating_sub(w));
+                }
+            }
+            best
+        };
+        receivers.sort_by_key(|&w| urgency(w));
+        let mut sending: Vec<Option<u32>> = vec![None; n];
+        let mut gained: Vec<(usize, u32, bool)> = Vec::new();
+        let found = self.assign(state, &receivers, 0, &mut sending, &mut gained, t);
+        if !found {
+            let e = self.memo.entry(key).or_insert(0);
+            *e = (*e).max(remaining as u32);
+        }
+        found
+    }
+
+    /// Enumerates receiver assignments depth-first; at the leaf, applies
+    /// the round and recurses into the next one.
+    fn assign(
+        &mut self,
+        state: &LineState,
+        receivers: &[usize],
+        idx: usize,
+        sending: &mut Vec<Option<u32>>,
+        gained: &mut Vec<(usize, u32, bool)>,
+        t: usize,
+    ) -> bool {
+        let n = self.n;
+        if idx == receivers.len() {
+            if gained.is_empty() {
+                return false;
+            }
+            let mut next = state.clone();
+            for &(w, msg, rightward) in gained.iter() {
+                if rightward {
+                    next.right[msg as usize] = w as u8;
+                } else {
+                    next.left[msg as usize] = w as u8;
+                }
+            }
+            if self.dfs(&next, t + 1) {
+                // Rebuild the round, merging a sender's identical message
+                // to both directions into one multicast.
+                let mut round: Round = Vec::new();
+                for &(w, msg, rightward) in gained.iter() {
+                    let from = if rightward { w - 1 } else { w + 1 };
+                    match round.iter_mut().find(|(s, m, _)| *s == from && *m == msg) {
+                        Some((_, _, dests)) => dests.push(w),
+                        None => round.push((from, msg, vec![w])),
+                    }
+                }
+                self.witness.push(round);
+                return true;
+            }
+            return false;
+        }
+
+        let w = receivers[idx];
+        // Candidate deliveries into w, most urgent (least slack) first.
+        let mut candidates: Vec<(usize, u32, bool)> = Vec::new();
+        for (msg, (&l, &r)) in state.left.iter().zip(&state.right).enumerate() {
+            if (r as usize) + 1 == w {
+                let slack = (self.target - t - 1).saturating_sub(n - 1 - w);
+                candidates.push((slack, msg as u32, true));
+            }
+            if w + 1 == l as usize {
+                let slack = (self.target - t - 1).saturating_sub(w);
+                candidates.push((slack, msg as u32, false));
+            }
+        }
+        candidates.sort_unstable();
+
+        // Skip-branch dominance: (1) a zero-slack front waiting on w makes
+        // skipping fatal; (2) if some candidate's sender serves no other
+        // potential receiver this round, taking that delivery costs nothing,
+        // so the bare skip is dominated.
+        let mut must_receive = candidates.iter().any(|&(slack, _, _)| slack == 0);
+        if !must_receive {
+            'cand: for &(_, msg, rightward) in &candidates {
+                let from = if rightward { w - 1 } else { w + 1 };
+                if let Some(m) = sending[from] {
+                    if m != msg {
+                        continue;
+                    }
+                }
+                // Could `from` deliver to any other vertex this round?
+                // Its only other neighbour is on the opposite side of w.
+                let other = if rightward {
+                    from.checked_sub(1)
+                } else {
+                    (from + 1 < n).then_some(from + 1)
+                };
+                match other {
+                    None => {
+                        must_receive = true;
+                        break 'cand;
+                    }
+                    Some(o) => {
+                        let contested = state
+                            .left
+                            .iter()
+                            .zip(&state.right)
+                            .any(|(&l, &r)| {
+                                (l as usize == from && o + 1 == from && o == from - 1)
+                                    || (r as usize == from && o == from + 1)
+                                    || (l as usize == o + 1 && o + 1 == from)
+                            });
+                        // Conservative: treat as contested unless clearly not.
+                        let clearly_free = !contested
+                            && !state.left.iter().any(|&l| l as usize == from && from > 0)
+                            && !state
+                                .right
+                                .iter()
+                                .any(|&r| r as usize == from && from + 1 < n);
+                        if clearly_free {
+                            must_receive = true;
+                            break 'cand;
+                        }
+                    }
+                }
+            }
+        }
+
+        for &(_, msg, rightward) in &candidates {
+            let from = if rightward { w - 1 } else { w + 1 };
+            match sending[from] {
+                Some(m) if m != msg => continue,
+                _ => {}
+            }
+            let prev = sending[from];
+            sending[from] = Some(msg);
+            gained.push((w, msg, rightward));
+            if self.assign(state, receivers, idx + 1, sending, gained, t) {
+                return true;
+            }
+            gained.pop();
+            sending[from] = prev;
+        }
+
+        if !must_receive && self.assign(state, receivers, idx + 1, sending, gained, t) {
+            return true;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_graph::Graph;
+    use gossip_model::{identity_origins, simulate_gossip};
+
+    fn path_graph(n: usize) -> Graph {
+        Graph::from_edges(n, &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn hits_n_plus_r_minus_1_small() {
+        for n in 3..=MAX_LINE_N {
+            let s = line_gossip_schedule(n);
+            assert_eq!(s.makespan(), n + n / 2 - 1, "n = {n}");
+            let o = simulate_gossip(&path_graph(n), &s, &identity_origins(n)).unwrap();
+            assert!(o.complete, "n = {n}");
+            assert_eq!(o.completion_time, Some(n + n / 2 - 1), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn matches_exact_optimum_on_tiny_lines() {
+        // P3 optimal 3, P5 optimal 6 (established by the hold-set solver).
+        assert_eq!(line_gossip_schedule(3).makespan(), 3);
+        assert_eq!(line_gossip_schedule(5).makespan(), 6);
+    }
+
+    #[test]
+    fn beats_generic_algorithm_by_one_on_odd_lines() {
+        use crate::pipeline::GossipPlanner;
+        for m in [1usize, 2] {
+            let n = 2 * m + 1;
+            let g = path_graph(n);
+            let generic = GossipPlanner::new(&g).unwrap().plan().unwrap().makespan();
+            assert_eq!(line_gossip_schedule(n).makespan() + 1, generic);
+        }
+    }
+
+    #[test]
+    fn matches_lower_bound_on_odd_lines() {
+        use crate::bounds::gossip_lower_bound;
+        for m in 1..3 {
+            let n = 2 * m + 1;
+            assert_eq!(
+                line_gossip_schedule(n).makespan(),
+                gossip_lower_bound(&path_graph(n)),
+                "m = {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn pair() {
+        let s = line_gossip_schedule(2);
+        assert_eq!(s.makespan(), 1); // simultaneous swap: the true optimum
+        let o = simulate_gossip(&path_graph(2), &s, &identity_origins(2)).unwrap();
+        assert!(o.complete);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_singleton() {
+        line_gossip_schedule(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "supports n <=")]
+    fn rejects_oversize() {
+        line_gossip_schedule(MAX_LINE_N + 1);
+    }
+}

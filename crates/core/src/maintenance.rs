@@ -1,0 +1,199 @@
+//! Lazy spanning-tree maintenance under topology changes (the paper's §4
+//! operating assumption, made concrete).
+//!
+//! "The construction of the tree is performed only when there is a change
+//! in the network, which we assume remains constant for long periods of
+//! time." This module implements the bookkeeping a long-running deployment
+//! needs: hold the current plan, apply edge insertions/removals, and
+//! recompute the minimum-depth tree — with its `O(mn)` cost — only when the
+//! change actually invalidates or degrades the plan:
+//!
+//! - removing a **non-tree** edge never invalidates the tree, and can only
+//!   increase the radius, so the current tree (height = old radius ≤ new
+//!   radius) stays optimal — no recompute;
+//! - removing a **tree** edge forces a rebuild (the tree no longer spans);
+//! - inserting an edge keeps the tree valid but may shrink the radius; the
+//!   maintainer recomputes lazily and keeps the old plan when the radius is
+//!   unchanged.
+
+use crate::pipeline::{GossipPlan, GossipPlanner};
+use gossip_graph::{Graph, GraphError};
+
+/// What a topology change did to the maintained plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaintenanceOutcome {
+    /// The existing tree and schedule remain in force.
+    Kept,
+    /// The plan was rebuilt (tree construction re-ran).
+    Rebuilt,
+}
+
+/// A long-lived planner that owns the evolving network and its current
+/// gossip plan.
+#[derive(Debug, Clone)]
+pub struct TreeMaintainer {
+    graph: Graph,
+    plan: GossipPlan,
+    rebuilds: usize,
+}
+
+impl TreeMaintainer {
+    /// Plans on the initial network.
+    pub fn new(graph: Graph) -> Result<Self, GraphError> {
+        let plan = GossipPlanner::new(&graph)?.plan()?;
+        Ok(TreeMaintainer { graph, plan, rebuilds: 1 })
+    }
+
+    /// The current network.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The current plan.
+    pub fn plan(&self) -> &GossipPlan {
+        &self.plan
+    }
+
+    /// How many times the `O(mn)` construction has run (including the
+    /// initial build).
+    pub fn rebuilds(&self) -> usize {
+        self.rebuilds
+    }
+
+    /// Applies an edge insertion. Keeps the plan when the radius is
+    /// unchanged; rebuilds when the new chord shrinks it.
+    pub fn insert_edge(&mut self, u: usize, v: usize) -> Result<MaintenanceOutcome, GraphError> {
+        self.graph = self.graph.with_edge(u, v)?;
+        // The old tree still spans; rebuild only if the radius improved.
+        let new_radius = gossip_graph::radius(&self.graph)?;
+        if new_radius < self.plan.radius {
+            self.rebuild()?;
+            Ok(MaintenanceOutcome::Rebuilt)
+        } else {
+            Ok(MaintenanceOutcome::Kept)
+        }
+    }
+
+    /// Applies an edge removal. Errors with [`GraphError::Disconnected`]
+    /// (leaving the old state in place) if the removal would disconnect the
+    /// network; otherwise rebuilds only when a tree edge was lost.
+    pub fn remove_edge(&mut self, u: usize, v: usize) -> Result<MaintenanceOutcome, GraphError> {
+        let candidate = self.graph.without_edge(u, v)?;
+        if !gossip_graph::is_connected(&candidate) {
+            return Err(GraphError::Disconnected);
+        }
+        let tree_edge = self.plan.tree.parent(u) == Some(v) || self.plan.tree.parent(v) == Some(u);
+        self.graph = candidate;
+        if tree_edge {
+            self.rebuild()?;
+            Ok(MaintenanceOutcome::Rebuilt)
+        } else {
+            // The tree still spans. Its height equals the old radius, which
+            // removal can only have grown, so the tree stays optimal.
+            Ok(MaintenanceOutcome::Kept)
+        }
+    }
+
+    fn rebuild(&mut self) -> Result<(), GraphError> {
+        self.plan = GossipPlanner::new(&self.graph)?.plan()?;
+        self.rebuilds += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_model::simulate_gossip;
+
+    fn ring(n: usize) -> Graph {
+        Graph::from_edges(n, &(0..n).map(|i| (i, (i + 1) % n)).collect::<Vec<_>>()).unwrap()
+    }
+
+    fn assert_plan_valid(m: &TreeMaintainer) {
+        let o = simulate_gossip(
+            m.graph(),
+            &m.plan().schedule,
+            &m.plan().origin_of_message,
+        )
+        .unwrap();
+        assert!(o.complete);
+        assert!(m.plan().tree.is_spanning_tree_of(m.graph()));
+        // Optimality: tree height == current radius.
+        assert_eq!(
+            m.plan().tree.height(),
+            gossip_graph::radius(m.graph()).unwrap()
+        );
+    }
+
+    #[test]
+    fn non_tree_removal_keeps_plan() {
+        let mut m = TreeMaintainer::new(ring(8)).unwrap();
+        assert_plan_valid(&m);
+        // A ring's minimum-depth tree omits exactly one edge; find it.
+        let (u, v) = (0..8)
+            .map(|i| (i, (i + 1) % 8))
+            .find(|&(u, v)| {
+                m.plan().tree.parent(u) != Some(v) && m.plan().tree.parent(v) != Some(u)
+            })
+            .expect("one ring edge is a chord");
+        assert_eq!(m.remove_edge(u, v).unwrap(), MaintenanceOutcome::Kept);
+        assert_eq!(m.rebuilds(), 1);
+        assert_plan_valid(&m);
+    }
+
+    #[test]
+    fn tree_edge_removal_rebuilds() {
+        let mut m = TreeMaintainer::new(ring(8)).unwrap();
+        let root = m.plan().tree.root();
+        let child = m.plan().tree.children(root)[0] as usize;
+        assert_eq!(
+            m.remove_edge(root, child).unwrap(),
+            MaintenanceOutcome::Rebuilt
+        );
+        assert_eq!(m.rebuilds(), 2);
+        assert_plan_valid(&m);
+    }
+
+    #[test]
+    fn disconnecting_removal_rejected_and_state_preserved(){
+        let path = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let mut m = TreeMaintainer::new(path).unwrap();
+        assert_eq!(m.remove_edge(1, 2).unwrap_err(), GraphError::Disconnected);
+        assert!(m.graph().has_edge(1, 2), "removal must be rolled back");
+        assert_plan_valid(&m);
+    }
+
+    #[test]
+    fn radius_shrinking_insert_rebuilds() {
+        // A path rooted at its center: adding a long chord shrinks the radius.
+        let path = Graph::from_edges(7, &(0..6).map(|i| (i, i + 1)).collect::<Vec<_>>()).unwrap();
+        let mut m = TreeMaintainer::new(path).unwrap();
+        assert_eq!(m.plan().radius, 3);
+        // Chord (1, 5) puts vertex 1 within 2 hops of everything.
+        assert_eq!(m.insert_edge(1, 5).unwrap(), MaintenanceOutcome::Rebuilt);
+        assert_eq!(m.plan().radius, 2);
+        assert_plan_valid(&m);
+    }
+
+    #[test]
+    fn radius_preserving_insert_keeps_plan() {
+        let mut m = TreeMaintainer::new(ring(9)).unwrap();
+        // A short chord does not change the radius of C9 (4).
+        assert_eq!(m.insert_edge(0, 2).unwrap(), MaintenanceOutcome::Kept);
+        assert_eq!(m.rebuilds(), 1);
+        assert_plan_valid(&m);
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let mut m = TreeMaintainer::new(ring(5)).unwrap();
+        assert!(m.insert_edge(0, 1).is_err());
+    }
+
+    #[test]
+    fn missing_removal_rejected() {
+        let mut m = TreeMaintainer::new(ring(5)).unwrap();
+        assert!(m.remove_edge(0, 2).is_err());
+    }
+}

@@ -1,0 +1,135 @@
+//! Pipelined multi-message broadcast: one source, `k` messages, everyone.
+//!
+//! The bridge between §2's single-message broadcast (eccentricity rounds)
+//! and full gossiping: a source holding `k` messages streams them down its
+//! BFS tree back to back. Message `c` leaves the source at round `c`, every
+//! informed vertex forwards each message the round after it arrives, and
+//! the last message reaches the deepest vertex at `k - 1 + ecc(source)` —
+//! the classic pipelining bound, optimal for this pattern (the source needs
+//! `k` send rounds; the last message needs `ecc` hops).
+
+use gossip_graph::{bfs, Graph};
+use gossip_model::{Schedule, Transmission};
+
+/// Builds the pipelined broadcast of messages `0..k` from `source` over
+/// `g`'s BFS tree. Returns the schedule and its makespan
+/// `k - 1 + eccentricity(source)` (0 when `k == 0` or `n == 1`).
+///
+/// # Panics
+///
+/// Panics if `g` is disconnected or `source` out of range.
+///
+/// # Examples
+///
+/// ```
+/// use gossip_graph::Graph;
+/// use gossip_core::multi_broadcast_schedule;
+///
+/// let g = Graph::from_edges(5, &[(0,1),(1,2),(2,3),(3,4)]).unwrap();
+/// let (s, time) = multi_broadcast_schedule(&g, 0, 3);
+/// assert_eq!(time, 3 - 1 + 4); // k - 1 + ecc
+/// assert_eq!(s.makespan(), time);
+/// ```
+pub fn multi_broadcast_schedule(g: &Graph, source: usize, k: usize) -> (Schedule, usize) {
+    let n = g.n();
+    assert!(source < n, "source out of range");
+    let mut schedule = Schedule::new(n);
+    if k == 0 || n <= 1 {
+        return (schedule, 0);
+    }
+    let r = bfs(g, source);
+    let ecc = r.eccentricity().expect("connected graph") as usize;
+
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for v in 0..n {
+        if r.parent[v] != u32::MAX {
+            children[r.parent[v] as usize].push(v);
+        }
+    }
+    for v in 0..n {
+        if children[v].is_empty() {
+            continue;
+        }
+        let d = r.dist[v] as usize;
+        // Message c arrives at depth d at time d + c and is forwarded the
+        // same round (receive-before-send).
+        for c in 0..k {
+            schedule.add_transmission(
+                d + c,
+                Transmission::new(c as u32, v, children[v].clone()),
+            );
+        }
+    }
+    schedule.trim();
+    (schedule, k - 1 + ecc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_model::{CommModel, Simulator};
+
+    fn check(g: &Graph, source: usize, k: usize) -> usize {
+        let (s, time) = multi_broadcast_schedule(g, source, k);
+        assert_eq!(s.makespan(), time);
+        // Origins: all k messages start at the source.
+        let origins = vec![source; k];
+        let mut sim = Simulator::with_origins(g, CommModel::Multicast, &origins).unwrap();
+        sim.run(&s).unwrap();
+        for m in 0..k {
+            assert!(sim.everyone_holds(m), "message {m} incomplete");
+        }
+        time
+    }
+
+    fn path(n: usize) -> Graph {
+        Graph::from_edges(n, &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn pipelining_bound_on_paths() {
+        assert_eq!(check(&path(6), 0, 1), 5);
+        assert_eq!(check(&path(6), 0, 4), 4 - 1 + 5);
+        assert_eq!(check(&path(7), 3, 5), 5 - 1 + 3);
+    }
+
+    #[test]
+    fn star_from_center_and_leaf() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        assert_eq!(check(&g, 0, 3), 3); // k - 1 + 1
+        assert_eq!(check(&g, 1, 3), 4); // k - 1 + 2
+    }
+
+    #[test]
+    fn k_zero_is_empty() {
+        let (s, t) = multi_broadcast_schedule(&path(4), 0, 0);
+        assert_eq!(t, 0);
+        assert_eq!(s.makespan(), 0);
+    }
+
+    #[test]
+    fn single_message_reduces_to_broadcast() {
+        let g = path(8);
+        let (s1, t1) = multi_broadcast_schedule(&g, 2, 1);
+        let (s2, t2) = crate::broadcast::broadcast_schedule(&g, 2);
+        assert_eq!(t1, t2);
+        assert_eq!(s1.stats().deliveries, s2.stats().deliveries);
+    }
+
+    #[test]
+    fn every_receiver_gets_each_message_once() {
+        let g = path(5);
+        let (s, _) = multi_broadcast_schedule(&g, 0, 3);
+        let mut count = vec![[0usize; 3]; 5];
+        for (_, tx) in s.iter() {
+            for &d in &tx.to {
+                count[d][tx.msg as usize] += 1;
+            }
+        }
+        for v in 1..5 {
+            for m in 0..3 {
+                assert_eq!(count[v][m], 1, "vertex {v} message {m}");
+            }
+        }
+    }
+}

@@ -1,0 +1,398 @@
+//! The online (distributed) version of ConcurrentUpDown (the paper's §4).
+//!
+//! "Our algorithms can be easily adapted for the online case. The only
+//! global information that they need is the value of i, j, and k. Once this
+//! information is disseminated throughout the network, each processor may
+//! send its messages at the specified times."
+//!
+//! [`OnlineVertex`] is that per-processor protocol: a pure state machine
+//! that, given the current time and whatever arrived from its parent this
+//! round, decides the one multicast to emit — using only its own `(i, j,
+//! k)`, its parent's label (to know whether it is the first child), and its
+//! children's subtree ranges (to know which child already owns a message).
+//! No vertex ever inspects another vertex's state.
+//!
+//! Two harnesses execute the protocol: [`run_online`] (deterministic
+//! lock-step rounds in one thread) and [`run_online_threaded`] (one OS
+//! thread per processor, crossbeam channels as links, a barrier per round —
+//! a faithful little distributed system). Both produce the *identical*
+//! schedule to the offline [`crate::concurrent_updown`], which is the
+//! paper's online-adaptation claim made executable.
+
+use crate::labeling::{LabelView, VertexParams};
+use gossip_graph::RootedTree;
+use gossip_model::{Schedule, Transmission};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// What one vertex decides to transmit in one round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OnlineSend {
+    /// The message to multicast.
+    pub msg: u32,
+    /// Whether the parent is in the destination set.
+    pub to_parent: bool,
+    /// Destination children, as labels.
+    pub to_children: Vec<u32>,
+}
+
+/// The per-processor online protocol state.
+#[derive(Debug, Clone)]
+pub struct OnlineVertex {
+    p: VertexParams,
+    /// Children labels and their subtree range ends.
+    children: Vec<(u32, u32)>,
+    /// O-messages received at times `i - k` and `i - k + 1`, awaiting their
+    /// deferred slots `j - k + 1` and `j - k + 2`.
+    deferred: [Option<u32>; 2],
+}
+
+impl OnlineVertex {
+    /// Builds the protocol state from purely local information: this
+    /// vertex's parameters and its children's `(label, range end)` pairs.
+    pub fn new(p: VertexParams, children: Vec<(u32, u32)>) -> Self {
+        OnlineVertex { p, children, deferred: [None, None] }
+    }
+
+    /// All children except the one whose subtree contains `m`.
+    fn children_except_owner(&self, m: u32) -> Vec<u32> {
+        self.children
+            .iter()
+            .filter(|&&(c, end)| !(c <= m && m <= end))
+            .map(|&(c, _)| c)
+            .collect()
+    }
+
+    /// Advances one round: `t` is the current time, `from_parent` the
+    /// message that arrived from the parent at time `t` (if any). Returns
+    /// the multicast to perform at time `t`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the protocol derives two different messages for the same
+    /// round — impossible per the paper's Theorem 1, so a panic indicates
+    /// corrupted inputs (e.g. a `from_parent` stream not produced by this
+    /// protocol).
+    pub fn on_round(&mut self, t: usize, from_parent: Option<u32>) -> Option<OnlineSend> {
+        let (i, j, k) = (self.p.i as usize, self.p.j as usize, self.p.k as usize);
+        let is_leaf = self.p.is_leaf();
+        let is_root = self.p.is_root();
+
+        // Classify the arrival: immediate forward or deferral.
+        let mut forward_now = None;
+        if let Some(m) = from_parent {
+            debug_assert!(
+                (m as usize) < i || (m as usize) > j,
+                "parent sent own-subtree message {m}"
+            );
+            if !is_leaf {
+                if t == i - k {
+                    self.deferred[0] = Some(m);
+                } else if t == i - k + 1 {
+                    self.deferred[1] = Some(m);
+                } else {
+                    forward_now = Some(m);
+                }
+            }
+        }
+
+        let mut decision: Option<OnlineSend> = None;
+        let mut set = |send: OnlineSend| match &mut decision {
+            None => decision = Some(send),
+            Some(existing) => {
+                assert_eq!(existing.msg, send.msg, "online protocol conflict");
+                existing.to_parent |= send.to_parent;
+                existing.to_children.extend(send.to_children);
+            }
+        };
+
+        // (U3) lip-message at time 0.
+        if t == 0 && self.p.has_lip() {
+            set(OnlineSend { msg: self.p.i, to_parent: true, to_children: vec![] });
+        }
+
+        // (U4)+(D3) window: message m = t + k while i <= m <= j, except the
+        // deferred own message when i == k.
+        if t + k >= i && t + k <= j {
+            let m = (t + k) as u32;
+            if !(m == self.p.i && i == k) {
+                let to_parent = !is_root && m >= self.p.rip_start();
+                let to_children = if is_leaf { vec![] } else { self.children_except_owner(m) };
+                if to_parent || !to_children.is_empty() {
+                    set(OnlineSend { msg: m, to_parent, to_children });
+                }
+            }
+        }
+
+        if !is_leaf {
+            // Deferred slot j - k + 1: the own message (i == k case) or the
+            // o-message that arrived at i - k.
+            if t == j - k + 1 {
+                if i == k {
+                    set(OnlineSend {
+                        msg: self.p.i,
+                        to_parent: false,
+                        to_children: self.children_except_owner(self.p.i),
+                    });
+                } else if let Some(m) = self.deferred[0].take() {
+                    set(OnlineSend {
+                        msg: m,
+                        to_parent: false,
+                        to_children: self.children.iter().map(|&(c, _)| c).collect(),
+                    });
+                }
+            }
+            // Deferred slot j - k + 2.
+            if t == j - k + 2 {
+                if let Some(m) = self.deferred[1].take() {
+                    set(OnlineSend {
+                        msg: m,
+                        to_parent: false,
+                        to_children: self.children.iter().map(|&(c, _)| c).collect(),
+                    });
+                }
+            }
+            // (D2) immediate forwarding.
+            if let Some(m) = forward_now {
+                set(OnlineSend {
+                    msg: m,
+                    to_parent: false,
+                    to_children: self.children.iter().map(|&(c, _)| c).collect(),
+                });
+            }
+        }
+
+        decision
+    }
+}
+
+/// Builds the per-label protocol states for a tree.
+fn protocols(lv: &LabelView) -> Vec<OnlineVertex> {
+    lv.labels()
+        .map(|label| {
+            let children = lv
+                .children(label)
+                .iter()
+                .map(|&c| (c, lv.params(c).j))
+                .collect();
+            OnlineVertex::new(lv.params(label), children)
+        })
+        .collect()
+}
+
+/// Runs the online protocol in deterministic lock-step (single thread) and
+/// returns the resulting schedule (vertex space, normalized).
+///
+/// The schedule equals `concurrent_updown(tree)` normalized — the
+/// executable form of the paper's online claim.
+pub fn run_online(tree: &RootedTree) -> Schedule {
+    let lv = LabelView::new(tree);
+    let n = lv.n();
+    let mut schedule = Schedule::new(n);
+    if n <= 1 {
+        return schedule;
+    }
+    let mut vertices = protocols(&lv);
+    let horizon = n + lv.height() as usize;
+    // in_flight[label] = message arriving from the parent this round.
+    let mut arriving: Vec<Option<u32>> = vec![None; n];
+    for t in 0..horizon {
+        let mut next_arriving: Vec<Option<u32>> = vec![None; n];
+        for label in lv.labels() {
+            let Some(send) = vertices[label as usize].on_round(t, arriving[label as usize])
+            else {
+                continue;
+            };
+            let mut dests = Vec::with_capacity(send.to_children.len() + 1);
+            if send.to_parent {
+                dests.push(lv.vertex(lv.params(label).parent_i));
+            }
+            for &c in &send.to_children {
+                assert!(
+                    next_arriving[c as usize].is_none(),
+                    "receive conflict at label {c} time {}",
+                    t + 1
+                );
+                next_arriving[c as usize] = Some(send.msg);
+                dests.push(lv.vertex(c));
+            }
+            schedule.add_transmission(t, Transmission::new(send.msg, lv.vertex(label), dests));
+        }
+        arriving = next_arriving;
+    }
+    schedule.normalize();
+    schedule
+}
+
+/// Runs the online protocol as a real concurrent system: one thread per
+/// processor, crossbeam channels as the parent→child links, and a barrier
+/// marking round boundaries. Returns the (normalized) schedule assembled
+/// from each thread's local log.
+///
+/// Upward traffic needs no channels in this harness: parents derive their
+/// children's upward sends from their own protocol (the receive sides U1/U2
+/// are time-determined), so only parent→child links carry payloads — which
+/// is also the only direction the D2 forwarding rule depends on.
+pub fn run_online_threaded(tree: &RootedTree) -> Schedule {
+    let lv = LabelView::new(tree);
+    let n = lv.n();
+    if n <= 1 {
+        return Schedule::new(n);
+    }
+    let horizon = n + lv.height() as usize;
+
+    // Channels: one per non-root vertex, carrying Option<u32> per round.
+    let mut senders = Vec::with_capacity(n);
+    let mut receivers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = crossbeam::channel::bounded::<Option<u32>>(1);
+        senders.push(tx);
+        receivers.push(Some(rx));
+    }
+
+    let barrier = Arc::new(std::sync::Barrier::new(n));
+    let log: Arc<Mutex<Vec<(usize, Transmission)>>> = Arc::new(Mutex::new(Vec::new()));
+
+    std::thread::scope(|scope| {
+        for label in lv.labels() {
+            let mut vertex = {
+                let children = lv
+                    .children(label)
+                    .iter()
+                    .map(|&c| (c, lv.params(c).j))
+                    .collect();
+                OnlineVertex::new(lv.params(label), children)
+            };
+            let my_rx = if lv.params(label).is_root() {
+                None
+            } else {
+                receivers[label as usize].take()
+            };
+            let child_txs: Vec<(u32, crossbeam::channel::Sender<Option<u32>>)> = lv
+                .children(label)
+                .iter()
+                .map(|&c| (c, senders[c as usize].clone()))
+                .collect();
+            let barrier = Arc::clone(&barrier);
+            let log = Arc::clone(&log);
+            let lv_ref = &lv;
+            scope.spawn(move || {
+                for t in 0..horizon {
+                    // What arrives at time t was sent by the parent in its
+                    // round t - 1; nothing is in flight at t = 0.
+                    let arrived: Option<u32> = match (&my_rx, t) {
+                        (Some(rx), t) if t >= 1 => rx.recv().expect("parent alive"),
+                        _ => None,
+                    };
+                    let send = vertex.on_round(t, arrived);
+                    // Every child gets exactly one Option per round, so the
+                    // channel doubles as the round clock for receivers.
+                    match &send {
+                        Some(s) => {
+                            for (c, tx) in &child_txs {
+                                let payload =
+                                    s.to_children.contains(c).then_some(s.msg);
+                                tx.send(payload).expect("child alive");
+                            }
+                            let mut dests = Vec::with_capacity(s.to_children.len() + 1);
+                            if s.to_parent {
+                                dests.push(lv_ref.vertex(lv_ref.params(label).parent_i));
+                            }
+                            dests.extend(s.to_children.iter().map(|&c| lv_ref.vertex(c)));
+                            log.lock().push((
+                                t,
+                                Transmission::new(s.msg, lv_ref.vertex(label), dests),
+                            ));
+                        }
+                        None => {
+                            for (_, tx) in &child_txs {
+                                tx.send(None).expect("child alive");
+                            }
+                        }
+                    }
+                    barrier.wait();
+                }
+            });
+        }
+    });
+
+    let mut schedule = Schedule::new(n);
+    for (t, tx) in Arc::try_unwrap(log).expect("threads joined").into_inner() {
+        schedule.add_transmission(t, tx);
+    }
+    schedule.normalize();
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concurrent::{concurrent_updown, tree_origins};
+    use gossip_graph::NO_PARENT;
+    use gossip_model::simulate_gossip;
+
+    fn fig5() -> RootedTree {
+        let mut p = vec![0u32; 16];
+        for (v, par) in [
+            (1, 0), (2, 1), (3, 1), (4, 0), (5, 4), (6, 5), (7, 5), (8, 4),
+            (9, 8), (10, 8), (11, 0), (12, 11), (13, 12), (14, 12), (15, 11),
+        ] {
+            p[v] = par;
+        }
+        p[0] = NO_PARENT;
+        RootedTree::from_parents(0, &p).unwrap()
+    }
+
+    fn offline_normalized(tree: &RootedTree) -> Schedule {
+        let mut s = concurrent_updown(tree);
+        s.normalize();
+        s
+    }
+
+    #[test]
+    fn lockstep_matches_offline_on_fig5() {
+        let tree = fig5();
+        assert_eq!(run_online(&tree), offline_normalized(&tree));
+    }
+
+    #[test]
+    fn lockstep_matches_offline_on_assorted_trees() {
+        for tree in [
+            RootedTree::from_parents(0, &[NO_PARENT, 0]).unwrap(),
+            RootedTree::from_parents(0, &[NO_PARENT, 0, 0, 0, 0, 0]).unwrap(),
+            RootedTree::from_parents(3, &[1, 2, 3, NO_PARENT, 3, 4, 5]).unwrap(),
+            RootedTree::from_parents(2, &[2, 0, NO_PARENT, 2, 3]).unwrap(),
+        ] {
+            assert_eq!(run_online(&tree), offline_normalized(&tree), "{tree:?}");
+        }
+    }
+
+    #[test]
+    fn threaded_matches_offline() {
+        let tree = fig5();
+        assert_eq!(run_online_threaded(&tree), offline_normalized(&tree));
+    }
+
+    #[test]
+    fn threaded_matches_on_deep_chain() {
+        let tree = RootedTree::from_parents(0, &[NO_PARENT, 0, 1, 2, 3, 4]).unwrap();
+        assert_eq!(run_online_threaded(&tree), offline_normalized(&tree));
+    }
+
+    #[test]
+    fn online_schedule_simulates_clean() {
+        let tree = fig5();
+        let s = run_online(&tree);
+        let g = tree.to_graph();
+        let o = simulate_gossip(&g, &s, &tree_origins(&tree)).unwrap();
+        assert!(o.complete);
+        assert_eq!(o.completion_time, Some(19));
+    }
+
+    #[test]
+    fn singleton() {
+        let tree = RootedTree::from_parents(0, &[NO_PARENT]).unwrap();
+        assert_eq!(run_online(&tree).makespan(), 0);
+        assert_eq!(run_online_threaded(&tree).makespan(), 0);
+    }
+}

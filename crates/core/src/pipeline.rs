@@ -1,0 +1,240 @@
+//! The end-to-end planner: arbitrary network → minimum-depth spanning tree
+//! → communication schedule, exactly the paper's two-step procedure (§3).
+
+use crate::concurrent::{concurrent_updown, tree_origins};
+use crate::simple::simple_gossip;
+use crate::telephone::telephone_tree_gossip;
+use crate::updown::updown_gossip;
+use gossip_graph::{
+    is_connected, min_depth_spanning_tree, min_depth_spanning_tree_parallel, ChildOrder, Graph,
+    GraphError, RootedTree,
+};
+use gossip_model::Schedule;
+
+/// Which scheduling algorithm the planner runs on the spanning tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Algorithm {
+    /// ConcurrentUpDown — the paper's `n + r` result (default).
+    #[default]
+    ConcurrentUpDown,
+    /// Simple — the `2n + r - 3` warm-up (Lemma 1).
+    Simple,
+    /// UpDown — the reconstructed two-phase baseline.
+    UpDown,
+    /// The telephone-model (unicast-only) baseline.
+    Telephone,
+}
+
+impl Algorithm {
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::ConcurrentUpDown => "concurrent-updown",
+            Algorithm::Simple => "simple",
+            Algorithm::UpDown => "updown",
+            Algorithm::Telephone => "telephone",
+        }
+    }
+
+    /// Runs the algorithm on a rooted tree.
+    pub fn schedule(&self, tree: &RootedTree) -> Schedule {
+        match self {
+            Algorithm::ConcurrentUpDown => concurrent_updown(tree),
+            Algorithm::Simple => simple_gossip(tree),
+            Algorithm::UpDown => updown_gossip(tree),
+            Algorithm::Telephone => telephone_tree_gossip(tree),
+        }
+    }
+}
+
+/// A complete gossip plan for a network.
+#[derive(Debug, Clone)]
+pub struct GossipPlan {
+    /// The minimum-depth spanning tree all communication runs on.
+    pub tree: RootedTree,
+    /// The communication schedule (vertex space).
+    pub schedule: Schedule,
+    /// `origin_of_message[m]` = the processor whose message is labeled `m`.
+    pub origin_of_message: Vec<usize>,
+    /// The network radius `r` (= tree height).
+    pub radius: u32,
+}
+
+impl GossipPlan {
+    /// The schedule's total communication time.
+    pub fn makespan(&self) -> usize {
+        self.schedule.makespan()
+    }
+
+    /// The paper's guarantee for this plan: `n + r`.
+    pub fn guarantee(&self) -> usize {
+        if self.tree.n() <= 1 {
+            0
+        } else {
+            self.tree.n() + self.radius as usize
+        }
+    }
+}
+
+/// Builder for gossip plans over a network.
+///
+/// # Examples
+///
+/// ```
+/// use gossip_graph::Graph;
+/// use gossip_core::GossipPlanner;
+/// use gossip_model::simulate_gossip;
+///
+/// let g = Graph::from_edges(6, &[(0,1),(1,2),(2,3),(3,4),(4,5),(5,0)]).unwrap();
+/// let plan = GossipPlanner::new(&g).unwrap().plan().unwrap();
+/// assert_eq!(plan.makespan(), 6 + 3);
+/// assert!(plan.makespan() <= plan.guarantee());
+/// let o = simulate_gossip(&g, &plan.schedule, &plan.origin_of_message).unwrap();
+/// assert!(o.complete);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GossipPlanner<'g> {
+    g: &'g Graph,
+    algorithm: Algorithm,
+    child_order: ChildOrder,
+    parallel_tree: bool,
+}
+
+impl<'g> GossipPlanner<'g> {
+    /// Starts a planner; fails fast on disconnected or empty networks
+    /// (gossiping is impossible there).
+    pub fn new(g: &'g Graph) -> Result<Self, GraphError> {
+        if g.n() == 0 {
+            return Err(GraphError::EmptyGraph);
+        }
+        if !is_connected(g) {
+            return Err(GraphError::Disconnected);
+        }
+        Ok(GossipPlanner {
+            g,
+            algorithm: Algorithm::default(),
+            child_order: ChildOrder::default(),
+            parallel_tree: false,
+        })
+    }
+
+    /// Selects the scheduling algorithm (default: ConcurrentUpDown).
+    pub fn algorithm(mut self, a: Algorithm) -> Self {
+        self.algorithm = a;
+        self
+    }
+
+    /// Selects the DFS child ordering (default: by vertex id).
+    pub fn child_order(mut self, o: ChildOrder) -> Self {
+        self.child_order = o;
+        self
+    }
+
+    /// Uses the rayon-parallel n-source BFS sweep for the spanning tree
+    /// (identical output, faster on large dense graphs).
+    pub fn parallel_tree_construction(mut self, yes: bool) -> Self {
+        self.parallel_tree = yes;
+        self
+    }
+
+    /// Builds the minimum-depth spanning tree and the schedule.
+    pub fn plan(&self) -> Result<GossipPlan, GraphError> {
+        let tree = if self.parallel_tree {
+            min_depth_spanning_tree_parallel(self.g, self.child_order)?
+        } else {
+            min_depth_spanning_tree(self.g, self.child_order)?
+        };
+        Ok(self.plan_on_tree(tree))
+    }
+
+    /// Builds a plan on a caller-supplied spanning tree (must span `g`; the
+    /// paper reuses one tree across many gossip runs, re-planning only when
+    /// the network changes).
+    pub fn plan_on_tree(&self, tree: RootedTree) -> GossipPlan {
+        debug_assert!(tree.is_spanning_tree_of(self.g));
+        let schedule = self.algorithm.schedule(&tree);
+        GossipPlan {
+            origin_of_message: tree_origins(&tree),
+            radius: tree.height(),
+            tree,
+            schedule,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_model::simulate_gossip;
+
+    fn ring(n: usize) -> Graph {
+        Graph::from_edges(n, &(0..n).map(|i| (i, (i + 1) % n)).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn default_plan_meets_guarantee() {
+        for n in [3, 6, 11] {
+            let g = ring(n);
+            let plan = GossipPlanner::new(&g).unwrap().plan().unwrap();
+            assert_eq!(plan.makespan(), plan.guarantee());
+            let o = simulate_gossip(&g, &plan.schedule, &plan.origin_of_message).unwrap();
+            assert!(o.complete);
+        }
+    }
+
+    #[test]
+    fn all_algorithms_complete() {
+        let g = ring(8);
+        for a in [
+            Algorithm::ConcurrentUpDown,
+            Algorithm::Simple,
+            Algorithm::UpDown,
+            Algorithm::Telephone,
+        ] {
+            let plan = GossipPlanner::new(&g).unwrap().algorithm(a).plan().unwrap();
+            let o = simulate_gossip(&g, &plan.schedule, &plan.origin_of_message).unwrap();
+            assert!(o.complete, "{}", a.name());
+        }
+    }
+
+    #[test]
+    fn parallel_tree_gives_same_plan() {
+        let g = ring(10);
+        let a = GossipPlanner::new(&g).unwrap().plan().unwrap();
+        let b = GossipPlanner::new(&g)
+            .unwrap()
+            .parallel_tree_construction(true)
+            .plan()
+            .unwrap();
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.tree, b.tree);
+    }
+
+    #[test]
+    fn rejects_disconnected_and_empty() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert_eq!(GossipPlanner::new(&g).unwrap_err(), GraphError::Disconnected);
+        let e = Graph::from_edges(0, &[]).unwrap();
+        assert_eq!(GossipPlanner::new(&e).unwrap_err(), GraphError::EmptyGraph);
+    }
+
+    #[test]
+    fn child_order_preserves_makespan() {
+        let g = ring(9);
+        let a = GossipPlanner::new(&g).unwrap().plan().unwrap();
+        let b = GossipPlanner::new(&g)
+            .unwrap()
+            .child_order(ChildOrder::LargestSubtreeFirst)
+            .plan()
+            .unwrap();
+        assert_eq!(a.makespan(), b.makespan());
+    }
+
+    #[test]
+    fn singleton_plan() {
+        let g = Graph::from_edges(1, &[]).unwrap();
+        let plan = GossipPlanner::new(&g).unwrap().plan().unwrap();
+        assert_eq!(plan.makespan(), 0);
+        assert_eq!(plan.guarantee(), 0);
+    }
+}

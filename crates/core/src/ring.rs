@@ -1,0 +1,126 @@
+//! Optimal gossiping along a Hamiltonian circuit (the paper's Fig 1 /
+//! network `N_1` argument).
+//!
+//! "In the first communication round, each processor sends to its clockwise
+//! neighbor the message it holds, and then, in the remaining iterations,
+//! every processor transmits to its clockwise neighbor the message it just
+//! received from its counter-clockwise neighbor. The total communication
+//! time is n - 1, which is best possible."
+
+use gossip_graph::{find_hamiltonian_circuit, verify_circuit, Graph};
+use gossip_model::{Schedule, Transmission};
+
+/// Builds the optimal `n - 1`-round gossip schedule along `circuit`
+/// (a Hamiltonian circuit of the network, given as a vertex sequence).
+///
+/// Message ids equal originating vertex ids (identity origin table). Every
+/// transmission is a unicast, so the schedule is telephone-legal too.
+///
+/// # Panics
+///
+/// Panics if `circuit` is not a permutation of `0..n` (adjacency is *not*
+/// checked here — pair with [`verify_circuit`] or use
+/// [`ring_gossip_schedule`]).
+pub fn circuit_gossip_schedule(n: usize, circuit: &[usize]) -> Schedule {
+    assert_eq!(circuit.len(), n, "circuit must visit every vertex once");
+    let mut seen = vec![false; n];
+    for &v in circuit {
+        assert!(v < n && !seen[v], "circuit is not a permutation");
+        seen[v] = true;
+    }
+    let mut schedule = Schedule::new(n);
+    if n <= 1 {
+        return schedule;
+    }
+    for t in 0..n - 1 {
+        for p in 0..n {
+            // At round t, circuit position p forwards the message that
+            // originated t positions counter-clockwise of it.
+            let msg = circuit[(p + n - t) % n] as u32;
+            let from = circuit[p];
+            let to = circuit[(p + 1) % n];
+            schedule.add_transmission(t, Transmission::unicast(msg, from, to));
+        }
+    }
+    schedule
+}
+
+/// Finds a Hamiltonian circuit of `g` (exact search — exponential worst
+/// case, fine at paper scale) and builds the optimal `n - 1` schedule along
+/// it. Returns `None` when `g` has no Hamiltonian circuit.
+///
+/// # Examples
+///
+/// ```
+/// use gossip_graph::Graph;
+/// use gossip_core::ring_gossip_schedule;
+/// use gossip_model::{simulate_gossip, identity_origins};
+///
+/// let n = 7;
+/// let edges: Vec<_> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+/// let g = Graph::from_edges(n, &edges).unwrap();
+/// let s = ring_gossip_schedule(&g).unwrap();
+/// assert_eq!(s.makespan(), n - 1);
+/// assert!(simulate_gossip(&g, &s, &identity_origins(n)).unwrap().complete);
+/// ```
+pub fn ring_gossip_schedule(g: &Graph) -> Option<Schedule> {
+    let circuit = find_hamiltonian_circuit(g)?;
+    debug_assert!(verify_circuit(g, &circuit));
+    Some(circuit_gossip_schedule(g.n(), &circuit))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_model::{identity_origins, simulate_gossip, validate_gossip_schedule, CommModel};
+
+    fn ring(n: usize) -> Graph {
+        Graph::from_edges(n, &(0..n).map(|i| (i, (i + 1) % n)).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn optimal_on_rings() {
+        for n in [3, 4, 5, 8, 13] {
+            let g = ring(n);
+            let s = ring_gossip_schedule(&g).unwrap();
+            assert_eq!(s.makespan(), n - 1);
+            let o = simulate_gossip(&g, &s, &identity_origins(n)).unwrap();
+            assert!(o.complete);
+            assert_eq!(o.completion_time, Some(n - 1));
+        }
+    }
+
+    #[test]
+    fn telephone_legal() {
+        let g = ring(6);
+        let s = ring_gossip_schedule(&g).unwrap();
+        let o = validate_gossip_schedule(&g, &s, &identity_origins(6), CommModel::Telephone)
+            .unwrap();
+        assert!(o.complete);
+    }
+
+    #[test]
+    fn none_for_trees() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert!(ring_gossip_schedule(&g).is_none());
+    }
+
+    #[test]
+    fn works_on_richer_hamiltonian_graphs() {
+        // A wheel: hub 0 + rim 1..=5.
+        let mut edges = vec![(1, 2), (2, 3), (3, 4), (4, 5), (5, 1)];
+        for v in 1..=5 {
+            edges.push((0, v));
+        }
+        let g = Graph::from_edges(6, &edges).unwrap();
+        let s = ring_gossip_schedule(&g).unwrap();
+        assert_eq!(s.makespan(), 5);
+        assert!(simulate_gossip(&g, &s, &identity_origins(6)).unwrap().complete);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn rejects_bad_circuit() {
+        circuit_gossip_schedule(4, &[0, 1, 2, 2]);
+    }
+}

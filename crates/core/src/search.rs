@@ -1,0 +1,284 @@
+//! Schedule search beyond the tree algorithms: a structured optimal
+//! schedule for the Petersen graph, and a randomized greedy searcher for
+//! small networks.
+//!
+//! §1 of the paper claims two things about optimal (`n - 1`-round)
+//! gossiping without a Hamiltonian circuit:
+//!
+//! - the **Petersen graph** (Fig 2) gossips in `n - 1 = 9` rounds *even
+//!   under the telephone model*;
+//! - some network `N_3` (Fig 3) gossips in `n - 1` rounds under multicast
+//!   but not under telephone.
+//!
+//! [`petersen_gossip_schedule`] reconstructs the first claim exactly: the
+//! Petersen graph decomposes into an outer 5-cycle, an inner 5-cycle (the
+//! pentagram), and a perfect matching of spokes. Rotating both cycles for 4
+//! rounds completes gossip *within* each cycle; 5 rounds of spoke exchanges
+//! then swap the two halves' message sets, one message per round — total
+//! `4 + 5 = 9 = n - 1`, all unicasts.
+//!
+//! For the second claim, the experiments use `K_{2,3}` with the exact
+//! solver (see `exp_n3` in the bench crate); the randomized searcher here
+//! provides constructive witnesses on this and other small graphs.
+
+use gossip_model::{BitSet, CommModel, Schedule, Transmission};
+use gossip_graph::Graph;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// The optimal 9-round telephone-legal gossip schedule for the Petersen
+/// graph as built by [`gossip_workloads`-style labeling]: vertices 0–4 the
+/// outer cycle, 5–9 the inner pentagram (`5 + i ~ 5 + (i + 2) mod 5`),
+/// spokes `i ~ i + 5`. Message ids equal vertex ids (identity origins).
+///
+/// Rounds 0–3 rotate both cycles clockwise (each vertex forwards the newest
+/// message of its own cycle); rounds 4–8 exchange accumulated messages
+/// across the spokes in originating order.
+pub fn petersen_gossip_schedule() -> Schedule {
+    let mut s = Schedule::new(10);
+    // Rounds 0..=3: cycle rotations. At round t, outer vertex p forwards the
+    // message that originated t positions counter-clockwise; likewise the
+    // inner pentagram under its own cyclic order (5, 7, 9, 6, 8).
+    let inner_cycle = [5usize, 7, 9, 6, 8];
+    for t in 0..4 {
+        for p in 0..5 {
+            let msg = ((p + 5 - t) % 5) as u32;
+            s.add_transmission(t, Transmission::unicast(msg, p, (p + 1) % 5));
+        }
+        for idx in 0..5 {
+            let from = inner_cycle[idx];
+            let to = inner_cycle[(idx + 1) % 5];
+            let msg = inner_cycle[(idx + 5 - t) % 5] as u32;
+            s.add_transmission(t, Transmission::unicast(msg, from, to));
+        }
+    }
+    // Rounds 4..=8: spoke exchanges. Outer vertex i sends outer message
+    // (i + c) mod 5 to its partner i + 5, which replies with inner message
+    // 5 + ((i + c) mod 5); c walks 0..5.
+    for c in 0..5 {
+        let t = 4 + c;
+        for i in 0..5 {
+            let outer_msg = ((i + c) % 5) as u32;
+            let inner_msg = (5 + (i + c) % 5) as u32;
+            s.add_transmission(t, Transmission::unicast(outer_msg, i, i + 5));
+            s.add_transmission(t, Transmission::unicast(inner_msg, i + 5, i));
+        }
+    }
+    s
+}
+
+/// Result of a randomized search attempt.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// The best complete schedule found.
+    pub schedule: Schedule,
+    /// Its makespan.
+    pub makespan: usize,
+}
+
+/// Randomized greedy gossip search: repeatedly builds complete schedules by
+/// filling each round with a randomized maximal set of useful transmissions
+/// (receivers ranked by how much they miss, messages by scarcity), and keeps
+/// the shortest. Returns `None` only if `g` is disconnected or has no
+/// vertices.
+///
+/// This is a *search tool*, not an approximation algorithm: use it to find
+/// constructive witnesses of small optimal schedules (e.g. `n - 1` rounds
+/// on `K_{2,3}` under multicast).
+pub fn randomized_gossip_search(
+    g: &Graph,
+    model: CommModel,
+    attempts: usize,
+    seed: u64,
+) -> Option<SearchOutcome> {
+    let n = g.n();
+    if n == 0 || !gossip_graph::is_connected(g) {
+        return None;
+    }
+    if n == 1 {
+        return Some(SearchOutcome { schedule: Schedule::new(1), makespan: 0 });
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut best: Option<SearchOutcome> = None;
+    let round_cap = 4 * n + 8;
+
+    for _ in 0..attempts.max(1) {
+        if let Some(outcome) = one_attempt(g, model, round_cap, &mut rng) {
+            let better = best.as_ref().map_or(true, |b| outcome.makespan < b.makespan);
+            if better {
+                best = Some(outcome);
+            }
+        }
+    }
+    best
+}
+
+fn one_attempt(
+    g: &Graph,
+    model: CommModel,
+    round_cap: usize,
+    rng: &mut SmallRng,
+) -> Option<SearchOutcome> {
+    let n = g.n();
+    let telephone = matches!(model, CommModel::Telephone);
+    let mut hold: Vec<BitSet> = (0..n)
+        .map(|p| {
+            let mut b = BitSet::new(n);
+            b.insert(p);
+            b
+        })
+        .collect();
+    let mut holders = vec![1usize; n]; // how many processors hold message m
+    let mut schedule = Schedule::new(n);
+
+    for t in 0..round_cap {
+        if hold.iter().all(BitSet::is_full) {
+            schedule.trim();
+            let makespan = schedule.makespan();
+            return Some(SearchOutcome { schedule, makespan });
+        }
+        // Receivers: not-yet-full processors, most-missing first with random
+        // tie-breaks.
+        let mut receivers: Vec<usize> = (0..n).filter(|&p| !hold[p].is_full()).collect();
+        receivers.shuffle(rng);
+        receivers.sort_by_key(|&p| hold[p].len());
+
+        let mut sending: Vec<Option<u32>> = vec![None; n];
+        let mut dests: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut receiving = vec![false; n];
+
+        for &r in &receivers {
+            if receiving[r] {
+                continue;
+            }
+            // Candidate (sender, msg): scarcest message wins; random jitter
+            // breaks ties to diversify attempts.
+            let mut best_opt: Option<(usize, u32, usize, u32)> = None; // (s, m, holders, jitter)
+            for s in g.neighbors(r) {
+                match sending[s] {
+                    Some(m) => {
+                        if telephone || hold[r].contains(m as usize) {
+                            continue;
+                        }
+                        let score = (holders[m as usize], rng.gen::<u32>());
+                        if best_opt.map_or(true, |(_, _, h, j)| score < (h, j)) {
+                            best_opt = Some((s, m, score.0, score.1));
+                        }
+                    }
+                    None => {
+                        for m in hold[s].iter() {
+                            if hold[r].contains(m) {
+                                continue;
+                            }
+                            let score = (holders[m], rng.gen::<u32>());
+                            if best_opt.map_or(true, |(_, _, h, j)| score < (h, j)) {
+                                best_opt = Some((s, m as u32, score.0, score.1));
+                            }
+                        }
+                    }
+                }
+            }
+            if let Some((s, m, _, _)) = best_opt {
+                sending[s] = Some(m);
+                dests[s].push(r);
+                receiving[r] = true;
+            }
+        }
+
+        let mut any = false;
+        for s in 0..n {
+            if let Some(m) = sending[s] {
+                any = true;
+                for &d in &dests[s] {
+                    if hold[d].insert(m as usize) {
+                        holders[m as usize] += 1;
+                    }
+                }
+                schedule.add_transmission(t, Transmission::new(m, s, dests[s].clone()));
+            }
+        }
+        if !any {
+            return None; // stuck (cannot happen on connected graphs, but be safe)
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_model::{identity_origins, validate_gossip_schedule};
+
+    fn petersen() -> Graph {
+        let mut edges = Vec::new();
+        for i in 0..5 {
+            edges.push((i, (i + 1) % 5));
+            edges.push((5 + i, 5 + (i + 2) % 5));
+            edges.push((i, i + 5));
+        }
+        Graph::from_edges(10, &edges).unwrap()
+    }
+
+    #[test]
+    fn petersen_schedule_is_optimal_and_telephone_legal() {
+        let g = petersen();
+        let s = petersen_gossip_schedule();
+        assert_eq!(s.makespan(), 9); // n - 1: optimal
+        let o = validate_gossip_schedule(&g, &s, &identity_origins(10), CommModel::Telephone)
+            .unwrap();
+        assert!(o.complete);
+        assert_eq!(o.completion_time, Some(9));
+    }
+
+    #[test]
+    fn random_search_completes_on_small_graphs() {
+        let ring5 =
+            Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+        let out = randomized_gossip_search(&ring5, CommModel::Multicast, 50, 7).unwrap();
+        assert!(out.makespan >= 4);
+        let o = validate_gossip_schedule(
+            &ring5,
+            &out.schedule,
+            &identity_origins(5),
+            CommModel::Multicast,
+        )
+        .unwrap();
+        assert!(o.complete);
+    }
+
+    #[test]
+    fn random_search_finds_n_minus_1_on_k23() {
+        // K_{2,3}: parts {0, 1} and {2, 3, 4} — the N_3 substitute.
+        let g = Graph::from_edges(5, &[(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4)]).unwrap();
+        let out = randomized_gossip_search(&g, CommModel::Multicast, 400, 11).unwrap();
+        assert_eq!(out.makespan, 4, "expected an n - 1 witness on K_2,3");
+    }
+
+    #[test]
+    fn telephone_search_legal() {
+        let g = petersen();
+        let out = randomized_gossip_search(&g, CommModel::Telephone, 30, 3).unwrap();
+        let o = validate_gossip_schedule(
+            &g,
+            &out.schedule,
+            &identity_origins(10),
+            CommModel::Telephone,
+        )
+        .unwrap();
+        assert!(o.complete);
+    }
+
+    #[test]
+    fn disconnected_returns_none() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(randomized_gossip_search(&g, CommModel::Multicast, 5, 0).is_none());
+    }
+
+    #[test]
+    fn singleton() {
+        let g = Graph::from_edges(1, &[]).unwrap();
+        let out = randomized_gossip_search(&g, CommModel::Multicast, 1, 0).unwrap();
+        assert_eq!(out.makespan, 0);
+    }
+}

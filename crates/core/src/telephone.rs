@@ -1,0 +1,82 @@
+//! Telephone-model tree gossip baseline.
+//!
+//! The paper's motivation (§1–2) is that multicasting beats the telephone
+//! (unicast) model; this baseline quantifies the gap on the same tree. The
+//! up phase is unchanged (it is already unicast); the down phase must serve
+//! each child *individually*, so a vertex with `d` children spends up to
+//! `d` rounds per message where the multicast algorithms spend one. On
+//! stars the ratio approaches `n / 2`.
+
+use gossip_graph::RootedTree;
+use gossip_model::Schedule;
+
+/// Builds a telephone-legal gossip schedule for `tree` (every transmission
+/// has exactly one destination). Origin table: [`crate::tree_origins`].
+///
+/// This is a greedy baseline, not an optimal telephone scheduler; its role
+/// is the model comparison of experiment E14.
+///
+/// # Examples
+///
+/// ```
+/// use gossip_graph::{RootedTree, NO_PARENT};
+/// use gossip_core::{telephone_tree_gossip, tree_origins};
+/// use gossip_model::{validate_gossip_schedule, CommModel};
+///
+/// let tree = RootedTree::from_parents(0, &[NO_PARENT, 0, 0, 0]).unwrap();
+/// let s = telephone_tree_gossip(&tree);
+/// let g = tree.to_graph();
+/// let o = validate_gossip_schedule(&g, &s, &tree_origins(&tree), CommModel::Telephone).unwrap();
+/// assert!(o.complete);
+/// ```
+pub fn telephone_tree_gossip(tree: &RootedTree) -> Schedule {
+    crate::flood::eager_flood_gossip(tree, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concurrent::{concurrent_updown, tree_origins};
+    use gossip_graph::{RootedTree, NO_PARENT};
+    use gossip_model::{validate_gossip_schedule, CommModel};
+
+    fn star(n: usize) -> RootedTree {
+        let mut p = vec![0u32; n];
+        p[0] = NO_PARENT;
+        RootedTree::from_parents(0, &p).unwrap()
+    }
+
+    #[test]
+    fn telephone_legal_and_complete_on_star() {
+        let t = star(10);
+        let s = telephone_tree_gossip(&t);
+        let g = t.to_graph();
+        let o = validate_gossip_schedule(&g, &s, &tree_origins(&t), CommModel::Telephone)
+            .unwrap();
+        assert!(o.complete);
+        assert_eq!(o.stats.max_fanout, 1);
+    }
+
+    #[test]
+    fn multicast_gap_grows_on_stars() {
+        // The center must repeat every message per leaf: Θ(n²) vs Θ(n).
+        let t = star(12);
+        let telephone = telephone_tree_gossip(&t).makespan();
+        let multicast = concurrent_updown(&t).makespan();
+        assert_eq!(multicast, 13);
+        // (n-1) leaves each need (n-1) messages, all via the center, which
+        // sends one unicast per round: at least (n-1)(n-2) rounds of center
+        // sends beyond the leaves' own.
+        assert!(telephone >= (11 * 11) / 2, "telephone only {telephone}");
+        assert!(telephone > 3 * multicast);
+    }
+
+    #[test]
+    fn path_gap_is_small() {
+        // On a path multicasting barely helps (max fanout 2).
+        let t = RootedTree::from_parents(3, &[1, 2, 3, NO_PARENT, 3, 4, 5]).unwrap();
+        let telephone = telephone_tree_gossip(&t).makespan();
+        let multicast = concurrent_updown(&t).makespan();
+        assert!(telephone <= 3 * multicast);
+    }
+}

@@ -1,0 +1,189 @@
+//! Weighted gossiping (the paper's §4 extension): each processor starts
+//! with `w_p >= 1` messages.
+//!
+//! "The idea is to replace a processor that needs to send l messages with a
+//! chain with l processors. In practice, one only mimics this splitting
+//! process." This module performs the splitting literally: each original
+//! vertex becomes a vertical chain of `w_p` virtual processors grafted into
+//! the tree (parent edge at the chain head, children hanging off the chain
+//! tail), ConcurrentUpDown runs on the expanded tree, and the result is a
+//! schedule of length `W + r'` where `W = Σ w_p` is the total message count
+//! and `r'` the expanded tree's height (`r' <= Σ_path max w` along the
+//! deepest path).
+
+use crate::concurrent::concurrent_updown;
+use gossip_graph::{GraphError, RootedTree, NO_PARENT};
+use gossip_model::Schedule;
+
+/// The result of planning a weighted gossip.
+#[derive(Debug, Clone)]
+pub struct WeightedPlan {
+    /// The expanded ("split") tree of `W` virtual processors.
+    pub expanded_tree: RootedTree,
+    /// The ConcurrentUpDown schedule over the expanded tree.
+    pub schedule: Schedule,
+    /// `owner[v'] = p`: the original vertex each virtual processor belongs
+    /// to.
+    pub owner: Vec<usize>,
+    /// `virtuals[p]`: the chain of virtual processors of original vertex
+    /// `p`, head (parent side) first.
+    pub virtuals: Vec<Vec<usize>>,
+    /// Total number of messages `W`.
+    pub total_weight: usize,
+}
+
+impl WeightedPlan {
+    /// The origin table for simulating the expanded schedule.
+    pub fn origins(&self) -> Vec<usize> {
+        crate::concurrent::tree_origins(&self.expanded_tree)
+    }
+
+    /// Which original vertex each *message* (by expanded label) belongs to.
+    pub fn message_owner(&self, msg: u32) -> usize {
+        self.owner[self.expanded_tree.vertex_of_label(msg)]
+    }
+}
+
+/// Splits each vertex of `tree` into a chain of `weights[v]` virtual
+/// processors and schedules gossip over the expansion.
+///
+/// # Errors
+///
+/// Returns an error if `weights.len() != tree.n()` or any weight is zero.
+///
+/// # Examples
+///
+/// ```
+/// use gossip_graph::{RootedTree, NO_PARENT};
+/// use gossip_core::weighted_gossip;
+/// use gossip_model::simulate_gossip;
+///
+/// let tree = RootedTree::from_parents(0, &[NO_PARENT, 0, 0]).unwrap();
+/// let plan = weighted_gossip(&tree, &[2, 1, 3]).unwrap();
+/// assert_eq!(plan.total_weight, 6);
+/// let g = plan.expanded_tree.to_graph();
+/// let o = simulate_gossip(&g, &plan.schedule, &plan.origins()).unwrap();
+/// assert!(o.complete);
+/// ```
+pub fn weighted_gossip(tree: &RootedTree, weights: &[usize]) -> Result<WeightedPlan, GraphError> {
+    let n = tree.n();
+    if weights.len() != n {
+        return Err(GraphError::NotATree {
+            reason: format!("{} weights for {n} vertices", weights.len()),
+        });
+    }
+    if let Some(p) = weights.iter().position(|&w| w == 0) {
+        return Err(GraphError::NotATree {
+            reason: format!("vertex {p} has weight 0 (every processor holds >= 1 message)"),
+        });
+    }
+
+    let total_weight: usize = weights.iter().sum();
+    // Allocate virtual ids: vertex p's chain occupies consecutive ids.
+    let mut virtuals: Vec<Vec<usize>> = Vec::with_capacity(n);
+    let mut owner = Vec::with_capacity(total_weight);
+    let mut next = 0usize;
+    for (p, &w) in weights.iter().enumerate() {
+        let chain: Vec<usize> = (next..next + w).collect();
+        next += w;
+        owner.extend(std::iter::repeat(p).take(w));
+        virtuals.push(chain);
+    }
+
+    // Build the expanded parent array: chain head's parent is the tail of
+    // the original parent's chain; within a chain each link hangs off the
+    // previous one.
+    let mut parent = vec![NO_PARENT; total_weight];
+    for p in 0..n {
+        let chain = &virtuals[p];
+        for pair in chain.windows(2) {
+            parent[pair[1]] = pair[0] as u32;
+        }
+        match tree.parent(p) {
+            Some(q) => parent[chain[0]] = *virtuals[q].last().expect("nonempty chain") as u32,
+            None => parent[chain[0]] = NO_PARENT,
+        }
+    }
+    let root = virtuals[tree.root()][0];
+    let expanded_tree = RootedTree::from_parents(root, &parent)?;
+    let schedule = concurrent_updown(&expanded_tree);
+
+    Ok(WeightedPlan {
+        expanded_tree,
+        schedule,
+        owner,
+        virtuals,
+        total_weight,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_model::simulate_gossip;
+
+    fn check(tree: &RootedTree, weights: &[usize]) -> WeightedPlan {
+        let plan = weighted_gossip(tree, weights).unwrap();
+        let g = plan.expanded_tree.to_graph();
+        let o = simulate_gossip(&g, &plan.schedule, &plan.origins()).unwrap();
+        assert!(o.complete);
+        assert_eq!(
+            plan.schedule.makespan(),
+            plan.total_weight + plan.expanded_tree.height() as usize
+        );
+        plan
+    }
+
+    #[test]
+    fn unit_weights_reduce_to_plain_gossip() {
+        let tree = RootedTree::from_parents(0, &[NO_PARENT, 0, 0, 1]).unwrap();
+        let plan = check(&tree, &[1, 1, 1, 1]);
+        assert_eq!(plan.total_weight, 4);
+        assert_eq!(plan.expanded_tree.height(), tree.height());
+    }
+
+    #[test]
+    fn heavy_root() {
+        let tree = RootedTree::from_parents(0, &[NO_PARENT, 0, 0]).unwrap();
+        let plan = check(&tree, &[4, 1, 1]);
+        assert_eq!(plan.total_weight, 6);
+        // Root chain adds 3 levels below the root before the children.
+        assert_eq!(plan.expanded_tree.height(), 4);
+        assert_eq!(plan.virtuals[0], vec![0, 1, 2, 3]);
+        assert_eq!(plan.owner[2], 0);
+        assert_eq!(plan.owner[4], 1);
+    }
+
+    #[test]
+    fn heavy_leaf() {
+        let tree = RootedTree::from_parents(0, &[NO_PARENT, 0]).unwrap();
+        let plan = check(&tree, &[1, 3]);
+        assert_eq!(plan.total_weight, 4);
+        assert_eq!(plan.expanded_tree.height(), 3);
+    }
+
+    #[test]
+    fn message_owner_mapping() {
+        let tree = RootedTree::from_parents(0, &[NO_PARENT, 0]).unwrap();
+        let plan = weighted_gossip(&tree, &[2, 2]).unwrap();
+        let owners: Vec<usize> = (0..4).map(|m| plan.message_owner(m)).collect();
+        // Labels follow DFS order down the combined chain 0-1-2-3.
+        assert_eq!(owners, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn rejects_bad_weights() {
+        let tree = RootedTree::from_parents(0, &[NO_PARENT, 0]).unwrap();
+        assert!(weighted_gossip(&tree, &[1]).is_err());
+        assert!(weighted_gossip(&tree, &[1, 0]).is_err());
+    }
+
+    #[test]
+    fn mixed_weights_on_a_star() {
+        let tree = RootedTree::from_parents(0, &[NO_PARENT, 0, 0, 0]).unwrap();
+        let plan = check(&tree, &[1, 2, 3, 1]);
+        assert_eq!(plan.total_weight, 7);
+        // Deepest chain: child with weight 3 -> height 3.
+        assert_eq!(plan.expanded_tree.height(), 3);
+    }
+}

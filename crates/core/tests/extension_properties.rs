@@ -1,0 +1,139 @@
+//! Property tests for the extension modules: annotated schedules,
+//! broadcast primitives, the broadcast-model greedy, compaction of
+//! algorithm output, and pipelined overlays — all over random trees and
+//! graphs.
+
+use gossip_core::{
+    annotated_concurrent_updown, annotated_to_schedule, broadcast_model_gossip,
+    broadcast_schedule, concurrent_updown, multi_broadcast_schedule, pipelined_gossip,
+    tree_origins, updown_gossip,
+};
+use gossip_graph::{bfs, GraphBuilder, RootedTree, NO_PARENT};
+use gossip_model::{
+    compact_schedule, identity_origins, validate_gossip_schedule, verify_compaction, CommModel,
+    Simulator,
+};
+use proptest::prelude::*;
+
+fn arb_tree(max_n: usize) -> impl Strategy<Value = RootedTree> {
+    (2..=max_n).prop_flat_map(|n| {
+        let parents: Vec<BoxedStrategy<u32>> = (1..n).map(|i| (0..i as u32).boxed()).collect();
+        parents.prop_map(move |ps| {
+            let mut parent = vec![NO_PARENT; n];
+            for (i, p) in ps.into_iter().enumerate() {
+                parent[i + 1] = p;
+            }
+            RootedTree::from_parents(0, &parent).expect("valid tree")
+        })
+    })
+}
+
+fn arb_connected(max_n: usize) -> impl Strategy<Value = gossip_graph::Graph> {
+    (2..=max_n).prop_flat_map(|n| {
+        let parents: Vec<BoxedStrategy<usize>> = (1..n).map(|i| (0..i).boxed()).collect();
+        let pairs: Vec<(usize, usize)> = (0..n)
+            .flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
+            .collect();
+        let len = pairs.len();
+        (parents, proptest::collection::vec(proptest::bool::weighted(0.2), len)).prop_map(
+            move |(ps, mask)| {
+                let mut b = GraphBuilder::new(n);
+                let mut present = std::collections::HashSet::new();
+                for (i, p) in ps.into_iter().enumerate() {
+                    b.add_edge_unchecked(p, i + 1).unwrap();
+                    present.insert((p.min(i + 1), p.max(i + 1)));
+                }
+                for (on, &(u, v)) in mask.iter().zip(&pairs) {
+                    if *on && !present.contains(&(u, v)) {
+                        b.add_edge_unchecked(u, v).unwrap();
+                    }
+                }
+                b.build()
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The annotated schedule always forgets to exactly the plain one.
+    #[test]
+    fn annotated_equals_plain(tree in arb_tree(20)) {
+        let ann = annotated_concurrent_updown(&tree);
+        let mut forgotten = annotated_to_schedule(&ann, tree.n());
+        forgotten.normalize();
+        let mut plain = concurrent_updown(&tree);
+        plain.normalize();
+        prop_assert_eq!(forgotten, plain);
+    }
+
+    /// Broadcast from every source takes exactly the source's eccentricity
+    /// on random connected graphs.
+    #[test]
+    fn broadcast_eccentricity(g in arb_connected(12)) {
+        for source in 0..g.n() {
+            let (s, time) = broadcast_schedule(&g, source);
+            let ecc = bfs(&g, source).eccentricity().unwrap() as usize;
+            prop_assert_eq!(time, ecc);
+            prop_assert_eq!(s.makespan(), ecc);
+        }
+    }
+
+    /// Multi-message broadcast obeys the pipelining bound k - 1 + ecc and
+    /// delivers every message everywhere.
+    #[test]
+    fn multi_broadcast_pipelines(g in arb_connected(10), k in 1usize..5) {
+        let source = 0;
+        let (s, time) = multi_broadcast_schedule(&g, source, k);
+        let ecc = bfs(&g, source).eccentricity().unwrap() as usize;
+        prop_assert_eq!(time, if g.n() == 1 { 0 } else { k - 1 + ecc });
+        let origins = vec![source; k];
+        let mut sim = Simulator::with_origins(&g, CommModel::Multicast, &origins).unwrap();
+        sim.run(&s).unwrap();
+        for m in 0..k {
+            prop_assert!(sim.everyone_holds(m));
+        }
+    }
+
+    /// The broadcast-model greedy always completes, validates under the
+    /// Broadcast restriction, and respects the universal bound.
+    #[test]
+    fn broadcast_model_valid(g in arb_connected(10)) {
+        let s = broadcast_model_gossip(&g);
+        let o = validate_gossip_schedule(&g, &s, &identity_origins(g.n()), CommModel::Broadcast)
+            .unwrap();
+        prop_assert!(o.complete);
+        prop_assert!(s.makespan() >= g.n() - 1);
+    }
+
+    /// Compaction of any algorithm's schedule preserves completion, never
+    /// increases the makespan, and never drops below the universal bound.
+    /// ConcurrentUpDown is redundancy-free (zero pruned deliveries) always;
+    /// on tiny trees the greedy shifter can even recover the uniform +1
+    /// that the root-message deferral costs (e.g. the 2-vertex tree
+    /// compacts from 3 rounds to the optimal 1).
+    #[test]
+    fn compaction_sound(tree in arb_tree(14)) {
+        let g = tree.to_graph();
+        let origins = tree_origins(&tree);
+        for schedule in [concurrent_updown(&tree), updown_gossip(&tree)] {
+            let report = compact_schedule(&g, &schedule, &origins).unwrap();
+            prop_assert!(report.makespan_after <= report.makespan_before);
+            prop_assert!(report.makespan_after >= tree.n() - 1);
+            prop_assert!(verify_compaction(&g, &report, &origins).unwrap());
+        }
+        let cud = compact_schedule(&g, &concurrent_updown(&tree), &origins).unwrap();
+        prop_assert_eq!(cud.deliveries_pruned, 0);
+    }
+
+    /// A fully serialized pipeline of k batches is always valid with the
+    /// expected makespan (k - 1) * (n + r) + (n + r).
+    #[test]
+    fn pipelined_serialized_valid(tree in arb_tree(10), k in 1usize..4) {
+        let full = tree.n() + tree.height() as usize;
+        let plan = pipelined_gossip(&tree, k, full).unwrap();
+        prop_assert_eq!(plan.schedule.makespan(), k * full);
+        prop_assert!((plan.amortized_rounds() - full as f64).abs() < 1e-9);
+    }
+}

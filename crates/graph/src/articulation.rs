@@ -1,0 +1,144 @@
+//! Articulation points (cut vertices), via iterative Tarjan lowlink.
+//!
+//! Cut vertices power the generalized gossip lower bound: every message
+//! crossing a cut vertex `c` is serialized through `c`'s single receive
+//! slot per round, which extends the paper's straight-line argument
+//! (`n + r - 1` on odd paths) to arbitrary graphs.
+
+use crate::graph::Graph;
+
+/// Returns the articulation points of `g`, ascending.
+///
+/// A vertex is an articulation point if removing it (and its edges)
+/// increases the number of connected components. Works per component;
+/// isolated vertices are never articulation points.
+pub fn articulation_points(g: &Graph) -> Vec<usize> {
+    let n = g.n();
+    let mut disc = vec![u32::MAX; n]; // discovery order, MAX = unvisited
+    let mut low = vec![u32::MAX; n];
+    let mut is_cut = vec![false; n];
+    let mut timer = 0u32;
+
+    // Iterative DFS frames: (vertex, parent, next neighbour index,
+    // child count for roots).
+    let mut stack: Vec<(usize, usize, usize)> = Vec::new();
+
+    for start in 0..n {
+        if disc[start] != u32::MAX {
+            continue;
+        }
+        disc[start] = timer;
+        low[start] = timer;
+        timer += 1;
+        let mut root_children = 0usize;
+        stack.push((start, usize::MAX, 0));
+        while let Some(&mut (v, parent, ref mut ni)) = stack.last_mut() {
+            let nbrs = g.neighbors_raw(v);
+            if *ni < nbrs.len() {
+                let w = nbrs[*ni] as usize;
+                *ni += 1;
+                if disc[w] == u32::MAX {
+                    disc[w] = timer;
+                    low[w] = timer;
+                    timer += 1;
+                    if v == start {
+                        root_children += 1;
+                    }
+                    stack.push((w, v, 0));
+                } else if w != parent {
+                    low[v] = low[v].min(disc[w]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&mut (p, _, _)) = stack.last_mut() {
+                    low[p] = low[p].min(low[v]);
+                    if p != start && low[v] >= disc[p] {
+                        is_cut[p] = true;
+                    }
+                }
+            }
+        }
+        if root_children >= 2 {
+            is_cut[start] = true;
+        }
+    }
+
+    (0..n).filter(|&v| is_cut[v]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::components;
+    use crate::graph::GraphBuilder;
+
+    /// Brute-force check: v is a cut vertex iff deleting it increases the
+    /// component count among the remaining vertices.
+    fn brute_force(g: &Graph) -> Vec<usize> {
+        let n = g.n();
+        let (_, base) = components(g);
+        let mut cuts = Vec::new();
+        for v in 0..n {
+            let mut b = GraphBuilder::new(n);
+            for (x, y) in g.edges() {
+                if x != v && y != v {
+                    b.add_edge_unchecked(x, y).unwrap();
+                }
+            }
+            let h = b.build();
+            let (comp, k) = components(&h);
+            let _ = comp;
+            // v itself is now isolated: compare k - 1 against base.
+            if k - 1 > base - (g.degree(v) == 0) as usize {
+                cuts.push(v);
+            }
+        }
+        cuts
+    }
+
+    #[test]
+    fn path_interior_vertices_are_cuts() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        assert_eq!(articulation_points(&g), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn cycle_has_none() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+        assert!(articulation_points(&g).is_empty());
+    }
+
+    #[test]
+    fn star_center_is_cut() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        assert_eq!(articulation_points(&g), vec![0]);
+    }
+
+    #[test]
+    fn two_triangles_sharing_a_vertex() {
+        let g =
+            Graph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]).unwrap();
+        assert_eq!(articulation_points(&g), vec![2]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_assorted_graphs() {
+        let cases = vec![
+            Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (1, 4), (4, 5)]).unwrap(),
+            Graph::from_edges(7, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3), (5, 6)])
+                .unwrap(),
+            Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap(), // disconnected
+            Graph::from_edges(3, &[]).unwrap(),               // isolated vertices
+            Graph::from_edges(2, &[(0, 1)]).unwrap(),
+        ];
+        for g in cases {
+            assert_eq!(articulation_points(&g), brute_force(&g), "{g:?}");
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, &[]).unwrap();
+        assert!(articulation_points(&g).is_empty());
+    }
+}

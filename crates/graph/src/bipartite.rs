@@ -1,0 +1,184 @@
+//! Bipartiteness testing with certificates.
+//!
+//! Used by the experiments around network `N_3`: a bipartite graph with
+//! unequal parts can have no Hamiltonian circuit (a circuit alternates
+//! parts), which is the easy certificate of `K_{2,3}`'s non-Hamiltonicity.
+
+use crate::graph::Graph;
+
+/// The outcome of a bipartiteness check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Bipartiteness {
+    /// The graph is bipartite; `side[v]` gives each vertex's part (vertices
+    /// of isolated components get a side too, via their own BFS).
+    Bipartite {
+        /// Part assignment, `false`/`true` per vertex.
+        side: Vec<bool>,
+    },
+    /// The graph contains an odd cycle (returned as a vertex sequence;
+    /// consecutive vertices adjacent, last adjacent to first, odd length).
+    OddCycle {
+        /// The certificate cycle.
+        cycle: Vec<usize>,
+    },
+}
+
+/// Two-colors `g` by BFS, or exhibits an odd cycle.
+///
+/// # Examples
+///
+/// ```
+/// use gossip_graph::{Graph, bipartiteness, Bipartiteness};
+///
+/// let even = Graph::from_edges(4, &[(0,1),(1,2),(2,3),(3,0)]).unwrap();
+/// assert!(matches!(bipartiteness(&even), Bipartiteness::Bipartite { .. }));
+///
+/// let odd = Graph::from_edges(3, &[(0,1),(1,2),(2,0)]).unwrap();
+/// match bipartiteness(&odd) {
+///     Bipartiteness::OddCycle { cycle } => assert_eq!(cycle.len() % 2, 1),
+///     _ => panic!("triangle is not bipartite"),
+/// }
+/// ```
+pub fn bipartiteness(g: &Graph) -> Bipartiteness {
+    let n = g.n();
+    let mut side = vec![false; n];
+    let mut dist = vec![u32::MAX; n];
+    let mut parent = vec![u32::MAX; n];
+    let mut queue = Vec::new();
+    for s in 0..n {
+        if dist[s] != u32::MAX {
+            continue;
+        }
+        dist[s] = 0;
+        queue.clear();
+        queue.push(s as u32);
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head] as usize;
+            head += 1;
+            for &w in g.neighbors_raw(u) {
+                let w_us = w as usize;
+                if dist[w_us] == u32::MAX {
+                    dist[w_us] = dist[u] + 1;
+                    side[w_us] = !side[u];
+                    parent[w_us] = u as u32;
+                    queue.push(w);
+                } else if side[w_us] == side[u] {
+                    // Odd cycle: paths u -> lca and w -> lca plus edge (u, w).
+                    return Bipartiteness::OddCycle { cycle: odd_cycle(u, w_us, &parent, &dist) };
+                }
+            }
+        }
+    }
+    Bipartiteness::Bipartite { side }
+}
+
+/// Whether `g` is bipartite.
+pub fn is_bipartite(g: &Graph) -> bool {
+    matches!(bipartiteness(g), Bipartiteness::Bipartite { .. })
+}
+
+fn odd_cycle(u: usize, w: usize, parent: &[u32], dist: &[u32]) -> Vec<usize> {
+    // Walk both endpoints up to their lowest common ancestor.
+    let (mut a, mut b) = (u, w);
+    let mut up_a = Vec::new();
+    let mut up_b = Vec::new();
+    while dist[a] > dist[b] {
+        up_a.push(a);
+        a = parent[a] as usize;
+    }
+    while dist[b] > dist[a] {
+        up_b.push(b);
+        b = parent[b] as usize;
+    }
+    while a != b {
+        up_a.push(a);
+        up_b.push(b);
+        a = parent[a] as usize;
+        b = parent[b] as usize;
+    }
+    // Cycle: u -> ... -> lca -> ... -> w (edge w-u closes it).
+    let mut cycle = up_a;
+    cycle.push(a);
+    up_b.reverse();
+    cycle.extend(up_b);
+    cycle
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn verify_odd_cycle(g: &Graph, cycle: &[usize]) {
+        assert_eq!(cycle.len() % 2, 1, "cycle must be odd");
+        assert!(cycle.len() >= 3);
+        for w in cycle.windows(2) {
+            assert!(g.has_edge(w[0], w[1]), "{} - {} not an edge", w[0], w[1]);
+        }
+        assert!(g.has_edge(*cycle.last().unwrap(), cycle[0]));
+        let mut sorted = cycle.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), cycle.len(), "cycle repeats a vertex");
+    }
+
+    #[test]
+    fn even_cycle_bipartite() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]).unwrap();
+        match bipartiteness(&g) {
+            Bipartiteness::Bipartite { side } => {
+                for (u, v) in g.edges() {
+                    assert_ne!(side[u], side[v]);
+                }
+            }
+            _ => panic!("C6 is bipartite"),
+        }
+    }
+
+    #[test]
+    fn odd_cycle_certified() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+        match bipartiteness(&g) {
+            Bipartiteness::OddCycle { cycle } => verify_odd_cycle(&g, &cycle),
+            _ => panic!("C5 is not bipartite"),
+        }
+    }
+
+    #[test]
+    fn triangle_with_tail() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5)]).unwrap();
+        match bipartiteness(&g) {
+            Bipartiteness::OddCycle { cycle } => verify_odd_cycle(&g, &cycle),
+            _ => panic!("contains a triangle"),
+        }
+    }
+
+    #[test]
+    fn trees_and_empty_bipartite() {
+        assert!(is_bipartite(&Graph::from_edges(4, &[(0, 1), (1, 2), (1, 3)]).unwrap()));
+        assert!(is_bipartite(&Graph::from_edges(3, &[]).unwrap()));
+        assert!(is_bipartite(&Graph::from_edges(0, &[]).unwrap()));
+    }
+
+    #[test]
+    fn k23_bipartite_with_unequal_parts() {
+        let g = Graph::from_edges(5, &[(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4)]).unwrap();
+        match bipartiteness(&g) {
+            Bipartiteness::Bipartite { side } => {
+                let a = side.iter().filter(|&&s| s).count();
+                assert!(a == 2 || a == 3, "parts of sizes 2 and 3");
+            }
+            _ => panic!("K23 is bipartite"),
+        }
+    }
+
+    #[test]
+    fn disconnected_mixed() {
+        // Bipartite component + triangle component.
+        let g = Graph::from_edges(6, &[(0, 1), (2, 3), (3, 4), (4, 2)]).unwrap();
+        match bipartiteness(&g) {
+            Bipartiteness::OddCycle { cycle } => verify_odd_cycle(&g, &cycle),
+            _ => panic!("triangle component makes it non-bipartite"),
+        }
+    }
+}

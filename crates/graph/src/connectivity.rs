@@ -1,0 +1,93 @@
+//! Connectivity queries: connectedness and component decomposition.
+//!
+//! Gossiping is only defined on connected networks (a message cannot cross
+//! between components), so every scheduling entry point validates
+//! connectivity first.
+
+use crate::bfs::{bfs, UNREACHABLE};
+use crate::graph::Graph;
+
+/// Whether the graph is connected. The empty graph is vacuously connected;
+/// a single vertex is connected.
+pub fn is_connected(g: &Graph) -> bool {
+    if g.n() <= 1 {
+        return true;
+    }
+    bfs(g, 0).all_reached()
+}
+
+/// Assigns each vertex a component id in `0..k` (by discovery order) and
+/// returns `(component_of, k)`.
+pub fn components(g: &Graph) -> (Vec<u32>, usize) {
+    let n = g.n();
+    let mut comp = vec![u32::MAX; n];
+    let mut k = 0u32;
+    let mut queue = Vec::new();
+    for s in 0..n {
+        if comp[s] != u32::MAX {
+            continue;
+        }
+        comp[s] = k;
+        queue.clear();
+        queue.push(s as u32);
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head] as usize;
+            head += 1;
+            for &w in g.neighbors_raw(u) {
+                if comp[w as usize] == u32::MAX {
+                    comp[w as usize] = k;
+                    queue.push(w);
+                }
+            }
+        }
+        k += 1;
+    }
+    (comp, k as usize)
+}
+
+/// The number of vertices reachable from `source`, including `source`.
+pub fn reachable_count(g: &Graph, source: usize) -> usize {
+    bfs(g, source).dist.iter().filter(|&&d| d != UNREACHABLE).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_singleton_connected() {
+        assert!(is_connected(&Graph::from_edges(0, &[]).unwrap()));
+        assert!(is_connected(&Graph::from_edges(1, &[]).unwrap()));
+    }
+
+    #[test]
+    fn two_isolated_vertices_disconnected() {
+        assert!(!is_connected(&Graph::from_edges(2, &[]).unwrap()));
+    }
+
+    #[test]
+    fn path_connected() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn components_count_and_labels() {
+        let g = Graph::from_edges(6, &[(0, 1), (2, 3), (3, 4)]).unwrap();
+        let (comp, k) = components(&g);
+        assert_eq!(k, 3);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[2]);
+        assert_ne!(comp[2], comp[5]);
+    }
+
+    #[test]
+    fn reachable_counts() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2)]).unwrap();
+        assert_eq!(reachable_count(&g, 0), 3);
+        assert_eq!(reachable_count(&g, 3), 1);
+    }
+}

@@ -1,0 +1,209 @@
+//! Exact Hamiltonian-circuit search for small graphs.
+//!
+//! §1 of the paper motivates the gossiping algorithm with the Hamiltonian
+//! circuit schedule (Fig 1): a circuit yields an optimal `n - 1` round
+//! schedule, but *finding* one is NP-complete. This module provides a
+//! backtracking solver with degree-based pruning — exponential in the worst
+//! case, entirely adequate for the paper-scale instances (rings, the
+//! Petersen graph) used in the experiments, including proving the Petersen
+//! graph has *no* Hamiltonian circuit.
+
+use crate::graph::Graph;
+
+/// Searches for a Hamiltonian circuit.
+///
+/// Returns the circuit as a vertex sequence of length `n` (the closing edge
+/// back to the first vertex is implicit), or `None` if no circuit exists.
+/// The search is exact: `None` is a proof of non-Hamiltonicity.
+///
+/// `n < 3` never has a circuit (the communication model needs a cycle of
+/// distinct vertices).
+///
+/// # Examples
+///
+/// ```
+/// use gossip_graph::{Graph, find_hamiltonian_circuit};
+///
+/// let ring = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+/// let c = find_hamiltonian_circuit(&ring).unwrap();
+/// assert_eq!(c.len(), 5);
+/// ```
+pub fn find_hamiltonian_circuit(g: &Graph) -> Option<Vec<usize>> {
+    let n = g.n();
+    if n < 3 {
+        return None;
+    }
+    // A circuit needs minimum degree 2.
+    if g.min_degree() < 2 {
+        return None;
+    }
+    let mut path = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    path.push(0usize);
+    visited[0] = true;
+    if extend(g, &mut path, &mut visited, n) {
+        Some(path)
+    } else {
+        None
+    }
+}
+
+fn extend(g: &Graph, path: &mut Vec<usize>, visited: &mut [bool], n: usize) -> bool {
+    if path.len() == n {
+        return g.has_edge(*path.last().unwrap(), path[0]);
+    }
+    let last = *path.last().unwrap();
+    for &w in g.neighbors_raw(last) {
+        let w = w as usize;
+        if visited[w] {
+            continue;
+        }
+        // Prune: an unvisited vertex (other than an endpoint candidate) whose
+        // unvisited+endpoint degree drops below 2 can never be traversed.
+        visited[w] = true;
+        path.push(w);
+        if prune_ok(g, path, visited, n) && extend(g, path, visited, n) {
+            return true;
+        }
+        path.pop();
+        visited[w] = false;
+    }
+    false
+}
+
+/// Cheap feasibility check: every unvisited vertex must retain at least two
+/// usable neighbours (unvisited, or one of the two path endpoints).
+fn prune_ok(g: &Graph, path: &[usize], visited: &[bool], n: usize) -> bool {
+    if path.len() + 2 > n {
+        return true; // too close to completion for the bound to fire safely
+    }
+    let start = path[0];
+    let end = *path.last().unwrap();
+    for v in 0..n {
+        if visited[v] {
+            continue;
+        }
+        let mut usable = 0;
+        for &w in g.neighbors_raw(v) {
+            let w = w as usize;
+            if !visited[w] || w == start || w == end {
+                usable += 1;
+                if usable >= 2 {
+                    break;
+                }
+            }
+        }
+        if usable < 2 {
+            return false;
+        }
+    }
+    true
+}
+
+/// Whether `g` has a Hamiltonian circuit (exact).
+pub fn is_hamiltonian(g: &Graph) -> bool {
+    find_hamiltonian_circuit(g).is_some()
+}
+
+/// Validates a purported circuit: `n` distinct vertices, consecutive edges
+/// present, closing edge present.
+pub fn verify_circuit(g: &Graph, circuit: &[usize]) -> bool {
+    let n = g.n();
+    if circuit.len() != n || n < 3 {
+        return false;
+    }
+    let mut seen = vec![false; n];
+    for &v in circuit {
+        if v >= n || seen[v] {
+            return false;
+        }
+        seen[v] = true;
+    }
+    for w in circuit.windows(2) {
+        if !g.has_edge(w[0], w[1]) {
+            return false;
+        }
+    }
+    g.has_edge(circuit[n - 1], circuit[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> Graph {
+        Graph::from_edges(n, &(0..n).map(|i| (i, (i + 1) % n)).collect::<Vec<_>>()).unwrap()
+    }
+
+    fn petersen() -> Graph {
+        // Outer 5-cycle 0..4, inner pentagram 5..9, spokes i -- i+5.
+        let mut edges = Vec::new();
+        for i in 0..5 {
+            edges.push((i, (i + 1) % 5));
+            edges.push((5 + i, 5 + (i + 2) % 5));
+            edges.push((i, i + 5));
+        }
+        Graph::from_edges(10, &edges).unwrap()
+    }
+
+    #[test]
+    fn ring_has_circuit() {
+        for n in 3..10 {
+            let g = cycle(n);
+            let c = find_hamiltonian_circuit(&g).unwrap();
+            assert!(verify_circuit(&g, &c));
+        }
+    }
+
+    #[test]
+    fn path_has_none() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert!(find_hamiltonian_circuit(&g).is_none());
+    }
+
+    #[test]
+    fn petersen_not_hamiltonian() {
+        // The classical fact the paper leans on for Fig 2.
+        assert!(!is_hamiltonian(&petersen()));
+    }
+
+    #[test]
+    fn complete_graph_hamiltonian() {
+        let mut edges = Vec::new();
+        for u in 0..7 {
+            for v in (u + 1)..7 {
+                edges.push((u, v));
+            }
+        }
+        let g = Graph::from_edges(7, &edges).unwrap();
+        let c = find_hamiltonian_circuit(&g).unwrap();
+        assert!(verify_circuit(&g, &c));
+    }
+
+    #[test]
+    fn tiny_graphs_none() {
+        assert!(find_hamiltonian_circuit(&Graph::from_edges(1, &[]).unwrap()).is_none());
+        assert!(find_hamiltonian_circuit(&Graph::from_edges(2, &[(0, 1)]).unwrap()).is_none());
+    }
+
+    #[test]
+    fn verify_rejects_bad_circuits() {
+        let g = cycle(4);
+        assert!(!verify_circuit(&g, &[0, 1, 2]));        // wrong length
+        assert!(!verify_circuit(&g, &[0, 1, 1, 2]));     // repeat
+        assert!(!verify_circuit(&g, &[0, 2, 1, 3]));     // non-edge hop
+        assert!(verify_circuit(&g, &[0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn grid_2x3_hamiltonian() {
+        // 0-1-2 / 3-4-5 grid has circuit 0,1,2,5,4,3.
+        let g = Graph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (3, 4), (4, 5), (0, 3), (1, 4), (2, 5)],
+        )
+        .unwrap();
+        let c = find_hamiltonian_circuit(&g).unwrap();
+        assert!(verify_circuit(&g, &c));
+    }
+}

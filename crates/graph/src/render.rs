@@ -1,0 +1,86 @@
+//! ASCII rendering of rooted trees, for CLI output and experiment reports.
+//!
+//! Shows the structure the scheduling algorithms actually consume: each
+//! vertex with its DFS label `i`, subtree range `[i, j]`, and level `k`.
+
+use crate::tree::RootedTree;
+
+/// Renders `tree` as an indented ASCII outline:
+///
+/// ```text
+/// 0  [i=0, range 0..=15, k=0]
+/// ├── 1  [i=1, range 1..=3, k=1]
+/// │   ├── 2  [i=2, range 2..=2, k=2]
+/// │   └── 3  [i=3, range 3..=3, k=2]
+/// └── 4  ...
+/// ```
+pub fn render_tree(tree: &RootedTree) -> String {
+    let mut out = String::new();
+    let root = tree.root();
+    out.push_str(&describe(tree, root));
+    out.push('\n');
+    render_children(tree, root, String::new(), &mut out);
+    out
+}
+
+fn describe(tree: &RootedTree, v: usize) -> String {
+    let (i, j) = tree.subtree_range(v);
+    format!("{v}  [i={}, range {}..={}, k={}]", tree.label(v), i, j, tree.level(v))
+}
+
+fn render_children(tree: &RootedTree, v: usize, prefix: String, out: &mut String) {
+    let kids = tree.children(v);
+    for (idx, &c) in kids.iter().enumerate() {
+        let c = c as usize;
+        let last = idx + 1 == kids.len();
+        out.push_str(&prefix);
+        out.push_str(if last { "└── " } else { "├── " });
+        out.push_str(&describe(tree, c));
+        out.push('\n');
+        let next_prefix = format!("{prefix}{}", if last { "    " } else { "│   " });
+        render_children(tree, c, next_prefix, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::NO_PARENT;
+
+    #[test]
+    fn renders_structure_and_labels() {
+        let t = RootedTree::from_parents(0, &[NO_PARENT, 0, 0, 1]).unwrap();
+        let txt = render_tree(&t);
+        let lines: Vec<&str> = txt.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("0  [i=0, range 0..=3, k=0]"));
+        assert!(txt.contains("├── 1"));
+        assert!(txt.contains("└── 3") || txt.contains("└── 2"));
+        // Grandchild is indented below its parent with a continuation bar.
+        assert!(txt.contains("│   └── 3") || txt.contains("    └── 3"));
+    }
+
+    #[test]
+    fn singleton() {
+        let t = RootedTree::from_parents(0, &[NO_PARENT]).unwrap();
+        assert_eq!(render_tree(&t).lines().count(), 1);
+    }
+
+    #[test]
+    fn every_vertex_appears_once() {
+        let mut p = vec![0u32; 16];
+        for (v, par) in [
+            (1, 0), (2, 1), (3, 1), (4, 0), (5, 4), (6, 5), (7, 5), (8, 4),
+            (9, 8), (10, 8), (11, 0), (12, 11), (13, 12), (14, 12), (15, 11),
+        ] {
+            p[v] = par;
+        }
+        p[0] = NO_PARENT;
+        let t = RootedTree::from_parents(0, &p).unwrap();
+        let txt = render_tree(&t);
+        assert_eq!(txt.lines().count(), 16);
+        for v in 0..16 {
+            assert!(txt.contains(&format!("{v}  [i={v},")), "vertex {v} missing");
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Minimum-depth spanning tree construction (the paper's §3.1).
+//!
+//! "Such a tree can be easily constructed by performing n breadth-first
+//! search (BFS) traversals of the graph starting at each vertex and then
+//! selecting the tree with least height (or depth). This procedure takes
+//! O(mn) time."
+//!
+//! The height of the winning tree equals the graph radius `r`, and its root
+//! is a center vertex: the BFS tree from `v` has height = eccentricity(`v`),
+//! minimized over center vertices. Both a sequential sweep and a
+//! rayon-parallel sweep (one independent BFS per task) are provided; they
+//! return identical trees because ties are broken by the smallest root id in
+//! both.
+
+use crate::bfs::{bfs, bfs_into};
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::tree::{RootedTree, NO_PARENT};
+use rayon::prelude::*;
+
+/// How child order is fixed when a BFS parent forest is turned into a
+/// [`RootedTree`].
+///
+/// The paper allows "any arbitrary order"; the schedule length is `n + r`
+/// regardless, but the concrete schedule differs, so reproducible builds fix
+/// the order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChildOrder {
+    /// Children sorted by ascending vertex id (deterministic, the default).
+    #[default]
+    ById,
+    /// Children sorted by descending subtree size (largest subtree first).
+    /// Exposed for schedule-shape experiments; still deterministic.
+    LargestSubtreeFirst,
+}
+
+/// Builds the BFS spanning tree of `g` rooted at `root`.
+///
+/// Errors with [`GraphError::Disconnected`] if `g` is not connected and
+/// [`GraphError::EmptyGraph`] on zero vertices.
+pub fn bfs_tree(g: &Graph, root: usize, order: ChildOrder) -> Result<RootedTree, GraphError> {
+    if g.n() == 0 {
+        return Err(GraphError::EmptyGraph);
+    }
+    let r = bfs(g, root);
+    if !r.all_reached() {
+        return Err(GraphError::Disconnected);
+    }
+    parents_to_tree(root, &r.parent, order)
+}
+
+/// Finds a spanning tree of minimum possible height: one BFS per vertex,
+/// keep the shallowest (ties to the smallest root id). Sequential sweep.
+///
+/// The returned tree's height equals the radius of `g`.
+pub fn min_depth_spanning_tree(g: &Graph, order: ChildOrder) -> Result<RootedTree, GraphError> {
+    if g.n() == 0 {
+        return Err(GraphError::EmptyGraph);
+    }
+    let radius_floor = lower_radius_bound(g);
+    let mut scratch = bfs(g, 0);
+    let mut best: Option<(u32, usize, Vec<u32>)> = None;
+    for v in 0..g.n() {
+        bfs_into(g, v, &mut scratch);
+        let ecc = scratch.eccentricity().ok_or(GraphError::Disconnected)?;
+        let better = match &best {
+            None => true,
+            Some((best_ecc, _, _)) => ecc < *best_ecc,
+        };
+        if better {
+            best = Some((ecc, v, scratch.parent.clone()));
+            if ecc == radius_floor {
+                // Cannot do better than a known lower bound; stop early.
+                break;
+            }
+        }
+    }
+    let (_, root, parent) = best.expect("n > 0");
+    parents_to_tree(root, &parent, order)
+}
+
+/// Rayon-parallel variant of [`min_depth_spanning_tree`]: one independent
+/// BFS per task, reduced by `(eccentricity, root id)`.
+///
+/// Produces the identical tree to the sequential sweep.
+pub fn min_depth_spanning_tree_parallel(
+    g: &Graph,
+    order: ChildOrder,
+) -> Result<RootedTree, GraphError> {
+    if g.n() == 0 {
+        return Err(GraphError::EmptyGraph);
+    }
+    let best = (0..g.n())
+        .into_par_iter()
+        .map(|v| {
+            let r = bfs(g, v);
+            r.eccentricity()
+                .map(|ecc| (ecc, v, r.parent))
+                .ok_or(GraphError::Disconnected)
+        })
+        .try_reduce_with(|a, b| {
+            // Smallest (eccentricity, root id) wins, matching sequential
+            // tie-breaking exactly.
+            Ok(if (b.0, b.1) < (a.0, a.1) { b } else { a })
+        })
+        .expect("n > 0")?;
+    parents_to_tree(best.1, &best.2, order)
+}
+
+/// A cheap lower bound on the radius used for early exit in the sequential
+/// sweep: `ceil(diameter_lower / 2)` where `diameter_lower` is the
+/// eccentricity of vertex 0 (any eccentricity lower-bounds the diameter,
+/// and `r >= ceil(d / 2)` always).
+fn lower_radius_bound(g: &Graph) -> u32 {
+    match bfs(g, 0).eccentricity() {
+        Some(e) => e.div_ceil(2),
+        None => 0,
+    }
+}
+
+fn parents_to_tree(
+    root: usize,
+    parent: &[u32],
+    order: ChildOrder,
+) -> Result<RootedTree, GraphError> {
+    let mut parent = parent.to_vec();
+    parent[root] = NO_PARENT;
+    match order {
+        ChildOrder::ById => RootedTree::from_parents(root, &parent),
+        ChildOrder::LargestSubtreeFirst => {
+            let n = parent.len();
+            // Subtree sizes via reverse-level accumulation.
+            let tmp = RootedTree::from_parents(root, &parent)?;
+            let mut size = vec![1u32; n];
+            let mut bfs_order = tmp.bfs_order();
+            bfs_order.reverse();
+            for v in bfs_order {
+                if let Some(p) = tmp.parent(v) {
+                    size[p] += size[v];
+                }
+            }
+            let mut children: Vec<Vec<u32>> = (0..n).map(|v| tmp.children(v).to_vec()).collect();
+            for kids in &mut children {
+                kids.sort_by_key(|&c| (std::cmp::Reverse(size[c as usize]), c));
+            }
+            RootedTree::from_parents_with_child_order(root, &parent, children)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::radius;
+
+    fn path(n: usize) -> Graph {
+        Graph::from_edges(n, &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>()).unwrap()
+    }
+
+    fn cycle(n: usize) -> Graph {
+        Graph::from_edges(n, &(0..n).map(|i| (i, (i + 1) % n)).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn path_tree_rooted_at_center() {
+        let g = path(7);
+        let t = min_depth_spanning_tree(&g, ChildOrder::ById).unwrap();
+        assert_eq!(t.root(), 3);
+        assert_eq!(t.height(), 3);
+        assert!(t.is_spanning_tree_of(&g));
+    }
+
+    #[test]
+    fn tree_height_equals_radius() {
+        for g in [path(9), cycle(8), cycle(9), path(2)] {
+            let r = radius(&g).unwrap();
+            let t = min_depth_spanning_tree(&g, ChildOrder::ById).unwrap();
+            assert_eq!(t.height(), r);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        for g in [path(10), cycle(11)] {
+            let a = min_depth_spanning_tree(&g, ChildOrder::ById).unwrap();
+            let b = min_depth_spanning_tree_parallel(&g, ChildOrder::ById).unwrap();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn complete_graph_star_tree() {
+        let mut edges = Vec::new();
+        for u in 0..6 {
+            for v in (u + 1)..6 {
+                edges.push((u, v));
+            }
+        }
+        let g = Graph::from_edges(6, &edges).unwrap();
+        let t = min_depth_spanning_tree(&g, ChildOrder::ById).unwrap();
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.children(t.root()).len(), 5);
+    }
+
+    #[test]
+    fn bfs_tree_specific_root() {
+        let g = path(5);
+        let t = bfs_tree(&g, 0, ChildOrder::ById).unwrap();
+        assert_eq!(t.root(), 0);
+        assert_eq!(t.height(), 4); // not minimum depth: rooted at an end
+    }
+
+    #[test]
+    fn disconnected_errors() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert_eq!(
+            min_depth_spanning_tree(&g, ChildOrder::ById).unwrap_err(),
+            GraphError::Disconnected
+        );
+        assert_eq!(
+            min_depth_spanning_tree_parallel(&g, ChildOrder::ById).unwrap_err(),
+            GraphError::Disconnected
+        );
+        assert_eq!(
+            bfs_tree(&g, 0, ChildOrder::ById).unwrap_err(),
+            GraphError::Disconnected
+        );
+    }
+
+    #[test]
+    fn empty_errors() {
+        let g = Graph::from_edges(0, &[]).unwrap();
+        assert_eq!(
+            min_depth_spanning_tree(&g, ChildOrder::ById).unwrap_err(),
+            GraphError::EmptyGraph
+        );
+    }
+
+    #[test]
+    fn singleton_tree() {
+        let g = Graph::from_edges(1, &[]).unwrap();
+        let t = min_depth_spanning_tree(&g, ChildOrder::ById).unwrap();
+        assert_eq!(t.n(), 1);
+        assert_eq!(t.height(), 0);
+    }
+
+    #[test]
+    fn largest_subtree_first_order() {
+        // Path rooted at center: both subtrees are chains; with a lopsided
+        // tree the bigger side must come first.
+        let g = path(6); // centers 2 and 3; root 2 has sides {0,1} and {3,4,5}
+        let t = min_depth_spanning_tree(&g, ChildOrder::LargestSubtreeFirst).unwrap();
+        assert_eq!(t.root(), 2);
+        let kids = t.children(2);
+        assert_eq!(kids[0], 3); // subtree of size 3 before size 2
+        assert_eq!(kids[1], 1);
+    }
+
+    #[test]
+    fn child_order_preserves_height() {
+        let g = cycle(10);
+        let a = min_depth_spanning_tree(&g, ChildOrder::ById).unwrap();
+        let b = min_depth_spanning_tree(&g, ChildOrder::LargestSubtreeFirst).unwrap();
+        assert_eq!(a.height(), b.height());
+    }
+}

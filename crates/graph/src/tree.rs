@@ -1,0 +1,510 @@
+//! Rooted trees with levels, DFS preorder, and subtree ranges.
+//!
+//! The paper's algorithms run entirely on a rooted spanning tree. Every
+//! quantity they consume lives here:
+//!
+//! - the **level** `k` of each vertex (root = 0),
+//! - the **DFS preorder label** `i` of each vertex (root = 0; children are
+//!   visited in their stored order, so labels inside a subtree are
+//!   contiguous),
+//! - the **subtree range** `[i, j]`: the labels of the vertices (and hence
+//!   messages) originating in the subtree rooted at the vertex.
+//!
+//! The type is indexed by *original* vertex ids; label-indexed views are
+//! provided for the scheduling crate, which works in label space throughout.
+
+use crate::error::GraphError;
+use crate::graph::Graph;
+use serde::{Deserialize, Serialize};
+
+/// Sentinel parent for the root.
+pub const NO_PARENT: u32 = u32::MAX;
+
+/// A rooted tree over vertices `0..n`, with precomputed levels, DFS preorder
+/// labels, and subtree label ranges.
+///
+/// Construct with [`RootedTree::from_parents`] (child order = ascending
+/// vertex id) or [`RootedTree::from_parents_with_child_order`].
+///
+/// # Examples
+///
+/// ```
+/// use gossip_graph::RootedTree;
+///
+/// // A path 0 - 1 - 2 rooted at 1.
+/// let t = RootedTree::from_parents(1, &[1, u32::MAX, 1]).unwrap();
+/// assert_eq!(t.root(), 1);
+/// assert_eq!(t.level(0), 1);
+/// assert_eq!(t.height(), 1);
+/// assert_eq!(t.label(1), 0);           // root gets preorder label 0
+/// assert_eq!(t.subtree_range(1), (0, 2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RootedTree {
+    root: usize,
+    /// `parent[v]`, [`NO_PARENT`] for the root.
+    parent: Vec<u32>,
+    /// Children of each vertex, in the fixed order used by the DFS labeling.
+    children: Vec<Vec<u32>>,
+    /// `level[v]` = depth of `v` (root = 0).
+    level: Vec<u32>,
+    /// `label[v]` = DFS preorder index of `v`.
+    label: Vec<u32>,
+    /// `vertex_of_label[i]` = vertex with preorder label `i`.
+    vertex_of_label: Vec<u32>,
+    /// `range_end[v]` = largest label in `v`'s subtree (the start is
+    /// `label[v]` itself, by preorder contiguity).
+    range_end: Vec<u32>,
+    /// Tree height = maximum level.
+    height: u32,
+}
+
+impl RootedTree {
+    /// Builds a rooted tree from a parent array; children are ordered by
+    /// ascending vertex id.
+    ///
+    /// `parent[root]` must be [`NO_PARENT`]; every other entry must be a
+    /// valid vertex. Rejects structures with the wrong edge count, cycles,
+    /// or vertices not reachable from the root.
+    pub fn from_parents(root: usize, parent: &[u32]) -> Result<Self, GraphError> {
+        let n = parent.len();
+        let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (v, &p) in parent.iter().enumerate() {
+            if v == root {
+                if p != NO_PARENT {
+                    return Err(GraphError::NotATree {
+                        reason: format!("root {root} has parent {p}"),
+                    });
+                }
+                continue;
+            }
+            if p == NO_PARENT {
+                return Err(GraphError::NotATree {
+                    reason: format!("non-root vertex {v} has no parent"),
+                });
+            }
+            if p as usize >= n {
+                return Err(GraphError::VertexOutOfRange { vertex: p as usize, n });
+            }
+            children[p as usize].push(v as u32);
+        }
+        Self::assemble(root, parent.to_vec(), children)
+    }
+
+    /// Builds a rooted tree from a parent array with an explicit child order
+    /// per vertex.
+    ///
+    /// The paper fixes "the ordering of the subtrees in any arbitrary
+    /// order"; the DFS labels — and therefore the entire communication
+    /// schedule — depend on that order, so reproducing a specific paper
+    /// figure requires passing its child order explicitly.
+    pub fn from_parents_with_child_order(
+        root: usize,
+        parent: &[u32],
+        children: Vec<Vec<u32>>,
+    ) -> Result<Self, GraphError> {
+        let n = parent.len();
+        if children.len() != n {
+            return Err(GraphError::NotATree {
+                reason: format!("children table has {} rows for {n} vertices", children.len()),
+            });
+        }
+        // The explicit children table must be consistent with the parents.
+        let mut seen = vec![false; n];
+        for (p, kids) in children.iter().enumerate() {
+            for &c in kids {
+                let c_us = c as usize;
+                if c_us >= n {
+                    return Err(GraphError::VertexOutOfRange { vertex: c_us, n });
+                }
+                if parent[c_us] != p as u32 {
+                    return Err(GraphError::NotATree {
+                        reason: format!("child table lists {c_us} under {p}, parent array says {}", parent[c_us]),
+                    });
+                }
+                if seen[c_us] {
+                    return Err(GraphError::NotATree {
+                        reason: format!("vertex {c_us} listed as a child twice"),
+                    });
+                }
+                seen[c_us] = true;
+            }
+        }
+        for v in 0..n {
+            if v != root && !seen[v] {
+                return Err(GraphError::NotATree {
+                    reason: format!("vertex {v} missing from the child table"),
+                });
+            }
+        }
+        Self::assemble(root, parent.to_vec(), children)
+    }
+
+    fn assemble(
+        root: usize,
+        parent: Vec<u32>,
+        children: Vec<Vec<u32>>,
+    ) -> Result<Self, GraphError> {
+        let n = parent.len();
+        if n == 0 {
+            return Err(GraphError::EmptyGraph);
+        }
+        if root >= n {
+            return Err(GraphError::VertexOutOfRange { vertex: root, n });
+        }
+
+        let mut level = vec![0u32; n];
+        let mut label = vec![u32::MAX; n];
+        let mut vertex_of_label = vec![u32::MAX; n];
+        let mut range_end = vec![0u32; n];
+        let mut height = 0u32;
+
+        // Iterative DFS preorder. Each frame is (vertex, next-child-index);
+        // on last visit of a frame we know the subtree's maximum label.
+        let mut stack: Vec<(u32, usize)> = Vec::with_capacity(64);
+        label[root] = 0;
+        vertex_of_label[0] = root as u32;
+        let mut next_label = 1u32;
+        stack.push((root as u32, 0));
+        while let Some(&mut (v, ref mut ci)) = stack.last_mut() {
+            let v_us = v as usize;
+            if *ci < children[v_us].len() {
+                let c = children[v_us][*ci];
+                *ci += 1;
+                let c_us = c as usize;
+                if label[c_us] != u32::MAX {
+                    return Err(GraphError::NotATree {
+                        reason: format!("vertex {c_us} reached twice (cycle)"),
+                    });
+                }
+                level[c_us] = level[v_us] + 1;
+                height = height.max(level[c_us]);
+                label[c_us] = next_label;
+                vertex_of_label[next_label as usize] = c;
+                next_label += 1;
+                stack.push((c, 0));
+            } else {
+                range_end[v_us] = next_label - 1;
+                stack.pop();
+            }
+        }
+        if next_label as usize != n {
+            return Err(GraphError::NotATree {
+                reason: format!("only {next_label} of {n} vertices reachable from root"),
+            });
+        }
+        Ok(RootedTree {
+            root,
+            parent,
+            children,
+            level,
+            label,
+            vertex_of_label,
+            range_end,
+            height,
+        })
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// The root vertex.
+    #[inline]
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Parent of `v`, or `None` for the root.
+    #[inline]
+    pub fn parent(&self, v: usize) -> Option<usize> {
+        match self.parent[v] {
+            NO_PARENT => None,
+            p => Some(p as usize),
+        }
+    }
+
+    /// Children of `v` in DFS order.
+    #[inline]
+    pub fn children(&self, v: usize) -> &[u32] {
+        &self.children[v]
+    }
+
+    /// Depth of `v`; the root is at level 0. This is the paper's `k`.
+    #[inline]
+    pub fn level(&self, v: usize) -> u32 {
+        self.level[v]
+    }
+
+    /// Tree height (maximum level). Equals the network radius when the tree
+    /// is a minimum-depth spanning tree rooted at a center vertex.
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// DFS preorder label of `v`. This is the paper's message number `i`:
+    /// the message originating at `v` is labeled `label(v)`.
+    #[inline]
+    pub fn label(&self, v: usize) -> u32 {
+        self.label[v]
+    }
+
+    /// The vertex whose preorder label is `i`.
+    #[inline]
+    pub fn vertex_of_label(&self, i: u32) -> usize {
+        self.vertex_of_label[i as usize] as usize
+    }
+
+    /// The label range `(i, j)` of `v`'s subtree: the messages originating
+    /// at `v` or below are exactly `i..=j`, with `i = label(v)`.
+    #[inline]
+    pub fn subtree_range(&self, v: usize) -> (u32, u32) {
+        (self.label[v], self.range_end[v])
+    }
+
+    /// Whether `v` is a leaf.
+    #[inline]
+    pub fn is_leaf(&self, v: usize) -> bool {
+        self.children[v].is_empty()
+    }
+
+    /// Size of `v`'s subtree (including `v`).
+    #[inline]
+    pub fn subtree_size(&self, v: usize) -> usize {
+        (self.range_end[v] - self.label[v] + 1) as usize
+    }
+
+    /// Vertices in DFS preorder (i.e. ascending label).
+    pub fn preorder(&self) -> impl Iterator<Item = usize> + '_ {
+        self.vertex_of_label.iter().map(|&v| v as usize)
+    }
+
+    /// Vertices in BFS order from the root (level-monotone). Useful when a
+    /// computation needs parents resolved before children.
+    pub fn bfs_order(&self) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.n());
+        order.push(self.root);
+        let mut head = 0;
+        while head < order.len() {
+            let v = order[head];
+            head += 1;
+            order.extend(self.children[v].iter().map(|&c| c as usize));
+        }
+        order
+    }
+
+    /// The tree's edges as an undirected [`Graph`] (the "tree network" the
+    /// paper performs all communications in).
+    pub fn to_graph(&self) -> Graph {
+        let mut edges = Vec::with_capacity(self.n().saturating_sub(1));
+        for v in 0..self.n() {
+            if let Some(p) = self.parent(v) {
+                edges.push((p, v));
+            }
+        }
+        Graph::from_edges(self.n(), &edges).expect("tree edges are valid")
+    }
+
+    /// Checks that every tree edge exists in `g`, i.e. this is a spanning
+    /// tree of `g`.
+    pub fn is_spanning_tree_of(&self, g: &Graph) -> bool {
+        if g.n() != self.n() {
+            return false;
+        }
+        (0..self.n()).all(|v| match self.parent(v) {
+            Some(p) => g.has_edge(p, v),
+            None => true,
+        })
+    }
+
+    /// Returns the child of `v` whose subtree contains label `m`, if any.
+    ///
+    /// Used by Propagate-Down step (D3): message `m` is sent to all children
+    /// *except* the one whose subtree already holds it.
+    pub fn child_containing_label(&self, v: usize, m: u32) -> Option<usize> {
+        // Children's ranges are sorted and disjoint; binary search by start.
+        let kids = &self.children[v];
+        let idx = kids.partition_point(|&c| self.label[c as usize] <= m);
+        if idx == 0 {
+            return None;
+        }
+        let c = kids[idx - 1] as usize;
+        let (i, j) = self.subtree_range(c);
+        (i <= m && m <= j).then_some(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The reconstructed Fig 5 tree of the paper (see DESIGN.md §3.1):
+    /// 16 vertices where vertex id happens to equal the DFS label.
+    pub fn fig5_parents() -> Vec<u32> {
+        // 0 -> {1,4,11}; 1 -> {2,3}; 4 -> {5,8}; 5 -> {6,7};
+        // 8 -> {9,10}; 11 -> {12,15}; 12 -> {13,14}
+        let mut p = vec![0u32; 16];
+        p[0] = NO_PARENT;
+        p[1] = 0;
+        p[2] = 1;
+        p[3] = 1;
+        p[4] = 0;
+        p[5] = 4;
+        p[6] = 5;
+        p[7] = 5;
+        p[8] = 4;
+        p[9] = 8;
+        p[10] = 8;
+        p[11] = 0;
+        p[12] = 11;
+        p[13] = 12;
+        p[14] = 12;
+        p[15] = 11;
+        p
+    }
+
+    #[test]
+    fn fig5_labels_match_ids() {
+        let t = RootedTree::from_parents(0, &fig5_parents()).unwrap();
+        for v in 0..16 {
+            assert_eq!(t.label(v), v as u32, "vertex {v}");
+            assert_eq!(t.vertex_of_label(v as u32), v);
+        }
+        assert_eq!(t.height(), 3);
+    }
+
+    #[test]
+    fn fig5_subtree_ranges() {
+        let t = RootedTree::from_parents(0, &fig5_parents()).unwrap();
+        assert_eq!(t.subtree_range(0), (0, 15));
+        assert_eq!(t.subtree_range(1), (1, 3));
+        assert_eq!(t.subtree_range(4), (4, 10));
+        assert_eq!(t.subtree_range(5), (5, 7));
+        assert_eq!(t.subtree_range(8), (8, 10));
+        assert_eq!(t.subtree_range(11), (11, 15));
+        assert_eq!(t.subtree_range(12), (12, 14));
+        assert_eq!(t.subtree_range(15), (15, 15));
+    }
+
+    #[test]
+    fn fig5_levels() {
+        let t = RootedTree::from_parents(0, &fig5_parents()).unwrap();
+        assert_eq!(t.level(0), 0);
+        assert_eq!(t.level(4), 1);
+        assert_eq!(t.level(8), 2);
+        assert_eq!(t.level(10), 3);
+        assert_eq!(t.level(3), 2);
+    }
+
+    #[test]
+    fn child_containing_label() {
+        let t = RootedTree::from_parents(0, &fig5_parents()).unwrap();
+        assert_eq!(t.child_containing_label(0, 7), Some(4));
+        assert_eq!(t.child_containing_label(0, 0), None); // root's own message
+        assert_eq!(t.child_containing_label(0, 15), Some(11));
+        assert_eq!(t.child_containing_label(4, 9), Some(8));
+        assert_eq!(t.child_containing_label(4, 4), None);
+        assert_eq!(t.child_containing_label(8, 3), None); // outside subtree
+    }
+
+    #[test]
+    fn labels_ge_levels() {
+        // Paper invariant: i >= k for every vertex.
+        let t = RootedTree::from_parents(0, &fig5_parents()).unwrap();
+        for v in 0..t.n() {
+            assert!(t.label(v) >= t.level(v));
+        }
+    }
+
+    #[test]
+    fn custom_child_order_changes_labels() {
+        // Star rooted at 0 with children visited 2, 1.
+        let parent = vec![NO_PARENT, 0, 0];
+        let t = RootedTree::from_parents_with_child_order(
+            0,
+            &parent,
+            vec![vec![2, 1], vec![], vec![]],
+        )
+        .unwrap();
+        assert_eq!(t.label(2), 1);
+        assert_eq!(t.label(1), 2);
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        // 0 <- 1 <- 2 <- 1 is impossible with a parent array, but a child
+        // table can try to smuggle a repeat in.
+        let parent = vec![NO_PARENT, 0, 1];
+        let err = RootedTree::from_parents_with_child_order(
+            0,
+            &parent,
+            vec![vec![1], vec![2, 2], vec![]],
+        )
+        .unwrap_err();
+        assert!(matches!(err, GraphError::NotATree { .. }));
+    }
+
+    #[test]
+    fn rejects_orphan() {
+        let mut p = vec![NO_PARENT, 0, 0];
+        p[2] = NO_PARENT; // second root
+        assert!(matches!(
+            RootedTree::from_parents(0, &p),
+            Err(GraphError::NotATree { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_root_with_parent() {
+        let p = vec![1, NO_PARENT];
+        assert!(matches!(
+            RootedTree::from_parents(0, &p),
+            Err(GraphError::NotATree { .. })
+        ));
+    }
+
+    #[test]
+    fn singleton_tree() {
+        let t = RootedTree::from_parents(0, &[NO_PARENT]).unwrap();
+        assert_eq!(t.n(), 1);
+        assert_eq!(t.height(), 0);
+        assert_eq!(t.subtree_range(0), (0, 0));
+        assert!(t.is_leaf(0));
+    }
+
+    #[test]
+    fn to_graph_round_trip() {
+        let t = RootedTree::from_parents(0, &fig5_parents()).unwrap();
+        let g = t.to_graph();
+        assert_eq!(g.m(), 15);
+        assert!(t.is_spanning_tree_of(&g));
+    }
+
+    #[test]
+    fn bfs_order_level_monotone() {
+        let t = RootedTree::from_parents(0, &fig5_parents()).unwrap();
+        let order = t.bfs_order();
+        assert_eq!(order.len(), 16);
+        for w in order.windows(2) {
+            assert!(t.level(w[0]) <= t.level(w[1]));
+        }
+    }
+
+    #[test]
+    fn preorder_is_ascending_labels() {
+        let t = RootedTree::from_parents(0, &fig5_parents()).unwrap();
+        let labels: Vec<u32> = t.preorder().map(|v| t.label(v)).collect();
+        assert_eq!(labels, (0..16).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn subtree_sizes() {
+        let t = RootedTree::from_parents(0, &fig5_parents()).unwrap();
+        assert_eq!(t.subtree_size(0), 16);
+        assert_eq!(t.subtree_size(4), 7);
+        assert_eq!(t.subtree_size(3), 1);
+    }
+}

@@ -1,0 +1,142 @@
+//! Error types for schedule validation and simulation.
+
+use std::fmt;
+
+/// A violation of the communication model's rules, produced by the
+/// validator/simulator. Each variant pins the offending round so failures in
+/// generated schedules are debuggable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A transmission named a processor id `>= n`.
+    ProcessorOutOfRange {
+        /// Round index (time at which the send happens).
+        round: usize,
+        /// Offending processor id.
+        proc: usize,
+        /// Number of processors.
+        n: usize,
+    },
+    /// A transmission named a message id `>= n` (gossiping has exactly one
+    /// message per processor).
+    MessageOutOfRange {
+        /// Round index.
+        round: usize,
+        /// Offending message id.
+        msg: u32,
+        /// Number of messages.
+        n: usize,
+    },
+    /// A processor appeared as the sender of two transmissions in one round
+    /// (violates "each processor sends at most one message").
+    DuplicateSender {
+        /// Round index.
+        round: usize,
+        /// The processor that sent twice.
+        sender: usize,
+    },
+    /// A processor appeared in two destination sets in one round (violates
+    /// "every processor receives at most one message").
+    DuplicateReceiver {
+        /// Round index.
+        round: usize,
+        /// The processor that would receive twice.
+        receiver: usize,
+    },
+    /// A destination was not adjacent to the sender in the network.
+    NotAdjacent {
+        /// Round index.
+        round: usize,
+        /// Sending processor.
+        sender: usize,
+        /// Non-adjacent destination.
+        receiver: usize,
+    },
+    /// A sender multicast a message it does not hold at send time.
+    MessageNotHeld {
+        /// Round index.
+        round: usize,
+        /// Sending processor.
+        sender: usize,
+        /// The message it does not hold.
+        msg: u32,
+    },
+    /// A destination set was empty (a no-op transmission is always a bug in
+    /// a generated schedule).
+    EmptyDestination {
+        /// Round index.
+        round: usize,
+        /// Sending processor.
+        sender: usize,
+    },
+    /// A transmission's destination set violates the restricted model in
+    /// force (e.g. more than one destination under the telephone model).
+    ModelViolation {
+        /// Round index.
+        round: usize,
+        /// Sending processor.
+        sender: usize,
+        /// Description of the restriction that failed.
+        reason: String,
+    },
+    /// A sender targeted the same destination twice in one transmission.
+    DuplicateDestination {
+        /// Round index.
+        round: usize,
+        /// Sending processor.
+        sender: usize,
+        /// The repeated destination.
+        receiver: usize,
+    },
+    /// The origin table did not assign exactly one message per processor.
+    BadOriginTable {
+        /// Description of the inconsistency.
+        reason: String,
+    },
+    /// Graph/schedule size mismatch.
+    SizeMismatch {
+        /// Processors in the graph.
+        graph_n: usize,
+        /// Processors implied by the schedule.
+        schedule_n: usize,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::ProcessorOutOfRange { round, proc, n } => {
+                write!(f, "round {round}: processor {proc} out of range (n = {n})")
+            }
+            ModelError::MessageOutOfRange { round, msg, n } => {
+                write!(f, "round {round}: message {msg} out of range (n = {n})")
+            }
+            ModelError::DuplicateSender { round, sender } => {
+                write!(f, "round {round}: processor {sender} sends twice")
+            }
+            ModelError::DuplicateReceiver { round, receiver } => {
+                write!(f, "round {round}: processor {receiver} receives twice")
+            }
+            ModelError::NotAdjacent { round, sender, receiver } => {
+                write!(f, "round {round}: {sender} -> {receiver} is not a network link")
+            }
+            ModelError::MessageNotHeld { round, sender, msg } => {
+                write!(f, "round {round}: processor {sender} does not hold message {msg}")
+            }
+            ModelError::EmptyDestination { round, sender } => {
+                write!(f, "round {round}: processor {sender} multicast to nobody")
+            }
+            ModelError::ModelViolation { round, sender, reason } => {
+                write!(f, "round {round}: processor {sender}: {reason}")
+            }
+            ModelError::DuplicateDestination { round, sender, receiver } => {
+                write!(f, "round {round}: {sender} lists destination {receiver} twice")
+            }
+            ModelError::BadOriginTable { reason } => write!(f, "bad origin table: {reason}"),
+            ModelError::SizeMismatch { graph_n, schedule_n } => {
+                write!(f, "graph has {graph_n} processors, schedule built for {schedule_n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}

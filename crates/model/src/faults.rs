@@ -1,0 +1,190 @@
+//! Fault injection: adversarial schedule mutations for validator hardening.
+//!
+//! The simulator is the reproduction's trust anchor, so it gets the same
+//! treatment a production validator would: seeded mutations that break a
+//! known-good schedule in targeted ways, paired with tests asserting the
+//! simulator rejects (or detects the incompleteness of) every mutant. A
+//! validator that accepts a mutant would be silently vouching for broken
+//! algorithms.
+
+use crate::round::Transmission;
+use crate::schedule::Schedule;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The kinds of damage [`inject_fault`] can apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Delete one transmission (schedule stays legal but must become
+    /// incomplete — unless the delivery was redundant).
+    DropTransmission,
+    /// Duplicate a transmission within its round (its receivers then
+    /// receive twice: must be rejected).
+    DuplicateTransmission,
+    /// Replace a transmission's message with one the sender cannot yet
+    /// hold (its own future receive): usually rejected as not-held.
+    CorruptMessage,
+    /// Redirect one destination to a non-neighbour (must be rejected).
+    RedirectToNonNeighbor,
+    /// Move a transmission one round earlier (often breaks hold-set
+    /// causality for relayed messages).
+    ShiftEarlier,
+}
+
+impl Fault {
+    /// All fault kinds.
+    pub fn all() -> &'static [Fault] {
+        &[
+            Fault::DropTransmission,
+            Fault::DuplicateTransmission,
+            Fault::CorruptMessage,
+            Fault::RedirectToNonNeighbor,
+            Fault::ShiftEarlier,
+        ]
+    }
+}
+
+/// Applies `fault` to a random location of `schedule` (seeded, so mutants
+/// are reproducible). Returns `None` when the schedule offers no applicable
+/// site (e.g. empty schedule).
+pub fn inject_fault(schedule: &Schedule, fault: Fault, n: usize, seed: u64) -> Option<Schedule> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let sites: Vec<(usize, usize)> = schedule
+        .rounds
+        .iter()
+        .enumerate()
+        .flat_map(|(t, r)| (0..r.transmissions.len()).map(move |i| (t, i)))
+        .collect();
+    if sites.is_empty() {
+        return None;
+    }
+    let (t, i) = sites[rng.gen_range(0..sites.len())];
+    let mut s = schedule.clone();
+    let tx = s.rounds[t].transmissions[i].clone();
+    match fault {
+        Fault::DropTransmission => {
+            s.rounds[t].transmissions.remove(i);
+        }
+        Fault::DuplicateTransmission => {
+            s.rounds[t].transmissions.push(tx);
+        }
+        Fault::CorruptMessage => {
+            let other = (tx.msg as usize + 1 + rng.gen_range(0..n.saturating_sub(1))) % n;
+            s.rounds[t].transmissions[i].msg = other as u32;
+        }
+        Fault::RedirectToNonNeighbor => {
+            // Redirect the first destination to a uniformly random vertex;
+            // the caller's graph determines whether this is an actual
+            // non-edge (tests pick graphs where it overwhelmingly is).
+            let j = rng.gen_range(0..n);
+            let mut redirected = tx.clone();
+            redirected.to[0] = j;
+            s.rounds[t].transmissions[i] = Transmission::new(
+                redirected.msg,
+                redirected.from,
+                redirected.to,
+            );
+        }
+        Fault::ShiftEarlier => {
+            if t == 0 {
+                return None;
+            }
+            s.rounds[t].transmissions.remove(i);
+            s.rounds[t - 1].transmissions.push(tx);
+        }
+    }
+    Some(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::CommModel;
+    use crate::simulator::Simulator;
+    use gossip_graph::Graph;
+
+    /// A known-good hand schedule on a 4-path.
+    fn good() -> (Graph, Schedule, Vec<usize>) {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let mut s = Schedule::new(4);
+        // Build explicitly: flood msg by msg through the path, one hop per
+        // round (non-optimal, redundancy-free).
+        let mut time = 0;
+        for m in 0..4u32 {
+            let o = m as usize;
+            for v in o..3 {
+                s.add_transmission(time, Transmission::unicast(m, v, v + 1));
+                time += 1;
+            }
+            for v in (1..=o).rev() {
+                s.add_transmission(time, Transmission::unicast(m, v, v - 1));
+                time += 1;
+            }
+        }
+        (g, s, vec![0, 1, 2, 3])
+    }
+
+    fn run(g: &Graph, s: &Schedule, o: &[usize]) -> Result<bool, crate::error::ModelError> {
+        let mut sim = Simulator::new(g, CommModel::Multicast, o)?;
+        Ok(sim.run(s)?.complete)
+    }
+
+    #[test]
+    fn baseline_is_good() {
+        let (g, s, o) = good();
+        assert_eq!(run(&g, &s, &o), Ok(true));
+    }
+
+    #[test]
+    fn every_fault_kind_is_caught() {
+        let (g, s, o) = good();
+        for &fault in Fault::all() {
+            let mut detected = 0;
+            let mut applied = 0;
+            for seed in 0..40 {
+                let Some(mutant) = inject_fault(&s, fault, g.n(), seed) else {
+                    continue;
+                };
+                if mutant == s {
+                    continue;
+                }
+                applied += 1;
+                match run(&g, &mutant, &o) {
+                    Err(_) => detected += 1,       // rule violation caught
+                    Ok(false) => detected += 1,    // incompleteness caught
+                    Ok(true) => {}                 // silently fine = miss
+                }
+            }
+            assert!(applied > 0, "{fault:?} never applied");
+            // Most mutants must be caught; a minority can be semantically
+            // harmless (e.g. a redirect that lands on a free neighbour, or
+            // an origin hop legally shifted into an empty slot).
+            assert!(
+                detected * 2 >= applied,
+                "{fault:?}: caught only {detected}/{applied}"
+            );
+        }
+    }
+
+    #[test]
+    fn drop_makes_incomplete() {
+        let (g, s, o) = good();
+        // Dropping any single delivery from a redundancy-free schedule must
+        // leave someone missing a message.
+        for seed in 0..20 {
+            if let Some(mutant) = inject_fault(&s, Fault::DropTransmission, g.n(), seed) {
+                assert_ne!(run(&g, &mutant, &o), Ok(true), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_always_rejected() {
+        let (g, s, o) = good();
+        for seed in 0..20 {
+            if let Some(mutant) = inject_fault(&s, Fault::DuplicateTransmission, g.n(), seed) {
+                assert!(run(&g, &mutant, &o).is_err(), "seed {seed}");
+            }
+        }
+    }
+}

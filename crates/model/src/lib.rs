@@ -1,0 +1,50 @@
+//! # gossip-model
+//!
+//! The synchronous multicast communication model of Gonzalez's gossiping
+//! paper, as an executable artifact:
+//!
+//! - [`Transmission`] / [`CommRound`]: the paper's `(m, l, D)` tuples and
+//!   conflict-free rounds;
+//! - [`Schedule`]: a sequence of rounds with the paper's timing convention
+//!   (sent at `t`, received at `t + 1`) and summary [`ScheduleStats`];
+//! - [`CommModel`]: multicast / telephone / broadcast destination rules;
+//! - [`Simulator`]: executes schedules while enforcing *every* model rule,
+//!   tracking hold sets, and reporting completion — the trust anchor all
+//!   scheduling algorithms are verified against;
+//! - [`trace`]: per-vertex tables in the exact format of the paper's
+//!   Tables 1–4.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod bitset;
+pub mod builder;
+pub mod compact;
+pub mod error;
+pub mod faults;
+pub mod models;
+pub mod round;
+pub mod schedule;
+pub mod simulator;
+pub mod trace;
+
+pub use analysis::{analyze_schedule, knowledge_curve, render_gantt, render_sparkline, ScheduleAnalysis};
+pub use bitset::BitSet;
+pub use builder::ScheduleBuilder;
+pub use compact::{compact_schedule, verify_compaction, CompactionReport};
+pub use error::ModelError;
+pub use faults::{inject_fault, Fault};
+pub use models::CommModel;
+pub use round::{CommRound, Transmission};
+pub use schedule::{Schedule, ScheduleStats};
+pub use simulator::{simulate_gossip, validate_gossip_schedule, SimOutcome, Simulator};
+pub use trace::{full_trace, vertex_trace, VertexTrace};
+
+/// The identity origin table: message `m` originates at processor `m`.
+///
+/// This is the labeling the paper uses after DFS-relabeling the tree; the
+/// scheduling crate works in label space where it always applies.
+pub fn identity_origins(n: usize) -> Vec<usize> {
+    (0..n).collect()
+}

@@ -1,0 +1,112 @@
+//! The three communication models discussed in the paper's §1–2.
+
+use crate::round::Transmission;
+use gossip_graph::Graph;
+use serde::{Deserialize, Serialize};
+
+/// Which per-round send primitive the network offers.
+///
+/// All three share the receive rule (at most one message per processor per
+/// round) and the send rule (at most one message per processor per round);
+/// they differ only in the allowed destination set `D` of a transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CommModel {
+    /// The paper's model: `D` is any nonempty subset of the sender's
+    /// neighbours.
+    #[default]
+    Multicast,
+    /// The telephone (unicasting) model: `|D| = 1`.
+    Telephone,
+    /// The (local) broadcasting model: `D` is *all* of the sender's
+    /// neighbours, or the transmission does not happen.
+    Broadcast,
+}
+
+impl CommModel {
+    /// Checks the model-specific restriction on a transmission's destination
+    /// set; the general rules (adjacency, disjointness, hold sets) are
+    /// enforced by the validator regardless of model.
+    ///
+    /// Returns `Err(reason)` with a human-readable reason on violation.
+    pub fn check_destinations(&self, g: &Graph, t: &Transmission) -> Result<(), String> {
+        match self {
+            CommModel::Multicast => Ok(()),
+            CommModel::Telephone => {
+                if t.to.len() == 1 {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "telephone model allows exactly 1 destination, got {}",
+                        t.to.len()
+                    ))
+                }
+            }
+            CommModel::Broadcast => {
+                if t.to.len() == g.degree(t.from) {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "broadcast model requires all {} neighbours, got {}",
+                        g.degree(t.from),
+                        t.to.len()
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Short human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CommModel::Multicast => "multicast",
+            CommModel::Telephone => "telephone",
+            CommModel::Broadcast => "broadcast",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn star() -> Graph {
+        Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap()
+    }
+
+    #[test]
+    fn multicast_allows_any_subset() {
+        let g = star();
+        for dests in [vec![1], vec![1, 2], vec![1, 2, 3]] {
+            let t = Transmission::new(0, 0, dests);
+            assert!(CommModel::Multicast.check_destinations(&g, &t).is_ok());
+        }
+    }
+
+    #[test]
+    fn telephone_requires_single() {
+        let g = star();
+        let ok = Transmission::new(0, 0, vec![2]);
+        let bad = Transmission::new(0, 0, vec![1, 2]);
+        assert!(CommModel::Telephone.check_destinations(&g, &ok).is_ok());
+        assert!(CommModel::Telephone.check_destinations(&g, &bad).is_err());
+    }
+
+    #[test]
+    fn broadcast_requires_all_neighbors() {
+        let g = star();
+        let all = Transmission::new(0, 0, vec![1, 2, 3]);
+        let some = Transmission::new(0, 0, vec![1, 2]);
+        assert!(CommModel::Broadcast.check_destinations(&g, &all).is_ok());
+        assert!(CommModel::Broadcast.check_destinations(&g, &some).is_err());
+        // A leaf broadcasting reaches exactly its single neighbour.
+        let leaf = Transmission::new(1, 1, vec![0]);
+        assert!(CommModel::Broadcast.check_destinations(&g, &leaf).is_ok());
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(CommModel::Multicast.name(), "multicast");
+        assert_eq!(CommModel::Telephone.name(), "telephone");
+        assert_eq!(CommModel::Broadcast.name(), "broadcast");
+    }
+}

@@ -1,0 +1,120 @@
+//! Communication rounds: the paper's `(m, l, D)` tuples.
+//!
+//! "A communication round C is a set of tuples of the form (m, l, D), where
+//! l is a processor index, and message m ∈ h_l is to be multicasted from
+//! processor P_l to the set of processors with indices in D", subject to:
+//! every pair of D sets disjoint, and all senders distinct.
+
+use serde::{Deserialize, Serialize};
+
+/// One multicast: the paper's tuple `(m, l, D)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transmission {
+    /// The message id `m`.
+    pub msg: u32,
+    /// The sending processor `l`.
+    pub from: usize,
+    /// The destination set `D` (kept sorted and duplicate-free by
+    /// [`Transmission::new`]).
+    pub to: Vec<usize>,
+}
+
+impl Transmission {
+    /// Builds a transmission, normalizing the destination set to sorted
+    /// order (duplicates are preserved so the validator can reject them).
+    pub fn new(msg: u32, from: usize, mut to: Vec<usize>) -> Self {
+        to.sort_unstable();
+        Transmission { msg, from, to }
+    }
+
+    /// A unicast — the only shape allowed under the telephone model.
+    pub fn unicast(msg: u32, from: usize, to: usize) -> Self {
+        Transmission { msg, from, to: vec![to] }
+    }
+}
+
+/// One synchronous communication round: a set of non-conflicting
+/// transmissions all sent at the same time `t` (and received at `t + 1`).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommRound {
+    /// The transmissions of this round.
+    pub transmissions: Vec<Transmission>,
+}
+
+impl CommRound {
+    /// An empty round (nobody communicates).
+    pub fn new() -> Self {
+        CommRound::default()
+    }
+
+    /// A round from a transmission list.
+    pub fn from_transmissions(transmissions: Vec<Transmission>) -> Self {
+        CommRound { transmissions }
+    }
+
+    /// Adds a transmission.
+    pub fn push(&mut self, t: Transmission) {
+        self.transmissions.push(t);
+    }
+
+    /// Whether no processor communicates this round.
+    pub fn is_empty(&self) -> bool {
+        self.transmissions.is_empty()
+    }
+
+    /// Total number of message deliveries this round (sum of `|D|`).
+    pub fn deliveries(&self) -> usize {
+        self.transmissions.iter().map(|t| t.to.len()).sum()
+    }
+
+    /// The largest destination set in the round (0 if empty).
+    pub fn max_fanout(&self) -> usize {
+        self.transmissions.iter().map(|t| t.to.len()).max().unwrap_or(0)
+    }
+
+    /// Looks up what `proc` sends this round, if anything.
+    pub fn sent_by(&self, proc: usize) -> Option<&Transmission> {
+        self.transmissions.iter().find(|t| t.from == proc)
+    }
+
+    /// Looks up what `proc` receives this round, if anything, as
+    /// `(msg, sender)`.
+    pub fn received_by(&self, proc: usize) -> Option<(u32, usize)> {
+        self.transmissions
+            .iter()
+            .find(|t| t.to.binary_search(&proc).is_ok())
+            .map(|t| (t.msg, t.from))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transmission_normalizes_order() {
+        let t = Transmission::new(3, 0, vec![5, 2, 9]);
+        assert_eq!(t.to, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn unicast_shape() {
+        let t = Transmission::unicast(1, 4, 7);
+        assert_eq!(t.to, vec![7]);
+    }
+
+    #[test]
+    fn round_queries() {
+        let mut r = CommRound::new();
+        assert!(r.is_empty());
+        r.push(Transmission::new(0, 0, vec![1, 2]));
+        r.push(Transmission::new(5, 3, vec![4]));
+        assert_eq!(r.deliveries(), 3);
+        assert_eq!(r.max_fanout(), 2);
+        assert_eq!(r.sent_by(0).unwrap().msg, 0);
+        assert_eq!(r.sent_by(1), None);
+        assert_eq!(r.received_by(2), Some((0, 0)));
+        assert_eq!(r.received_by(4), Some((5, 3)));
+        assert_eq!(r.received_by(0), None);
+    }
+}

@@ -1,0 +1,172 @@
+//! Per-vertex communication traces in the format of the paper's
+//! Tables 1–4.
+//!
+//! Each table row answers, for one tree vertex and each time step:
+//! *Receive from Parent*, *Receive from Child*, *Send to Parent*,
+//! *Send to Child(ren)*. Receives at time `t` correspond to transmissions
+//! sent in round `t - 1`; sends at time `t` to transmissions in round `t`.
+
+use crate::schedule::Schedule;
+use gossip_graph::RootedTree;
+use serde::{Deserialize, Serialize};
+
+/// The four-row trace of one vertex, indexed by time step.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VertexTrace {
+    /// The traced vertex.
+    pub vertex: usize,
+    /// `recv_from_parent[t]` = message received from the parent at time `t`.
+    pub recv_from_parent: Vec<Option<u32>>,
+    /// `recv_from_child[t]` = message received from a child at time `t`.
+    pub recv_from_child: Vec<Option<u32>>,
+    /// `send_to_parent[t]` = message sent to the parent at time `t`.
+    pub send_to_parent: Vec<Option<u32>>,
+    /// `send_to_children[t]` = message multicast to (some of the) children
+    /// at time `t`.
+    pub send_to_children: Vec<Option<u32>>,
+}
+
+impl VertexTrace {
+    /// The last time index carried by the trace.
+    pub fn horizon(&self) -> usize {
+        self.recv_from_parent.len().saturating_sub(1)
+    }
+
+    /// Renders the trace in the paper's table format.
+    pub fn render(&self) -> String {
+        let horizon = self.horizon();
+        let mut out = String::new();
+        let cell = |m: Option<u32>| match m {
+            Some(m) => m.to_string(),
+            None => "-".to_string(),
+        };
+        let row = |name: &str, data: &[Option<u32>]| {
+            let cells: Vec<String> = data.iter().map(|&m| cell(m)).collect();
+            format!("{name:<22}| {}\n", cells.join(" | "))
+        };
+        let times: Vec<String> = (0..=horizon).map(|t| t.to_string()).collect();
+        out.push_str(&format!("{:<22}| {}\n", "Time", times.join(" | ")));
+        out.push_str(&row("Receive from Parent", &self.recv_from_parent));
+        out.push_str(&row("Receive from Child", &self.recv_from_child));
+        out.push_str(&row("Send to Parent", &self.send_to_parent));
+        out.push_str(&row("Send to Children", &self.send_to_children));
+        out
+    }
+}
+
+/// Extracts the per-vertex trace of `vertex` from a tree schedule.
+///
+/// The trace spans times `0..=schedule.makespan()` (the final receives land
+/// one step after the final sends).
+///
+/// # Panics
+///
+/// Panics if the schedule references vertices outside the tree, or if a
+/// vertex exchanges messages with a non-neighbour in the tree — both
+/// indicate the schedule was not built for `tree`. (Run the schedule
+/// through [`crate::Simulator`] first for a graceful error.)
+pub fn vertex_trace(schedule: &Schedule, tree: &RootedTree, vertex: usize) -> VertexTrace {
+    let horizon = schedule.makespan();
+    let mut trace = VertexTrace {
+        vertex,
+        recv_from_parent: vec![None; horizon + 1],
+        recv_from_child: vec![None; horizon + 1],
+        send_to_parent: vec![None; horizon + 1],
+        send_to_children: vec![None; horizon + 1],
+    };
+    let parent = tree.parent(vertex);
+    for (t, tx) in schedule.iter() {
+        if tx.from == vertex {
+            for &d in &tx.to {
+                if Some(d) == parent {
+                    trace.send_to_parent[t] = Some(tx.msg);
+                } else {
+                    assert_eq!(
+                        tree.parent(d),
+                        Some(vertex),
+                        "schedule sends {} -> {d}, not a tree edge",
+                        tx.from
+                    );
+                    trace.send_to_children[t] = Some(tx.msg);
+                }
+            }
+        } else if tx.to.binary_search(&vertex).is_ok() {
+            if Some(tx.from) == parent {
+                trace.recv_from_parent[t + 1] = Some(tx.msg);
+            } else {
+                assert_eq!(
+                    tree.parent(tx.from),
+                    Some(vertex),
+                    "schedule sends {} -> {vertex}, not a tree edge",
+                    tx.from
+                );
+                trace.recv_from_child[t + 1] = Some(tx.msg);
+            }
+        }
+    }
+    trace
+}
+
+/// Traces for every vertex of the tree.
+pub fn full_trace(schedule: &Schedule, tree: &RootedTree) -> Vec<VertexTrace> {
+    (0..tree.n()).map(|v| vertex_trace(schedule, tree, v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::round::Transmission;
+    use gossip_graph::NO_PARENT;
+
+    fn chain3() -> RootedTree {
+        RootedTree::from_parents(0, &[NO_PARENT, 0, 1]).unwrap()
+    }
+
+    #[test]
+    fn classifies_directions() {
+        let tree = chain3();
+        let mut s = Schedule::new(3);
+        // t0: 1 sends msg 1 to parent 0; t1: 1 sends msg 2 to child 2.
+        s.add_transmission(0, Transmission::unicast(1, 1, 0));
+        s.add_transmission(1, Transmission::unicast(2, 1, 2));
+        let tr = vertex_trace(&s, &tree, 1);
+        assert_eq!(tr.send_to_parent[0], Some(1));
+        assert_eq!(tr.send_to_children[1], Some(2));
+        assert_eq!(tr.recv_from_parent.iter().flatten().count(), 0);
+
+        let tr0 = vertex_trace(&s, &tree, 0);
+        assert_eq!(tr0.recv_from_child[1], Some(1));
+
+        let tr2 = vertex_trace(&s, &tree, 2);
+        assert_eq!(tr2.recv_from_parent[2], Some(2));
+    }
+
+    #[test]
+    fn simultaneous_parent_and_child_send() {
+        // One multicast to parent and child shows up in both send rows.
+        let tree = chain3();
+        let mut s = Schedule::new(3);
+        s.add_transmission(0, Transmission::new(1, 1, vec![0, 2]));
+        let tr = vertex_trace(&s, &tree, 1);
+        assert_eq!(tr.send_to_parent[0], Some(1));
+        assert_eq!(tr.send_to_children[0], Some(1));
+    }
+
+    #[test]
+    fn render_contains_rows() {
+        let tree = chain3();
+        let mut s = Schedule::new(3);
+        s.add_transmission(0, Transmission::unicast(1, 1, 0));
+        let txt = vertex_trace(&s, &tree, 0).render();
+        assert!(txt.contains("Receive from Child"));
+        assert!(txt.contains("Send to Parent"));
+        assert!(txt.starts_with("Time"));
+    }
+
+    #[test]
+    fn full_trace_covers_all() {
+        let tree = chain3();
+        let s = Schedule::new(3);
+        assert_eq!(full_trace(&s, &tree).len(), 3);
+    }
+}

@@ -1,0 +1,196 @@
+//! Property-based tests for the communication-model crate: the bitset vs a
+//! std oracle, the simulator vs a naive hold-set tracker, and the
+//! consistency of schedules, traces, and analysis.
+
+use gossip_graph::{Graph, GraphBuilder};
+use gossip_model::{
+    analyze_schedule, identity_origins, simulate_gossip, BitSet, CommModel, CommRound, Schedule,
+    Simulator, Transmission,
+};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Random connected graph (random tree plus extras).
+fn arb_connected(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2..=max_n).prop_flat_map(|n| {
+        let parents: Vec<BoxedStrategy<usize>> = (1..n).map(|i| (0..i).boxed()).collect();
+        let pairs: Vec<(usize, usize)> = (0..n)
+            .flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
+            .collect();
+        let len = pairs.len();
+        (parents, proptest::collection::vec(proptest::bool::weighted(0.25), len)).prop_map(
+            move |(ps, mask)| {
+                let mut b = GraphBuilder::new(n);
+                let mut present = HashSet::new();
+                for (i, p) in ps.into_iter().enumerate() {
+                    b.add_edge_unchecked(p, i + 1).unwrap();
+                    present.insert((p.min(i + 1), p.max(i + 1)));
+                }
+                for (on, &(u, v)) in mask.iter().zip(&pairs) {
+                    if *on && !present.contains(&(u, v)) {
+                        b.add_edge_unchecked(u, v).unwrap();
+                    }
+                }
+                b.build()
+            },
+        )
+    })
+}
+
+/// Generates a *valid* random gossip schedule on `g` by running a seeded
+/// greedy flood (every round, a random maximal set of useful deliveries).
+fn random_valid_schedule(g: &Graph, seed: u64) -> Schedule {
+    use rand::rngs::SmallRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let n = g.n();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut hold: Vec<HashSet<u32>> = (0..n).map(|p| HashSet::from([p as u32])).collect();
+    let mut s = Schedule::new(n);
+    for t in 0..4 * n {
+        if hold.iter().all(|h| h.len() == n) {
+            break;
+        }
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut rng);
+        let mut sending: Vec<Option<u32>> = vec![None; n];
+        let mut dests: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut receiving = vec![false; n];
+        for &r in &order {
+            if hold[r].len() == n || receiving[r] {
+                continue;
+            }
+            let mut nbrs: Vec<usize> = g.neighbors(r).collect();
+            nbrs.shuffle(&mut rng);
+            'outer: for s_ in nbrs {
+                match sending[s_] {
+                    Some(m) => {
+                        if !hold[r].contains(&m) {
+                            dests[s_].push(r);
+                            receiving[r] = true;
+                            break 'outer;
+                        }
+                    }
+                    None => {
+                        let mut msgs: Vec<u32> =
+                            hold[s_].difference(&hold[r]).copied().collect();
+                        msgs.sort_unstable();
+                        if let Some(&m) = msgs.first() {
+                            sending[s_] = Some(m);
+                            dests[s_].push(r);
+                            receiving[r] = true;
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        for p in 0..n {
+            if let Some(m) = sending[p] {
+                for &d in &dests[p] {
+                    hold[d].insert(m);
+                }
+                s.add_transmission(t, Transmission::new(m, p, dests[p].clone()));
+            }
+        }
+    }
+    s.trim();
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// BitSet behaves exactly like HashSet<usize> over random op sequences.
+    #[test]
+    fn bitset_matches_hashset(ops in proptest::collection::vec((0usize..64, proptest::bool::ANY), 1..200)) {
+        let mut bs = BitSet::new(64);
+        let mut hs: HashSet<usize> = HashSet::new();
+        for (v, _insert) in ops {
+            prop_assert_eq!(bs.insert(v), hs.insert(v));
+            prop_assert_eq!(bs.len(), hs.len());
+            prop_assert_eq!(bs.contains(v), hs.contains(&v));
+        }
+        let mut from_bs: Vec<usize> = bs.iter().collect();
+        let mut from_hs: Vec<usize> = hs.into_iter().collect();
+        from_hs.sort_unstable();
+        from_bs.sort_unstable();
+        prop_assert_eq!(from_bs, from_hs);
+    }
+
+    /// Randomly generated greedy schedules are always accepted by the
+    /// validator and complete gossip.
+    #[test]
+    fn random_valid_schedules_validate(g in arb_connected(10), seed in 0u64..500) {
+        let s = random_valid_schedule(&g, seed);
+        let o = simulate_gossip(&g, &s, &identity_origins(g.n())).unwrap();
+        prop_assert!(o.complete);
+        prop_assert!(o.rounds_executed <= 4 * g.n());
+        // The universal lower bound holds for *any* valid schedule.
+        prop_assert!(s.makespan() >= g.n() - 1);
+    }
+
+    /// The simulator's hold tracking matches a naive oracle round by round.
+    #[test]
+    fn simulator_matches_naive_oracle(g in arb_connected(8), seed in 0u64..200) {
+        let s = random_valid_schedule(&g, seed);
+        let n = g.n();
+        let mut sim = Simulator::new(&g, CommModel::Multicast, &identity_origins(n)).unwrap();
+        let mut oracle: Vec<HashSet<u32>> =
+            (0..n).map(|p| HashSet::from([p as u32])).collect();
+        let empty = CommRound::new();
+        for t in 0..s.makespan() {
+            let round = s.rounds.get(t).unwrap_or(&empty);
+            sim.step(round).unwrap();
+            for tx in &round.transmissions {
+                for &d in &tx.to {
+                    oracle[d].insert(tx.msg);
+                }
+            }
+            for p in 0..n {
+                prop_assert_eq!(sim.holds(p).len(), oracle[p].len(), "p = {} t = {}", p, t);
+                for &m in &oracle[p] {
+                    prop_assert!(sim.holds(p).contains(m as usize));
+                }
+            }
+        }
+    }
+
+    /// normalize() preserves semantics: stats, makespan, and simulation
+    /// outcome are unchanged; a second normalize is a no-op.
+    #[test]
+    fn normalize_is_semantic_identity(g in arb_connected(8), seed in 0u64..100) {
+        let s = random_valid_schedule(&g, seed);
+        let mut norm = s.clone();
+        norm.normalize();
+        prop_assert_eq!(norm.makespan(), s.makespan());
+        prop_assert_eq!(norm.stats(), s.stats());
+        let a = simulate_gossip(&g, &s, &identity_origins(g.n())).unwrap();
+        let b = simulate_gossip(&g, &norm, &identity_origins(g.n())).unwrap();
+        prop_assert_eq!(a, b);
+        let mut twice = norm.clone();
+        twice.normalize();
+        prop_assert_eq!(twice, norm);
+    }
+
+    /// Analysis invariants: delivery counts match stats; message completion
+    /// times are within the makespan; sends/receives per processor add up.
+    #[test]
+    fn analysis_consistent_with_stats(g in arb_connected(8), seed in 0u64..100) {
+        let s = random_valid_schedule(&g, seed);
+        let a = analyze_schedule(&g, &s, &identity_origins(g.n())).unwrap();
+        let stats = s.stats();
+        prop_assert_eq!(a.total_deliveries, stats.deliveries);
+        prop_assert_eq!(a.recv_rounds.iter().sum::<usize>(), stats.deliveries);
+        prop_assert_eq!(a.send_rounds.iter().sum::<usize>(), stats.transmissions);
+        for m in 0..g.n() {
+            let c = a.message_completion[m];
+            prop_assert!(c.is_some(), "message {} incomplete", m);
+            prop_assert!(c.unwrap() <= s.makespan());
+        }
+        prop_assert_eq!(
+            a.link_loads.iter().map(|&(_, _, u)| u).sum::<usize>(),
+            stats.deliveries
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! JSON round-trip tests for the serializable artifacts: graphs,
+//! schedules, traces, and analyses survive `serde_json` without loss.
+
+use gossip_graph::{Graph, RootedTree, NO_PARENT};
+use gossip_model::{analyze_schedule, vertex_trace, Schedule, Transmission};
+
+fn sample_schedule() -> Schedule {
+    let mut s = Schedule::new(4);
+    s.add_transmission(0, Transmission::new(1, 1, vec![0, 2]));
+    s.add_transmission(1, Transmission::unicast(0, 0, 1));
+    s.add_transmission(2, Transmission::unicast(2, 2, 3));
+    s
+}
+
+#[test]
+fn graph_round_trip() {
+    let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+    let json = serde_json::to_string(&g).unwrap();
+    let back: Graph = serde_json::from_str(&json).unwrap();
+    assert_eq!(g, back);
+    // Structural queries survive, not just equality.
+    assert_eq!(back.degree(0), 2);
+    assert!(back.has_edge(4, 0));
+}
+
+#[test]
+fn tree_round_trip() {
+    let t = RootedTree::from_parents(2, &[1, 2, NO_PARENT, 2, 3]).unwrap();
+    let json = serde_json::to_string(&t).unwrap();
+    let back: RootedTree = serde_json::from_str(&json).unwrap();
+    assert_eq!(t, back);
+    assert_eq!(back.label(2), 0);
+    assert_eq!(back.subtree_range(2), (0, 4));
+}
+
+#[test]
+fn schedule_round_trip() {
+    let s = sample_schedule();
+    let json = serde_json::to_string(&s).unwrap();
+    let back: Schedule = serde_json::from_str(&json).unwrap();
+    assert_eq!(s, back);
+    assert_eq!(back.makespan(), 3);
+    assert_eq!(back.stats(), s.stats());
+}
+
+#[test]
+fn trace_round_trip() {
+    let tree = RootedTree::from_parents(0, &[NO_PARENT, 0, 0, 1]).unwrap();
+    let mut s = Schedule::new(4);
+    s.add_transmission(0, Transmission::unicast(1, 1, 0));
+    let tr = vertex_trace(&s, &tree, 0);
+    let json = serde_json::to_string(&tr).unwrap();
+    let back: gossip_model::VertexTrace = serde_json::from_str(&json).unwrap();
+    assert_eq!(tr, back);
+}
+
+#[test]
+fn analysis_round_trip() {
+    let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+    let s = {
+        let mut s = Schedule::new(4);
+        s.add_transmission(0, Transmission::unicast(0, 0, 1));
+        s
+    };
+    let a = analyze_schedule(&g, &s, &[0, 1, 2, 3]).unwrap();
+    let json = serde_json::to_string(&a).unwrap();
+    let back: gossip_model::ScheduleAnalysis = serde_json::from_str(&json).unwrap();
+    assert_eq!(a, back);
+}
+
+#[test]
+fn schedule_json_is_stable_shape() {
+    // Downstream tooling reads these field names; changing them is a
+    // breaking change that should fail a test, not surprise a user.
+    let s = sample_schedule();
+    let v: serde_json::Value = serde_json::to_value(&s).unwrap();
+    assert!(v.get("n").is_some());
+    assert!(v.get("rounds").is_some());
+    let first = &v["rounds"][0]["transmissions"][0];
+    for field in ["msg", "from", "to"] {
+        assert!(first.get(field).is_some(), "missing field {field}");
+    }
+}

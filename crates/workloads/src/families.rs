@@ -1,0 +1,278 @@
+//! Parametric graph families used across the experiments.
+//!
+//! Every generator returns a connected simple [`Graph`]; radii are known in
+//! closed form for most families, which the experiment harness exploits to
+//! cross-check `n + r` predictions.
+
+use gossip_graph::{Graph, GraphBuilder};
+
+/// The path (straight line) `P_n`: radius `⌊n/2⌋`.
+///
+/// The paper's §1 lower-bound instance: with `n = 2m + 1` processors every
+/// schedule needs at least `n + r - 1` rounds.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn path(n: usize) -> Graph {
+    assert!(n > 0, "path needs at least one vertex");
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for i in 0..n.saturating_sub(1) {
+        b.add_edge_unchecked(i, i + 1).expect("valid");
+    }
+    b.build()
+}
+
+/// The cycle (ring) `C_n` of the paper's Fig 1 (`N_1`): radius `⌊n/2⌋`,
+/// Hamiltonian, gossip achievable in the optimal `n - 1` rounds.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn ring(n: usize) -> Graph {
+    assert!(n >= 3, "ring needs at least 3 vertices");
+    let mut b = GraphBuilder::with_capacity(n, n);
+    for i in 0..n {
+        b.add_edge_unchecked(i, (i + 1) % n).expect("valid");
+    }
+    b.build()
+}
+
+/// The star `K_{1,n-1}` with center 0: radius 1, the extreme multicast
+/// showcase (the center reaches everyone in one round).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 2, "star needs at least 2 vertices");
+    let mut b = GraphBuilder::with_capacity(n, n - 1);
+    for i in 1..n {
+        b.add_edge_unchecked(0, i).expect("valid");
+    }
+    b.build()
+}
+
+/// The complete graph `K_n`: radius 1.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn complete(n: usize) -> Graph {
+    assert!(n > 0, "complete graph needs at least one vertex");
+    let mut b = GraphBuilder::with_capacity(n, n * (n - 1) / 2);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge_unchecked(u, v).expect("valid");
+        }
+    }
+    b.build()
+}
+
+/// A complete binary tree with `n` vertices in heap order (vertex `v` has
+/// children `2v + 1`, `2v + 2`).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn binary_tree(n: usize) -> Graph {
+    assert!(n > 0, "binary tree needs at least one vertex");
+    let mut b = GraphBuilder::with_capacity(n, n - 1);
+    for v in 1..n {
+        b.add_edge_unchecked((v - 1) / 2, v).expect("valid");
+    }
+    b.build()
+}
+
+/// A complete `k`-ary tree with `n` vertices (vertex `v`'s children are
+/// `k*v + 1 ..= k*v + k`).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `k == 0`.
+pub fn kary_tree(n: usize, k: usize) -> Graph {
+    assert!(n > 0 && k > 0, "k-ary tree needs n > 0 and k > 0");
+    let mut b = GraphBuilder::with_capacity(n, n - 1);
+    for v in 1..n {
+        b.add_edge_unchecked((v - 1) / k, v).expect("valid");
+    }
+    b.build()
+}
+
+/// The `rows × cols` grid (mesh), vertex `r * cols + c`.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    assert!(rows > 0 && cols > 0, "grid needs positive dimensions");
+    let n = rows * cols;
+    let mut b = GraphBuilder::with_capacity(n, 2 * n);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = r * cols + c;
+            if c + 1 < cols {
+                b.add_edge_unchecked(v, v + 1).expect("valid");
+            }
+            if r + 1 < rows {
+                b.add_edge_unchecked(v, v + cols).expect("valid");
+            }
+        }
+    }
+    b.build()
+}
+
+/// The `rows × cols` torus (grid with wraparound links).
+///
+/// # Panics
+///
+/// Panics if either dimension is `< 3` (smaller wraps create multi-edges).
+pub fn torus(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 3 && cols >= 3, "torus needs dimensions >= 3");
+    let n = rows * cols;
+    let mut b = GraphBuilder::with_capacity(n, 2 * n);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = r * cols + c;
+            b.add_edge_unchecked(v, r * cols + (c + 1) % cols).expect("valid");
+            b.add_edge_unchecked(v, ((r + 1) % rows) * cols + c).expect("valid");
+        }
+    }
+    b.build()
+}
+
+/// The `d`-dimensional hypercube `Q_d` (`2^d` vertices): radius `d`.
+///
+/// # Panics
+///
+/// Panics if `d > 20` (guard against accidental exponential blowups).
+pub fn hypercube(d: usize) -> Graph {
+    assert!(d <= 20, "hypercube dimension {d} too large");
+    let n = 1usize << d;
+    let mut b = GraphBuilder::with_capacity(n, n * d / 2);
+    for v in 0..n {
+        for bit in 0..d {
+            let w = v ^ (1 << bit);
+            if v < w {
+                b.add_edge_unchecked(v, w).expect("valid");
+            }
+        }
+    }
+    b.build()
+}
+
+/// A caterpillar: a spine path of `spine` vertices, each carrying `legs`
+/// pendant leaves. Total `spine * (1 + legs)` vertices.
+///
+/// Wide shallow trees are where multicasting beats the telephone model by
+/// the largest factor — a spine vertex serves all its legs in one round.
+///
+/// # Panics
+///
+/// Panics if `spine == 0`.
+pub fn caterpillar(spine: usize, legs: usize) -> Graph {
+    assert!(spine > 0, "caterpillar needs a spine");
+    let n = spine * (1 + legs);
+    let mut b = GraphBuilder::with_capacity(n, n - 1);
+    for s in 0..spine {
+        if s + 1 < spine {
+            b.add_edge_unchecked(s, s + 1).expect("valid");
+        }
+        for l in 0..legs {
+            b.add_edge_unchecked(s, spine + s * legs + l).expect("valid");
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_graph::{is_connected, radius};
+
+    #[test]
+    fn path_radius() {
+        assert_eq!(radius(&path(7)).unwrap(), 3);
+        assert_eq!(radius(&path(8)).unwrap(), 4);
+        assert_eq!(radius(&path(1)).unwrap(), 0);
+    }
+
+    #[test]
+    fn ring_radius() {
+        assert_eq!(radius(&ring(8)).unwrap(), 4);
+        assert_eq!(radius(&ring(9)).unwrap(), 4);
+    }
+
+    #[test]
+    fn star_and_complete_radius_one() {
+        assert_eq!(radius(&star(10)).unwrap(), 1);
+        assert_eq!(radius(&complete(6)).unwrap(), 1);
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let g = binary_tree(7);
+        assert_eq!(g.m(), 6);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(1), 3);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn kary_tree_fanout() {
+        let g = kary_tree(13, 3); // root + 3 + 9
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.m(), 12);
+    }
+
+    #[test]
+    fn grid_structure() {
+        let g = grid(3, 4);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 3 * 3 + 2 * 4); // horizontal + vertical
+        assert!(is_connected(&g));
+        assert_eq!(radius(&grid(3, 3)).unwrap(), 2);
+    }
+
+    #[test]
+    fn torus_regular() {
+        let g = torus(3, 3);
+        assert_eq!(g.n(), 9);
+        for v in 0..9 {
+            assert_eq!(g.degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn hypercube_structure() {
+        let g = hypercube(4);
+        assert_eq!(g.n(), 16);
+        assert_eq!(g.m(), 32);
+        assert_eq!(radius(&g).unwrap(), 4);
+    }
+
+    #[test]
+    fn hypercube_zero_dim() {
+        let g = hypercube(0);
+        assert_eq!(g.n(), 1);
+        assert_eq!(g.m(), 0);
+    }
+
+    #[test]
+    fn caterpillar_structure() {
+        let g = caterpillar(4, 3);
+        assert_eq!(g.n(), 16);
+        assert_eq!(g.m(), 15);
+        assert!(is_connected(&g));
+        assert_eq!(g.degree(0), 4); // 1 spine link + 3 legs
+        assert_eq!(g.degree(1), 5); // 2 spine links + 3 legs
+    }
+
+    #[test]
+    fn small_sizes() {
+        assert_eq!(path(1).n(), 1);
+        assert_eq!(star(2).m(), 1);
+        assert_eq!(complete(1).m(), 0);
+        assert_eq!(ring(3).m(), 3);
+    }
+}

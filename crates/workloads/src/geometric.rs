@@ -1,0 +1,141 @@
+//! Unit-disk (geometric) random graphs: the paper's wireless motivation.
+//!
+//! "The ability of processors to send information concurrently to more than
+//! one destination (which we call multicasting) arises naturally in
+//! wireless communications where a transmission with power r^α reaches all
+//! receivers at a distance r" (§2). A unit-disk graph is the standard model
+//! of that situation: sensors scattered in the plane, an edge whenever two
+//! sit within radio range.
+
+use gossip_graph::{Graph, GraphBuilder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A sensor field: `n` points placed uniformly in the unit square, with an
+/// edge between any two within Euclidean distance `radius`. Also returns
+/// the coordinates (for visualization or energy modelling).
+///
+/// Connectivity is not guaranteed — pair with
+/// [`unit_disk_connected`] when the experiment needs it.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or the radius is not positive and finite.
+pub fn unit_disk(n: usize, radius: f64, seed: u64) -> (Graph, Vec<(f64, f64)>) {
+    assert!(n > 0, "need at least one sensor");
+    assert!(radius > 0.0 && radius.is_finite(), "bad radius {radius}");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let points: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let r2 = radius * radius;
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = points[i].0 - points[j].0;
+            let dy = points[i].1 - points[j].1;
+            if dx * dx + dy * dy <= r2 {
+                b.add_edge_unchecked(i, j).expect("valid");
+            }
+        }
+    }
+    (b.build(), points)
+}
+
+/// Like [`unit_disk`], but retries with growing radius until the field is
+/// connected (each retry multiplies the radius by 1.25). Returns the graph,
+/// the coordinates, and the radius that finally connected it.
+pub fn unit_disk_connected(
+    n: usize,
+    initial_radius: f64,
+    seed: u64,
+) -> (Graph, Vec<(f64, f64)>, f64) {
+    let mut radius = initial_radius;
+    loop {
+        let (g, pts) = unit_disk(n, radius, seed);
+        if gossip_graph::is_connected(&g) {
+            return (g, pts, radius);
+        }
+        radius *= 1.25;
+        assert!(
+            radius < 4.0,
+            "radius diverged; unit square should connect well before 4.0"
+        );
+    }
+}
+
+/// Total transmission energy of a schedule on a sensor field under the §2
+/// power model: each transmission costs `reach^α` where `reach` is the
+/// distance to its farthest destination.
+///
+/// This is what multicasting buys in a radio network: one emission at the
+/// necessary power covers every listener, so fewer rounds means fewer
+/// emissions.
+pub fn schedule_energy(
+    schedule: &gossip_model::Schedule,
+    points: &[(f64, f64)],
+    alpha: f64,
+) -> f64 {
+    let mut total = 0.0;
+    for (_, tx) in schedule.iter() {
+        let (sx, sy) = points[tx.from];
+        let mut reach2: f64 = 0.0;
+        for &d in &tx.to {
+            let (dx, dy) = points[d];
+            reach2 = reach2.max((sx - dx).powi(2) + (sy - dy).powi(2));
+        }
+        total += reach2.sqrt().powf(alpha);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_graph::is_connected;
+
+    #[test]
+    fn deterministic() {
+        let (a, pa) = unit_disk(30, 0.3, 7);
+        let (b, pb) = unit_disk(30, 0.3, 7);
+        assert_eq!(a, b);
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn radius_monotone() {
+        let (small, _) = unit_disk(40, 0.15, 3);
+        let (big, _) = unit_disk(40, 0.5, 3);
+        assert!(small.m() <= big.m());
+    }
+
+    #[test]
+    fn huge_radius_is_complete() {
+        let (g, _) = unit_disk(12, 2.0, 1);
+        assert_eq!(g.m(), 12 * 11 / 2);
+    }
+
+    #[test]
+    fn connected_variant_connects() {
+        for seed in 0..5 {
+            let (g, pts, r) = unit_disk_connected(25, 0.1, seed);
+            assert!(is_connected(&g), "seed {seed}");
+            assert_eq!(pts.len(), 25);
+            assert!(r >= 0.1);
+        }
+    }
+
+    #[test]
+    fn energy_counts_farthest_destination() {
+        use gossip_model::{Schedule, Transmission};
+        let points = vec![(0.0, 0.0), (1.0, 0.0), (0.0, 2.0)];
+        let mut s = Schedule::new(3);
+        s.add_transmission(0, Transmission::new(0, 0, vec![1, 2]));
+        // farthest destination is at distance 2; alpha = 2 -> energy 4.
+        assert!((schedule_energy(&s, &points, 2.0) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_empty_schedule_zero() {
+        let s = gossip_model::Schedule::new(2);
+        assert_eq!(schedule_energy(&s, &[(0.0, 0.0), (1.0, 1.0)], 2.0), 0.0);
+    }
+}

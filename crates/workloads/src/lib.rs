@@ -1,0 +1,27 @@
+//! # gossip-workloads
+//!
+//! Workload generators for the `multigossip` experiments: parametric graph
+//! families ([`families`]), seeded random graphs and trees ([`random`]),
+//! the paper's named example networks reconstructed from the text
+//! ([`named`]), and sweep enumeration ([`sweep::Family`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod families;
+pub mod geometric;
+pub mod named;
+pub mod random;
+pub mod small_graphs;
+pub mod sweep;
+
+pub use families::{
+    binary_tree, caterpillar, complete, grid, hypercube, kary_tree, path, ring, star, torus,
+};
+pub use geometric::{schedule_energy, unit_disk, unit_disk_connected};
+pub use named::{
+    complete_bipartite, fig4_graph, fig5_tree, lollipop, n1_ring, odd_line, petersen, wheel,
+};
+pub use small_graphs::{connected_graphs, connected_graphs_canonical};
+pub use random::{random_connected, random_connected_with_edges, random_regular, random_tree};
+pub use sweep::Family;

@@ -1,0 +1,240 @@
+//! The paper's named example networks (Figs 1–5), reconstructed.
+//!
+//! The source text of the paper is available without its figure images, so
+//! each instance here documents exactly what is known from the text and how
+//! the reconstruction was fixed (see DESIGN.md §3).
+
+use gossip_graph::{Graph, GraphBuilder, RootedTree, NO_PARENT};
+
+/// Fig 1 (`N_1`): a network with a Hamiltonian circuit, drawn as a ring.
+/// Parameterized because the figure's size does not survive in the text;
+/// every property used in §1 is size-independent.
+pub fn n1_ring(n: usize) -> Graph {
+    crate::families::ring(n)
+}
+
+/// Fig 2 (`N_2`): the Petersen graph. Vertices 0–4 form the outer 5-cycle,
+/// 5–9 the inner pentagram (`i ~ i + 2 mod 5`), with spokes `i — i + 5`.
+///
+/// Non-Hamiltonian, yet gossiping completes in `n - 1 = 9` rounds even
+/// under the telephone model (the paper's point: a Hamiltonian circuit is
+/// sufficient but not necessary for optimal gossiping).
+pub fn petersen() -> Graph {
+    let mut b = GraphBuilder::with_capacity(10, 15);
+    for i in 0..5 {
+        b.add_edge_unchecked(i, (i + 1) % 5).expect("valid");
+        b.add_edge_unchecked(5 + i, 5 + (i + 2) % 5).expect("valid");
+        b.add_edge_unchecked(i, i + 5).expect("valid");
+    }
+    b.build()
+}
+
+/// The reconstructed Fig 5 tree: the 16-vertex tree network on which the
+/// paper's Tables 1–4 are computed.
+///
+/// The structure is pinned by the text and tables: vertex ids equal DFS
+/// labels; the root's child subtrees hold labels `[1,3]`, `[4,10]`,
+/// `[11,15]`; vertex 1 (level 1) has two leaf children 2 and 3 (Table 2 shows it relaying messages 2 and 3 between them at times 1–2); vertex 4 (level 1) has
+/// children with ranges `[5,7]` and `[8,10]`; vertex 8 sits at level 2.
+/// The shape of the `[11,15]` subtree is not determined by the tables; the
+/// reconstruction mirrors the `[4,10]` subtree so that the tree has height
+/// 3 and the schedule length is `n + r = 19`.
+pub fn fig5_tree() -> RootedTree {
+    let mut parent = vec![0u32; 16];
+    parent[0] = NO_PARENT;
+    parent[1] = 0;
+    parent[2] = 1;
+    parent[3] = 1;
+    parent[4] = 0;
+    parent[5] = 4;
+    parent[6] = 5;
+    parent[7] = 5;
+    parent[8] = 4;
+    parent[9] = 8;
+    parent[10] = 8;
+    parent[11] = 0;
+    parent[12] = 11;
+    parent[13] = 12;
+    parent[14] = 12;
+    parent[15] = 11;
+    RootedTree::from_parents(0, &parent).expect("fig5 structure is a tree")
+}
+
+/// The reconstructed Fig 4 network: a graph whose minimum-depth spanning
+/// tree (rooted at its center, children ordered by vertex id) is exactly
+/// [`fig5_tree`].
+///
+/// Built as the Fig 5 tree's edges plus chords chosen not to reduce the
+/// radius below 3 and not to change the BFS tree from vertex 0.
+pub fn fig4_graph() -> Graph {
+    let tree = fig5_tree();
+    let mut b = GraphBuilder::with_capacity(16, 20);
+    for v in 0..16 {
+        if let Some(p) = tree.parent(v) {
+            b.add_edge_unchecked(p, v).expect("valid");
+        }
+    }
+    // Chords between same-level vertices in different subtrees; BFS from 0
+    // discovers every vertex through its tree parent first (parents sit one
+    // level higher than any chord endpoint), so the BFS tree is unchanged.
+    for (u, v) in [(3, 5), (7, 9), (10, 13), (14, 15), (2, 5)] {
+        b.add_edge_unchecked(u, v).expect("valid");
+    }
+    b.build()
+}
+
+/// The paper's §1 lower-bound instance: the straight-line network with
+/// `n = 2m + 1` processors, where every schedule needs `>= n + r - 1`
+/// rounds (`r = m`).
+pub fn odd_line(m: usize) -> Graph {
+    crate::families::path(2 * m + 1)
+}
+
+/// The complete bipartite graph `K_{a,b}`: part A = vertices `0..a`,
+/// part B = `a..a+b`. `K_{2,3}` is the experiments' substitute for the
+/// paper's network N3 (non-Hamiltonian, multicast-optimal at `n - 1`).
+///
+/// # Panics
+///
+/// Panics if either part is empty.
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    assert!(a > 0 && b > 0, "both parts must be nonempty");
+    let mut builder = GraphBuilder::with_capacity(a + b, a * b);
+    for u in 0..a {
+        for v in a..a + b {
+            builder.add_edge_unchecked(u, v).expect("valid");
+        }
+    }
+    builder.build()
+}
+
+/// The wheel `W_n`: a hub (vertex 0) joined to every vertex of an
+/// `(n-1)`-cycle. Radius 1, Hamiltonian — a useful contrast to the star,
+/// which shares the hub but cannot gossip in `n - 1`.
+///
+/// # Panics
+///
+/// Panics if `n < 4`.
+pub fn wheel(n: usize) -> Graph {
+    assert!(n >= 4, "a wheel needs at least 4 vertices");
+    let rim = n - 1;
+    let mut builder = GraphBuilder::with_capacity(n, 2 * rim);
+    for i in 0..rim {
+        builder.add_edge_unchecked(1 + i, 1 + (i + 1) % rim).expect("valid");
+        builder.add_edge_unchecked(0, 1 + i).expect("valid");
+    }
+    builder.build()
+}
+
+/// The lollipop: a clique of `k` vertices with a path of `p` vertices
+/// hanging off vertex 0. High radius with a dense core — exercises the
+/// minimum-depth tree's root placement along the stem.
+///
+/// # Panics
+///
+/// Panics if `k < 2`.
+pub fn lollipop(k: usize, p: usize) -> Graph {
+    assert!(k >= 2, "lollipop clique needs >= 2 vertices");
+    let n = k + p;
+    let mut builder = GraphBuilder::with_capacity(n, k * (k - 1) / 2 + p);
+    for u in 0..k {
+        for v in (u + 1)..k {
+            builder.add_edge_unchecked(u, v).expect("valid");
+        }
+    }
+    for i in 0..p {
+        let prev = if i == 0 { 0 } else { k + i - 1 };
+        builder.add_edge_unchecked(prev, k + i).expect("valid");
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_graph::{
+        bfs_tree, is_hamiltonian, min_depth_spanning_tree, radius, ChildOrder,
+    };
+
+    #[test]
+    fn petersen_basics() {
+        let g = petersen();
+        assert_eq!(g.n(), 10);
+        assert_eq!(g.m(), 15);
+        for v in 0..10 {
+            assert_eq!(g.degree(v), 3);
+        }
+        assert_eq!(radius(&g).unwrap(), 2);
+        assert!(!is_hamiltonian(&g));
+    }
+
+    #[test]
+    fn fig5_tree_matches_paper_labels() {
+        let t = fig5_tree();
+        assert_eq!(t.n(), 16);
+        assert_eq!(t.height(), 3);
+        for v in 0..16 {
+            assert_eq!(t.label(v), v as u32);
+        }
+        assert_eq!(t.subtree_range(4), (4, 10));
+        assert_eq!(t.subtree_range(8), (8, 10));
+        assert_eq!(t.level(8), 2);
+    }
+
+    #[test]
+    fn fig4_min_depth_tree_is_fig5() {
+        let g = fig4_graph();
+        assert_eq!(radius(&g).unwrap(), 3);
+        let t = min_depth_spanning_tree(&g, ChildOrder::ById).unwrap();
+        assert_eq!(t, fig5_tree());
+    }
+
+    #[test]
+    fn fig4_bfs_tree_from_root_is_fig5() {
+        let g = fig4_graph();
+        assert_eq!(bfs_tree(&g, 0, ChildOrder::ById).unwrap(), fig5_tree());
+    }
+
+    #[test]
+    fn odd_line_radius() {
+        let g = odd_line(4);
+        assert_eq!(g.n(), 9);
+        assert_eq!(radius(&g).unwrap(), 4);
+    }
+
+    #[test]
+    fn n1_is_ring() {
+        let g = n1_ring(8);
+        assert!(is_hamiltonian(&g));
+    }
+
+    #[test]
+    fn k23_shape() {
+        let g = complete_bipartite(2, 3);
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 6);
+        assert!(!is_hamiltonian(&g));
+        assert_eq!(radius(&g).unwrap(), 2);
+        // Balanced bipartite graphs ARE Hamiltonian.
+        assert!(is_hamiltonian(&complete_bipartite(3, 3)));
+    }
+
+    #[test]
+    fn wheel_shape() {
+        let g = wheel(7);
+        assert_eq!(g.n(), 7);
+        assert_eq!(g.m(), 12);
+        assert_eq!(g.degree(0), 6);
+        assert_eq!(radius(&g).unwrap(), 1);
+        assert!(is_hamiltonian(&g));
+    }
+
+    #[test]
+    fn lollipop_shape() {
+        let g = lollipop(4, 3);
+        assert_eq!(g.n(), 7);
+        assert_eq!(g.m(), 4 * 3 / 2 + 3);
+        assert_eq!(radius(&g).unwrap(), 2);
+        assert_eq!(g.degree(6), 1); // stem tip
+    }
+}

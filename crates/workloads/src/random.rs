@@ -1,0 +1,231 @@
+//! Random graph and random tree generators (seeded, reproducible).
+
+use gossip_graph::{Graph, GraphBuilder};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A uniformly random labeled tree on `n` vertices via a random Prüfer
+/// sequence.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn random_tree(n: usize, seed: u64) -> Graph {
+    assert!(n > 0, "random tree needs at least one vertex");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    if n == 1 {
+        return Graph::from_edges(1, &[]).expect("valid");
+    }
+    if n == 2 {
+        return Graph::from_edges(2, &[(0, 1)]).expect("valid");
+    }
+    let prufer: Vec<usize> = (0..n - 2).map(|_| rng.gen_range(0..n)).collect();
+    let mut degree = vec![1usize; n];
+    for &v in &prufer {
+        degree[v] += 1;
+    }
+    let mut b = GraphBuilder::with_capacity(n, n - 1);
+    // Standard Prüfer decode with a "pointer + leaf" scan: O(n log n) worst
+    // case here via re-scanning, fine at experiment scales.
+    let mut ptr = 0;
+    while degree[ptr] != 1 {
+        ptr += 1;
+    }
+    let mut leaf = ptr;
+    for &v in &prufer {
+        b.add_edge_unchecked(leaf, v).expect("valid");
+        degree[v] -= 1;
+        if degree[v] == 1 && v < ptr {
+            leaf = v;
+        } else {
+            ptr += 1;
+            while degree[ptr] != 1 {
+                ptr += 1;
+            }
+            leaf = ptr;
+        }
+    }
+    // The final edge joins the last leaf with vertex n - 1.
+    b.add_edge_unchecked(leaf, n - 1).expect("valid");
+    b.build()
+}
+
+/// A connected Erdős–Rényi-style graph: a random spanning tree (guaranteeing
+/// connectivity) plus each remaining pair independently with probability
+/// `p`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `p` is not in `[0, 1]`.
+pub fn random_connected(n: usize, p: f64, seed: u64) -> Graph {
+    assert!(n > 0, "random graph needs at least one vertex");
+    assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+    let tree = random_tree(n, seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for (u, v) in tree.edges() {
+        b.add_edge_unchecked(u, v).expect("valid");
+    }
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if !tree.has_edge(u, v) && rng.gen_bool(p) {
+                b.add_edge_unchecked(u, v).expect("valid");
+            }
+        }
+    }
+    b.build()
+}
+
+/// A random connected graph with exactly `m` edges (`n - 1 <= m <=
+/// n(n-1)/2`): random spanning tree plus a uniform sample of extra pairs.
+///
+/// # Panics
+///
+/// Panics on infeasible `(n, m)`.
+pub fn random_connected_with_edges(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(n > 0);
+    let max_m = n * n.saturating_sub(1) / 2;
+    assert!(
+        (n.saturating_sub(1)..=max_m).contains(&m),
+        "m = {m} infeasible for n = {n}"
+    );
+    let tree = random_tree(n, seed ^ 0x517c_c1b7_2722_0a95);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut extra: Vec<(usize, usize)> = Vec::with_capacity(max_m - (n - 1));
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if !tree.has_edge(u, v) {
+                extra.push((u, v));
+            }
+        }
+    }
+    extra.shuffle(&mut rng);
+    let mut b = GraphBuilder::with_capacity(n, m);
+    for (u, v) in tree.edges() {
+        b.add_edge_unchecked(u, v).expect("valid");
+    }
+    for &(u, v) in extra.iter().take(m - (n - 1)) {
+        b.add_edge_unchecked(u, v).expect("valid");
+    }
+    b.build()
+}
+
+/// A random `d`-regular connected graph via the pairing (configuration)
+/// model with rejection: sample perfect matchings of `n*d` half-edges
+/// until the multigraph is simple and connected.
+///
+/// # Panics
+///
+/// Panics if `n * d` is odd, `d >= n`, or no valid graph is found within
+/// the retry budget (vanishingly unlikely for `d >= 3` and moderate `n`).
+pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
+    assert!(n * d % 2 == 0, "n*d must be even");
+    assert!(d < n, "degree must be below n");
+    assert!(d >= 1, "degree must be positive");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    'attempt: for _ in 0..10_000 {
+        let mut stubs: Vec<usize> = (0..n * d).map(|i| i / d).collect();
+        stubs.shuffle(&mut rng);
+        let mut b = GraphBuilder::with_capacity(n, n * d / 2);
+        let mut seen = std::collections::HashSet::new();
+        for pair in stubs.chunks(2) {
+            let (u, v) = (pair[0], pair[1]);
+            if u == v || !seen.insert((u.min(v), u.max(v))) {
+                continue 'attempt; // self-loop or multi-edge: resample
+            }
+            b.add_edge_unchecked(u, v).expect("valid");
+        }
+        let g = b.build();
+        if gossip_graph::is_connected(&g) {
+            return g;
+        }
+    }
+    panic!("pairing model failed to produce a simple connected {d}-regular graph");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_graph::is_connected;
+
+    #[test]
+    fn random_tree_is_tree() {
+        for seed in 0..20 {
+            for n in [1, 2, 3, 5, 17, 64] {
+                let g = random_tree(n, seed);
+                assert_eq!(g.n(), n);
+                assert_eq!(g.m(), n - 1, "n = {n}, seed = {seed}");
+                assert!(is_connected(&g), "n = {n}, seed = {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_tree_deterministic() {
+        assert_eq!(random_tree(20, 7), random_tree(20, 7));
+    }
+
+    #[test]
+    fn random_tree_varies_with_seed() {
+        // Over 30 vertices two different seeds virtually never tie.
+        assert_ne!(random_tree(30, 1), random_tree(30, 2));
+    }
+
+    #[test]
+    fn random_connected_is_connected() {
+        for seed in 0..10 {
+            for p in [0.0, 0.1, 0.5, 1.0] {
+                let g = random_connected(25, p, seed);
+                assert!(is_connected(&g));
+                assert!(g.m() >= 24);
+            }
+        }
+    }
+
+    #[test]
+    fn random_connected_p1_is_complete() {
+        let g = random_connected(10, 1.0, 3);
+        assert_eq!(g.m(), 45);
+    }
+
+    #[test]
+    fn random_with_edges_exact_count() {
+        for m in [9, 15, 30, 45] {
+            let g = random_connected_with_edges(10, m, 11);
+            assert_eq!(g.m(), m);
+            assert!(is_connected(&g));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible")]
+    fn random_with_edges_rejects_too_few() {
+        random_connected_with_edges(10, 5, 0);
+    }
+
+    #[test]
+    fn random_regular_is_regular_and_connected() {
+        for seed in 0..5 {
+            for (n, d) in [(10, 3), (12, 4), (8, 5)] {
+                let g = random_regular(n, d, seed);
+                assert_eq!(g.n(), n);
+                for v in 0..n {
+                    assert_eq!(g.degree(v), d, "n={n} d={d} seed={seed}");
+                }
+                assert!(is_connected(&g));
+            }
+        }
+    }
+
+    #[test]
+    fn random_regular_deterministic() {
+        assert_eq!(random_regular(12, 3, 9), random_regular(12, 3, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn random_regular_rejects_odd_product() {
+        random_regular(5, 3, 0);
+    }
+}

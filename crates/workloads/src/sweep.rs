@@ -1,0 +1,173 @@
+//! Family enumeration for parameter sweeps.
+//!
+//! The experiment harness runs each algorithm over *every* family at a
+//! range of sizes; [`Family`] gives those sweeps a single iteration point.
+
+use crate::{families, random};
+use gossip_graph::Graph;
+
+/// A graph family with a uniform "make me an instance of about this size"
+/// interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Straight line `P_n` (radius `⌊n/2⌋` — the adversarial case).
+    Path,
+    /// Cycle `C_n`.
+    Ring,
+    /// Star `K_{1,n-1}` (radius 1 — the multicast-friendly case).
+    Star,
+    /// Complete graph `K_n`.
+    Complete,
+    /// Complete binary tree.
+    BinaryTree,
+    /// Caterpillar with 4 legs per spine vertex.
+    Caterpillar,
+    /// Near-square grid.
+    Grid,
+    /// Near-square torus.
+    Torus,
+    /// Hypercube `Q_d` with `2^d <= n`.
+    Hypercube,
+    /// Uniform random labeled tree.
+    RandomTree,
+    /// Random connected graph with edge probability 0.1 beyond a spanning
+    /// tree.
+    RandomSparse,
+    /// Wheel: hub + rim cycle (radius 1, Hamiltonian).
+    Wheel,
+    /// Lollipop: clique with a pendant path (dense core, long stem).
+    Lollipop,
+    /// Complete bipartite graph with a 1:2 part split.
+    CompleteBipartite,
+    /// Unit-disk sensor field (radio-range geometric graph), grown to
+    /// connectivity.
+    UnitDisk,
+}
+
+impl Family {
+    /// All families, in a stable reporting order.
+    pub fn all() -> &'static [Family] {
+        &[
+            Family::Path,
+            Family::Ring,
+            Family::Star,
+            Family::Complete,
+            Family::BinaryTree,
+            Family::Caterpillar,
+            Family::Grid,
+            Family::Torus,
+            Family::Hypercube,
+            Family::RandomTree,
+            Family::RandomSparse,
+            Family::Wheel,
+            Family::Lollipop,
+            Family::CompleteBipartite,
+            Family::UnitDisk,
+        ]
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Family::Path => "path",
+            Family::Ring => "ring",
+            Family::Star => "star",
+            Family::Complete => "complete",
+            Family::BinaryTree => "binary-tree",
+            Family::Caterpillar => "caterpillar",
+            Family::Grid => "grid",
+            Family::Torus => "torus",
+            Family::Hypercube => "hypercube",
+            Family::RandomTree => "random-tree",
+            Family::RandomSparse => "random-sparse",
+            Family::Wheel => "wheel",
+            Family::Lollipop => "lollipop",
+            Family::CompleteBipartite => "complete-bipartite",
+            Family::UnitDisk => "unit-disk",
+        }
+    }
+
+    /// Builds an instance with as close to `target_n` vertices as the
+    /// family permits (families with structural constraints round down).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_n < 4` (below the smallest size every family
+    /// supports).
+    pub fn instance(&self, target_n: usize, seed: u64) -> Graph {
+        assert!(target_n >= 4, "sweeps start at n = 4");
+        match self {
+            Family::Path => families::path(target_n),
+            Family::Ring => families::ring(target_n),
+            Family::Star => families::star(target_n),
+            Family::Complete => families::complete(target_n),
+            Family::BinaryTree => families::binary_tree(target_n),
+            Family::Caterpillar => {
+                let spine = (target_n / 5).max(1);
+                families::caterpillar(spine, 4)
+            }
+            Family::Grid => {
+                let side = (target_n as f64).sqrt().floor() as usize;
+                families::grid(side.max(2), side.max(2))
+            }
+            Family::Torus => {
+                let side = ((target_n as f64).sqrt().floor() as usize).max(3);
+                families::torus(side, side)
+            }
+            Family::Hypercube => {
+                let d = (usize::BITS - 1 - target_n.leading_zeros()) as usize;
+                families::hypercube(d.max(2))
+            }
+            Family::RandomTree => random::random_tree(target_n, seed),
+            Family::RandomSparse => random::random_connected(target_n, 0.1, seed),
+            Family::Wheel => crate::named::wheel(target_n),
+            Family::Lollipop => {
+                let k = (target_n / 2).max(2);
+                crate::named::lollipop(k, target_n - k)
+            }
+            Family::CompleteBipartite => {
+                let a = (target_n / 3).max(1);
+                crate::named::complete_bipartite(a, target_n - a)
+            }
+            Family::UnitDisk => crate::geometric::unit_disk_connected(target_n, 0.3, seed).0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_graph::is_connected;
+
+    #[test]
+    fn all_families_produce_connected_instances() {
+        for &f in Family::all() {
+            for target in [4, 16, 50] {
+                let g = f.instance(target, 42);
+                assert!(is_connected(&g), "{} at {target}", f.name());
+                assert!(g.n() >= 4, "{} at {target} gave n = {}", f.name(), g.n());
+            }
+        }
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<_> = Family::all().iter().map(|f| f.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Family::all().len());
+    }
+
+    #[test]
+    fn hypercube_rounds_down_to_power_of_two() {
+        let g = Family::Hypercube.instance(50, 0);
+        assert_eq!(g.n(), 32);
+    }
+
+    #[test]
+    fn exact_size_families_hit_target() {
+        for f in [Family::Path, Family::Ring, Family::Star, Family::Complete] {
+            assert_eq!(f.instance(23, 0).n(), 23, "{}", f.name());
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! # multigossip
+//!
+//! A production-quality Rust implementation of **Gonzalez's gossiping
+//! algorithm for the multicasting communication environment** (IPPS 2001;
+//! journal version in IEEE TPDS): communication schedules of length at most
+//! `n + r` for all-to-all broadcast on an arbitrary `n`-processor network of
+//! radius `r`, under the model where each processor may multicast one
+//! message per round and receive at most one message per round.
+//!
+//! This crate is a facade over the workspace:
+//!
+//! - [`graph`] — CSR graphs, BFS, radius/diameter, minimum-depth spanning
+//!   trees, rooted trees with DFS preorder ranges ([`gossip_graph`]);
+//! - [`model`] — the synchronous multicast communication model: rounds,
+//!   schedules, rule validation, simulation, per-vertex trace tables
+//!   ([`gossip_model`]);
+//! - [`core`] — the scheduling algorithms: **ConcurrentUpDown** (`n + r`),
+//!   the **Simple** (`2n + r - 3`) and **UpDown** baselines, broadcast,
+//!   telephone-model baselines, lower bounds, exact and randomized search,
+//!   weighted gossiping, and the online/distributed executor
+//!   ([`gossip_core`]);
+//! - [`workloads`] — generators and the paper's named instances
+//!   ([`gossip_workloads`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use multigossip::prelude::*;
+//!
+//! // Build any connected network (here: a 4x4 torus would also do).
+//! let g = ring(8);
+//!
+//! // Plan gossip with the paper's pipeline: minimum-depth spanning tree +
+//! // ConcurrentUpDown schedule.
+//! let plan = GossipPlanner::new(&g).unwrap().plan().unwrap();
+//!
+//! // The headline guarantee: schedule length <= n + r.
+//! assert!(plan.schedule.makespan() <= 8 + 4);
+//!
+//! // Machine-check the schedule against every model rule, end to end.
+//! let outcome = simulate_gossip(&g, &plan.schedule, &plan.origin_of_message).unwrap();
+//! assert!(outcome.complete);
+//! ```
+
+pub use gossip_core as core;
+pub use gossip_graph as graph;
+pub use gossip_model as model;
+pub use gossip_workloads as workloads;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use gossip_core::{
+        annotated_concurrent_updown, broadcast_model_gossip, broadcast_schedule,
+        concurrent_updown, gather_schedule, gossip_lower_bound, line_gossip_schedule,
+        multi_broadcast_schedule, ring_gossip_schedule, simple_gossip, telephone_tree_gossip,
+        updown_gossip, weighted_gossip, GossipPlan, GossipPlanner, TreeMaintainer,
+    };
+    pub use gossip_graph::{
+        bfs, distance_metrics, is_connected, min_depth_spanning_tree, ChildOrder, Graph,
+        GraphBuilder, RootedTree,
+    };
+    pub use gossip_model::{
+        analyze_schedule, compact_schedule, knowledge_curve, simulate_gossip, CommModel,
+        CommRound, Schedule, ScheduleBuilder, ScheduleStats, Simulator,
+    };
+    pub use gossip_workloads::{
+        binary_tree, complete, grid, hypercube, path, petersen, random_connected, ring, star,
+        torus,
+    };
+}

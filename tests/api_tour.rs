@@ -1,0 +1,111 @@
+//! A guided tour of the public API through the facade: everything a
+//! downstream user reaches for, exercised together on one coherent
+//! scenario (so the pieces are tested *in combination*, not just alone).
+
+use gossip_core::{MaintenanceOutcome, Rule};
+use multigossip::prelude::*;
+
+#[test]
+fn full_api_walkthrough() {
+    // --- build a network and plan -------------------------------------
+    let g = grid(4, 4);
+    let plan = GossipPlanner::new(&g).unwrap().plan().unwrap();
+    let (n, r) = (g.n(), plan.radius as usize);
+    assert_eq!(plan.makespan(), n + r);
+
+    // --- simulate + analyze -------------------------------------------
+    let outcome = simulate_gossip(&g, &plan.schedule, &plan.origin_of_message).unwrap();
+    assert!(outcome.complete);
+    let analysis = analyze_schedule(&g, &plan.schedule, &plan.origin_of_message).unwrap();
+    assert_eq!(analysis.redundant_deliveries, 0);
+    assert_eq!(analysis.total_deliveries, n * (n - 1));
+
+    // --- knowledge curve ------------------------------------------------
+    let curve = knowledge_curve(&g, &plan.schedule, &plan.origin_of_message).unwrap();
+    assert_eq!(curve.len(), plan.makespan() + 1);
+    assert!((curve.last().unwrap() - 1.0).abs() < 1e-12);
+
+    // --- compaction finds nothing to improve ----------------------------
+    let report = compact_schedule(&g, &plan.schedule, &plan.origin_of_message).unwrap();
+    assert_eq!(report.makespan_after, report.makespan_before);
+    assert_eq!(report.deliveries_pruned, 0);
+
+    // --- annotated schedule agrees with the plain one --------------------
+    let annotated = annotated_concurrent_updown(&plan.tree);
+    assert_eq!(
+        annotated.len(),
+        plan.schedule.stats().transmissions,
+        "one annotation per transmission"
+    );
+    assert!(annotated.iter().any(|a| a.rule == Rule::U3Lip));
+
+    // --- gather (Lemma 2) on the same tree -------------------------------
+    let gather = gather_schedule(&plan.tree);
+    assert_eq!(gather.makespan(), n - 1);
+
+    // --- alternative primitives on the same graph ------------------------
+    let (bcast, time) = broadcast_schedule(&g, plan.tree.root());
+    assert_eq!(time, r); // rooted at a center vertex
+    assert_eq!(bcast.makespan(), r);
+    let (multi, mtime) = multi_broadcast_schedule(&g, plan.tree.root(), 4);
+    assert_eq!(mtime, 4 - 1 + r);
+    assert_eq!(multi.makespan(), mtime);
+    let bm = broadcast_model_gossip(&g);
+    assert!(bm.makespan() >= n - 1);
+
+    // --- weighted gossip over the same tree ------------------------------
+    let weights = vec![1usize; n];
+    let wplan = weighted_gossip(&plan.tree, &weights).unwrap();
+    assert_eq!(wplan.schedule.makespan(), plan.makespan());
+
+    // --- maintenance keeps the plan consistent through change ------------
+    let mut maintainer = TreeMaintainer::new(g.clone()).unwrap();
+    let chord = g
+        .edges()
+        .find(|&(u, v)| {
+            maintainer.plan().tree.parent(u) != Some(v)
+                && maintainer.plan().tree.parent(v) != Some(u)
+        })
+        .expect("grid has chords");
+    assert_eq!(
+        maintainer.remove_edge(chord.0, chord.1).unwrap(),
+        MaintenanceOutcome::Kept
+    );
+    let o = simulate_gossip(
+        maintainer.graph(),
+        &maintainer.plan().schedule,
+        &maintainer.plan().origin_of_message,
+    )
+    .unwrap();
+    assert!(o.complete);
+
+    // --- hand-build a tiny schedule through the checked builder ----------
+    let p2 = path(2);
+    let mut b = ScheduleBuilder::new(&p2, CommModel::Multicast, &[0, 1]).unwrap();
+    b.send(0, 0, 0, &[1]).unwrap();
+    b.send(0, 1, 1, &[0]).unwrap();
+    let hand = b.finish();
+    assert!(simulate_gossip(&p2, &hand, &[0, 1]).unwrap().complete);
+    assert_eq!(hand.makespan(), 1); // the optimal swap
+
+    // --- the line specialization beats the generic plan by one -----------
+    let p5 = path(5);
+    let generic = GossipPlanner::new(&p5).unwrap().plan().unwrap().makespan();
+    assert_eq!(line_gossip_schedule(5).makespan() + 1, generic);
+}
+
+#[test]
+fn prelude_algorithm_variants_agree_on_guarantees() {
+    let g = hypercube(4);
+    let tree = min_depth_spanning_tree(&g, ChildOrder::ById).unwrap();
+    let n = tree.n();
+    let r = tree.height() as usize;
+    assert_eq!(concurrent_updown(&tree).makespan(), n + r);
+    assert_eq!(simple_gossip(&tree).makespan(), 2 * n + r - 3);
+    let ud = updown_gossip(&tree).makespan();
+    assert!((n - 1..=2 * n + r - 3).contains(&ud));
+    let tel = telephone_tree_gossip(&tree).makespan();
+    assert!(tel >= n + r);
+    assert!(ring_gossip_schedule(&g).is_some()); // hypercubes are Hamiltonian
+    assert!(gossip_lower_bound(&g) >= n - 1);
+}

@@ -1,0 +1,133 @@
+//! Full-pipeline sweep: every workload family × several sizes × every
+//! algorithm, planned from the raw graph and machine-verified.
+
+use gossip_core::Algorithm;
+use gossip_model::{validate_gossip_schedule, CommModel};
+use multigossip::prelude::*;
+use multigossip::workloads::Family;
+
+#[test]
+fn concurrent_updown_on_every_family() {
+    for &family in Family::all() {
+        for target in [4, 9, 25, 40] {
+            let g = family.instance(target, 7);
+            let plan = GossipPlanner::new(&g).expect("connected").plan().expect("plan");
+            let n = g.n();
+            let r = plan.radius as usize;
+            assert_eq!(
+                plan.makespan(),
+                n + r,
+                "{} (n = {n})",
+                family.name()
+            );
+            let o = simulate_gossip(&g, &plan.schedule, &plan.origin_of_message)
+                .unwrap_or_else(|e| panic!("{} (n = {n}): {e}", family.name()));
+            assert!(o.complete, "{} (n = {n})", family.name());
+            // 1.5-approximation (§4): r <= n / 2 so n + r <= 1.5 (n - 1) + 2.
+            assert!(
+                2 * plan.makespan() <= 3 * (n - 1) + 4,
+                "{}: approximation ratio violated",
+                family.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn all_algorithms_on_every_family() {
+    for &family in Family::all() {
+        let g = family.instance(12, 3);
+        for alg in [
+            Algorithm::ConcurrentUpDown,
+            Algorithm::Simple,
+            Algorithm::UpDown,
+            Algorithm::Telephone,
+        ] {
+            let plan = GossipPlanner::new(&g)
+                .expect("connected")
+                .algorithm(alg)
+                .plan()
+                .expect("plan");
+            let model = if alg == Algorithm::Telephone {
+                CommModel::Telephone
+            } else {
+                CommModel::Multicast
+            };
+            let o = validate_gossip_schedule(&g, &plan.schedule, &plan.origin_of_message, model)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", alg.name(), family.name()));
+            assert!(o.complete, "{} on {}", alg.name(), family.name());
+        }
+    }
+}
+
+#[test]
+fn algorithm_ordering_holds_everywhere() {
+    // ConcurrentUpDown <= Simple, UpDown <= Simple, multicast <= telephone.
+    for &family in Family::all() {
+        let g = family.instance(20, 11);
+        let planner = GossipPlanner::new(&g).expect("connected");
+        let cud = planner.clone().plan().unwrap().makespan();
+        let simple = planner
+            .clone()
+            .algorithm(Algorithm::Simple)
+            .plan()
+            .unwrap()
+            .makespan();
+        let updown = planner
+            .clone()
+            .algorithm(Algorithm::UpDown)
+            .plan()
+            .unwrap()
+            .makespan();
+        let telephone = planner
+            .clone()
+            .algorithm(Algorithm::Telephone)
+            .plan()
+            .unwrap()
+            .makespan();
+        assert!(cud <= simple, "{}", family.name());
+        assert!(updown <= simple, "{}", family.name());
+        assert!(updown <= telephone, "{}", family.name());
+    }
+}
+
+#[test]
+fn lower_bound_never_exceeds_achieved() {
+    for &family in Family::all() {
+        for target in [5, 13, 29] {
+            let g = family.instance(target, 23);
+            let lb = gossip_lower_bound(&g);
+            let plan = GossipPlanner::new(&g).expect("connected").plan().expect("plan");
+            assert!(
+                lb <= plan.makespan(),
+                "{}: lower bound {lb} exceeds makespan {}",
+                family.name(),
+                plan.makespan()
+            );
+        }
+    }
+}
+
+#[test]
+fn broadcast_time_is_eccentricity_everywhere() {
+    for &family in Family::all() {
+        let g = family.instance(18, 5);
+        let metrics = distance_metrics(&g).expect("connected");
+        for src in [0, g.n() / 2, g.n() - 1] {
+            let (s, time) = gossip_core::broadcast_schedule(&g, src);
+            assert_eq!(time as u32, metrics.ecc[src], "{} src {src}", family.name());
+            assert_eq!(s.makespan(), time, "{} src {src}", family.name());
+        }
+    }
+}
+
+#[test]
+fn paper_odd_line_story() {
+    // The complete §1/§4 narrative on one instance: odd line, n = 9, r = 4.
+    let g = multigossip::workloads::odd_line(4);
+    let lb = gossip_lower_bound(&g);
+    assert_eq!(lb, 9 + 4 - 1, "paper's line lower bound");
+    let plan = GossipPlanner::new(&g).unwrap().plan().unwrap();
+    assert_eq!(plan.makespan(), 9 + 4, "the algorithm is one off optimal on lines");
+    assert_eq!(plan.tree.root(), 4, "tree rooted at the line's center");
+}

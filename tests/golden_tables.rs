@@ -1,0 +1,47 @@
+//! Golden-file regression test: the rendered Tables 1–4 report must stay
+//! byte-identical to the checked-in snapshot (`tests/golden/tables.txt`).
+//!
+//! The cell-level assertions live in `tests/paper_tables.rs`; this test
+//! additionally pins the *rendering* (layout, headers, the `n + r`
+//! headline) so that incidental changes to the trace formatter or the DFS
+//! labeling are caught immediately.
+
+use gossip_core::{concurrent_updown, tree_origins};
+use gossip_model::{simulate_gossip, vertex_trace};
+use multigossip::workloads::fig5_tree;
+
+fn regenerate() -> String {
+    let tree = fig5_tree();
+    let schedule = concurrent_updown(&tree);
+    let g = tree.to_graph();
+    let outcome = simulate_gossip(&g, &schedule, &tree_origins(&tree)).expect("valid");
+    assert!(outcome.complete);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Fig 5 tree: n = 16, height r = 3; schedule length {} = n + r\n\n",
+        schedule.makespan()
+    ));
+    for (table, vertex) in [(1, 0usize), (2, 1), (3, 4), (4, 8)] {
+        out.push_str(&format!("--- Table {table}: vertex with message {vertex} ---\n"));
+        out.push_str(&vertex_trace(&schedule, &tree, vertex).render());
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn tables_match_golden_snapshot() {
+    let golden = include_str!("golden/tables.txt").trim_end();
+    let fresh = regenerate();
+    let fresh = fresh.trim_end();
+    // Compare line by line for a readable diff on failure.
+    for (i, (g, f)) in golden.lines().zip(fresh.lines()).enumerate() {
+        assert_eq!(g, f, "line {} diverged from the golden snapshot", i + 1);
+    }
+    assert_eq!(
+        golden.lines().count(),
+        fresh.lines().count(),
+        "line count changed"
+    );
+}

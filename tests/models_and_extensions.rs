@@ -1,0 +1,145 @@
+//! Cross-model comparisons, exact-optimality checks, and the §4 extensions
+//! (weighted gossiping, online execution) through the public API.
+
+use gossip_core::{
+    optimal_gossip_time, petersen_gossip_schedule, run_online_threaded, weighted_gossip,
+    Algorithm, ExactResult,
+};
+use gossip_graph::{is_hamiltonian, NO_PARENT};
+use gossip_model::{identity_origins, validate_gossip_schedule, CommModel};
+use multigossip::prelude::*;
+use multigossip::workloads::{odd_line, petersen};
+
+const BUDGET: u64 = 20_000_000;
+
+#[test]
+fn exact_optimum_vs_n_plus_r_on_tiny_graphs() {
+    // On every family instance small enough for exact search, the paper's
+    // schedule is within r + 1 of optimal (it is n + r vs >= n - 1).
+    for &family in multigossip::workloads::Family::all() {
+        let g = family.instance(5, 2);
+        if g.n() > 6 {
+            continue;
+        }
+        let plan = GossipPlanner::new(&g).unwrap().plan().unwrap();
+        let opt = match optimal_gossip_time(&g, CommModel::Multicast, 2 * g.n() + 4, BUDGET) {
+            ExactResult::Optimal(t) => t,
+            other => panic!("{}: {other:?}", family.name()),
+        };
+        assert!(opt >= g.n() - 1, "{}", family.name());
+        assert!(opt <= plan.makespan(), "{}", family.name());
+        assert!(
+            plan.makespan() <= opt + plan.radius as usize + 1,
+            "{}: n + r = {} vs optimal {opt}",
+            family.name(),
+            plan.makespan()
+        );
+    }
+}
+
+#[test]
+fn petersen_full_story() {
+    let g = petersen();
+    // Not Hamiltonian (exhaustively proven)...
+    assert!(!is_hamiltonian(&g));
+    // ...yet the structured schedule gossips in n - 1 rounds, telephone-legal.
+    let s = petersen_gossip_schedule();
+    assert_eq!(s.makespan(), 9);
+    let o =
+        validate_gossip_schedule(&g, &s, &identity_origins(10), CommModel::Telephone).unwrap();
+    assert!(o.complete);
+    // The generic pipeline still delivers its n + r = 12 guarantee.
+    let plan = GossipPlanner::new(&g).unwrap().plan().unwrap();
+    assert_eq!(plan.makespan(), 12);
+}
+
+#[test]
+fn k23_separates_multicast_from_telephone() {
+    // The N3 substitute: non-Hamiltonian, multicast-optimal at n - 1,
+    // telephone strictly worse — exhaustively proven.
+    let g = Graph::from_edges(5, &[(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4)]).unwrap();
+    assert!(!is_hamiltonian(&g));
+    assert_eq!(
+        optimal_gossip_time(&g, CommModel::Multicast, 8, BUDGET),
+        ExactResult::Optimal(4)
+    );
+    assert_eq!(
+        optimal_gossip_time(&g, CommModel::Telephone, 8, BUDGET),
+        ExactResult::Optimal(6)
+    );
+}
+
+#[test]
+fn ring_schedules_beat_generic_on_hamiltonian_graphs() {
+    for n in [5, 8, 12] {
+        let g = ring(n);
+        let ham = gossip_core::ring_gossip_schedule(&g).expect("rings are Hamiltonian");
+        assert_eq!(ham.makespan(), n - 1);
+        let generic = GossipPlanner::new(&g).unwrap().plan().unwrap();
+        assert_eq!(generic.makespan(), n + n / 2);
+        assert!(ham.makespan() < generic.makespan());
+    }
+}
+
+#[test]
+fn weighted_gossip_end_to_end() {
+    // A 5-vertex tree where vertices carry 1..=3 messages each.
+    let tree =
+        gossip_graph::RootedTree::from_parents(2, &[1, 2, NO_PARENT, 2, 3]).unwrap();
+    let weights = [2, 1, 3, 1, 2];
+    let plan = weighted_gossip(&tree, &weights).unwrap();
+    assert_eq!(plan.total_weight, 9);
+    let g = plan.expanded_tree.to_graph();
+    let o = simulate_gossip(&g, &plan.schedule, &plan.origins()).unwrap();
+    assert!(o.complete);
+    // W + r' guarantee.
+    assert_eq!(
+        plan.schedule.makespan(),
+        plan.total_weight + plan.expanded_tree.height() as usize
+    );
+    // Every original vertex owns exactly weight[p] messages.
+    for (p, &w) in weights.iter().enumerate() {
+        let owned = (0..plan.total_weight as u32)
+            .filter(|&m| plan.message_owner(m) == p)
+            .count();
+        assert_eq!(owned, w, "vertex {p}");
+    }
+}
+
+#[test]
+fn threaded_online_matches_offline_on_fig5() {
+    let tree = multigossip::workloads::fig5_tree();
+    let mut offline = gossip_core::concurrent_updown(&tree);
+    offline.normalize();
+    assert_eq!(run_online_threaded(&tree), offline);
+}
+
+#[test]
+fn telephone_model_never_beats_multicast_model() {
+    for &family in multigossip::workloads::Family::all() {
+        let g = family.instance(10, 1);
+        let planner = GossipPlanner::new(&g).unwrap();
+        let mc = planner.clone().plan().unwrap().makespan();
+        let tp = planner
+            .clone()
+            .algorithm(Algorithm::Telephone)
+            .plan()
+            .unwrap()
+            .makespan();
+        assert!(mc <= tp, "{}: multicast {mc} > telephone {tp}", family.name());
+    }
+}
+
+#[test]
+fn odd_line_exact_matches_paper_bound() {
+    // n = 5, r = 2: optimal is exactly n + r - 1 (the paper's §4 remark
+    // that one unit can be shaved but with a non-uniform protocol).
+    let g = odd_line(2);
+    assert_eq!(
+        optimal_gossip_time(&g, CommModel::Multicast, 10, BUDGET),
+        ExactResult::Optimal(6)
+    );
+    assert_eq!(gossip_core::gossip_lower_bound(&g), 6);
+    let plan = GossipPlanner::new(&g).unwrap().plan().unwrap();
+    assert_eq!(plan.makespan(), 7); // n + r: one off optimal, as §4 states
+}

@@ -1,0 +1,123 @@
+//! End-to-end reproduction of the paper's Tables 1–4 through the public
+//! facade: network (Fig 4) → minimum-depth spanning tree (Fig 5) → DFS
+//! labels → ConcurrentUpDown schedule → per-vertex traces, asserted cell by
+//! cell against the published tables.
+
+use gossip_core::{concurrent_updown, tree_origins};
+use gossip_model::{simulate_gossip, vertex_trace, Schedule, VertexTrace};
+use multigossip::prelude::*;
+use multigossip::workloads::{fig4_graph, fig5_tree};
+
+/// Runs the full pipeline from the Fig 4 *graph* (not the tree): the
+/// spanning-tree construction must recover Fig 5 on its own.
+fn schedule_from_graph() -> (Schedule, gossip_graph::RootedTree) {
+    let g = fig4_graph();
+    let tree = min_depth_spanning_tree(&g, ChildOrder::ById).expect("connected");
+    assert_eq!(tree, fig5_tree(), "min-depth spanning tree must be the Fig 5 tree");
+    let s = concurrent_updown(&tree);
+    let outcome = simulate_gossip(&g, &s, &tree_origins(&tree)).expect("valid schedule");
+    assert!(outcome.complete);
+    assert_eq!(outcome.completion_time, Some(19), "n + r = 19");
+    (s, tree)
+}
+
+/// Helper: assert a sparse row spec `(time, msg)` exactly covers the row.
+fn assert_row(row: &[Option<u32>], expected: &[(usize, u32)], what: &str) {
+    let mut want = vec![None; row.len()];
+    for &(t, m) in expected {
+        want[t] = Some(m);
+    }
+    assert_eq!(row, &want[..], "{what}");
+}
+
+fn trace(s: &Schedule, tree: &gossip_graph::RootedTree, v: usize) -> VertexTrace {
+    vertex_trace(s, tree, v)
+}
+
+#[test]
+fn table_1_root() {
+    let (s, tree) = schedule_from_graph();
+    let tr = trace(&s, &tree, 0);
+    // Receive from Child: message i at time i, i = 1..15.
+    let recv: Vec<(usize, u32)> = (1..=15).map(|m| (m as usize, m)).collect();
+    assert_row(&tr.recv_from_child, &recv, "table 1 receive row");
+    // Send to Children: message i at time i, plus message 0 at time 16.
+    let mut send = recv.clone();
+    send.push((16, 0));
+    assert_row(&tr.send_to_children, &send, "table 1 send row");
+    assert_row(&tr.recv_from_parent, &[], "root receives nothing from a parent");
+    assert_row(&tr.send_to_parent, &[], "root sends nothing to a parent");
+}
+
+#[test]
+fn table_2_vertex_1() {
+    let (s, tree) = schedule_from_graph();
+    let tr = trace(&s, &tree, 1);
+    let mut recv_parent: Vec<(usize, u32)> = (4..=15).map(|m| (m as usize + 1, m)).collect();
+    recv_parent.push((17, 0));
+    assert_row(&tr.recv_from_parent, &recv_parent, "table 2 receive-from-parent");
+    assert_row(&tr.recv_from_child, &[(1, 2), (2, 3)], "table 2 receive-from-child");
+    assert_row(&tr.send_to_parent, &[(0, 1), (1, 2), (2, 3)], "table 2 send-to-parent");
+    let mut send_child = vec![(1, 2), (2, 3), (3, 1)];
+    send_child.extend((4..=15).map(|m| (m as usize + 1, m)));
+    send_child.push((17, 0));
+    assert_row(&tr.send_to_children, &send_child, "table 2 send-to-child");
+}
+
+#[test]
+fn table_3_vertex_4() {
+    let (s, tree) = schedule_from_graph();
+    let tr = trace(&s, &tree, 4);
+    let mut recv_parent = vec![(2, 1), (3, 2), (4, 3)];
+    recv_parent.extend((11..=15).map(|m| (m as usize + 1, m)));
+    recv_parent.push((17, 0));
+    assert_row(&tr.recv_from_parent, &recv_parent, "table 3 receive-from-parent");
+    let mut recv_child = vec![(1, 5)];
+    recv_child.extend((6..=10).map(|m| (m as usize - 1, m)));
+    assert_row(&tr.recv_from_child, &recv_child, "table 3 receive-from-child");
+    let send_parent: Vec<(usize, u32)> = (4..=10).map(|m| (m as usize - 1, m)).collect();
+    assert_row(&tr.send_to_parent, &send_parent, "table 3 send-to-parent");
+    let mut send_child = vec![(2, 1)];
+    send_child.extend((4..=10).map(|m| (m as usize - 1, m)));
+    send_child.extend([(10, 2), (11, 3)]); // the two delayed o-messages
+    send_child.extend((11..=15).map(|m| (m as usize + 1, m)));
+    send_child.push((17, 0));
+    assert_row(&tr.send_to_children, &send_child, "table 3 send-to-child");
+}
+
+#[test]
+fn table_4_vertex_8() {
+    let (s, tree) = schedule_from_graph();
+    let tr = trace(&s, &tree, 8);
+    let mut recv_parent = vec![(3, 1), (4, 4), (5, 5), (6, 6), (7, 7), (11, 2), (12, 3)];
+    recv_parent.extend((11..=15).map(|m| (m as usize + 2, m)));
+    recv_parent.push((18, 0));
+    assert_row(&tr.recv_from_parent, &recv_parent, "table 4 receive-from-parent");
+    assert_row(&tr.recv_from_child, &[(1, 9), (8, 10)], "table 4 receive-from-child");
+    assert_row(&tr.send_to_parent, &[(6, 8), (7, 9), (8, 10)], "table 4 send-to-parent");
+    let mut send_child = vec![
+        (3, 1), (4, 4), (5, 5),       // forwarded immediately
+        (6, 8), (7, 9), (8, 10),      // own subtree (D3)
+        (9, 6), (10, 7),              // the deferred pair
+        (11, 2), (12, 3),
+    ];
+    send_child.extend((11..=15).map(|m| (m as usize + 2, m)));
+    send_child.push((18, 0));
+    assert_row(&tr.send_to_children, &send_child, "table 4 send-to-child");
+}
+
+#[test]
+fn every_vertex_trace_is_internally_consistent() {
+    let (s, tree) = schedule_from_graph();
+    for v in 0..16 {
+        let tr = trace(&s, &tree, v);
+        // A vertex receives each message at most once in total.
+        let mut seen = std::collections::HashSet::new();
+        for m in tr.recv_from_parent.iter().chain(&tr.recv_from_child).flatten() {
+            assert!(seen.insert(*m), "vertex {v} received message {m} twice");
+        }
+        // And ends up having received everything but its own message.
+        assert_eq!(seen.len(), 15, "vertex {v}");
+        assert!(!seen.contains(&tree.label(v)), "vertex {v} received its own message");
+    }
+}
