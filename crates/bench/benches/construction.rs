@@ -44,7 +44,12 @@ fn bench_schedule_generation(c: &mut Criterion) {
 
 fn bench_tree_shapes(c: &mut Criterion) {
     let mut group = c.benchmark_group("schedule_by_family");
-    for family in [Family::Path, Family::Star, Family::BinaryTree, Family::RandomTree] {
+    for family in [
+        Family::Path,
+        Family::Star,
+        Family::BinaryTree,
+        Family::RandomTree,
+    ] {
         let g = family.instance(512, 5);
         let tree = min_depth_spanning_tree(&g, ChildOrder::ById).unwrap();
         group.bench_with_input(

@@ -14,7 +14,9 @@ fn bench_simulator(c: &mut Criterion) {
     for &n in &[64usize, 256, 512] {
         let g = random_connected(n, 0.05, 77);
         let plan = GossipPlanner::new(&g).unwrap().plan().unwrap();
-        group.throughput(Throughput::Elements(plan.schedule.stats().deliveries as u64));
+        group.throughput(Throughput::Elements(
+            plan.schedule.stats().deliveries as u64,
+        ));
         group.bench_with_input(
             BenchmarkId::from_parameter(n),
             &(g, plan),

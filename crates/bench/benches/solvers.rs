@@ -13,10 +13,19 @@ use std::hint::black_box;
 fn bench_exact_solver(c: &mut Criterion) {
     let mut group = c.benchmark_group("exact_solver");
     group.sample_size(10);
-    for (name, g) in [("path-5", path(5)), ("star-5", star(5)), ("ring-5", gossip_workloads::ring(5))] {
+    for (name, g) in [
+        ("path-5", path(5)),
+        ("star-5", star(5)),
+        ("ring-5", gossip_workloads::ring(5)),
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
             b.iter(|| {
-                optimal_gossip_time(black_box(g), CommModel::Multicast, 2 * g.n() + 4, 50_000_000)
+                optimal_gossip_time(
+                    black_box(g),
+                    CommModel::Multicast,
+                    2 * g.n() + 4,
+                    50_000_000,
+                )
             })
         });
     }

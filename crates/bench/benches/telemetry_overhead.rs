@@ -1,0 +1,122 @@
+//! Telemetry overhead guard: the instrumented entry points with a
+//! [`NoopRecorder`] must cost within 5% of the raw (pre-telemetry) path,
+//! measured on a 1024-vertex torus. Results (criterion display plus our own
+//! wall-clock means) land in `BENCH_telemetry_overhead.json`.
+//!
+//! Three configurations per stage:
+//! - `raw`: the un-instrumented code path (`Simulator::run`);
+//! - `noop`: the recorded path with [`NoopRecorder`] — this is what every
+//!   default caller pays, and what the <5% guard bounds;
+//! - `metrics`: the recorded path with a live [`MetricsRecorder`] (no
+//!   sink), the full-observability cost for context.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gossip_bench::report::{obj, write_bench_json};
+use gossip_core::{concurrent_updown_recorded, tree_origins};
+use gossip_graph::{min_depth_spanning_tree, ChildOrder};
+use gossip_model::{CommModel, Simulator};
+use gossip_telemetry::{MetricsRecorder, NoopRecorder, Value};
+use gossip_workloads::torus;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Minimum wall-clock seconds per run of each routine, with the routines
+/// interleaved round-robin so slow drift (thermal, background load) hits
+/// every configuration equally. Min-of-N rejects one-sided noise, which is
+/// what an overhead *guard* needs: the true cost is the floor, not the mean.
+fn time_min_interleaved<F: FnMut(usize)>(mut run: F, configs: usize, iters: usize) -> Vec<f64> {
+    for c in 0..configs {
+        run(c); // warm-up
+    }
+    let mut best = vec![f64::INFINITY; configs];
+    for _ in 0..iters {
+        for (c, slot) in best.iter_mut().enumerate() {
+            let t0 = Instant::now();
+            run(c);
+            *slot = slot.min(t0.elapsed().as_secs_f64());
+        }
+    }
+    best
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let g = torus(32, 32); // 1024 vertices
+    let tree = min_depth_spanning_tree(&g, ChildOrder::ById).unwrap();
+    let schedule = concurrent_updown_recorded(&tree, &NoopRecorder);
+    let origins = tree_origins(&tree);
+    let metrics = MetricsRecorder::new();
+
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(10);
+    group.bench_function("simulate/raw", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::with_origins(&g, CommModel::Multicast, &origins).unwrap();
+            black_box(sim.run(black_box(&schedule)).unwrap())
+        })
+    });
+    group.bench_function("simulate/noop", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::with_origins(&g, CommModel::Multicast, &origins).unwrap();
+            black_box(
+                sim.run_recorded(black_box(&schedule), &NoopRecorder)
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("simulate/metrics", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::with_origins(&g, CommModel::Multicast, &origins).unwrap();
+            black_box(sim.run_recorded(black_box(&schedule), &metrics).unwrap())
+        })
+    });
+    group.bench_function("generate/noop", |b| {
+        b.iter(|| black_box(concurrent_updown_recorded(black_box(&tree), &NoopRecorder)))
+    });
+    group.bench_function("generate/metrics", |b| {
+        b.iter(|| black_box(concurrent_updown_recorded(black_box(&tree), &metrics)))
+    });
+    group.finish();
+
+    // Independent wall-clock timings for the JSON artifact (the criterion
+    // harness prints but does not expose its timings).
+    let iters = if std::env::args().any(|a| a == "--test") {
+        1
+    } else {
+        7
+    };
+    let best = time_min_interleaved(
+        |config| {
+            let mut sim = Simulator::with_origins(&g, CommModel::Multicast, &origins).unwrap();
+            match config {
+                0 => black_box(sim.run(&schedule).unwrap()),
+                1 => black_box(sim.run_recorded(&schedule, &NoopRecorder).unwrap()),
+                _ => black_box(sim.run_recorded(&schedule, &metrics).unwrap()),
+            };
+        },
+        3,
+        iters,
+    );
+    let (raw, noop, recorded) = (best[0], best[1], best[2]);
+    let overhead_pct = 100.0 * (noop - raw) / raw;
+    let payload = obj(vec![
+        ("experiment", Value::String("telemetry_overhead".into())),
+        ("n", Value::from_u64(g.n() as u64)),
+        ("iters", Value::from_u64(iters as u64)),
+        ("simulate_raw_ms", Value::from_f64(raw * 1e3)),
+        ("simulate_noop_ms", Value::from_f64(noop * 1e3)),
+        ("simulate_metrics_ms", Value::from_f64(recorded * 1e3)),
+        ("noop_overhead_pct", Value::from_f64(overhead_pct)),
+        ("guard_pct", Value::from_f64(5.0)),
+        ("guard_ok", Value::Bool(overhead_pct < 5.0)),
+    ]);
+    if let Some(path) = write_bench_json("telemetry_overhead", &payload) {
+        println!("noop overhead: {overhead_pct:.2}% (guard < 5%), wrote {path}");
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_overhead
+}
+criterion_main!(benches);

@@ -1,5 +1,10 @@
-//! E23: knowledge curves per algorithm.
+//! E23: knowledge curves per algorithm (probe-derived), plus
+//! `BENCH_curves.json`.
 
 fn main() {
-    println!("{}", gossip_bench::experiments::exp_curves());
+    let (report, payload) = gossip_bench::experiments::exp_curves_full();
+    println!("{report}");
+    if let Some(path) = gossip_bench::report::write_bench_json("curves", &payload) {
+        println!("wrote {path}");
+    }
 }

@@ -1,5 +1,10 @@
-//! E15 (textual): wall-clock scaling of the pipeline stages.
+//! E15 (textual): wall-clock scaling of the pipeline stages, plus
+//! `BENCH_scaling.json` with a full telemetry snapshot.
 
 fn main() {
-    println!("{}", gossip_bench::experiments::exp_scaling());
+    let (report, payload) = gossip_bench::experiments::exp_scaling_full();
+    println!("{report}");
+    if let Some(path) = gossip_bench::report::write_bench_json("scaling", &payload) {
+        println!("wrote {path}");
+    }
 }

@@ -1,5 +1,9 @@
-//! E9: Theorem 1 sweep.
+//! E9: Theorem 1 sweep, plus `BENCH_theorem1.json`.
 
 fn main() {
-    println!("{}", gossip_bench::experiments::exp_theorem1());
+    let (report, payload) = gossip_bench::experiments::exp_theorem1_full();
+    println!("{report}");
+    if let Some(path) = gossip_bench::report::write_bench_json("theorem1", &payload) {
+        println!("wrote {path}");
+    }
 }

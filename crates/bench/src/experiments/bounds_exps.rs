@@ -14,9 +14,26 @@ use gossip_workloads::{odd_line, Family};
 /// equals `n + r` exactly, sits above the `n - 1` lower bound, and every
 /// schedule is machine-verified.
 pub fn exp_theorem1() -> String {
+    exp_theorem1_full().0
+}
+
+/// [`exp_theorem1`] plus the machine-readable payload written to
+/// `BENCH_theorem1.json` (one row object per family/size).
+pub fn exp_theorem1_full() -> (String, gossip_telemetry::Value) {
+    use crate::report::obj;
+    use gossip_telemetry::Value;
     let mut t = TextTable::new(vec![
-        "family", "n", "m", "r", "makespan", "n + r", "lower bound", "ratio", "ok",
+        "family",
+        "n",
+        "m",
+        "r",
+        "makespan",
+        "n + r",
+        "lower bound",
+        "ratio",
+        "ok",
     ]);
+    let mut rows = Vec::new();
     for &family in Family::all() {
         for target in [16, 64] {
             let g = family.instance(target, 42);
@@ -38,21 +55,42 @@ pub fn exp_theorem1() -> String {
                 format!("{:.3}", plan.makespan() as f64 / lb as f64),
                 "yes".into(),
             ]);
+            rows.push(obj(vec![
+                ("family", Value::String(family.name().to_string())),
+                ("n", Value::from_u64(n as u64)),
+                ("m", Value::from_u64(g.m() as u64)),
+                ("r", Value::from_u64(r as u64)),
+                ("makespan", Value::from_u64(plan.makespan() as u64)),
+                ("lower_bound", Value::from_u64(lb as u64)),
+                ("ratio", Value::from_f64(plan.makespan() as f64 / lb as f64)),
+                ("complete", Value::Bool(true)),
+            ]));
         }
     }
-    format!(
+    let report = format!(
         "Theorem 1 (makespan = n + r, verified complete) across families:\n{}\n\
          ratio = achieved / best-known lower bound; bounded by 1.5 n/(n-1) since\n\
          r <= n/2 (the paper's S4 near-optimality claim), worst on rings.\n",
         t.render()
-    )
+    );
+    let payload = obj(vec![
+        ("experiment", Value::String("theorem1".into())),
+        ("rows", Value::Array(rows)),
+    ]);
+    (report, payload)
 }
 
 /// E10 — Lemma 1: algorithm Simple takes exactly `2n + r - 3` rounds; the
 /// head-to-head shows ConcurrentUpDown halving it at small radius.
 pub fn exp_lemma1() -> String {
     let mut t = TextTable::new(vec![
-        "family", "n", "r", "Simple", "2n + r - 3", "ConcurrentUpDown", "speedup",
+        "family",
+        "n",
+        "r",
+        "Simple",
+        "2n + r - 3",
+        "ConcurrentUpDown",
+        "speedup",
     ]);
     for &family in Family::all() {
         let g = family.instance(32, 9);
@@ -74,7 +112,10 @@ pub fn exp_lemma1() -> String {
             format!("{:.2}x", simple.makespan() as f64 / cud.makespan() as f64),
         ]);
     }
-    format!("Lemma 1 (Simple = 2n + r - 3) vs Theorem 1 (n + r):\n{}", t.render())
+    format!(
+        "Lemma 1 (Simple = 2n + r - 3) vs Theorem 1 (n + r):\n{}",
+        t.render()
+    )
 }
 
 /// E11 — the ablation the paper's §3.2 narrative implies: remove the
@@ -82,7 +123,13 @@ pub fn exp_lemma1() -> String {
 /// it (ConcurrentUpDown) and they pin to `n + r`.
 pub fn exp_updown() -> String {
     let mut t = TextTable::new(vec![
-        "family", "n", "r", "n + r (CUD)", "UpDown", "Simple (2n+r-3)", "UpDown overhead",
+        "family",
+        "n",
+        "r",
+        "n + r (CUD)",
+        "UpDown",
+        "Simple (2n+r-3)",
+        "UpDown overhead",
     ]);
     for &family in Family::all() {
         let g = family.instance(24, 5);
@@ -117,7 +164,12 @@ pub fn exp_updown() -> String {
 /// reaches (`n <= MAX_LINE_N`).
 pub fn exp_line() -> String {
     let mut t = TextTable::new(vec![
-        "m", "n = 2m+1", "r", "lower bound n+r-1", "generic n+r", "non-uniform schedule",
+        "m",
+        "n = 2m+1",
+        "r",
+        "lower bound n+r-1",
+        "generic n+r",
+        "non-uniform schedule",
     ]);
     for m in [1usize, 2, 4, 8, 16, 32] {
         let g = odd_line(m);

@@ -3,9 +3,7 @@
 //! story on sensor fields.
 
 use crate::table::TextTable;
-use gossip_core::{
-    gossip_lower_bound, optimal_gossip_time, Algorithm, ExactResult, GossipPlanner,
-};
+use gossip_core::{gossip_lower_bound, optimal_gossip_time, Algorithm, ExactResult, GossipPlanner};
 use gossip_model::CommModel;
 use gossip_workloads::{connected_graphs_canonical, schedule_energy, unit_disk_connected};
 
@@ -22,8 +20,7 @@ pub fn exp_exhaustive() -> String {
         let mut opt_at_trivial = 0usize;
         for g in &reps {
             let plan = GossipPlanner::new(g).unwrap().plan().unwrap();
-            let opt = match optimal_gossip_time(g, CommModel::Multicast, 2 * n + 4, 50_000_000)
-            {
+            let opt = match optimal_gossip_time(g, CommModel::Multicast, 2 * n + 4, 50_000_000) {
                 ExactResult::Optimal(v) => v,
                 other => panic!("exact search failed: {other:?}"),
             };
@@ -69,8 +66,13 @@ pub fn exp_exhaustive() -> String {
 /// multicast vs the telephone restriction, same spanning tree.
 pub fn exp_energy() -> String {
     let mut t = TextTable::new(vec![
-        "sensors", "radio range", "rounds (mc)", "rounds (tel)", "energy (mc)",
-        "energy (tel)", "energy ratio",
+        "sensors",
+        "radio range",
+        "rounds (mc)",
+        "rounds (tel)",
+        "energy (mc)",
+        "energy (tel)",
+        "energy ratio",
     ]);
     for &n in &[20usize, 40] {
         for seed in [1u64, 2] {

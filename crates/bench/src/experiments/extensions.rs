@@ -4,8 +4,7 @@
 use crate::table::TextTable;
 use gossip_core::{
     concurrent_updown, gossip_lower_bound, min_pipeline_period, optimal_gossip_time,
-    pipelined_gossip, run_online, run_online_threaded, weighted_gossip, ExactResult,
-    GossipPlanner,
+    pipelined_gossip, run_online, run_online_threaded, weighted_gossip, ExactResult, GossipPlanner,
 };
 use gossip_graph::{min_depth_spanning_tree, ChildOrder, Graph};
 use gossip_model::{simulate_gossip, CommModel};
@@ -15,7 +14,13 @@ use gossip_workloads::{complete, path, petersen, ring, star, Family};
 /// into `w_p` virtual ones; the schedule length is `W + r'`.
 pub fn exp_weighted() -> String {
     let mut t = TextTable::new(vec![
-        "base tree", "weights", "W", "expanded height r'", "makespan", "W + r'", "ok",
+        "base tree",
+        "weights",
+        "W",
+        "expanded height r'",
+        "makespan",
+        "W + r'",
+        "ok",
     ]);
     let cases: Vec<(&str, Graph, Vec<usize>)> = vec![
         ("path-5", path(5), vec![1, 2, 3, 2, 1]),
@@ -26,8 +31,12 @@ pub fn exp_weighted() -> String {
     for (name, g, weights) in cases {
         let tree = min_depth_spanning_tree(&g, ChildOrder::ById).unwrap();
         let plan = weighted_gossip(&tree, &weights).unwrap();
-        let o = simulate_gossip(&plan.expanded_tree.to_graph(), &plan.schedule, &plan.origins())
-            .unwrap();
+        let o = simulate_gossip(
+            &plan.expanded_tree.to_graph(),
+            &plan.schedule,
+            &plan.origins(),
+        )
+        .unwrap();
         assert!(o.complete);
         let rp = plan.expanded_tree.height() as usize;
         assert_eq!(plan.schedule.makespan(), plan.total_weight + rp);
@@ -54,7 +63,10 @@ pub fn exp_weighted() -> String {
 /// real thread-per-processor system over channels.
 pub fn exp_online() -> String {
     let mut t = TextTable::new(vec![
-        "family", "n", "lockstep == offline", "threads == offline",
+        "family",
+        "n",
+        "lockstep == offline",
+        "threads == offline",
     ]);
     for &family in Family::all() {
         let g = family.instance(14, 3);
@@ -82,7 +94,13 @@ pub fn exp_online() -> String {
 /// the lower bounds: the gap is always at most `r + 1`.
 pub fn exp_exact() -> String {
     let mut t = TextTable::new(vec![
-        "graph", "n", "r", "lower bound", "exact optimal", "n + r", "gap",
+        "graph",
+        "n",
+        "r",
+        "lower bound",
+        "exact optimal",
+        "n + r",
+        "gap",
     ]);
     let cases: Vec<(&str, Graph)> = vec![
         ("path-3", path(3)),
@@ -103,8 +121,7 @@ pub fn exp_exact() -> String {
     ];
     for (name, g) in cases {
         let plan = GossipPlanner::new(&g).unwrap().plan().unwrap();
-        let opt = match optimal_gossip_time(&g, CommModel::Multicast, 2 * g.n() + 4, 80_000_000)
-        {
+        let opt = match optimal_gossip_time(&g, CommModel::Multicast, 2 * g.n() + 4, 80_000_000) {
             ExactResult::Optimal(v) => v,
             other => panic!("{name}: {other:?}"),
         };
@@ -134,7 +151,13 @@ pub fn exp_exact() -> String {
 /// conflict-free period beats serializing them.
 pub fn exp_pipeline() -> String {
     let mut t = TextTable::new(vec![
-        "family", "n", "r", "single (n+r)", "min period", "amortized (8 batches)", "speedup",
+        "family",
+        "n",
+        "r",
+        "single (n+r)",
+        "min period",
+        "amortized (8 batches)",
+        "speedup",
     ]);
     for &family in Family::all() {
         let g = family.instance(12, 13);

@@ -12,7 +12,13 @@ use gossip_workloads::{fig4_graph, fig5_tree, n1_ring, petersen};
 /// E5 — Fig 1 (`N_1`): Hamiltonian-circuit gossip hits the `n - 1` optimum;
 /// the generic tree algorithm pays `n + ⌊n/2⌋` on the same ring.
 pub fn exp_ring() -> String {
-    let mut t = TextTable::new(vec!["n", "circuit schedule", "n - 1", "generic n + r", "verified"]);
+    let mut t = TextTable::new(vec![
+        "n",
+        "circuit schedule",
+        "n - 1",
+        "generic n + r",
+        "verified",
+    ]);
     for n in [4, 6, 8, 12, 16, 24] {
         let g = n1_ring(n);
         let ham = ring_gossip_schedule(&g).expect("rings are Hamiltonian");
@@ -60,8 +66,7 @@ pub fn exp_petersen() -> String {
 /// E7 — Fig 3 substitute: `K_{2,3}` gossips in `n - 1` under multicast but
 /// provably not under telephone (exact state-space search both ways).
 pub fn exp_n3() -> String {
-    let g = Graph::from_edges(5, &[(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4)])
-        .expect("valid");
+    let g = Graph::from_edges(5, &[(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4)]).expect("valid");
     let hamiltonian = is_hamiltonian(&g);
     let mc = optimal_gossip_time(&g, CommModel::Multicast, 10, 50_000_000);
     let tp = optimal_gossip_time(&g, CommModel::Telephone, 10, 50_000_000);
@@ -88,9 +93,7 @@ pub fn exp_fig45() -> String {
     let s = concurrent_updown(&tree);
     let o = simulate_gossip(&g, &s, &tree_origins(&tree)).expect("valid");
     assert!(o.complete);
-    let labels: Vec<String> = (0..16)
-        .map(|v| format!("{v}->{}", tree.label(v)))
-        .collect();
+    let labels: Vec<String> = (0..16).map(|v| format!("{v}->{}", tree.label(v))).collect();
     format!(
         "Fig 4 graph: n = 16, m = {}, radius 3.\n\
          - minimum-depth spanning tree == Fig 5 tree: {matches}\n\

@@ -8,36 +8,100 @@ mod models_exps;
 mod scaling;
 mod tables;
 
-pub use bounds_exps::{exp_lemma1, exp_line, exp_theorem1, exp_updown};
+pub use bounds_exps::{exp_lemma1, exp_line, exp_theorem1, exp_theorem1_full, exp_updown};
 pub use exhaustive::{exp_energy, exp_exhaustive};
 pub use extensions::{exp_exact, exp_online, exp_pipeline, exp_weighted};
 pub use figures::{exp_fig45, exp_n3, exp_petersen, exp_ring};
-pub use models_exps::{exp_broadcast, exp_compaction, exp_curves, exp_models};
-pub use scaling::exp_scaling;
+pub use models_exps::{exp_broadcast, exp_compaction, exp_curves, exp_curves_full, exp_models};
+pub use scaling::{exp_scaling, exp_scaling_full};
 pub use tables::exp_tables;
 
 /// Every experiment report, in DESIGN.md order, as `(id, title, report)`.
 pub fn all_reports() -> Vec<(&'static str, &'static str, String)> {
     vec![
-        ("E1-E4", "Paper Tables 1-4 (per-vertex schedules, Fig 5 tree)", exp_tables()),
-        ("E5", "Fig 1 (N1): ring gossip at the n - 1 optimum", exp_ring()),
+        (
+            "E1-E4",
+            "Paper Tables 1-4 (per-vertex schedules, Fig 5 tree)",
+            exp_tables(),
+        ),
+        (
+            "E5",
+            "Fig 1 (N1): ring gossip at the n - 1 optimum",
+            exp_ring(),
+        ),
         ("E6", "Fig 2 (N2): the Petersen graph", exp_petersen()),
-        ("E7", "Fig 3 (N3 substitute): K_{2,3} separates the models", exp_n3()),
-        ("E8", "Figs 4-5: graph -> minimum-depth tree -> schedule", exp_fig45()),
-        ("E9", "Theorem 1: makespan = n + r across families", exp_theorem1()),
+        (
+            "E7",
+            "Fig 3 (N3 substitute): K_{2,3} separates the models",
+            exp_n3(),
+        ),
+        (
+            "E8",
+            "Figs 4-5: graph -> minimum-depth tree -> schedule",
+            exp_fig45(),
+        ),
+        (
+            "E9",
+            "Theorem 1: makespan = n + r across families",
+            exp_theorem1(),
+        ),
         ("E10", "Lemma 1: Simple = 2n + r - 3", exp_lemma1()),
-        ("E11", "UpDown ablation: the price of no lookahead", exp_updown()),
+        (
+            "E11",
+            "UpDown ablation: the price of no lookahead",
+            exp_updown(),
+        ),
         ("E12", "The line-network bounds (paper S1/S4)", exp_line()),
-        ("E13", "Broadcast = source eccentricity (paper S2)", exp_broadcast()),
-        ("E14", "Multicast vs telephone vs broadcast models", exp_models()),
-        ("E16", "Weighted gossiping by chain splitting (paper S4)", exp_weighted()),
-        ("E17", "Online/distributed execution (paper S4)", exp_online()),
+        (
+            "E13",
+            "Broadcast = source eccentricity (paper S2)",
+            exp_broadcast(),
+        ),
+        (
+            "E14",
+            "Multicast vs telephone vs broadcast models",
+            exp_models(),
+        ),
+        (
+            "E16",
+            "Weighted gossiping by chain splitting (paper S4)",
+            exp_weighted(),
+        ),
+        (
+            "E17",
+            "Online/distributed execution (paper S4)",
+            exp_online(),
+        ),
         ("E18", "Exact optima on tiny networks vs n + r", exp_exact()),
-        ("E19", "Exhaustive study: every tiny connected graph", exp_exhaustive()),
-        ("E21", "Pipelined repeated gossiping (paper S4 amortization)", exp_pipeline()),
-        ("E22", "Compaction ablation: slack left by each algorithm", exp_compaction()),
-        ("E23", "Knowledge curves: where each algorithm spends its rounds", exp_curves()),
-        ("E15", "Wall-clock scaling of the pipeline stages", exp_scaling()),
-        ("E20", "Sensor-field energy (paper S2 wireless motivation)", exp_energy()),
+        (
+            "E19",
+            "Exhaustive study: every tiny connected graph",
+            exp_exhaustive(),
+        ),
+        (
+            "E21",
+            "Pipelined repeated gossiping (paper S4 amortization)",
+            exp_pipeline(),
+        ),
+        (
+            "E22",
+            "Compaction ablation: slack left by each algorithm",
+            exp_compaction(),
+        ),
+        (
+            "E23",
+            "Knowledge curves: where each algorithm spends its rounds",
+            exp_curves(),
+        ),
+        (
+            "E15",
+            "Wall-clock scaling of the pipeline stages",
+            exp_scaling(),
+        ),
+        (
+            "E20",
+            "Sensor-field energy (paper S2 wireless motivation)",
+            exp_energy(),
+        ),
     ]
 }

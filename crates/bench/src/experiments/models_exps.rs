@@ -10,7 +10,12 @@ use gossip_workloads::Family;
 /// eccentricity, for every source, on every family.
 pub fn exp_broadcast() -> String {
     let mut t = TextTable::new(vec![
-        "family", "n", "source", "eccentricity", "broadcast rounds", "match",
+        "family",
+        "n",
+        "source",
+        "eccentricity",
+        "broadcast rounds",
+        "match",
     ]);
     for &family in Family::all() {
         let g = family.instance(30, 17);
@@ -43,8 +48,14 @@ pub fn exp_broadcast() -> String {
 /// advantage growing with fan-out; paths show it vanishing.
 pub fn exp_models() -> String {
     let mut t = TextTable::new(vec![
-        "family", "n", "max degree", "multicast (n + r)", "telephone", "broadcast",
-        "tel/mc", "bc/mc",
+        "family",
+        "n",
+        "max degree",
+        "multicast (n + r)",
+        "telephone",
+        "broadcast",
+        "tel/mc",
+        "bc/mc",
     ]);
     for &family in Family::all() {
         for target in [16, 48] {
@@ -107,16 +118,27 @@ pub fn exp_models() -> String {
 /// leaves large slack.
 pub fn exp_compaction() -> String {
     let mut t = TextTable::new(vec![
-        "family", "algorithm", "makespan", "compacted", "saved", "deliveries pruned",
+        "family",
+        "algorithm",
+        "makespan",
+        "compacted",
+        "saved",
+        "deliveries pruned",
     ]);
     for &family in Family::all() {
         let g = family.instance(20, 3);
-        for alg in [Algorithm::ConcurrentUpDown, Algorithm::Simple, Algorithm::UpDown] {
-            let plan = GossipPlanner::new(&g).unwrap().algorithm(alg).plan().unwrap();
+        for alg in [
+            Algorithm::ConcurrentUpDown,
+            Algorithm::Simple,
+            Algorithm::UpDown,
+        ] {
+            let plan = GossipPlanner::new(&g)
+                .unwrap()
+                .algorithm(alg)
+                .plan()
+                .unwrap();
             let report = compact_schedule(&g, &plan.schedule, &plan.origin_of_message).unwrap();
-            assert!(
-                gossip_model::verify_compaction(&g, &report, &plan.origin_of_message).unwrap()
-            );
+            assert!(gossip_model::verify_compaction(&g, &report, &plan.origin_of_message).unwrap());
             t.row(vec![
                 family.name().to_string(),
                 alg.name().to_string(),
@@ -142,16 +164,41 @@ pub fn exp_compaction() -> String {
 /// steadily from round one; Simple is flat while everything funnels
 /// through the root, then vertical.
 pub fn exp_curves() -> String {
-    use gossip_model::{knowledge_curve, render_sparkline};
+    exp_curves_full().0
+}
+
+/// [`exp_curves`] plus the machine-readable payload written to
+/// `BENCH_curves.json`: per family/algorithm, the probe-derived coverage
+/// curve and per-round sent/fan-out series.
+pub fn exp_curves_full() -> (String, gossip_telemetry::Value) {
+    use crate::report::obj;
+    use gossip_model::{render_sparkline, Simulator};
+    use gossip_telemetry::Value;
     let mut out = String::from(
         "Knowledge curves (fraction of (processor, message) pairs known per round):\n\n",
     );
+    let mut entries = Vec::new();
     for &family in [Family::BinaryTree, Family::Path, Family::Star].iter() {
         let g = family.instance(24, 7);
         out.push_str(&format!("{} (n = {}):\n", family.name(), g.n()));
-        for alg in [Algorithm::ConcurrentUpDown, Algorithm::UpDown, Algorithm::Simple] {
-            let plan = GossipPlanner::new(&g).unwrap().algorithm(alg).plan().unwrap();
-            let curve = knowledge_curve(&g, &plan.schedule, &plan.origin_of_message).unwrap();
+        for alg in [
+            Algorithm::ConcurrentUpDown,
+            Algorithm::UpDown,
+            Algorithm::Simple,
+        ] {
+            let plan = GossipPlanner::new(&g)
+                .unwrap()
+                .algorithm(alg)
+                .plan()
+                .unwrap();
+            // The simulator's per-round probes are the single source of
+            // truth for knowledge curves (no separate counting pass).
+            let mut sim =
+                Simulator::with_origins(&g, CommModel::Multicast, &plan.origin_of_message).unwrap();
+            let initial_coverage = sim.coverage();
+            let (_, probes) = sim.run_probed(&plan.schedule).unwrap();
+            let mut curve = vec![initial_coverage];
+            curve.extend(probes.iter().map(|p| p.coverage));
             assert!((curve.last().unwrap() - 1.0).abs() < 1e-9);
             out.push_str(&format!(
                 "  {:<18} |{}| {} rounds\n",
@@ -159,6 +206,34 @@ pub fn exp_curves() -> String {
                 render_sparkline(&curve),
                 plan.makespan()
             ));
+            entries.push(obj(vec![
+                ("family", Value::String(family.name().to_string())),
+                ("algorithm", Value::String(alg.name().to_string())),
+                ("n", Value::from_u64(g.n() as u64)),
+                ("makespan", Value::from_u64(plan.makespan() as u64)),
+                (
+                    "coverage",
+                    Value::Array(curve.iter().map(|&c| Value::from_f64(c)).collect()),
+                ),
+                (
+                    "sent_per_round",
+                    Value::Array(
+                        probes
+                            .iter()
+                            .map(|p| Value::from_u64(p.sent as u64))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "max_fanout_per_round",
+                    Value::Array(
+                        probes
+                            .iter()
+                            .map(|p| Value::from_u64(p.max_fanout as u64))
+                            .collect(),
+                    ),
+                ),
+            ]));
         }
         out.push('\n');
     }
@@ -167,7 +242,13 @@ pub fn exp_curves() -> String {
          every round, while Simple's two-phase structure shows a long shallow ramp\n\
          (up phase: only the root-path learns) before the steep broadcast phase.\n",
     );
-    out
+    (
+        out,
+        obj(vec![
+            ("experiment", Value::String("curves".into())),
+            ("entries", Value::Array(entries)),
+        ]),
+    )
 }
 
 #[cfg(test)]

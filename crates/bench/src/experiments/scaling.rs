@@ -2,11 +2,7 @@
 //! confirming the paper's §4 complexity claims with real timings.
 
 use crate::table::TextTable;
-use gossip_core::concurrent_updown;
-use gossip_graph::{
-    min_depth_spanning_tree, min_depth_spanning_tree_parallel, ChildOrder,
-};
-use gossip_model::simulate_gossip;
+use gossip_graph::{min_depth_spanning_tree_parallel, ChildOrder};
 use gossip_workloads::random_connected;
 use std::time::Instant;
 
@@ -17,26 +13,46 @@ fn ms(d: std::time::Duration) -> String {
 /// Times the three pipeline stages (tree construction sequential and
 /// parallel, schedule generation, full-model simulation) across sizes.
 pub fn exp_scaling() -> String {
+    exp_scaling_full().0
+}
+
+/// [`exp_scaling`] plus the machine-readable payload written to
+/// `BENCH_scaling.json`: per-size stage timings and a full telemetry
+/// snapshot (BFS-sweep histograms, per-stage spans) from a recorded run.
+pub fn exp_scaling_full() -> (String, gossip_telemetry::Value) {
+    use crate::report::obj;
+    use gossip_telemetry::{MetricsRecorder, Value};
     let mut t = TextTable::new(vec![
-        "n", "m", "tree (seq) ms", "tree (par) ms", "schedule ms", "simulate ms",
+        "n",
+        "m",
+        "tree (seq) ms",
+        "tree (par) ms",
+        "schedule ms",
+        "simulate ms",
         "schedule events",
     ]);
+    let mut rows = Vec::new();
+    let recorder = MetricsRecorder::new();
     for &n in &[64usize, 128, 256, 512] {
         let g = random_connected(n, 0.04, 77);
         let t0 = Instant::now();
-        let tree = min_depth_spanning_tree(&g, ChildOrder::ById).unwrap();
+        let tree = gossip_graph::min_depth_spanning_tree_recorded(&g, ChildOrder::ById, &recorder)
+            .unwrap();
         let seq = t0.elapsed();
         let t1 = Instant::now();
         let tree_p = min_depth_spanning_tree_parallel(&g, ChildOrder::ById).unwrap();
         let par = t1.elapsed();
         assert_eq!(tree, tree_p);
         let t2 = Instant::now();
-        let schedule = concurrent_updown(&tree);
+        let schedule = gossip_core::concurrent_updown_recorded(&tree, &recorder);
         let gen = t2.elapsed();
         let origins = gossip_core::tree_origins(&tree);
         let t3 = Instant::now();
-        let o = simulate_gossip(&g, &schedule, &origins).unwrap();
-        let sim = t3.elapsed();
+        let mut sim =
+            gossip_model::Simulator::with_origins(&g, gossip_model::CommModel::Multicast, &origins)
+                .unwrap();
+        let o = sim.run_recorded(&schedule, &recorder).unwrap();
+        let simt = t3.elapsed();
         assert!(o.complete);
         t.row(vec![
             n.to_string(),
@@ -44,11 +60,28 @@ pub fn exp_scaling() -> String {
             ms(seq),
             ms(par),
             ms(gen),
-            ms(sim),
+            ms(simt),
             schedule.stats().deliveries.to_string(),
         ]);
+        rows.push(obj(vec![
+            ("n", Value::from_u64(n as u64)),
+            ("m", Value::from_u64(g.m() as u64)),
+            ("tree_seq_ms", Value::from_f64(seq.as_secs_f64() * 1e3)),
+            ("tree_par_ms", Value::from_f64(par.as_secs_f64() * 1e3)),
+            ("schedule_ms", Value::from_f64(gen.as_secs_f64() * 1e3)),
+            ("simulate_ms", Value::from_f64(simt.as_secs_f64() * 1e3)),
+            (
+                "deliveries",
+                Value::from_u64(schedule.stats().deliveries as u64),
+            ),
+        ]));
     }
-    format!(
+    let payload = obj(vec![
+        ("experiment", Value::String("scaling".into())),
+        ("rows", Value::Array(rows)),
+        ("telemetry", recorder.snapshot()),
+    ]);
+    let report = format!(
         "Wall-clock scaling of the pipeline stages (one run each; see `cargo bench`\n\
          for statistically sound numbers):\n{}\n\
          tree construction is the O(mn) term (the rayon sweep tracks core count);\n\
@@ -56,7 +89,8 @@ pub fn exp_scaling() -> String {
          i.e. O(1) work per delivered message — the paper's \"all other steps take\n\
          O(n) time\" per processor.\n",
         t.render()
-    )
+    );
+    (report, payload)
 }
 
 #[cfg(test)]

@@ -19,7 +19,9 @@ pub fn exp_tables() -> String {
         schedule.makespan()
     ));
     for (table, vertex) in [(1, 0usize), (2, 1), (3, 4), (4, 8)] {
-        out.push_str(&format!("--- Table {table}: vertex with message {vertex} ---\n"));
+        out.push_str(&format!(
+            "--- Table {table}: vertex with message {vertex} ---\n"
+        ));
         out.push_str(&vertex_trace(&schedule, &tree, vertex).render());
         out.push('\n');
     }

@@ -12,4 +12,5 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod report;
 pub mod table;

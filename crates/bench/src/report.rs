@@ -1,0 +1,50 @@
+//! Machine-readable experiment artifacts: each `exp_*` binary that has a
+//! structured payload writes it next to its stdout report as
+//! `BENCH_<name>.json`, so downstream tooling (plots, regression diffs)
+//! never has to scrape the text tables.
+
+use gossip_telemetry::Value;
+
+/// Writes `payload` to `BENCH_<name>.json` in the current directory and
+/// returns the path. Failures are reported, not fatal: the textual report
+/// is the primary artifact.
+pub fn write_bench_json(name: &str, payload: &Value) -> Option<String> {
+    let path = format!("BENCH_{name}.json");
+    let json = match serde_json::to_string_pretty(payload) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("warning: could not serialize {path}: {e}");
+            return None;
+        }
+    };
+    match std::fs::write(&path, json) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("warning: could not write {path}: {e}");
+            None
+        }
+    }
+}
+
+/// A JSON object from key/value pairs (readability shim over the
+/// order-preserving `Value::Object` representation).
+pub fn obj(members: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        members
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obj_builds_ordered_object() {
+        let v = obj(vec![("a", Value::from_u64(1)), ("b", Value::from_f64(0.5))]);
+        assert_eq!(v["a"].as_u64(), Some(1));
+        assert_eq!(v["b"].as_f64(), Some(0.5));
+    }
+}

@@ -47,7 +47,9 @@ impl Args {
     pub fn get_usize(&self, key: &str, default: usize) -> Result<usize, String> {
         match self.options.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key} expects a number, got {v:?}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects a number, got {v:?}")),
         }
     }
 
@@ -55,7 +57,9 @@ impl Args {
     pub fn get_u64(&self, key: &str, default: u64) -> Result<u64, String> {
         match self.options.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key} expects a number, got {v:?}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects a number, got {v:?}")),
         }
     }
 
@@ -91,9 +95,7 @@ mod tests {
 
     #[test]
     fn duplicate_rejected() {
-        let r = Args::parse(
-            "gossip x --n 1 --n 2".split_whitespace().map(String::from),
-        );
+        let r = Args::parse("gossip x --n 1 --n 2".split_whitespace().map(String::from));
         assert!(r.is_err());
     }
 

@@ -1,11 +1,10 @@
 //! Subcommand implementations for the `gossip` CLI.
 
 use crate::args::Args;
-use gossip_core::{
-    gossip_lower_bound, optimal_gossip_time, Algorithm, ExactResult, GossipPlanner,
-};
+use gossip_core::{gossip_lower_bound, optimal_gossip_time, Algorithm, ExactResult, GossipPlanner};
 use gossip_graph::Graph;
 use gossip_model::{simulate_gossip, vertex_trace, CommModel};
+use gossip_telemetry::{MetricsRecorder, SharedBuffer, Value};
 use gossip_workloads::Family;
 use serde::{Deserialize, Serialize};
 
@@ -29,9 +28,57 @@ commands:
   line      --n N (N <= 6)                              the n + r - 1 line schedule
   pipeline  --family F --n N [--batches K]              repeated-gossip overlap
   energy    --n N [--range R] [--seed S]                sensor-field energy model
+  stats     METRICS.json                                summarize a --metrics file
+
+options accepted by plan / analyze / pipeline:
+  --metrics FILE    record span timings, counters, and per-round simulation
+                    probes to FILE (inspect with `gossip stats FILE`)
 
 families: path ring star complete binary-tree caterpillar grid torus
           hypercube random-tree random-sparse";
+
+/// A `--metrics FILE` recorder: the buffer captures the JSONL event stream
+/// so [`write_metrics`] can bundle it with the final snapshot.
+struct Metrics {
+    recorder: MetricsRecorder,
+    events: SharedBuffer,
+    path: String,
+}
+
+/// Opens a telemetry recorder when `--metrics FILE` was passed (any
+/// subcommand that plans or simulates honors the flag). The parser stores
+/// value-less options as `"true"`, which is never a sensible metrics path —
+/// reject it rather than silently writing a file named `true`.
+fn open_metrics(args: &Args) -> Result<Option<Metrics>, String> {
+    match args.options.get("metrics") {
+        Some(path) if path == "true" => {
+            Err("--metrics requires a file path (e.g. --metrics out.json)".to_string())
+        }
+        Some(path) => {
+            let events = SharedBuffer::new();
+            Ok(Some(Metrics {
+                recorder: MetricsRecorder::with_sink(Box::new(events.clone())),
+                events,
+                path: path.clone(),
+            }))
+        }
+        None => Ok(None),
+    }
+}
+
+/// Writes the metrics artifact consumed by `gossip stats`:
+/// `{"snapshot": {counters, gauges, histograms, spans, ...}, "events": [...]}`.
+fn write_metrics(m: &Metrics) -> Result<(), String> {
+    m.recorder.flush();
+    let doc = Value::Object(vec![
+        ("snapshot".to_string(), m.recorder.snapshot()),
+        ("events".to_string(), Value::Array(m.events.lines())),
+    ]);
+    let json = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
+    std::fs::write(&m.path, json).map_err(|e| format!("{}: {e}", m.path))?;
+    println!("wrote metrics to {}", m.path);
+    Ok(())
+}
 
 fn family_by_name(name: &str) -> Result<Family, String> {
     Family::all()
@@ -47,8 +94,9 @@ fn load_graph(args: &Args) -> Result<Graph, String> {
         // JSON first; fall back to the plain edge-list text format.
         match serde_json::from_str(&text) {
             Ok(g) => Ok(g),
-            Err(json_err) => gossip_graph::parse_edge_list(&text)
-                .map_err(|el_err| format!("{path}: not JSON ({json_err}) nor edge list ({el_err})")),
+            Err(json_err) => gossip_graph::parse_edge_list(&text).map_err(|el_err| {
+                format!("{path}: not JSON ({json_err}) nor edge list ({el_err})")
+            }),
         }
     } else {
         let family = family_by_name(args.get_or("family", "ring"))?;
@@ -98,23 +146,36 @@ pub fn plan(args: &Args) -> Result<(), String> {
         "telephone" => Algorithm::Telephone,
         other => return Err(format!("unknown algorithm {other:?}")),
     };
-    let plan = GossipPlanner::new(&g)
+    let metrics = open_metrics(args)?;
+    let mut planner = GossipPlanner::new(&g)
         .map_err(|e| e.to_string())?
-        .algorithm(alg)
-        .plan()
-        .map_err(|e| e.to_string())?;
+        .algorithm(alg);
+    if let Some(m) = &metrics {
+        planner = planner.recorder(&m.recorder);
+    }
+    let plan = planner.plan().map_err(|e| e.to_string())?;
     let model = if alg == Algorithm::Telephone {
         CommModel::Telephone
     } else {
         CommModel::Multicast
     };
-    let outcome = gossip_model::validate_gossip_schedule(
-        &g,
-        &plan.schedule,
-        &plan.origin_of_message,
-        model,
-    )
-    .map_err(|e| e.to_string())?;
+    let outcome = match &metrics {
+        // The recorded run enforces the same model rules and additionally
+        // streams per-round probes (sent / fan-out / idle / coverage).
+        Some(m) => {
+            let mut sim = gossip_model::Simulator::with_origins(&g, model, &plan.origin_of_message)
+                .map_err(|e| e.to_string())?;
+            sim.run_recorded(&plan.schedule, &m.recorder)
+                .map_err(|e| e.to_string())?
+        }
+        None => gossip_model::validate_gossip_schedule(
+            &g,
+            &plan.schedule,
+            &plan.origin_of_message,
+            model,
+        )
+        .map_err(|e| e.to_string())?,
+    };
     if !outcome.complete {
         return Err("schedule did not complete gossip (bug)".into());
     }
@@ -155,6 +216,9 @@ pub fn plan(args: &Args) -> Result<(), String> {
         std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
         println!("wrote plan to {path}");
     }
+    if let Some(m) = &metrics {
+        write_metrics(m)?;
+    }
     Ok(())
 }
 
@@ -189,7 +253,10 @@ pub fn bounds(args: &Args) -> Result<(), String> {
         .plan()
         .map_err(|e| e.to_string())?;
     println!("n - 1 trivial bound:       {}", g.n().saturating_sub(1));
-    println!("cut-vertex bound:          {}", gossip_core::cut_vertex_lower_bound(&g));
+    println!(
+        "cut-vertex bound:          {}",
+        gossip_core::cut_vertex_lower_bound(&g)
+    );
     println!("best lower bound:          {}", gossip_lower_bound(&g));
     println!("achieved (n + r):          {}", plan.makespan());
     Ok(())
@@ -255,19 +322,36 @@ pub fn sweep(args: &Args) -> Result<(), String> {
 /// `gossip analyze`: latency/redundancy/link-load profile of the plan.
 pub fn analyze(args: &Args) -> Result<(), String> {
     let g = load_graph(args)?;
-    let plan = GossipPlanner::new(&g)
-        .map_err(|e| e.to_string())?
-        .plan()
+    let metrics = open_metrics(args)?;
+    let mut planner = GossipPlanner::new(&g).map_err(|e| e.to_string())?;
+    if let Some(m) = &metrics {
+        planner = planner.recorder(&m.recorder);
+    }
+    let plan = planner.plan().map_err(|e| e.to_string())?;
+    if let Some(m) = &metrics {
+        let mut sim = gossip_model::Simulator::with_origins(
+            &g,
+            CommModel::Multicast,
+            &plan.origin_of_message,
+        )
         .map_err(|e| e.to_string())?;
+        sim.run_recorded(&plan.schedule, &m.recorder)
+            .map_err(|e| e.to_string())?;
+    }
     let a = gossip_model::analyze_schedule(&g, &plan.schedule, &plan.origin_of_message)
         .map_err(|e| e.to_string())?;
     println!("makespan:             {}", plan.makespan());
     println!(
         "last message complete: {}",
-        a.last_completion().map_or("never".into(), |t| t.to_string())
+        a.last_completion()
+            .map_or("never".into(), |t| t.to_string())
     );
-    println!("deliveries:           {} ({} redundant, {:.1}%)",
-        a.total_deliveries, a.redundant_deliveries, 100.0 * a.redundancy());
+    println!(
+        "deliveries:           {} ({} redundant, {:.1}%)",
+        a.total_deliveries,
+        a.redundant_deliveries,
+        100.0 * a.redundancy()
+    );
     println!("link imbalance:       {:.2}", a.link_imbalance());
     println!("busiest links:");
     for &(u, v, uses) in a.link_loads.iter().take(5) {
@@ -275,10 +359,16 @@ pub fn analyze(args: &Args) -> Result<(), String> {
     }
     let curve = gossip_model::knowledge_curve(&g, &plan.schedule, &plan.origin_of_message)
         .map_err(|e| e.to_string())?;
-    println!("knowledge curve:      |{}|", gossip_model::render_sparkline(&curve));
+    println!(
+        "knowledge curve:      |{}|",
+        gossip_model::render_sparkline(&curve)
+    );
     if args.flag("gantt") {
         println!("\nper-processor timeline (S = send, R = receive, B = both):");
         print!("{}", gossip_model::render_gantt(&plan.schedule));
+    }
+    if let Some(m) = &metrics {
+        write_metrics(m)?;
     }
     Ok(())
 }
@@ -319,13 +409,18 @@ pub fn line(args: &Args) -> Result<(), String> {
 pub fn pipeline(args: &Args) -> Result<(), String> {
     let g = load_graph(args)?;
     let batches = args.get_usize("batches", 4)?.max(1);
-    let plan = GossipPlanner::new(&g)
-        .map_err(|e| e.to_string())?
-        .plan()
-        .map_err(|e| e.to_string())?;
+    let metrics = open_metrics(args)?;
+    let mut planner = GossipPlanner::new(&g).map_err(|e| e.to_string())?;
+    if let Some(m) = &metrics {
+        planner = planner.recorder(&m.recorder);
+    }
+    let plan = planner.plan().map_err(|e| e.to_string())?;
     let period = gossip_core::min_pipeline_period(&plan.tree, batches);
-    let pipelined = gossip_core::pipelined_gossip(&plan.tree, batches, period)
-        .ok_or("period search failed (bug)")?;
+    let pipelined = match &metrics {
+        Some(m) => gossip_core::pipelined_gossip_recorded(&plan.tree, batches, period, &m.recorder),
+        None => gossip_core::pipelined_gossip(&plan.tree, batches, period),
+    }
+    .ok_or("period search failed (bug)")?;
     println!("single gossip:   {} rounds (n + r)", plan.makespan());
     println!("minimal period:  {period} rounds between batch starts");
     println!(
@@ -334,6 +429,80 @@ pub fn pipeline(args: &Args) -> Result<(), String> {
         pipelined.amortized_rounds(),
         plan.makespan() as f64 / pipelined.amortized_rounds()
     );
+    if let Some(m) = &metrics {
+        write_metrics(m)?;
+    }
+    Ok(())
+}
+
+/// `gossip stats`: human summary of a metrics file written via `--metrics`.
+pub fn stats(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .first()
+        .ok_or("usage: gossip stats METRICS.json")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc: Value = serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+    let snapshot = &doc["snapshot"];
+
+    let section = |title: &str, key: &str, fmt: &dyn Fn(&Value) -> String| {
+        if let Some(entries) = snapshot[key].as_object() {
+            if !entries.is_empty() {
+                println!("{title}:");
+                for (name, v) in entries {
+                    println!("  {name:<32} {}", fmt(v));
+                }
+            }
+        }
+    };
+    let scalar = |v: &Value| {
+        v.as_u64()
+            .map(|u| u.to_string())
+            .or_else(|| v.as_f64().map(|f| format!("{f:.3}")))
+            .unwrap_or_else(|| "?".into())
+    };
+    let summary = |v: &Value| {
+        format!(
+            "n={} total={} p50={} p99={} max={}",
+            scalar(&v["count"]),
+            scalar(&v["total"]),
+            scalar(&v["p50"]),
+            scalar(&v["p99"]),
+            scalar(&v["max"])
+        )
+    };
+    section("spans (ms)", "spans", &summary);
+    section("counters", "counters", &scalar);
+    section("gauges", "gauges", &scalar);
+    section("histograms", "histograms", &summary);
+
+    let events = doc["events"].as_array().cloned().unwrap_or_default();
+    let rounds: Vec<&Value> = events
+        .iter()
+        .filter(|e| e["event"].as_str() == Some("round"))
+        .collect();
+    println!(
+        "events: {} total, {} per-round probes",
+        events.len(),
+        rounds.len()
+    );
+    if !rounds.is_empty() {
+        let curve: Vec<f64> = rounds
+            .iter()
+            .filter_map(|e| e["coverage"].as_f64())
+            .collect();
+        println!(
+            "coverage curve: |{}|",
+            gossip_model::render_sparkline(&curve)
+        );
+        let last = rounds.last().unwrap();
+        println!(
+            "final round {}: coverage {}, {} idle receivers",
+            scalar(&last["round"]),
+            scalar(&last["coverage"]),
+            scalar(&last["idle_receivers"])
+        );
+    }
     Ok(())
 }
 
@@ -356,12 +525,17 @@ pub fn energy(args: &Args) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     let e_mc = gossip_workloads::schedule_energy(&mc.schedule, &pts, 2.0);
     let e_tel = gossip_workloads::schedule_energy(&tel.schedule, &pts, 2.0);
-    println!("sensor field: {n} nodes, radio range {used:.2}, {} links", g.m());
+    println!(
+        "sensor field: {n} nodes, radio range {used:.2}, {} links",
+        g.m()
+    );
     println!("multicast: {:>5} rounds, energy {e_mc:.2}", mc.makespan());
     println!("telephone: {:>5} rounds, energy {e_tel:.2}", tel.makespan());
-    println!("multicast saves {:.1}% energy and {:.1}% rounds",
+    println!(
+        "multicast saves {:.1}% energy and {:.1}% rounds",
         100.0 * (1.0 - e_mc / e_tel),
-        100.0 * (1.0 - mc.makespan() as f64 / tel.makespan() as f64));
+        100.0 * (1.0 - mc.makespan() as f64 / tel.makespan() as f64)
+    );
     Ok(())
 }
 
@@ -377,15 +551,37 @@ pub fn compare(args: &Args) -> Result<(), String> {
         Algorithm::UpDown,
         Algorithm::Telephone,
     ] {
-        let plan = planner.clone().algorithm(alg).plan().map_err(|e| e.to_string())?;
-        let model = if alg == Algorithm::Telephone { "telephone" } else { "multicast" };
+        let plan = planner
+            .clone()
+            .algorithm(alg)
+            .plan()
+            .map_err(|e| e.to_string())?;
+        let model = if alg == Algorithm::Telephone {
+            "telephone"
+        } else {
+            "multicast"
+        };
         println!("{:<22} {:>9} {:>9}", alg.name(), plan.makespan(), model);
     }
     let bm = gossip_core::broadcast_model_gossip(&g);
-    println!("{:<22} {:>9} {:>9}", "broadcast-greedy", bm.makespan(), "broadcast");
+    println!(
+        "{:<22} {:>9} {:>9}",
+        "broadcast-greedy",
+        bm.makespan(),
+        "broadcast"
+    );
     if let Some(ham) = gossip_core::ring_gossip_schedule(&g) {
-        println!("{:<22} {:>9} {:>9}", "hamiltonian-circuit", ham.makespan(), "telephone");
+        println!(
+            "{:<22} {:>9} {:>9}",
+            "hamiltonian-circuit",
+            ham.makespan(),
+            "telephone"
+        );
     }
-    println!("{:<22} {:>9}", "lower bound", gossip_core::gossip_lower_bound(&g));
+    println!(
+        "{:<22} {:>9}",
+        "lower bound",
+        gossip_core::gossip_lower_bound(&g)
+    );
     Ok(())
 }

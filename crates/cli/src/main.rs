@@ -38,6 +38,7 @@ fn main() {
         "line" => commands::line(&args),
         "pipeline" => commands::pipeline(&args),
         "energy" => commands::energy(&args),
+        "stats" => commands::stats(&args),
         "" | "help" | "--help" => {
             println!("{}", commands::USAGE);
             Ok(())

@@ -18,7 +18,9 @@ fn gossip(args: &[&str]) -> (bool, String, String) {
 fn help_lists_commands() {
     let (ok, stdout, _) = gossip(&["help"]);
     assert!(ok);
-    for cmd in ["generate", "plan", "trace", "bounds", "exact", "sweep", "analyze", "line"] {
+    for cmd in [
+        "generate", "plan", "trace", "bounds", "exact", "sweep", "analyze", "line",
+    ] {
         assert!(stdout.contains(cmd), "missing {cmd}");
     }
 }
@@ -41,7 +43,15 @@ fn plan_reports_guarantee() {
 
 #[test]
 fn plan_rejects_unknown_algorithm() {
-    let (ok, _, stderr) = gossip(&["plan", "--family", "ring", "--n", "8", "--algorithm", "magic"]);
+    let (ok, _, stderr) = gossip(&[
+        "plan",
+        "--family",
+        "ring",
+        "--n",
+        "8",
+        "--algorithm",
+        "magic",
+    ]);
     assert!(!ok);
     assert!(stderr.contains("unknown algorithm"));
 }
@@ -53,7 +63,9 @@ fn generate_plan_round_trip() {
     let path = dir.join("g.json");
     let path_str = path.to_str().unwrap();
 
-    let (ok, stdout, _) = gossip(&["generate", "--family", "grid", "--n", "16", "--out", path_str]);
+    let (ok, stdout, _) = gossip(&[
+        "generate", "--family", "grid", "--n", "16", "--out", path_str,
+    ]);
     assert!(ok, "{stdout}");
     assert!(stdout.contains("wrote graph"));
 

@@ -94,7 +94,12 @@ pub fn annotated_concurrent_updown(tree: &RootedTree) -> Vec<AnnotatedTransmissi
                     e.child_dests.extend_from_slice(&child_dests);
                     e.rules.push(rule);
                 })
-                .or_insert(Pending { msg, to_parent, child_dests, rules: vec![rule] });
+                .or_insert(Pending {
+                    msg,
+                    to_parent,
+                    child_dests,
+                    rules: vec![rule],
+                });
         };
 
         if !p.is_root() {
@@ -183,8 +188,21 @@ mod tests {
     fn fig5() -> RootedTree {
         let mut p = vec![0u32; 16];
         for (v, par) in [
-            (1, 0), (2, 1), (3, 1), (4, 0), (5, 4), (6, 5), (7, 5), (8, 4),
-            (9, 8), (10, 8), (11, 0), (12, 11), (13, 12), (14, 12), (15, 11),
+            (1, 0),
+            (2, 1),
+            (3, 1),
+            (4, 0),
+            (5, 4),
+            (6, 5),
+            (7, 5),
+            (8, 4),
+            (9, 8),
+            (10, 8),
+            (11, 0),
+            (12, 11),
+            (13, 12),
+            (14, 12),
+            (15, 11),
         ] {
             p[v] = par;
         }
@@ -226,7 +244,7 @@ mod tests {
                 Rule::D3DeferredOwn => assert_eq!(t, j - k + 1, "{a:?}"),
                 Rule::D2Forward => {
                     // D2's send windows: [2, i-k-1] and [j-k+3, n+k].
-                    let early = t >= 2 && t + 1 <= i.saturating_sub(k);
+                    let early = t >= 2 && t < i.saturating_sub(k);
                     let late = t >= j - k + 3 && t <= lv.n() + k;
                     assert!(early || late, "{a:?} (i={i}, j={j}, k={k})");
                 }

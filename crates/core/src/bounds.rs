@@ -38,7 +38,11 @@ pub fn cut_vertex_lower_bound(g: &Graph) -> usize {
         // plus a component labelling of g - c.
         let dist = bfs(g, c).dist;
         let comp = components_without(g, c);
-        let k = comp.iter().filter(|&&x| x != u32::MAX).max().map_or(0, |&m| m as usize + 1);
+        let k = comp
+            .iter()
+            .filter(|&&x| x != u32::MAX)
+            .max()
+            .map_or(0, |&m| m as usize + 1);
         if k < 2 {
             continue;
         }
@@ -151,8 +155,7 @@ mod tests {
 
     #[test]
     fn biconnected_graphs_get_trivial_bound() {
-        let ring =
-            Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]).unwrap();
+        let ring = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]).unwrap();
         assert_eq!(gossip_lower_bound(&ring), 5);
         assert_eq!(cut_vertex_lower_bound(&ring), 0);
     }
@@ -175,6 +178,9 @@ mod tests {
     fn tiny_graphs() {
         assert_eq!(trivial_lower_bound(0), 0);
         assert_eq!(trivial_lower_bound(1), 0);
-        assert_eq!(gossip_lower_bound(&Graph::from_edges(2, &[(0, 1)]).unwrap()), 1);
+        assert_eq!(
+            gossip_lower_bound(&Graph::from_edges(2, &[(0, 1)]).unwrap()),
+            1
+        );
     }
 }

@@ -52,13 +52,13 @@ pub fn broadcast_schedule(g: &Graph, source: usize) -> (Schedule, usize) {
         }
     }
     let mut makespan = 0;
-    for v in 0..n {
-        if children[v].is_empty() {
+    for (v, kids) in children.iter().enumerate() {
+        if kids.is_empty() {
             continue;
         }
         let t = bfs_result.dist[v] as usize;
         makespan = makespan.max(t + 1);
-        schedule.add_transmission(t, Transmission::new(0, v, children[v].clone()));
+        schedule.add_transmission(t, Transmission::new(0, v, kids.clone()));
     }
     schedule.trim();
     (schedule, makespan)
@@ -136,15 +136,15 @@ mod tests {
     fn every_vertex_receives_exactly_once() {
         let g = Graph::from_edges(6, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5)]).unwrap();
         let (s, _) = broadcast_schedule(&g, 0);
-        let mut receive_count = vec![0usize; 6];
+        let mut receive_count = [0usize; 6];
         for (_, tx) in s.iter() {
             for &d in &tx.to {
                 receive_count[d] += 1;
             }
         }
         assert_eq!(receive_count[0], 0);
-        for v in 1..6 {
-            assert_eq!(receive_count[v], 1, "vertex {v}");
+        for (v, &c) in receive_count.iter().enumerate().skip(1) {
+            assert_eq!(c, 1, "vertex {v}");
         }
     }
 }

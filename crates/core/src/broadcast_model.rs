@@ -93,8 +93,17 @@ pub fn broadcast_model_gossip(g: &Graph) -> Schedule {
                     let better = match best {
                         None => true,
                         Some((bg, bh, bv, bm)) => {
-                            (gain, std::cmp::Reverse(holders[m]), std::cmp::Reverse(v), std::cmp::Reverse(m as u32))
-                                > (bg, std::cmp::Reverse(bh), std::cmp::Reverse(bv), std::cmp::Reverse(bm))
+                            (
+                                gain,
+                                std::cmp::Reverse(holders[m]),
+                                std::cmp::Reverse(v),
+                                std::cmp::Reverse(m as u32),
+                            ) > (
+                                bg,
+                                std::cmp::Reverse(bh),
+                                std::cmp::Reverse(bv),
+                                std::cmp::Reverse(bm),
+                            )
                         }
                     };
                     if better {
@@ -175,7 +184,10 @@ mod tests {
         let g = path(12);
         let s = broadcast_model_gossip(&g);
         let parallel = s.rounds.iter().any(|r| r.transmissions.len() >= 2);
-        assert!(parallel, "far-apart path vertices should broadcast concurrently");
+        assert!(
+            parallel,
+            "far-apart path vertices should broadcast concurrently"
+        );
     }
 
     #[test]

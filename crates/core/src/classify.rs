@@ -53,7 +53,13 @@ mod tests {
     use super::*;
 
     fn params(i: u32, j: u32, k: u32, parent_i: u32, parent_j: u32) -> VertexParams {
-        VertexParams { i, j, k, parent_i, parent_j }
+        VertexParams {
+            i,
+            j,
+            k,
+            parent_i,
+            parent_j,
+        }
     }
 
     #[test]

@@ -32,6 +32,7 @@
 use crate::labeling::LabelView;
 use gossip_graph::RootedTree;
 use gossip_model::{Schedule, Transmission};
+use gossip_telemetry::{NoopRecorder, Recorder, RecorderExt};
 use std::collections::BTreeMap;
 
 /// A pending multicast by one vertex at one time, accumulated while the two
@@ -69,12 +70,25 @@ struct PendingSend {
 /// assert!(outcome.complete);
 /// ```
 pub fn concurrent_updown(tree: &RootedTree) -> Schedule {
-    let lv = LabelView::new(tree);
+    concurrent_updown_recorded(tree, &NoopRecorder)
+}
+
+/// [`concurrent_updown`] with telemetry: a `concurrent_updown` span with
+/// `labeling` / `overlay` child spans, and `generate/*` counters for the
+/// transmissions, deliveries, and merged U4+D3 multicasts scheduled.
+pub fn concurrent_updown_recorded(tree: &RootedTree, recorder: &dyn Recorder) -> Schedule {
+    let _span = recorder.span("concurrent_updown");
+    let lv = {
+        let _s = recorder.span("labeling");
+        LabelView::new(tree)
+    };
     let n = lv.n();
     let mut schedule = Schedule::new(n);
     if n <= 1 {
         return schedule;
     }
+    let _overlay = recorder.span("overlay");
+    let mut merged_multicasts = 0u64;
 
     // recv_from_parent[label] = (arrival time, message) pairs, filled while
     // the parent (smaller label: DFS preorder) is processed.
@@ -96,7 +110,11 @@ pub fn concurrent_updown(tree: &RootedTree) -> Schedule {
                     e.to_parent |= to_parent;
                     e.child_dests.extend_from_slice(&child_dests);
                 })
-                .or_insert(PendingSend { msg, to_parent, child_dests });
+                .or_insert(PendingSend {
+                    msg,
+                    to_parent,
+                    child_dests,
+                });
         };
 
         if !p.is_root() {
@@ -153,6 +171,9 @@ pub fn concurrent_updown(tree: &RootedTree) -> Schedule {
         for (t, ev) in sends {
             let mut dests: Vec<usize> = Vec::with_capacity(ev.child_dests.len() + 1);
             if ev.to_parent {
+                if !ev.child_dests.is_empty() {
+                    merged_multicasts += 1;
+                }
                 let parent_label = p.parent_i;
                 dests.push(lv.vertex(parent_label));
             }
@@ -165,13 +186,22 @@ pub fn concurrent_updown(tree: &RootedTree) -> Schedule {
     }
 
     schedule.trim();
+    if recorder.enabled() {
+        let stats = schedule.stats();
+        recorder.counter("generate/transmissions", stats.transmissions as u64);
+        recorder.counter("generate/deliveries", stats.deliveries as u64);
+        recorder.counter("generate/merged_multicasts", merged_multicasts);
+        recorder.gauge("generate/makespan", schedule.makespan() as f64);
+    }
     schedule
 }
 
 /// The origin table matching schedules built from `tree`: message `m`
 /// originates at the vertex whose DFS label is `m`.
 pub fn tree_origins(tree: &RootedTree) -> Vec<usize> {
-    (0..tree.n() as u32).map(|m| tree.vertex_of_label(m)).collect()
+    (0..tree.n() as u32)
+        .map(|m| tree.vertex_of_label(m))
+        .collect()
 }
 
 #[cfg(test)]
@@ -183,8 +213,21 @@ mod tests {
     fn fig5() -> RootedTree {
         let mut p = vec![0u32; 16];
         for (v, par) in [
-            (1, 0), (2, 1), (3, 1), (4, 0), (5, 4), (6, 5), (7, 5), (8, 4),
-            (9, 8), (10, 8), (11, 0), (12, 11), (13, 12), (14, 12), (15, 11),
+            (1, 0),
+            (2, 1),
+            (3, 1),
+            (4, 0),
+            (5, 4),
+            (6, 5),
+            (7, 5),
+            (8, 4),
+            (9, 8),
+            (10, 8),
+            (11, 0),
+            (12, 11),
+            (13, 12),
+            (14, 12),
+            (15, 11),
         ] {
             p[v] = par;
         }
@@ -232,7 +275,7 @@ mod tests {
         let tr = vertex_trace(&s, &tree, 1);
 
         // Receive from Parent: 4..15 at times 5..16, then 0 at 17.
-        let mut expected_rp = vec![None; 19];
+        let mut expected_rp = [None; 19];
         for m in 4..=15u32 {
             expected_rp[m as usize + 1] = Some(m);
         }
@@ -395,11 +438,7 @@ mod tests {
     #[test]
     fn deep_caterpillar_completes() {
         // Spine 0-1-2-3, one leaf per spine vertex.
-        let t = RootedTree::from_parents(
-            0,
-            &[NO_PARENT, 0, 1, 2, 0, 1, 2, 3],
-        )
-        .unwrap();
+        let t = RootedTree::from_parents(0, &[NO_PARENT, 0, 1, 2, 0, 1, 2, 3]).unwrap();
         let s = run_and_check(&t);
         assert_eq!(s.makespan(), 8 + t.height() as usize);
     }

@@ -111,8 +111,7 @@ impl Searcher {
 
         // Receivers that still need something, most-starved first (their
         // skip branches are pruned hardest).
-        let mut receivers: Vec<usize> =
-            (0..self.n).filter(|&p| hold[p] != self.full).collect();
+        let mut receivers: Vec<usize> = (0..self.n).filter(|&p| hold[p] != self.full).collect();
         receivers.sort_by_key(|&p| std::cmp::Reverse((self.full & !hold[p]).count_ones()));
 
         let mut sending: Vec<Option<u8>> = vec![None; self.n]; // committed message per sender
@@ -233,7 +232,7 @@ impl Searcher {
 
         // Skip branch: legal only if r can still finish in the rounds after
         // this one.
-        if missing_r <= remaining - 1
+        if missing_r < remaining
             && self.assign(
                 hold,
                 receivers,
@@ -274,12 +273,7 @@ impl Searcher {
 ///     ExactResult::Optimal(3)
 /// );
 /// ```
-pub fn optimal_gossip_time(
-    g: &Graph,
-    model: CommModel,
-    limit: usize,
-    budget: u64,
-) -> ExactResult {
+pub fn optimal_gossip_time(g: &Graph, model: CommModel, limit: usize, budget: u64) -> ExactResult {
     optimal_gossip_schedule(g, model, limit, budget).0
 }
 
@@ -299,9 +293,15 @@ pub fn optimal_gossip_schedule(
 ) -> (ExactResult, Option<gossip_model::Schedule>) {
     let n = g.n();
     assert!(n >= 1, "empty graph");
-    assert!(n <= MAX_N, "exact search packs states into u64: n <= {MAX_N}");
+    assert!(
+        n <= MAX_N,
+        "exact search packs states into u64: n <= {MAX_N}"
+    );
     if n == 1 {
-        return (ExactResult::Optimal(0), Some(gossip_model::Schedule::new(1)));
+        return (
+            ExactResult::Optimal(0),
+            Some(gossip_model::Schedule::new(1)),
+        );
     }
     let dist = all_pairs_distances(g).expect("nonempty");
     assert!(

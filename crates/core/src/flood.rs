@@ -140,7 +140,7 @@ pub(crate) fn eager_flood_gossip(tree: &RootedTree, multicast: bool) -> Schedule
                     continue;
                 }
                 if let Some(&(ta, m)) = undelivered[v][ci].first() {
-                    if ta <= t && best.map_or(true, |b| (ta, m) < b) {
+                    if ta <= t && best.is_none_or(|b| (ta, m) < b) {
                         best = Some((ta, m));
                     }
                 }
@@ -192,8 +192,7 @@ mod tests {
         let t = star(8);
         let s = eager_flood_gossip(&t, true);
         let g = t.to_graph();
-        let o = validate_gossip_schedule(&g, &s, &tree_origins(&t), CommModel::Multicast)
-            .unwrap();
+        let o = validate_gossip_schedule(&g, &s, &tree_origins(&t), CommModel::Multicast).unwrap();
         assert!(o.complete);
     }
 
@@ -202,8 +201,7 @@ mod tests {
         let t = star(6);
         let s = eager_flood_gossip(&t, false);
         let g = t.to_graph();
-        let o = validate_gossip_schedule(&g, &s, &tree_origins(&t), CommModel::Telephone)
-            .unwrap();
+        let o = validate_gossip_schedule(&g, &s, &tree_origins(&t), CommModel::Telephone).unwrap();
         assert!(o.complete);
     }
 

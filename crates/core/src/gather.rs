@@ -47,10 +47,7 @@ pub fn gather_schedule(tree: &RootedTree) -> Schedule {
         }
         // (U4): rip-messages at time m - k.
         for m in p.rip_start()..=p.j {
-            schedule.add_transmission(
-                (m - p.k) as usize,
-                Transmission::unicast(m, vertex, parent),
-            );
+            schedule.add_transmission((m - p.k) as usize, Transmission::unicast(m, vertex, parent));
         }
     }
     schedule.trim();
@@ -67,8 +64,21 @@ mod tests {
     fn fig5() -> RootedTree {
         let mut p = vec![0u32; 16];
         for (v, par) in [
-            (1, 0), (2, 1), (3, 1), (4, 0), (5, 4), (6, 5), (7, 5), (8, 4),
-            (9, 8), (10, 8), (11, 0), (12, 11), (13, 12), (14, 12), (15, 11),
+            (1, 0),
+            (2, 1),
+            (3, 1),
+            (4, 0),
+            (5, 4),
+            (6, 5),
+            (7, 5),
+            (8, 4),
+            (9, 8),
+            (10, 8),
+            (11, 0),
+            (12, 11),
+            (13, 12),
+            (14, 12),
+            (15, 11),
         ] {
             p[v] = par;
         }
@@ -88,8 +98,7 @@ mod tests {
             let n = tree.n();
             assert_eq!(s.makespan(), n - 1);
             let g = tree.to_graph();
-            let mut sim =
-                Simulator::new(&g, CommModel::Multicast, &tree_origins(&tree)).unwrap();
+            let mut sim = Simulator::new(&g, CommModel::Multicast, &tree_origins(&tree)).unwrap();
             let root = tree.root();
             let empty = CommRound::new();
             for t in 0..s.makespan() {
@@ -99,7 +108,11 @@ mod tests {
                     assert!(sim.holds(root).contains(m), "root missing {m} at {}", t + 1);
                 }
                 for m in (t + 2)..n {
-                    assert!(!sim.holds(root).contains(m), "root has {m} early at {}", t + 1);
+                    assert!(
+                        !sim.holds(root).contains(m),
+                        "root has {m} early at {}",
+                        t + 1
+                    );
                 }
             }
         }
@@ -118,7 +131,10 @@ mod tests {
                 .transmissions
                 .iter()
                 .any(|f| f.from == tx.from && f.msg == tx.msg && f.to.contains(&tx.to[0]));
-            assert!(found, "gather send {tx:?} at {t} missing from full schedule");
+            assert!(
+                found,
+                "gather send {tx:?} at {t} missing from full schedule"
+            );
         }
     }
 

@@ -97,8 +97,11 @@ impl LabelView {
                 parent_i,
                 parent_j,
             });
-            children[label as usize] =
-                tree.children(v).iter().map(|&c| tree.label(c as usize)).collect();
+            children[label as usize] = tree
+                .children(v)
+                .iter()
+                .map(|&c| tree.label(c as usize))
+                .collect();
         }
         LabelView {
             n,
@@ -175,8 +178,21 @@ mod tests {
     fn fig5() -> RootedTree {
         let mut p = vec![0u32; 16];
         for (v, par) in [
-            (1, 0), (2, 1), (3, 1), (4, 0), (5, 4), (6, 5), (7, 5), (8, 4),
-            (9, 8), (10, 8), (11, 0), (12, 11), (13, 12), (14, 12), (15, 11),
+            (1, 0),
+            (2, 1),
+            (3, 1),
+            (4, 0),
+            (5, 4),
+            (6, 5),
+            (7, 5),
+            (8, 4),
+            (9, 8),
+            (10, 8),
+            (11, 0),
+            (12, 11),
+            (13, 12),
+            (14, 12),
+            (15, 11),
         ] {
             p[v] = par;
         }

@@ -55,8 +55,8 @@ pub mod broadcast_model;
 pub mod classify;
 pub mod concurrent;
 pub mod exact;
-pub mod gather;
 pub(crate) mod flood;
+pub mod gather;
 pub mod labeling;
 pub mod line;
 pub mod maintenance;
@@ -73,25 +73,31 @@ pub mod telephone_broadcast;
 pub mod updown;
 pub mod weighted;
 
-pub use annotated::{annotated_concurrent_updown, annotated_to_schedule, AnnotatedTransmission, Rule};
+pub use annotated::{
+    annotated_concurrent_updown, annotated_to_schedule, AnnotatedTransmission, Rule,
+};
 pub use bounds::{cut_vertex_lower_bound, gossip_lower_bound, trivial_lower_bound};
 pub use broadcast::broadcast_schedule;
 pub use broadcast_model::broadcast_model_gossip;
 pub use classify::{classify, is_lip, is_rip, MessageClass};
-pub use concurrent::{concurrent_updown, tree_origins};
+pub use concurrent::{concurrent_updown, concurrent_updown_recorded, tree_origins};
 pub use exact::{optimal_gossip_schedule, optimal_gossip_time, ExactResult};
 pub use gather::gather_schedule;
 pub use labeling::{LabelView, VertexParams};
 pub use line::{line_gossip_schedule, MAX_LINE_N};
 pub use maintenance::{MaintenanceOutcome, TreeMaintainer};
 pub use multi_broadcast::multi_broadcast_schedule;
-pub use online::{run_online, run_online_threaded, OnlineSend, OnlineVertex};
+pub use online::{
+    run_online, run_online_threaded, run_online_threaded_recorded, OnlineSend, OnlineVertex,
+};
 pub use pipeline::{Algorithm, GossipPlan, GossipPlanner};
-pub use pipelined::{min_pipeline_period, pipelined_gossip, PipelinedPlan};
+pub use pipelined::{
+    min_pipeline_period, pipelined_gossip, pipelined_gossip_recorded, PipelinedPlan,
+};
 pub use ring::{circuit_gossip_schedule, ring_gossip_schedule};
 pub use search::{petersen_gossip_schedule, randomized_gossip_search, SearchOutcome};
-pub use simple::simple_gossip;
+pub use simple::{simple_gossip, simple_gossip_recorded};
 pub use telephone::telephone_tree_gossip;
 pub use telephone_broadcast::{telephone_broadcast_schedule, telephone_broadcast_times};
-pub use updown::updown_gossip;
+pub use updown::{updown_gossip, updown_gossip_recorded};
 pub use weighted::{weighted_gossip, WeightedPlan};

@@ -66,7 +66,10 @@ pub fn line_gossip_schedule(n: usize) -> Schedule {
     let target = n + n / 2 - 1;
     let mut search = LineSearch::new(n, target);
     let found = search.dfs(&LineState::initial(n), 0);
-    assert!(found, "n + r - 1 line schedule must exist (paper §4); n = {n}");
+    assert!(
+        found,
+        "n + r - 1 line schedule must exist (paper §4); n = {n}"
+    );
     let mut schedule = Schedule::new(n);
     search.witness.reverse();
     for (t, round) in search.witness.iter().enumerate() {
@@ -133,7 +136,12 @@ struct LineSearch {
 
 impl LineSearch {
     fn new(n: usize, target: usize) -> Self {
-        LineSearch { n, target, memo: HashMap::new(), witness: Vec::new() }
+        LineSearch {
+            n,
+            target,
+            memo: HashMap::new(),
+            witness: Vec::new(),
+        }
     }
 
     fn dfs(&mut self, state: &LineState, t: usize) -> bool {
@@ -281,15 +289,11 @@ impl LineSearch {
                         break 'cand;
                     }
                     Some(o) => {
-                        let contested = state
-                            .left
-                            .iter()
-                            .zip(&state.right)
-                            .any(|(&l, &r)| {
-                                (l as usize == from && o + 1 == from && o == from - 1)
-                                    || (r as usize == from && o == from + 1)
-                                    || (l as usize == o + 1 && o + 1 == from)
-                            });
+                        let contested = state.left.iter().zip(&state.right).any(|(&l, &r)| {
+                            (l as usize == from && o + 1 == from && o == from - 1)
+                                || (r as usize == from && o == from + 1)
+                                || (l as usize == o + 1 && o + 1 == from)
+                        });
                         // Conservative: treat as contested unless clearly not.
                         let clearly_free = !contested
                             && !state.left.iter().any(|&l| l as usize == from && from > 0)

@@ -41,7 +41,11 @@ impl TreeMaintainer {
     /// Plans on the initial network.
     pub fn new(graph: Graph) -> Result<Self, GraphError> {
         let plan = GossipPlanner::new(&graph)?.plan()?;
-        Ok(TreeMaintainer { graph, plan, rebuilds: 1 })
+        Ok(TreeMaintainer {
+            graph,
+            plan,
+            rebuilds: 1,
+        })
     }
 
     /// The current network.
@@ -111,12 +115,8 @@ mod tests {
     }
 
     fn assert_plan_valid(m: &TreeMaintainer) {
-        let o = simulate_gossip(
-            m.graph(),
-            &m.plan().schedule,
-            &m.plan().origin_of_message,
-        )
-        .unwrap();
+        let o =
+            simulate_gossip(m.graph(), &m.plan().schedule, &m.plan().origin_of_message).unwrap();
         assert!(o.complete);
         assert!(m.plan().tree.is_spanning_tree_of(m.graph()));
         // Optimality: tree height == current radius.
@@ -156,7 +156,7 @@ mod tests {
     }
 
     #[test]
-    fn disconnecting_removal_rejected_and_state_preserved(){
+    fn disconnecting_removal_rejected_and_state_preserved() {
         let path = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
         let mut m = TreeMaintainer::new(path).unwrap();
         assert_eq!(m.remove_edge(1, 2).unwrap_err(), GraphError::Disconnected);

@@ -46,18 +46,15 @@ pub fn multi_broadcast_schedule(g: &Graph, source: usize, k: usize) -> (Schedule
             children[r.parent[v] as usize].push(v);
         }
     }
-    for v in 0..n {
-        if children[v].is_empty() {
+    for (v, kids) in children.iter().enumerate() {
+        if kids.is_empty() {
             continue;
         }
         let d = r.dist[v] as usize;
         // Message c arrives at depth d at time d + c and is forwarded the
         // same round (receive-before-send).
         for c in 0..k {
-            schedule.add_transmission(
-                d + c,
-                Transmission::new(c as u32, v, children[v].clone()),
-            );
+            schedule.add_transmission(d + c, Transmission::new(c as u32, v, kids.clone()));
         }
     }
     schedule.trim();
@@ -120,15 +117,15 @@ mod tests {
     fn every_receiver_gets_each_message_once() {
         let g = path(5);
         let (s, _) = multi_broadcast_schedule(&g, 0, 3);
-        let mut count = vec![[0usize; 3]; 5];
+        let mut count = [[0usize; 3]; 5];
         for (_, tx) in s.iter() {
             for &d in &tx.to {
                 count[d][tx.msg as usize] += 1;
             }
         }
-        for v in 1..5 {
-            for m in 0..3 {
-                assert_eq!(count[v][m], 1, "vertex {v} message {m}");
+        for (v, per_msg) in count.iter().enumerate().skip(1) {
+            for (m, &c) in per_msg.iter().enumerate() {
+                assert_eq!(c, 1, "vertex {v} message {m}");
             }
         }
     }

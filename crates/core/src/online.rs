@@ -22,8 +22,10 @@
 use crate::labeling::{LabelView, VertexParams};
 use gossip_graph::RootedTree;
 use gossip_model::{Schedule, Transmission};
+use gossip_telemetry::{NoopRecorder, Recorder, RecorderExt, Value};
 use parking_lot::Mutex;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// What one vertex decides to transmit in one round.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,7 +53,11 @@ impl OnlineVertex {
     /// Builds the protocol state from purely local information: this
     /// vertex's parameters and its children's `(label, range end)` pairs.
     pub fn new(p: VertexParams, children: Vec<(u32, u32)>) -> Self {
-        OnlineVertex { p, children, deferred: [None, None] }
+        OnlineVertex {
+            p,
+            children,
+            deferred: [None, None],
+        }
     }
 
     /// All children except the one whose subtree contains `m`.
@@ -108,7 +114,11 @@ impl OnlineVertex {
 
         // (U3) lip-message at time 0.
         if t == 0 && self.p.has_lip() {
-            set(OnlineSend { msg: self.p.i, to_parent: true, to_children: vec![] });
+            set(OnlineSend {
+                msg: self.p.i,
+                to_parent: true,
+                to_children: vec![],
+            });
         }
 
         // (U4)+(D3) window: message m = t + k while i <= m <= j, except the
@@ -117,9 +127,17 @@ impl OnlineVertex {
             let m = (t + k) as u32;
             if !(m == self.p.i && i == k) {
                 let to_parent = !is_root && m >= self.p.rip_start();
-                let to_children = if is_leaf { vec![] } else { self.children_except_owner(m) };
+                let to_children = if is_leaf {
+                    vec![]
+                } else {
+                    self.children_except_owner(m)
+                };
                 if to_parent || !to_children.is_empty() {
-                    set(OnlineSend { msg: m, to_parent, to_children });
+                    set(OnlineSend {
+                        msg: m,
+                        to_parent,
+                        to_children,
+                    });
                 }
             }
         }
@@ -199,8 +217,7 @@ pub fn run_online(tree: &RootedTree) -> Schedule {
     for t in 0..horizon {
         let mut next_arriving: Vec<Option<u32>> = vec![None; n];
         for label in lv.labels() {
-            let Some(send) = vertices[label as usize].on_round(t, arriving[label as usize])
-            else {
+            let Some(send) = vertices[label as usize].on_round(t, arriving[label as usize]) else {
                 continue;
             };
             let mut dests = Vec::with_capacity(send.to_children.len() + 1);
@@ -234,12 +251,23 @@ pub fn run_online(tree: &RootedTree) -> Schedule {
 /// are time-determined), so only parent→child links carry payloads — which
 /// is also the only direction the D2 forwarding rule depends on.
 pub fn run_online_threaded(tree: &RootedTree) -> Schedule {
+    run_online_threaded_recorded(tree, &NoopRecorder)
+}
+
+/// [`run_online_threaded`] with telemetry: an `online_threaded` span, an
+/// `online/sends` counter, a per-thread `online/round_ns` round-latency
+/// histogram, and per-thread `online_thread` events timestamping when each
+/// processor's thread finished its rounds (wall-clock nanoseconds since the
+/// harness started, so thread skew is visible in the JSONL stream).
+pub fn run_online_threaded_recorded(tree: &RootedTree, recorder: &dyn Recorder) -> Schedule {
+    let _span = recorder.span("online_threaded");
     let lv = LabelView::new(tree);
     let n = lv.n();
     if n <= 1 {
         return Schedule::new(n);
     }
     let horizon = n + lv.height() as usize;
+    let epoch = Instant::now();
 
     // Channels: one per non-root vertex, carrying Option<u32> per round.
     let mut senders = Vec::with_capacity(n);
@@ -277,7 +305,9 @@ pub fn run_online_threaded(tree: &RootedTree) -> Schedule {
             let log = Arc::clone(&log);
             let lv_ref = &lv;
             scope.spawn(move || {
+                let mut sends = 0u64;
                 for t in 0..horizon {
+                    let round_start = recorder.enabled().then(Instant::now);
                     // What arrives at time t was sent by the parent in its
                     // round t - 1; nothing is in flight at t = 0.
                     let arrived: Option<u32> = match (&my_rx, t) {
@@ -285,13 +315,15 @@ pub fn run_online_threaded(tree: &RootedTree) -> Schedule {
                         _ => None,
                     };
                     let send = vertex.on_round(t, arrived);
+                    if send.is_some() {
+                        sends += 1;
+                    }
                     // Every child gets exactly one Option per round, so the
                     // channel doubles as the round clock for receivers.
                     match &send {
                         Some(s) => {
                             for (c, tx) in &child_txs {
-                                let payload =
-                                    s.to_children.contains(c).then_some(s.msg);
+                                let payload = s.to_children.contains(c).then_some(s.msg);
                                 tx.send(payload).expect("child alive");
                             }
                             let mut dests = Vec::with_capacity(s.to_children.len() + 1);
@@ -299,10 +331,8 @@ pub fn run_online_threaded(tree: &RootedTree) -> Schedule {
                                 dests.push(lv_ref.vertex(lv_ref.params(label).parent_i));
                             }
                             dests.extend(s.to_children.iter().map(|&c| lv_ref.vertex(c)));
-                            log.lock().push((
-                                t,
-                                Transmission::new(s.msg, lv_ref.vertex(label), dests),
-                            ));
+                            log.lock()
+                                .push((t, Transmission::new(s.msg, lv_ref.vertex(label), dests)));
                         }
                         None => {
                             for (_, tx) in &child_txs {
@@ -311,6 +341,24 @@ pub fn run_online_threaded(tree: &RootedTree) -> Schedule {
                         }
                     }
                     barrier.wait();
+                    if let Some(start) = round_start {
+                        recorder.observe("online/round_ns", start.elapsed().as_nanos() as f64);
+                    }
+                }
+                if recorder.enabled() {
+                    recorder.counter("online/sends", sends);
+                    recorder.event(
+                        "online_thread",
+                        &[
+                            ("label", Value::from_u64(label as u64)),
+                            ("vertex", Value::from_u64(lv_ref.vertex(label) as u64)),
+                            ("sends", Value::from_u64(sends)),
+                            (
+                                "done_ns",
+                                Value::from_u64(epoch.elapsed().as_nanos() as u64),
+                            ),
+                        ],
+                    );
                 }
             });
         }
@@ -334,8 +382,21 @@ mod tests {
     fn fig5() -> RootedTree {
         let mut p = vec![0u32; 16];
         for (v, par) in [
-            (1, 0), (2, 1), (3, 1), (4, 0), (5, 4), (6, 5), (7, 5), (8, 4),
-            (9, 8), (10, 8), (11, 0), (12, 11), (13, 12), (14, 12), (15, 11),
+            (1, 0),
+            (2, 1),
+            (3, 1),
+            (4, 0),
+            (5, 4),
+            (6, 5),
+            (7, 5),
+            (8, 4),
+            (9, 8),
+            (10, 8),
+            (11, 0),
+            (12, 11),
+            (13, 12),
+            (14, 12),
+            (15, 11),
         ] {
             p[v] = par;
         }

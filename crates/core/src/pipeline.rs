@@ -1,15 +1,16 @@
 //! The end-to-end planner: arbitrary network → minimum-depth spanning tree
 //! → communication schedule, exactly the paper's two-step procedure (§3).
 
-use crate::concurrent::{concurrent_updown, tree_origins};
-use crate::simple::simple_gossip;
+use crate::concurrent::{concurrent_updown_recorded, tree_origins};
+use crate::simple::simple_gossip_recorded;
 use crate::telephone::telephone_tree_gossip;
-use crate::updown::updown_gossip;
+use crate::updown::updown_gossip_recorded;
 use gossip_graph::{
-    is_connected, min_depth_spanning_tree, min_depth_spanning_tree_parallel, ChildOrder, Graph,
-    GraphError, RootedTree,
+    is_connected, min_depth_spanning_tree_parallel_recorded, min_depth_spanning_tree_recorded,
+    ChildOrder, Graph, GraphError, RootedTree,
 };
 use gossip_model::Schedule;
+use gossip_telemetry::{NoopRecorder, Recorder, RecorderExt};
 
 /// Which scheduling algorithm the planner runs on the spanning tree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -38,11 +39,28 @@ impl Algorithm {
 
     /// Runs the algorithm on a rooted tree.
     pub fn schedule(&self, tree: &RootedTree) -> Schedule {
+        self.schedule_recorded(tree, &NoopRecorder)
+    }
+
+    /// [`Algorithm::schedule`] with telemetry: each algorithm opens its own
+    /// span (with per-phase child spans where the algorithm has phases) and
+    /// records `generate/*` counters for the work scheduled.
+    pub fn schedule_recorded(&self, tree: &RootedTree, recorder: &dyn Recorder) -> Schedule {
         match self {
-            Algorithm::ConcurrentUpDown => concurrent_updown(tree),
-            Algorithm::Simple => simple_gossip(tree),
-            Algorithm::UpDown => updown_gossip(tree),
-            Algorithm::Telephone => telephone_tree_gossip(tree),
+            Algorithm::ConcurrentUpDown => concurrent_updown_recorded(tree, recorder),
+            Algorithm::Simple => simple_gossip_recorded(tree, recorder),
+            Algorithm::UpDown => updown_gossip_recorded(tree, recorder),
+            Algorithm::Telephone => {
+                let _span = recorder.span("telephone");
+                let schedule = telephone_tree_gossip(tree);
+                if recorder.enabled() {
+                    let stats = schedule.stats();
+                    recorder.counter("generate/transmissions", stats.transmissions as u64);
+                    recorder.counter("generate/deliveries", stats.deliveries as u64);
+                    recorder.gauge("generate/makespan", schedule.makespan() as f64);
+                }
+                schedule
+            }
         }
     }
 }
@@ -92,12 +110,25 @@ impl GossipPlan {
 /// let o = simulate_gossip(&g, &plan.schedule, &plan.origin_of_message).unwrap();
 /// assert!(o.complete);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct GossipPlanner<'g> {
     g: &'g Graph,
     algorithm: Algorithm,
     child_order: ChildOrder,
     parallel_tree: bool,
+    recorder: &'g dyn Recorder,
+}
+
+impl std::fmt::Debug for GossipPlanner<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GossipPlanner")
+            .field("g", &self.g)
+            .field("algorithm", &self.algorithm)
+            .field("child_order", &self.child_order)
+            .field("parallel_tree", &self.parallel_tree)
+            .field("recorder_enabled", &self.recorder.enabled())
+            .finish()
+    }
 }
 
 impl<'g> GossipPlanner<'g> {
@@ -115,6 +146,7 @@ impl<'g> GossipPlanner<'g> {
             algorithm: Algorithm::default(),
             child_order: ChildOrder::default(),
             parallel_tree: false,
+            recorder: &NoopRecorder,
         })
     }
 
@@ -137,12 +169,21 @@ impl<'g> GossipPlanner<'g> {
         self
     }
 
+    /// Attaches a telemetry recorder; all planning stages report spans,
+    /// counters, and gauges to it (default: [`NoopRecorder`], which costs
+    /// nothing).
+    pub fn recorder(mut self, r: &'g dyn Recorder) -> Self {
+        self.recorder = r;
+        self
+    }
+
     /// Builds the minimum-depth spanning tree and the schedule.
     pub fn plan(&self) -> Result<GossipPlan, GraphError> {
+        let _span = self.recorder.span("plan");
         let tree = if self.parallel_tree {
-            min_depth_spanning_tree_parallel(self.g, self.child_order)?
+            min_depth_spanning_tree_parallel_recorded(self.g, self.child_order, self.recorder)?
         } else {
-            min_depth_spanning_tree(self.g, self.child_order)?
+            min_depth_spanning_tree_recorded(self.g, self.child_order, self.recorder)?
         };
         Ok(self.plan_on_tree(tree))
     }
@@ -152,13 +193,18 @@ impl<'g> GossipPlanner<'g> {
     /// the network changes).
     pub fn plan_on_tree(&self, tree: RootedTree) -> GossipPlan {
         debug_assert!(tree.is_spanning_tree_of(self.g));
-        let schedule = self.algorithm.schedule(&tree);
-        GossipPlan {
+        let schedule = self.algorithm.schedule_recorded(&tree, self.recorder);
+        let plan = GossipPlan {
             origin_of_message: tree_origins(&tree),
             radius: tree.height(),
             tree,
             schedule,
+        };
+        if self.recorder.enabled() {
+            self.recorder.gauge("plan/radius", plan.radius as f64);
+            self.recorder.gauge("plan/makespan", plan.makespan() as f64);
         }
+        plan
     }
 }
 
@@ -213,7 +259,10 @@ mod tests {
     #[test]
     fn rejects_disconnected_and_empty() {
         let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
-        assert_eq!(GossipPlanner::new(&g).unwrap_err(), GraphError::Disconnected);
+        assert_eq!(
+            GossipPlanner::new(&g).unwrap_err(),
+            GraphError::Disconnected
+        );
         let e = Graph::from_edges(0, &[]).unwrap();
         assert_eq!(GossipPlanner::new(&e).unwrap_err(), GraphError::EmptyGraph);
     }

@@ -19,6 +19,7 @@
 use crate::concurrent::{concurrent_updown, tree_origins};
 use gossip_graph::RootedTree;
 use gossip_model::{CommModel, Schedule, Simulator};
+use gossip_telemetry::{NoopRecorder, Recorder, RecorderExt};
 
 /// A pipelined multi-batch gossip schedule.
 #[derive(Debug, Clone)]
@@ -44,31 +45,64 @@ impl PipelinedPlan {
 /// the combined schedule against the full communication model. Returns
 /// `None` if the overlay conflicts (or does not complete).
 pub fn pipelined_gossip(tree: &RootedTree, k: usize, period: usize) -> Option<PipelinedPlan> {
+    pipelined_gossip_recorded(tree, k, period, &NoopRecorder)
+}
+
+/// [`pipelined_gossip`] with telemetry: a `pipelined` span with
+/// `base_schedule` / `overlay` / `verify` child spans, a `pipeline/batches`
+/// counter, and `pipeline/period` / `pipeline/amortized_rounds` gauges for
+/// feasible overlays.
+pub fn pipelined_gossip_recorded(
+    tree: &RootedTree,
+    k: usize,
+    period: usize,
+    recorder: &dyn Recorder,
+) -> Option<PipelinedPlan> {
     assert!(k >= 1, "need at least one batch");
+    let _span = recorder.span("pipelined");
     let n = tree.n();
-    let base = concurrent_updown(tree);
-    let base_origins = tree_origins(tree);
+    let (base, base_origins) = {
+        let _s = recorder.span("base_schedule");
+        (concurrent_updown(tree), tree_origins(tree))
+    };
 
-    let mut schedule = Schedule::new(n);
-    for batch in 0..k {
-        schedule.merge(&base.shifted(batch * period, (batch * n) as u32));
-    }
-    schedule.trim();
+    let (schedule, origins) = {
+        let _s = recorder.span("overlay");
+        let mut schedule = Schedule::new(n);
+        for batch in 0..k {
+            schedule.merge(&base.shifted(batch * period, (batch * n) as u32));
+        }
+        schedule.trim();
 
-    let mut origins = Vec::with_capacity(k * n);
-    for _ in 0..k {
-        origins.extend_from_slice(&base_origins);
-    }
+        let mut origins = Vec::with_capacity(k * n);
+        for _ in 0..k {
+            origins.extend_from_slice(&base_origins);
+        }
+        (schedule, origins)
+    };
 
-    let g = tree.to_graph();
-    let mut sim = Simulator::with_origins(&g, CommModel::Multicast, &origins).ok()?;
-    let outcome = sim.run(&schedule).ok()?;
-    outcome.complete.then_some(PipelinedPlan {
+    let outcome = {
+        let _s = recorder.span("verify");
+        let g = tree.to_graph();
+        let mut sim = Simulator::with_origins(&g, CommModel::Multicast, &origins).ok()?;
+        sim.run(&schedule).ok()?
+    };
+    let plan = outcome.complete.then_some(PipelinedPlan {
         schedule,
         period,
         batches: k,
         origins,
-    })
+    });
+    if recorder.enabled() {
+        if let Some(p) = &plan {
+            recorder.counter("pipeline/batches", p.batches as u64);
+            recorder.gauge("pipeline/period", p.period as f64);
+            recorder.gauge("pipeline/amortized_rounds", p.amortized_rounds());
+        } else {
+            recorder.counter("pipeline/infeasible_overlays", 1);
+        }
+    }
+    plan
 }
 
 /// The smallest period at which `k` batches overlay conflict-free on
@@ -160,12 +194,7 @@ mod tests {
         let full = tree.n() + tree.height() as usize;
         let plan = pipelined_gossip(&tree, 2, full).unwrap();
         assert_eq!(plan.origins.len(), 6);
-        let max_msg = plan
-            .schedule
-            .iter()
-            .map(|(_, tx)| tx.msg)
-            .max()
-            .unwrap();
+        let max_msg = plan.schedule.iter().map(|(_, tx)| tx.msg).max().unwrap();
         assert!(max_msg < 6);
     }
 }

@@ -94,8 +94,8 @@ mod tests {
     fn telephone_legal() {
         let g = ring(6);
         let s = ring_gossip_schedule(&g).unwrap();
-        let o = validate_gossip_schedule(&g, &s, &identity_origins(6), CommModel::Telephone)
-            .unwrap();
+        let o =
+            validate_gossip_schedule(&g, &s, &identity_origins(6), CommModel::Telephone).unwrap();
         assert!(o.complete);
     }
 
@@ -115,7 +115,11 @@ mod tests {
         let g = Graph::from_edges(6, &edges).unwrap();
         let s = ring_gossip_schedule(&g).unwrap();
         assert_eq!(s.makespan(), 5);
-        assert!(simulate_gossip(&g, &s, &identity_origins(6)).unwrap().complete);
+        assert!(
+            simulate_gossip(&g, &s, &identity_origins(6))
+                .unwrap()
+                .complete
+        );
     }
 
     #[test]

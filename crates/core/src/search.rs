@@ -21,8 +21,8 @@
 //! solver (see `exp_n3` in the bench crate); the randomized searcher here
 //! provides constructive witnesses on this and other small graphs.
 
-use gossip_model::{BitSet, CommModel, Schedule, Transmission};
 use gossip_graph::Graph;
+use gossip_model::{BitSet, CommModel, Schedule, Transmission};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -97,7 +97,10 @@ pub fn randomized_gossip_search(
         return None;
     }
     if n == 1 {
-        return Some(SearchOutcome { schedule: Schedule::new(1), makespan: 0 });
+        return Some(SearchOutcome {
+            schedule: Schedule::new(1),
+            makespan: 0,
+        });
     }
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut best: Option<SearchOutcome> = None;
@@ -105,7 +108,7 @@ pub fn randomized_gossip_search(
 
     for _ in 0..attempts.max(1) {
         if let Some(outcome) = one_attempt(g, model, round_cap, &mut rng) {
-            let better = best.as_ref().map_or(true, |b| outcome.makespan < b.makespan);
+            let better = best.as_ref().is_none_or(|b| outcome.makespan < b.makespan);
             if better {
                 best = Some(outcome);
             }
@@ -162,7 +165,7 @@ fn one_attempt(
                             continue;
                         }
                         let score = (holders[m as usize], rng.gen::<u32>());
-                        if best_opt.map_or(true, |(_, _, h, j)| score < (h, j)) {
+                        if best_opt.is_none_or(|(_, _, h, j)| score < (h, j)) {
                             best_opt = Some((s, m, score.0, score.1));
                         }
                     }
@@ -172,7 +175,7 @@ fn one_attempt(
                                 continue;
                             }
                             let score = (holders[m], rng.gen::<u32>());
-                            if best_opt.map_or(true, |(_, _, h, j)| score < (h, j)) {
+                            if best_opt.is_none_or(|(_, _, h, j)| score < (h, j)) {
                                 best_opt = Some((s, m as u32, score.0, score.1));
                             }
                         }
@@ -225,16 +228,15 @@ mod tests {
         let g = petersen();
         let s = petersen_gossip_schedule();
         assert_eq!(s.makespan(), 9); // n - 1: optimal
-        let o = validate_gossip_schedule(&g, &s, &identity_origins(10), CommModel::Telephone)
-            .unwrap();
+        let o =
+            validate_gossip_schedule(&g, &s, &identity_origins(10), CommModel::Telephone).unwrap();
         assert!(o.complete);
         assert_eq!(o.completion_time, Some(9));
     }
 
     #[test]
     fn random_search_completes_on_small_graphs() {
-        let ring5 =
-            Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+        let ring5 = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
         let out = randomized_gossip_search(&ring5, CommModel::Multicast, 50, 7).unwrap();
         assert!(out.makespan >= 4);
         let o = validate_gossip_schedule(

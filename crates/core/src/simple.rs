@@ -14,6 +14,7 @@
 use crate::labeling::LabelView;
 use gossip_graph::RootedTree;
 use gossip_model::{Schedule, Transmission};
+use gossip_telemetry::{NoopRecorder, Recorder, RecorderExt};
 
 /// Builds the Simple schedule for `tree` (vertex space, origin table
 /// [`crate::tree_origins`]).
@@ -35,6 +36,14 @@ use gossip_model::{Schedule, Transmission};
 /// assert!(simulate_gossip(&g, &s, &tree_origins(&tree)).unwrap().complete);
 /// ```
 pub fn simple_gossip(tree: &RootedTree) -> Schedule {
+    simple_gossip_recorded(tree, &NoopRecorder)
+}
+
+/// [`simple_gossip`] with telemetry: a `simple` span with `phase_up` /
+/// `phase_down` child spans and `generate/*` counters for the transmissions
+/// and deliveries scheduled.
+pub fn simple_gossip_recorded(tree: &RootedTree, recorder: &dyn Recorder) -> Schedule {
+    let _span = recorder.span("simple");
     let lv = LabelView::new(tree);
     let n = lv.n();
     let mut schedule = Schedule::new(n);
@@ -45,36 +54,48 @@ pub fn simple_gossip(tree: &RootedTree) -> Schedule {
     // Phase 1 — up. Vertex with label v (level k) relays every message of
     // its subtree except its own... including its own: it sends message m
     // (for m in [i, j], m >= 1) to its parent at time m - k.
-    for label in lv.labels() {
-        let p = lv.params(label);
-        if p.is_root() {
-            continue;
-        }
-        let vertex = lv.vertex(label);
-        let parent = lv.vertex(p.parent_i);
-        for m in p.i..=p.j {
-            let t = (m - p.k) as usize;
-            schedule.add_transmission(t, Transmission::unicast(m, vertex, parent));
+    {
+        let _up = recorder.span("phase_up");
+        for label in lv.labels() {
+            let p = lv.params(label);
+            if p.is_root() {
+                continue;
+            }
+            let vertex = lv.vertex(label);
+            let parent = lv.vertex(p.parent_i);
+            for m in p.i..=p.j {
+                let t = (m - p.k) as usize;
+                schedule.add_transmission(t, Transmission::unicast(m, vertex, parent));
+            }
         }
     }
 
     // Phase 2 — down. Vertex at level k multicasts message m to all its
     // children at time n - 2 + m + k (the root sends first; descendants
     // forward on arrival).
-    for label in lv.labels() {
-        let p = lv.params(label);
-        if p.is_leaf() {
-            continue;
-        }
-        let vertex = lv.vertex(label);
-        let dests: Vec<usize> = lv.children(label).iter().map(|&c| lv.vertex(c)).collect();
-        for m in 0..n as u32 {
-            let t = n - 2 + m as usize + p.k as usize;
-            schedule.add_transmission(t, Transmission::new(m, vertex, dests.clone()));
+    {
+        let _down = recorder.span("phase_down");
+        for label in lv.labels() {
+            let p = lv.params(label);
+            if p.is_leaf() {
+                continue;
+            }
+            let vertex = lv.vertex(label);
+            let dests: Vec<usize> = lv.children(label).iter().map(|&c| lv.vertex(c)).collect();
+            for m in 0..n as u32 {
+                let t = n - 2 + m as usize + p.k as usize;
+                schedule.add_transmission(t, Transmission::new(m, vertex, dests.clone()));
+            }
         }
     }
 
     schedule.trim();
+    if recorder.enabled() {
+        let stats = schedule.stats();
+        recorder.counter("generate/transmissions", stats.transmissions as u64);
+        recorder.counter("generate/deliveries", stats.deliveries as u64);
+        recorder.gauge("generate/makespan", schedule.makespan() as f64);
+    }
     schedule
 }
 
@@ -99,8 +120,21 @@ mod tests {
         let fig5 = {
             let mut p = vec![0u32; 16];
             for (v, par) in [
-                (1, 0), (2, 1), (3, 1), (4, 0), (5, 4), (6, 5), (7, 5), (8, 4),
-                (9, 8), (10, 8), (11, 0), (12, 11), (13, 12), (14, 12), (15, 11),
+                (1, 0),
+                (2, 1),
+                (3, 1),
+                (4, 0),
+                (5, 4),
+                (6, 5),
+                (7, 5),
+                (8, 4),
+                (9, 8),
+                (10, 8),
+                (11, 0),
+                (12, 11),
+                (13, 12),
+                (14, 12),
+                (15, 11),
             ] {
                 p[v] = par;
             }

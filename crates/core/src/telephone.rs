@@ -51,8 +51,7 @@ mod tests {
         let t = star(10);
         let s = telephone_tree_gossip(&t);
         let g = t.to_graph();
-        let o = validate_gossip_schedule(&g, &s, &tree_origins(&t), CommModel::Telephone)
-            .unwrap();
+        let o = validate_gossip_schedule(&g, &s, &tree_origins(&t), CommModel::Telephone).unwrap();
         assert!(o.complete);
         assert_eq!(o.stats.max_fanout, 1);
     }

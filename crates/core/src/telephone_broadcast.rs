@@ -25,11 +25,7 @@ pub fn telephone_broadcast_times(tree: &RootedTree) -> Vec<usize> {
     let mut order = tree.bfs_order();
     order.reverse();
     for v in order {
-        let mut child_times: Vec<usize> = tree
-            .children(v)
-            .iter()
-            .map(|&c| b[c as usize])
-            .collect();
+        let mut child_times: Vec<usize> = tree.children(v).iter().map(|&c| b[c as usize]).collect();
         child_times.sort_unstable_by(|a, c| c.cmp(a)); // descending
         b[v] = child_times
             .iter()
@@ -69,7 +65,7 @@ pub fn telephone_broadcast_schedule(tree: &RootedTree) -> (Schedule, usize) {
     }
     schedule.trim();
     let makespan = b[tree.root()];
-    debug_assert_eq!(schedule.makespan(), makespan.max(0));
+    debug_assert_eq!(schedule.makespan(), makespan);
     (schedule, makespan)
 }
 
@@ -139,8 +135,7 @@ mod tests {
         // Option: v stays silent.
         enumerate_calls(tree, informed, idx + 1, base, acc, out);
         // Option: v calls an uninformed neighbour not yet called this round.
-        let mut nbrs: Vec<usize> =
-            tree.children(v).iter().map(|&c| c as usize).collect();
+        let mut nbrs: Vec<usize> = tree.children(v).iter().map(|&c| c as usize).collect();
         if let Some(p) = tree.parent(v) {
             nbrs.push(p);
         }
@@ -155,10 +150,10 @@ mod tests {
     #[test]
     fn greedy_matches_brute_force_on_small_trees() {
         let cases = vec![
-            RootedTree::from_parents(0, &[NO_PARENT, 0, 0, 0]).unwrap(),       // star
-            RootedTree::from_parents(0, &[NO_PARENT, 0, 1, 2]).unwrap(),       // chain
+            RootedTree::from_parents(0, &[NO_PARENT, 0, 0, 0]).unwrap(), // star
+            RootedTree::from_parents(0, &[NO_PARENT, 0, 1, 2]).unwrap(), // chain
             RootedTree::from_parents(0, &[NO_PARENT, 0, 0, 1, 1, 2]).unwrap(), // mixed
-            RootedTree::from_parents(2, &[1, 2, NO_PARENT, 2, 3]).unwrap(),    // center root
+            RootedTree::from_parents(2, &[1, 2, NO_PARENT, 2, 3]).unwrap(), // center root
         ];
         for tree in cases {
             assert_eq!(verify(&tree), brute_force(&tree), "{tree:?}");
@@ -182,8 +177,8 @@ mod tests {
         // Complete binary tree with 15 vertices: b(root) = 2 + b(subtree)...
         let mut p = vec![0u32; 15];
         p[0] = NO_PARENT;
-        for v in 1..15 {
-            p[v] = ((v - 1) / 2) as u32;
+        for (v, slot) in p.iter_mut().enumerate().skip(1) {
+            *slot = ((v - 1) / 2) as u32;
         }
         let tree = RootedTree::from_parents(0, &p).unwrap();
         let t = verify(&tree);

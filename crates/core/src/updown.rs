@@ -20,6 +20,7 @@
 
 use gossip_graph::RootedTree;
 use gossip_model::Schedule;
+use gossip_telemetry::{NoopRecorder, Recorder, RecorderExt};
 
 /// Builds the UpDown schedule for `tree` (vertex space, origin table
 /// [`crate::tree_origins`]).
@@ -36,7 +37,22 @@ use gossip_model::Schedule;
 /// assert!(ud <= simple_gossip(&tree).makespan());
 /// ```
 pub fn updown_gossip(tree: &RootedTree) -> Schedule {
-    crate::flood::eager_flood_gossip(tree, true)
+    updown_gossip_recorded(tree, &NoopRecorder)
+}
+
+/// [`updown_gossip`] with telemetry: an `updown` span around the greedy
+/// flood plus `generate/*` counters for the transmissions and deliveries
+/// scheduled.
+pub fn updown_gossip_recorded(tree: &RootedTree, recorder: &dyn Recorder) -> Schedule {
+    let _span = recorder.span("updown");
+    let schedule = crate::flood::eager_flood_gossip(tree, true);
+    if recorder.enabled() {
+        let stats = schedule.stats();
+        recorder.counter("generate/transmissions", stats.transmissions as u64);
+        recorder.counter("generate/deliveries", stats.deliveries as u64);
+        recorder.gauge("generate/makespan", schedule.makespan() as f64);
+    }
+    schedule
 }
 
 #[cfg(test)]
@@ -50,8 +66,21 @@ mod tests {
     fn fig5() -> RootedTree {
         let mut p = vec![0u32; 16];
         for (v, par) in [
-            (1, 0), (2, 1), (3, 1), (4, 0), (5, 4), (6, 5), (7, 5), (8, 4),
-            (9, 8), (10, 8), (11, 0), (12, 11), (13, 12), (14, 12), (15, 11),
+            (1, 0),
+            (2, 1),
+            (3, 1),
+            (4, 0),
+            (5, 4),
+            (6, 5),
+            (7, 5),
+            (8, 4),
+            (9, 8),
+            (10, 8),
+            (11, 0),
+            (12, 11),
+            (13, 12),
+            (14, 12),
+            (15, 11),
         ] {
             p[v] = par;
         }
@@ -88,6 +117,10 @@ mod tests {
         let t2 = RootedTree::from_parents(0, &[NO_PARENT, 0]).unwrap();
         let s = updown_gossip(&t2);
         let g = t2.to_graph();
-        assert!(simulate_gossip(&g, &s, &tree_origins(&t2)).unwrap().complete);
+        assert!(
+            simulate_gossip(&g, &s, &tree_origins(&t2))
+                .unwrap()
+                .complete
+        );
     }
 }

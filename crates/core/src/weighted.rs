@@ -86,7 +86,7 @@ pub fn weighted_gossip(tree: &RootedTree, weights: &[usize]) -> Result<WeightedP
     for (p, &w) in weights.iter().enumerate() {
         let chain: Vec<usize> = (next..next + w).collect();
         next += w;
-        owner.extend(std::iter::repeat(p).take(w));
+        owner.extend(std::iter::repeat_n(p, w));
         virtuals.push(chain);
     }
 

@@ -4,8 +4,8 @@
 //! robustness of the validator against mutated algorithm output.
 
 use gossip_core::{
-    classify, concurrent_updown, gather_schedule, is_lip, is_rip, tree_origins,
-    weighted_gossip, LabelView, MessageClass,
+    classify, concurrent_updown, gather_schedule, is_lip, is_rip, tree_origins, weighted_gossip,
+    LabelView, MessageClass,
 };
 use gossip_graph::{RootedTree, NO_PARENT};
 use gossip_model::{analyze_schedule, inject_fault, simulate_gossip, Fault};

@@ -4,9 +4,8 @@
 //! graphs.
 
 use gossip_core::{
-    annotated_concurrent_updown, annotated_to_schedule, broadcast_model_gossip,
-    broadcast_schedule, concurrent_updown, multi_broadcast_schedule, pipelined_gossip,
-    tree_origins, updown_gossip,
+    annotated_concurrent_updown, annotated_to_schedule, broadcast_model_gossip, broadcast_schedule,
+    concurrent_updown, multi_broadcast_schedule, pipelined_gossip, tree_origins, updown_gossip,
 };
 use gossip_graph::{bfs, GraphBuilder, RootedTree, NO_PARENT};
 use gossip_model::{
@@ -35,8 +34,11 @@ fn arb_connected(max_n: usize) -> impl Strategy<Value = gossip_graph::Graph> {
             .flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
             .collect();
         let len = pairs.len();
-        (parents, proptest::collection::vec(proptest::bool::weighted(0.2), len)).prop_map(
-            move |(ps, mask)| {
+        (
+            parents,
+            proptest::collection::vec(proptest::bool::weighted(0.2), len),
+        )
+            .prop_map(move |(ps, mask)| {
                 let mut b = GraphBuilder::new(n);
                 let mut present = std::collections::HashSet::new();
                 for (i, p) in ps.into_iter().enumerate() {
@@ -49,8 +51,7 @@ fn arb_connected(max_n: usize) -> impl Strategy<Value = gossip_graph::Graph> {
                     }
                 }
                 b.build()
-            },
-        )
+            })
     })
 }
 

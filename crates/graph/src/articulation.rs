@@ -116,8 +116,7 @@ mod tests {
 
     #[test]
     fn two_triangles_sharing_a_vertex() {
-        let g =
-            Graph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]).unwrap();
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]).unwrap();
         assert_eq!(articulation_points(&g), vec![2]);
     }
 
@@ -125,8 +124,20 @@ mod tests {
     fn matches_brute_force_on_assorted_graphs() {
         let cases = vec![
             Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (1, 4), (4, 5)]).unwrap(),
-            Graph::from_edges(7, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3), (5, 6)])
-                .unwrap(),
+            Graph::from_edges(
+                7,
+                &[
+                    (0, 1),
+                    (1, 2),
+                    (2, 0),
+                    (2, 3),
+                    (3, 4),
+                    (4, 5),
+                    (5, 3),
+                    (5, 6),
+                ],
+            )
+            .unwrap(),
             Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap(), // disconnected
             Graph::from_edges(3, &[]).unwrap(),               // isolated vertices
             Graph::from_edges(2, &[(0, 1)]).unwrap(),

@@ -82,7 +82,11 @@ impl BfsResult {
 /// assert_eq!(r.path_to(3), Some(vec![0, 1, 2, 3]));
 /// ```
 pub fn bfs(g: &Graph, source: usize) -> BfsResult {
-    assert!(source < g.n(), "BFS source {source} out of range (n = {})", g.n());
+    assert!(
+        source < g.n(),
+        "BFS source {source} out of range (n = {})",
+        g.n()
+    );
     let n = g.n();
     let mut result = BfsResult {
         source,

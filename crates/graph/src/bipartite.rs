@@ -65,7 +65,9 @@ pub fn bipartiteness(g: &Graph) -> Bipartiteness {
                     queue.push(w);
                 } else if side[w_us] == side[u] {
                     // Odd cycle: paths u -> lca and w -> lca plus edge (u, w).
-                    return Bipartiteness::OddCycle { cycle: odd_cycle(u, w_us, &parent, &dist) };
+                    return Bipartiteness::OddCycle {
+                        cycle: odd_cycle(u, w_us, &parent, &dist),
+                    };
                 }
             }
         }
@@ -155,7 +157,9 @@ mod tests {
 
     #[test]
     fn trees_and_empty_bipartite() {
-        assert!(is_bipartite(&Graph::from_edges(4, &[(0, 1), (1, 2), (1, 3)]).unwrap()));
+        assert!(is_bipartite(
+            &Graph::from_edges(4, &[(0, 1), (1, 2), (1, 3)]).unwrap()
+        ));
         assert!(is_bipartite(&Graph::from_edges(3, &[]).unwrap()));
         assert!(is_bipartite(&Graph::from_edges(0, &[]).unwrap()));
     }

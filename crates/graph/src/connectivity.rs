@@ -48,7 +48,11 @@ pub fn components(g: &Graph) -> (Vec<u32>, usize) {
 
 /// The number of vertices reachable from `source`, including `source`.
 pub fn reachable_count(g: &Graph, source: usize) -> usize {
-    bfs(g, source).dist.iter().filter(|&&d| d != UNREACHABLE).count()
+    bfs(g, source)
+        .dist
+        .iter()
+        .filter(|&&d| d != UNREACHABLE)
+        .count()
 }
 
 #[cfg(test)]

@@ -163,7 +163,10 @@ impl Graph {
         let mut index = vec![usize::MAX; self.n];
         for (new, &old) in keep.iter().enumerate() {
             if old >= self.n {
-                return Err(GraphError::VertexOutOfRange { vertex: old, n: self.n });
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: old,
+                    n: self.n,
+                });
             }
             if index[old] != usize::MAX {
                 return Err(GraphError::NotATree {
@@ -249,12 +252,18 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Starts a builder for a graph with `n` vertices and no edges.
     pub fn new(n: usize) -> Self {
-        GraphBuilder { n, edges: Vec::new() }
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Starts a builder with room for `m` edges pre-reserved.
     pub fn with_capacity(n: usize, m: usize) -> Self {
-        GraphBuilder { n, edges: Vec::with_capacity(m) }
+        GraphBuilder {
+            n,
+            edges: Vec::with_capacity(m),
+        }
     }
 
     /// Number of vertices the built graph will have.
@@ -290,10 +299,16 @@ impl GraphBuilder {
 
     fn validate_endpoints(&self, u: usize, v: usize) -> Result<(), GraphError> {
         if u >= self.n {
-            return Err(GraphError::VertexOutOfRange { vertex: u, n: self.n });
+            return Err(GraphError::VertexOutOfRange {
+                vertex: u,
+                n: self.n,
+            });
         }
         if v >= self.n {
-            return Err(GraphError::VertexOutOfRange { vertex: v, n: self.n });
+            return Err(GraphError::VertexOutOfRange {
+                vertex: v,
+                n: self.n,
+            });
         }
         if u == v {
             return Err(GraphError::SelfLoop { vertex: u });
@@ -324,8 +339,8 @@ impl GraphBuilder {
         let mut offsets = Vec::with_capacity(n + 1);
         let mut acc = 0u32;
         offsets.push(0);
-        for v in 0..n {
-            acc += degree[v];
+        for &d in degree.iter().take(n) {
+            acc += d;
             offsets.push(acc);
         }
         let mut cursor: Vec<u32> = offsets[..n].to_vec();
@@ -341,7 +356,12 @@ impl GraphBuilder {
         for v in 0..n {
             targets[offsets[v] as usize..offsets[v + 1] as usize].sort_unstable();
         }
-        Graph { n, offsets, targets, m }
+        Graph {
+            n,
+            offsets,
+            targets,
+            m,
+        }
     }
 }
 
@@ -480,8 +500,12 @@ mod tests {
 
     #[test]
     fn is_tree_detection() {
-        assert!(Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap().is_tree());
-        assert!(!Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap().is_tree());
+        assert!(Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)])
+            .unwrap()
+            .is_tree());
+        assert!(!Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)])
+            .unwrap()
+            .is_tree());
         assert!(!Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap().is_tree()); // forest
         assert!(Graph::from_edges(1, &[]).unwrap().is_tree());
         assert!(!Graph::from_edges(0, &[]).unwrap().is_tree());

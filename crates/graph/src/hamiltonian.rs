@@ -189,20 +189,17 @@ mod tests {
     #[test]
     fn verify_rejects_bad_circuits() {
         let g = cycle(4);
-        assert!(!verify_circuit(&g, &[0, 1, 2]));        // wrong length
-        assert!(!verify_circuit(&g, &[0, 1, 1, 2]));     // repeat
-        assert!(!verify_circuit(&g, &[0, 2, 1, 3]));     // non-edge hop
+        assert!(!verify_circuit(&g, &[0, 1, 2])); // wrong length
+        assert!(!verify_circuit(&g, &[0, 1, 1, 2])); // repeat
+        assert!(!verify_circuit(&g, &[0, 2, 1, 3])); // non-edge hop
         assert!(verify_circuit(&g, &[0, 1, 2, 3]));
     }
 
     #[test]
     fn grid_2x3_hamiltonian() {
         // 0-1-2 / 3-4-5 grid has circuit 0,1,2,5,4,3.
-        let g = Graph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (3, 4), (4, 5), (0, 3), (1, 4), (2, 5)],
-        )
-        .unwrap();
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5), (0, 3), (1, 4), (2, 5)])
+            .unwrap();
         let c = find_hamiltonian_circuit(&g).unwrap();
         assert!(verify_circuit(&g, &c));
     }

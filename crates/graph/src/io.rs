@@ -62,7 +62,10 @@ pub fn parse_edge_list(text: &str) -> Result<Graph, ParseError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let bad = || ParseError::BadLine { line: idx + 1, content: raw.to_string() };
+        let bad = || ParseError::BadLine {
+            line: idx + 1,
+            content: raw.to_string(),
+        };
         let mut parts = line.split_whitespace();
         let first = parts.next().ok_or_else(bad)?;
         if first == "n" {
@@ -148,12 +151,18 @@ mod tests {
             parse_edge_list("0 1 2\n"),
             Err(ParseError::BadLine { .. })
         ));
-        assert!(matches!(parse_edge_list("n\n"), Err(ParseError::BadLine { .. })));
+        assert!(matches!(
+            parse_edge_list("n\n"),
+            Err(ParseError::BadLine { .. })
+        ));
     }
 
     #[test]
     fn rejects_invalid_graphs() {
-        assert!(matches!(parse_edge_list("1 1\n"), Err(ParseError::Graph(_))));
+        assert!(matches!(
+            parse_edge_list("1 1\n"),
+            Err(ParseError::Graph(_))
+        ));
         assert!(matches!(
             parse_edge_list("n 2\n0 5\n"),
             Err(ParseError::Graph(_))

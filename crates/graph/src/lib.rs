@@ -55,6 +55,7 @@ pub use metrics::{
 };
 pub use render::render_tree;
 pub use spanning::{
-    bfs_tree, min_depth_spanning_tree, min_depth_spanning_tree_parallel, ChildOrder,
+    bfs_tree, min_depth_spanning_tree, min_depth_spanning_tree_parallel,
+    min_depth_spanning_tree_parallel_recorded, min_depth_spanning_tree_recorded, ChildOrder,
 };
 pub use tree::{RootedTree, NO_PARENT};

@@ -35,7 +35,12 @@ impl DistanceMetrics {
             .filter(|&(_, &e)| e == radius)
             .map(|(v, _)| v)
             .collect();
-        DistanceMetrics { ecc, radius, diameter, center }
+        DistanceMetrics {
+            ecc,
+            radius,
+            diameter,
+            center,
+        }
     }
 }
 
@@ -90,10 +95,7 @@ pub fn all_pairs_distances(g: &Graph) -> Result<Vec<Vec<u32>>, GraphError> {
     if g.n() == 0 {
         return Err(GraphError::EmptyGraph);
     }
-    Ok((0..g.n())
-        .into_par_iter()
-        .map(|v| bfs(g, v).dist)
-        .collect())
+    Ok((0..g.n()).into_par_iter().map(|v| bfs(g, v).dist).collect())
 }
 
 /// One BFS sweep from every source, returned whole.
@@ -187,10 +189,10 @@ mod tests {
     fn all_pairs_symmetric() {
         let g = cycle(6);
         let d = all_pairs_distances(&g).unwrap();
-        for u in 0..6 {
-            assert_eq!(d[u][u], 0);
-            for v in 0..6 {
-                assert_eq!(d[u][v], d[v][u]);
+        for (u, row) in d.iter().enumerate() {
+            assert_eq!(row[u], 0);
+            for (v, &duv) in row.iter().enumerate() {
+                assert_eq!(duv, d[v][u]);
             }
         }
     }

@@ -25,7 +25,13 @@ pub fn render_tree(tree: &RootedTree) -> String {
 
 fn describe(tree: &RootedTree, v: usize) -> String {
     let (i, j) = tree.subtree_range(v);
-    format!("{v}  [i={}, range {}..={}, k={}]", tree.label(v), i, j, tree.level(v))
+    format!(
+        "{v}  [i={}, range {}..={}, k={}]",
+        tree.label(v),
+        i,
+        j,
+        tree.level(v)
+    )
 }
 
 fn render_children(tree: &RootedTree, v: usize, prefix: String, out: &mut String) {
@@ -70,8 +76,21 @@ mod tests {
     fn every_vertex_appears_once() {
         let mut p = vec![0u32; 16];
         for (v, par) in [
-            (1, 0), (2, 1), (3, 1), (4, 0), (5, 4), (6, 5), (7, 5), (8, 4),
-            (9, 8), (10, 8), (11, 0), (12, 11), (13, 12), (14, 12), (15, 11),
+            (1, 0),
+            (2, 1),
+            (3, 1),
+            (4, 0),
+            (5, 4),
+            (6, 5),
+            (7, 5),
+            (8, 4),
+            (9, 8),
+            (10, 8),
+            (11, 0),
+            (12, 11),
+            (13, 12),
+            (14, 12),
+            (15, 11),
         ] {
             p[v] = par;
         }

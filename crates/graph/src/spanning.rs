@@ -16,7 +16,9 @@ use crate::bfs::{bfs, bfs_into};
 use crate::error::GraphError;
 use crate::graph::Graph;
 use crate::tree::{RootedTree, NO_PARENT};
+use gossip_telemetry::{NoopRecorder, Recorder, RecorderExt};
 use rayon::prelude::*;
+use std::time::Instant;
 
 /// How child order is fixed when a BFS parent forest is turned into a
 /// [`RootedTree`].
@@ -54,14 +56,32 @@ pub fn bfs_tree(g: &Graph, root: usize, order: ChildOrder) -> Result<RootedTree,
 ///
 /// The returned tree's height equals the radius of `g`.
 pub fn min_depth_spanning_tree(g: &Graph, order: ChildOrder) -> Result<RootedTree, GraphError> {
+    min_depth_spanning_tree_recorded(g, order, &NoopRecorder)
+}
+
+/// [`min_depth_spanning_tree`] with telemetry: one `spanning_tree` span,
+/// a `spanning/bfs_sweep_ns` histogram sample per BFS sweep, sweep /
+/// early-exit counters, and a `spanning/radius` gauge.
+pub fn min_depth_spanning_tree_recorded(
+    g: &Graph,
+    order: ChildOrder,
+    recorder: &dyn Recorder,
+) -> Result<RootedTree, GraphError> {
     if g.n() == 0 {
         return Err(GraphError::EmptyGraph);
     }
+    let _span = recorder.span("spanning_tree");
     let radius_floor = lower_radius_bound(g);
     let mut scratch = bfs(g, 0);
     let mut best: Option<(u32, usize, Vec<u32>)> = None;
+    let mut sweeps = 0u64;
     for v in 0..g.n() {
+        let t0 = recorder.enabled().then(Instant::now);
         bfs_into(g, v, &mut scratch);
+        if let Some(t0) = t0 {
+            recorder.observe("spanning/bfs_sweep_ns", t0.elapsed().as_nanos() as f64);
+        }
+        sweeps += 1;
         let ecc = scratch.eccentricity().ok_or(GraphError::Disconnected)?;
         let better = match &best {
             None => true,
@@ -71,11 +91,31 @@ pub fn min_depth_spanning_tree(g: &Graph, order: ChildOrder) -> Result<RootedTre
             best = Some((ecc, v, scratch.parent.clone()));
             if ecc == radius_floor {
                 // Cannot do better than a known lower bound; stop early.
+                recorder.counter("spanning/early_exit", 1);
                 break;
             }
         }
     }
-    let (_, root, parent) = best.expect("n > 0");
+    let (radius, root, parent) = best.expect("n > 0");
+    if recorder.enabled() {
+        recorder.counter("spanning/sweeps", sweeps);
+        recorder.gauge("spanning/radius", f64::from(radius));
+        recorder.event(
+            "spanning_tree",
+            &[
+                (
+                    "mode",
+                    gossip_telemetry::Value::String("sequential".to_string()),
+                ),
+                ("sweeps", gossip_telemetry::Value::from_u64(sweeps)),
+                (
+                    "radius",
+                    gossip_telemetry::Value::from_u64(u64::from(radius)),
+                ),
+                ("root", gossip_telemetry::Value::from_u64(root as u64)),
+            ],
+        );
+    }
     parents_to_tree(root, &parent, order)
 }
 
@@ -87,13 +127,29 @@ pub fn min_depth_spanning_tree_parallel(
     g: &Graph,
     order: ChildOrder,
 ) -> Result<RootedTree, GraphError> {
+    min_depth_spanning_tree_parallel_recorded(g, order, &NoopRecorder)
+}
+
+/// [`min_depth_spanning_tree_parallel`] with telemetry. Per-sweep timings
+/// land in the same `spanning/bfs_sweep_ns` histogram as the sequential
+/// sweep (recorded from worker threads; the span covers the whole sweep).
+pub fn min_depth_spanning_tree_parallel_recorded(
+    g: &Graph,
+    order: ChildOrder,
+    recorder: &dyn Recorder,
+) -> Result<RootedTree, GraphError> {
     if g.n() == 0 {
         return Err(GraphError::EmptyGraph);
     }
+    let _span = recorder.span("spanning_tree_parallel");
     let best = (0..g.n())
         .into_par_iter()
         .map(|v| {
+            let t0 = recorder.enabled().then(Instant::now);
             let r = bfs(g, v);
+            if let Some(t0) = t0 {
+                recorder.observe("spanning/bfs_sweep_ns", t0.elapsed().as_nanos() as f64);
+            }
             r.eccentricity()
                 .map(|ecc| (ecc, v, r.parent))
                 .ok_or(GraphError::Disconnected)
@@ -104,6 +160,25 @@ pub fn min_depth_spanning_tree_parallel(
             Ok(if (b.0, b.1) < (a.0, a.1) { b } else { a })
         })
         .expect("n > 0")?;
+    if recorder.enabled() {
+        recorder.counter("spanning/sweeps", g.n() as u64);
+        recorder.gauge("spanning/radius", f64::from(best.0));
+        recorder.event(
+            "spanning_tree",
+            &[
+                (
+                    "mode",
+                    gossip_telemetry::Value::String("parallel".to_string()),
+                ),
+                ("sweeps", gossip_telemetry::Value::from_u64(g.n() as u64)),
+                (
+                    "radius",
+                    gossip_telemetry::Value::from_u64(u64::from(best.0)),
+                ),
+                ("root", gossip_telemetry::Value::from_u64(best.1 as u64)),
+            ],
+        );
+    }
     parents_to_tree(best.1, &best.2, order)
 }
 

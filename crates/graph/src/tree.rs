@@ -84,7 +84,10 @@ impl RootedTree {
                 });
             }
             if p as usize >= n {
-                return Err(GraphError::VertexOutOfRange { vertex: p as usize, n });
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: p as usize,
+                    n,
+                });
             }
             children[p as usize].push(v as u32);
         }
@@ -106,7 +109,10 @@ impl RootedTree {
         let n = parent.len();
         if children.len() != n {
             return Err(GraphError::NotATree {
-                reason: format!("children table has {} rows for {n} vertices", children.len()),
+                reason: format!(
+                    "children table has {} rows for {n} vertices",
+                    children.len()
+                ),
             });
         }
         // The explicit children table must be consistent with the parents.
@@ -119,7 +125,10 @@ impl RootedTree {
                 }
                 if parent[c_us] != p as u32 {
                     return Err(GraphError::NotATree {
-                        reason: format!("child table lists {c_us} under {p}, parent array says {}", parent[c_us]),
+                        reason: format!(
+                            "child table lists {c_us} under {p}, parent array says {}",
+                            parent[c_us]
+                        ),
                     });
                 }
                 if seen[c_us] {
@@ -130,8 +139,8 @@ impl RootedTree {
                 seen[c_us] = true;
             }
         }
-        for v in 0..n {
-            if v != root && !seen[v] {
+        for (v, &was_seen) in seen.iter().enumerate().take(n) {
+            if v != root && !was_seen {
                 return Err(GraphError::NotATree {
                     reason: format!("vertex {v} missing from the child table"),
                 });
@@ -423,12 +432,9 @@ mod tests {
     fn custom_child_order_changes_labels() {
         // Star rooted at 0 with children visited 2, 1.
         let parent = vec![NO_PARENT, 0, 0];
-        let t = RootedTree::from_parents_with_child_order(
-            0,
-            &parent,
-            vec![vec![2, 1], vec![], vec![]],
-        )
-        .unwrap();
+        let t =
+            RootedTree::from_parents_with_child_order(0, &parent, vec![vec![2, 1], vec![], vec![]])
+                .unwrap();
         assert_eq!(t.label(2), 1);
         assert_eq!(t.label(1), 2);
     }

@@ -35,8 +35,11 @@ fn arb_connected(max_n: usize) -> impl Strategy<Value = Graph> {
             .flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
             .collect();
         let len = pairs.len();
-        (parents, proptest::collection::vec(proptest::bool::weighted(0.2), len)).prop_map(
-            move |(ps, mask)| {
+        (
+            parents,
+            proptest::collection::vec(proptest::bool::weighted(0.2), len),
+        )
+            .prop_map(move |(ps, mask)| {
                 let mut b = GraphBuilder::new(n);
                 let mut present = std::collections::HashSet::new();
                 for (i, p) in ps.into_iter().enumerate() {
@@ -49,8 +52,7 @@ fn arb_connected(max_n: usize) -> impl Strategy<Value = Graph> {
                     }
                 }
                 b.build()
-            },
-        )
+            })
     })
 }
 
@@ -59,8 +61,8 @@ fn all_pairs_oracle(g: &Graph) -> Vec<Vec<u32>> {
     let n = g.n();
     let inf = u32::MAX / 4;
     let mut d = vec![vec![inf; n]; n];
-    for v in 0..n {
-        d[v][v] = 0;
+    for (v, row) in d.iter_mut().enumerate() {
+        row[v] = 0;
     }
     for (u, v) in g.edges() {
         d[u][v] = 1;
@@ -82,10 +84,10 @@ proptest! {
     #[test]
     fn bfs_matches_floyd_warshall(g in arb_graph(9)) {
         let oracle = all_pairs_oracle(&g);
-        for s in 0..g.n() {
+        for (s, row) in oracle.iter().enumerate() {
             let r = bfs(&g, s);
-            for v in 0..g.n() {
-                let expected = if oracle[s][v] >= u32::MAX / 4 { UNREACHABLE } else { oracle[s][v] };
+            for (v, &dist) in row.iter().enumerate() {
+                let expected = if dist >= u32::MAX / 4 { UNREACHABLE } else { dist };
                 prop_assert_eq!(r.dist[v], expected, "dist({}, {})", s, v);
             }
         }

@@ -72,7 +72,10 @@ pub fn analyze_schedule(
 ) -> Result<ScheduleAnalysis, ModelError> {
     let n = g.n();
     if schedule.n != n {
-        return Err(ModelError::SizeMismatch { graph_n: n, schedule_n: schedule.n });
+        return Err(ModelError::SizeMismatch {
+            graph_n: n,
+            schedule_n: schedule.n,
+        });
     }
     if origin_of_message.len() != n {
         return Err(ModelError::BadOriginTable {
@@ -116,7 +119,9 @@ pub fn analyze_schedule(
         }
     }
     analysis.link_loads = link_uses.into_iter().map(|((u, v), c)| (u, v, c)).collect();
-    analysis.link_loads.sort_by_key(|&(u, v, c)| (std::cmp::Reverse(c), u, v));
+    analysis
+        .link_loads
+        .sort_by_key(|&(u, v, c)| (std::cmp::Reverse(c), u, v));
     Ok(analysis)
 }
 
@@ -128,42 +133,21 @@ pub fn analyze_schedule(
 /// algorithms with equal makespans and shows *where* each algorithm's time
 /// goes (e.g. algorithm Simple's flat segment while everything funnels
 /// through the root).
+///
+/// The curve is the coverage component of the simulator's per-round probes
+/// ([`crate::Simulator::run_probed`]), so the schedule is also validated
+/// against the multicast model rules; rule violations surface as errors.
 pub fn knowledge_curve(
     g: &Graph,
     schedule: &Schedule,
     origin_of_message: &[usize],
 ) -> Result<Vec<f64>, ModelError> {
-    let n = g.n();
-    if schedule.n != n {
-        return Err(ModelError::SizeMismatch { graph_n: n, schedule_n: schedule.n });
-    }
-    let n_msgs = origin_of_message.len();
-    let total = (n * n_msgs) as f64;
-    let mut hold: Vec<BitSet> = vec![BitSet::new(n_msgs); n];
-    let mut known = 0usize;
-    for (m, &p) in origin_of_message.iter().enumerate() {
-        if p >= n {
-            return Err(ModelError::BadOriginTable {
-                reason: format!("message {m} at out-of-range processor {p}"),
-            });
-        }
-        if hold[p].insert(m) {
-            known += 1;
-        }
-    }
-    let makespan = schedule.makespan();
-    let mut curve = Vec::with_capacity(makespan + 1);
-    curve.push(known as f64 / total);
-    for round in &schedule.rounds[..makespan] {
-        for tx in &round.transmissions {
-            for &d in &tx.to {
-                if d < n && hold[d].insert(tx.msg as usize) {
-                    known += 1;
-                }
-            }
-        }
-        curve.push(known as f64 / total);
-    }
+    let mut sim =
+        crate::Simulator::with_origins(g, crate::CommModel::Multicast, origin_of_message)?;
+    let mut curve = Vec::with_capacity(schedule.makespan() + 1);
+    curve.push(sim.coverage());
+    let (_, probes) = sim.run_probed(schedule)?;
+    curve.extend(probes.iter().map(|p| p.coverage));
     Ok(curve)
 }
 

@@ -56,7 +56,11 @@ impl BitSet {
     /// Panics if `value >= capacity`.
     #[inline]
     pub fn insert(&mut self, value: usize) -> bool {
-        assert!(value < self.capacity, "bitset value {value} >= capacity {}", self.capacity);
+        assert!(
+            value < self.capacity,
+            "bitset value {value} >= capacity {}",
+            self.capacity
+        );
         let (b, m) = (value / 64, 1u64 << (value % 64));
         let newly = self.blocks[b] & m == 0;
         self.blocks[b] |= m;

@@ -48,11 +48,7 @@ impl<'g> ScheduleBuilder<'g> {
     /// Starts a builder over `g` with the given origin table
     /// (`origins[m]` = processor where message `m` starts; arbitrary
     /// multiplicity allowed).
-    pub fn new(
-        g: &'g Graph,
-        model: CommModel,
-        origins: &[usize],
-    ) -> Result<Self, ModelError> {
+    pub fn new(g: &'g Graph, model: CommModel, origins: &[usize]) -> Result<Self, ModelError> {
         let mut earliest = HashMap::new();
         for (m, &p) in origins.iter().enumerate() {
             if p >= g.n() {
@@ -88,28 +84,52 @@ impl<'g> ScheduleBuilder<'g> {
     ) -> Result<(), ModelError> {
         let n = self.g.n();
         if from >= n {
-            return Err(ModelError::ProcessorOutOfRange { round: t, proc: from, n });
+            return Err(ModelError::ProcessorOutOfRange {
+                round: t,
+                proc: from,
+                n,
+            });
         }
         if to.is_empty() {
-            return Err(ModelError::EmptyDestination { round: t, sender: from });
+            return Err(ModelError::EmptyDestination {
+                round: t,
+                sender: from,
+            });
         }
         if let Some(&m) = self.send_busy.get(&(from, t)) {
             if m != msg {
-                return Err(ModelError::DuplicateSender { round: t, sender: from });
+                return Err(ModelError::DuplicateSender {
+                    round: t,
+                    sender: from,
+                });
             }
         }
         match self.earliest.get(&(from, msg)) {
             Some(&h) if h <= t => {}
-            _ => return Err(ModelError::MessageNotHeld { round: t, sender: from, msg }),
+            _ => {
+                return Err(ModelError::MessageNotHeld {
+                    round: t,
+                    sender: from,
+                    msg,
+                })
+            }
         }
         let tx = Transmission::new(msg, from, to.to_vec());
         self.model
             .check_destinations(self.g, &tx)
-            .map_err(|reason| ModelError::ModelViolation { round: t, sender: from, reason })?;
+            .map_err(|reason| ModelError::ModelViolation {
+                round: t,
+                sender: from,
+                reason,
+            })?;
         let mut prev = None;
         for &d in &tx.to {
             if d >= n {
-                return Err(ModelError::ProcessorOutOfRange { round: t, proc: d, n });
+                return Err(ModelError::ProcessorOutOfRange {
+                    round: t,
+                    proc: d,
+                    n,
+                });
             }
             if prev == Some(d) {
                 return Err(ModelError::DuplicateDestination {
@@ -120,10 +140,17 @@ impl<'g> ScheduleBuilder<'g> {
             }
             prev = Some(d);
             if !self.g.has_edge(from, d) {
-                return Err(ModelError::NotAdjacent { round: t, sender: from, receiver: d });
+                return Err(ModelError::NotAdjacent {
+                    round: t,
+                    sender: from,
+                    receiver: d,
+                });
             }
             if self.recv_busy.contains_key(&(d, t + 1)) {
-                return Err(ModelError::DuplicateReceiver { round: t, receiver: d });
+                return Err(ModelError::DuplicateReceiver {
+                    round: t,
+                    receiver: d,
+                });
             }
         }
         // Commit.
@@ -242,7 +269,10 @@ mod tests {
     fn rejects_non_edges_and_bad_ids() {
         let g = path3();
         let mut b = ScheduleBuilder::new(&g, CommModel::Multicast, &[0, 1, 2]).unwrap();
-        assert!(matches!(b.send(0, 0, 0, &[2]), Err(ModelError::NotAdjacent { .. })));
+        assert!(matches!(
+            b.send(0, 0, 0, &[2]),
+            Err(ModelError::NotAdjacent { .. })
+        ));
         assert!(matches!(
             b.send(0, 0, 5, &[1]),
             Err(ModelError::ProcessorOutOfRange { .. })

@@ -43,7 +43,10 @@ pub fn compact_schedule(
 ) -> Result<CompactionReport, ModelError> {
     let n = g.n();
     if schedule.n != n {
-        return Err(ModelError::SizeMismatch { graph_n: n, schedule_n: schedule.n });
+        return Err(ModelError::SizeMismatch {
+            graph_n: n,
+            schedule_n: schedule.n,
+        });
     }
     let n_msgs = origins.len();
     let mut s = schedule.clone();
@@ -60,7 +63,8 @@ pub fn compact_schedule(
             let round = &mut s.rounds[t];
             for tx in &mut round.transmissions {
                 let before = tx.to.len();
-                tx.to.retain(|&d| earliest[d][tx.msg as usize] == Some(t + 1));
+                tx.to
+                    .retain(|&d| earliest[d][tx.msg as usize] == Some(t + 1));
                 // A destination whose hold time precedes this delivery was
                 // getting a duplicate; one whose hold time IS t+1 keeps the
                 // earliest delivery (ties: this one may be the duplicate of
@@ -93,8 +97,7 @@ pub fn compact_schedule(
             for tx in round {
                 let movable = !send_busy[tx.from][t - 1]
                     && tx.to.iter().all(|&d| !recv_busy[d][t])
-                    && earliest[tx.from][tx.msg as usize]
-                        .is_some_and(|h| h <= t - 1);
+                    && earliest[tx.from][tx.msg as usize].is_some_and(|h| h < t);
                 if movable {
                     send_busy[tx.from][t - 1] = true;
                     send_busy[tx.from][t] = false;
@@ -170,7 +173,8 @@ pub fn verify_compaction(
     report: &CompactionReport,
     origins: &[usize],
 ) -> Result<bool, ModelError> {
-    let mut sim = crate::simulator::Simulator::with_origins(g, crate::models::CommModel::Multicast, origins)?;
+    let mut sim =
+        crate::simulator::Simulator::with_origins(g, crate::models::CommModel::Multicast, origins)?;
     Ok(sim.run(&report.schedule)?.complete)
 }
 
@@ -279,6 +283,9 @@ mod tests {
         let r = compact_schedule(&g, &s, &[0, 1, 2, 3]).unwrap();
         let after = simulate_gossip(&g, &r.schedule, &[0, 1, 2, 3]).unwrap();
         assert!(after.complete);
-        assert!(r.makespan_after < r.makespan_before, "sequential schedule must compact");
+        assert!(
+            r.makespan_after < r.makespan_before,
+            "sequential schedule must compact"
+        );
     }
 }

@@ -116,24 +116,51 @@ impl fmt::Display for ModelError {
             ModelError::DuplicateReceiver { round, receiver } => {
                 write!(f, "round {round}: processor {receiver} receives twice")
             }
-            ModelError::NotAdjacent { round, sender, receiver } => {
-                write!(f, "round {round}: {sender} -> {receiver} is not a network link")
+            ModelError::NotAdjacent {
+                round,
+                sender,
+                receiver,
+            } => {
+                write!(
+                    f,
+                    "round {round}: {sender} -> {receiver} is not a network link"
+                )
             }
             ModelError::MessageNotHeld { round, sender, msg } => {
-                write!(f, "round {round}: processor {sender} does not hold message {msg}")
+                write!(
+                    f,
+                    "round {round}: processor {sender} does not hold message {msg}"
+                )
             }
             ModelError::EmptyDestination { round, sender } => {
                 write!(f, "round {round}: processor {sender} multicast to nobody")
             }
-            ModelError::ModelViolation { round, sender, reason } => {
+            ModelError::ModelViolation {
+                round,
+                sender,
+                reason,
+            } => {
                 write!(f, "round {round}: processor {sender}: {reason}")
             }
-            ModelError::DuplicateDestination { round, sender, receiver } => {
-                write!(f, "round {round}: {sender} lists destination {receiver} twice")
+            ModelError::DuplicateDestination {
+                round,
+                sender,
+                receiver,
+            } => {
+                write!(
+                    f,
+                    "round {round}: {sender} lists destination {receiver} twice"
+                )
             }
             ModelError::BadOriginTable { reason } => write!(f, "bad origin table: {reason}"),
-            ModelError::SizeMismatch { graph_n, schedule_n } => {
-                write!(f, "graph has {graph_n} processors, schedule built for {schedule_n}")
+            ModelError::SizeMismatch {
+                graph_n,
+                schedule_n,
+            } => {
+                write!(
+                    f,
+                    "graph has {graph_n} processors, schedule built for {schedule_n}"
+                )
             }
         }
     }

@@ -79,11 +79,8 @@ pub fn inject_fault(schedule: &Schedule, fault: Fault, n: usize, seed: u64) -> O
             let j = rng.gen_range(0..n);
             let mut redirected = tx.clone();
             redirected.to[0] = j;
-            s.rounds[t].transmissions[i] = Transmission::new(
-                redirected.msg,
-                redirected.from,
-                redirected.to,
-            );
+            s.rounds[t].transmissions[i] =
+                Transmission::new(redirected.msg, redirected.from, redirected.to);
         }
         Fault::ShiftEarlier => {
             if t == 0 {
@@ -150,9 +147,9 @@ mod tests {
                 }
                 applied += 1;
                 match run(&g, &mutant, &o) {
-                    Err(_) => detected += 1,       // rule violation caught
-                    Ok(false) => detected += 1,    // incompleteness caught
-                    Ok(true) => {}                 // silently fine = miss
+                    Err(_) => detected += 1,    // rule violation caught
+                    Ok(false) => detected += 1, // incompleteness caught
+                    Ok(true) => {}              // silently fine = miss
                 }
             }
             assert!(applied > 0, "{fault:?} never applied");

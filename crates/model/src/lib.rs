@@ -29,7 +29,9 @@ pub mod schedule;
 pub mod simulator;
 pub mod trace;
 
-pub use analysis::{analyze_schedule, knowledge_curve, render_gantt, render_sparkline, ScheduleAnalysis};
+pub use analysis::{
+    analyze_schedule, knowledge_curve, render_gantt, render_sparkline, ScheduleAnalysis,
+};
 pub use bitset::BitSet;
 pub use builder::ScheduleBuilder;
 pub use compact::{compact_schedule, verify_compaction, CompactionReport};
@@ -38,7 +40,7 @@ pub use faults::{inject_fault, Fault};
 pub use models::CommModel;
 pub use round::{CommRound, Transmission};
 pub use schedule::{Schedule, ScheduleStats};
-pub use simulator::{simulate_gossip, validate_gossip_schedule, SimOutcome, Simulator};
+pub use simulator::{simulate_gossip, validate_gossip_schedule, RoundProbe, SimOutcome, Simulator};
 pub use trace::{full_trace, vertex_trace, VertexTrace};
 
 /// The identity origin table: message `m` originates at processor `m`.

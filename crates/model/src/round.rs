@@ -29,7 +29,11 @@ impl Transmission {
 
     /// A unicast — the only shape allowed under the telephone model.
     pub fn unicast(msg: u32, from: usize, to: usize) -> Self {
-        Transmission { msg, from, to: vec![to] }
+        Transmission {
+            msg,
+            from,
+            to: vec![to],
+        }
     }
 }
 
@@ -69,7 +73,11 @@ impl CommRound {
 
     /// The largest destination set in the round (0 if empty).
     pub fn max_fanout(&self) -> usize {
-        self.transmissions.iter().map(|t| t.to.len()).max().unwrap_or(0)
+        self.transmissions
+            .iter()
+            .map(|t| t.to.len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Looks up what `proc` sends this round, if anything.

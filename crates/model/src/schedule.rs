@@ -20,7 +20,10 @@ pub struct Schedule {
 impl Schedule {
     /// An empty schedule for `n` processors.
     pub fn new(n: usize) -> Self {
-        Schedule { n, rounds: Vec::new() }
+        Schedule {
+            n,
+            rounds: Vec::new(),
+        }
     }
 
     /// Appends a transmission at send time `t`, growing the round list as

@@ -20,6 +20,7 @@ use crate::models::CommModel;
 use crate::round::CommRound;
 use crate::schedule::{Schedule, ScheduleStats};
 use gossip_graph::Graph;
+use gossip_telemetry::{Recorder, RecorderExt, Value};
 
 /// Stateful executor of communication rounds over a network.
 ///
@@ -51,6 +52,10 @@ pub struct Simulator<'g> {
     send_stamp: Vec<u64>,
     recv_stamp: Vec<u64>,
     round_stamp: u64,
+    // Number of (processor, message) pairs currently known, maintained
+    // incrementally so coverage probes are O(1).
+    known_pairs: usize,
+    n_msgs: usize,
 }
 
 impl<'g> Simulator<'g> {
@@ -96,13 +101,16 @@ impl<'g> Simulator<'g> {
         let n = g.n();
         let n_msgs = origins.len();
         let mut hold = vec![BitSet::new(n_msgs); n];
+        let mut known_pairs = 0;
         for (m, &p) in origins.iter().enumerate() {
             if p >= n {
                 return Err(ModelError::BadOriginTable {
                     reason: format!("message {m} originates at out-of-range processor {p}"),
                 });
             }
-            hold[p].insert(m);
+            if hold[p].insert(m) {
+                known_pairs += 1;
+            }
         }
         Ok(Simulator {
             g,
@@ -112,6 +120,8 @@ impl<'g> Simulator<'g> {
             send_stamp: vec![0; n],
             recv_stamp: vec![0; n],
             round_stamp: 0,
+            known_pairs,
+            n_msgs,
         })
     }
 
@@ -135,6 +145,22 @@ impl<'g> Simulator<'g> {
         self.hold.iter().all(|h| h.contains(m))
     }
 
+    /// Number of (processor, message) pairs currently known.
+    pub fn known_pairs(&self) -> usize {
+        self.known_pairs
+    }
+
+    /// Fraction of all (processor, message) pairs currently known, in
+    /// `[0, 1]`; 1.0 means gossip is complete.
+    pub fn coverage(&self) -> f64 {
+        let total = self.g.n() * self.n_msgs;
+        if total == 0 {
+            1.0
+        } else {
+            self.known_pairs as f64 / total as f64
+        }
+    }
+
     /// Executes one round: validates every transmission against the current
     /// hold sets and model rules, then applies all receives.
     ///
@@ -148,17 +174,31 @@ impl<'g> Simulator<'g> {
 
         for tx in &round.transmissions {
             if tx.from >= n {
-                return Err(ModelError::ProcessorOutOfRange { round: t, proc: tx.from, n });
+                return Err(ModelError::ProcessorOutOfRange {
+                    round: t,
+                    proc: tx.from,
+                    n,
+                });
             }
             let n_msgs = self.hold[0].capacity();
             if tx.msg as usize >= n_msgs {
-                return Err(ModelError::MessageOutOfRange { round: t, msg: tx.msg, n: n_msgs });
+                return Err(ModelError::MessageOutOfRange {
+                    round: t,
+                    msg: tx.msg,
+                    n: n_msgs,
+                });
             }
             if tx.to.is_empty() {
-                return Err(ModelError::EmptyDestination { round: t, sender: tx.from });
+                return Err(ModelError::EmptyDestination {
+                    round: t,
+                    sender: tx.from,
+                });
             }
             if self.send_stamp[tx.from] == stamp {
-                return Err(ModelError::DuplicateSender { round: t, sender: tx.from });
+                return Err(ModelError::DuplicateSender {
+                    round: t,
+                    sender: tx.from,
+                });
             }
             self.send_stamp[tx.from] = stamp;
             if !self.hold[tx.from].contains(tx.msg as usize) {
@@ -178,7 +218,11 @@ impl<'g> Simulator<'g> {
             let mut prev: Option<usize> = None;
             for &d in &tx.to {
                 if d >= n {
-                    return Err(ModelError::ProcessorOutOfRange { round: t, proc: d, n });
+                    return Err(ModelError::ProcessorOutOfRange {
+                        round: t,
+                        proc: d,
+                        n,
+                    });
                 }
                 if prev == Some(d) {
                     return Err(ModelError::DuplicateDestination {
@@ -196,7 +240,10 @@ impl<'g> Simulator<'g> {
                     });
                 }
                 if self.recv_stamp[d] == stamp {
-                    return Err(ModelError::DuplicateReceiver { round: t, receiver: d });
+                    return Err(ModelError::DuplicateReceiver {
+                        round: t,
+                        receiver: d,
+                    });
                 }
                 self.recv_stamp[d] = stamp;
             }
@@ -205,11 +252,34 @@ impl<'g> Simulator<'g> {
         // All checks passed; apply receives (they land at time t + 1).
         for tx in &round.transmissions {
             for &d in &tx.to {
-                self.hold[d].insert(tx.msg as usize);
+                if self.hold[d].insert(tx.msg as usize) {
+                    self.known_pairs += 1;
+                }
             }
         }
         self.time += 1;
         Ok(())
+    }
+
+    /// [`Simulator::step`] plus a per-round probe. The traffic figures come
+    /// straight from the round (validation guarantees each destination is a
+    /// distinct receiver), so probing adds no extra pass over state.
+    pub fn step_probed(&mut self, round: &CommRound) -> Result<RoundProbe, ModelError> {
+        self.step(round)?;
+        let mut deliveries = 0;
+        let mut max_fanout = 0;
+        for tx in &round.transmissions {
+            deliveries += tx.to.len();
+            max_fanout = max_fanout.max(tx.to.len());
+        }
+        Ok(RoundProbe {
+            round: self.time - 1,
+            sent: round.transmissions.len(),
+            deliveries,
+            max_fanout,
+            idle_receivers: self.g.n() - deliveries,
+            coverage: self.coverage(),
+        })
     }
 
     /// Runs a whole schedule, recording when gossip first completes.
@@ -220,7 +290,11 @@ impl<'g> Simulator<'g> {
                 schedule_n: schedule.n,
             });
         }
-        let mut completion_time = if self.gossip_complete() { Some(self.time) } else { None };
+        let mut completion_time = if self.gossip_complete() {
+            Some(self.time)
+        } else {
+            None
+        };
         let makespan = schedule.makespan();
         for round in &schedule.rounds[..makespan] {
             self.step(round)?;
@@ -235,6 +309,103 @@ impl<'g> Simulator<'g> {
             stats: schedule.stats(),
         })
     }
+
+    /// Runs a whole schedule collecting one [`RoundProbe`] per round (the
+    /// hold-set coverage curve, traffic, and idle-receiver profile).
+    pub fn run_probed(
+        &mut self,
+        schedule: &Schedule,
+    ) -> Result<(SimOutcome, Vec<RoundProbe>), ModelError> {
+        if schedule.n != self.g.n() {
+            return Err(ModelError::SizeMismatch {
+                graph_n: self.g.n(),
+                schedule_n: schedule.n,
+            });
+        }
+        let mut completion_time = if self.gossip_complete() {
+            Some(self.time)
+        } else {
+            None
+        };
+        let makespan = schedule.makespan();
+        let mut probes = Vec::with_capacity(makespan);
+        for round in &schedule.rounds[..makespan] {
+            probes.push(self.step_probed(round)?);
+            if completion_time.is_none() && self.gossip_complete() {
+                completion_time = Some(self.time);
+            }
+        }
+        Ok((
+            SimOutcome {
+                complete: self.gossip_complete(),
+                rounds_executed: makespan,
+                completion_time,
+                stats: schedule.stats(),
+            },
+            probes,
+        ))
+    }
+
+    /// Runs a whole schedule, streaming per-round probes into `recorder`:
+    /// a `round` event per round, `sim/*` counters and histograms, and
+    /// final `sim/completion_time` / `sim/coverage` gauges, all under one
+    /// `simulate` span. With a disabled recorder this is exactly
+    /// [`Simulator::run`].
+    pub fn run_recorded(
+        &mut self,
+        schedule: &Schedule,
+        recorder: &dyn Recorder,
+    ) -> Result<SimOutcome, ModelError> {
+        if !recorder.enabled() {
+            return self.run(schedule);
+        }
+        let _span = recorder.span("simulate");
+        let (outcome, probes) = self.run_probed(schedule)?;
+        for probe in &probes {
+            recorder.counter("sim/sent", probe.sent as u64);
+            recorder.counter("sim/deliveries", probe.deliveries as u64);
+            recorder.observe("sim/fanout_max", probe.max_fanout as f64);
+            recorder.observe("sim/idle_receivers", probe.idle_receivers as f64);
+            recorder.event(
+                "round",
+                &[
+                    ("round", Value::from_u64(probe.round as u64)),
+                    ("sent", Value::from_u64(probe.sent as u64)),
+                    ("deliveries", Value::from_u64(probe.deliveries as u64)),
+                    ("max_fanout", Value::from_u64(probe.max_fanout as u64)),
+                    (
+                        "idle_receivers",
+                        Value::from_u64(probe.idle_receivers as u64),
+                    ),
+                    ("coverage", Value::from_f64(probe.coverage)),
+                ],
+            );
+        }
+        recorder.gauge("sim/rounds", outcome.rounds_executed as f64);
+        recorder.gauge("sim/coverage", self.coverage());
+        if let Some(t) = outcome.completion_time {
+            recorder.gauge("sim/completion_time", t as f64);
+        }
+        Ok(outcome)
+    }
+}
+
+/// Per-round observation emitted by [`Simulator::step_probed`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundProbe {
+    /// The time at which the round executed.
+    pub round: usize,
+    /// Transmissions sent this round.
+    pub sent: usize,
+    /// Total deliveries (= distinct receivers; the model enforces one
+    /// receive per processor per round).
+    pub deliveries: usize,
+    /// Largest multicast fan-out among this round's transmissions.
+    pub max_fanout: usize,
+    /// Processors that received nothing this round.
+    pub idle_receivers: usize,
+    /// Fraction of (processor, message) pairs known after the round.
+    pub coverage: f64,
 }
 
 /// What a full schedule run established.
@@ -292,10 +463,14 @@ mod tests {
         // t=1 (sent at t=0) can be forwarded in round 1.
         let g = path3();
         let mut sim = Simulator::new(&g, CommModel::Multicast, &identity_origins(3)).unwrap();
-        sim.step(&CommRound::from_transmissions(vec![Transmission::unicast(0, 0, 1)]))
-            .unwrap();
-        sim.step(&CommRound::from_transmissions(vec![Transmission::unicast(0, 1, 2)]))
-            .unwrap();
+        sim.step(&CommRound::from_transmissions(vec![Transmission::unicast(
+            0, 0, 1,
+        )]))
+        .unwrap();
+        sim.step(&CommRound::from_transmissions(vec![Transmission::unicast(
+            0, 1, 2,
+        )]))
+        .unwrap();
         assert!(sim.holds(2).contains(0));
     }
 
@@ -304,9 +479,18 @@ mod tests {
         let g = path3();
         let mut sim = Simulator::new(&g, CommModel::Multicast, &identity_origins(3)).unwrap();
         let err = sim
-            .step(&CommRound::from_transmissions(vec![Transmission::unicast(2, 0, 1)]))
+            .step(&CommRound::from_transmissions(vec![Transmission::unicast(
+                2, 0, 1,
+            )]))
             .unwrap_err();
-        assert_eq!(err, ModelError::MessageNotHeld { round: 0, sender: 0, msg: 2 });
+        assert_eq!(
+            err,
+            ModelError::MessageNotHeld {
+                round: 0,
+                sender: 0,
+                msg: 2
+            }
+        );
     }
 
     #[test]
@@ -319,7 +503,10 @@ mod tests {
         ]);
         assert_eq!(
             sim.step(&round).unwrap_err(),
-            ModelError::DuplicateReceiver { round: 0, receiver: 2 }
+            ModelError::DuplicateReceiver {
+                round: 0,
+                receiver: 2
+            }
         );
         // Validation precedes mutation: nothing was delivered.
         assert!(!sim.holds(2).contains(0));
@@ -336,7 +523,10 @@ mod tests {
         ]);
         assert_eq!(
             sim.step(&round).unwrap_err(),
-            ModelError::DuplicateSender { round: 0, sender: 1 }
+            ModelError::DuplicateSender {
+                round: 0,
+                sender: 1
+            }
         );
     }
 
@@ -347,7 +537,11 @@ mod tests {
         let round = CommRound::from_transmissions(vec![Transmission::unicast(0, 0, 2)]);
         assert_eq!(
             sim.step(&round).unwrap_err(),
-            ModelError::NotAdjacent { round: 0, sender: 0, receiver: 2 }
+            ModelError::NotAdjacent {
+                round: 0,
+                sender: 0,
+                receiver: 2
+            }
         );
     }
 
@@ -355,8 +549,7 @@ mod tests {
     fn telephone_rejects_multicast() {
         let g = Graph::from_edges(3, &[(0, 1), (0, 2)]).unwrap();
         let mut sim = Simulator::new(&g, CommModel::Telephone, &identity_origins(3)).unwrap();
-        let round =
-            CommRound::from_transmissions(vec![Transmission::new(0, 0, vec![1, 2])]);
+        let round = CommRound::from_transmissions(vec![Transmission::new(0, 0, vec![1, 2])]);
         assert!(matches!(
             sim.step(&round).unwrap_err(),
             ModelError::ModelViolation { .. }
@@ -418,7 +611,10 @@ mod tests {
         let round = CommRound::from_transmissions(vec![Transmission::new(0, 0, vec![])]);
         assert_eq!(
             sim.step(&round).unwrap_err(),
-            ModelError::EmptyDestination { round: 0, sender: 0 }
+            ModelError::EmptyDestination {
+                round: 0,
+                sender: 0
+            }
         );
     }
 
@@ -429,7 +625,11 @@ mod tests {
         let round = CommRound::from_transmissions(vec![Transmission::new(0, 0, vec![1, 1])]);
         assert_eq!(
             sim.step(&round).unwrap_err(),
-            ModelError::DuplicateDestination { round: 0, sender: 0, receiver: 1 }
+            ModelError::DuplicateDestination {
+                round: 0,
+                sender: 0,
+                receiver: 1
+            }
         );
     }
 

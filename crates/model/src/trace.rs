@@ -109,7 +109,9 @@ pub fn vertex_trace(schedule: &Schedule, tree: &RootedTree, vertex: usize) -> Ve
 
 /// Traces for every vertex of the tree.
 pub fn full_trace(schedule: &Schedule, tree: &RootedTree) -> Vec<VertexTrace> {
-    (0..tree.n()).map(|v| vertex_trace(schedule, tree, v)).collect()
+    (0..tree.n())
+        .map(|v| vertex_trace(schedule, tree, v))
+        .collect()
 }
 
 #[cfg(test)]

@@ -18,8 +18,11 @@ fn arb_connected(max_n: usize) -> impl Strategy<Value = Graph> {
             .flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
             .collect();
         let len = pairs.len();
-        (parents, proptest::collection::vec(proptest::bool::weighted(0.25), len)).prop_map(
-            move |(ps, mask)| {
+        (
+            parents,
+            proptest::collection::vec(proptest::bool::weighted(0.25), len),
+        )
+            .prop_map(move |(ps, mask)| {
                 let mut b = GraphBuilder::new(n);
                 let mut present = HashSet::new();
                 for (i, p) in ps.into_iter().enumerate() {
@@ -32,8 +35,7 @@ fn arb_connected(max_n: usize) -> impl Strategy<Value = Graph> {
                     }
                 }
                 b.build()
-            },
-        )
+            })
     })
 }
 
@@ -72,8 +74,7 @@ fn random_valid_schedule(g: &Graph, seed: u64) -> Schedule {
                         }
                     }
                     None => {
-                        let mut msgs: Vec<u32> =
-                            hold[s_].difference(&hold[r]).copied().collect();
+                        let mut msgs: Vec<u32> = hold[s_].difference(&hold[r]).copied().collect();
                         msgs.sort_unstable();
                         if let Some(&m) = msgs.first() {
                             sending[s_] = Some(m);
@@ -147,9 +148,9 @@ proptest! {
                     oracle[d].insert(tx.msg);
                 }
             }
-            for p in 0..n {
-                prop_assert_eq!(sim.holds(p).len(), oracle[p].len(), "p = {} t = {}", p, t);
-                for &m in &oracle[p] {
+            for (p, holds) in oracle.iter().enumerate().take(n) {
+                prop_assert_eq!(sim.holds(p).len(), holds.len(), "p = {} t = {}", p, t);
+                for &m in holds {
                     prop_assert!(sim.holds(p).contains(m as usize));
                 }
             }

@@ -1,0 +1,563 @@
+//! # gossip-telemetry
+//!
+//! Zero-dependency observability for the gossip workspace: counters,
+//! gauges, histograms with percentile summaries, RAII nested spans, a
+//! JSONL event sink, and a JSON snapshot of everything recorded.
+//!
+//! The [`Recorder`] trait is object-safe so instrumented code takes
+//! `&dyn Recorder`; [`NoopRecorder`] short-circuits every call via
+//! [`Recorder::enabled`], keeping the instrumented hot paths at
+//! effectively zero cost when telemetry is off.
+//!
+//! ```
+//! use gossip_telemetry::{MetricsRecorder, Recorder, RecorderExt};
+//!
+//! let recorder = MetricsRecorder::new();
+//! {
+//!     let _plan = recorder.span("plan");
+//!     let _bfs = recorder.span("bfs"); // nested: recorded as "plan/bfs"
+//!     recorder.counter("edges_relaxed", 42);
+//!     recorder.gauge("radius", 3.0);
+//!     recorder.observe("fanout", 2.0);
+//! }
+//! let snap = recorder.snapshot();
+//! assert_eq!(snap["counters"]["edges_relaxed"].as_u64(), Some(42));
+//! assert_eq!(snap["histograms"]["fanout"]["count"].as_u64(), Some(1));
+//! assert!(snap["spans"]["plan/bfs"]["count"].as_u64() == Some(1));
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::sync::Mutex;
+use std::time::Instant;
+
+pub use serde_json::Value;
+
+/// Sink for metrics and events. Implementations must be thread-safe;
+/// instrumented code holds `&dyn Recorder`.
+pub trait Recorder: Send + Sync {
+    /// Whether this recorder keeps anything. Instrumentation may (and the
+    /// span machinery does) skip all work when this is `false`.
+    fn enabled(&self) -> bool;
+
+    /// Adds `delta` to the named monotonic counter.
+    fn counter(&self, name: &str, delta: u64);
+
+    /// Sets the named gauge to `value` (last write wins).
+    fn gauge(&self, name: &str, value: f64);
+
+    /// Records `value` into the named histogram.
+    fn observe(&self, name: &str, value: f64);
+
+    /// Emits a structured event to the JSONL sink (if any).
+    fn event(&self, name: &str, fields: &[(&str, Value)]);
+
+    /// Records one completed span occurrence at `path` taking `nanos`.
+    /// Called by [`SpanGuard`]; not usually called directly.
+    fn span_observe(&self, path: &str, nanos: u64);
+}
+
+thread_local! {
+    // Names of the spans currently open on this thread, outermost first.
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Ergonomic helpers available on every recorder (including `dyn Recorder`).
+pub trait RecorderExt {
+    /// Opens a named span; the returned guard records its duration under
+    /// the `/`-joined path of all open spans on this thread when dropped.
+    fn span(&self, name: &str) -> SpanGuard<'_>;
+}
+
+impl<R: Recorder + AsDynRecorder + ?Sized> RecorderExt for R {
+    fn span(&self, name: &str) -> SpanGuard<'_> {
+        SpanGuard::enter(self.as_dyn(), name)
+    }
+}
+
+/// Object-safety shim so `RecorderExt` can hand `SpanGuard` a `&dyn`.
+pub trait AsDynRecorder {
+    /// `self` as a trait object.
+    fn as_dyn(&self) -> &dyn Recorder;
+}
+
+impl<R: Recorder + Sized> AsDynRecorder for R {
+    fn as_dyn(&self) -> &dyn Recorder {
+        self
+    }
+}
+
+impl AsDynRecorder for dyn Recorder + '_ {
+    fn as_dyn(&self) -> &dyn Recorder {
+        self
+    }
+}
+
+/// RAII guard for one span occurrence. On drop, records elapsed time into
+/// the recorder under the nested `/`-joined path and pops the thread's
+/// span stack.
+pub struct SpanGuard<'a> {
+    recorder: &'a dyn Recorder,
+    /// Full nested path; `None` when the recorder is disabled (inert guard).
+    path: Option<String>,
+    start: Instant,
+}
+
+impl<'a> SpanGuard<'a> {
+    fn enter(recorder: &'a dyn Recorder, name: &str) -> SpanGuard<'a> {
+        if !recorder.enabled() {
+            return SpanGuard {
+                recorder,
+                path: None,
+                start: Instant::now(),
+            };
+        }
+        let path = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            stack.push(name.to_string());
+            stack.join("/")
+        });
+        SpanGuard {
+            recorder,
+            path: Some(path),
+            start: Instant::now(),
+        }
+    }
+
+    /// The full `/`-joined path, or `None` on an inert guard.
+    pub fn path(&self) -> Option<&str> {
+        self.path.as_deref()
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(path) = self.path.take() {
+            let nanos = self.start.elapsed().as_nanos() as u64;
+            self.recorder.span_observe(&path, nanos);
+            SPAN_STACK.with(|stack| {
+                stack.borrow_mut().pop();
+            });
+        }
+    }
+}
+
+/// A recorder that drops everything. `enabled()` is `false`, so span
+/// guards allocate nothing and instrumented code can skip probe
+/// computation entirely.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+    fn counter(&self, _name: &str, _delta: u64) {}
+    fn gauge(&self, _name: &str, _value: f64) {}
+    fn observe(&self, _name: &str, _value: f64) {}
+    fn event(&self, _name: &str, _fields: &[(&str, Value)]) {}
+    fn span_observe(&self, _path: &str, _nanos: u64) {}
+}
+
+/// Raw-value histogram summarized to count/min/max/mean/p50/p90/p99.
+#[derive(Debug, Default, Clone)]
+struct Histogram {
+    values: Vec<f64>,
+}
+
+impl Histogram {
+    fn record(&mut self, value: f64) {
+        self.values.push(value);
+    }
+
+    /// Nearest-rank percentile of the recorded values (`p` in 0..=100).
+    fn percentile(sorted: &[f64], p: f64) -> f64 {
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+
+    fn summary(&self, scale: f64) -> Value {
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let count = sorted.len();
+        let sum: f64 = sorted.iter().sum();
+        let mean = if count == 0 { 0.0 } else { sum / count as f64 };
+        Value::Object(vec![
+            ("count".to_string(), Value::from_u64(count as u64)),
+            (
+                "min".to_string(),
+                Value::from_f64(sorted.first().copied().unwrap_or(0.0) * scale),
+            ),
+            (
+                "max".to_string(),
+                Value::from_f64(sorted.last().copied().unwrap_or(0.0) * scale),
+            ),
+            ("mean".to_string(), Value::from_f64(mean * scale)),
+            (
+                "p50".to_string(),
+                Value::from_f64(Self::percentile(&sorted, 50.0) * scale),
+            ),
+            (
+                "p90".to_string(),
+                Value::from_f64(Self::percentile(&sorted, 90.0) * scale),
+            ),
+            (
+                "p99".to_string(),
+                Value::from_f64(Self::percentile(&sorted, 99.0) * scale),
+            ),
+            ("total".to_string(), Value::from_f64(sum * scale)),
+        ])
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+    /// Span durations in nanoseconds, keyed by nested path.
+    spans: BTreeMap<String, Histogram>,
+    events_emitted: u64,
+}
+
+/// The real recorder: aggregates metrics in memory (behind one mutex) and
+/// optionally streams events to a JSONL sink as they happen.
+pub struct MetricsRecorder {
+    start: Instant,
+    registry: Mutex<Registry>,
+    sink: Mutex<Option<Box<dyn Write + Send>>>,
+}
+
+impl Default for MetricsRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRecorder {
+    /// A recorder with no event sink (metrics + snapshot only).
+    pub fn new() -> MetricsRecorder {
+        MetricsRecorder {
+            start: Instant::now(),
+            registry: Mutex::new(Registry::default()),
+            sink: Mutex::new(None),
+        }
+    }
+
+    /// A recorder streaming events to `sink`, one JSON object per line.
+    pub fn with_sink(sink: Box<dyn Write + Send>) -> MetricsRecorder {
+        MetricsRecorder {
+            start: Instant::now(),
+            registry: Mutex::new(Registry::default()),
+            sink: Mutex::new(Some(sink)),
+        }
+    }
+
+    fn registry(&self) -> std::sync::MutexGuard<'_, Registry> {
+        self.registry.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Milliseconds since the recorder was created.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.registry().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge, if set.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.registry().gauges.get(name).copied()
+    }
+
+    /// Number of events emitted so far.
+    pub fn events_emitted(&self) -> u64 {
+        self.registry().events_emitted
+    }
+
+    /// Flushes the JSONL sink, if any.
+    pub fn flush(&self) {
+        if let Some(sink) = self.sink.lock().unwrap_or_else(|e| e.into_inner()).as_mut() {
+            let _ = sink.flush();
+        }
+    }
+
+    /// Everything recorded so far as one JSON document:
+    /// `{counters, gauges, histograms, spans, events_emitted}`.
+    /// Span summaries are reported in milliseconds.
+    pub fn snapshot(&self) -> Value {
+        let reg = self.registry();
+        let counters = Value::Object(
+            reg.counters
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::from_u64(*v)))
+                .collect(),
+        );
+        let gauges = Value::Object(
+            reg.gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::from_f64(*v)))
+                .collect(),
+        );
+        let histograms = Value::Object(
+            reg.histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.summary(1.0)))
+                .collect(),
+        );
+        // Span durations are stored in ns; report ms for readability.
+        let spans = Value::Object(
+            reg.spans
+                .iter()
+                .map(|(k, h)| (k.clone(), h.summary(1e-6)))
+                .collect(),
+        );
+        Value::Object(vec![
+            ("counters".to_string(), counters),
+            ("gauges".to_string(), gauges),
+            ("histograms".to_string(), histograms),
+            ("spans".to_string(), spans),
+            (
+                "events_emitted".to_string(),
+                Value::from_u64(reg.events_emitted),
+            ),
+        ])
+    }
+}
+
+impl Recorder for MetricsRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn counter(&self, name: &str, delta: u64) {
+        let mut reg = self.registry();
+        *reg.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    fn gauge(&self, name: &str, value: f64) {
+        self.registry().gauges.insert(name.to_string(), value);
+    }
+
+    fn observe(&self, name: &str, value: f64) {
+        self.registry()
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    fn event(&self, name: &str, fields: &[(&str, Value)]) {
+        {
+            self.registry().events_emitted += 1;
+        }
+        let mut sink = self.sink.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(sink) = sink.as_mut() {
+            let mut members = vec![
+                ("t_ms".to_string(), Value::from_f64(self.elapsed_ms())),
+                ("event".to_string(), Value::String(name.to_string())),
+            ];
+            members.extend(fields.iter().map(|(k, v)| (k.to_string(), v.clone())));
+            let line = serde_json::to_string(&Value::Object(members))
+                .unwrap_or_else(|_| String::from("{}"));
+            let _ = writeln!(sink, "{line}");
+        }
+    }
+
+    fn span_observe(&self, path: &str, nanos: u64) {
+        {
+            let mut reg = self.registry();
+            reg.spans
+                .entry(path.to_string())
+                .or_default()
+                .record(nanos as f64);
+        }
+        self.event(
+            "span",
+            &[
+                ("path", Value::String(path.to_string())),
+                ("elapsed_ns", Value::from_u64(nanos)),
+            ],
+        );
+    }
+}
+
+/// A clonable in-memory JSONL buffer usable as a sink in tests:
+/// `MetricsRecorder::with_sink(Box::new(buffer.clone()))`.
+#[derive(Debug, Default, Clone)]
+pub struct SharedBuffer {
+    inner: std::sync::Arc<Mutex<Vec<u8>>>,
+}
+
+impl SharedBuffer {
+    /// An empty buffer.
+    pub fn new() -> SharedBuffer {
+        SharedBuffer::default()
+    }
+
+    /// The buffered bytes as UTF-8.
+    pub fn contents(&self) -> String {
+        String::from_utf8_lossy(&self.inner.lock().unwrap_or_else(|e| e.into_inner())).to_string()
+    }
+
+    /// The buffered JSONL lines, parsed.
+    pub fn lines(&self) -> Vec<Value> {
+        self.contents()
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(|l| serde_json::from_str(l).expect("sink line is valid JSON"))
+            .collect()
+    }
+}
+
+impl Write for SharedBuffer {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let r = MetricsRecorder::new();
+        r.counter("msgs", 3);
+        r.counter("msgs", 4);
+        r.gauge("radius", 2.0);
+        r.gauge("radius", 5.0);
+        assert_eq!(r.counter_value("msgs"), 7);
+        assert_eq!(r.gauge_value("radius"), Some(5.0));
+        let snap = r.snapshot();
+        assert_eq!(snap["counters"]["msgs"].as_u64(), Some(7));
+        assert_eq!(snap["gauges"]["radius"].as_f64(), Some(5.0));
+    }
+
+    #[test]
+    fn histogram_percentiles_nearest_rank() {
+        let r = MetricsRecorder::new();
+        for v in 1..=100 {
+            r.observe("lat", v as f64);
+        }
+        let snap = r.snapshot();
+        let h = &snap["histograms"]["lat"];
+        assert_eq!(h["count"].as_u64(), Some(100));
+        assert_eq!(h["min"].as_f64(), Some(1.0));
+        assert_eq!(h["max"].as_f64(), Some(100.0));
+        assert_eq!(h["p50"].as_f64(), Some(50.0));
+        assert_eq!(h["p90"].as_f64(), Some(90.0));
+        assert_eq!(h["p99"].as_f64(), Some(99.0));
+        assert_eq!(h["mean"].as_f64(), Some(50.5));
+    }
+
+    #[test]
+    fn percentile_of_single_value() {
+        let r = MetricsRecorder::new();
+        r.observe("one", 7.5);
+        let h = &r.snapshot()["histograms"]["one"];
+        for p in ["p50", "p90", "p99", "min", "max", "mean"] {
+            assert_eq!(h[p].as_f64(), Some(7.5), "{p}");
+        }
+    }
+
+    #[test]
+    fn spans_nest_into_slash_paths() {
+        let r = MetricsRecorder::new();
+        {
+            let outer = r.span("plan");
+            assert_eq!(outer.path(), Some("plan"));
+            {
+                let inner = r.span("bfs");
+                assert_eq!(inner.path(), Some("plan/bfs"));
+            }
+            let sibling = r.span("generate");
+            assert_eq!(sibling.path(), Some("plan/generate"));
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap["spans"]["plan"]["count"].as_u64(), Some(1));
+        assert_eq!(snap["spans"]["plan/bfs"]["count"].as_u64(), Some(1));
+        assert_eq!(snap["spans"]["plan/generate"]["count"].as_u64(), Some(1));
+        // An outer span strictly contains its children in wall time.
+        let outer_ms = snap["spans"]["plan"]["total"].as_f64().unwrap();
+        let inner_ms = snap["spans"]["plan/bfs"]["total"].as_f64().unwrap();
+        assert!(outer_ms >= inner_ms);
+    }
+
+    #[test]
+    fn jsonl_sink_receives_events_and_spans() {
+        let buffer = SharedBuffer::new();
+        let r = MetricsRecorder::with_sink(Box::new(buffer.clone()));
+        r.event(
+            "round",
+            &[("round", Value::from_u64(1)), ("sent", Value::from_u64(4))],
+        );
+        {
+            let _s = r.span("work");
+        }
+        r.flush();
+        let lines = buffer.lines();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0]["event"].as_str(), Some("round"));
+        assert_eq!(lines[0]["sent"].as_u64(), Some(4));
+        assert_eq!(lines[1]["event"].as_str(), Some("span"));
+        assert_eq!(lines[1]["path"].as_str(), Some("work"));
+        assert!(lines[1]["elapsed_ns"].as_u64().is_some());
+        assert_eq!(r.events_emitted(), 2);
+    }
+
+    #[test]
+    fn noop_recorder_produces_nothing_and_inert_spans() {
+        let r = NoopRecorder;
+        assert!(!r.enabled());
+        r.counter("x", 1);
+        r.gauge("y", 2.0);
+        r.observe("z", 3.0);
+        r.event("e", &[]);
+        {
+            let guard = r.span("quiet");
+            assert_eq!(guard.path(), None);
+        }
+        // The span stack must stay empty so later enabled recorders see
+        // clean nesting.
+        let real = MetricsRecorder::new();
+        let g = real.span("top");
+        assert_eq!(g.path(), Some("top"));
+    }
+
+    #[test]
+    fn recorder_is_shareable_across_threads() {
+        let r = std::sync::Arc::new(MetricsRecorder::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let r = std::sync::Arc::clone(&r);
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        r.counter("hits", 1);
+                    }
+                    r.observe("per_thread", 1.0);
+                });
+            }
+        });
+        assert_eq!(r.counter_value("hits"), 4000);
+        assert_eq!(
+            r.snapshot()["histograms"]["per_thread"]["count"].as_u64(),
+            Some(4)
+        );
+    }
+}

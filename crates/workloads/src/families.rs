@@ -134,8 +134,10 @@ pub fn torus(rows: usize, cols: usize) -> Graph {
     for r in 0..rows {
         for c in 0..cols {
             let v = r * cols + c;
-            b.add_edge_unchecked(v, r * cols + (c + 1) % cols).expect("valid");
-            b.add_edge_unchecked(v, ((r + 1) % rows) * cols + c).expect("valid");
+            b.add_edge_unchecked(v, r * cols + (c + 1) % cols)
+                .expect("valid");
+            b.add_edge_unchecked(v, ((r + 1) % rows) * cols + c)
+                .expect("valid");
         }
     }
     b.build()
@@ -179,7 +181,8 @@ pub fn caterpillar(spine: usize, legs: usize) -> Graph {
             b.add_edge_unchecked(s, s + 1).expect("valid");
         }
         for l in 0..legs {
-            b.add_edge_unchecked(s, spine + s * legs + l).expect("valid");
+            b.add_edge_unchecked(s, spine + s * legs + l)
+                .expect("valid");
         }
     }
     b.build()

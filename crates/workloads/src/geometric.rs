@@ -25,7 +25,9 @@ pub fn unit_disk(n: usize, radius: f64, seed: u64) -> (Graph, Vec<(f64, f64)>) {
     assert!(n > 0, "need at least one sensor");
     assert!(radius > 0.0 && radius.is_finite(), "bad radius {radius}");
     let mut rng = SmallRng::seed_from_u64(seed);
-    let points: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let points: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
     let r2 = radius * radius;
     let mut b = GraphBuilder::new(n);
     for i in 0..n {

@@ -22,6 +22,6 @@ pub use geometric::{schedule_energy, unit_disk, unit_disk_connected};
 pub use named::{
     complete_bipartite, fig4_graph, fig5_tree, lollipop, n1_ring, odd_line, petersen, wheel,
 };
-pub use small_graphs::{connected_graphs, connected_graphs_canonical};
 pub use random::{random_connected, random_connected_with_edges, random_regular, random_tree};
+pub use small_graphs::{connected_graphs, connected_graphs_canonical};
 pub use sweep::Family;

@@ -120,7 +120,9 @@ pub fn wheel(n: usize) -> Graph {
     let rim = n - 1;
     let mut builder = GraphBuilder::with_capacity(n, 2 * rim);
     for i in 0..rim {
-        builder.add_edge_unchecked(1 + i, 1 + (i + 1) % rim).expect("valid");
+        builder
+            .add_edge_unchecked(1 + i, 1 + (i + 1) % rim)
+            .expect("valid");
         builder.add_edge_unchecked(0, 1 + i).expect("valid");
     }
     builder.build()
@@ -152,9 +154,7 @@ pub fn lollipop(k: usize, p: usize) -> Graph {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gossip_graph::{
-        bfs_tree, is_hamiltonian, min_depth_spanning_tree, radius, ChildOrder,
-    };
+    use gossip_graph::{bfs_tree, is_hamiltonian, min_depth_spanning_tree, radius, ChildOrder};
 
     #[test]
     fn petersen_basics() {

@@ -120,7 +120,7 @@ pub fn random_connected_with_edges(n: usize, m: usize, seed: u64) -> Graph {
 /// Panics if `n * d` is odd, `d >= n`, or no valid graph is found within
 /// the retry budget (vanishingly unlikely for `d >= 3` and moderate `n`).
 pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
-    assert!(n * d % 2 == 0, "n*d must be even");
+    assert!((n * d).is_multiple_of(2), "n*d must be even");
     assert!(d < n, "degree must be below n");
     assert!(d >= 1, "degree must be positive");
     let mut rng = SmallRng::seed_from_u64(seed);

@@ -50,8 +50,7 @@ fn main() {
     let t1 = Instant::now();
     let mut total_rounds = 0usize;
     for _ in 0..epochs {
-        let outcome =
-            simulate_gossip(&g, &plan.schedule, &plan.origin_of_message).expect("valid");
+        let outcome = simulate_gossip(&g, &plan.schedule, &plan.origin_of_message).expect("valid");
         assert!(outcome.complete);
         total_rounds += outcome.rounds_executed;
     }
@@ -65,8 +64,7 @@ fn main() {
     );
     println!(
         "tree construction amortizes to {:.1}% of one epoch after {epochs} epochs",
-        100.0 * build_time.as_secs_f64() / (run_time.as_secs_f64() / epochs as f64)
-            / epochs as f64
+        100.0 * build_time.as_secs_f64() / (run_time.as_secs_f64() / epochs as f64) / epochs as f64
     );
 
     // For contrast: what the same cluster pays without the concurrent
@@ -77,6 +75,10 @@ fn main() {
             .algorithm(alg)
             .plan()
             .expect("plan");
-        println!("baseline {:>18}: {} rounds per gossip", alg.name(), p.makespan());
+        println!(
+            "baseline {:>18}: {} rounds per gossip",
+            alg.name(),
+            p.makespan()
+        );
     }
 }

@@ -31,7 +31,10 @@ fn main() {
 
     let mut offline = concurrent_updown(&tree);
     offline.normalize();
-    assert_eq!(distributed, offline, "distributed run diverged from the offline schedule");
+    assert_eq!(
+        distributed, offline,
+        "distributed run diverged from the offline schedule"
+    );
     println!(
         "distributed transcript == offline schedule: {} rounds, {} transmissions",
         distributed.makespan(),
@@ -51,5 +54,8 @@ fn main() {
 
     // Show one processor's view, in the paper's table format.
     println!("\nprocessor 4's local view (paper Table 3):");
-    println!("{}", gossip_model::vertex_trace(&distributed, &tree, 4).render());
+    println!(
+        "{}",
+        gossip_model::vertex_trace(&distributed, &tree, 4).render()
+    );
 }

@@ -39,12 +39,14 @@ fn main() {
     let chord = m
         .graph()
         .edges()
-        .find(|&(u, v)| {
-            m.plan().tree.parent(u) != Some(v) && m.plan().tree.parent(v) != Some(u)
-        })
+        .find(|&(u, v)| m.plan().tree.parent(u) != Some(v) && m.plan().tree.parent(v) != Some(u))
         .expect("torus has chords");
 
-    let events: Vec<(&str, Box<dyn Fn(&mut TreeMaintainer) -> MaintenanceOutcome>)> = vec![
+    type Event = (
+        &'static str,
+        Box<dyn Fn(&mut TreeMaintainer) -> MaintenanceOutcome>,
+    );
+    let events: Vec<Event> = vec![
         (
             "non-tree link fails",
             Box::new(move |m| m.remove_edge(chord.0, chord.1).unwrap()),

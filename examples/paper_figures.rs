@@ -21,7 +21,10 @@ fn main() {
     let schedule = concurrent_updown(&tree);
     let outcome = simulate_gossip(&g, &schedule, &tree_origins(&tree)).expect("valid");
     assert!(outcome.complete);
-    println!("Fig 4/5 network: n = 16, radius 3; schedule length = {} (n + r = 19)\n", schedule.makespan());
+    println!(
+        "Fig 4/5 network: n = 16, radius 3; schedule length = {} (n + r = 19)\n",
+        schedule.makespan()
+    );
 
     for (table, vertex) in [(1, 0usize), (2, 1), (3, 4), (4, 8)] {
         println!("Table {table}: schedule for the vertex with message {vertex}");
@@ -34,7 +37,10 @@ fn main() {
     let rs = gossip_core::ring_gossip_schedule(&ring).expect("rings are Hamiltonian");
     let ro = simulate_gossip(&ring, &rs, &identity_origins(n)).expect("valid");
     assert!(ro.complete);
-    println!("Fig 1 (N1): ring of {n} gossips in {} rounds = n - 1 (optimal)", rs.makespan());
+    println!(
+        "Fig 1 (N1): ring of {n} gossips in {} rounds = n - 1 (optimal)",
+        rs.makespan()
+    );
 
     // --- Fig 2: the Petersen graph -------------------------------------
     let p = petersen();
@@ -50,8 +56,8 @@ fn main() {
     );
 
     // --- Fig 3 substitute: K_{2,3} --------------------------------------
-    let k23 = Graph::from_edges(5, &[(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4)])
-        .expect("valid");
+    let k23 =
+        Graph::from_edges(5, &[(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4)]).expect("valid");
     assert!(!is_hamiltonian(&k23));
     let mc = gossip_core::optimal_gossip_time(&k23, CommModel::Multicast, 10, 50_000_000);
     let tp = gossip_core::optimal_gossip_time(&k23, CommModel::Telephone, 10, 50_000_000);

@@ -13,10 +13,19 @@ use multigossip::prelude::*;
 fn main() {
     // An irregular 12-processor network: two rings bridged by a hub.
     let edges = [
-        (0, 1), (1, 2), (2, 3), (3, 0),          // ring A
-        (4, 5), (5, 6), (6, 7), (7, 4),          // ring B
-        (8, 0), (8, 4),                          // hub to both rings
-        (8, 9), (9, 10), (10, 11),               // a dangling chain
+        (0, 1),
+        (1, 2),
+        (2, 3),
+        (3, 0), // ring A
+        (4, 5),
+        (5, 6),
+        (6, 7),
+        (7, 4), // ring B
+        (8, 0),
+        (8, 4), // hub to both rings
+        (8, 9),
+        (9, 10),
+        (10, 11), // a dangling chain
     ];
     let g = Graph::from_edges(12, &edges).expect("valid edge list");
 
@@ -27,7 +36,12 @@ fn main() {
         .plan()
         .expect("plan");
 
-    println!("network:   n = {}, m = {}, radius r = {}", g.n(), g.m(), plan.radius);
+    println!(
+        "network:   n = {}, m = {}, radius r = {}",
+        g.n(),
+        g.m(),
+        plan.radius
+    );
     println!("tree root: processor {}", plan.tree.root());
     println!("guarantee: n + r = {}", plan.guarantee());
     println!("makespan:  {} rounds", plan.makespan());

@@ -20,7 +20,10 @@ use multigossip::prelude::*;
 use multigossip::workloads::random_connected;
 
 fn main() {
-    println!("{:>5} {:>7} {:>9} {:>14} {:>12} {:>7}", "n", "radius", "multicast", "telephone", "lower bound", "ratio");
+    println!(
+        "{:>5} {:>7} {:>9} {:>14} {:>12} {:>7}",
+        "n", "radius", "multicast", "telephone", "lower bound", "ratio"
+    );
     for &n in &[16, 32, 64] {
         for seed in 0..3u64 {
             // A sensor field: random connected graph, sparse like a radio

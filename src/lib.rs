@@ -50,21 +50,20 @@ pub use gossip_workloads as workloads;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use gossip_core::{
-        annotated_concurrent_updown, broadcast_model_gossip, broadcast_schedule,
-        concurrent_updown, gather_schedule, gossip_lower_bound, line_gossip_schedule,
-        multi_broadcast_schedule, ring_gossip_schedule, simple_gossip, telephone_tree_gossip,
-        updown_gossip, weighted_gossip, GossipPlan, GossipPlanner, TreeMaintainer,
+        annotated_concurrent_updown, broadcast_model_gossip, broadcast_schedule, concurrent_updown,
+        gather_schedule, gossip_lower_bound, line_gossip_schedule, multi_broadcast_schedule,
+        ring_gossip_schedule, simple_gossip, telephone_tree_gossip, updown_gossip, weighted_gossip,
+        GossipPlan, GossipPlanner, TreeMaintainer,
     };
     pub use gossip_graph::{
         bfs, distance_metrics, is_connected, min_depth_spanning_tree, ChildOrder, Graph,
         GraphBuilder, RootedTree,
     };
     pub use gossip_model::{
-        analyze_schedule, compact_schedule, knowledge_curve, simulate_gossip, CommModel,
-        CommRound, Schedule, ScheduleBuilder, ScheduleStats, Simulator,
+        analyze_schedule, compact_schedule, knowledge_curve, simulate_gossip, CommModel, CommRound,
+        Schedule, ScheduleBuilder, ScheduleStats, Simulator,
     };
     pub use gossip_workloads::{
-        binary_tree, complete, grid, hypercube, path, petersen, random_connected, ring, star,
-        torus,
+        binary_tree, complete, grid, hypercube, path, petersen, random_connected, ring, star, torus,
     };
 }

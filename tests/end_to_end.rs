@@ -11,15 +11,13 @@ fn concurrent_updown_on_every_family() {
     for &family in Family::all() {
         for target in [4, 9, 25, 40] {
             let g = family.instance(target, 7);
-            let plan = GossipPlanner::new(&g).expect("connected").plan().expect("plan");
+            let plan = GossipPlanner::new(&g)
+                .expect("connected")
+                .plan()
+                .expect("plan");
             let n = g.n();
             let r = plan.radius as usize;
-            assert_eq!(
-                plan.makespan(),
-                n + r,
-                "{} (n = {n})",
-                family.name()
-            );
+            assert_eq!(plan.makespan(), n + r, "{} (n = {n})", family.name());
             let o = simulate_gossip(&g, &plan.schedule, &plan.origin_of_message)
                 .unwrap_or_else(|e| panic!("{} (n = {n}): {e}", family.name()));
             assert!(o.complete, "{} (n = {n})", family.name());
@@ -97,7 +95,10 @@ fn lower_bound_never_exceeds_achieved() {
         for target in [5, 13, 29] {
             let g = family.instance(target, 23);
             let lb = gossip_lower_bound(&g);
-            let plan = GossipPlanner::new(&g).expect("connected").plan().expect("plan");
+            let plan = GossipPlanner::new(&g)
+                .expect("connected")
+                .plan()
+                .expect("plan");
             assert!(
                 lb <= plan.makespan(),
                 "{}: lower bound {lb} exceeds makespan {}",
@@ -128,6 +129,10 @@ fn paper_odd_line_story() {
     let lb = gossip_lower_bound(&g);
     assert_eq!(lb, 9 + 4 - 1, "paper's line lower bound");
     let plan = GossipPlanner::new(&g).unwrap().plan().unwrap();
-    assert_eq!(plan.makespan(), 9 + 4, "the algorithm is one off optimal on lines");
+    assert_eq!(
+        plan.makespan(),
+        9 + 4,
+        "the algorithm is one off optimal on lines"
+    );
     assert_eq!(plan.tree.root(), 4, "tree rooted at the line's center");
 }

@@ -2,8 +2,8 @@
 //! (weighted gossiping, online execution) through the public API.
 
 use gossip_core::{
-    optimal_gossip_time, petersen_gossip_schedule, run_online_threaded, weighted_gossip,
-    Algorithm, ExactResult,
+    optimal_gossip_time, petersen_gossip_schedule, run_online_threaded, weighted_gossip, Algorithm,
+    ExactResult,
 };
 use gossip_graph::{is_hamiltonian, NO_PARENT};
 use gossip_model::{identity_origins, validate_gossip_schedule, CommModel};
@@ -45,8 +45,7 @@ fn petersen_full_story() {
     // ...yet the structured schedule gossips in n - 1 rounds, telephone-legal.
     let s = petersen_gossip_schedule();
     assert_eq!(s.makespan(), 9);
-    let o =
-        validate_gossip_schedule(&g, &s, &identity_origins(10), CommModel::Telephone).unwrap();
+    let o = validate_gossip_schedule(&g, &s, &identity_origins(10), CommModel::Telephone).unwrap();
     assert!(o.complete);
     // The generic pipeline still delivers its n + r = 12 guarantee.
     let plan = GossipPlanner::new(&g).unwrap().plan().unwrap();
@@ -84,8 +83,7 @@ fn ring_schedules_beat_generic_on_hamiltonian_graphs() {
 #[test]
 fn weighted_gossip_end_to_end() {
     // A 5-vertex tree where vertices carry 1..=3 messages each.
-    let tree =
-        gossip_graph::RootedTree::from_parents(2, &[1, 2, NO_PARENT, 2, 3]).unwrap();
+    let tree = gossip_graph::RootedTree::from_parents(2, &[1, 2, NO_PARENT, 2, 3]).unwrap();
     let weights = [2, 1, 3, 1, 2];
     let plan = weighted_gossip(&tree, &weights).unwrap();
     assert_eq!(plan.total_weight, 9);
@@ -126,7 +124,11 @@ fn telephone_model_never_beats_multicast_model() {
             .plan()
             .unwrap()
             .makespan();
-        assert!(mc <= tp, "{}: multicast {mc} > telephone {tp}", family.name());
+        assert!(
+            mc <= tp,
+            "{}: multicast {mc} > telephone {tp}",
+            family.name()
+        );
     }
 }
 

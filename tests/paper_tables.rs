@@ -13,7 +13,11 @@ use multigossip::workloads::{fig4_graph, fig5_tree};
 fn schedule_from_graph() -> (Schedule, gossip_graph::RootedTree) {
     let g = fig4_graph();
     let tree = min_depth_spanning_tree(&g, ChildOrder::ById).expect("connected");
-    assert_eq!(tree, fig5_tree(), "min-depth spanning tree must be the Fig 5 tree");
+    assert_eq!(
+        tree,
+        fig5_tree(),
+        "min-depth spanning tree must be the Fig 5 tree"
+    );
     let s = concurrent_updown(&tree);
     let outcome = simulate_gossip(&g, &s, &tree_origins(&tree)).expect("valid schedule");
     assert!(outcome.complete);
@@ -45,7 +49,11 @@ fn table_1_root() {
     let mut send = recv.clone();
     send.push((16, 0));
     assert_row(&tr.send_to_children, &send, "table 1 send row");
-    assert_row(&tr.recv_from_parent, &[], "root receives nothing from a parent");
+    assert_row(
+        &tr.recv_from_parent,
+        &[],
+        "root receives nothing from a parent",
+    );
     assert_row(&tr.send_to_parent, &[], "root sends nothing to a parent");
 }
 
@@ -55,9 +63,21 @@ fn table_2_vertex_1() {
     let tr = trace(&s, &tree, 1);
     let mut recv_parent: Vec<(usize, u32)> = (4..=15).map(|m| (m as usize + 1, m)).collect();
     recv_parent.push((17, 0));
-    assert_row(&tr.recv_from_parent, &recv_parent, "table 2 receive-from-parent");
-    assert_row(&tr.recv_from_child, &[(1, 2), (2, 3)], "table 2 receive-from-child");
-    assert_row(&tr.send_to_parent, &[(0, 1), (1, 2), (2, 3)], "table 2 send-to-parent");
+    assert_row(
+        &tr.recv_from_parent,
+        &recv_parent,
+        "table 2 receive-from-parent",
+    );
+    assert_row(
+        &tr.recv_from_child,
+        &[(1, 2), (2, 3)],
+        "table 2 receive-from-child",
+    );
+    assert_row(
+        &tr.send_to_parent,
+        &[(0, 1), (1, 2), (2, 3)],
+        "table 2 send-to-parent",
+    );
     let mut send_child = vec![(1, 2), (2, 3), (3, 1)];
     send_child.extend((4..=15).map(|m| (m as usize + 1, m)));
     send_child.push((17, 0));
@@ -71,10 +91,18 @@ fn table_3_vertex_4() {
     let mut recv_parent = vec![(2, 1), (3, 2), (4, 3)];
     recv_parent.extend((11..=15).map(|m| (m as usize + 1, m)));
     recv_parent.push((17, 0));
-    assert_row(&tr.recv_from_parent, &recv_parent, "table 3 receive-from-parent");
+    assert_row(
+        &tr.recv_from_parent,
+        &recv_parent,
+        "table 3 receive-from-parent",
+    );
     let mut recv_child = vec![(1, 5)];
     recv_child.extend((6..=10).map(|m| (m as usize - 1, m)));
-    assert_row(&tr.recv_from_child, &recv_child, "table 3 receive-from-child");
+    assert_row(
+        &tr.recv_from_child,
+        &recv_child,
+        "table 3 receive-from-child",
+    );
     let send_parent: Vec<(usize, u32)> = (4..=10).map(|m| (m as usize - 1, m)).collect();
     assert_row(&tr.send_to_parent, &send_parent, "table 3 send-to-parent");
     let mut send_child = vec![(2, 1)];
@@ -92,14 +120,32 @@ fn table_4_vertex_8() {
     let mut recv_parent = vec![(3, 1), (4, 4), (5, 5), (6, 6), (7, 7), (11, 2), (12, 3)];
     recv_parent.extend((11..=15).map(|m| (m as usize + 2, m)));
     recv_parent.push((18, 0));
-    assert_row(&tr.recv_from_parent, &recv_parent, "table 4 receive-from-parent");
-    assert_row(&tr.recv_from_child, &[(1, 9), (8, 10)], "table 4 receive-from-child");
-    assert_row(&tr.send_to_parent, &[(6, 8), (7, 9), (8, 10)], "table 4 send-to-parent");
+    assert_row(
+        &tr.recv_from_parent,
+        &recv_parent,
+        "table 4 receive-from-parent",
+    );
+    assert_row(
+        &tr.recv_from_child,
+        &[(1, 9), (8, 10)],
+        "table 4 receive-from-child",
+    );
+    assert_row(
+        &tr.send_to_parent,
+        &[(6, 8), (7, 9), (8, 10)],
+        "table 4 send-to-parent",
+    );
     let mut send_child = vec![
-        (3, 1), (4, 4), (5, 5),       // forwarded immediately
-        (6, 8), (7, 9), (8, 10),      // own subtree (D3)
-        (9, 6), (10, 7),              // the deferred pair
-        (11, 2), (12, 3),
+        (3, 1),
+        (4, 4),
+        (5, 5), // forwarded immediately
+        (6, 8),
+        (7, 9),
+        (8, 10), // own subtree (D3)
+        (9, 6),
+        (10, 7), // the deferred pair
+        (11, 2),
+        (12, 3),
     ];
     send_child.extend((11..=15).map(|m| (m as usize + 2, m)));
     send_child.push((18, 0));
@@ -113,11 +159,19 @@ fn every_vertex_trace_is_internally_consistent() {
         let tr = trace(&s, &tree, v);
         // A vertex receives each message at most once in total.
         let mut seen = std::collections::HashSet::new();
-        for m in tr.recv_from_parent.iter().chain(&tr.recv_from_child).flatten() {
+        for m in tr
+            .recv_from_parent
+            .iter()
+            .chain(&tr.recv_from_child)
+            .flatten()
+        {
             assert!(seen.insert(*m), "vertex {v} received message {m} twice");
         }
         // And ends up having received everything but its own message.
         assert_eq!(seen.len(), 15, "vertex {v}");
-        assert!(!seen.contains(&tree.label(v)), "vertex {v} received its own message");
+        assert!(
+            !seen.contains(&tree.label(v)),
+            "vertex {v} received its own message"
+        );
     }
 }

@@ -11,18 +11,16 @@ use proptest::prelude::*;
 /// A uniformly-shaped random rooted tree: `parent[i] < i` guarantees a tree
 /// rooted at 0 (vertex ids then get permuted by the labeling anyway).
 fn arb_tree(max_n: usize) -> impl Strategy<Value = RootedTree> {
-    (2..=max_n)
-        .prop_flat_map(|n| {
-            let parents: Vec<BoxedStrategy<u32>> =
-                (1..n).map(|i| (0..i as u32).boxed()).collect();
-            parents.prop_map(move |ps| {
-                let mut parent = vec![NO_PARENT; n];
-                for (i, p) in ps.into_iter().enumerate() {
-                    parent[i + 1] = p;
-                }
-                RootedTree::from_parents(0, &parent).expect("valid tree")
-            })
+    (2..=max_n).prop_flat_map(|n| {
+        let parents: Vec<BoxedStrategy<u32>> = (1..n).map(|i| (0..i as u32).boxed()).collect();
+        parents.prop_map(move |ps| {
+            let mut parent = vec![NO_PARENT; n];
+            for (i, p) in ps.into_iter().enumerate() {
+                parent[i + 1] = p;
+            }
+            RootedTree::from_parents(0, &parent).expect("valid tree")
         })
+    })
 }
 
 proptest! {

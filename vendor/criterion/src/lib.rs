@@ -1,0 +1,296 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the benchmark-definition API this workspace's benches use
+//! (`Criterion`, `BenchmarkGroup`, `BenchmarkId`, `Throughput`, the
+//! `criterion_group!` / `criterion_main!` macros) backed by simple
+//! wall-clock sampling with a per-benchmark time budget. Running with
+//! `--test` (as `cargo test` does for bench targets) executes each
+//! routine once, so benches act as smoke tests.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 20,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            test_mode: self.test_mode,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a single routine outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Criterion {
+        let sample_size = self.sample_size;
+        let test_mode = self.test_mode;
+        run_benchmark(name, sample_size, test_mode, None, f);
+        self
+    }
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter<P: Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Units processed per iteration; reported as throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (messages, deliveries, edge relaxations, ...) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    test_mode: bool,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the work per iteration for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.id);
+        run_benchmark(
+            &label,
+            self.sample_size,
+            self.test_mode,
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Benchmarks `f` with no input.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().id);
+        run_benchmark(&label, self.sample_size, self.test_mode, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (report lines are emitted as benchmarks run).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`] with the routine.
+pub struct Bencher {
+    sample_size: usize,
+    test_mode: bool,
+    /// Mean nanoseconds per iteration, filled in by `iter`.
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing mean ns/iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibration iteration (doubles as the only iteration in test mode).
+        let t0 = Instant::now();
+        black_box(routine());
+        let single = t0.elapsed();
+        if self.test_mode {
+            self.mean_ns = single.as_nanos() as f64;
+            return;
+        }
+        // Batch iterations so each sample is long enough to time reliably,
+        // under an overall per-benchmark budget.
+        let target_sample = Duration::from_millis(2).as_nanos();
+        let per_sample = ((target_sample / single.as_nanos().max(1)).max(1) as usize).min(1_000);
+        let budget = Duration::from_millis(400);
+        let start = Instant::now();
+        let mut total_ns = 0.0;
+        let mut iters = 0usize;
+        for _ in 0..self.sample_size {
+            let s = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            total_ns += s.elapsed().as_nanos() as f64;
+            iters += per_sample;
+            if start.elapsed() > budget {
+                break;
+            }
+        }
+        self.mean_ns = total_ns / iters as f64;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    test_mode: bool,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        sample_size,
+        test_mode,
+        mean_ns: 0.0,
+    };
+    f(&mut bencher);
+    let mean = bencher.mean_ns;
+    let time = if mean >= 1e9 {
+        format!("{:.3} s", mean / 1e9)
+    } else if mean >= 1e6 {
+        format!("{:.3} ms", mean / 1e6)
+    } else if mean >= 1e3 {
+        format!("{:.3} µs", mean / 1e3)
+    } else {
+        format!("{mean:.1} ns")
+    };
+    match throughput {
+        Some(Throughput::Elements(n)) if mean > 0.0 => {
+            let rate = n as f64 / (mean / 1e9);
+            println!("{label}: {time}/iter ({rate:.0} elem/s)");
+        }
+        Some(Throughput::Bytes(n)) if mean > 0.0 => {
+            let rate = n as f64 / (mean / 1e9);
+            println!("{label}: {time}/iter ({rate:.0} B/s)");
+        }
+        _ => println!("{label}: {time}/iter"),
+    }
+}
+
+/// Bundles benchmark functions into a named runner, optionally with a
+/// configured [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_ids_run() {
+        let mut c = Criterion {
+            sample_size: 3,
+            test_mode: true,
+        };
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(2).throughput(Throughput::Elements(10));
+        let mut calls = 0usize;
+        group.bench_with_input(BenchmarkId::new("f", 4), &4usize, |b, &n| {
+            b.iter(|| {
+                calls += 1;
+                n * 2
+            })
+        });
+        group.finish();
+        assert!(calls >= 1);
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+        assert_eq!(BenchmarkId::new("f", 7).id, "f/7");
+    }
+
+    #[test]
+    fn sampling_mode_measures() {
+        let mut c = Criterion {
+            sample_size: 2,
+            test_mode: false,
+        };
+        c.bench_function("spin", |b| b.iter(|| std::hint::black_box(1 + 1)));
+    }
+}

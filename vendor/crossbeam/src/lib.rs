@@ -1,0 +1,69 @@
+//! Offline stand-in for `crossbeam`: bounded channels with crossbeam's
+//! `Sender: Clone` surface, backed by `std::sync::mpsc::sync_channel`.
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer single-consumer channels.
+pub mod channel {
+    /// Send half of a bounded channel (cloneable).
+    #[derive(Debug, Clone)]
+    pub struct Sender<T>(std::sync::mpsc::SyncSender<T>);
+
+    /// Receive half of a bounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T>(std::sync::mpsc::Receiver<T>);
+
+    /// Error returned when all receivers have been dropped.
+    pub type SendError<T> = std::sync::mpsc::SendError<T>;
+    /// Error returned when all senders have been dropped.
+    pub type RecvError = std::sync::mpsc::RecvError;
+
+    /// Creates a bounded channel with the given capacity. `send` blocks when
+    /// the buffer is full (capacity 0 = rendezvous).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = std::sync::mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+
+    impl<T> Sender<T> {
+        /// Blocking send; errors only if the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocking receive; errors only if all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn round_trip() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        let tx2 = tx.clone();
+        std::thread::scope(|s| {
+            s.spawn(move || tx.send(1).unwrap());
+            s.spawn(move || tx2.send(2).unwrap());
+            let mut got = vec![rx.recv().unwrap(), rx.recv().unwrap()];
+            got.sort_unstable();
+            assert_eq!(got, vec![1, 2]);
+        });
+    }
+
+    #[test]
+    fn disconnect_errors() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+        let (tx2, rx2) = channel::bounded::<u32>(1);
+        drop(tx2);
+        assert!(rx2.recv().is_err());
+    }
+}

@@ -1,0 +1,225 @@
+//! Offline stand-in for `rayon`: the `into_par_iter().map(..)` pipeline the
+//! workspace uses, executed on `std::thread::scope` with contiguous chunks
+//! (one per available core). Order-preserving, no work stealing.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// The `use rayon::prelude::*` surface.
+pub mod prelude {
+    pub use crate::IntoParallelIterator;
+}
+
+/// Conversion into a parallel iterator (materializes the items).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+
+    /// Starts a parallel pipeline over the elements.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for Range<u32> {
+    type Item = u32;
+    fn into_par_iter(self) -> ParIter<u32> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// A materialized parallel iterator.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps each element through `f`, to be executed in parallel by a
+    /// terminal operation ([`ParMap::collect`] / [`ParMap::try_reduce_with`]).
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A mapped parallel pipeline awaiting a terminal operation.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+/// Runs `f` over `items` on scoped threads, one contiguous chunk per core,
+/// preserving element order in the output.
+fn run_chunks<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = std::thread::available_parallelism()
+        .map_or(1, usize::from)
+        .min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    // Dismember into owned chunks first so each thread owns its slice.
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(items.len().min(chunk));
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+    let mut out: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("rayon-stub worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+impl<T, R, F> ParMap<T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    /// Executes the pipeline and collects the results in order.
+    pub fn collect<C: FromParallelResults<R>>(self) -> C {
+        C::from_ordered(run_chunks(self.items, &self.f))
+    }
+}
+
+impl<T, U, E, F> ParMap<T, F>
+where
+    T: Send,
+    U: Send,
+    E: Send,
+    F: Fn(T) -> Result<U, E> + Sync,
+{
+    /// Rayon's fallible reduction: stops at the first `Err`, otherwise folds
+    /// pairs with `op`. Returns `None` on an empty pipeline.
+    pub fn try_reduce_with<O>(self, op: O) -> Option<Result<U, E>>
+    where
+        O: Fn(U, U) -> Result<U, E>,
+    {
+        let results = run_chunks(self.items, &self.f);
+        let mut acc: Option<U> = None;
+        for r in results {
+            match r {
+                Err(e) => return Some(Err(e)),
+                Ok(v) => {
+                    acc = Some(match acc {
+                        None => v,
+                        Some(a) => match op(a, v) {
+                            Ok(next) => next,
+                            Err(e) => return Some(Err(e)),
+                        },
+                    })
+                }
+            }
+        }
+        acc.map(Ok)
+    }
+}
+
+/// Targets of [`ParMap::collect`].
+pub trait FromParallelResults<R> {
+    /// Builds the collection from order-preserved mapped results.
+    fn from_ordered(results: Vec<R>) -> Self;
+}
+
+impl<R> FromParallelResults<R> for Vec<R> {
+    fn from_ordered(results: Vec<R>) -> Self {
+        results
+    }
+}
+
+impl<U, E> FromParallelResults<Result<U, E>> for Result<Vec<U>, E> {
+    fn from_ordered(results: Vec<Result<U, E>>) -> Self {
+        results.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000usize).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn collect_result_short_circuits() {
+        let ok: Result<Vec<usize>, String> = (0..10usize)
+            .into_par_iter()
+            .map(Ok::<usize, String>)
+            .collect();
+        assert_eq!(ok.unwrap().len(), 10);
+        let err: Result<Vec<usize>, String> = (0..10usize)
+            .into_par_iter()
+            .map(|x| {
+                if x == 5 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert_eq!(err.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn try_reduce_with_folds() {
+        let max = (0..100usize)
+            .into_par_iter()
+            .map(Ok::<usize, ()>)
+            .try_reduce_with(|a, b| Ok(a.max(b)))
+            .unwrap()
+            .unwrap();
+        assert_eq!(max, 99);
+        let empty = (0..0usize)
+            .into_par_iter()
+            .map(Ok::<usize, ()>)
+            .try_reduce_with(|a, b| Ok(a.max(b)));
+        assert!(empty.is_none());
+    }
+
+    #[test]
+    fn vec_into_par_iter() {
+        let v: Vec<String> = vec!["a".into(), "b".into()];
+        let lens: Vec<usize> = v.into_par_iter().map(|s: String| s.len()).collect();
+        assert_eq!(lens, vec![1, 1]);
+    }
+}

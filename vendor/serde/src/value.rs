@@ -1,0 +1,181 @@
+//! The JSON value tree all (de)serialization in this workspace goes
+//! through, plus its error type. Rendering/parsing of JSON text lives in
+//! the `serde_json` stub.
+
+/// A JSON number: unsigned, signed, or floating.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// A non-negative integer.
+    U(u64),
+    /// A negative integer.
+    I(i64),
+    /// A float.
+    F(f64),
+}
+
+/// A JSON document tree. Objects preserve insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An ordered list of key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// A non-negative integer value.
+    pub fn from_u64(u: u64) -> Value {
+        Value::Number(Number::U(u))
+    }
+
+    /// An integer value (non-negatives normalize to the unsigned form so
+    /// equality is representation-independent).
+    pub fn from_i64(i: i64) -> Value {
+        if i >= 0 {
+            Value::Number(Number::U(i as u64))
+        } else {
+            Value::Number(Number::I(i))
+        }
+    }
+
+    /// A float value.
+    pub fn from_f64(f: f64) -> Value {
+        Value::Number(Number::F(f))
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The boolean payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if losslessly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::U(u)) => Some(*u),
+            Value::Number(Number::I(i)) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, if losslessly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::U(u)) => i64::try_from(*u).ok(),
+            Value::Number(Number::I(i)) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` (any number converts).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::U(u)) => Some(*u as f64),
+            Value::Number(Number::I(i)) => Some(*i as f64),
+            Value::Number(Number::F(f)) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The object payload, if this is an object.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Member lookup on objects (`None` for other shapes / missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    /// Object member access; `Null` when absent (serde_json semantics).
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    /// Array element access; `Null` when out of bounds.
+    fn index(&self, idx: usize) -> &Value {
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+/// Deserialization error: a message plus a reverse field path.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    message: String,
+    path: Vec<String>,
+}
+
+impl DeError {
+    /// A new error with the given message.
+    pub fn new(message: &str) -> DeError {
+        DeError {
+            message: message.to_string(),
+            path: Vec::new(),
+        }
+    }
+
+    /// Returns the error extended with an enclosing field name.
+    pub fn context(mut self, field: &str) -> DeError {
+        self.path.push(field.to_string());
+        self
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.path.is_empty() {
+            write!(f, "{}", self.message)
+        } else {
+            let mut path = self.path.clone();
+            path.reverse();
+            write!(f, "{}: {}", path.join("."), self.message)
+        }
+    }
+}
+
+impl std::error::Error for DeError {}

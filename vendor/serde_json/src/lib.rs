@@ -1,0 +1,414 @@
+//! Offline stand-in for `serde_json`: renders and parses the vendored
+//! serde's [`Value`] tree. Supports the full JSON grammar (with `\uXXXX`
+//! escapes); numbers parse to unsigned/signed/float by shape.
+
+#![forbid(unsafe_code)]
+
+pub use serde::value::{DeError as Error, Number, Value};
+use serde::{Deserialize, Serialize};
+
+/// Serializes a value into its JSON tree. (Infallible here; the `Result`
+/// mirrors the real API.)
+pub fn to_value<T: Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Converts a JSON tree into a typed value.
+pub fn from_value<T: Deserialize>(v: &Value) -> Result<T, Error> {
+    T::from_value(v)
+}
+
+/// Renders compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Renders human-indented JSON (two spaces, like the real crate).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+/// Parses JSON text into a typed value.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse(text)?;
+    T::from_value(&value)
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_number(n: &Number, out: &mut String) {
+    match n {
+        Number::U(u) => out.push_str(&u.to_string()),
+        Number::I(i) => out.push_str(&i.to_string()),
+        // Debug formatting prints the shortest round-trip form and always
+        // keeps a decimal point ("1.0", not "1").
+        Number::F(f) if f.is_finite() => out.push_str(&format!("{f:?}")),
+        Number::F(_) => out.push_str("null"),
+    }
+}
+
+fn write_value(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    let (nl, pad, pad_close, colon) = match indent {
+        Some(w) => (
+            "\n",
+            " ".repeat(w * (depth + 1)),
+            " ".repeat(w * depth),
+            ": ",
+        ),
+        None => ("", String::new(), String::new(), ":"),
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(n, out),
+        Value::String(s) => write_escaped(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                write_value(item, indent, depth + 1, out);
+            }
+            out.push_str(nl);
+            out.push_str(&pad_close);
+            out.push(']');
+        }
+        Value::Object(members) => {
+            if members.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                write_escaped(k, out);
+                out.push_str(colon);
+                write_value(item, indent, depth + 1, out);
+            }
+            out.push_str(nl);
+            out.push_str(&pad_close);
+            out.push('}');
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse(text: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(&format!("trailing input at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(b' ' | b'\t' | b'\n' | b'\r') = self.bytes.get(self.pos) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(&format!(
+                "expected {:?} at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            )))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(Error::new(&format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(Error::new(&format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::new(&format!("bad array at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            members.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(members));
+                }
+                _ => return Err(Error::new(&format!("bad object at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::new("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| Error::new("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0C}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| Error::new("bad \\u escape"))?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::new("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs: \uD800-\uDBFF followed by \uDC00-\uDFFF.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if self.bytes.get(self.pos) == Some(&b'\\')
+                                    && self.bytes.get(self.pos + 1) == Some(&b'u')
+                                {
+                                    let hex2 = self
+                                        .bytes
+                                        .get(self.pos + 2..self.pos + 6)
+                                        .and_then(|h| std::str::from_utf8(h).ok())
+                                        .ok_or_else(|| Error::new("bad surrogate"))?;
+                                    let lo = u32::from_str_radix(hex2, 16)
+                                        .map_err(|_| Error::new("bad surrogate"))?;
+                                    self.pos += 6;
+                                    let combined = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(combined)
+                                        .ok_or_else(|| Error::new("bad surrogate pair"))?
+                                } else {
+                                    return Err(Error::new("lone surrogate"));
+                                }
+                            } else {
+                                char::from_u32(cp).ok_or_else(|| Error::new("bad codepoint"))?
+                            };
+                            out.push(c);
+                        }
+                        other => {
+                            return Err(Error::new(&format!("bad escape \\{}", other as char)))
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::new("invalid utf-8"))?;
+                    let c = rest.chars().next().ok_or_else(|| Error::new("empty"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut float = false;
+        if self.peek() == Some(b'.') {
+            float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("bad number"))?;
+        if float {
+            text.parse::<f64>()
+                .map(Value::from_f64)
+                .map_err(|_| Error::new("bad number"))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::from_i64)
+                .map_err(|_| Error::new("bad number"))
+        } else {
+            text.parse::<u64>()
+                .map(Value::from_u64)
+                .map_err(|_| Error::new("bad number"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_document() {
+        let text = r#"{"a": 1, "b": [true, null, -2, 3.5], "c": {"nested": "hi\nthere"}}"#;
+        let v: Value = from_str(text).unwrap();
+        assert_eq!(v["a"].as_u64(), Some(1));
+        assert_eq!(v["b"][3].as_f64(), Some(3.5));
+        assert_eq!(v["c"]["nested"].as_str(), Some("hi\nthere"));
+        let rendered = to_string(&v).unwrap();
+        let back: Value = from_str(&rendered).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn pretty_renders_and_parses() {
+        let v = Value::Object(vec![
+            ("x".to_string(), Value::from_u64(7)),
+            ("y".to_string(), Value::Array(vec![Value::from_f64(1.0)])),
+        ]);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"x\": 7"));
+        assert!(pretty.contains("1.0"));
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let v: Value = from_str(r#""é😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("é😀"));
+    }
+
+    #[test]
+    fn typed_round_trip() {
+        let orig: Vec<Option<u32>> = vec![Some(3), None, Some(7)];
+        let text = to_string(&orig).unwrap();
+        assert_eq!(text, "[3,null,7]");
+        let back: Vec<Option<u32>> = from_str(&text).unwrap();
+        assert_eq!(orig, back);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(from_str::<Value>("{oops}").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<u32>("\"no\"").is_err());
+    }
+}
