@@ -1,0 +1,309 @@
+//! Regression diffing of `BENCH_*.json` artifacts: the perf gate behind
+//! `gossip bench-diff OLD.json NEW.json`.
+//!
+//! Rows are matched across the two artifacts by `(family, n)` (falling
+//! back to row position when those fields are absent) and compared field
+//! by field under two regimes:
+//!
+//! - **deterministic schedule quality** (`makespan`, `lower_bound`,
+//!   anything else integral): flagged when the new value exceeds the old
+//!   by more than a percentage threshold (default 15%). These quantities
+//!   are exact — ConcurrentUpDown's makespan is `n + r` by Theorem 1 — so
+//!   any real growth is an algorithmic regression, not noise;
+//! - **wall-clock timings** (fields ending in `_ms` or `_ns`): flagged
+//!   when the new value exceeds the old by more than a multiplicative
+//!   factor (default 2×) *plus* a fixed grace (1 ms / 1 µs), absorbing
+//!   scheduler jitter on sub-millisecond measurements while still
+//!   catching order-of-magnitude slowdowns.
+//!
+//! Both artifacts must pass [`gossip_telemetry::check_schema_version`].
+
+use gossip_telemetry::{check_schema_version, Value};
+
+/// Thresholds for [`diff_bench`].
+#[derive(Debug, Clone, Copy)]
+pub struct DiffConfig {
+    /// Max tolerated growth of deterministic quality fields, in percent.
+    pub threshold_pct: f64,
+    /// Max tolerated wall-clock slowdown, as a multiplicative factor.
+    pub wall_factor: f64,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        DiffConfig {
+            threshold_pct: 15.0,
+            wall_factor: 2.0,
+        }
+    }
+}
+
+/// Absolute grace added to wall-clock comparisons in `_ms` fields: values
+/// this small are dominated by scheduler noise, not by the code under test.
+const WALL_GRACE_MS: f64 = 1.0;
+
+/// One flagged regression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Row key, e.g. `ring/n=64`.
+    pub key: String,
+    /// Field that regressed.
+    pub field: String,
+    /// Baseline value.
+    pub old: f64,
+    /// Candidate value.
+    pub new: f64,
+}
+
+/// The outcome of a bench diff.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Regressions found (empty = gate passes).
+    pub regressions: Vec<Regression>,
+    /// Rows present in both artifacts and compared.
+    pub rows_compared: usize,
+    /// Numeric fields compared across all matched rows.
+    pub fields_compared: usize,
+    /// Row keys present in only one artifact (compared with nothing).
+    pub unmatched: Vec<String>,
+}
+
+impl DiffReport {
+    /// Whether the gate passes.
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    /// A human-readable summary, one line per regression.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.regressions {
+            let growth = if r.old > 0.0 {
+                format!(" ({:+.1}%)", (r.new / r.old - 1.0) * 100.0)
+            } else {
+                String::new()
+            };
+            out.push_str(&format!(
+                "REGRESSION {} {}: {} -> {}{}\n",
+                r.key, r.field, r.old, r.new, growth
+            ));
+        }
+        for k in &self.unmatched {
+            out.push_str(&format!("note: row {k} present in only one artifact\n"));
+        }
+        out.push_str(&format!(
+            "{} row(s), {} field(s) compared: {}\n",
+            self.rows_compared,
+            self.fields_compared,
+            if self.ok() {
+                "no regressions".to_string()
+            } else {
+                format!("{} regression(s)", self.regressions.len())
+            }
+        ));
+        out
+    }
+}
+
+/// The identifying key of a row: `family/n=<n>` when present, else the
+/// row's position.
+fn row_key(row: &Value, index: usize) -> String {
+    let family = row.get("family").and_then(Value::as_str);
+    let n = row.get("n").and_then(Value::as_u64);
+    match (family, n) {
+        (Some(f), Some(n)) => format!("{f}/n={n}"),
+        (Some(f), None) => format!("{f}/row={index}"),
+        _ => format!("row={index}"),
+    }
+}
+
+/// Whether a field carries wall-clock time (jitter-tolerant comparison).
+fn is_wall_field(name: &str) -> bool {
+    name.ends_with("_ms") || name.ends_with("_ns")
+}
+
+/// Fields that are identity, not measurement: never compared.
+fn is_key_field(name: &str) -> bool {
+    matches!(name, "family" | "n" | "m" | "r" | "schema_version")
+}
+
+/// Compares two bench artifacts and reports regressions per [`DiffConfig`].
+///
+/// Errors on schema-version mismatch or artifacts without a `rows` array —
+/// those are usage errors, distinct from a clean "regressions found".
+pub fn diff_bench(old: &Value, new: &Value, cfg: &DiffConfig) -> Result<DiffReport, String> {
+    check_schema_version(old).map_err(|e| format!("old artifact: {e}"))?;
+    check_schema_version(new).map_err(|e| format!("new artifact: {e}"))?;
+    let old_rows = old
+        .get("rows")
+        .and_then(Value::as_array)
+        .ok_or("old artifact has no \"rows\" array")?;
+    let new_rows = new
+        .get("rows")
+        .and_then(Value::as_array)
+        .ok_or("new artifact has no \"rows\" array")?;
+
+    let mut report = DiffReport::default();
+    let old_keyed: Vec<(String, &Value)> = old_rows
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (row_key(r, i), r))
+        .collect();
+    let new_keyed: Vec<(String, &Value)> = new_rows
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (row_key(r, i), r))
+        .collect();
+
+    for (key, old_row) in &old_keyed {
+        let Some((_, new_row)) = new_keyed.iter().find(|(k, _)| k == key) else {
+            report.unmatched.push(key.clone());
+            continue;
+        };
+        report.rows_compared += 1;
+        let Some(members) = old_row.as_object() else {
+            continue;
+        };
+        for (field, old_val) in members {
+            if is_key_field(field) {
+                continue;
+            }
+            let (Some(old_f), Some(new_f)) =
+                (old_val.as_f64(), new_row.get(field).and_then(Value::as_f64))
+            else {
+                continue;
+            };
+            report.fields_compared += 1;
+            let regressed = if is_wall_field(field) {
+                let grace = if field.ends_with("_ns") {
+                    WALL_GRACE_MS * 1e6
+                } else {
+                    WALL_GRACE_MS
+                };
+                new_f > old_f * cfg.wall_factor + grace
+            } else {
+                new_f > old_f * (1.0 + cfg.threshold_pct / 100.0)
+            };
+            if regressed {
+                report.regressions.push(Regression {
+                    key: key.clone(),
+                    field: field.clone(),
+                    old: old_f,
+                    new: new_f,
+                });
+            }
+        }
+    }
+    for (key, _) in &new_keyed {
+        if !old_keyed.iter().any(|(k, _)| k == key) {
+            report.unmatched.push(key.clone());
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::obj;
+    use gossip_telemetry::SCHEMA_VERSION;
+
+    fn artifact(rows: Vec<Value>) -> Value {
+        obj(vec![
+            ("schema_version", Value::from_u64(SCHEMA_VERSION)),
+            ("experiment", Value::String("t".into())),
+            ("rows", Value::Array(rows)),
+        ])
+    }
+
+    fn row(family: &str, n: u64, makespan: u64, plan_ms: f64) -> Value {
+        obj(vec![
+            ("family", Value::String(family.into())),
+            ("n", Value::from_u64(n)),
+            ("makespan", Value::from_u64(makespan)),
+            ("plan_ms", Value::from_f64(plan_ms)),
+        ])
+    }
+
+    #[test]
+    fn identical_artifacts_pass() {
+        let a = artifact(vec![row("ring", 16, 24, 0.5), row("torus", 64, 72, 3.0)]);
+        let rep = diff_bench(&a, &a, &DiffConfig::default()).unwrap();
+        assert!(rep.ok());
+        assert_eq!(rep.rows_compared, 2);
+        assert!(rep.fields_compared >= 4);
+        assert!(rep.render().contains("no regressions"));
+    }
+
+    #[test]
+    fn makespan_growth_beyond_threshold_flags() {
+        let old = artifact(vec![row("ring", 16, 24, 0.5)]);
+        let new = artifact(vec![row("ring", 16, 28, 0.5)]); // +16.7%
+        let rep = diff_bench(&old, &new, &DiffConfig::default()).unwrap();
+        assert!(!rep.ok());
+        assert_eq!(rep.regressions.len(), 1);
+        assert_eq!(rep.regressions[0].field, "makespan");
+        assert!(rep.render().contains("REGRESSION ring/n=16 makespan"));
+    }
+
+    #[test]
+    fn makespan_growth_within_threshold_passes() {
+        let old = artifact(vec![row("ring", 16, 24, 0.5)]);
+        let new = artifact(vec![row("ring", 16, 26, 0.5)]); // +8.3%
+        assert!(diff_bench(&old, &new, &DiffConfig::default()).unwrap().ok());
+    }
+
+    #[test]
+    fn wall_clock_uses_factor_plus_grace() {
+        let old = artifact(vec![row("ring", 16, 24, 0.5)]);
+        // 0.5ms -> 1.9ms is under 2x + 1ms grace: noise, not a regression.
+        let fast = artifact(vec![row("ring", 16, 24, 1.9)]);
+        assert!(diff_bench(&old, &fast, &DiffConfig::default())
+            .unwrap()
+            .ok());
+        // 0.5ms -> 40ms is a real slowdown.
+        let slow = artifact(vec![row("ring", 16, 24, 40.0)]);
+        let rep = diff_bench(&old, &slow, &DiffConfig::default()).unwrap();
+        assert_eq!(rep.regressions.len(), 1);
+        assert_eq!(rep.regressions[0].field, "plan_ms");
+    }
+
+    #[test]
+    fn improvements_never_flag() {
+        let old = artifact(vec![row("ring", 16, 24, 10.0)]);
+        let new = artifact(vec![row("ring", 16, 20, 0.1)]);
+        assert!(diff_bench(&old, &new, &DiffConfig::default()).unwrap().ok());
+    }
+
+    #[test]
+    fn unmatched_rows_are_noted_not_compared() {
+        let old = artifact(vec![row("ring", 16, 24, 0.5), row("wheel", 8, 12, 0.1)]);
+        let new = artifact(vec![row("ring", 16, 24, 0.5), row("torus", 64, 72, 3.0)]);
+        let rep = diff_bench(&old, &new, &DiffConfig::default()).unwrap();
+        assert!(rep.ok());
+        assert_eq!(rep.rows_compared, 1);
+        assert_eq!(rep.unmatched.len(), 2);
+    }
+
+    #[test]
+    fn unknown_schema_version_rejected() {
+        let mut bad = artifact(vec![row("ring", 16, 24, 0.5)]);
+        if let Value::Object(m) = &mut bad {
+            m[0].1 = Value::from_u64(99);
+        }
+        let good = artifact(vec![row("ring", 16, 24, 0.5)]);
+        let err = diff_bench(&bad, &good, &DiffConfig::default()).unwrap_err();
+        assert!(err.contains("old artifact"), "{err}");
+        assert!(err.contains("99"), "{err}");
+        assert!(diff_bench(&good, &bad, &DiffConfig::default())
+            .unwrap_err()
+            .contains("new artifact"));
+    }
+
+    #[test]
+    fn missing_rows_is_an_error() {
+        let no_rows = obj(vec![("schema_version", Value::from_u64(SCHEMA_VERSION))]);
+        let good = artifact(vec![]);
+        assert!(diff_bench(&no_rows, &good, &DiffConfig::default()).is_err());
+    }
+}

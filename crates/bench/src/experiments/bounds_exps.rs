@@ -37,8 +37,12 @@ pub fn exp_theorem1_full() -> (String, gossip_telemetry::Value) {
     for &family in Family::all() {
         for target in [16, 64] {
             let g = family.instance(target, 42);
+            let t0 = std::time::Instant::now();
             let plan = GossipPlanner::new(&g).unwrap().plan().unwrap();
+            let plan_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let t1 = std::time::Instant::now();
             let o = simulate_gossip(&g, &plan.schedule, &plan.origin_of_message).unwrap();
+            let sim_ms = t1.elapsed().as_secs_f64() * 1e3;
             assert!(o.complete);
             let n = g.n();
             let r = plan.radius as usize;
@@ -64,6 +68,8 @@ pub fn exp_theorem1_full() -> (String, gossip_telemetry::Value) {
                 ("lower_bound", Value::from_u64(lb as u64)),
                 ("ratio", Value::from_f64(plan.makespan() as f64 / lb as f64)),
                 ("complete", Value::Bool(true)),
+                ("plan_ms", Value::from_f64(plan_ms)),
+                ("sim_ms", Value::from_f64(sim_ms)),
             ]));
         }
     }

@@ -11,6 +11,9 @@
 
 #![forbid(unsafe_code)]
 
+pub mod diff;
 pub mod experiments;
 pub mod report;
 pub mod table;
+
+pub use diff::{diff_bench, DiffConfig, DiffReport, Regression};

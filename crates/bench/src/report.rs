@@ -3,14 +3,30 @@
 //! `BENCH_<name>.json`, so downstream tooling (plots, regression diffs)
 //! never has to scrape the text tables.
 
-use gossip_telemetry::Value;
+use gossip_telemetry::{Value, SCHEMA_VERSION};
 
 /// Writes `payload` to `BENCH_<name>.json` in the current directory and
 /// returns the path. Failures are reported, not fatal: the textual report
 /// is the primary artifact.
+///
+/// A `schema_version` field is stamped into the top-level object (unless
+/// the payload already carries one), so `gossip bench-diff` and other
+/// readers can reject artifacts from incompatible builds.
 pub fn write_bench_json(name: &str, payload: &Value) -> Option<String> {
     let path = format!("BENCH_{name}.json");
-    let json = match serde_json::to_string_pretty(payload) {
+    let mut payload = payload.clone();
+    if let Value::Object(members) = &mut payload {
+        if !members.iter().any(|(k, _)| k == "schema_version") {
+            members.insert(
+                0,
+                (
+                    "schema_version".to_string(),
+                    Value::from_u64(SCHEMA_VERSION),
+                ),
+            );
+        }
+    }
+    let json = match serde_json::to_string_pretty(&payload) {
         Ok(j) => j,
         Err(e) => {
             eprintln!("warning: could not serialize {path}: {e}");

@@ -1,0 +1,85 @@
+//! Provenance invariants for the paper's algorithm (Theorem 1).
+//!
+//! Replaying a ConcurrentUpDown schedule through the provenance tracer must
+//! always observe, on every instance:
+//!
+//! - a first-delivery DAG with exactly `n * (n - 1)` edges — every vertex
+//!   learns every other message exactly once for the first time;
+//! - every per-message critical path no longer than `n + r` rounds, the
+//!   guarantee of Theorem 1 (checked per message, not just the makespan).
+//!
+//! Instances: the paper's named networks (N1 ring of Fig 1, Petersen N2 of
+//! Fig 2, the 16-vertex Fig 4 graph and Fig 5 tree) and random `G(n, p)`
+//! connected graphs across several densities and seeds.
+
+use gossip_core::{Algorithm, GossipPlanner};
+use gossip_graph::Graph;
+use gossip_model::{trace_gossip, CommModel};
+use gossip_workloads::{fig4_graph, fig5_tree, n1_ring, petersen, random_connected};
+
+/// Plans with ConcurrentUpDown, replays through the tracer, and checks the
+/// DAG edge count and per-message critical-path bound.
+fn check_invariants(label: &str, g: &Graph) {
+    let plan = GossipPlanner::new(g)
+        .expect("connected instance")
+        .algorithm(Algorithm::ConcurrentUpDown)
+        .plan()
+        .expect("plan succeeds");
+    let (outcome, tr) = trace_gossip(
+        g,
+        &plan.schedule,
+        &plan.origin_of_message,
+        CommModel::Multicast,
+    )
+    .expect("schedule replays cleanly");
+    assert!(outcome.complete, "{label}: gossip incomplete");
+
+    let n = g.n();
+    assert_eq!(
+        tr.edge_count(),
+        n * (n - 1),
+        "{label}: first-delivery DAG edge count"
+    );
+
+    let bound = plan.guarantee();
+    for msg in 0..tr.n_msgs() {
+        let path = tr.critical_path(msg);
+        let rounds = tr.message_latency(msg);
+        assert!(
+            rounds <= bound,
+            "{label}: message {msg} critical path took {rounds} rounds > n + r = {bound}"
+        );
+        // The rendered path must start at the origin and end at the round
+        // the last vertex learned the message.
+        assert_eq!(path.first().map(|s| s.vertex), Some(tr.origins()[msg]));
+        assert_eq!(path.last().map(|s| s.round), Some(rounds));
+    }
+}
+
+#[test]
+fn n1_ring_instances() {
+    for n in [3, 5, 9, 12] {
+        check_invariants(&format!("n1_ring({n})"), &n1_ring(n));
+    }
+}
+
+#[test]
+fn petersen_n2() {
+    check_invariants("petersen", &petersen());
+}
+
+#[test]
+fn fig4_and_fig5() {
+    check_invariants("fig4", &fig4_graph());
+    check_invariants("fig5", &fig5_tree().to_graph());
+}
+
+#[test]
+fn random_gnp_instances() {
+    for (n, p) in [(8, 0.3), (12, 0.25), (16, 0.2), (20, 0.4)] {
+        for seed in [1, 7, 42] {
+            let g = random_connected(n, p, seed);
+            check_invariants(&format!("gnp(n={n}, p={p}, seed={seed})"), &g);
+        }
+    }
+}

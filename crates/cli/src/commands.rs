@@ -1,10 +1,16 @@
 //! Subcommand implementations for the `gossip` CLI.
 
 use crate::args::Args;
-use gossip_core::{gossip_lower_bound, optimal_gossip_time, Algorithm, ExactResult, GossipPlanner};
+use gossip_bench::{diff_bench, DiffConfig};
+use gossip_core::{
+    annotated_concurrent_updown, gossip_lower_bound, optimal_gossip_time, rule_tag_index,
+    run_online_threaded_traced, Algorithm, ExactResult, GossipPlanner,
+};
 use gossip_graph::Graph;
-use gossip_model::{simulate_gossip, vertex_trace, CommModel};
-use gossip_telemetry::{MetricsRecorder, SharedBuffer, Value};
+use gossip_model::{schedule_chrome_trace, simulate_gossip, trace_gossip, vertex_trace, CommModel};
+use gossip_telemetry::{
+    check_schema_version, MetricsRecorder, Recorder, SharedBuffer, Value, SCHEMA_VERSION,
+};
 use gossip_workloads::Family;
 use serde::{Deserialize, Serialize};
 
@@ -16,9 +22,9 @@ gossip — communication schedules for the multicast gossiping problem
 commands:
   generate  --family F --n N [--seed S] [--out FILE] [--compact]
                                                        emit a graph as JSON
-  plan      (--family F --n N | --graph FILE)
+  plan      (--family F --n N | --graph FILE|NAME)
             [--algorithm concurrent-updown|simple|updown|telephone]
-            [--out FILE]                               build + verify a schedule
+            [--out FILE] [--trace-out FILE [--wall]]   build + verify a schedule
   trace     --family F --n N --vertex V                per-vertex table (paper style)
   bounds    --family F --n N                           lower bounds for a network
   exact     --family F --n N [--model telephone]       exact optimum (n <= 8)
@@ -28,11 +34,34 @@ commands:
   line      --n N (N <= 6)                              the n + r - 1 line schedule
   pipeline  --family F --n N [--batches K]              repeated-gossip overlap
   energy    --n N [--range R] [--seed S]                sensor-field energy model
-  stats     METRICS.json                                summarize a --metrics file
+  provenance (--family F --n N | --graph FILE|NAME)
+            [--out FILE] [--message M]                 causal first-delivery DAG:
+                                                       critical paths, slack vs n + r
+  bench-diff OLD.json NEW.json
+            [--threshold PCT] [--wall-factor F]        compare BENCH_* artifacts;
+                                                       exit 1 on regression
+  stats     METRICS.json|-                             summarize a --metrics file
+                                                       (`-` reads stdin)
 
-options accepted by plan / analyze / pipeline:
+options accepted by plan / analyze / pipeline / provenance:
   --metrics FILE    record span timings, counters, and per-round simulation
-                    probes to FILE (inspect with `gossip stats FILE`)
+                    probes to FILE (inspect with `gossip stats FILE`);
+                    `--metrics -` streams the artifact to stdout (human output
+                    moves to stderr), enabling
+                      gossip plan --family ring --n 16 --metrics - | gossip stats -
+
+trace export (plan):
+  --trace-out FILE  write a Chrome Trace Event Format / Perfetto JSON file:
+                    one lane per processor, one slice per multicast (1 round
+                    = 1 ms), tagged with the paper rule (U3/U4/D2/D3) that
+                    produced it; add --wall to also run the threaded online
+                    executor and append its wall-clock lanes
+
+--graph also accepts the paper's named instances: petersen (N2), n1 (the
+Fig 1 ring, size --n), fig4, fig5
+
+--algo is accepted as shorthand for --algorithm, and `concurrent` for
+`concurrent-updown`
 
 families: path ring star complete binary-tree caterpillar grid torus
           hypercube random-tree random-sparse";
@@ -67,17 +96,57 @@ fn open_metrics(args: &Args) -> Result<Option<Metrics>, String> {
 }
 
 /// Writes the metrics artifact consumed by `gossip stats`:
-/// `{"snapshot": {counters, gauges, histograms, spans, ...}, "events": [...]}`.
+/// `{"schema_version": 1, "snapshot": {...}, "events": [...]}`.
+/// With `--metrics -` the artifact goes to stdout (machine output owns the
+/// stream; see [`Out`]).
 fn write_metrics(m: &Metrics) -> Result<(), String> {
     m.recorder.flush();
     let doc = Value::Object(vec![
+        (
+            "schema_version".to_string(),
+            Value::from_u64(SCHEMA_VERSION),
+        ),
         ("snapshot".to_string(), m.recorder.snapshot()),
         ("events".to_string(), Value::Array(m.events.lines())),
     ]);
     let json = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
-    std::fs::write(&m.path, json).map_err(|e| format!("{}: {e}", m.path))?;
-    println!("wrote metrics to {}", m.path);
+    if m.path == "-" {
+        println!("{json}");
+        eprintln!("wrote metrics to stdout");
+    } else {
+        std::fs::write(&m.path, json).map_err(|e| format!("{}: {e}", m.path))?;
+        println!("wrote metrics to {}", m.path);
+    }
     Ok(())
+}
+
+/// Where a command's human-readable report goes: stdout normally, stderr
+/// when `--metrics -` gives the machine artifact ownership of stdout (so
+/// `gossip plan --metrics - | gossip stats -` pipes clean JSON).
+#[derive(Clone, Copy)]
+struct Out {
+    to_stderr: bool,
+}
+
+impl Out {
+    fn for_metrics(metrics: &Option<Metrics>) -> Out {
+        Out {
+            to_stderr: metrics.as_ref().is_some_and(|m| m.path == "-"),
+        }
+    }
+
+    fn line(&self, s: std::fmt::Arguments<'_>) {
+        if self.to_stderr {
+            eprintln!("{s}");
+        } else {
+            println!("{s}");
+        }
+    }
+}
+
+/// `out!(out, "fmt", args...)` — `println!` routed per [`Out`].
+macro_rules! out {
+    ($out:expr, $($arg:tt)*) => { $out.line(format_args!($($arg)*)) };
 }
 
 fn family_by_name(name: &str) -> Result<Family, String> {
@@ -88,8 +157,25 @@ fn family_by_name(name: &str) -> Result<Family, String> {
         .ok_or_else(|| format!("unknown family {name:?} (see `gossip help`)"))
 }
 
+/// The paper's named instances accepted by `--graph NAME` (checked only
+/// when no file of that name exists, so files always win).
+fn named_instance(name: &str, args: &Args) -> Result<Option<Graph>, String> {
+    Ok(match name {
+        "petersen" | "n2" => Some(gossip_workloads::petersen()),
+        "n1" => Some(gossip_workloads::n1_ring(args.get_usize("n", 9)?)),
+        "fig4" => Some(gossip_workloads::fig4_graph()),
+        "fig5" => Some(gossip_workloads::fig5_tree().to_graph()),
+        _ => None,
+    })
+}
+
 fn load_graph(args: &Args) -> Result<Graph, String> {
     if let Some(path) = args.options.get("graph") {
+        if !std::path::Path::new(path).exists() {
+            if let Some(g) = named_instance(path, args)? {
+                return Ok(g);
+            }
+        }
         let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
         // JSON first; fall back to the plain edge-list text format.
         match serde_json::from_str(&text) {
@@ -128,6 +214,7 @@ pub fn generate(args: &Args) -> Result<(), String> {
 /// Serialized form of a plan for `--out`.
 #[derive(Serialize, Deserialize)]
 struct PlanArtifact {
+    schema_version: u64,
     algorithm: String,
     n: usize,
     radius: u32,
@@ -136,17 +223,30 @@ struct PlanArtifact {
     schedule: gossip_model::Schedule,
 }
 
+/// Parses `--algorithm` (or its `--algo` shorthand); `concurrent` and
+/// `cud` are accepted for `concurrent-updown`.
+fn parse_algorithm(args: &Args) -> Result<Algorithm, String> {
+    let name = args
+        .options
+        .get("algorithm")
+        .or_else(|| args.options.get("algo"))
+        .map(String::as_str)
+        .unwrap_or("concurrent-updown");
+    match name {
+        "concurrent-updown" | "concurrent" | "cud" => Ok(Algorithm::ConcurrentUpDown),
+        "simple" => Ok(Algorithm::Simple),
+        "updown" => Ok(Algorithm::UpDown),
+        "telephone" => Ok(Algorithm::Telephone),
+        other => Err(format!("unknown algorithm {other:?}")),
+    }
+}
+
 /// `gossip plan`: build, verify, and summarize (optionally dump) a schedule.
 pub fn plan(args: &Args) -> Result<(), String> {
     let g = load_graph(args)?;
-    let alg = match args.get_or("algorithm", "concurrent-updown") {
-        "concurrent-updown" => Algorithm::ConcurrentUpDown,
-        "simple" => Algorithm::Simple,
-        "updown" => Algorithm::UpDown,
-        "telephone" => Algorithm::Telephone,
-        other => return Err(format!("unknown algorithm {other:?}")),
-    };
+    let alg = parse_algorithm(args)?;
     let metrics = open_metrics(args)?;
+    let out = Out::for_metrics(&metrics);
     let mut planner = GossipPlanner::new(&g)
         .map_err(|e| e.to_string())?
         .algorithm(alg);
@@ -179,32 +279,39 @@ pub fn plan(args: &Args) -> Result<(), String> {
     if !outcome.complete {
         return Err("schedule did not complete gossip (bug)".into());
     }
-    println!(
+    out!(
+        out,
         "network: n = {}, m = {}, radius r = {}",
         g.n(),
         g.m(),
         plan.radius
     );
-    println!("algorithm: {}", alg.name());
+    out!(out, "algorithm: {}", alg.name());
     match alg {
-        Algorithm::ConcurrentUpDown => println!(
+        Algorithm::ConcurrentUpDown => out!(
+            out,
             "makespan: {} rounds (guarantee n + r = {})",
             plan.makespan(),
             plan.guarantee()
         ),
-        _ => println!(
+        _ => out!(
+            out,
             "makespan: {} rounds (concurrent-updown reference: n + r = {})",
             plan.makespan(),
             plan.guarantee()
         ),
     }
     let stats = plan.schedule.stats();
-    println!(
+    out!(
+        out,
         "verified: complete; {} transmissions, {} deliveries, max fanout {}",
-        stats.transmissions, stats.deliveries, stats.max_fanout
+        stats.transmissions,
+        stats.deliveries,
+        stats.max_fanout
     );
     if let Some(path) = args.options.get("out") {
         let artifact = PlanArtifact {
+            schema_version: SCHEMA_VERSION,
             algorithm: alg.name().to_string(),
             n: g.n(),
             radius: plan.radius,
@@ -214,7 +321,40 @@ pub fn plan(args: &Args) -> Result<(), String> {
         };
         let json = serde_json::to_string_pretty(&artifact).map_err(|e| e.to_string())?;
         std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
-        println!("wrote plan to {path}");
+        out!(out, "wrote plan to {path}");
+    }
+    if let Some(path) = args.options.get("trace-out") {
+        if path == "true" {
+            return Err("--trace-out requires a file path".into());
+        }
+        // Logical-round lanes; ConcurrentUpDown slices carry the paper
+        // rule (U3/U4/D2/D3/merged) that produced each multicast.
+        let mut chrome = if alg == Algorithm::ConcurrentUpDown {
+            let tags = rule_tag_index(&annotated_concurrent_updown(&plan.tree));
+            schedule_chrome_trace(&plan.schedule, &|t, from| {
+                tags.get(&(t, from)).map(|r| r.tag().to_string())
+            })
+        } else {
+            schedule_chrome_trace(&plan.schedule, &|_, _| None)
+        };
+        // --wall: run the threaded online executor and append its
+        // wall-clock lanes (its own pid) to the same file.
+        if args.flag("wall") {
+            if alg != Algorithm::ConcurrentUpDown {
+                return Err("--wall requires the concurrent-updown algorithm".into());
+            }
+            let (_, wall) = match &metrics {
+                Some(m) => run_online_threaded_traced(&plan.tree, &m.recorder),
+                None => run_online_threaded_traced(&plan.tree, &gossip_telemetry::NoopRecorder),
+            };
+            chrome.extend(wall);
+        }
+        std::fs::write(path, chrome.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        out!(
+            out,
+            "wrote Chrome trace ({} events) to {path} — load in chrome://tracing or ui.perfetto.dev",
+            chrome.len()
+        );
     }
     if let Some(m) = &metrics {
         write_metrics(m)?;
@@ -323,6 +463,7 @@ pub fn sweep(args: &Args) -> Result<(), String> {
 pub fn analyze(args: &Args) -> Result<(), String> {
     let g = load_graph(args)?;
     let metrics = open_metrics(args)?;
+    let out = Out::for_metrics(&metrics);
     let mut planner = GossipPlanner::new(&g).map_err(|e| e.to_string())?;
     if let Some(m) = &metrics {
         planner = planner.recorder(&m.recorder);
@@ -340,32 +481,40 @@ pub fn analyze(args: &Args) -> Result<(), String> {
     }
     let a = gossip_model::analyze_schedule(&g, &plan.schedule, &plan.origin_of_message)
         .map_err(|e| e.to_string())?;
-    println!("makespan:             {}", plan.makespan());
-    println!(
+    out!(out, "makespan:             {}", plan.makespan());
+    out!(
+        out,
         "last message complete: {}",
         a.last_completion()
-            .map_or("never".into(), |t| t.to_string())
+            .map_or("never".to_string(), |t| t.to_string())
     );
-    println!(
+    out!(
+        out,
         "deliveries:           {} ({} redundant, {:.1}%)",
         a.total_deliveries,
         a.redundant_deliveries,
         100.0 * a.redundancy()
     );
-    println!("link imbalance:       {:.2}", a.link_imbalance());
-    println!("busiest links:");
+    out!(out, "link imbalance:       {:.2}", a.link_imbalance());
+    out!(out, "busiest links:");
     for &(u, v, uses) in a.link_loads.iter().take(5) {
-        println!("  {u} -- {v}: {uses} deliveries");
+        out!(out, "  {u} -- {v}: {uses} deliveries");
     }
     let curve = gossip_model::knowledge_curve(&g, &plan.schedule, &plan.origin_of_message)
         .map_err(|e| e.to_string())?;
-    println!(
+    out!(
+        out,
         "knowledge curve:      |{}|",
         gossip_model::render_sparkline(&curve)
     );
     if args.flag("gantt") {
-        println!("\nper-processor timeline (S = send, R = receive, B = both):");
-        print!("{}", gossip_model::render_gantt(&plan.schedule));
+        out!(
+            out,
+            "\nper-processor timeline (S = send, R = receive, B = both):"
+        );
+        for line in gossip_model::render_gantt(&plan.schedule).lines() {
+            out!(out, "{line}");
+        }
     }
     if let Some(m) = &metrics {
         write_metrics(m)?;
@@ -410,6 +559,7 @@ pub fn pipeline(args: &Args) -> Result<(), String> {
     let g = load_graph(args)?;
     let batches = args.get_usize("batches", 4)?.max(1);
     let metrics = open_metrics(args)?;
+    let out = Out::for_metrics(&metrics);
     let mut planner = GossipPlanner::new(&g).map_err(|e| e.to_string())?;
     if let Some(m) = &metrics {
         planner = planner.recorder(&m.recorder);
@@ -421,9 +571,10 @@ pub fn pipeline(args: &Args) -> Result<(), String> {
         None => gossip_core::pipelined_gossip(&plan.tree, batches, period),
     }
     .ok_or("period search failed (bug)")?;
-    println!("single gossip:   {} rounds (n + r)", plan.makespan());
-    println!("minimal period:  {period} rounds between batch starts");
-    println!(
+    out!(out, "single gossip:   {} rounds (n + r)", plan.makespan());
+    out!(out, "minimal period:  {period} rounds between batch starts");
+    out!(
+        out,
         "{batches} batches:       {} rounds total ({:.1} amortized, {:.2}x speedup)",
         pipelined.schedule.makespan(),
         pipelined.amortized_rounds(),
@@ -436,13 +587,25 @@ pub fn pipeline(args: &Args) -> Result<(), String> {
 }
 
 /// `gossip stats`: human summary of a metrics file written via `--metrics`.
+/// The path `-` reads the artifact from stdin, so `--metrics -` output can
+/// be piped straight in.
 pub fn stats(args: &Args) -> Result<(), String> {
     let path = args
         .positional
         .first()
-        .ok_or("usage: gossip stats METRICS.json")?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        .ok_or("usage: gossip stats METRICS.json  (or `-` for stdin)")?;
+    let text = if path == "-" {
+        use std::io::Read as _;
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?
+    };
     let doc: Value = serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+    check_schema_version(&doc).map_err(|e| format!("{path}: {e}"))?;
     let snapshot = &doc["snapshot"];
 
     let section = |title: &str, key: &str, fmt: &dyn Fn(&Value) -> String| {
@@ -537,6 +700,178 @@ pub fn energy(args: &Args) -> Result<(), String> {
         100.0 * (1.0 - mc.makespan() as f64 / tel.makespan() as f64)
     );
     Ok(())
+}
+
+/// `gossip provenance`: run the plan through the provenance-tracing
+/// simulator and report the causal structure — per-message critical paths
+/// against the `n + r` bound, first-delivery DAG size, and the per-vertex
+/// slack distribution (summarized through a telemetry histogram).
+pub fn provenance(args: &Args) -> Result<(), String> {
+    let g = load_graph(args)?;
+    let alg = parse_algorithm(args)?;
+    let metrics = open_metrics(args)?;
+    let out = Out::for_metrics(&metrics);
+    let mut planner = GossipPlanner::new(&g)
+        .map_err(|e| e.to_string())?
+        .algorithm(alg);
+    if let Some(m) = &metrics {
+        planner = planner.recorder(&m.recorder);
+    }
+    let plan = planner.plan().map_err(|e| e.to_string())?;
+    let model = if alg == Algorithm::Telephone {
+        CommModel::Telephone
+    } else {
+        CommModel::Multicast
+    };
+    let (outcome, tr) = trace_gossip(&g, &plan.schedule, &plan.origin_of_message, model)
+        .map_err(|e| e.to_string())?;
+    if !outcome.complete {
+        return Err("schedule did not complete gossip (bug)".into());
+    }
+    // The n + r guarantee only binds the paper's algorithm; other
+    // baselines get their paths reported without a bound.
+    let bound = (alg == Algorithm::ConcurrentUpDown).then(|| plan.guarantee());
+
+    out!(
+        out,
+        "network: n = {}, r = {}; algorithm {}; makespan {}",
+        g.n(),
+        plan.radius,
+        alg.name(),
+        tr.makespan()
+    );
+    out!(
+        out,
+        "first-delivery DAG: {} edges (complete gossip needs n(n-1) = {})",
+        tr.edge_count(),
+        g.n() * (g.n().saturating_sub(1))
+    );
+    let (crit_msg, crit_rounds) = tr.critical_message();
+    match bound {
+        Some(b) => out!(
+            out,
+            "critical path: message {crit_msg} took {crit_rounds} rounds (bound n + r = {b}, slack {})",
+            b.saturating_sub(crit_rounds)
+        ),
+        None => out!(
+            out,
+            "critical path: message {crit_msg} took {crit_rounds} rounds"
+        ),
+    }
+    let render_path = |msg: usize| {
+        tr.critical_path(msg)
+            .iter()
+            .map(|s| format!("{}@{}", s.vertex, s.round))
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    };
+    out!(out, "  {}", render_path(crit_msg));
+    if let Some(msg) = args.options.get("message") {
+        let msg: usize = msg
+            .parse()
+            .map_err(|_| format!("--message expects a number, got {msg:?}"))?;
+        if msg >= tr.n_msgs() {
+            return Err(format!("message {msg} out of range ({})", tr.n_msgs()));
+        }
+        out!(
+            out,
+            "message {msg}: latency {} rounds\n  {}",
+            tr.message_latency(msg),
+            render_path(msg)
+        );
+    }
+
+    // Slack histogram: how many rounds before the reference bound each
+    // vertex became fully informed. Summarized by gossip-telemetry so the
+    // numbers match what `--metrics` records.
+    let slack_bound = bound.unwrap_or(tr.makespan());
+    let local = MetricsRecorder::new();
+    let hist: &MetricsRecorder = metrics.as_ref().map(|m| &m.recorder).unwrap_or(&local);
+    for s in tr.slack_against(slack_bound) {
+        hist.observe("provenance/vertex_slack", s as f64);
+    }
+    let snap = hist.snapshot();
+    let h = &snap["histograms"]["provenance/vertex_slack"];
+    out!(
+        out,
+        "vertex slack vs {} (rounds spare): min {} p50 {} p90 {} max {}",
+        match bound {
+            Some(_) => "n + r".to_string(),
+            None => format!("makespan {}", tr.makespan()),
+        },
+        h["min"].as_f64().unwrap_or(0.0),
+        h["p50"].as_f64().unwrap_or(0.0),
+        h["p90"].as_f64().unwrap_or(0.0),
+        h["max"].as_f64().unwrap_or(0.0)
+    );
+    let util = tr.round_utilization();
+    let busiest = util
+        .iter()
+        .max_by(|a, b| {
+            a.receiver_utilization
+                .partial_cmp(&b.receiver_utilization)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .copied();
+    if let Some(b) = busiest {
+        out!(
+            out,
+            "busiest round: t{} with {} transmissions, {} deliveries ({:.0}% of receivers)",
+            b.round,
+            b.transmissions,
+            b.deliveries,
+            100.0 * b.receiver_utilization
+        );
+    }
+
+    if let Some(path) = args.options.get("out") {
+        if path == "true" {
+            return Err("--out requires a file path".into());
+        }
+        let doc = tr.to_value(bound);
+        let json = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+        out!(out, "wrote provenance artifact to {path}");
+    }
+    if let Some(m) = &metrics {
+        write_metrics(m)?;
+    }
+    Ok(())
+}
+
+/// `gossip bench-diff OLD.json NEW.json`: the perf gate. Compares two
+/// `BENCH_*` artifacts and exits nonzero when the new one regressed.
+pub fn bench_diff(args: &Args) -> Result<(), String> {
+    let [old_path, new_path] = match args.positional.as_slice() {
+        [a, b] => [a, b],
+        _ => return Err("usage: gossip bench-diff OLD.json NEW.json".into()),
+    };
+    let read = |path: &str| -> Result<Value, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let threshold_pct: f64 = args
+        .get_or("threshold", "15")
+        .parse()
+        .map_err(|_| "--threshold expects a percentage".to_string())?;
+    let wall_factor: f64 = args
+        .get_or("wall-factor", "2")
+        .parse()
+        .map_err(|_| "--wall-factor expects a number".to_string())?;
+    let cfg = DiffConfig {
+        threshold_pct,
+        wall_factor,
+    };
+    let report = diff_bench(&read(old_path)?, &read(new_path)?, &cfg)?;
+    print!("{}", report.render());
+    if report.ok() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} regression(s) vs {old_path} (threshold {threshold_pct}%, wall factor {wall_factor}x)",
+            report.regressions.len()
+        ))
+    }
 }
 
 /// `gossip compare`: all algorithms and models on one network.

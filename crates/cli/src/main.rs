@@ -39,6 +39,8 @@ fn main() {
         "pipeline" => commands::pipeline(&args),
         "energy" => commands::energy(&args),
         "stats" => commands::stats(&args),
+        "provenance" => commands::provenance(&args),
+        "bench-diff" => commands::bench_diff(&args),
         "" | "help" | "--help" => {
             println!("{}", commands::USAGE);
             Ok(())

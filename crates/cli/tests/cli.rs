@@ -134,3 +134,215 @@ fn duplicate_flag_rejected() {
     assert!(!ok);
     assert!(stderr.contains("duplicate option"));
 }
+
+/// Like [`gossip`] but feeding `stdin` to the child process.
+fn gossip_stdin(args: &[&str], stdin: &str) -> (bool, String, String) {
+    use std::io::Write as _;
+    use std::process::Stdio;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_gossip"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(stdin.as_bytes())
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("binary exits");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("gossip-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Minimal structural check that a file is a Chrome Trace Event array:
+/// a JSON array whose every element carries `ph`, `ts`, `pid`, `tid`.
+/// (No JSON dependency in this test crate, so we lex the essentials.)
+fn assert_chrome_trace(text: &str) {
+    let text = text.trim();
+    assert!(
+        text.starts_with('[') && text.ends_with(']'),
+        "not a JSON array"
+    );
+    // Split into top-level objects by brace depth.
+    let mut depth = 0usize;
+    let mut start = None;
+    let mut objects = Vec::new();
+    let mut in_str = false;
+    let mut escape = false;
+    for (i, c) in text.char_indices() {
+        if escape {
+            escape = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escape = true,
+            '"' => in_str = !in_str,
+            '{' if !in_str => {
+                if depth == 0 {
+                    start = Some(i);
+                }
+                depth += 1;
+            }
+            '}' if !in_str => {
+                depth -= 1;
+                if depth == 0 {
+                    objects.push(&text[start.unwrap()..=i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    assert!(!objects.is_empty(), "trace has no events");
+    for (i, obj) in objects.iter().enumerate() {
+        for field in ["\"ph\"", "\"ts\"", "\"pid\"", "\"tid\""] {
+            assert!(obj.contains(field), "event {i} missing {field}: {obj}");
+        }
+    }
+}
+
+#[test]
+fn plan_trace_out_writes_chrome_trace() {
+    let dir = temp_dir("trace");
+    let path = dir.join("t.json");
+    let path_str = path.to_str().unwrap();
+    let (ok, stdout, stderr) = gossip(&[
+        "plan",
+        "--graph",
+        "petersen",
+        "--algo",
+        "concurrent",
+        "--trace-out",
+        path_str,
+    ]);
+    assert!(ok, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("wrote Chrome trace"));
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert_chrome_trace(&text);
+    // Rule tags from the annotated schedule label the slices.
+    assert!(text.contains("[U3]") || text.contains("[U4"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn plan_trace_out_wall_adds_executor_lanes() {
+    let dir = temp_dir("wall");
+    let path = dir.join("tw.json");
+    let path_str = path.to_str().unwrap();
+    let (ok, stdout, stderr) = gossip(&[
+        "plan",
+        "--graph",
+        "petersen",
+        "--algo",
+        "concurrent",
+        "--trace-out",
+        path_str,
+        "--wall",
+    ]);
+    assert!(ok, "stdout: {stdout}\nstderr: {stderr}");
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert_chrome_trace(&text);
+    assert!(text.contains("online executor (wall clock)"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn provenance_reports_critical_path_within_bound() {
+    let (ok, stdout, _) = gossip(&["provenance", "--graph", "petersen", "--algo", "concurrent"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("first-delivery DAG: 90 edges"));
+    assert!(stdout.contains("bound n + r = 12"));
+    assert!(stdout.contains("vertex slack"));
+}
+
+#[test]
+fn provenance_artifact_has_schema_version() {
+    let dir = temp_dir("prov");
+    let path = dir.join("p.json");
+    let path_str = path.to_str().unwrap();
+    let (ok, _, stderr) = gossip(&[
+        "provenance",
+        "--family",
+        "ring",
+        "--n",
+        "8",
+        "--out",
+        path_str,
+    ]);
+    assert!(ok, "{stderr}");
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.contains("\"schema_version\": 1"), "{text}");
+    assert!(text.contains("\"kind\": \"provenance\""));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bench_diff_passes_identical_and_flags_regression() {
+    let dir = temp_dir("diff");
+    let old = dir.join("old.json");
+    let new_ok = dir.join("new_ok.json");
+    let new_bad = dir.join("new_bad.json");
+    std::fs::write(
+        &old,
+        r#"{"schema_version": 1, "rows": [{"family": "ring", "n": 16, "makespan": 17, "plan_ms": 1.0}]}"#,
+    )
+    .unwrap();
+    std::fs::copy(&old, &new_ok).unwrap();
+    std::fs::write(
+        &new_bad,
+        r#"{"schema_version": 1, "rows": [{"family": "ring", "n": 16, "makespan": 22, "plan_ms": 1.0}]}"#,
+    )
+    .unwrap();
+
+    let (ok, stdout, _) = gossip(&[
+        "bench-diff",
+        old.to_str().unwrap(),
+        new_ok.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("no regressions"));
+
+    let (ok, stdout, stderr) = gossip(&[
+        "bench-diff",
+        old.to_str().unwrap(),
+        new_bad.to_str().unwrap(),
+    ]);
+    assert!(!ok, "regression must exit nonzero");
+    assert!(stdout.contains("REGRESSION ring/n=16 makespan"), "{stdout}");
+    assert!(stderr.contains("regression(s)"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metrics_stdout_pipes_into_stats_stdin() {
+    let (ok, stdout, stderr) = gossip(&["plan", "--family", "ring", "--n", "8", "--metrics", "-"]);
+    assert!(ok, "{stderr}");
+    // Human output went to stderr; stdout is the pure JSON artifact.
+    assert!(stdout.trim_start().starts_with('{'), "{stdout}");
+    assert!(stderr.contains("makespan"), "{stderr}");
+
+    let (ok, stats_out, stats_err) = gossip_stdin(&["stats", "-"], &stdout);
+    assert!(ok, "{stats_err}");
+    assert!(stats_out.contains("plan/makespan"), "{stats_out}");
+}
+
+#[test]
+fn stats_rejects_unknown_schema_version() {
+    let (ok, _, stderr) = gossip_stdin(
+        &["stats", "-"],
+        r#"{"schema_version": 99, "snapshot": {}, "events": []}"#,
+    );
+    assert!(!ok);
+    assert!(stderr.contains("schema_version"), "{stderr}");
+}

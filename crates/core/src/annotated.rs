@@ -168,6 +168,17 @@ pub fn annotated_concurrent_updown(tree: &RootedTree) -> Vec<AnnotatedTransmissi
     out
 }
 
+/// Lookup table from `(send_time, sender_vertex)` — the key shape
+/// [`Schedule::iter`] yields — to the producing rule. The model enforces
+/// one send per processor per round, so the key is unique; trace exporters
+/// use this to label each multicast with the paper rule that caused it.
+pub fn rule_tag_index(annotated: &[AnnotatedTransmission]) -> BTreeMap<(usize, usize), Rule> {
+    annotated
+        .iter()
+        .map(|a| ((a.time, a.transmission.from), a.rule))
+        .collect()
+}
+
 /// Drops the annotations, yielding a plain schedule.
 pub fn annotated_to_schedule(annotated: &[AnnotatedTransmission], n: usize) -> Schedule {
     let mut s = Schedule::new(n);

@@ -74,7 +74,7 @@ pub mod updown;
 pub mod weighted;
 
 pub use annotated::{
-    annotated_concurrent_updown, annotated_to_schedule, AnnotatedTransmission, Rule,
+    annotated_concurrent_updown, annotated_to_schedule, rule_tag_index, AnnotatedTransmission, Rule,
 };
 pub use bounds::{cut_vertex_lower_bound, gossip_lower_bound, trivial_lower_bound};
 pub use broadcast::broadcast_schedule;
@@ -88,7 +88,8 @@ pub use line::{line_gossip_schedule, MAX_LINE_N};
 pub use maintenance::{MaintenanceOutcome, TreeMaintainer};
 pub use multi_broadcast::multi_broadcast_schedule;
 pub use online::{
-    run_online, run_online_threaded, run_online_threaded_recorded, OnlineSend, OnlineVertex,
+    run_online, run_online_threaded, run_online_threaded_recorded, run_online_threaded_traced,
+    OnlineSend, OnlineVertex,
 };
 pub use pipeline::{Algorithm, GossipPlan, GossipPlanner};
 pub use pipelined::{

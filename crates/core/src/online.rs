@@ -22,7 +22,7 @@
 use crate::labeling::{LabelView, VertexParams};
 use gossip_graph::RootedTree;
 use gossip_model::{Schedule, Transmission};
-use gossip_telemetry::{NoopRecorder, Recorder, RecorderExt, Value};
+use gossip_telemetry::{ChromeTrace, NoopRecorder, Recorder, RecorderExt, Value};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Instant;
@@ -260,6 +260,63 @@ pub fn run_online_threaded(tree: &RootedTree) -> Schedule {
 /// processor's thread finished its rounds (wall-clock nanoseconds since the
 /// harness started, so thread skew is visible in the JSONL stream).
 pub fn run_online_threaded_recorded(tree: &RootedTree, recorder: &dyn Recorder) -> Schedule {
+    run_online_threaded_impl(tree, recorder, None)
+}
+
+/// One thread's wall-clock round log from a traced online run:
+/// `(round, start_ns, dur_ns, sent message)` per round, nanoseconds since
+/// the harness epoch. Duration covers receive + decide + send, *excluding*
+/// the barrier wait, so per-round slack shows up as lane gaps in the trace.
+struct ThreadRounds {
+    vertex: usize,
+    rounds: Vec<(usize, u64, u64, Option<u32>)>,
+}
+
+/// [`run_online_threaded_recorded`] plus a wall-clock Chrome trace: one
+/// lane per processor thread, one complete event per round (timestamped
+/// with real elapsed microseconds from a shared epoch, reusing the same
+/// `Instant` clock as the `online_thread` telemetry events), so thread
+/// skew and barrier slack are visible in `chrome://tracing` / Perfetto.
+pub fn run_online_threaded_traced(
+    tree: &RootedTree,
+    recorder: &dyn Recorder,
+) -> (Schedule, ChromeTrace) {
+    let timings: Mutex<Vec<ThreadRounds>> = Mutex::new(Vec::new());
+    let schedule = run_online_threaded_impl(tree, recorder, Some(&timings));
+    let mut by_vertex = timings.into_inner();
+    by_vertex.sort_by_key(|t| t.vertex);
+    let mut trace = ChromeTrace::new();
+    trace.process_name(1, "online executor (wall clock)");
+    for th in &by_vertex {
+        trace.thread_name(1, th.vertex as u64, &format!("P{}", th.vertex));
+        for &(t, start_ns, dur_ns, msg) in &th.rounds {
+            let name = match msg {
+                Some(m) => format!("r{t} send m{m}"),
+                None => format!("r{t}"),
+            };
+            let mut args = vec![("round".to_string(), Value::from_u64(t as u64))];
+            if let Some(m) = msg {
+                args.push(("msg".to_string(), Value::from_u64(m as u64)));
+            }
+            trace.complete(
+                &name,
+                "online/round",
+                1,
+                th.vertex as u64,
+                start_ns as f64 / 1000.0,
+                dur_ns as f64 / 1000.0,
+                args,
+            );
+        }
+    }
+    (schedule, trace)
+}
+
+fn run_online_threaded_impl(
+    tree: &RootedTree,
+    recorder: &dyn Recorder,
+    timings: Option<&Mutex<Vec<ThreadRounds>>>,
+) -> Schedule {
     let _span = recorder.span("online_threaded");
     let lv = LabelView::new(tree);
     let n = lv.n();
@@ -306,8 +363,10 @@ pub fn run_online_threaded_recorded(tree: &RootedTree, recorder: &dyn Recorder) 
             let lv_ref = &lv;
             scope.spawn(move || {
                 let mut sends = 0u64;
+                let mut my_rounds: Vec<(usize, u64, u64, Option<u32>)> = Vec::new();
                 for t in 0..horizon {
                     let round_start = recorder.enabled().then(Instant::now);
+                    let wall_start = timings.map(|_| epoch.elapsed().as_nanos() as u64);
                     // What arrives at time t was sent by the parent in its
                     // round t - 1; nothing is in flight at t = 0.
                     let arrived: Option<u32> = match (&my_rx, t) {
@@ -340,10 +399,21 @@ pub fn run_online_threaded_recorded(tree: &RootedTree, recorder: &dyn Recorder) 
                             }
                         }
                     }
+                    if let Some(start) = wall_start {
+                        let end = epoch.elapsed().as_nanos() as u64;
+                        let msg = send.as_ref().map(|s| s.msg);
+                        my_rounds.push((t, start, end.saturating_sub(start), msg));
+                    }
                     barrier.wait();
                     if let Some(start) = round_start {
                         recorder.observe("online/round_ns", start.elapsed().as_nanos() as f64);
                     }
+                }
+                if let Some(sink) = timings {
+                    sink.lock().push(ThreadRounds {
+                        vertex: lv_ref.vertex(label),
+                        rounds: my_rounds,
+                    });
                 }
                 if recorder.enabled() {
                     recorder.counter("online/sends", sends);
@@ -448,6 +518,33 @@ mod tests {
         let o = simulate_gossip(&g, &s, &tree_origins(&tree)).unwrap();
         assert!(o.complete);
         assert_eq!(o.completion_time, Some(19));
+    }
+
+    #[test]
+    fn traced_run_matches_and_covers_every_send() {
+        let tree = fig5();
+        let (s, trace) = run_online_threaded_traced(&tree, &NoopRecorder);
+        assert_eq!(s, offline_normalized(&tree));
+        let v = trace.to_value();
+        let events = v.as_array().unwrap();
+        // One complete event per (thread, round): 16 threads x horizon rounds.
+        let completes: Vec<_> = events
+            .iter()
+            .filter(|e| e["ph"].as_str() == Some("X"))
+            .collect();
+        assert_eq!(completes.len() % 16, 0);
+        assert!(!completes.is_empty());
+        // Every send in the schedule appears as a named send event.
+        let send_events = completes
+            .iter()
+            .filter(|e| e["args"].get("msg").is_some())
+            .count();
+        assert_eq!(send_events, s.stats().transmissions);
+        for e in events {
+            for f in ["ph", "ts", "pid", "tid"] {
+                assert!(e.get(f).is_some(), "missing {f}");
+            }
+        }
     }
 
     #[test]

@@ -12,7 +12,10 @@
 //!   tracking hold sets, and reporting completion — the trust anchor all
 //!   scheduling algorithms are verified against;
 //! - [`trace`]: per-vertex tables in the exact format of the paper's
-//!   Tables 1–4.
+//!   Tables 1–4;
+//! - [`provenance`]: the causal first-delivery DAG of a run (who first
+//!   told whom, and when), critical paths against the `n + r` bound, and
+//!   Chrome-trace export.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,6 +27,7 @@ pub mod compact;
 pub mod error;
 pub mod faults;
 pub mod models;
+pub mod provenance;
 pub mod round;
 pub mod schedule;
 pub mod simulator;
@@ -38,6 +42,10 @@ pub use compact::{compact_schedule, verify_compaction, CompactionReport};
 pub use error::ModelError;
 pub use faults::{inject_fault, Fault};
 pub use models::CommModel;
+pub use provenance::{
+    schedule_chrome_trace, trace_gossip, Delivery, PathStep, ProvenanceTrace, RoundUtil,
+    VertexActivity,
+};
 pub use round::{CommRound, Transmission};
 pub use schedule::{Schedule, ScheduleStats};
 pub use simulator::{simulate_gossip, validate_gossip_schedule, RoundProbe, SimOutcome, Simulator};

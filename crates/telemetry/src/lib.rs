@@ -28,6 +28,10 @@
 
 #![forbid(unsafe_code)]
 
+pub mod trace;
+
+pub use trace::{ChromeTrace, TraceEvent};
+
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::io::Write;
@@ -35,6 +39,31 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 pub use serde_json::Value;
+
+/// Version stamped (as `schema_version`) into every structured artifact the
+/// workspace writes: metrics documents, `BENCH_*.json` payloads, provenance
+/// exports, and recorder snapshots. Readers use [`check_schema_version`].
+/// Chrome trace files are exempt: that format is externally specified as a
+/// bare array of events.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Validates an artifact's `schema_version`. A missing field passes (the
+/// artifact predates versioning); the current [`SCHEMA_VERSION`] passes;
+/// anything else is rejected with an error naming both versions so the user
+/// knows which side to regenerate.
+pub fn check_schema_version(artifact: &Value) -> Result<(), String> {
+    match artifact.get("schema_version") {
+        None => Ok(()),
+        Some(v) => match v.as_u64() {
+            Some(SCHEMA_VERSION) => Ok(()),
+            Some(other) => Err(format!(
+                "unsupported schema_version {other}: this build reads version \
+                 {SCHEMA_VERSION}; regenerate the artifact with this build"
+            )),
+            None => Err("schema_version is not an unsigned integer".to_string()),
+        },
+    }
+}
 
 /// Sink for metrics and events. Implementations must be thread-safe;
 /// instrumented code holds `&dyn Recorder`.
@@ -173,44 +202,44 @@ impl Histogram {
         self.values.push(value);
     }
 
-    /// Nearest-rank percentile of the recorded values (`p` in 0..=100).
-    fn percentile(sorted: &[f64], p: f64) -> f64 {
+    /// Nearest-rank percentile of the recorded values (`p` in 0..=100);
+    /// `None` when nothing has been recorded — an empty histogram has no
+    /// percentiles, and callers must not invent a 0.0 for it.
+    fn percentile(sorted: &[f64], p: f64) -> Option<f64> {
         if sorted.is_empty() {
-            return 0.0;
+            return None;
         }
         let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-        sorted[rank.clamp(1, sorted.len()) - 1]
+        Some(sorted[rank.clamp(1, sorted.len()) - 1])
     }
 
+    /// Summary object. An empty histogram reports only `{"count": 0}`: the
+    /// min/max/mean/percentile/total block is omitted rather than filled
+    /// with fabricated zeros.
     fn summary(&self, scale: f64) -> Value {
         let mut sorted = self.values.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         let count = sorted.len();
+        if count == 0 {
+            return Value::Object(vec![("count".to_string(), Value::from_u64(0))]);
+        }
         let sum: f64 = sorted.iter().sum();
-        let mean = if count == 0 { 0.0 } else { sum / count as f64 };
+        let mean = sum / count as f64;
+        let pct = |p: f64| Self::percentile(&sorted, p).expect("nonempty") * scale;
         Value::Object(vec![
             ("count".to_string(), Value::from_u64(count as u64)),
             (
                 "min".to_string(),
-                Value::from_f64(sorted.first().copied().unwrap_or(0.0) * scale),
+                Value::from_f64(sorted.first().copied().expect("nonempty") * scale),
             ),
             (
                 "max".to_string(),
-                Value::from_f64(sorted.last().copied().unwrap_or(0.0) * scale),
+                Value::from_f64(sorted.last().copied().expect("nonempty") * scale),
             ),
             ("mean".to_string(), Value::from_f64(mean * scale)),
-            (
-                "p50".to_string(),
-                Value::from_f64(Self::percentile(&sorted, 50.0) * scale),
-            ),
-            (
-                "p90".to_string(),
-                Value::from_f64(Self::percentile(&sorted, 90.0) * scale),
-            ),
-            (
-                "p99".to_string(),
-                Value::from_f64(Self::percentile(&sorted, 99.0) * scale),
-            ),
+            ("p50".to_string(), Value::from_f64(pct(50.0))),
+            ("p90".to_string(), Value::from_f64(pct(90.0))),
+            ("p99".to_string(), Value::from_f64(pct(99.0))),
             ("total".to_string(), Value::from_f64(sum * scale)),
         ])
     }
@@ -321,6 +350,10 @@ impl MetricsRecorder {
                 .collect(),
         );
         Value::Object(vec![
+            (
+                "schema_version".to_string(),
+                Value::from_u64(SCHEMA_VERSION),
+            ),
             ("counters".to_string(), counters),
             ("gauges".to_string(), gauges),
             ("histograms".to_string(), histograms),
@@ -464,6 +497,50 @@ mod tests {
         assert_eq!(h["p90"].as_f64(), Some(90.0));
         assert_eq!(h["p99"].as_f64(), Some(99.0));
         assert_eq!(h["mean"].as_f64(), Some(50.5));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_percentiles() {
+        // Pin the contract: percentile of nothing is None, and the summary
+        // of an empty histogram is just {"count": 0} — no fabricated zeros.
+        assert_eq!(Histogram::percentile(&[], 50.0), None);
+        assert_eq!(Histogram::percentile(&[], 99.0), None);
+        let h = Histogram::default();
+        let s = h.summary(1.0);
+        assert_eq!(s["count"].as_u64(), Some(0));
+        let keys: Vec<&str> = s
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, vec!["count"]);
+        for absent in ["min", "max", "mean", "p50", "p90", "p99", "total"] {
+            assert!(s.get(absent).is_none(), "{absent} must be omitted");
+        }
+    }
+
+    #[test]
+    fn schema_version_checks() {
+        let versioned = Value::Object(vec![(
+            "schema_version".to_string(),
+            Value::from_u64(SCHEMA_VERSION),
+        )]);
+        assert!(check_schema_version(&versioned).is_ok());
+        // Pre-versioning artifacts (no field) still load.
+        assert!(check_schema_version(&Value::Object(vec![])).is_ok());
+        let future = Value::Object(vec![("schema_version".to_string(), Value::from_u64(99))]);
+        let err = check_schema_version(&future).unwrap_err();
+        assert!(err.contains("99"), "{err}");
+        assert!(err.contains(&SCHEMA_VERSION.to_string()), "{err}");
+        let junk = Value::Object(vec![(
+            "schema_version".to_string(),
+            Value::String("x".into()),
+        )]);
+        assert!(check_schema_version(&junk).is_err());
+        // Snapshots are stamped.
+        let snap = MetricsRecorder::new().snapshot();
+        assert_eq!(snap["schema_version"].as_u64(), Some(SCHEMA_VERSION));
     }
 
     #[test]
