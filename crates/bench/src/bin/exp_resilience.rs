@@ -1,0 +1,10 @@
+//! E24 (textual): self-healing recovery under seeded fault plans, plus
+//! `BENCH_resilience.json` with the per-scenario recovery accounting.
+
+fn main() {
+    let (report, payload) = gossip_bench::experiments::exp_resilience_full();
+    println!("{report}");
+    if let Some(path) = gossip_bench::report::write_bench_json("resilience", &payload) {
+        println!("wrote {path}");
+    }
+}

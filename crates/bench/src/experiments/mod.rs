@@ -5,6 +5,7 @@ mod exhaustive;
 mod extensions;
 mod figures;
 mod models_exps;
+mod resilience;
 mod scaling;
 mod tables;
 
@@ -13,6 +14,7 @@ pub use exhaustive::{exp_energy, exp_exhaustive};
 pub use extensions::{exp_exact, exp_online, exp_pipeline, exp_weighted};
 pub use figures::{exp_fig45, exp_n3, exp_petersen, exp_ring};
 pub use models_exps::{exp_broadcast, exp_compaction, exp_curves, exp_curves_full, exp_models};
+pub use resilience::{exp_resilience, exp_resilience_full};
 pub use scaling::{exp_scaling, exp_scaling_full};
 pub use tables::exp_tables;
 
@@ -102,6 +104,11 @@ pub fn all_reports() -> Vec<(&'static str, &'static str, String)> {
             "E20",
             "Sensor-field energy (paper S2 wireless motivation)",
             exp_energy(),
+        ),
+        (
+            "E24",
+            "Self-healing recovery under seeded fault plans",
+            exp_resilience(),
         ),
     ]
 }

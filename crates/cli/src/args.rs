@@ -63,6 +63,16 @@ impl Args {
         }
     }
 
+    /// Returns an f64 option value, or the default.
+    pub fn get_f64(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects a number, got {v:?}")),
+        }
+    }
+
     /// Whether a boolean flag was passed.
     pub fn flag(&self, key: &str) -> bool {
         self.options.get(key).map(String::as_str) == Some("true")
@@ -103,6 +113,15 @@ mod tests {
     fn bad_number() {
         let a = parse("gossip x --n abc");
         assert!(a.get_usize("n", 0).is_err());
+    }
+
+    #[test]
+    fn f64_option() {
+        let a = parse("gossip recover --loss-rate 0.15");
+        assert_eq!(a.get_f64("loss-rate", 0.0).unwrap(), 0.15);
+        assert_eq!(a.get_f64("absent", 0.5).unwrap(), 0.5);
+        let bad = parse("gossip recover --loss-rate abc");
+        assert!(bad.get_f64("loss-rate", 0.0).is_err());
     }
 
     #[test]

@@ -4,10 +4,14 @@ use crate::args::Args;
 use gossip_bench::{diff_bench, DiffConfig};
 use gossip_core::{
     annotated_concurrent_updown, gossip_lower_bound, optimal_gossip_time, rule_tag_index,
-    run_online_threaded_traced, Algorithm, ExactResult, GossipPlanner,
+    run_online_threaded_traced, Algorithm, ExactResult, GossipPlanner, ResilientExecutor,
+    DEFAULT_MAX_EPOCHS,
 };
 use gossip_graph::Graph;
-use gossip_model::{schedule_chrome_trace, simulate_gossip, trace_gossip, vertex_trace, CommModel};
+use gossip_model::{
+    schedule_chrome_trace, simulate_gossip, trace_gossip, trace_gossip_lossy, vertex_trace,
+    CommModel, FaultPlan, LossCause,
+};
 use gossip_telemetry::{
     check_schema_version, MetricsRecorder, Recorder, SharedBuffer, Value, SCHEMA_VERSION,
 };
@@ -37,6 +41,12 @@ commands:
   provenance (--family F --n N | --graph FILE|NAME)
             [--out FILE] [--message M]                 causal first-delivery DAG:
                                                        critical paths, slack vs n + r
+  recover   (--family F --n N | --graph FILE|NAME)
+            [--loss-rate P] [--crash V@T[,V@T..]]
+            [--outage U-V@A..B[,..]] [--fault-seed S]
+            [--max-epochs K] [--out FILE]
+            [--trace-out FILE]                         run under faults + self-heal;
+                                                       exit 1 if recovery falls short
   bench-diff OLD.json NEW.json
             [--threshold PCT] [--wall-factor F]        compare BENCH_* artifacts;
                                                        exit 1 on regression
@@ -56,6 +66,15 @@ trace export (plan):
                     = 1 ms), tagged with the paper rule (U3/U4/D2/D3) that
                     produced it; add --wall to also run the threaded online
                     executor and append its wall-clock lanes
+
+fault flags (plan / recover):
+  --loss-rate P     drop each delivery independently with probability P
+  --crash V@T       crash-stop vertex V at the start of round T
+                    (comma-separate for several: 3@5,7@9)
+  --outage U-V@A..B link {U,V} down for rounds A..B (comma-separate)
+  --fault-seed S    seed of the deterministic loss sampler (default 0)
+  `plan` with fault flags additionally reports what a lossy run would lose
+  (no repair); `recover` runs the self-healing executor
 
 --graph also accepts the paper's named instances: petersen (N2), n1 (the
 Fig 1 ring, size --n), fig4, fig5
@@ -223,6 +242,52 @@ struct PlanArtifact {
     schedule: gossip_model::Schedule,
 }
 
+/// Builds a [`FaultPlan`] from the fault flags (`--loss-rate`, `--crash`,
+/// `--outage`, `--fault-seed`). Returns `None` when no fault flag was
+/// passed, so fault-free invocations skip the lossy path entirely.
+fn parse_fault_plan(args: &Args, n: usize) -> Result<Option<FaultPlan>, String> {
+    let any = ["loss-rate", "crash", "outage", "fault-seed"]
+        .iter()
+        .any(|k| args.options.contains_key(*k));
+    if !any {
+        return Ok(None);
+    }
+    let mut plan = FaultPlan::new(args.get_u64("fault-seed", 0)?)
+        .with_loss_rate(args.get_f64("loss-rate", 0.0)?);
+    if let Some(spec) = args.options.get("crash") {
+        plan = plan.with_crash_spec(spec)?;
+    }
+    if let Some(spec) = args.options.get("outage") {
+        plan = plan.with_outage_spec(spec)?;
+    }
+    plan.validate(n)?;
+    Ok(Some(plan))
+}
+
+/// One line per loss cause: `sampled 12, not-held 31, ...` (zero counts
+/// omitted).
+fn loss_breakdown(lost: &[gossip_model::LostDelivery]) -> String {
+    let causes = [
+        (LossCause::Sampled, "sampled"),
+        (LossCause::LinkDown, "link-down"),
+        (LossCause::SenderCrashed, "sender-crashed"),
+        (LossCause::ReceiverCrashed, "receiver-crashed"),
+        (LossCause::NotHeld, "not-held"),
+    ];
+    let parts: Vec<String> = causes
+        .iter()
+        .filter_map(|&(cause, name)| {
+            let count = lost.iter().filter(|l| l.cause == cause).count();
+            (count > 0).then(|| format!("{name} {count}"))
+        })
+        .collect();
+    if parts.is_empty() {
+        "none".to_string()
+    } else {
+        parts.join(", ")
+    }
+}
+
 /// Parses `--algorithm` (or its `--algo` shorthand); `concurrent` and
 /// `cud` are accepted for `concurrent-updown`.
 fn parse_algorithm(args: &Args) -> Result<Algorithm, String> {
@@ -309,6 +374,37 @@ pub fn plan(args: &Args) -> Result<(), String> {
         stats.deliveries,
         stats.max_fanout
     );
+    if let Some(faults) = parse_fault_plan(args, g.n())? {
+        // Fault flags: additionally report what a lossy run (no repair)
+        // would do to this schedule — losses by cause, DAG gaps, residual.
+        let (lossy_out, dag, lost) =
+            trace_gossip_lossy(&g, &plan.schedule, &plan.origin_of_message, model, &faults)
+                .map_err(|e| e.to_string())?;
+        let full_edges = g.n() * (g.n() - 1);
+        out!(
+            out,
+            "under faults (seed {}, loss rate {}): {} of {} deliveries lost ({})",
+            faults.seed,
+            faults.loss_rate,
+            lost.len(),
+            stats.deliveries,
+            loss_breakdown(&lost)
+        );
+        out!(
+            out,
+            "first-delivery DAG: {} of {full_edges} edges; {} (message, vertex) pairs never arrived{}",
+            dag.edge_count(),
+            full_edges.saturating_sub(dag.edge_count()),
+            if lossy_out.complete_among_alive {
+                " — complete among survivors despite faults"
+            } else {
+                " — run `gossip recover` to heal"
+            }
+        );
+        if let Some(m) = &metrics {
+            m.recorder.counter("recovery/lost", lost.len() as u64);
+        }
+    }
     if let Some(path) = args.options.get("out") {
         let artifact = PlanArtifact {
             schema_version: SCHEMA_VERSION,
@@ -360,6 +456,140 @@ pub fn plan(args: &Args) -> Result<(), String> {
         write_metrics(m)?;
     }
     Ok(())
+}
+
+/// `gossip recover`: run the plan under a fault plan with the self-healing
+/// executor and report the recovery outcome. Errors (exit 1) when the epoch
+/// budget ran out with recoverable pairs still missing, so scripts and CI
+/// can gate on full recovery.
+pub fn recover(args: &Args) -> Result<(), String> {
+    let g = load_graph(args)?;
+    let alg = parse_algorithm(args)?;
+    if alg == Algorithm::Telephone {
+        return Err(
+            "recover runs under the multicast model; --algorithm telephone is not supported".into(),
+        );
+    }
+    let metrics = open_metrics(args)?;
+    let out = Out::for_metrics(&metrics);
+    let mut planner = GossipPlanner::new(&g)
+        .map_err(|e| e.to_string())?
+        .algorithm(alg);
+    if let Some(m) = &metrics {
+        planner = planner.recorder(&m.recorder);
+    }
+    let plan = planner.plan().map_err(|e| e.to_string())?;
+    let faults = parse_fault_plan(args, g.n())?.unwrap_or_else(FaultPlan::none);
+    let max_epochs = args.get_usize("max-epochs", DEFAULT_MAX_EPOCHS)?;
+    let mut exec = ResilientExecutor::new(&g, &plan.schedule, &plan.origin_of_message, &faults)
+        .max_epochs(max_epochs);
+    if let Some(m) = &metrics {
+        exec = exec.recorder(&m.recorder);
+    }
+    let report = exec.run().map_err(|e| e.to_string())?;
+
+    out!(
+        out,
+        "network: n = {}, m = {}, radius r = {}; algorithm {}",
+        g.n(),
+        g.m(),
+        plan.radius,
+        alg.name()
+    );
+    out!(
+        out,
+        "fault plan: seed {}, loss rate {}, {} crash(es), {} outage(s)",
+        faults.seed,
+        faults.loss_rate,
+        faults.crashes.len(),
+        faults.outages.len()
+    );
+    out!(
+        out,
+        "{:>6} {:>6} {:>7} {:>10} {:>10} {:>6} {:>9}",
+        "epoch",
+        "start",
+        "rounds",
+        "attempted",
+        "delivered",
+        "lost",
+        "residual"
+    );
+    for e in &report.epochs {
+        out!(
+            out,
+            "{:>6} {:>6} {:>7} {:>10} {:>10} {:>6} {:>9}",
+            if e.epoch == 0 {
+                "base".to_string()
+            } else {
+                e.epoch.to_string()
+            },
+            e.start_round,
+            e.rounds,
+            e.attempted,
+            e.delivered,
+            e.lost,
+            e.residual_after
+        );
+    }
+    out!(
+        out,
+        "totals: {} rounds (baseline {}, overhead +{}), {} retransmissions, {} deliveries lost ({})",
+        report.total_rounds,
+        report.baseline_rounds,
+        report.overhead_rounds(),
+        report.retransmissions,
+        report.lost_deliveries,
+        loss_breakdown(&report.lost_log)
+    );
+    out!(out, "survivors: {} of {}", report.survivors, report.n);
+    if !report.unrecoverable.is_empty() {
+        out!(
+            out,
+            "unrecoverable: {} pair(s) — message extinct among survivors",
+            report.unrecoverable.len()
+        );
+    }
+    if report.recovered {
+        out!(
+            out,
+            "recovered: every reachable (message, vertex) pair completed in {} epoch(s)",
+            report.epochs.len()
+        );
+    }
+
+    if let Some(path) = args.options.get("out") {
+        if path == "true" {
+            return Err("--out requires a file path".into());
+        }
+        let json = serde_json::to_string_pretty(&report.to_value()).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+        out!(out, "wrote recovery report to {path}");
+    }
+    if let Some(path) = args.options.get("trace-out") {
+        if path == "true" {
+            return Err("--trace-out requires a file path".into());
+        }
+        let trace = report.chrome_trace();
+        std::fs::write(path, trace.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        out!(
+            out,
+            "wrote Chrome trace ({} events) to {path} — one lane per repair epoch",
+            trace.len()
+        );
+    }
+    if let Some(m) = &metrics {
+        write_metrics(m)?;
+    }
+    if report.recovered {
+        Ok(())
+    } else {
+        Err(format!(
+            "recovery incomplete: {} recoverable pair(s) still missing after {} epoch(s) (raise --max-epochs)",
+            report.unresolved.len(),
+            max_epochs
+        ))
+    }
 }
 
 /// `gossip trace`: print one vertex's schedule in the paper's table format.

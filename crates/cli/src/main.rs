@@ -40,6 +40,7 @@ fn main() {
         "energy" => commands::energy(&args),
         "stats" => commands::stats(&args),
         "provenance" => commands::provenance(&args),
+        "recover" => commands::recover(&args),
         "bench-diff" => commands::bench_diff(&args),
         "" | "help" | "--help" => {
             println!("{}", commands::USAGE);

@@ -346,3 +346,124 @@ fn stats_rejects_unknown_schema_version() {
     assert!(!ok);
     assert!(stderr.contains("schema_version"), "{stderr}");
 }
+
+#[test]
+fn recover_heals_lossy_run_and_exits_zero() {
+    let (ok, stdout, stderr) = gossip(&[
+        "recover",
+        "--graph",
+        "petersen",
+        "--loss-rate",
+        "0.3",
+        "--fault-seed",
+        "42",
+    ]);
+    assert!(ok, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("fault plan: seed 42, loss rate 0.3"));
+    assert!(stdout.contains("recovered: every reachable"), "{stdout}");
+    assert!(stdout.contains("retransmissions"));
+}
+
+#[test]
+fn recover_zero_faults_reports_no_overhead() {
+    let (ok, stdout, _) = gossip(&[
+        "recover",
+        "--family",
+        "ring",
+        "--n",
+        "8",
+        "--fault-seed",
+        "0",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("overhead +0"), "{stdout}");
+    assert!(stdout.contains("0 retransmissions"), "{stdout}");
+}
+
+#[test]
+fn recover_exhausted_budget_exits_nonzero() {
+    let (ok, _, stderr) = gossip(&[
+        "recover",
+        "--graph",
+        "petersen",
+        "--loss-rate",
+        "0.5",
+        "--fault-seed",
+        "42",
+        "--max-epochs",
+        "0",
+    ]);
+    assert!(!ok, "budget 0 under heavy loss must fail");
+    assert!(stderr.contains("recovery incomplete"), "{stderr}");
+}
+
+#[test]
+fn recover_artifact_and_trace_files() {
+    let dir = temp_dir("recover");
+    let out = dir.join("report.json");
+    let trace = dir.join("trace.json");
+    let (ok, stdout, stderr) = gossip(&[
+        "recover",
+        "--graph",
+        "petersen",
+        "--loss-rate",
+        "0.2",
+        "--crash",
+        "9@3",
+        "--fault-seed",
+        "5",
+        "--out",
+        out.to_str().unwrap(),
+        "--trace-out",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(ok, "stdout: {stdout}\nstderr: {stderr}");
+    let report = std::fs::read_to_string(&out).unwrap();
+    assert!(report.contains("\"schema_version\": 1"), "{report}");
+    assert!(report.contains("\"kind\": \"recovery\""));
+    assert!(report.contains("\"epochs\""));
+    assert_chrome_trace(&std::fs::read_to_string(&trace).unwrap());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn recover_rejects_bad_fault_specs() {
+    let (ok, _, stderr) = gossip(&[
+        "recover", "--family", "ring", "--n", "8", "--crash", "banana",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("crash"), "{stderr}");
+
+    let (ok, _, stderr) = gossip(&[
+        "recover",
+        "--family",
+        "ring",
+        "--n",
+        "8",
+        "--outage",
+        "0-99@0..5",
+    ]);
+    assert!(!ok, "out-of-range outage must be rejected");
+    assert!(!stderr.is_empty());
+}
+
+#[test]
+fn plan_with_fault_flags_previews_losses() {
+    let (ok, stdout, _) = gossip(&[
+        "plan",
+        "--family",
+        "ring",
+        "--n",
+        "10",
+        "--loss-rate",
+        "0.2",
+        "--fault-seed",
+        "7",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(
+        stdout.contains("under faults (seed 7, loss rate 0.2)"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("gossip recover"), "{stdout}");
+}

@@ -19,8 +19,9 @@
 //! search on tiny networks ([`exact`]), randomized schedule search and the
 //! optimal Petersen schedule ([`search`]), weighted gossiping by chain
 //! splitting ([`weighted`]), the online/distributed protocol with a
-//! thread-per-processor harness ([`online`]), and the graph-to-schedule
-//! pipeline ([`pipeline`]).
+//! thread-per-processor harness ([`online`]), the graph-to-schedule
+//! pipeline ([`pipeline`]), and self-healing execution under seeded fault
+//! plans — residual planning plus epoch-based repair ([`recovery`]).
 //!
 //! ## Quick start
 //!
@@ -65,6 +66,7 @@ pub mod online;
 pub mod paper_map;
 pub mod pipeline;
 pub mod pipelined;
+pub mod recovery;
 pub mod ring;
 pub mod search;
 pub mod simple;
@@ -94,6 +96,10 @@ pub use online::{
 pub use pipeline::{Algorithm, GossipPlan, GossipPlanner};
 pub use pipelined::{
     min_pipeline_period, pipelined_gossip, pipelined_gossip_recorded, PipelinedPlan,
+};
+pub use recovery::{
+    plan_completion, EpochReport, RecoveryReport, ResidualPlan, ResilientExecutor,
+    DEFAULT_MAX_EPOCHS,
 };
 pub use ring::{circuit_gossip_schedule, ring_gossip_schedule};
 pub use search::{petersen_gossip_schedule, randomized_gossip_search, SearchOutcome};

@@ -35,6 +35,8 @@ pub struct TreeMaintainer {
     graph: Graph,
     plan: GossipPlan,
     rebuilds: usize,
+    #[cfg(test)]
+    fail_next_rebuild: bool,
 }
 
 impl TreeMaintainer {
@@ -45,6 +47,8 @@ impl TreeMaintainer {
             graph,
             plan,
             rebuilds: 1,
+            #[cfg(test)]
+            fail_next_rebuild: false,
         })
     }
 
@@ -66,42 +70,66 @@ impl TreeMaintainer {
 
     /// Applies an edge insertion. Keeps the plan when the radius is
     /// unchanged; rebuilds when the new chord shrinks it.
+    ///
+    /// Atomic: on any error (including a failed rebuild) the maintainer's
+    /// graph and plan are both unchanged, so they never disagree.
     pub fn insert_edge(&mut self, u: usize, v: usize) -> Result<MaintenanceOutcome, GraphError> {
-        self.graph = self.graph.with_edge(u, v)?;
+        let candidate = self.graph.with_edge(u, v)?;
         // The old tree still spans; rebuild only if the radius improved.
-        let new_radius = gossip_graph::radius(&self.graph)?;
+        let new_radius = gossip_graph::radius(&candidate)?;
         if new_radius < self.plan.radius {
-            self.rebuild()?;
+            let plan = self.build_plan(&candidate)?;
+            self.commit(candidate, Some(plan));
             Ok(MaintenanceOutcome::Rebuilt)
         } else {
+            self.commit(candidate, None);
             Ok(MaintenanceOutcome::Kept)
         }
     }
 
     /// Applies an edge removal. Errors with [`GraphError::Disconnected`]
-    /// (leaving the old state in place) if the removal would disconnect the
-    /// network; otherwise rebuilds only when a tree edge was lost.
+    /// if the removal would disconnect the network; otherwise rebuilds only
+    /// when a tree edge was lost.
+    ///
+    /// Atomic: on any error (including a failed rebuild) the maintainer's
+    /// graph and plan are both unchanged, so they never disagree.
     pub fn remove_edge(&mut self, u: usize, v: usize) -> Result<MaintenanceOutcome, GraphError> {
         let candidate = self.graph.without_edge(u, v)?;
         if !gossip_graph::is_connected(&candidate) {
             return Err(GraphError::Disconnected);
         }
         let tree_edge = self.plan.tree.parent(u) == Some(v) || self.plan.tree.parent(v) == Some(u);
-        self.graph = candidate;
         if tree_edge {
-            self.rebuild()?;
+            let plan = self.build_plan(&candidate)?;
+            self.commit(candidate, Some(plan));
             Ok(MaintenanceOutcome::Rebuilt)
         } else {
             // The tree still spans. Its height equals the old radius, which
             // removal can only have grown, so the tree stays optimal.
+            self.commit(candidate, None);
             Ok(MaintenanceOutcome::Kept)
         }
     }
 
-    fn rebuild(&mut self) -> Result<(), GraphError> {
-        self.plan = GossipPlanner::new(&self.graph)?.plan()?;
-        self.rebuilds += 1;
-        Ok(())
+    /// Runs the `O(mn)` construction against a candidate graph without
+    /// touching the maintainer's state.
+    fn build_plan(&mut self, graph: &Graph) -> Result<GossipPlan, GraphError> {
+        #[cfg(test)]
+        if self.fail_next_rebuild {
+            self.fail_next_rebuild = false;
+            return Err(GraphError::Disconnected);
+        }
+        GossipPlanner::new(graph)?.plan()
+    }
+
+    /// Commits a validated candidate graph (and rebuilt plan, if any) in
+    /// one step — the only place maintainer state changes.
+    fn commit(&mut self, graph: Graph, plan: Option<GossipPlan>) {
+        self.graph = graph;
+        if let Some(plan) = plan {
+            self.plan = plan;
+            self.rebuilds += 1;
+        }
     }
 }
 
@@ -182,6 +210,52 @@ mod tests {
         // A short chord does not change the radius of C9 (4).
         assert_eq!(m.insert_edge(0, 2).unwrap(), MaintenanceOutcome::Kept);
         assert_eq!(m.rebuilds(), 1);
+        assert_plan_valid(&m);
+    }
+
+    #[test]
+    fn failed_rebuild_rolls_back_insert() {
+        // A path whose radius shrinks when a chord is added, forcing the
+        // rebuild path; the injected rebuild failure must leave both the
+        // graph and the plan exactly as they were.
+        let path = Graph::from_edges(7, &(0..6).map(|i| (i, i + 1)).collect::<Vec<_>>()).unwrap();
+        let mut m = TreeMaintainer::new(path).unwrap();
+        let before_graph = m.graph().clone();
+        let before_plan = m.plan().clone();
+        m.fail_next_rebuild = true;
+        assert!(m.insert_edge(1, 5).is_err());
+        assert!(
+            !m.graph().has_edge(1, 5),
+            "graph change must be rolled back"
+        );
+        assert_eq!(m.graph().m(), before_graph.m());
+        assert_eq!(m.plan().schedule, before_plan.schedule);
+        assert_eq!(m.rebuilds(), 1);
+        assert_plan_valid(&m);
+        // The maintainer still works after the failed attempt.
+        assert_eq!(m.insert_edge(1, 5).unwrap(), MaintenanceOutcome::Rebuilt);
+        assert_plan_valid(&m);
+    }
+
+    #[test]
+    fn failed_rebuild_rolls_back_remove() {
+        let mut m = TreeMaintainer::new(ring(8)).unwrap();
+        let root = m.plan().tree.root();
+        let child = m.plan().tree.children(root)[0] as usize;
+        let before_plan = m.plan().clone();
+        m.fail_next_rebuild = true;
+        assert!(m.remove_edge(root, child).is_err());
+        assert!(
+            m.graph().has_edge(root, child),
+            "graph change must be rolled back"
+        );
+        assert_eq!(m.plan().schedule, before_plan.schedule);
+        assert_eq!(m.rebuilds(), 1);
+        assert_plan_valid(&m);
+        assert_eq!(
+            m.remove_edge(root, child).unwrap(),
+            MaintenanceOutcome::Rebuilt
+        );
         assert_plan_valid(&m);
     }
 

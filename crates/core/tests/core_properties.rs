@@ -112,7 +112,7 @@ proptest! {
         let g = tree.to_graph();
         let origins = tree_origins(&tree);
         for &fault in Fault::all() {
-            let Some(mutant) = inject_fault(&s, fault, tree.n(), seed) else { continue };
+            let Some(mutant) = inject_fault(&s, fault, &g, seed) else { continue };
             if mutant == s {
                 continue;
             }

@@ -92,6 +92,12 @@ pub enum ModelError {
         /// Description of the inconsistency.
         reason: String,
     },
+    /// A fault plan referenced processors or links outside the network, or
+    /// carried an out-of-range loss rate.
+    InvalidFaultPlan {
+        /// Description of the inconsistency.
+        reason: String,
+    },
     /// Graph/schedule size mismatch.
     SizeMismatch {
         /// Processors in the graph.
@@ -153,6 +159,7 @@ impl fmt::Display for ModelError {
                 )
             }
             ModelError::BadOriginTable { reason } => write!(f, "bad origin table: {reason}"),
+            ModelError::InvalidFaultPlan { reason } => write!(f, "invalid fault plan: {reason}"),
             ModelError::SizeMismatch {
                 graph_n,
                 schedule_n,

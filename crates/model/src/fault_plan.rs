@@ -1,0 +1,332 @@
+//! Seeded, schema-versioned fault plans for lossy execution.
+//!
+//! A [`FaultPlan`] describes *when the environment misbehaves*: per-round
+//! message loss at rate `p`, per-link outages over round intervals, and
+//! crash-stop processor failures at a given round. Plans are deterministic:
+//! sampled loss is a pure function of `(seed, round, from, to)`, so the same
+//! plan replayed over the same transcript reproduces the exact same
+//! outcomes — the property the recovery executor's replay acceptance test
+//! relies on.
+
+use serde::{Deserialize, Serialize};
+
+/// Schema version stamped into serialized fault plans and recovery
+/// artifacts.
+pub const FAULT_PLAN_SCHEMA_VERSION: u64 = 1;
+
+/// A link that is down for a half-open round interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkOutage {
+    /// One endpoint of the link.
+    pub u: usize,
+    /// The other endpoint.
+    pub v: usize,
+    /// First round (inclusive) at which the link is down.
+    pub from_round: usize,
+    /// First round at which the link is back up (exclusive end).
+    pub until_round: usize,
+}
+
+/// A crash-stop failure: the processor permanently stops participating at
+/// the start of round `at_round` (it neither sends nor receives from then
+/// on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Crash {
+    /// The crashing processor.
+    pub vertex: usize,
+    /// The round at whose start the processor dies.
+    pub at_round: usize,
+}
+
+/// A deterministic description of environment faults over an execution.
+///
+/// # Examples
+///
+/// ```
+/// use gossip_model::FaultPlan;
+///
+/// let plan = FaultPlan::new(42).with_loss_rate(0.1).with_crash(3, 5);
+/// assert!(plan.is_crashed(3, 5));
+/// assert!(!plan.is_crashed(3, 4));
+/// // Sampled loss is a pure function of (seed, round, from, to):
+/// let a = plan.loses(7, 0, 1);
+/// assert_eq!(plan.loses(7, 0, 1), a);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Schema version of the plan ([`FAULT_PLAN_SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Seed for the per-delivery loss sampler.
+    pub seed: u64,
+    /// Independent per-delivery loss probability in `[0, 1]`.
+    pub loss_rate: f64,
+    /// Link outage intervals.
+    pub outages: Vec<LinkOutage>,
+    /// Crash-stop failures.
+    pub crashes: Vec<Crash>,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and no faults.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            schema_version: FAULT_PLAN_SCHEMA_VERSION,
+            seed,
+            loss_rate: 0.0,
+            outages: Vec::new(),
+            crashes: Vec::new(),
+        }
+    }
+
+    /// The empty plan: nothing ever fails.
+    pub fn none() -> FaultPlan {
+        FaultPlan::new(0)
+    }
+
+    /// Sets the independent per-delivery loss rate (clamped to `[0, 1]`).
+    pub fn with_loss_rate(mut self, p: f64) -> FaultPlan {
+        self.loss_rate = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Adds a link outage for rounds `from_round..until_round`.
+    pub fn with_outage(
+        mut self,
+        u: usize,
+        v: usize,
+        from_round: usize,
+        until_round: usize,
+    ) -> Self {
+        self.outages.push(LinkOutage {
+            u,
+            v,
+            from_round,
+            until_round,
+        });
+        self
+    }
+
+    /// Adds a crash-stop failure of `vertex` at the start of `at_round`.
+    pub fn with_crash(mut self, vertex: usize, at_round: usize) -> FaultPlan {
+        self.crashes.push(Crash { vertex, at_round });
+        self
+    }
+
+    /// Whether the plan contains no faults at all (loss rate 0, no outages,
+    /// no crashes). The lossy executor over such a plan behaves exactly
+    /// like the strict one.
+    pub fn is_trivial(&self) -> bool {
+        self.loss_rate == 0.0 && self.outages.is_empty() && self.crashes.is_empty()
+    }
+
+    /// Whether `vertex` has crash-stopped by the start of `round`.
+    pub fn is_crashed(&self, vertex: usize, round: usize) -> bool {
+        self.crashes
+            .iter()
+            .any(|c| c.vertex == vertex && round >= c.at_round)
+    }
+
+    /// Whether the link `{u, v}` is down during `round` (direction-free).
+    pub fn link_down(&self, u: usize, v: usize, round: usize) -> bool {
+        self.outages.iter().any(|o| {
+            ((o.u == u && o.v == v) || (o.u == v && o.v == u))
+                && round >= o.from_round
+                && round < o.until_round
+        })
+    }
+
+    /// Whether the delivery `from -> to` in `round` is dropped by sampled
+    /// loss. Deterministic and order-independent: a pure hash of
+    /// `(seed, round, from, to)` against `loss_rate`.
+    pub fn loses(&self, round: usize, from: usize, to: usize) -> bool {
+        if self.loss_rate <= 0.0 {
+            return false;
+        }
+        if self.loss_rate >= 1.0 {
+            return true;
+        }
+        let h = mix(self
+            .seed
+            .wrapping_add(mix(round as u64))
+            .wrapping_add(mix((from as u64) << 32 | to as u64)));
+        // Map the top 53 bits to [0, 1).
+        let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+        unit < self.loss_rate
+    }
+
+    /// The set of processors still alive at the start of `round`.
+    pub fn alive_at(&self, n: usize, round: usize) -> Vec<bool> {
+        let mut alive = vec![true; n];
+        for c in &self.crashes {
+            if c.vertex < n && round >= c.at_round {
+                alive[c.vertex] = false;
+            }
+        }
+        alive
+    }
+
+    /// Validates the plan against a network of `n` processors: crash and
+    /// outage endpoints must be in range, the loss rate in `[0, 1]`.
+    pub fn validate(&self, n: usize) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.loss_rate) {
+            return Err(format!("loss rate {} outside [0, 1]", self.loss_rate));
+        }
+        for c in &self.crashes {
+            if c.vertex >= n {
+                return Err(format!("crash vertex {} out of range (n={n})", c.vertex));
+            }
+        }
+        for o in &self.outages {
+            if o.u >= n || o.v >= n {
+                return Err(format!("outage link {}-{} out of range (n={n})", o.u, o.v));
+            }
+            if o.until_round <= o.from_round {
+                return Err(format!(
+                    "outage {}-{} has empty interval {}..{}",
+                    o.u, o.v, o.from_round, o.until_round
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses a comma-separated crash spec list (`"3@5,7@9"` = vertex 3
+    /// crashes at round 5, vertex 7 at round 9) into the plan.
+    pub fn with_crash_spec(mut self, spec: &str) -> Result<FaultPlan, String> {
+        for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let (v, t) = part
+                .trim()
+                .split_once('@')
+                .ok_or_else(|| format!("bad crash spec '{part}': expected V@T"))?;
+            let vertex: usize = v
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad crash vertex '{v}'"))?;
+            let at_round: usize = t
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad crash round '{t}'"))?;
+            self = self.with_crash(vertex, at_round);
+        }
+        Ok(self)
+    }
+
+    /// Parses a comma-separated outage spec list
+    /// (`"0-1@2..5,3-4@0..9"` = link {0,1} down for rounds 2..5, etc.).
+    pub fn with_outage_spec(mut self, spec: &str) -> Result<FaultPlan, String> {
+        for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let (link, span) = part
+                .trim()
+                .split_once('@')
+                .ok_or_else(|| format!("bad outage spec '{part}': expected U-V@A..B"))?;
+            let (u, v) = link
+                .trim()
+                .split_once('-')
+                .ok_or_else(|| format!("bad outage link '{link}': expected U-V"))?;
+            let (a, b) = span
+                .trim()
+                .split_once("..")
+                .ok_or_else(|| format!("bad outage interval '{span}': expected A..B"))?;
+            let u: usize = u.trim().parse().map_err(|_| format!("bad vertex '{u}'"))?;
+            let v: usize = v.trim().parse().map_err(|_| format!("bad vertex '{v}'"))?;
+            let a: usize = a.trim().parse().map_err(|_| format!("bad round '{a}'"))?;
+            let b: usize = b.trim().parse().map_err(|_| format!("bad round '{b}'"))?;
+            self = self.with_outage(u, v, a, b);
+        }
+        Ok(self)
+    }
+}
+
+/// splitmix64 finalizer: a strong 64-bit mixer, good enough to decorrelate
+/// per-delivery loss coins across rounds and links.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_is_deterministic_and_rate_like() {
+        let plan = FaultPlan::new(99).with_loss_rate(0.25);
+        let mut lost = 0;
+        let total = 4000;
+        for r in 0..total {
+            let a = plan.loses(r, 1, 2);
+            assert_eq!(plan.loses(r, 1, 2), a, "replay must agree");
+            if a {
+                lost += 1;
+            }
+        }
+        let rate = lost as f64 / total as f64;
+        assert!((rate - 0.25).abs() < 0.05, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn loss_rate_extremes() {
+        let never = FaultPlan::new(1);
+        let always = FaultPlan::new(1).with_loss_rate(1.0);
+        for r in 0..50 {
+            assert!(!never.loses(r, 0, 1));
+            assert!(always.loses(r, 0, 1));
+        }
+    }
+
+    #[test]
+    fn crash_and_outage_windows() {
+        let plan = FaultPlan::new(0).with_crash(2, 3).with_outage(0, 1, 2, 4);
+        assert!(!plan.is_crashed(2, 2));
+        assert!(plan.is_crashed(2, 3));
+        assert!(plan.is_crashed(2, 100));
+        assert!(!plan.link_down(0, 1, 1));
+        assert!(plan.link_down(0, 1, 2));
+        assert!(plan.link_down(1, 0, 3), "outage is direction-free");
+        assert!(!plan.link_down(0, 1, 4), "until_round is exclusive");
+        let alive = plan.alive_at(4, 3);
+        assert_eq!(alive, vec![true, true, false, true]);
+    }
+
+    #[test]
+    fn spec_parsers() {
+        let plan = FaultPlan::new(0).with_crash_spec("3@5, 7@9").unwrap();
+        assert_eq!(plan.crashes.len(), 2);
+        assert!(plan.is_crashed(3, 5) && plan.is_crashed(7, 9));
+        let plan = FaultPlan::new(0).with_outage_spec("0-1@2..5").unwrap();
+        assert!(plan.link_down(0, 1, 2) && !plan.link_down(0, 1, 5));
+        assert!(FaultPlan::new(0).with_crash_spec("3-5").is_err());
+        assert!(FaultPlan::new(0)
+            .with_outage_spec("0-1@5..2")
+            .unwrap()
+            .validate(4)
+            .is_err());
+    }
+
+    #[test]
+    fn validate_ranges() {
+        assert!(FaultPlan::new(0).with_crash(9, 0).validate(4).is_err());
+        assert!(FaultPlan::new(0)
+            .with_outage(0, 9, 0, 1)
+            .validate(4)
+            .is_err());
+        assert!(FaultPlan::new(0)
+            .with_loss_rate(0.2)
+            .with_crash(1, 0)
+            .validate(4)
+            .is_ok());
+    }
+
+    #[test]
+    fn roundtrips_through_serde() {
+        let plan = FaultPlan::new(7)
+            .with_loss_rate(0.125)
+            .with_crash(1, 2)
+            .with_outage(0, 3, 1, 6);
+        let v = Serialize::to_value(&plan);
+        let back = FaultPlan::from_value(&v).unwrap();
+        assert_eq!(back, plan);
+    }
+}

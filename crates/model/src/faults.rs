@@ -9,6 +9,7 @@
 
 use crate::round::Transmission;
 use crate::schedule::Schedule;
+use gossip_graph::Graph;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -46,14 +47,30 @@ impl Fault {
 
 /// Applies `fault` to a random location of `schedule` (seeded, so mutants
 /// are reproducible). Returns `None` when the schedule offers no applicable
-/// site (e.g. empty schedule).
-pub fn inject_fault(schedule: &Schedule, fault: Fault, n: usize, seed: u64) -> Option<Schedule> {
+/// site (e.g. empty schedule, round-0-only schedule for [`Fault::ShiftEarlier`],
+/// or a complete graph for [`Fault::RedirectToNonNeighbor`]).
+///
+/// Sites are filtered per fault kind *before* sampling, so every seed
+/// yields a mutant whenever any applicable site exists.
+pub fn inject_fault(schedule: &Schedule, fault: Fault, g: &Graph, seed: u64) -> Option<Schedule> {
+    let n = g.n();
     let mut rng = SmallRng::seed_from_u64(seed);
     let sites: Vec<(usize, usize)> = schedule
         .rounds
         .iter()
         .enumerate()
         .flat_map(|(t, r)| (0..r.transmissions.len()).map(move |i| (t, i)))
+        .filter(|&(t, i)| match fault {
+            // Shifting a round-0 transmission earlier is impossible; keep
+            // only sites that can actually move.
+            Fault::ShiftEarlier => t > 0,
+            // Redirecting needs an actual non-neighbour to aim at.
+            Fault::RedirectToNonNeighbor => {
+                let from = schedule.rounds[t].transmissions[i].from;
+                from < n && g.degree(from) + 1 < n
+            }
+            _ => true,
+        })
         .collect();
     if sites.is_empty() {
         return None;
@@ -73,19 +90,19 @@ pub fn inject_fault(schedule: &Schedule, fault: Fault, n: usize, seed: u64) -> O
             s.rounds[t].transmissions[i].msg = other as u32;
         }
         Fault::RedirectToNonNeighbor => {
-            // Redirect the first destination to a uniformly random vertex;
-            // the caller's graph determines whether this is an actual
-            // non-edge (tests pick graphs where it overwhelmingly is).
-            let j = rng.gen_range(0..n);
+            // Sample an actual non-neighbour of the sender (site filtering
+            // guarantees at least one exists), so the mutant always
+            // violates the adjacency rule.
+            let non_neighbors: Vec<usize> = (0..n)
+                .filter(|&j| j != tx.from && !g.has_edge(tx.from, j))
+                .collect();
+            let j = non_neighbors[rng.gen_range(0..non_neighbors.len())];
             let mut redirected = tx.clone();
             redirected.to[0] = j;
             s.rounds[t].transmissions[i] =
                 Transmission::new(redirected.msg, redirected.from, redirected.to);
         }
         Fault::ShiftEarlier => {
-            if t == 0 {
-                return None;
-            }
             s.rounds[t].transmissions.remove(i);
             s.rounds[t - 1].transmissions.push(tx);
         }
@@ -139,7 +156,7 @@ mod tests {
             let mut detected = 0;
             let mut applied = 0;
             for seed in 0..40 {
-                let Some(mutant) = inject_fault(&s, fault, g.n(), seed) else {
+                let Some(mutant) = inject_fault(&s, fault, &g, seed) else {
                     continue;
                 };
                 if mutant == s {
@@ -169,7 +186,7 @@ mod tests {
         // Dropping any single delivery from a redundancy-free schedule must
         // leave someone missing a message.
         for seed in 0..20 {
-            if let Some(mutant) = inject_fault(&s, Fault::DropTransmission, g.n(), seed) {
+            if let Some(mutant) = inject_fault(&s, Fault::DropTransmission, &g, seed) {
                 assert_ne!(run(&g, &mutant, &o), Ok(true), "seed {seed}");
             }
         }
@@ -179,9 +196,56 @@ mod tests {
     fn duplicate_always_rejected() {
         let (g, s, o) = good();
         for seed in 0..20 {
-            if let Some(mutant) = inject_fault(&s, Fault::DuplicateTransmission, g.n(), seed) {
+            if let Some(mutant) = inject_fault(&s, Fault::DuplicateTransmission, &g, seed) {
                 assert!(run(&g, &mutant, &o).is_err(), "seed {seed}");
             }
         }
+    }
+
+    #[test]
+    fn redirect_always_hits_a_real_non_neighbor() {
+        // The redirect targets an actual non-edge of the sender, so every
+        // mutant (not just "overwhelmingly" many) violates adjacency.
+        let (g, s, o) = good();
+        for seed in 0..40 {
+            let mutant = inject_fault(&s, Fault::RedirectToNonNeighbor, &g, seed)
+                .expect("the 4-path has non-neighbours for every sender");
+            assert!(
+                matches!(
+                    run(&g, &mutant, &o),
+                    Err(crate::error::ModelError::NotAdjacent { .. })
+                ),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn redirect_on_complete_graph_has_no_site() {
+        let g = Graph::from_edges(3, &[(0, 1), (0, 2), (1, 2)]).unwrap();
+        let mut s = Schedule::new(3);
+        s.add_transmission(0, Transmission::unicast(0, 0, 1));
+        assert_eq!(inject_fault(&s, Fault::RedirectToNonNeighbor, &g, 0), None);
+    }
+
+    #[test]
+    fn shift_earlier_never_wastes_a_seed() {
+        // Every seed must yield a mutant because the schedule has sites
+        // beyond round 0; previously a draw landing on round 0 was wasted.
+        let (g, s, _o) = good();
+        for seed in 0..40 {
+            let mutant = inject_fault(&s, Fault::ShiftEarlier, &g, seed)
+                .expect("sites at t > 0 exist, so every seed must produce a mutant");
+            assert_ne!(mutant, s);
+        }
+    }
+
+    #[test]
+    fn shift_earlier_with_only_round_zero_has_no_site() {
+        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let mut s = Schedule::new(2);
+        s.add_transmission(0, Transmission::unicast(0, 0, 1));
+        s.add_transmission(0, Transmission::unicast(1, 1, 0));
+        assert_eq!(inject_fault(&s, Fault::ShiftEarlier, &g, 7), None);
     }
 }

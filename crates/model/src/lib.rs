@@ -15,7 +15,10 @@
 //!   Tables 1–4;
 //! - [`provenance`]: the causal first-delivery DAG of a run (who first
 //!   told whom, and when), critical paths against the `n + r` bound, and
-//!   Chrome-trace export.
+//!   Chrome-trace export;
+//! - [`fault_plan`] / [`lossy`]: seeded environment faults (message loss,
+//!   link outages, crash-stop processors) and the degraded execution mode
+//!   that records losses and residual work instead of erroring.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,7 +28,9 @@ pub mod bitset;
 pub mod builder;
 pub mod compact;
 pub mod error;
+pub mod fault_plan;
 pub mod faults;
+pub mod lossy;
 pub mod models;
 pub mod provenance;
 pub mod round;
@@ -40,11 +45,13 @@ pub use bitset::BitSet;
 pub use builder::ScheduleBuilder;
 pub use compact::{compact_schedule, verify_compaction, CompactionReport};
 pub use error::ModelError;
+pub use fault_plan::{Crash, FaultPlan, LinkOutage, FAULT_PLAN_SCHEMA_VERSION};
 pub use faults::{inject_fault, Fault};
+pub use lossy::{LossCause, LossyOutcome, LostDelivery};
 pub use models::CommModel;
 pub use provenance::{
-    schedule_chrome_trace, trace_gossip, Delivery, PathStep, ProvenanceTrace, RoundUtil,
-    VertexActivity,
+    schedule_chrome_trace, trace_gossip, trace_gossip_lossy, Delivery, PathStep, ProvenanceTrace,
+    RoundUtil, VertexActivity,
 };
 pub use round::{CommRound, Transmission};
 pub use schedule::{Schedule, ScheduleStats};

@@ -1,0 +1,413 @@
+//! Lossy execution: running schedules under a [`FaultPlan`], degrading
+//! instead of erroring.
+//!
+//! The strict [`Simulator::step`] is the trust anchor — any deviation from
+//! the paper's model is an error. Real deployments are not so kind: packets
+//! drop, links flap, processors die. This module adds a second execution
+//! mode where *fault-induced* failures (a sender that never received the
+//! message it was scheduled to relay, a crashed receiver, a sampled loss)
+//! are recorded as [`LostDelivery`] entries and execution continues, while
+//! *structural* schedule bugs (out-of-range indices, duplicate
+//! senders/receivers, non-adjacent destinations, model violations) still
+//! error exactly as in strict mode. Hold sets reflect only what actually
+//! arrived, and [`Simulator::residual`] reports the missing
+//! (message, vertex) pairs the recovery layer must still complete.
+//!
+//! Rounds are indexed absolutely: a simulator that has already executed
+//! `t` rounds samples the fault plan at round `t`, so one simulator carried
+//! across repair epochs keeps drawing from the same deterministic fault
+//! sequence — replaying the combined transcript against the same plan
+//! reproduces identical outcomes.
+
+use crate::error::ModelError;
+use crate::fault_plan::FaultPlan;
+use crate::round::CommRound;
+use crate::schedule::Schedule;
+use crate::simulator::Simulator;
+use serde::{Deserialize, Serialize};
+
+/// Why a scheduled delivery did not land.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LossCause {
+    /// Dropped by the per-delivery loss sampler.
+    Sampled,
+    /// The link between sender and receiver was down this round.
+    LinkDown,
+    /// The sender had crash-stopped before this round.
+    SenderCrashed,
+    /// The receiver had crash-stopped before this round.
+    ReceiverCrashed,
+    /// The sender never received the message it was scheduled to forward
+    /// (a cascade from an earlier loss).
+    NotHeld,
+}
+
+/// One scheduled delivery that was lost, with its cause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LostDelivery {
+    /// Absolute round at which the delivery was scheduled.
+    pub round: usize,
+    /// The message that failed to arrive.
+    pub msg: u32,
+    /// The scheduled sender.
+    pub from: usize,
+    /// The scheduled receiver.
+    pub to: usize,
+    /// Why the delivery was lost.
+    pub cause: LossCause,
+}
+
+/// What a lossy run of a schedule established.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LossyOutcome {
+    /// Rounds executed (the schedule makespan).
+    pub rounds_executed: usize,
+    /// Deliveries that actually landed.
+    pub delivered: usize,
+    /// Deliveries lost during this run (same count as the entries appended
+    /// to the caller's loss log).
+    pub lost: usize,
+    /// Whether every *surviving* processor ended holding every message.
+    pub complete_among_alive: bool,
+}
+
+impl<'g> Simulator<'g> {
+    /// Executes one round under `plan`, degrading on fault-induced
+    /// failures.
+    ///
+    /// Structural schedule violations still error with the state unchanged,
+    /// exactly as [`Simulator::step`]; the only strict check *not* enforced
+    /// is `MessageNotHeld`, which becomes a recorded [`LossCause::NotHeld`]
+    /// cascade loss. Lost deliveries are appended to `lost`. Returns the
+    /// number of deliveries that landed.
+    pub fn step_lossy(
+        &mut self,
+        round: &CommRound,
+        plan: &FaultPlan,
+        lost: &mut Vec<LostDelivery>,
+    ) -> Result<usize, ModelError> {
+        let n = self.g.n();
+        let t = self.time;
+        self.round_stamp += 1;
+        let stamp = self.round_stamp;
+
+        // Validation pass: every structural rule of the strict simulator,
+        // minus the hold-set check (faults legitimately break relay
+        // chains). Nothing is mutated before this pass completes.
+        for tx in &round.transmissions {
+            if tx.from >= n {
+                return Err(ModelError::ProcessorOutOfRange {
+                    round: t,
+                    proc: tx.from,
+                    n,
+                });
+            }
+            let n_msgs = self.n_msgs;
+            if tx.msg as usize >= n_msgs {
+                return Err(ModelError::MessageOutOfRange {
+                    round: t,
+                    msg: tx.msg,
+                    n: n_msgs,
+                });
+            }
+            if tx.to.is_empty() {
+                return Err(ModelError::EmptyDestination {
+                    round: t,
+                    sender: tx.from,
+                });
+            }
+            if self.send_stamp[tx.from] == stamp {
+                return Err(ModelError::DuplicateSender {
+                    round: t,
+                    sender: tx.from,
+                });
+            }
+            self.send_stamp[tx.from] = stamp;
+            self.model
+                .check_destinations(self.g, tx)
+                .map_err(|reason| ModelError::ModelViolation {
+                    round: t,
+                    sender: tx.from,
+                    reason,
+                })?;
+            let mut prev: Option<usize> = None;
+            for &d in &tx.to {
+                if d >= n {
+                    return Err(ModelError::ProcessorOutOfRange {
+                        round: t,
+                        proc: d,
+                        n,
+                    });
+                }
+                if prev == Some(d) {
+                    return Err(ModelError::DuplicateDestination {
+                        round: t,
+                        sender: tx.from,
+                        receiver: d,
+                    });
+                }
+                prev = Some(d);
+                if !self.g.has_edge(tx.from, d) {
+                    return Err(ModelError::NotAdjacent {
+                        round: t,
+                        sender: tx.from,
+                        receiver: d,
+                    });
+                }
+                if self.recv_stamp[d] == stamp {
+                    return Err(ModelError::DuplicateReceiver {
+                        round: t,
+                        receiver: d,
+                    });
+                }
+                self.recv_stamp[d] = stamp;
+            }
+        }
+
+        // Apply pass: deliveries land unless a fault condition intercepts.
+        let mut delivered = 0;
+        for tx in &round.transmissions {
+            let m = tx.msg as usize;
+            let whole_tx_cause = if plan.is_crashed(tx.from, t) {
+                Some(LossCause::SenderCrashed)
+            } else if !self.hold[tx.from].contains(m) {
+                Some(LossCause::NotHeld)
+            } else {
+                None
+            };
+            for &d in &tx.to {
+                let cause = whole_tx_cause.or_else(|| {
+                    if plan.is_crashed(d, t) {
+                        Some(LossCause::ReceiverCrashed)
+                    } else if plan.link_down(tx.from, d, t) {
+                        Some(LossCause::LinkDown)
+                    } else if plan.loses(t, tx.from, d) {
+                        Some(LossCause::Sampled)
+                    } else {
+                        None
+                    }
+                });
+                match cause {
+                    Some(cause) => lost.push(LostDelivery {
+                        round: t,
+                        msg: tx.msg,
+                        from: tx.from,
+                        to: d,
+                        cause,
+                    }),
+                    None => {
+                        if self.hold[d].insert(m) {
+                            self.known_pairs += 1;
+                        }
+                        delivered += 1;
+                    }
+                }
+            }
+        }
+        self.time += 1;
+        Ok(delivered)
+    }
+
+    /// Runs a whole schedule under `plan`, starting from the simulator's
+    /// current time (absolute rounds index the fault plan, so a simulator
+    /// carried across repair epochs keeps sampling the same deterministic
+    /// fault sequence). Lost deliveries are appended to `lost`.
+    pub fn run_lossy(
+        &mut self,
+        schedule: &Schedule,
+        plan: &FaultPlan,
+        lost: &mut Vec<LostDelivery>,
+    ) -> Result<LossyOutcome, ModelError> {
+        if schedule.n != self.g.n() {
+            return Err(ModelError::SizeMismatch {
+                graph_n: self.g.n(),
+                schedule_n: schedule.n,
+            });
+        }
+        let before = lost.len();
+        let makespan = schedule.makespan();
+        let mut delivered = 0;
+        for round in &schedule.rounds[..makespan] {
+            delivered += self.step_lossy(round, plan, lost)?;
+        }
+        Ok(LossyOutcome {
+            rounds_executed: makespan,
+            delivered,
+            lost: lost.len() - before,
+            complete_among_alive: self.residual(plan).is_empty(),
+        })
+    }
+
+    /// The missing (message, vertex) pairs among processors still alive at
+    /// the current time — what a recovery layer must still complete.
+    /// Crashed processors are excluded: crash-stop failures are permanent,
+    /// so their gaps are not recoverable work.
+    pub fn residual(&self, plan: &FaultPlan) -> Vec<(u32, usize)> {
+        let alive = plan.alive_at(self.g.n(), self.time);
+        let mut out = Vec::new();
+        for (v, holds) in self.hold.iter().enumerate() {
+            if !alive[v] {
+                continue;
+            }
+            for m in 0..self.n_msgs {
+                if !holds.contains(m) {
+                    out.push((m as u32, v));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::CommModel;
+    use crate::round::Transmission;
+    use gossip_graph::Graph;
+
+    fn path3() -> Graph {
+        Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap()
+    }
+
+    fn ring_schedule(n: usize) -> (Graph, Schedule) {
+        let edges: Vec<_> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let mut s = Schedule::new(n);
+        for t in 0..n - 1 {
+            for p in 0..n {
+                let msg = ((p + n - t) % n) as u32;
+                s.add_transmission(t, Transmission::unicast(msg, p, (p + 1) % n));
+            }
+        }
+        (g, s)
+    }
+
+    fn origins(n: usize) -> Vec<usize> {
+        (0..n).collect()
+    }
+
+    #[test]
+    fn zero_fault_plan_matches_strict_run() {
+        let (g, s) = ring_schedule(6);
+        let o = origins(6);
+        let plan = FaultPlan::none();
+        let mut lost = Vec::new();
+        let mut sim = Simulator::new(&g, CommModel::Multicast, &o).unwrap();
+        let out = sim.run_lossy(&s, &plan, &mut lost).unwrap();
+        assert!(lost.is_empty());
+        assert!(out.complete_among_alive);
+        assert_eq!(out.delivered, 6 * 5);
+        assert!(sim.gossip_complete());
+        assert!(sim.residual(&plan).is_empty());
+    }
+
+    #[test]
+    fn total_loss_delivers_nothing_but_does_not_error() {
+        let (g, s) = ring_schedule(5);
+        let plan = FaultPlan::new(1).with_loss_rate(1.0);
+        let mut lost = Vec::new();
+        let mut sim = Simulator::new(&g, CommModel::Multicast, &origins(5)).unwrap();
+        let out = sim.run_lossy(&s, &plan, &mut lost).unwrap();
+        assert_eq!(out.delivered, 0);
+        assert!(!out.complete_among_alive);
+        // Round 0 loses all 5 scheduled deliveries to sampling; later
+        // rounds cascade NotHeld for the broken relay chains.
+        assert!(lost.iter().any(|l| l.cause == LossCause::Sampled));
+        assert!(lost.iter().any(|l| l.cause == LossCause::NotHeld));
+        // Residual: everyone misses all non-origin messages.
+        assert_eq!(sim.residual(&plan).len(), 5 * 4);
+    }
+
+    #[test]
+    fn crashed_processors_neither_send_nor_receive_and_leave_residual() {
+        let g = path3();
+        let plan = FaultPlan::new(0).with_crash(1, 0);
+        let mut s = Schedule::new(3);
+        s.add_transmission(0, Transmission::unicast(0, 0, 1));
+        s.add_transmission(1, Transmission::unicast(1, 1, 2));
+        let mut lost = Vec::new();
+        let mut sim = Simulator::new(&g, CommModel::Multicast, &origins(3)).unwrap();
+        let out = sim.run_lossy(&s, &plan, &mut lost).unwrap();
+        assert_eq!(out.delivered, 0);
+        assert_eq!(lost[0].cause, LossCause::ReceiverCrashed);
+        assert_eq!(lost[1].cause, LossCause::SenderCrashed);
+        // Residual excludes the dead vertex 1: survivors 0 and 2 each miss
+        // the two messages they don't originate.
+        let res = sim.residual(&plan);
+        assert!(res.iter().all(|&(_, v)| v != 1));
+        assert_eq!(res.len(), 4);
+    }
+
+    #[test]
+    fn link_outage_window_drops_exactly_inside_it() {
+        let g = path3();
+        let plan = FaultPlan::new(0).with_outage(0, 1, 0, 1);
+        let mut s = Schedule::new(3);
+        s.add_transmission(0, Transmission::unicast(0, 0, 1)); // down
+        s.add_transmission(1, Transmission::unicast(0, 0, 1)); // back up
+        let mut lost = Vec::new();
+        let mut sim = Simulator::new(&g, CommModel::Multicast, &origins(3)).unwrap();
+        let out = sim.run_lossy(&s, &plan, &mut lost).unwrap();
+        assert_eq!(out.delivered, 1);
+        assert_eq!(lost.len(), 1);
+        assert_eq!(lost[0].cause, LossCause::LinkDown);
+        assert!(sim.holds(1).contains(0));
+    }
+
+    #[test]
+    fn structural_bugs_still_error() {
+        let g = path3();
+        let plan = FaultPlan::new(0).with_loss_rate(0.5);
+        let mut sim = Simulator::new(&g, CommModel::Multicast, &origins(3)).unwrap();
+        let mut lost = Vec::new();
+        // Non-adjacent destination is a schedule bug, not a fault.
+        let round = CommRound::from_transmissions(vec![Transmission::unicast(0, 0, 2)]);
+        assert!(matches!(
+            sim.step_lossy(&round, &plan, &mut lost),
+            Err(ModelError::NotAdjacent { .. })
+        ));
+        // Duplicate receiver likewise.
+        let g2 = Graph::from_edges(3, &[(0, 2), (1, 2)]).unwrap();
+        let mut sim2 = Simulator::new(&g2, CommModel::Multicast, &origins(3)).unwrap();
+        let round = CommRound::from_transmissions(vec![
+            Transmission::unicast(0, 0, 2),
+            Transmission::unicast(1, 1, 2),
+        ]);
+        assert!(matches!(
+            sim2.step_lossy(&round, &plan, &mut lost),
+            Err(ModelError::DuplicateReceiver { .. })
+        ));
+        assert!(lost.is_empty(), "failed validation must not log losses");
+    }
+
+    #[test]
+    fn absolute_rounds_make_replay_deterministic() {
+        let (g, s) = ring_schedule(8);
+        let plan = FaultPlan::new(123).with_loss_rate(0.3);
+        let run = |split: usize| {
+            let mut sim = Simulator::new(&g, CommModel::Multicast, &origins(8)).unwrap();
+            let mut lost = Vec::new();
+            // Execute the same rounds, optionally split into two run_lossy
+            // calls at `split` — the absolute round indexing must make the
+            // outcomes identical.
+            let mut first = Schedule::new(8);
+            let mut second = Schedule::new(8);
+            for (t, tx) in s.iter() {
+                if t < split {
+                    first.add_transmission(t, tx.clone());
+                } else {
+                    second.add_transmission(t - split, tx.clone());
+                }
+            }
+            sim.run_lossy(&first, &plan, &mut lost).unwrap();
+            sim.run_lossy(&second, &plan, &mut lost).unwrap();
+            let mut holds: Vec<Vec<usize>> = Vec::new();
+            for v in 0..8 {
+                holds.push(sim.holds(v).iter().collect());
+            }
+            (lost, holds)
+        };
+        assert_eq!(run(7), run(3));
+    }
+}

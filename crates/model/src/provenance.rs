@@ -27,6 +27,8 @@
 //! labeled with the generator rule that caused each send.
 
 use crate::error::ModelError;
+use crate::fault_plan::FaultPlan;
+use crate::lossy::{LossyOutcome, LostDelivery};
 use crate::models::CommModel;
 use crate::schedule::Schedule;
 use crate::simulator::{SimOutcome, Simulator};
@@ -474,6 +476,120 @@ pub fn trace_gossip(
     Ok((outcome, trace))
 }
 
+/// Runs `schedule` on `g` under `model` and the fault plan, recording the
+/// causal first-delivery DAG of what *actually arrived*. Lost deliveries
+/// show up as gaps: [`ProvenanceTrace::first_delivery`] stays `None` for
+/// every (message, vertex) pair the faults kept apart, so
+/// [`ProvenanceTrace::edge_count`] falls short of `n · (n - 1)` by exactly
+/// the unreached pairs. Returns the lossy outcome, the gap-bearing trace,
+/// and the loss log.
+pub fn trace_gossip_lossy(
+    g: &Graph,
+    schedule: &Schedule,
+    origins: &[usize],
+    model: CommModel,
+    plan: &FaultPlan,
+) -> Result<(LossyOutcome, ProvenanceTrace, Vec<LostDelivery>), ModelError> {
+    let mut sim = Simulator::with_origins(g, model, origins)?;
+    if schedule.n != g.n() {
+        return Err(ModelError::SizeMismatch {
+            graph_n: g.n(),
+            schedule_n: schedule.n,
+        });
+    }
+    let n = g.n();
+    let n_msgs = origins.len();
+    let makespan = schedule.makespan();
+    let mut first: Vec<Vec<Option<Delivery>>> = vec![vec![None; n]; n_msgs];
+    let mut rounds = Vec::with_capacity(makespan);
+    let mut sends = vec![0usize; n];
+    let mut receives = vec![0usize; n];
+    let mut first_receives = vec![0usize; n];
+    let mut active_rounds = vec![0usize; n];
+    let mut active_stamp = vec![usize::MAX; n];
+    fn mark_active(v: usize, slot: usize, stamp: &mut [usize], count: &mut [usize]) {
+        if stamp[v] != slot {
+            stamp[v] = slot;
+            count[v] += 1;
+        }
+    }
+
+    let mut lost = Vec::new();
+    let mut delivered_total = 0usize;
+    let mut tx_id = 0usize;
+    for (t, round) in schedule.rounds[..makespan].iter().enumerate() {
+        // Candidate first deliveries, confirmed after the lossy step by
+        // checking the destination's hold set (the model's one-receive-per-
+        // round rule means at most one transmission can have landed it).
+        let mut pending: Vec<(usize, usize, usize, usize)> = Vec::new();
+        for tx in &round.transmissions {
+            for &d in &tx.to {
+                if d < n && (tx.msg as usize) < n_msgs && !sim.holds(d).contains(tx.msg as usize) {
+                    pending.push((tx.msg as usize, d, tx.from, tx_id));
+                }
+            }
+            tx_id += 1;
+        }
+        let lost_before = lost.len();
+        let delivered = sim.step_lossy(round, plan, &mut lost)?;
+        delivered_total += delivered;
+        let mut fresh = 0usize;
+        let mut deliveries = 0usize;
+        for tx in &round.transmissions {
+            sends[tx.from] += 1;
+            mark_active(tx.from, t, &mut active_stamp, &mut active_rounds);
+            for &d in &tx.to {
+                // Only what landed counts as traffic in a lossy trace.
+                let arrived = !lost[lost_before..]
+                    .iter()
+                    .any(|l| l.to == d && l.from == tx.from && l.msg == tx.msg);
+                if arrived {
+                    deliveries += 1;
+                    receives[d] += 1;
+                    mark_active(d, t + 1, &mut active_stamp, &mut active_rounds);
+                }
+            }
+        }
+        for (msg, d, sender, id) in pending {
+            if sim.holds(d).contains(msg) {
+                first[msg][d] = Some(Delivery {
+                    round: t + 1,
+                    sender,
+                    tx_id: id,
+                });
+                first_receives[d] += 1;
+                fresh += 1;
+            }
+        }
+        rounds.push(RoundUtil {
+            round: t,
+            transmissions: round.transmissions.len(),
+            deliveries,
+            first_deliveries: fresh,
+            receiver_utilization: deliveries as f64 / n as f64,
+        });
+    }
+    let outcome = LossyOutcome {
+        rounds_executed: makespan,
+        delivered: delivered_total,
+        lost: lost.len(),
+        complete_among_alive: sim.residual(plan).is_empty(),
+    };
+    let trace = ProvenanceTrace {
+        n,
+        n_msgs,
+        origins: origins.to_vec(),
+        makespan,
+        first,
+        rounds,
+        sends,
+        receives,
+        first_receives,
+        active_rounds,
+    };
+    Ok((outcome, trace, lost))
+}
+
 /// Exports `schedule` as a Chrome Trace Event Format array: one thread
 /// lane per processor, a complete event per multicast (1 logical round =
 /// 1 ms of trace time), and an instant event per arrival. `tag_of(time,
@@ -679,6 +795,35 @@ mod tests {
             .unwrap()
             .clone();
         assert_eq!(slice["name"].as_str(), Some("m0 [U3]"));
+    }
+
+    #[test]
+    fn lossy_trace_leaves_gaps_for_lost_deliveries() {
+        let n = 6;
+        let g = ring(n);
+        let s = ring_schedule(n);
+        // Kill the link 0-1 for the whole run: nothing crosses it, so every
+        // first-delivery chain through it is cut.
+        let plan = FaultPlan::new(0).with_outage(0, 1, 0, n);
+        let (out, tr, lost) =
+            trace_gossip_lossy(&g, &s, &identity(n), CommModel::Multicast, &plan).unwrap();
+        assert!(!out.complete_among_alive);
+        assert!(!lost.is_empty());
+        // The DAG has gaps: strictly fewer than n(n-1) edges, and vertex 1
+        // never hears message 0 (its only route in this schedule is 0 -> 1).
+        assert!(tr.edge_count() < n * (n - 1));
+        assert_eq!(tr.first_delivery(0, 1), None);
+        // A zero-fault plan reproduces the strict trace exactly.
+        let (out2, tr2, lost2) = trace_gossip_lossy(
+            &g,
+            &s,
+            &identity(n),
+            CommModel::Multicast,
+            &FaultPlan::none(),
+        )
+        .unwrap();
+        assert!(out2.complete_among_alive && lost2.is_empty());
+        assert_eq!(tr2.edge_count(), n * (n - 1));
     }
 
     #[test]

@@ -43,19 +43,21 @@ use gossip_telemetry::{Recorder, RecorderExt, Value};
 /// ```
 #[derive(Debug, Clone)]
 pub struct Simulator<'g> {
-    g: &'g Graph,
-    model: CommModel,
-    hold: Vec<BitSet>,
-    time: usize,
+    // Fields are `pub(crate)` so the lossy execution mode (`crate::lossy`)
+    // can extend stepping without widening the public API.
+    pub(crate) g: &'g Graph,
+    pub(crate) model: CommModel,
+    pub(crate) hold: Vec<BitSet>,
+    pub(crate) time: usize,
     // Round-stamped scratch tables: `x_stamp[p] == round_stamp` means p
     // already sent/received this round. Avoids clearing O(n) arrays per round.
-    send_stamp: Vec<u64>,
-    recv_stamp: Vec<u64>,
-    round_stamp: u64,
+    pub(crate) send_stamp: Vec<u64>,
+    pub(crate) recv_stamp: Vec<u64>,
+    pub(crate) round_stamp: u64,
     // Number of (processor, message) pairs currently known, maintained
     // incrementally so coverage probes are O(1).
-    known_pairs: usize,
-    n_msgs: usize,
+    pub(crate) known_pairs: usize,
+    pub(crate) n_msgs: usize,
 }
 
 impl<'g> Simulator<'g> {

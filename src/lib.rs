@@ -17,8 +17,9 @@
 //! - [`core`] — the scheduling algorithms: **ConcurrentUpDown** (`n + r`),
 //!   the **Simple** (`2n + r - 3`) and **UpDown** baselines, broadcast,
 //!   telephone-model baselines, lower bounds, exact and randomized search,
-//!   weighted gossiping, and the online/distributed executor
-//!   ([`gossip_core`]);
+//!   weighted gossiping, the online/distributed executor, and the
+//!   self-healing [`ResilientExecutor`](gossip_core::ResilientExecutor)
+//!   for execution under seeded fault plans ([`gossip_core`]);
 //! - [`workloads`] — generators and the paper's named instances
 //!   ([`gossip_workloads`]).
 //!
@@ -53,7 +54,7 @@ pub mod prelude {
         annotated_concurrent_updown, broadcast_model_gossip, broadcast_schedule, concurrent_updown,
         gather_schedule, gossip_lower_bound, line_gossip_schedule, multi_broadcast_schedule,
         ring_gossip_schedule, simple_gossip, telephone_tree_gossip, updown_gossip, weighted_gossip,
-        GossipPlan, GossipPlanner, TreeMaintainer,
+        GossipPlan, GossipPlanner, RecoveryReport, ResilientExecutor, TreeMaintainer,
     };
     pub use gossip_graph::{
         bfs, distance_metrics, is_connected, min_depth_spanning_tree, ChildOrder, Graph,
@@ -61,7 +62,7 @@ pub mod prelude {
     };
     pub use gossip_model::{
         analyze_schedule, compact_schedule, knowledge_curve, simulate_gossip, CommModel, CommRound,
-        Schedule, ScheduleBuilder, ScheduleStats, Simulator,
+        FaultPlan, Schedule, ScheduleBuilder, ScheduleStats, Simulator,
     };
     pub use gossip_workloads::{
         binary_tree, complete, grid, hypercube, path, petersen, random_connected, ring, star, torus,

@@ -1,0 +1,148 @@
+//! Property-based acceptance of the self-healing executor: under any
+//! seeded fault plan with loss rate ≤ 0.2 and at most n/4 crash-stop
+//! failures that leave the survivors connected, `ResilientExecutor` reaches
+//! residual-free completion among the survivors, and its combined
+//! transcript replays cleanly through the validating lossy simulator under
+//! the same fault plan.
+
+use gossip_core::{GossipPlanner, ResilientExecutor};
+use gossip_graph::Graph;
+use gossip_model::{CommModel, FaultPlan, Simulator};
+use gossip_workloads::random_connected;
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+
+/// Whether the subgraph induced by the alive vertices is connected (and
+/// nonempty).
+fn survivors_connected(g: &Graph, alive: &[bool]) -> bool {
+    let n = g.n();
+    let Some(start) = (0..n).find(|&v| alive[v]) else {
+        return false;
+    };
+    let mut seen = vec![false; n];
+    let mut stack = vec![start];
+    seen[start] = true;
+    while let Some(v) = stack.pop() {
+        for u in g.neighbors(v) {
+            if alive[u] && !seen[u] {
+                seen[u] = true;
+                stack.push(u);
+            }
+        }
+    }
+    (0..n).all(|v| !alive[v] || seen[v])
+}
+
+/// Builds a fault plan from raw generated values, keeping only crashes
+/// that respect the acceptance precondition: at most n/4 of them, and the
+/// survivors stay connected. (The vendored proptest has no `prop_assume`,
+/// so the precondition is established by construction.)
+fn admissible_faults(
+    g: &Graph,
+    loss_permille: u64,
+    fault_seed: u64,
+    raw_crashes: &[(u64, usize)],
+) -> FaultPlan {
+    let n = g.n();
+    let mut plan = FaultPlan::new(fault_seed).with_loss_rate(loss_permille as f64 / 1000.0);
+    let mut alive = vec![true; n];
+    let budget = n / 4;
+    let mut used = 0;
+    for &(vraw, t) in raw_crashes {
+        if used == budget {
+            break;
+        }
+        let v = (vraw as usize) % n;
+        if !alive[v] {
+            continue;
+        }
+        alive[v] = false;
+        if survivors_connected(g, &alive) {
+            plan = plan.with_crash(v, t);
+            used += 1;
+        } else {
+            alive[v] = true;
+        }
+    }
+    plan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The tentpole acceptance property: seeded loss ≤ 0.2 plus ≤ n/4
+    /// connectivity-preserving crashes → the executor completes every
+    /// recoverable pair, and the repaired transcript replays through the
+    /// validating simulator under the same fault plan to the same outcome.
+    #[test]
+    fn resilient_executor_heals_every_admissible_plan(
+        (net, faults, raw_crashes) in (
+            (5usize..=18, 0u64..500),
+            (0u64..=200, 0u64..100),
+            pvec((0u64..1000, 0usize..16), 0..6),
+        )
+    ) {
+        let (n, graph_seed) = net;
+        let (loss_permille, fault_seed) = faults;
+        let g = random_connected(n, 0.3, graph_seed);
+        let plan = GossipPlanner::new(&g).unwrap().plan().unwrap();
+        let fp = admissible_faults(&g, loss_permille, fault_seed, &raw_crashes);
+
+        let report = ResilientExecutor::new(&g, &plan.schedule, &plan.origin_of_message, &fp)
+            .run()
+            .expect("structurally valid run");
+
+        // Residual-free completion among survivors: nothing recoverable
+        // is left, so the only missing pairs are proven-unreachable ones.
+        prop_assert!(report.recovered, "unresolved: {:?}", report.unresolved);
+        prop_assert!(report.unresolved.is_empty());
+        prop_assert!(report.survivors >= n - n / 4);
+
+        // Replay the combined transcript through the validating lossy
+        // simulator under the same plan: accepted, same losses, and the
+        // final residual is exactly the unrecoverable set.
+        let mut sim = Simulator::with_origins(&g, CommModel::Multicast, &plan.origin_of_message)
+            .expect("origin table");
+        let mut lost = Vec::new();
+        let out = sim
+            .run_lossy(&report.transcript, &fp, &mut lost)
+            .expect("transcript must satisfy every model rule");
+        prop_assert_eq!(&lost, &report.lost_log);
+        prop_assert_eq!(out.rounds_executed, report.total_rounds);
+        let mut residual = sim.residual(&fp);
+        let mut unrecoverable = report.unrecoverable.clone();
+        residual.sort_unstable();
+        unrecoverable.sort_unstable();
+        prop_assert_eq!(residual, unrecoverable);
+
+        // Every abandoned pair is genuinely extinct: with survivors
+        // connected, the only excuse is that no survivor holds the message.
+        let alive = fp.alive_at(n, report.total_rounds);
+        for &(m, _) in &report.unrecoverable {
+            for (v, &alive_v) in alive.iter().enumerate() {
+                prop_assert!(
+                    !(alive_v && sim.holds(v).contains(m as usize)),
+                    "message {m} survives at {v} yet was abandoned"
+                );
+            }
+        }
+    }
+
+    /// Exactness on the happy path: a zero-fault plan costs exactly
+    /// nothing — no extra rounds, no retransmissions, no losses.
+    #[test]
+    fn zero_fault_plans_cost_exactly_nothing((n, seed) in (4usize..=24, 0u64..500)) {
+        let g = random_connected(n, 0.3, seed);
+        let plan = GossipPlanner::new(&g).unwrap().plan().unwrap();
+        let fp = FaultPlan::none();
+        let report = ResilientExecutor::new(&g, &plan.schedule, &plan.origin_of_message, &fp)
+            .run()
+            .expect("fault-free run");
+        prop_assert!(report.recovered);
+        prop_assert_eq!(report.overhead_rounds(), 0);
+        prop_assert_eq!(report.retransmissions, 0);
+        prop_assert_eq!(report.lost_deliveries, 0);
+        prop_assert!(report.unrecoverable.is_empty());
+        prop_assert_eq!(report.epochs.len(), 1);
+    }
+}
