@@ -1,0 +1,115 @@
+//! E25 — the bitset simulation kernel: flat-CSR construction, the
+//! word-parallel structural validator, strict (oracle-ordered) kernel
+//! execution, and the prevalidated replay fast path, each against the
+//! oracle [`Simulator`] on the same planned G(n, p) schedule.
+//!
+//! The headline ratio (oracle / prevalidated replay) is also measured —
+//! with an enforced 5x floor — by `exp_theorem1`, whose `gnp-kernel`
+//! rows feed the `gossip bench-diff` perf gate; this bench is the
+//! statistically sampled view of the same contrast.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gossip_core::GossipPlanner;
+use gossip_model::{CommModel, FlatSchedule, SimKernel, Simulator};
+use gossip_workloads::random_connected;
+use std::hint::black_box;
+
+/// A planned G(n, p) instance (p = 16/n) shared by every group.
+fn instance(n: usize) -> (gossip_graph::Graph, gossip_core::GossipPlan) {
+    let g = random_connected(n, (16.0 / n as f64).min(0.5), 42);
+    let plan = GossipPlanner::new(&g).unwrap().plan().unwrap();
+    (g, plan)
+}
+
+fn bench_flat_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flat_build");
+    for &n in &[256usize, 1024] {
+        let (_, plan) = instance(n);
+        group.throughput(Throughput::Elements(
+            plan.schedule.stats().deliveries as u64,
+        ));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &plan, |b, plan| {
+            b.iter(|| FlatSchedule::from_schedule(black_box(&plan.schedule)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_flat_validate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flat_validate");
+    for &n in &[256usize, 1024] {
+        let (g, plan) = instance(n);
+        let flat = FlatSchedule::from_schedule(&plan.schedule);
+        group.throughput(Throughput::Elements(flat.deliveries() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(g, flat),
+            |b, (g, flat)| {
+                b.iter(|| {
+                    flat.validate(
+                        black_box(g),
+                        CommModel::Multicast,
+                        black_box(plan.origin_of_message.len()),
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_kernel_vs_oracle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replay");
+    for &n in &[256usize, 1024] {
+        let (g, plan) = instance(n);
+        let flat = FlatSchedule::from_schedule(&plan.schedule);
+        flat.validate(&g, CommModel::Multicast, plan.origin_of_message.len())
+            .unwrap();
+        group.throughput(Throughput::Elements(flat.deliveries() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("oracle", n),
+            &(&g, &plan),
+            |b, (g, plan)| {
+                b.iter(|| {
+                    let mut sim =
+                        Simulator::with_origins(g, CommModel::Multicast, &plan.origin_of_message)
+                            .unwrap();
+                    sim.run(black_box(&plan.schedule)).unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("kernel_strict", n),
+            &(&g, &plan, &flat),
+            |b, (g, plan, flat)| {
+                b.iter(|| {
+                    let mut k =
+                        SimKernel::with_origins(g, CommModel::Multicast, &plan.origin_of_message)
+                            .unwrap();
+                    k.run(black_box(flat)).unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("kernel_prevalidated", n),
+            &(&g, &plan, &flat),
+            |b, (g, plan, flat)| {
+                b.iter(|| {
+                    let mut k =
+                        SimKernel::with_origins(g, CommModel::Multicast, &plan.origin_of_message)
+                            .unwrap();
+                    k.run_prevalidated(black_box(flat)).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_flat_build, bench_flat_validate, bench_kernel_vs_oracle
+}
+criterion_main!(benches);

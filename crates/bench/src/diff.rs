@@ -14,7 +14,13 @@
 //!   when the new value exceeds the old by more than a multiplicative
 //!   factor (default 2×) *plus* a fixed grace (1 ms / 1 µs), absorbing
 //!   scheduler jitter on sub-millisecond measurements while still
-//!   catching order-of-magnitude slowdowns.
+//!   catching order-of-magnitude slowdowns;
+//! - **speedup ratios** (fields ending in `_speedup_x`): higher is
+//!   better — flagged when the new value *drops* below the old divided
+//!   by the wall-clock factor. These are ratios of two wall-clock
+//!   measurements taken in the same process, so the jitter largely
+//!   cancels; the factor-based tolerance still absorbs the residue while
+//!   catching a fast path that quietly stopped being fast.
 //!
 //! Both artifacts must pass [`gossip_telemetry::check_schema_version`].
 
@@ -122,6 +128,12 @@ fn is_wall_field(name: &str) -> bool {
     name.ends_with("_ms") || name.ends_with("_ns")
 }
 
+/// Whether a field is a higher-is-better speedup ratio: a *drop* is the
+/// regression direction.
+fn is_speedup_field(name: &str) -> bool {
+    name.ends_with("_speedup_x")
+}
+
 /// Fields that are identity, not measurement: never compared.
 fn is_key_field(name: &str) -> bool {
     matches!(name, "family" | "n" | "m" | "r" | "schema_version")
@@ -174,7 +186,9 @@ pub fn diff_bench(old: &Value, new: &Value, cfg: &DiffConfig) -> Result<DiffRepo
                 continue;
             };
             report.fields_compared += 1;
-            let regressed = if is_wall_field(field) {
+            let regressed = if is_speedup_field(field) {
+                new_f < old_f / cfg.wall_factor
+            } else if is_wall_field(field) {
                 let grace = if field.ends_with("_ns") {
                     WALL_GRACE_MS * 1e6
                 } else {
@@ -266,6 +280,38 @@ mod tests {
         let rep = diff_bench(&old, &slow, &DiffConfig::default()).unwrap();
         assert_eq!(rep.regressions.len(), 1);
         assert_eq!(rep.regressions[0].field, "plan_ms");
+    }
+
+    fn speedup_row(x: f64) -> Value {
+        obj(vec![
+            ("family", Value::String("gnp-kernel".into())),
+            ("n", Value::from_u64(2048)),
+            ("sim_kernel_speedup_x", Value::from_f64(x)),
+        ])
+    }
+
+    #[test]
+    fn speedup_drop_beyond_factor_flags() {
+        let old = artifact(vec![speedup_row(6.0)]);
+        let new = artifact(vec![speedup_row(2.0)]); // 3x drop > 2x factor
+        let rep = diff_bench(&old, &new, &DiffConfig::default()).unwrap();
+        assert_eq!(rep.regressions.len(), 1);
+        assert_eq!(rep.regressions[0].field, "sim_kernel_speedup_x");
+        assert!(rep.render().contains("sim_kernel_speedup_x"));
+    }
+
+    #[test]
+    fn speedup_drop_within_factor_passes() {
+        let old = artifact(vec![speedup_row(6.0)]);
+        let new = artifact(vec![speedup_row(4.0)]); // 1.5x drop, tolerated
+        assert!(diff_bench(&old, &new, &DiffConfig::default()).unwrap().ok());
+    }
+
+    #[test]
+    fn speedup_gain_never_flags() {
+        let old = artifact(vec![speedup_row(6.0)]);
+        let new = artifact(vec![speedup_row(60.0)]);
+        assert!(diff_bench(&old, &new, &DiffConfig::default()).unwrap().ok());
     }
 
     #[test]

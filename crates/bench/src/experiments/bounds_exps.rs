@@ -7,8 +7,8 @@ use gossip_core::{
     GossipPlanner,
 };
 use gossip_graph::min_depth_spanning_tree;
-use gossip_model::simulate_gossip;
-use gossip_workloads::{odd_line, Family};
+use gossip_model::{simulate_gossip, CommModel, FlatSchedule, SimKernel, Simulator};
+use gossip_workloads::{odd_line, random_connected, Family};
 
 /// E9 — Theorem 1 sweep: on every family and size, the pipeline's makespan
 /// equals `n + r` exactly, sits above the `n - 1` lower bound, and every
@@ -73,17 +73,110 @@ pub fn exp_theorem1_full() -> (String, gossip_telemetry::Value) {
             ]));
         }
     }
+    let (kernel_table, kernel_rows) = kernel_speedup_sweep();
+    rows.extend(kernel_rows);
     let report = format!(
         "Theorem 1 (makespan = n + r, verified complete) across families:\n{}\n\
          ratio = achieved / best-known lower bound; bounded by 1.5 n/(n-1) since\n\
-         r <= n/2 (the paper's S4 near-optimality claim), worst on rings.\n",
-        t.render()
+         r <= n/2 (the paper's S4 near-optimality claim), worst on rings.\n\
+         \n\
+         SimKernel replay vs oracle Simulator on G(n, p), p = 16/n:\n{}\n\
+         speedup = oracle / kernel replay (flat CSR built + validated once,\n\
+         outside the timed region); the bench-diff gate flags any drop past 2x.\n",
+        t.render(),
+        kernel_table.render()
     );
     let payload = obj(vec![
         ("experiment", Value::String("theorem1".into())),
         ("rows", Value::Array(rows)),
     ]);
     (report, payload)
+}
+
+/// Wall-clock best-of-`reps` for `f`, in milliseconds.
+fn best_ms<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t0 = std::time::Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// The `gnp-kernel` rows of `BENCH_theorem1.json`: oracle [`Simulator`]
+/// replay vs [`SimKernel::run_prevalidated`] over the same planned G(n, p)
+/// schedule. The `sim_kernel_speedup_x` field is guarded by the CI
+/// perf-gate's higher-is-better rule, and — in release builds, the only
+/// configuration whose timings mean anything — asserted to clear the 5x
+/// floor right here, so the artifact can never even be written with a
+/// slow kernel.
+fn kernel_speedup_sweep() -> (TextTable, Vec<gossip_telemetry::Value>) {
+    use crate::report::obj;
+    use gossip_telemetry::Value;
+    let mut t = TextTable::new(vec![
+        "n",
+        "m",
+        "deliveries",
+        "oracle ms",
+        "kernel ms",
+        "speedup",
+    ]);
+    let mut rows = Vec::new();
+    // Debug builds (the unit-test path) keep the sweep small: the ratio is
+    // still exercised, but the 5x floor is only meaningful — and only
+    // enforced — under optimization.
+    let sizes: &[usize] = if cfg!(debug_assertions) {
+        &[128]
+    } else {
+        &[512, 2048]
+    };
+    for &n in sizes {
+        let g = random_connected(n, (16.0 / n as f64).min(0.5), 42);
+        let plan = GossipPlanner::new(&g).unwrap().plan().unwrap();
+        let origins = &plan.origin_of_message;
+        let flat = FlatSchedule::from_schedule(&plan.schedule);
+        flat.validate(&g, CommModel::Multicast, origins.len())
+            .unwrap();
+        let reps = 3;
+        let oracle_ms = best_ms(reps, || {
+            let mut sim = Simulator::with_origins(&g, CommModel::Multicast, origins).unwrap();
+            let o = sim.run(&plan.schedule).unwrap();
+            assert!(o.complete);
+            o
+        });
+        let kernel_ms = best_ms(reps, || {
+            let mut k = SimKernel::with_origins(&g, CommModel::Multicast, origins).unwrap();
+            let o = k.run_prevalidated(&flat).unwrap();
+            assert!(o.complete);
+            o
+        });
+        let speedup = oracle_ms / kernel_ms;
+        #[cfg(not(debug_assertions))]
+        assert!(
+            speedup >= 5.0,
+            "SimKernel replay must stay >= 5x the oracle at n = {n} (got {speedup:.2}x)"
+        );
+        t.row(vec![
+            n.to_string(),
+            g.m().to_string(),
+            flat.deliveries().to_string(),
+            format!("{oracle_ms:.3}"),
+            format!("{kernel_ms:.3}"),
+            format!("{speedup:.1}x"),
+        ]);
+        rows.push(obj(vec![
+            ("family", Value::String("gnp-kernel".into())),
+            ("n", Value::from_u64(n as u64)),
+            ("m", Value::from_u64(g.m() as u64)),
+            ("makespan", Value::from_u64(plan.makespan() as u64)),
+            ("deliveries", Value::from_u64(flat.deliveries() as u64)),
+            ("oracle_sim_ms", Value::from_f64(oracle_ms)),
+            ("kernel_sim_ms", Value::from_f64(kernel_ms)),
+            ("sim_kernel_speedup_x", Value::from_f64(speedup)),
+        ]));
+    }
+    (t, rows)
 }
 
 /// E10 — Lemma 1: algorithm Simple takes exactly `2n + r - 3` rounds; the

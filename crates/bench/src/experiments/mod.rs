@@ -15,7 +15,9 @@ pub use extensions::{exp_exact, exp_online, exp_pipeline, exp_weighted};
 pub use figures::{exp_fig45, exp_n3, exp_petersen, exp_ring};
 pub use models_exps::{exp_broadcast, exp_compaction, exp_curves, exp_curves_full, exp_models};
 pub use resilience::{exp_resilience, exp_resilience_full};
-pub use scaling::{exp_scaling, exp_scaling_full};
+pub use scaling::{
+    exp_scaling, exp_scaling_full, exp_scaling_full_with, SizeBudget, DEFAULT_SIZES,
+};
 pub use tables::exp_tables;
 
 /// Every experiment report, in DESIGN.md order, as `(id, title, report)`.

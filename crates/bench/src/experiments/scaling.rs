@@ -1,8 +1,17 @@
 //! E15 (textual companion) — wall-clock scaling of the pipeline stages,
 //! confirming the paper's §4 complexity claims with real timings.
+//!
+//! Every size carries an explicit wall-clock budget. Before a size runs,
+//! its cost is predicted from the last completed size (quadratic in `n`:
+//! the Θ(n²) schedule dominates, and the O(mn) tree sweep matches it at
+//! m ∝ n); sizes predicted — or observed — to blow their budget are
+//! *skipped and reported as rows in the artifact*, never silently trusted
+//! to finish. That keeps the sweep honest up to n = 8192 without ever
+//! hanging a CI runner.
 
 use crate::table::TextTable;
 use gossip_graph::{min_depth_spanning_tree_parallel, ChildOrder};
+use gossip_model::{CommModel, FlatSchedule, SimKernel};
 use gossip_workloads::random_connected;
 use std::time::Instant;
 
@@ -10,16 +19,71 @@ fn ms(d: std::time::Duration) -> String {
     format!("{:.2}", d.as_secs_f64() * 1e3)
 }
 
-/// Times the three pipeline stages (tree construction sequential and
-/// parallel, schedule generation, full-model simulation) across sizes.
+/// One entry of the scaling sweep: a size and the wall-clock budget it
+/// must be predicted (and observed) to fit.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeBudget {
+    /// Number of processors.
+    pub n: usize,
+    /// Budget for the whole size (all stages), in milliseconds.
+    pub budget_ms: f64,
+}
+
+/// The default sweep: doubling sizes to n = 8192. Budgets are sized for a
+/// release build on one modest core; debug builds and slow runners shed
+/// the large tail as explicit `skipped` rows instead of stalling.
+pub const DEFAULT_SIZES: &[SizeBudget] = &[
+    SizeBudget {
+        n: 64,
+        budget_ms: 5_000.0,
+    },
+    SizeBudget {
+        n: 128,
+        budget_ms: 5_000.0,
+    },
+    SizeBudget {
+        n: 256,
+        budget_ms: 10_000.0,
+    },
+    SizeBudget {
+        n: 512,
+        budget_ms: 10_000.0,
+    },
+    SizeBudget {
+        n: 1024,
+        budget_ms: 20_000.0,
+    },
+    SizeBudget {
+        n: 2048,
+        budget_ms: 30_000.0,
+    },
+    SizeBudget {
+        n: 4096,
+        budget_ms: 60_000.0,
+    },
+    SizeBudget {
+        n: 8192,
+        budget_ms: 120_000.0,
+    },
+];
+
+/// Times the pipeline stages (tree construction sequential and parallel,
+/// schedule generation, oracle simulation, kernel replay) across sizes.
 pub fn exp_scaling() -> String {
     exp_scaling_full().0
 }
 
 /// [`exp_scaling`] plus the machine-readable payload written to
-/// `BENCH_scaling.json`: per-size stage timings and a full telemetry
-/// snapshot (BFS-sweep histograms, per-stage spans) from a recorded run.
+/// `BENCH_scaling.json`: per-size stage timings, explicit rows for any
+/// budget-skipped sizes, and a full telemetry snapshot (BFS-sweep
+/// histograms, per-stage spans) from a recorded run.
 pub fn exp_scaling_full() -> (String, gossip_telemetry::Value) {
+    exp_scaling_full_with(DEFAULT_SIZES)
+}
+
+/// [`exp_scaling_full`] over an explicit size/budget list (the default
+/// sweep is [`DEFAULT_SIZES`]).
+pub fn exp_scaling_full_with(sizes: &[SizeBudget]) -> (String, gossip_telemetry::Value) {
     use crate::report::obj;
     use gossip_telemetry::{MetricsRecorder, Value};
     let mut t = TextTable::new(vec![
@@ -29,12 +93,47 @@ pub fn exp_scaling_full() -> (String, gossip_telemetry::Value) {
         "tree (par) ms",
         "schedule ms",
         "simulate ms",
+        "kernel ms",
         "schedule events",
     ]);
     let mut rows = Vec::new();
+    let mut skipped_lines = Vec::new();
     let recorder = MetricsRecorder::new();
-    for &n in &[64usize, 128, 256, 512] {
-        let g = random_connected(n, 0.04, 77);
+    // Last completed size and its wall time, the base for predictions.
+    let mut base: Option<(usize, f64)> = None;
+    // Set when a size overruns its own budget: everything larger is shed.
+    let mut overrun: Option<usize> = None;
+    for &SizeBudget { n, budget_ms } in sizes {
+        // Quadratic prediction from the last completed size; an earlier
+        // observed overrun sheds the whole tail regardless.
+        let predicted = base.map(|(base_n, base_ms)| base_ms * (n as f64 / base_n as f64).powi(2));
+        let skip_reason = if let Some(bad_n) = overrun {
+            Some(format!("size {bad_n} already exceeded its budget"))
+        } else {
+            predicted
+                .filter(|&p| p > budget_ms)
+                .map(|pred| format!("predicted {pred:.0} ms exceeds budget {budget_ms:.0} ms"))
+        };
+        if let Some(reason) = skip_reason {
+            skipped_lines.push(format!("n = {n}: skipped, {reason}"));
+            rows.push(obj(vec![
+                ("n", Value::from_u64(n as u64)),
+                ("skipped", Value::Bool(true)),
+                ("budget_ms", Value::from_f64(budget_ms)),
+                (
+                    "predicted_cost_ms",
+                    Value::from_f64(predicted.unwrap_or(0.0)),
+                ),
+                ("reason", Value::String(reason)),
+            ]));
+            continue;
+        }
+        let size_start = Instant::now();
+        // Keep m ∝ n on the large tail so the tree sweep stays O(n²)
+        // alongside the schedule; p = 0.04 below n = 512 matches the
+        // historical artifact rows.
+        let p = (16.0 / n as f64).min(0.04);
+        let g = random_connected(n, p, 77);
         let t0 = Instant::now();
         let tree = gossip_graph::min_depth_spanning_tree_recorded(&g, ChildOrder::ById, &recorder)
             .unwrap();
@@ -54,6 +153,24 @@ pub fn exp_scaling_full() -> (String, gossip_telemetry::Value) {
         let o = sim.run_recorded(&schedule, &recorder).unwrap();
         let simt = t3.elapsed();
         assert!(o.complete);
+        let t4 = Instant::now();
+        let flat = FlatSchedule::from_schedule(&schedule);
+        flat.validate(&g, CommModel::Multicast, origins.len())
+            .unwrap();
+        let mut kernel = SimKernel::with_origins(&g, CommModel::Multicast, &origins).unwrap();
+        let ko = kernel.run_prevalidated(&flat).unwrap();
+        let kernelt = t4.elapsed();
+        assert!(ko.complete);
+        assert_eq!(ko.completion_time, o.completion_time);
+        let elapsed_ms = size_start.elapsed().as_secs_f64() * 1e3;
+        let within_budget = elapsed_ms <= budget_ms;
+        if !within_budget {
+            overrun = Some(n);
+            skipped_lines.push(format!(
+                "n = {n}: ran in {elapsed_ms:.0} ms, OVER its {budget_ms:.0} ms budget"
+            ));
+        }
+        base = Some((n, elapsed_ms));
         t.row(vec![
             n.to_string(),
             g.m().to_string(),
@@ -61,6 +178,7 @@ pub fn exp_scaling_full() -> (String, gossip_telemetry::Value) {
             ms(par),
             ms(gen),
             ms(simt),
+            ms(kernelt),
             schedule.stats().deliveries.to_string(),
         ]);
         rows.push(obj(vec![
@@ -71,9 +189,15 @@ pub fn exp_scaling_full() -> (String, gossip_telemetry::Value) {
             ("schedule_ms", Value::from_f64(gen.as_secs_f64() * 1e3)),
             ("simulate_ms", Value::from_f64(simt.as_secs_f64() * 1e3)),
             (
+                "kernel_sim_ms",
+                Value::from_f64(kernelt.as_secs_f64() * 1e3),
+            ),
+            (
                 "deliveries",
                 Value::from_u64(schedule.stats().deliveries as u64),
             ),
+            ("budget_ms", Value::from_f64(budget_ms)),
+            ("within_budget", Value::Bool(within_budget)),
         ]));
     }
     let payload = obj(vec![
@@ -81,24 +205,95 @@ pub fn exp_scaling_full() -> (String, gossip_telemetry::Value) {
         ("rows", Value::Array(rows)),
         ("telemetry", recorder.snapshot()),
     ]);
+    let skipped_report = if skipped_lines.is_empty() {
+        "all sizes ran within budget.\n".to_string()
+    } else {
+        format!("budget decisions:\n  {}\n", skipped_lines.join("\n  "))
+    };
     let report = format!(
         "Wall-clock scaling of the pipeline stages (one run each; see `cargo bench`\n\
-         for statistically sound numbers):\n{}\n\
+         for statistically sound numbers):\n{}\n{}\
          tree construction is the O(mn) term (the rayon sweep tracks core count);\n\
          schedule generation and simulation scale with the Θ(n²) schedule size,\n\
          i.e. O(1) work per delivered message — the paper's \"all other steps take\n\
-         O(n) time\" per processor.\n",
-        t.render()
+         O(n) time\" per processor. `kernel ms` is the flat-CSR bitset replay\n\
+         (build + word-parallel validate + run) of the same schedule.\n",
+        t.render(),
+        skipped_report
     );
     (report, payload)
 }
 
 #[cfg(test)]
 mod tests {
+    use super::{exp_scaling_full_with, SizeBudget};
+
     #[test]
     fn scaling_report_builds() {
-        // Use the real function but trust the small sizes to finish fast.
-        let r = super::exp_scaling();
-        assert!(r.contains("schedule events"));
+        // The real pipeline, but on sizes a debug build finishes fast —
+        // the default sweep's large tail belongs to release binaries.
+        let (report, payload) = exp_scaling_full_with(&[
+            SizeBudget {
+                n: 48,
+                budget_ms: 120_000.0,
+            },
+            SizeBudget {
+                n: 64,
+                budget_ms: 120_000.0,
+            },
+        ]);
+        assert!(report.contains("schedule events"));
+        let rows = payload.get("rows").and_then(|r| r.as_array()).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert!(rows[1].get("kernel_sim_ms").is_some());
+    }
+
+    #[test]
+    fn over_budget_sizes_are_skipped_and_reported() {
+        // A zero-ms budget on the tail forces the prediction to trip; the
+        // size must appear in the artifact as a skipped row, not hang.
+        let (report, payload) = exp_scaling_full_with(&[
+            SizeBudget {
+                n: 48,
+                budget_ms: 120_000.0,
+            },
+            SizeBudget {
+                n: 4096,
+                budget_ms: 0.001,
+            },
+            SizeBudget {
+                n: 8192,
+                budget_ms: 0.001,
+            },
+        ]);
+        assert!(report.contains("skipped"));
+        let rows = payload.get("rows").and_then(|r| r.as_array()).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[1].get("skipped").and_then(|v| v.as_bool()), Some(true));
+        assert_eq!(rows[2].get("skipped").and_then(|v| v.as_bool()), Some(true));
+        assert!(rows[1].get("predicted_cost_ms").is_some());
+    }
+
+    #[test]
+    fn first_size_always_runs_and_overruns_shed_the_tail() {
+        // The first size has no prediction base, so it runs even under an
+        // impossible budget — and its observed overrun sheds what follows.
+        let (report, payload) = exp_scaling_full_with(&[
+            SizeBudget {
+                n: 48,
+                budget_ms: 0.001,
+            },
+            SizeBudget {
+                n: 64,
+                budget_ms: 120_000.0,
+            },
+        ]);
+        assert!(report.contains("OVER its"));
+        let rows = payload.get("rows").and_then(|r| r.as_array()).unwrap();
+        assert_eq!(
+            rows[0].get("within_budget").and_then(|v| v.as_bool()),
+            Some(false)
+        );
+        assert_eq!(rows[1].get("skipped").and_then(|v| v.as_bool()), Some(true));
     }
 }

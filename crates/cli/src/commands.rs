@@ -28,6 +28,7 @@ commands:
                                                        emit a graph as JSON
   plan      (--family F --n N | --graph FILE|NAME)
             [--algorithm concurrent-updown|simple|updown|telephone]
+            [--engine oracle|kernel|both]
             [--out FILE] [--trace-out FILE [--wall]]   build + verify a schedule
   trace     --family F --n N --vertex V                per-vertex table (paper style)
   bounds    --family F --n N                           lower bounds for a network
@@ -81,6 +82,13 @@ Fig 1 ring, size --n), fig4, fig5
 
 --algo is accepted as shorthand for --algorithm, and `concurrent` for
 `concurrent-updown`
+
+verification engines (plan):
+  --engine kernel   flat-CSR bitset replay (SimKernel) — the default
+  --engine oracle   the reference Simulator
+  --engine both     run both, cross-check the outcomes, report timings;
+                    --metrics always runs the oracle too (per-round probes
+                    are an oracle feature)
 
 families: path ring star complete binary-tree caterpillar grid torus
           hypercube random-tree random-sparse";
@@ -307,6 +315,29 @@ fn parse_algorithm(args: &Args) -> Result<Algorithm, String> {
 }
 
 /// `gossip plan`: build, verify, and summarize (optionally dump) a schedule.
+/// Which verification engine `gossip plan` runs after building a schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Engine {
+    /// The reference [`gossip_model::Simulator`] (hash/Vec state).
+    Oracle,
+    /// The flat-CSR bitset [`gossip_model::SimKernel`] (the default).
+    Kernel,
+    /// Both, cross-checked outcome-for-outcome, with timings reported.
+    Both,
+}
+
+/// Parses `--engine oracle|kernel|both` (default `kernel`).
+fn parse_engine(args: &Args) -> Result<Engine, String> {
+    match args.options.get("engine").map(String::as_str) {
+        None | Some("kernel") => Ok(Engine::Kernel),
+        Some("oracle") => Ok(Engine::Oracle),
+        Some("both") => Ok(Engine::Both),
+        Some(other) => Err(format!(
+            "--engine must be oracle, kernel, or both (got {other})"
+        )),
+    }
+}
+
 pub fn plan(args: &Args) -> Result<(), String> {
     let g = load_graph(args)?;
     let alg = parse_algorithm(args)?;
@@ -324,23 +355,52 @@ pub fn plan(args: &Args) -> Result<(), String> {
     } else {
         CommModel::Multicast
     };
-    let outcome = match &metrics {
+    let engine = parse_engine(args)?;
+    // Per-round probes are an oracle feature, so --metrics always runs the
+    // reference Simulator; the kernel engine then verifies on top of it.
+    let want_oracle = engine != Engine::Kernel || metrics.is_some();
+    let want_kernel = engine != Engine::Oracle;
+    let mut oracle_outcome = None;
+    let mut oracle_ms = 0.0;
+    if want_oracle {
+        let t0 = std::time::Instant::now();
+        let mut sim = gossip_model::Simulator::with_origins(&g, model, &plan.origin_of_message)
+            .map_err(|e| e.to_string())?;
         // The recorded run enforces the same model rules and additionally
         // streams per-round probes (sent / fan-out / idle / coverage).
-        Some(m) => {
-            let mut sim = gossip_model::Simulator::with_origins(&g, model, &plan.origin_of_message)
-                .map_err(|e| e.to_string())?;
-            sim.run_recorded(&plan.schedule, &m.recorder)
-                .map_err(|e| e.to_string())?
+        let o = match &metrics {
+            Some(m) => sim.run_recorded(&plan.schedule, &m.recorder),
+            None => sim.run(&plan.schedule),
         }
-        None => gossip_model::validate_gossip_schedule(
+        .map_err(|e| e.to_string())?;
+        oracle_ms = t0.elapsed().as_secs_f64() * 1e3;
+        oracle_outcome = Some(o);
+    }
+    let mut kernel_outcome = None;
+    let mut kernel_ms = 0.0;
+    if want_kernel {
+        let t0 = std::time::Instant::now();
+        let o = gossip_model::validate_gossip_schedule(
             &g,
             &plan.schedule,
             &plan.origin_of_message,
             model,
         )
-        .map_err(|e| e.to_string())?,
-    };
+        .map_err(|e| e.to_string())?;
+        kernel_ms = t0.elapsed().as_secs_f64() * 1e3;
+        kernel_outcome = Some(o);
+    }
+    if let (Some(a), Some(b)) = (&oracle_outcome, &kernel_outcome) {
+        if a != b {
+            return Err(format!(
+                "verification engines disagree (bug): oracle {a:?} vs kernel {b:?}"
+            ));
+        }
+    }
+    let both_ran = oracle_outcome.is_some() && kernel_outcome.is_some();
+    let outcome = kernel_outcome
+        .or(oracle_outcome)
+        .expect("at least one engine always runs");
     if !outcome.complete {
         return Err("schedule did not complete gossip (bug)".into());
     }
@@ -369,11 +429,23 @@ pub fn plan(args: &Args) -> Result<(), String> {
     let stats = plan.schedule.stats();
     out!(
         out,
-        "verified: complete; {} transmissions, {} deliveries, max fanout {}",
+        "verified ({}): complete; {} transmissions, {} deliveries, max fanout {}",
+        match engine {
+            Engine::Oracle => "oracle simulator",
+            Engine::Kernel => "bitset kernel",
+            Engine::Both => "oracle + kernel, outcomes identical",
+        },
         stats.transmissions,
         stats.deliveries,
         stats.max_fanout
     );
+    if both_ran && engine == Engine::Both {
+        out!(
+            out,
+            "engine timings: oracle {oracle_ms:.2} ms, kernel {kernel_ms:.2} ms ({:.1}x)",
+            oracle_ms / kernel_ms.max(1e-9)
+        );
+    }
     if let Some(faults) = parse_fault_plan(args, g.n())? {
         // Fault flags: additionally report what a lossy run (no repair)
         // would do to this schedule — losses by cause, DAG gaps, residual.

@@ -38,7 +38,28 @@ fn plan_reports_guarantee() {
     assert!(ok);
     assert!(stdout.contains("makespan: 15 rounds"));
     assert!(stdout.contains("n + r = 15"));
-    assert!(stdout.contains("verified: complete"));
+    assert!(stdout.contains("verified (bitset kernel): complete"));
+}
+
+#[test]
+fn plan_engine_oracle_and_both() {
+    let (ok, stdout, _) = gossip(&[
+        "plan", "--family", "ring", "--n", "10", "--engine", "oracle",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("verified (oracle simulator): complete"));
+
+    let (ok, stdout, _) = gossip(&["plan", "--family", "ring", "--n", "10", "--engine", "both"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("verified (oracle + kernel, outcomes identical): complete"));
+    assert!(stdout.contains("engine timings:"));
+}
+
+#[test]
+fn plan_rejects_unknown_engine() {
+    let (ok, _, stderr) = gossip(&["plan", "--family", "ring", "--n", "8", "--engine", "warp"]);
+    assert!(!ok);
+    assert!(stderr.contains("--engine must be oracle, kernel, or both"));
 }
 
 #[test]
@@ -72,7 +93,7 @@ fn generate_plan_round_trip() {
     let (ok, stdout, _) = gossip(&["plan", "--graph", path_str]);
     assert!(ok, "{stdout}");
     assert!(stdout.contains("n = 16"));
-    assert!(stdout.contains("verified: complete"));
+    assert!(stdout.contains("verified (bitset kernel): complete"));
     std::fs::remove_dir_all(&dir).ok();
 }
 

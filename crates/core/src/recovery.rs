@@ -23,8 +23,8 @@
 
 use gossip_graph::Graph;
 use gossip_model::{
-    BitSet, CommModel, FaultPlan, LossyOutcome, LostDelivery, ModelError, Schedule, Simulator,
-    Transmission,
+    BitSet, CommModel, FaultPlan, FlatSchedule, LossyOutcome, LostDelivery, ModelError, Schedule,
+    SimKernel, Transmission,
 };
 use gossip_telemetry::{ChromeTrace, NoopRecorder, Recorder, RecorderExt, Value};
 
@@ -380,7 +380,11 @@ impl<'a> ResilientExecutor<'a> {
             .validate(self.g.n())
             .map_err(|reason| ModelError::InvalidFaultPlan { reason })?;
         let _span = self.recorder.span("recover");
-        let mut sim = Simulator::with_origins(self.g, self.model, self.origins)?;
+        // Execution goes through the bitset kernel: flatten each epoch's
+        // schedule once, replay word-parallel; the oracle `Simulator` keeps
+        // producing identical reports (the transcript-replay test relies on
+        // that parity).
+        let mut sim = SimKernel::with_origins(self.g, self.model, self.origins)?;
         let mut lost_log: Vec<LostDelivery> = Vec::new();
         let mut transcript = self.schedule.clone();
         transcript.trim();
@@ -392,17 +396,17 @@ impl<'a> ResilientExecutor<'a> {
 
         let base_out = {
             let _e = self.recorder.span("recover/epoch");
-            sim.run_lossy(self.schedule, self.plan, &mut lost_log)?
+            let flat = FlatSchedule::from_schedule(self.schedule);
+            sim.run_lossy(&flat, self.plan, &mut lost_log)?
         };
         self.record_epoch(&mut epochs, 0, 0, self.schedule, &base_out, &sim);
 
         for epoch in 1..=self.max_epochs {
-            let residual = sim.residual(self.plan);
-            if residual.is_empty() {
+            if sim.residual_count(self.plan) == 0 {
                 break;
             }
             let alive = self.plan.alive_at(self.g.n(), sim.time());
-            let holds: Vec<BitSet> = (0..self.g.n()).map(|v| sim.holds(v).clone()).collect();
+            let holds: Vec<BitSet> = sim.hold_bitsets();
             let completion = plan_completion(self.g, &holds, &alive);
             if completion.schedule.makespan() == 0 {
                 // Nothing can make progress: the rest is unreachable.
@@ -412,7 +416,8 @@ impl<'a> ResilientExecutor<'a> {
             let start = sim.time();
             let out = {
                 let _e = self.recorder.span("recover/epoch");
-                sim.run_lossy(&completion.schedule, self.plan, &mut lost_log)?
+                let flat = FlatSchedule::from_schedule(&completion.schedule);
+                sim.run_lossy(&flat, self.plan, &mut lost_log)?
             };
             retransmissions += completion.schedule.stats().deliveries;
             transcript.merge(&completion.schedule.shifted(start, 0));
@@ -464,7 +469,7 @@ impl<'a> ResilientExecutor<'a> {
         start_round: usize,
         schedule: &Schedule,
         out: &LossyOutcome,
-        sim: &Simulator<'_>,
+        sim: &SimKernel<'_>,
     ) {
         epochs.push(EpochReport {
             epoch,
@@ -473,7 +478,7 @@ impl<'a> ResilientExecutor<'a> {
             attempted: schedule.stats().deliveries,
             delivered: out.delivered,
             lost: out.lost,
-            residual_after: sim.residual(self.plan).len(),
+            residual_after: sim.residual_count(self.plan),
         });
     }
 }
@@ -482,6 +487,7 @@ impl<'a> ResilientExecutor<'a> {
 mod tests {
     use super::*;
     use crate::pipeline::GossipPlanner;
+    use gossip_model::Simulator;
 
     fn petersen() -> Graph {
         let edges = [

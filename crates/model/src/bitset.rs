@@ -89,6 +89,74 @@ impl BitSet {
         })
     }
 
+    /// The backing `u64` blocks, least-significant value first. Bits at or
+    /// above `capacity` are always zero.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.blocks
+    }
+
+    /// Builds a set directly from backing words (the bitset kernel's flat
+    /// hold rows). Bits at or above `capacity` are masked off; `len` is
+    /// recomputed by popcount.
+    pub fn from_words(mut words: Vec<u64>, capacity: usize) -> Self {
+        words.resize(capacity.div_ceil(64), 0);
+        if !capacity.is_multiple_of(64) {
+            if let Some(last) = words.last_mut() {
+                *last &= (1u64 << (capacity % 64)) - 1;
+            }
+        }
+        let len = words.iter().map(|w| w.count_ones() as usize).sum();
+        BitSet {
+            blocks: words,
+            capacity,
+            len,
+        }
+    }
+
+    /// Word-wise union: ORs `other` into `self`, returning how many values
+    /// were newly added. Both sets must have the same capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn union_with(&mut self, other: &BitSet) -> usize {
+        assert_eq!(
+            self.capacity, other.capacity,
+            "union of bitsets with different capacities"
+        );
+        let before = self.len;
+        for (a, &b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a |= b;
+        }
+        self.len = self.blocks.iter().map(|w| w.count_ones() as usize).sum();
+        self.len - before
+    }
+
+    /// Iterates the *absent* values in `0..capacity` in ascending order —
+    /// the word-parallel complement walk residual extraction runs on.
+    pub fn iter_missing(&self) -> impl Iterator<Item = usize> + '_ {
+        let capacity = self.capacity;
+        self.blocks
+            .iter()
+            .enumerate()
+            .flat_map(move |(bi, &block)| {
+                let mut bits = !block;
+                if bi == capacity / 64 && !capacity.is_multiple_of(64) {
+                    bits &= (1u64 << (capacity % 64)) - 1;
+                }
+                std::iter::from_fn(move || {
+                    if bits == 0 {
+                        return None;
+                    }
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(bi * 64 + tz)
+                })
+                .filter(move |&v| v < capacity)
+            })
+    }
+
     /// The smallest absent value in `0..capacity`, if any.
     pub fn first_missing(&self) -> Option<usize> {
         for (bi, &block) in self.blocks.iter().enumerate() {

@@ -11,6 +11,9 @@
 //! - [`Simulator`]: executes schedules while enforcing *every* model rule,
 //!   tracking hold sets, and reporting completion — the trust anchor all
 //!   scheduling algorithms are verified against;
+//! - [`FlatSchedule`] / [`SimKernel`]: the replay fast path — schedules
+//!   flattened once into round-major CSR arrays, knowledge sets as flat
+//!   `u64` bitset words, same rules and errors as the oracle simulator;
 //! - [`trace`]: per-vertex tables in the exact format of the paper's
 //!   Tables 1–4;
 //! - [`provenance`]: the causal first-delivery DAG of a run (who first
@@ -30,6 +33,8 @@ pub mod compact;
 pub mod error;
 pub mod fault_plan;
 pub mod faults;
+pub mod flat_schedule;
+pub mod kernel;
 pub mod lossy;
 pub mod models;
 pub mod provenance;
@@ -47,6 +52,8 @@ pub use compact::{compact_schedule, verify_compaction, CompactionReport};
 pub use error::ModelError;
 pub use fault_plan::{Crash, FaultPlan, LinkOutage, FAULT_PLAN_SCHEMA_VERSION};
 pub use faults::{inject_fault, Fault};
+pub use flat_schedule::FlatSchedule;
+pub use kernel::SimKernel;
 pub use lossy::{LossCause, LossyOutcome, LostDelivery};
 pub use models::CommModel;
 pub use provenance::{

@@ -29,26 +29,33 @@ impl CommModel {
     ///
     /// Returns `Err(reason)` with a human-readable reason on violation.
     pub fn check_destinations(&self, g: &Graph, t: &Transmission) -> Result<(), String> {
+        self.check_fanout(g.degree(t.from), t.to.len())
+    }
+
+    /// The fan-out form of [`CommModel::check_destinations`]: all three
+    /// models restrict only the *size* of the destination set relative to
+    /// the sender's degree, so validators that store destinations in flat
+    /// arrays (the bitset kernel) can check the rule without materializing
+    /// a [`Transmission`]. Shared with `check_destinations` so both
+    /// validators emit byte-identical violation reasons.
+    pub fn check_fanout(&self, sender_degree: usize, fanout: usize) -> Result<(), String> {
         match self {
             CommModel::Multicast => Ok(()),
             CommModel::Telephone => {
-                if t.to.len() == 1 {
+                if fanout == 1 {
                     Ok(())
                 } else {
                     Err(format!(
-                        "telephone model allows exactly 1 destination, got {}",
-                        t.to.len()
+                        "telephone model allows exactly 1 destination, got {fanout}"
                     ))
                 }
             }
             CommModel::Broadcast => {
-                if t.to.len() == g.degree(t.from) {
+                if fanout == sender_degree {
                     Ok(())
                 } else {
                     Err(format!(
-                        "broadcast model requires all {} neighbours, got {}",
-                        g.degree(t.from),
-                        t.to.len()
+                        "broadcast model requires all {sender_degree} neighbours, got {fanout}"
                     ))
                 }
             }

@@ -28,10 +28,12 @@
 
 use crate::error::ModelError;
 use crate::fault_plan::FaultPlan;
+use crate::flat_schedule::FlatSchedule;
+use crate::kernel::SimKernel;
 use crate::lossy::{LossyOutcome, LostDelivery};
 use crate::models::CommModel;
 use crate::schedule::Schedule;
-use crate::simulator::{SimOutcome, Simulator};
+use crate::simulator::SimOutcome;
 use gossip_graph::Graph;
 use gossip_telemetry::{ChromeTrace, Value};
 
@@ -371,19 +373,24 @@ impl ProvenanceTrace {
 /// Runs `schedule` on `g` under `model`, validating every rule exactly as
 /// [`crate::validate_gossip_schedule`] does, while recording the causal
 /// first-delivery DAG. Returns the outcome plus the provenance record.
+///
+/// The replay itself goes through the bitset [`SimKernel`] over a
+/// [`FlatSchedule`]; rule errors are bit-identical to the oracle
+/// [`crate::Simulator`]'s.
 pub fn trace_gossip(
     g: &Graph,
     schedule: &Schedule,
     origins: &[usize],
     model: CommModel,
 ) -> Result<(SimOutcome, ProvenanceTrace), ModelError> {
-    let mut sim = Simulator::with_origins(g, model, origins)?;
+    let mut sim = SimKernel::with_origins(g, model, origins)?;
     if schedule.n != g.n() {
         return Err(ModelError::SizeMismatch {
             graph_n: g.n(),
             schedule_n: schedule.n,
         });
     }
+    let flat = FlatSchedule::from_schedule(schedule);
     let n = g.n();
     let n_msgs = origins.len();
     let makespan = schedule.makespan();
@@ -417,13 +424,13 @@ pub fn trace_gossip(
         let mut pending: Vec<(usize, usize, usize, usize)> = Vec::new();
         for tx in &round.transmissions {
             for &d in &tx.to {
-                if d < n && (tx.msg as usize) < n_msgs && !sim.holds(d).contains(tx.msg as usize) {
+                if d < n && (tx.msg as usize) < n_msgs && !sim.contains(d, tx.msg as usize) {
                     pending.push((tx.msg as usize, d, tx.from, tx_id));
                 }
             }
             tx_id += 1;
         }
-        sim.step(round)?;
+        sim.step_round(&flat, t)?;
         // Validated: commit the observations for this round.
         let mut deliveries = 0usize;
         for tx in &round.transmissions {
@@ -490,13 +497,14 @@ pub fn trace_gossip_lossy(
     model: CommModel,
     plan: &FaultPlan,
 ) -> Result<(LossyOutcome, ProvenanceTrace, Vec<LostDelivery>), ModelError> {
-    let mut sim = Simulator::with_origins(g, model, origins)?;
+    let mut sim = SimKernel::with_origins(g, model, origins)?;
     if schedule.n != g.n() {
         return Err(ModelError::SizeMismatch {
             graph_n: g.n(),
             schedule_n: schedule.n,
         });
     }
+    let flat = FlatSchedule::from_schedule(schedule);
     let n = g.n();
     let n_msgs = origins.len();
     let makespan = schedule.makespan();
@@ -524,14 +532,14 @@ pub fn trace_gossip_lossy(
         let mut pending: Vec<(usize, usize, usize, usize)> = Vec::new();
         for tx in &round.transmissions {
             for &d in &tx.to {
-                if d < n && (tx.msg as usize) < n_msgs && !sim.holds(d).contains(tx.msg as usize) {
+                if d < n && (tx.msg as usize) < n_msgs && !sim.contains(d, tx.msg as usize) {
                     pending.push((tx.msg as usize, d, tx.from, tx_id));
                 }
             }
             tx_id += 1;
         }
         let lost_before = lost.len();
-        let delivered = sim.step_lossy(round, plan, &mut lost)?;
+        let delivered = sim.step_round_lossy(&flat, t, plan, &mut lost)?;
         delivered_total += delivered;
         let mut fresh = 0usize;
         let mut deliveries = 0usize;
@@ -551,7 +559,7 @@ pub fn trace_gossip_lossy(
             }
         }
         for (msg, d, sender, id) in pending {
-            if sim.holds(d).contains(msg) {
+            if sim.contains(d, msg) {
                 first[msg][d] = Some(Delivery {
                     round: t + 1,
                     sender,
@@ -573,7 +581,7 @@ pub fn trace_gossip_lossy(
         rounds_executed: makespan,
         delivered: delivered_total,
         lost: lost.len(),
-        complete_among_alive: sim.residual(plan).is_empty(),
+        complete_among_alive: sim.residual_count(plan) == 0,
     };
     let trace = ProvenanceTrace {
         n,

@@ -437,13 +437,24 @@ pub fn simulate_gossip(
 /// Convenience: validate `schedule` under an arbitrary model and require
 /// completion; returns the outcome, or an error describing the first rule
 /// violation.
+///
+/// Backed by the bitset [`crate::SimKernel`] (the outcome and errors are
+/// bit-identical to running the oracle [`Simulator`], which remains
+/// available for differential checking).
 pub fn validate_gossip_schedule(
     g: &Graph,
     schedule: &Schedule,
     origin_of_message: &[usize],
     model: CommModel,
 ) -> Result<SimOutcome, ModelError> {
-    Simulator::new(g, model, origin_of_message)?.run(schedule)
+    let mut kernel = crate::kernel::SimKernel::new(g, model, origin_of_message)?;
+    if schedule.n != g.n() {
+        return Err(ModelError::SizeMismatch {
+            graph_n: g.n(),
+            schedule_n: schedule.n,
+        });
+    }
+    kernel.run(&crate::flat_schedule::FlatSchedule::from_schedule(schedule))
 }
 
 #[cfg(test)]

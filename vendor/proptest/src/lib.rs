@@ -285,6 +285,21 @@ impl Default for ProptestConfig {
     }
 }
 
+/// The case count a test actually runs: the `PROPTEST_CASES` environment
+/// variable, when set to a positive integer, overrides the configured
+/// value (so a nightly job can run every suite harder without touching
+/// source). Unlike upstream proptest — where the variable only feeds the
+/// `Default` config — the override here also applies to explicit
+/// `with_cases` configs; this workspace tunes per-test counts in source
+/// and uses the variable purely as a global multiplier knob.
+pub fn resolve_cases(configured: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.trim().parse::<u32>().ok())
+        .filter(|&c| c > 0)
+        .unwrap_or(configured)
+}
+
 /// Declares property tests: each `fn name(pat in strategy, ...) { body }`
 /// becomes a `#[test]` that generates inputs and runs the body per case.
 #[macro_export]
@@ -300,7 +315,7 @@ macro_rules! proptest {
             #[test]
             fn $test_name() {
                 let config: $crate::ProptestConfig = $config;
-                for case in 0..u64::from(config.cases) {
+                for case in 0..u64::from($crate::resolve_cases(config.cases)) {
                     let mut proptest_rng = $crate::test_runner::TestRng::for_case(case);
                     $(
                         let $parm = $crate::strategy::Strategy::new_value(
@@ -402,6 +417,23 @@ mod tests {
         let a = s.new_value(&mut crate::test_runner::TestRng::for_case(3));
         let b = s.new_value(&mut crate::test_runner::TestRng::for_case(3));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn resolve_cases_honors_env_override() {
+        // No env var (the normal test environment): configured wins.
+        if std::env::var("PROPTEST_CASES").is_err() {
+            assert_eq!(crate::resolve_cases(40), 40);
+        }
+        // Garbage and zero never override (checked via the parser the env
+        // path uses: set/unset would race with concurrently running
+        // proptest-macro tests in this same binary).
+        assert_eq!("oops".trim().parse::<u32>().ok().filter(|&c| c > 0), None);
+        assert_eq!("0".trim().parse::<u32>().ok().filter(|&c| c > 0), None);
+        assert_eq!(
+            "1024".trim().parse::<u32>().ok().filter(|&c| c > 0),
+            Some(1024)
+        );
     }
 
     proptest! {
