@@ -3,19 +3,25 @@
 //! measured on a 1024-vertex torus. Results (criterion display plus our own
 //! wall-clock means) land in `BENCH_telemetry_overhead.json`.
 //!
-//! Three configurations per stage:
+//! Four configurations per stage:
 //! - `raw`: the un-instrumented code path (`Simulator::run`);
 //! - `noop`: the recorded path with [`NoopRecorder`] — this is what every
 //!   default caller pays, and what the <5% guard bounds;
 //! - `metrics`: the recorded path with a live [`MetricsRecorder`] (no
-//!   sink), the full-observability cost for context.
+//!   sink), the full-observability cost for context;
+//! - `live`: the recorded path with a [`LiveRegistry`] (no event tap) —
+//!   what `gossip serve` pays while scrapeable; also guarded at <5%.
+//!
+//! The threaded online executor gets its own noop-vs-live pair: its cost
+//! is barrier-dominated wall clock, so the live registry must disappear
+//! into the noise there too.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gossip_bench::report::{obj, write_bench_json};
-use gossip_core::{concurrent_updown_recorded, tree_origins};
+use gossip_core::{concurrent_updown_recorded, run_online_threaded_recorded, tree_origins};
 use gossip_graph::{min_depth_spanning_tree, ChildOrder};
 use gossip_model::{CommModel, Simulator};
-use gossip_telemetry::{MetricsRecorder, NoopRecorder, Value};
+use gossip_telemetry::{LiveRegistry, MetricsRecorder, NoopRecorder, Value};
 use gossip_workloads::torus;
 use std::hint::black_box;
 use std::time::Instant;
@@ -69,6 +75,13 @@ fn bench_overhead(c: &mut Criterion) {
             black_box(sim.run_recorded(black_box(&schedule), &metrics).unwrap())
         })
     });
+    let live = LiveRegistry::new();
+    group.bench_function("simulate/live", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::with_origins(&g, CommModel::Multicast, &origins).unwrap();
+            black_box(sim.run_recorded(black_box(&schedule), &live).unwrap())
+        })
+    });
     group.bench_function("generate/noop", |b| {
         b.iter(|| black_box(concurrent_updown_recorded(black_box(&tree), &NoopRecorder)))
     });
@@ -90,14 +103,33 @@ fn bench_overhead(c: &mut Criterion) {
             match config {
                 0 => black_box(sim.run(&schedule).unwrap()),
                 1 => black_box(sim.run_recorded(&schedule, &NoopRecorder).unwrap()),
-                _ => black_box(sim.run_recorded(&schedule, &metrics).unwrap()),
+                2 => black_box(sim.run_recorded(&schedule, &metrics).unwrap()),
+                _ => black_box(sim.run_recorded(&schedule, &live).unwrap()),
             };
         },
-        3,
+        4,
         iters,
     );
-    let (raw, noop, recorded) = (best[0], best[1], best[2]);
+    let (raw, noop, recorded, live_t) = (best[0], best[1], best[2], best[3]);
     let overhead_pct = 100.0 * (noop - raw) / raw;
+    let live_overhead_pct = 100.0 * (live_t - raw) / raw;
+
+    // The threaded online executor: per-round wall clock is dominated by
+    // the barrier, so live instrumentation must vanish into it.
+    let online_tree = min_depth_spanning_tree(&torus(8, 8), ChildOrder::ById).unwrap();
+    let online_best = time_min_interleaved(
+        |config| {
+            match config {
+                0 => black_box(run_online_threaded_recorded(&online_tree, &NoopRecorder)),
+                _ => black_box(run_online_threaded_recorded(&online_tree, &live)),
+            };
+        },
+        2,
+        iters,
+    );
+    let (online_noop, online_live) = (online_best[0], online_best[1]);
+    let online_live_overhead_pct = 100.0 * (online_live - online_noop) / online_noop;
+
     let payload = obj(vec![
         ("experiment", Value::String("telemetry_overhead".into())),
         ("n", Value::from_u64(g.n() as u64)),
@@ -105,12 +137,29 @@ fn bench_overhead(c: &mut Criterion) {
         ("simulate_raw_ms", Value::from_f64(raw * 1e3)),
         ("simulate_noop_ms", Value::from_f64(noop * 1e3)),
         ("simulate_metrics_ms", Value::from_f64(recorded * 1e3)),
+        ("simulate_live_ms", Value::from_f64(live_t * 1e3)),
         ("noop_overhead_pct", Value::from_f64(overhead_pct)),
+        ("live_overhead_pct", Value::from_f64(live_overhead_pct)),
+        ("online_n", Value::from_u64(online_tree.n() as u64)),
+        ("online_noop_ms", Value::from_f64(online_noop * 1e3)),
+        ("online_live_ms", Value::from_f64(online_live * 1e3)),
+        (
+            "online_live_overhead_pct",
+            Value::from_f64(online_live_overhead_pct),
+        ),
         ("guard_pct", Value::from_f64(5.0)),
         ("guard_ok", Value::Bool(overhead_pct < 5.0)),
+        ("live_guard_ok", Value::Bool(live_overhead_pct < 5.0)),
+        (
+            "online_live_guard_ok",
+            Value::Bool(online_live_overhead_pct < 5.0),
+        ),
     ]);
     if let Some(path) = write_bench_json("telemetry_overhead", &payload) {
-        println!("noop overhead: {overhead_pct:.2}% (guard < 5%), wrote {path}");
+        println!(
+            "noop overhead: {overhead_pct:.2}%, live registry: {live_overhead_pct:.2}%, \
+             online live: {online_live_overhead_pct:.2}% (guard < 5%), wrote {path}"
+        );
     }
 }
 

@@ -12,11 +12,14 @@ use gossip_model::{
     schedule_chrome_trace, simulate_gossip, trace_gossip, trace_gossip_lossy, vertex_trace,
     CommModel, FaultPlan, LossCause,
 };
+use gossip_obsd::{render_dashboard, History, ObsdServer, Paced};
 use gossip_telemetry::{
-    check_schema_version, MetricsRecorder, Recorder, SharedBuffer, Value, SCHEMA_VERSION,
+    check_schema_version, LiveRegistry, MetricsRecorder, Recorder, SharedBuffer, Value,
+    SCHEMA_VERSION,
 };
 use gossip_workloads::Family;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Usage text shown by `gossip help`.
 pub const USAGE: &str = "\
@@ -51,8 +54,19 @@ commands:
   bench-diff OLD.json NEW.json
             [--threshold PCT] [--wall-factor F]        compare BENCH_* artifacts;
                                                        exit 1 on regression
-  stats     METRICS.json|-                             summarize a --metrics file
-                                                       (`-` reads stdin)
+  stats     METRICS.json|RECOVERY.json|-               summarize a --metrics file or
+                                                       a recovery report (`-` = stdin)
+  serve     (--family F --n N | --graph FILE|NAME)
+            [--listen ADDR] [--addr-file FILE]
+            [--round-delay-ms MS] [--linger-ms MS]
+            [fault flags] [--max-epochs K]             run the self-healing executor
+                                                       under a live HTTP observability
+                                                       server; exit 1 if recovery
+                                                       falls short
+  dash      ARTIFACT.json|DIR [MORE...]
+            [--out report.html]                        aggregate metrics / BENCH_* /
+                                                       recovery artifacts into one
+                                                       self-contained HTML dashboard
 
 options accepted by plan / analyze / pipeline / provenance:
   --metrics FILE    record span timings, counters, and per-round simulation
@@ -68,14 +82,26 @@ trace export (plan):
                     produced it; add --wall to also run the threaded online
                     executor and append its wall-clock lanes
 
-fault flags (plan / recover):
+live monitoring (serve):
+  --listen ADDR        bind address (default 127.0.0.1:9464; port 0 picks a
+                       free one)
+  --addr-file FILE     write the bound host:port to FILE once listening, so
+                       scripts can discover a `--listen 127.0.0.1:0` port
+  --round-delay-ms MS  pause after each executed round (default 0) so
+                       scrapers can watch `gossip_round_current` advance
+  --linger-ms MS       keep serving for MS after the run completes so a
+                       final `/metrics` scrape sees the finished state
+  endpoints: /metrics (Prometheus text v0.0.4), /healthz (JSON liveness),
+  /events (NDJSON stream of round/loss/epoch events)
+
+fault flags (plan / recover / serve):
   --loss-rate P     drop each delivery independently with probability P
   --crash V@T       crash-stop vertex V at the start of round T
                     (comma-separate for several: 3@5,7@9)
   --outage U-V@A..B link {U,V} down for rounds A..B (comma-separate)
   --fault-seed S    seed of the deterministic loss sampler (default 0)
   `plan` with fault flags additionally reports what a lossy run would lose
-  (no repair); `recover` runs the self-healing executor
+  (no repair); `recover` and `serve` run the self-healing executor
 
 --graph also accepts the paper's named instances: petersen (N2), n1 (the
 Fig 1 ring, size --n), fig4, fig5
@@ -908,6 +934,11 @@ pub fn stats(args: &Args) -> Result<(), String> {
     };
     let doc: Value = serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
     check_schema_version(&doc).map_err(|e| format!("{path}: {e}"))?;
+    // `gossip recover --out` reports are also schema-versioned artifacts;
+    // summarize them with their own (epoch table) rendering.
+    if doc.get("kind").and_then(Value::as_str) == Some("recovery") {
+        return stats_recovery(&doc);
+    }
     let snapshot = &doc["snapshot"];
 
     let section = |title: &str, key: &str, fmt: &dyn Fn(&Value) -> String| {
@@ -968,6 +999,191 @@ pub fn stats(args: &Args) -> Result<(), String> {
             scalar(&last["idle_receivers"])
         );
     }
+    Ok(())
+}
+
+/// Renders a `RecoveryReport` artifact (`kind: "recovery"`) for `gossip
+/// stats`: the per-epoch table plus a residual summary, mirroring what
+/// `gossip recover` printed when it wrote the file.
+fn stats_recovery(doc: &Value) -> Result<(), String> {
+    let int = |v: &Value| {
+        v.as_u64()
+            .map(|u| u.to_string())
+            .unwrap_or_else(|| "?".into())
+    };
+    println!(
+        "recovery report: n = {}, survivors {}, baseline {} rounds",
+        int(&doc["n"]),
+        int(&doc["survivors"]),
+        int(&doc["baseline_rounds"])
+    );
+    let epochs = doc["epochs"].as_array().cloned().unwrap_or_default();
+    println!(
+        "{:>6} {:>6} {:>7} {:>10} {:>10} {:>6} {:>9}",
+        "epoch", "start", "rounds", "attempted", "delivered", "lost", "residual"
+    );
+    for e in &epochs {
+        println!(
+            "{:>6} {:>6} {:>7} {:>10} {:>10} {:>6} {:>9}",
+            if e["epoch"].as_u64() == Some(0) {
+                "base".to_string()
+            } else {
+                int(&e["epoch"])
+            },
+            int(&e["start_round"]),
+            int(&e["rounds"]),
+            int(&e["attempted"]),
+            int(&e["delivered"]),
+            int(&e["lost"]),
+            int(&e["residual_after"])
+        );
+    }
+    println!(
+        "totals: {} rounds (overhead +{}), {} retransmissions, {} deliveries lost",
+        int(&doc["total_rounds"]),
+        int(&doc["overhead_rounds"]),
+        int(&doc["retransmissions"]),
+        int(&doc["lost_deliveries"])
+    );
+    let residual = epochs
+        .last()
+        .map(|e| int(&e["residual_after"]))
+        .unwrap_or_else(|| "?".into());
+    let unrecoverable = doc["unrecoverable"].as_array().map_or(0, Vec::len);
+    println!(
+        "residual: {residual} pair(s) after {} epoch(s), {unrecoverable} unrecoverable — {}",
+        epochs.len(),
+        if doc["recovered"].as_bool() == Some(true) {
+            "recovered"
+        } else {
+            "INCOMPLETE"
+        }
+    );
+    Ok(())
+}
+
+/// `gossip serve`: run the self-healing executor with the live HTTP
+/// observability server attached — `/metrics` (Prometheus), `/healthz`,
+/// and `/events` (NDJSON) stay scrapeable for the whole run. The run's
+/// telemetry lands in a [`LiveRegistry`]; `--round-delay-ms` stretches the
+/// round cadence (via [`Paced`]) so scrapers can watch progress, and
+/// `--linger-ms` keeps the server up after completion for a final scrape.
+pub fn serve(args: &Args) -> Result<(), String> {
+    let g = load_graph(args)?;
+    let alg = parse_algorithm(args)?;
+    if alg == Algorithm::Telephone {
+        return Err(
+            "serve runs under the multicast model; --algorithm telephone is not supported".into(),
+        );
+    }
+    let listen = args.get_or("listen", "127.0.0.1:9464");
+    let delay = std::time::Duration::from_millis(args.get_u64("round-delay-ms", 0)?);
+    let linger = std::time::Duration::from_millis(args.get_u64("linger-ms", 0)?);
+    let faults = parse_fault_plan(args, g.n())?.unwrap_or_else(FaultPlan::none);
+    let max_epochs = args.get_usize("max-epochs", DEFAULT_MAX_EPOCHS)?;
+
+    let registry = Arc::new(LiveRegistry::new());
+    let server =
+        ObsdServer::start(listen, Arc::clone(&registry)).map_err(|e| format!("{listen}: {e}"))?;
+    let addr = server.addr();
+    if let Some(path) = args.options.get("addr-file") {
+        if path == "true" {
+            return Err("--addr-file requires a file path".into());
+        }
+        std::fs::write(path, format!("{addr}\n")).map_err(|e| format!("{path}: {e}"))?;
+    }
+    println!("serving on http://{addr} — endpoints: /metrics /healthz /events");
+    let health = server.health();
+    let paced = Paced::new(&*registry, delay);
+
+    health.set_phase("planning");
+    let plan = GossipPlanner::new(&g)
+        .map_err(|e| e.to_string())?
+        .algorithm(alg)
+        .recorder(&paced)
+        .plan()
+        .map_err(|e| e.to_string())?;
+    println!(
+        "planned: n = {}, r = {}, makespan {} (n + r = {})",
+        g.n(),
+        plan.radius,
+        plan.makespan(),
+        plan.guarantee()
+    );
+
+    health.set_phase("executing");
+    let report = ResilientExecutor::new(&g, &plan.schedule, &plan.origin_of_message, &faults)
+        .max_epochs(max_epochs)
+        .recorder(&paced)
+        .run()
+        .map_err(|e| e.to_string())?;
+    health.set_phase("complete");
+    health.set_done();
+    println!(
+        "run complete: {} rounds over {} epoch(s), {} retransmissions, recovered: {}",
+        report.total_rounds,
+        report.epochs.len(),
+        report.retransmissions,
+        if report.recovered { "yes" } else { "NO" }
+    );
+    if !linger.is_zero() {
+        println!("lingering {} ms for final scrapes", linger.as_millis());
+        std::thread::sleep(linger);
+    }
+    server.stop();
+    if report.recovered {
+        Ok(())
+    } else {
+        Err(format!(
+            "recovery incomplete: {} recoverable pair(s) still missing after {} epoch(s) (raise --max-epochs)",
+            report.unresolved.len(),
+            max_epochs
+        ))
+    }
+}
+
+/// `gossip dash`: aggregate schema-versioned run artifacts (metrics
+/// documents, `BENCH_*` files, recovery reports) into one self-contained
+/// HTML dashboard. Directory arguments ingest every `*.json` inside
+/// (unrecognized files are skipped with a warning); file arguments must
+/// parse.
+pub fn dash(args: &Args) -> Result<(), String> {
+    if args.positional.is_empty() {
+        return Err("usage: gossip dash ARTIFACT.json|DIR [MORE...] [--out report.html]".into());
+    }
+    let mut history = History::new();
+    for arg in &args.positional {
+        let p = std::path::Path::new(arg);
+        if p.is_dir() {
+            let mut entries: Vec<std::path::PathBuf> = std::fs::read_dir(p)
+                .map_err(|e| format!("{arg}: {e}"))?
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|q| q.extension().is_some_and(|x| x == "json"))
+                .collect();
+            entries.sort();
+            for q in entries {
+                match history.ingest_file(&q) {
+                    Ok(kind) => println!("ingested {} ({})", q.display(), kind.label()),
+                    Err(e) => eprintln!("skipping {e}"),
+                }
+            }
+        } else {
+            let kind = history.ingest_file(p)?;
+            println!("ingested {arg} ({})", kind.label());
+        }
+    }
+    if history.runs.is_empty() {
+        return Err("no artifacts ingested".into());
+    }
+    let html = render_dashboard(&history);
+    let out_path = args.get_or("out", "report.html");
+    std::fs::write(out_path, &html).map_err(|e| format!("{out_path}: {e}"))?;
+    println!(
+        "wrote dashboard ({} run{}, {} bytes) to {out_path}",
+        history.runs.len(),
+        if history.runs.len() == 1 { "" } else { "s" },
+        html.len()
+    );
     Ok(())
 }
 

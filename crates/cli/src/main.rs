@@ -8,6 +8,8 @@
 //! gossip bounds   --family path --n 9
 //! gossip exact    --family star --n 5 [--model telephone]
 //! gossip sweep    [--sizes 16,32,64]
+//! gossip serve    --graph fig4 --loss-rate 0.1 --listen 127.0.0.1:9464
+//! gossip dash     metrics.json recovery.json --out report.html
 //! ```
 //!
 //! Graphs and plans serialize as JSON so schedules can be inspected or
@@ -41,6 +43,8 @@ fn main() {
         "stats" => commands::stats(&args),
         "provenance" => commands::provenance(&args),
         "recover" => commands::recover(&args),
+        "serve" => commands::serve(&args),
+        "dash" => commands::dash(&args),
         "bench-diff" => commands::bench_diff(&args),
         "" | "help" | "--help" => {
             println!("{}", commands::USAGE);

@@ -369,6 +369,203 @@ fn stats_rejects_unknown_schema_version() {
 }
 
 #[test]
+fn stats_renders_recovery_report_epoch_table() {
+    let dir = temp_dir("stats-recovery");
+    let out = dir.join("rec.json");
+    let (ok, _, stderr) = gossip(&[
+        "recover",
+        "--graph",
+        "petersen",
+        "--loss-rate",
+        "0.3",
+        "--fault-seed",
+        "42",
+        "--out",
+        out.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stderr}");
+    let (ok, stdout, stderr) = gossip(&["stats", out.to_str().unwrap()]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("recovery report: n = 10"), "{stdout}");
+    assert!(stdout.contains("epoch"), "{stdout}");
+    assert!(stdout.contains("base"), "{stdout}");
+    assert!(stdout.contains("retransmissions"), "{stdout}");
+    assert!(stdout.contains("— recovered"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Minimal HTTP GET over a raw socket (the test crate has no HTTP client);
+/// returns the full response, headers included.
+fn http_get(addr: &str, path: &str) -> String {
+    use std::io::{Read as _, Write as _};
+    let mut s = std::net::TcpStream::connect(addr).expect("connect");
+    write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).unwrap();
+    out
+}
+
+/// Extracts the value of a single-sample metric line (`name 42`).
+fn metric_value(exposition: &str, name: &str) -> Option<f64> {
+    exposition.lines().find_map(|l| {
+        l.strip_prefix(name)
+            .and_then(|rest| rest.strip_prefix(' '))
+            .and_then(|v| v.trim().parse().ok())
+    })
+}
+
+#[test]
+fn serve_exposes_live_progress_on_random_port() {
+    use std::process::Stdio;
+    let dir = temp_dir("serve");
+    let addr_file = dir.join("addr.txt");
+    let child = Command::new(env!("CARGO_BIN_EXE_gossip"))
+        .args([
+            "serve",
+            "--graph",
+            "fig4",
+            "--loss-rate",
+            "0.1",
+            "--fault-seed",
+            "1",
+            "--listen",
+            "127.0.0.1:0",
+            "--addr-file",
+            addr_file.to_str().unwrap(),
+            "--round-delay-ms",
+            "150",
+            "--linger-ms",
+            "400",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+
+    // The addr file appears once the server is listening.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let addr = loop {
+        if let Ok(s) = std::fs::read_to_string(&addr_file) {
+            if s.trim().contains(':') {
+                break s.trim().to_string();
+            }
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "addr file never appeared"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    };
+
+    let health = http_get(&addr, "/healthz");
+    assert!(health.contains("\"status\":\"ok\""), "{health}");
+
+    // First sighting of the round gauge, then a later scrape: the counter
+    // must advance while the (paced) run is still going.
+    let first = loop {
+        let m = http_get(&addr, "/metrics");
+        if let Some(v) = metric_value(&m, "gossip_round_current") {
+            break v;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "round gauge never appeared"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    };
+    let last = loop {
+        let m = http_get(&addr, "/metrics");
+        let v = metric_value(&m, "gossip_round_current").expect("gauge persists");
+        let done = http_get(&addr, "/healthz").contains("\"done\":true");
+        if v > first || done {
+            break v;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "round gauge never advanced"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    };
+    assert!(
+        last > first,
+        "gossip_round_current must advance during the run ({first} -> {last})"
+    );
+
+    let out = child.wait_with_output().expect("serve exits");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("serving on http://127.0.0.1:"), "{stdout}");
+    assert!(stdout.contains("recovered: yes"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn dash_builds_self_contained_report_from_artifacts() {
+    let dir = temp_dir("dash");
+    let rec = dir.join("rec.json");
+    let met = dir.join("met.json");
+    let report = dir.join("report.html");
+    let (ok, _, stderr) = gossip(&[
+        "recover",
+        "--graph",
+        "petersen",
+        "--loss-rate",
+        "0.2",
+        "--fault-seed",
+        "5",
+        "--out",
+        rec.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stderr}");
+    let (ok, _, stderr) = gossip(&[
+        "plan",
+        "--family",
+        "ring",
+        "--n",
+        "8",
+        "--metrics",
+        met.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stderr}");
+
+    let (ok, stdout, stderr) = gossip(&[
+        "dash",
+        rec.to_str().unwrap(),
+        met.to_str().unwrap(),
+        "--out",
+        report.to_str().unwrap(),
+    ]);
+    assert!(ok, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("(recovery)"), "{stdout}");
+    assert!(stdout.contains("(metrics)"), "{stdout}");
+    assert!(stdout.contains("wrote dashboard (2 runs"), "{stdout}");
+    let html = std::fs::read_to_string(&report).unwrap();
+    assert!(html.starts_with("<!doctype html>"), "{html}");
+    assert!(html.contains("<svg"), "dashboard needs sparklines");
+    for marker in ["http://", "https://", "src=", "href="] {
+        assert!(!html.contains(marker), "external asset marker {marker:?}");
+    }
+
+    // A directory argument sweeps every artifact inside it.
+    let (ok, stdout, _) = gossip(&[
+        "dash",
+        dir.to_str().unwrap(),
+        "--out",
+        report.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("wrote dashboard (2 runs"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn dash_requires_artifacts() {
+    let (ok, _, stderr) = gossip(&["dash"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage: gossip dash"), "{stderr}");
+}
+
+#[test]
 fn recover_heals_lossy_run_and_exits_zero() {
     let (ok, stdout, stderr) = gossip(&[
         "recover",

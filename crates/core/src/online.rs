@@ -361,6 +361,7 @@ fn run_online_threaded_impl(
             let barrier = Arc::clone(&barrier);
             let log = Arc::clone(&log);
             let lv_ref = &lv;
+            let is_root = lv.params(label).is_root();
             scope.spawn(move || {
                 let mut sends = 0u64;
                 let mut my_rounds: Vec<(usize, u64, u64, Option<u32>)> = Vec::new();
@@ -407,6 +408,12 @@ fn run_online_threaded_impl(
                     barrier.wait();
                     if let Some(start) = round_start {
                         recorder.observe("online/round_ns", start.elapsed().as_nanos() as f64);
+                        // One thread (the root) publishes the live round
+                        // cursor; every thread writing it would be n-1
+                        // redundant stores per round.
+                        if is_root {
+                            recorder.gauge("round_current", (t + 1) as f64);
+                        }
                     }
                 }
                 if let Some(sink) = timings {

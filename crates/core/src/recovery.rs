@@ -380,6 +380,12 @@ impl<'a> ResilientExecutor<'a> {
             .validate(self.g.n())
             .map_err(|reason| ModelError::InvalidFaultPlan { reason })?;
         let _span = self.recorder.span("recover");
+        // Zero-delta touches so a live scrape sees the whole recovery
+        // counter family from the first round, not only after something
+        // was lost.
+        self.recorder.counter("recovery/lost", 0);
+        self.recorder.counter("recovery/retransmissions", 0);
+        self.recorder.counter("recovery/epochs", 0);
         // Execution goes through the bitset kernel: flatten each epoch's
         // schedule once, replay word-parallel; the oracle `Simulator` keeps
         // producing identical reports (the transcript-replay test relies on
@@ -395,9 +401,10 @@ impl<'a> ResilientExecutor<'a> {
         let mut unrecoverable: Vec<(u32, usize)> = Vec::new();
 
         let base_out = {
-            let _e = self.recorder.span("recover/epoch");
+            let _e = self.recorder.span("epoch");
+            self.epoch_start(0, 0);
             let flat = FlatSchedule::from_schedule(self.schedule);
-            sim.run_lossy(&flat, self.plan, &mut lost_log)?
+            sim.run_lossy_recorded(&flat, self.plan, &mut lost_log, self.recorder)?
         };
         self.record_epoch(&mut epochs, 0, 0, self.schedule, &base_out, &sim);
 
@@ -415,9 +422,10 @@ impl<'a> ResilientExecutor<'a> {
             }
             let start = sim.time();
             let out = {
-                let _e = self.recorder.span("recover/epoch");
+                let _e = self.recorder.span("epoch");
+                self.epoch_start(epoch, start);
                 let flat = FlatSchedule::from_schedule(&completion.schedule);
-                sim.run_lossy(&flat, self.plan, &mut lost_log)?
+                sim.run_lossy_recorded(&flat, self.plan, &mut lost_log, self.recorder)?
             };
             retransmissions += completion.schedule.stats().deliveries;
             transcript.merge(&completion.schedule.shifted(start, 0));
@@ -438,12 +446,6 @@ impl<'a> ResilientExecutor<'a> {
             .count();
 
         self.recorder
-            .counter("recovery/lost", lost_log.len() as u64);
-        self.recorder
-            .counter("recovery/retransmissions", retransmissions as u64);
-        self.recorder
-            .counter("recovery/epochs", epochs.len() as u64);
-        self.recorder
             .gauge("recovery/total_rounds", sim.time() as f64);
 
         Ok(RecoveryReport {
@@ -462,6 +464,23 @@ impl<'a> ResilientExecutor<'a> {
         })
     }
 
+    /// Publishes the epoch-transition event before an epoch executes, so
+    /// `/events` subscribers see the boundary ahead of its round stream.
+    fn epoch_start(&self, epoch: usize, start_round: usize) {
+        self.recorder.gauge("recovery/epoch_current", epoch as f64);
+        self.recorder.event(
+            "epoch_start",
+            &[
+                ("epoch", Value::from_u64(epoch as u64)),
+                ("start_round", Value::from_u64(start_round as u64)),
+            ],
+        );
+    }
+
+    /// Books one finished epoch: the report row, the incremental
+    /// `recovery/*` counters (per-epoch increments whose run totals equal
+    /// the final report fields), the live `recovery/residual_pairs` gauge,
+    /// and the `epoch_end` event.
     fn record_epoch(
         &self,
         epochs: &mut Vec<EpochReport>,
@@ -471,14 +490,35 @@ impl<'a> ResilientExecutor<'a> {
         out: &LossyOutcome,
         sim: &SimKernel<'_>,
     ) {
+        let residual_after = sim.residual_count(self.plan);
+        let attempted = schedule.stats().deliveries;
+        self.recorder.counter("recovery/lost", out.lost as u64);
+        self.recorder.counter("recovery/epochs", 1);
+        if epoch > 0 {
+            self.recorder
+                .counter("recovery/retransmissions", attempted as u64);
+        }
+        self.recorder
+            .gauge("recovery/residual_pairs", residual_after as f64);
+        self.recorder.event(
+            "epoch_end",
+            &[
+                ("epoch", Value::from_u64(epoch as u64)),
+                ("start_round", Value::from_u64(start_round as u64)),
+                ("rounds", Value::from_u64(out.rounds_executed as u64)),
+                ("delivered", Value::from_u64(out.delivered as u64)),
+                ("lost", Value::from_u64(out.lost as u64)),
+                ("residual_after", Value::from_u64(residual_after as u64)),
+            ],
+        );
         epochs.push(EpochReport {
             epoch,
             start_round,
             rounds: out.rounds_executed,
-            attempted: schedule.stats().deliveries,
+            attempted,
             delivered: out.delivered,
             lost: out.lost,
-            residual_after: sim.residual_count(self.plan),
+            residual_after,
         });
     }
 }

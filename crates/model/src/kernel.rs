@@ -566,6 +566,74 @@ impl<'g> SimKernel<'g> {
         })
     }
 
+    /// [`SimKernel::run_lossy`] with live instrumentation: per round a
+    /// `round_start`/`round_end` event pair, a `loss` event per lost
+    /// delivery (with its cause label), `exec/deliveries` /
+    /// `exec/losses` / per-cause `exec/lost/<cause>` counters, and the
+    /// knowledge-curve gauges `round_current` / `known_pairs`. With a
+    /// disabled recorder this is exactly [`SimKernel::run_lossy`].
+    pub fn run_lossy_recorded(
+        &mut self,
+        flat: &FlatSchedule,
+        plan: &FaultPlan,
+        lost: &mut Vec<LostDelivery>,
+        recorder: &dyn gossip_telemetry::Recorder,
+    ) -> Result<LossyOutcome, ModelError> {
+        use gossip_telemetry::Value;
+        if !recorder.enabled() {
+            return self.run_lossy(flat, plan, lost);
+        }
+        if flat.n() != self.n {
+            return Err(ModelError::SizeMismatch {
+                graph_n: self.n,
+                schedule_n: flat.n(),
+            });
+        }
+        let before = lost.len();
+        let rounds = flat.rounds();
+        let mut delivered = 0;
+        for r in 0..rounds {
+            let t = self.time;
+            recorder.event("round_start", &[("round", Value::from_u64(t as u64))]);
+            let lost_before = lost.len();
+            let d = self.step_round_lossy(flat, r, plan, lost)?;
+            delivered += d;
+            for l in &lost[lost_before..] {
+                recorder.counter(&format!("exec/lost/{}", l.cause.label()), 1);
+                recorder.event(
+                    "loss",
+                    &[
+                        ("round", Value::from_u64(l.round as u64)),
+                        ("msg", Value::from_u64(l.msg as u64)),
+                        ("from", Value::from_u64(l.from as u64)),
+                        ("to", Value::from_u64(l.to as u64)),
+                        ("cause", Value::String(l.cause.label().to_string())),
+                    ],
+                );
+            }
+            let lost_now = (lost.len() - lost_before) as u64;
+            recorder.counter("exec/deliveries", d as u64);
+            recorder.counter("exec/losses", lost_now);
+            recorder.gauge("round_current", self.time as f64);
+            recorder.gauge("known_pairs", self.known_pairs() as f64);
+            recorder.event(
+                "round_end",
+                &[
+                    ("round", Value::from_u64(t as u64)),
+                    ("delivered", Value::from_u64(d as u64)),
+                    ("lost", Value::from_u64(lost_now)),
+                    ("known_pairs", Value::from_u64(self.known_pairs() as u64)),
+                ],
+            );
+        }
+        Ok(LossyOutcome {
+            rounds_executed: rounds,
+            delivered,
+            lost: lost.len() - before,
+            complete_among_alive: self.residual_count(plan) == 0,
+        })
+    }
+
     /// The missing (message, vertex) pairs among processors still alive at
     /// the current time, in the oracle's (vertex-major, message-ascending)
     /// order — extracted by a word-level complement walk instead of a

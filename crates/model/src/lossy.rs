@@ -42,6 +42,20 @@ pub enum LossCause {
     NotHeld,
 }
 
+impl LossCause {
+    /// Stable snake_case label used in streamed `loss` events and loss
+    /// breakdown metric names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            LossCause::Sampled => "sampled",
+            LossCause::LinkDown => "link_down",
+            LossCause::SenderCrashed => "sender_crashed",
+            LossCause::ReceiverCrashed => "receiver_crashed",
+            LossCause::NotHeld => "not_held",
+        }
+    }
+}
+
 /// One scheduled delivery that was lost, with its cause.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LostDelivery {

@@ -363,11 +363,16 @@ impl<'g> Simulator<'g> {
         }
         let _span = recorder.span("simulate");
         let (outcome, probes) = self.run_probed(schedule)?;
+        let total_pairs = (self.hold.len() * self.n_msgs) as f64;
         for probe in &probes {
             recorder.counter("sim/sent", probe.sent as u64);
             recorder.counter("sim/deliveries", probe.deliveries as u64);
             recorder.observe("sim/fanout_max", probe.max_fanout as f64);
             recorder.observe("sim/idle_receivers", probe.idle_receivers as f64);
+            // Live knowledge-curve gauges (top-level names, matching the
+            // Prometheus registry: gossip_round_current / gossip_known_pairs).
+            recorder.gauge("round_current", (probe.round + 1) as f64);
+            recorder.gauge("known_pairs", (probe.coverage * total_pairs).round());
             recorder.event(
                 "round",
                 &[

@@ -1,0 +1,220 @@
+//! Self-contained HTML dashboard over a [`History`] index.
+//!
+//! One page, zero external assets: styling is an inline `<style>` block
+//! and every chart is an inline SVG sparkline, so the file works from
+//! `file://`, an air-gapped CI artifact store, or an email attachment.
+//! Layout: an overview table of every ingested run, then one section per
+//! run with its headline scalars and a sparkline per extracted series
+//! (knowledge curves for metrics runs, sweep columns for bench artifacts,
+//! per-epoch residual/loss trajectories for recovery reports).
+
+use crate::history::{History, RunRecord, Series};
+use std::fmt::Write as _;
+
+const WIDTH: f64 = 260.0;
+const HEIGHT: f64 = 48.0;
+const PAD: f64 = 3.0;
+
+fn escape_html(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+/// Short human rendering of a scalar (trims float noise).
+fn fmt_num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        let s = format!("{v:.4}");
+        s.trim_end_matches('0').trim_end_matches('.').to_string()
+    }
+}
+
+/// An inline SVG sparkline of one series: a polyline over the scaled
+/// points plus a dot on the last one, with min/max annotated.
+pub fn sparkline(series: &Series) -> String {
+    let pts = &series.points;
+    if pts.is_empty() {
+        return String::new();
+    }
+    let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in pts {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    let sx = |x: f64| {
+        if x1 > x0 {
+            PAD + (x - x0) / (x1 - x0) * (WIDTH - 2.0 * PAD)
+        } else {
+            WIDTH / 2.0
+        }
+    };
+    let sy = |y: f64| {
+        if y1 > y0 {
+            HEIGHT - PAD - (y - y0) / (y1 - y0) * (HEIGHT - 2.0 * PAD)
+        } else {
+            HEIGHT / 2.0
+        }
+    };
+    let coords: Vec<String> = pts
+        .iter()
+        .map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y)))
+        .collect();
+    let (lx, ly) = *pts.last().expect("non-empty");
+    format!(
+        concat!(
+            "<figure class=\"spark\"><figcaption>{name} ",
+            "<span class=\"range\">[{min} … {max}]</span></figcaption>",
+            "<svg viewBox=\"0 0 {w} {h}\" width=\"{w}\" height=\"{h}\" role=\"img\">",
+            "<polyline fill=\"none\" stroke=\"#2a6fb0\" stroke-width=\"1.5\" points=\"{points}\"/>",
+            "<circle cx=\"{cx:.1}\" cy=\"{cy:.1}\" r=\"2.2\" fill=\"#d2542c\"/>",
+            "</svg></figure>"
+        ),
+        name = escape_html(&series.name),
+        min = fmt_num(y0),
+        max = fmt_num(y1),
+        w = WIDTH,
+        h = HEIGHT,
+        points = coords.join(" "),
+        cx = sx(lx),
+        cy = sy(ly),
+    )
+}
+
+fn run_section(out: &mut String, run: &RunRecord) {
+    let _ = write!(
+        out,
+        "<section><h2>{} <span class=\"kind\">{}</span></h2>",
+        escape_html(&run.name),
+        run.kind.label()
+    );
+    if !run.scalars.is_empty() {
+        out.push_str("<table class=\"scalars\"><tr>");
+        for (k, _) in &run.scalars {
+            let _ = write!(out, "<th>{}</th>", escape_html(k));
+        }
+        out.push_str("</tr><tr>");
+        for (_, v) in &run.scalars {
+            let _ = write!(out, "<td>{}</td>", fmt_num(*v));
+        }
+        out.push_str("</tr></table>");
+    }
+    if !run.series.is_empty() {
+        out.push_str("<div class=\"sparks\">");
+        for s in &run.series {
+            out.push_str(&sparkline(s));
+        }
+        out.push_str("</div>");
+    }
+    out.push_str("</section>");
+}
+
+/// Renders the whole index as one self-contained HTML document.
+pub fn render_dashboard(history: &History) -> String {
+    let mut out = String::with_capacity(16 * 1024);
+    out.push_str(concat!(
+        "<!doctype html><html lang=\"en\"><head><meta charset=\"utf-8\">",
+        "<title>gossip run history</title><style>",
+        "body{font:14px/1.5 system-ui,sans-serif;margin:2rem auto;max-width:70rem;",
+        "padding:0 1rem;color:#1c2733}",
+        "h1{font-size:1.4rem}h2{font-size:1.05rem;margin:1.4rem 0 .4rem;",
+        "border-bottom:1px solid #d8dee5;padding-bottom:.2rem}",
+        ".kind{font-size:.75rem;color:#fff;background:#5b7c99;border-radius:3px;",
+        "padding:.1rem .4rem;vertical-align:middle}",
+        "table{border-collapse:collapse;margin:.4rem 0}",
+        "th,td{border:1px solid #d8dee5;padding:.2rem .55rem;text-align:right;",
+        "font-variant-numeric:tabular-nums}",
+        "th{background:#f2f5f8;font-weight:600;text-align:center}",
+        ".sparks{display:flex;flex-wrap:wrap;gap:.8rem;margin:.5rem 0}",
+        ".spark figcaption{font-size:.78rem;color:#44525f}",
+        ".spark{margin:0;border:1px solid #e3e8ee;border-radius:4px;padding:.35rem .5rem}",
+        ".range{color:#8a97a3}",
+        ".overview td:first-child,.overview th:first-child{text-align:left}",
+        "</style></head><body><h1>gossip run history</h1>"
+    ));
+    let _ = write!(
+        out,
+        "<p>{} run{} ingested.</p>",
+        history.runs.len(),
+        if history.runs.len() == 1 { "" } else { "s" }
+    );
+    if !history.runs.is_empty() {
+        out.push_str(concat!(
+            "<table class=\"overview\"><tr><th>run</th><th>kind</th>",
+            "<th>scalars</th><th>series</th></tr>"
+        ));
+        for run in &history.runs {
+            let _ = write!(
+                out,
+                "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+                escape_html(&run.name),
+                run.kind.label(),
+                run.scalars.len(),
+                run.series.len()
+            );
+        }
+        out.push_str("</table>");
+        for run in &history.runs {
+            run_section(&mut out, run);
+        }
+    }
+    out.push_str("</body></html>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dashboard_is_self_contained_and_has_sparklines() {
+        let mut h = History::new();
+        h.ingest(
+            "recovery",
+            r#"{"schema_version": 1, "kind": "recovery", "n": 10, "total_rounds": 20,
+                "recovered": true,
+                "epochs": [{"epoch": 0, "lost": 7, "delivered": 40, "residual_after": 9},
+                           {"epoch": 1, "lost": 0, "delivered": 9, "residual_after": 0}]}"#,
+        )
+        .unwrap();
+        let html = render_dashboard(&h);
+        assert!(html.starts_with("<!doctype html>"));
+        assert!(html.ends_with("</body></html>"));
+        assert!(html.contains("<svg"), "needs at least one sparkline");
+        assert!(html.contains("residual_after"));
+        // Self-contained: no external fetches of any kind.
+        for marker in ["http://", "https://", "src=", "href=", "@import", "url("] {
+            assert!(!html.contains(marker), "external asset marker {marker:?}");
+        }
+    }
+
+    #[test]
+    fn empty_history_renders_cleanly() {
+        let html = render_dashboard(&History::new());
+        assert!(html.contains("0 runs ingested"));
+    }
+
+    #[test]
+    fn sparkline_handles_flat_and_single_point_series() {
+        let flat = Series {
+            name: "flat".to_string(),
+            points: vec![(0.0, 5.0), (1.0, 5.0)],
+        };
+        assert!(sparkline(&flat).contains("<svg"));
+        let single = Series {
+            name: "one".to_string(),
+            points: vec![(0.0, 1.0)],
+        };
+        assert!(sparkline(&single).contains("<circle"));
+        let empty = Series {
+            name: "none".to_string(),
+            points: Vec::new(),
+        };
+        assert!(sparkline(&empty).is_empty());
+    }
+}

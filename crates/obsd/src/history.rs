@@ -1,0 +1,324 @@
+//! Run-history aggregation: every schema-versioned artifact family the
+//! workspace produces, ingested into one in-memory time-series index.
+//!
+//! Three artifact shapes exist (all JSON documents with `schema_version`):
+//!
+//! - **metrics** documents from `--metrics` runs:
+//!   `{schema_version, snapshot: {counters, gauges, ...}, events: [...]}`;
+//!   the per-round `round` / `round_end` events yield knowledge curves.
+//! - **bench** artifacts (`BENCH_*.json`): `{schema_version, experiment,
+//!   ...}`, optionally with a `rows` array of per-instance measurements
+//!   (`exp_theorem1`'s family sweeps) — every numeric column becomes a
+//!   series over the sweep.
+//! - **recovery** reports (`kind: "recovery"`): the per-epoch table yields
+//!   residual/loss/delivery trajectories.
+//!
+//! [`crate::dash::render_dashboard`] turns the index into a self-contained
+//! HTML page.
+
+use gossip_telemetry::{check_schema_version, Value};
+
+/// Which artifact family a run came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunKind {
+    /// A `--metrics` document (snapshot + event stream).
+    Metrics,
+    /// A `BENCH_*.json` experiment artifact.
+    Bench,
+    /// A `RecoveryReport` artifact.
+    Recovery,
+}
+
+impl RunKind {
+    /// Human label used in the dashboard.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RunKind::Metrics => "metrics",
+            RunKind::Bench => "bench",
+            RunKind::Recovery => "recovery",
+        }
+    }
+}
+
+/// One named time series: `(x, y)` points in ascending `x`.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// What the series measures (e.g. `known_pairs`, `plan_ms`).
+    pub name: String,
+    /// The points, in ingestion order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// One ingested artifact: headline scalars plus its time series.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Label (usually the file stem).
+    pub name: String,
+    /// Artifact family.
+    pub kind: RunKind,
+    /// Headline numbers, in artifact order.
+    pub scalars: Vec<(String, f64)>,
+    /// Extracted time series.
+    pub series: Vec<Series>,
+}
+
+/// The in-memory index of every ingested run.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    /// Ingested runs, in ingestion order.
+    pub runs: Vec<RunRecord>,
+}
+
+fn num(v: &Value) -> Option<f64> {
+    v.as_f64()
+        .or_else(|| v.as_bool().map(|b| if b { 1.0 } else { 0.0 }))
+}
+
+impl History {
+    /// An empty index.
+    pub fn new() -> History {
+        History::default()
+    }
+
+    /// Parses and classifies one artifact document. Returns the detected
+    /// kind, or an error naming what made the document unreadable.
+    pub fn ingest(&mut self, label: &str, content: &str) -> Result<RunKind, String> {
+        let doc: Value =
+            serde_json::from_str(content).map_err(|e| format!("{label}: not JSON: {e}"))?;
+        check_schema_version(&doc).map_err(|e| format!("{label}: {e}"))?;
+        let record = if doc.get("kind").and_then(Value::as_str) == Some("recovery") {
+            ingest_recovery(label, &doc)
+        } else if doc.get("experiment").is_some() {
+            ingest_bench(label, &doc)
+        } else if doc.get("snapshot").is_some() {
+            ingest_metrics(label, &doc)
+        } else {
+            return Err(format!(
+                "{label}: unrecognized artifact (no kind/experiment/snapshot)"
+            ));
+        };
+        let kind = record.kind;
+        self.runs.push(record);
+        Ok(kind)
+    }
+
+    /// [`History::ingest`] from a file path; the label is the file stem.
+    pub fn ingest_file(&mut self, path: &std::path::Path) -> Result<RunKind, String> {
+        let label = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("artifact")
+            .to_string();
+        let content =
+            std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        self.ingest(&label, &content)
+    }
+
+    /// All series named `name` across runs, with the run labels.
+    pub fn series_named(&self, name: &str) -> Vec<(&str, &Series)> {
+        self.runs
+            .iter()
+            .flat_map(|r| {
+                r.series
+                    .iter()
+                    .filter(|s| s.name == name)
+                    .map(move |s| (r.name.as_str(), s))
+            })
+            .collect()
+    }
+
+    /// One scalar tracked across every run that has it — the cross-run
+    /// trend lines (e.g. `plan_ms` over successive bench artifacts).
+    pub fn scalar_trend(&self, name: &str) -> Vec<(&str, f64)> {
+        self.runs
+            .iter()
+            .filter_map(|r| {
+                r.scalars
+                    .iter()
+                    .find(|(k, _)| k == name)
+                    .map(|&(_, v)| (r.name.as_str(), v))
+            })
+            .collect()
+    }
+}
+
+fn ingest_metrics(label: &str, doc: &Value) -> RunRecord {
+    let mut scalars = Vec::new();
+    let snapshot = &doc["snapshot"];
+    for group in ["counters", "gauges"] {
+        if let Some(entries) = snapshot[group].as_object() {
+            for (k, v) in entries {
+                if let Some(x) = num(v) {
+                    scalars.push((k.clone(), x));
+                }
+            }
+        }
+    }
+    let mut coverage = Vec::new();
+    let mut known = Vec::new();
+    if let Some(events) = doc["events"].as_array() {
+        for e in events {
+            match e["event"].as_str() {
+                Some("round") => {
+                    if let (Some(r), Some(c)) = (e["round"].as_f64(), e["coverage"].as_f64()) {
+                        coverage.push((r, c));
+                    }
+                }
+                Some("round_end") => {
+                    if let (Some(r), Some(k)) = (e["round"].as_f64(), e["known_pairs"].as_f64()) {
+                        known.push((r, k));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut series = Vec::new();
+    if !coverage.is_empty() {
+        series.push(Series {
+            name: "coverage".to_string(),
+            points: coverage,
+        });
+    }
+    if !known.is_empty() {
+        series.push(Series {
+            name: "known_pairs".to_string(),
+            points: known,
+        });
+    }
+    RunRecord {
+        name: label.to_string(),
+        kind: RunKind::Metrics,
+        scalars,
+        series,
+    }
+}
+
+fn ingest_bench(label: &str, doc: &Value) -> RunRecord {
+    let mut scalars = Vec::new();
+    if let Some(members) = doc.as_object() {
+        for (k, v) in members {
+            if let Some(x) = num(v) {
+                scalars.push((k.clone(), x));
+            }
+        }
+    }
+    // A `rows` sweep: every numeric column becomes a series over the sweep
+    // index (x = the row's `n` when present, else its position).
+    let mut series: Vec<Series> = Vec::new();
+    if let Some(rows) = doc["rows"].as_array() {
+        for (i, row) in rows.iter().enumerate() {
+            let x = row["n"].as_f64().unwrap_or(i as f64);
+            if let Some(members) = row.as_object() {
+                for (k, v) in members {
+                    let Some(y) = num(v) else { continue };
+                    match series.iter_mut().find(|s| &s.name == k) {
+                        Some(s) => s.points.push((x, y)),
+                        None => series.push(Series {
+                            name: k.clone(),
+                            points: vec![(x, y)],
+                        }),
+                    }
+                }
+            }
+        }
+    }
+    RunRecord {
+        name: label.to_string(),
+        kind: RunKind::Bench,
+        scalars,
+        series,
+    }
+}
+
+fn ingest_recovery(label: &str, doc: &Value) -> RunRecord {
+    let mut scalars = Vec::new();
+    for key in [
+        "n",
+        "baseline_rounds",
+        "total_rounds",
+        "overhead_rounds",
+        "retransmissions",
+        "lost_deliveries",
+        "recovered",
+        "survivors",
+    ] {
+        if let Some(x) = doc.get(key).and_then(num) {
+            scalars.push((key.to_string(), x));
+        }
+    }
+    let mut series: Vec<Series> = ["residual_after", "lost", "delivered"]
+        .iter()
+        .map(|name| Series {
+            name: (*name).to_string(),
+            points: Vec::new(),
+        })
+        .collect();
+    if let Some(epochs) = doc["epochs"].as_array() {
+        for e in epochs {
+            let Some(x) = e["epoch"].as_f64() else {
+                continue;
+            };
+            for s in &mut series {
+                if let Some(y) = e[s.name.as_str()].as_f64() {
+                    s.points.push((x, y));
+                }
+            }
+        }
+    }
+    series.retain(|s| !s.points.is_empty());
+    RunRecord {
+        name: label.to_string(),
+        kind: RunKind::Recovery,
+        scalars,
+        series,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_all_three_families() {
+        let mut h = History::new();
+        let metrics = r#"{"schema_version": 1, "snapshot": {"counters": {"sim/sent": 12},
+            "gauges": {"sim/coverage": 1.0}},
+            "events": [{"event": "round", "round": 0, "coverage": 0.5},
+                       {"event": "round", "round": 1, "coverage": 1.0}]}"#;
+        let bench = r#"{"schema_version": 1, "experiment": "theorem1", "total_ms": 4.5,
+            "rows": [{"n": 8, "makespan": 12, "plan_ms": 0.5},
+                     {"n": 16, "makespan": 21, "plan_ms": 1.5}]}"#;
+        let recovery = r#"{"schema_version": 1, "kind": "recovery", "n": 10,
+            "total_rounds": 20, "retransmissions": 9, "lost_deliveries": 7,
+            "recovered": true, "survivors": 10,
+            "epochs": [{"epoch": 0, "lost": 7, "delivered": 40, "residual_after": 9},
+                       {"epoch": 1, "lost": 0, "delivered": 9, "residual_after": 0}]}"#;
+        assert_eq!(h.ingest("run", metrics), Ok(RunKind::Metrics));
+        assert_eq!(h.ingest("BENCH_theorem1", bench), Ok(RunKind::Bench));
+        assert_eq!(h.ingest("recovery", recovery), Ok(RunKind::Recovery));
+        assert_eq!(h.runs.len(), 3);
+
+        let cov = h.series_named("coverage");
+        assert_eq!(cov.len(), 1);
+        assert_eq!(cov[0].1.points, vec![(0.0, 0.5), (1.0, 1.0)]);
+
+        let plan = h.series_named("plan_ms");
+        assert_eq!(plan[0].1.points, vec![(8.0, 0.5), (16.0, 1.5)]);
+
+        let resid = h.series_named("residual_after");
+        assert_eq!(resid[0].1.points, vec![(0.0, 9.0), (1.0, 0.0)]);
+        assert_eq!(h.scalar_trend("recovered"), vec![("recovery", 1.0)]);
+    }
+
+    #[test]
+    fn rejects_unknown_and_wrong_schema() {
+        let mut h = History::new();
+        assert!(h.ingest("x", "not json").is_err());
+        assert!(h.ingest("x", r#"{"schema_version": 1}"#).is_err());
+        assert!(h
+            .ingest("x", r#"{"schema_version": 99, "snapshot": {}}"#)
+            .is_err());
+        assert!(h.runs.is_empty());
+    }
+}

@@ -1,0 +1,38 @@
+//! gossip-obsd: live runtime observability for gossip executions.
+//!
+//! Everything the workspace produced so far is post-hoc — JSONL metrics,
+//! Chrome traces, and `BENCH_*.json` artifacts inspected after a run ends.
+//! This crate makes a *running* execution observable, std-only (consistent
+//! with the vendored/offline build policy):
+//!
+//! - [`prometheus::render`] turns a [`gossip_telemetry::LiveRegistry`] into
+//!   Prometheus text exposition format v0.0.4 — deterministic output for a
+//!   deterministic run, so the format itself is golden-testable;
+//! - [`server::ObsdServer`] is a tiny `std::net::TcpListener` HTTP server
+//!   exposing `/metrics` (the exposition), `/healthz` (JSON liveness), and
+//!   `/events` (NDJSON streaming of live executor events: round
+//!   start/end, delivery losses, epoch transitions);
+//! - [`pace::Paced`] is a recorder decorator that sleeps after each
+//!   `round_end` event, turning a microseconds-long simulated run into
+//!   something a human (or a CI smoke job) can actually watch;
+//! - [`history::History`] ingests any set of schema-versioned artifacts
+//!   (metrics JSONL documents, `BENCH_*.json`, recovery reports) into an
+//!   in-memory time-series index, and [`dash::render_dashboard`] renders
+//!   it as one self-contained HTML page with inline SVG sparklines.
+//!
+//! The CLI front-ends are `gossip serve` (live: runs plan + resilient
+//! execution under the HTTP server) and `gossip dash` (offline
+//! aggregation). DESIGN.md §12 documents the endpoint contract, the metric
+//! name registry, and the event schema.
+
+pub mod dash;
+pub mod history;
+pub mod pace;
+pub mod prometheus;
+pub mod server;
+
+pub use dash::render_dashboard;
+pub use history::{History, RunKind, RunRecord};
+pub use pace::Paced;
+pub use prometheus::render;
+pub use server::{Health, ObsdServer};

@@ -1,0 +1,81 @@
+//! [`Paced`]: a recorder decorator that slows a run down to watchable
+//! speed.
+//!
+//! A simulated gossip run over a small graph finishes in microseconds —
+//! nothing a human pointing `curl` at `/metrics`, or a CI smoke job
+//! scraping twice, could ever catch mid-flight. `Paced` wraps any
+//! [`Recorder`] and sleeps after each `round_end` event, stretching the
+//! round cadence without touching any executor API: pacing is purely an
+//! observer concern, so it lives in the observability layer.
+
+use gossip_telemetry::{Recorder, Value};
+use std::time::Duration;
+
+/// Forwards everything to `inner`, sleeping `delay` after each `round_end`
+/// event (a zero delay forwards transparently).
+pub struct Paced<'r> {
+    inner: &'r dyn Recorder,
+    delay: Duration,
+}
+
+impl<'r> Paced<'r> {
+    /// Wraps `inner`, pausing `delay` after every completed round.
+    pub fn new(inner: &'r dyn Recorder, delay: Duration) -> Paced<'r> {
+        Paced { inner, delay }
+    }
+}
+
+impl Recorder for Paced<'_> {
+    fn enabled(&self) -> bool {
+        self.inner.enabled()
+    }
+
+    fn counter(&self, name: &str, delta: u64) {
+        self.inner.counter(name, delta);
+    }
+
+    fn gauge(&self, name: &str, value: f64) {
+        self.inner.gauge(name, value);
+    }
+
+    fn observe(&self, name: &str, value: f64) {
+        self.inner.observe(name, value);
+    }
+
+    fn event(&self, name: &str, fields: &[(&str, Value)]) {
+        self.inner.event(name, fields);
+        if name == "round_end" && !self.delay.is_zero() {
+            std::thread::sleep(self.delay);
+        }
+    }
+
+    fn span_observe(&self, path: &str, nanos: u64) {
+        self.inner.span_observe(path, nanos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_telemetry::LiveRegistry;
+    use std::time::Instant;
+
+    #[test]
+    fn forwards_and_delays_round_ends_only() {
+        let reg = LiveRegistry::new();
+        let paced = Paced::new(&reg, Duration::from_millis(20));
+        let start = Instant::now();
+        paced.counter("c", 1);
+        paced.gauge("g", 2.0);
+        paced.event("loss", &[]);
+        assert!(
+            start.elapsed() < Duration::from_millis(15),
+            "no pacing off rounds"
+        );
+        paced.event("round_end", &[]);
+        assert!(start.elapsed() >= Duration::from_millis(20));
+        assert_eq!(reg.counter_value("c"), 1);
+        assert_eq!(reg.gauge_value("g"), Some(2.0));
+        assert_eq!(reg.events_emitted(), 2);
+    }
+}

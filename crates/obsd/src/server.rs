@@ -1,0 +1,352 @@
+//! [`ObsdServer`]: a tiny std-only HTTP/1.1 server over a
+//! [`LiveRegistry`].
+//!
+//! Endpoints (all `GET`, all `Connection: close`):
+//!
+//! - `/metrics` — Prometheus text exposition v0.0.4 of the registry
+//!   ([`crate::prometheus::render`]);
+//! - `/healthz` — JSON liveness: `{"status":"ok","phase":...,"done":...,
+//!   "uptime_ms":...}`;
+//! - `/events` — NDJSON stream: the connection subscribes to the
+//!   registry's event tap and receives every event from subscription
+//!   onward, one JSON object per line, until the run is marked done (or
+//!   the server stops).
+//!
+//! The implementation is deliberately minimal — request line parsing only,
+//! one thread per connection, no keep-alive, no chunked encoding — because
+//! its clients are `curl`, Prometheus scrapers, and the CI smoke job, all
+//! of which speak exactly this much HTTP.
+
+use crate::prometheus;
+use gossip_telemetry::{LiveRegistry, Value};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Liveness state shared between the serving run and `/healthz`.
+pub struct Health {
+    started: Instant,
+    done: AtomicBool,
+    phase: Mutex<String>,
+}
+
+impl Health {
+    fn new() -> Health {
+        Health {
+            started: Instant::now(),
+            done: AtomicBool::new(false),
+            phase: Mutex::new("starting".to_string()),
+        }
+    }
+
+    /// Names the stage the run is in (`planning`, `executing`, `complete`,
+    /// ...); surfaced verbatim in `/healthz`.
+    pub fn set_phase(&self, phase: &str) {
+        *self.phase.lock().unwrap_or_else(|e| e.into_inner()) = phase.to_string();
+    }
+
+    /// Marks the run finished: `/events` connections drain and close.
+    pub fn set_done(&self) {
+        self.done.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the run was marked finished.
+    pub fn is_done(&self) -> bool {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    fn to_json(&self) -> String {
+        let phase = self.phase.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        serde_json::to_string(&Value::Object(vec![
+            ("status".to_string(), Value::String("ok".to_string())),
+            ("phase".to_string(), Value::String(phase)),
+            ("done".to_string(), Value::Bool(self.is_done())),
+            (
+                "uptime_ms".to_string(),
+                Value::from_u64(self.started.elapsed().as_millis() as u64),
+            ),
+        ]))
+        .unwrap_or_else(|_| String::from("{\"status\":\"ok\"}"))
+    }
+}
+
+type Subscribers = Arc<Mutex<Vec<mpsc::Sender<String>>>>;
+
+/// The running server; dropping (or [`ObsdServer::stop`]) shuts it down.
+pub struct ObsdServer {
+    addr: SocketAddr,
+    registry: Arc<LiveRegistry>,
+    health: Arc<Health>,
+    shutdown: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+impl ObsdServer {
+    /// Binds `listen` (e.g. `127.0.0.1:9464`; port `0` picks a free one),
+    /// installs the event tap on `registry`, and starts the accept loop.
+    pub fn start(listen: &str, registry: Arc<LiveRegistry>) -> io::Result<ObsdServer> {
+        let listener = TcpListener::bind(listen)?;
+        let addr = listener.local_addr()?;
+        let health = Arc::new(Health::new());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let subscribers: Subscribers = Arc::new(Mutex::new(Vec::new()));
+
+        // Broadcast tap: each rendered event line fans out to every live
+        // `/events` subscriber; dead subscribers drop out on send failure.
+        let subs = Arc::clone(&subscribers);
+        registry.set_event_tap(Arc::new(move |_seq, line| {
+            let mut subs = subs.lock().unwrap_or_else(|e| e.into_inner());
+            subs.retain(|tx| tx.send(line.to_string()).is_ok());
+        }));
+
+        let accept_handle = {
+            let registry = Arc::clone(&registry);
+            let health = Arc::clone(&health);
+            let shutdown = Arc::clone(&shutdown);
+            let subscribers = Arc::clone(&subscribers);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let registry = Arc::clone(&registry);
+                    let health = Arc::clone(&health);
+                    let shutdown = Arc::clone(&shutdown);
+                    let subscribers = Arc::clone(&subscribers);
+                    std::thread::spawn(move || {
+                        let _ =
+                            handle_connection(stream, &registry, &health, &shutdown, &subscribers);
+                    });
+                }
+            })
+        };
+
+        Ok(ObsdServer {
+            addr,
+            registry,
+            health,
+            shutdown,
+            accept_handle: Some(accept_handle),
+        })
+    }
+
+    /// The bound address (resolves the actual port when `:0` was asked).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared liveness state, for the run driver to update.
+    pub fn health(&self) -> Arc<Health> {
+        Arc::clone(&self.health)
+    }
+
+    /// Stops accepting, detaches the event tap, and joins the accept loop.
+    /// In-flight `/events` connections drain and close on their own.
+    pub fn stop(mut self) {
+        self.shutdown_now();
+    }
+
+    fn shutdown_now(&mut self) {
+        if self.accept_handle.is_none() {
+            return;
+        }
+        self.shutdown.store(true, Ordering::Relaxed);
+        self.health.set_done();
+        self.registry.clear_event_tap();
+        // Unblock the accept loop with one throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ObsdServer {
+    fn drop(&mut self) {
+        self.shutdown_now();
+    }
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    registry: &LiveRegistry,
+    health: &Health,
+    shutdown: &AtomicBool,
+    subscribers: &Subscribers,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain the headers so well-behaved clients aren't RST mid-send.
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let path = path.split('?').next().unwrap_or(path);
+    if method != "GET" {
+        return write_response(
+            &mut stream,
+            "405 Method Not Allowed",
+            "text/plain",
+            "GET only\n",
+        );
+    }
+    match path {
+        "/metrics" => write_response(
+            &mut stream,
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            &prometheus::render(registry),
+        ),
+        "/healthz" => write_response(&mut stream, "200 OK", "application/json", &health.to_json()),
+        "/events" => stream_events(stream, health, shutdown, subscribers),
+        _ => write_response(&mut stream, "404 Not Found", "text/plain", "not found\n"),
+    }
+}
+
+fn stream_events(
+    mut stream: TcpStream,
+    health: &Health,
+    shutdown: &AtomicBool,
+    subscribers: &Subscribers,
+) -> io::Result<()> {
+    let (tx, rx) = mpsc::channel::<String>();
+    subscribers
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(tx);
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    loop {
+        match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(line) => {
+                stream.write_all(line.as_bytes())?;
+                stream.write_all(b"\n")?;
+                stream.flush()?;
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                // Once the run is done (or the server stops) there is
+                // nothing more to wait for: drain whatever is queued and
+                // close so clients see EOF, not a hang.
+                if health.is_done() || shutdown.load(Ordering::Relaxed) {
+                    while let Ok(line) = rx.try_recv() {
+                        stream.write_all(line.as_bytes())?;
+                        stream.write_all(b"\n")?;
+                    }
+                    stream.flush()?;
+                    return Ok(());
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_telemetry::Recorder;
+    use std::io::Read;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_metrics_healthz_and_404() {
+        let registry = Arc::new(LiveRegistry::new());
+        registry.counter("exec/deliveries", 3);
+        registry.gauge("round_current", 2.0);
+        let server = ObsdServer::start("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+        let addr = server.addr();
+
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK\r\n"), "{metrics}");
+        assert!(metrics.contains("text/plain; version=0.0.4"));
+        assert!(metrics.contains("gossip_exec_deliveries 3\n"));
+        assert!(metrics.contains("gossip_round_current 2\n"));
+
+        let health = get(addr, "/healthz");
+        assert!(health.contains("\"status\":\"ok\""), "{health}");
+        assert!(health.contains("\"done\":false"));
+        server.health().set_phase("executing");
+        assert!(get(addr, "/healthz").contains("\"phase\":\"executing\""));
+
+        assert!(get(addr, "/nope").starts_with("HTTP/1.1 404"));
+        server.stop();
+    }
+
+    #[test]
+    fn scrapes_observe_live_progress() {
+        let registry = Arc::new(LiveRegistry::new());
+        let server = ObsdServer::start("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+        let addr = server.addr();
+        registry.gauge("round_current", 1.0);
+        assert!(get(addr, "/metrics").contains("gossip_round_current 1\n"));
+        registry.gauge("round_current", 5.0);
+        assert!(get(addr, "/metrics").contains("gossip_round_current 5\n"));
+        server.stop();
+    }
+
+    #[test]
+    fn events_stream_ndjson_until_done() {
+        let registry = Arc::new(LiveRegistry::new());
+        let server = ObsdServer::start("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+        let addr = server.addr();
+        let health = server.health();
+
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GET /events HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        // Give the subscription a beat to register before emitting.
+        std::thread::sleep(Duration::from_millis(100));
+        for t in 0..3u64 {
+            registry.event("round_end", &[("round", Value::from_u64(t))]);
+        }
+        health.set_done();
+        let mut body = String::new();
+        s.read_to_string(&mut body).unwrap();
+        let payload = body.split("\r\n\r\n").nth(1).unwrap();
+        let lines: Vec<&str> = payload.lines().collect();
+        assert_eq!(lines.len(), 3, "{payload}");
+        let mut prev = None;
+        for line in lines {
+            let v: Value = serde_json::from_str(line).unwrap();
+            assert_eq!(v["event"].as_str(), Some("round_end"));
+            let round = v["round"].as_u64().unwrap();
+            assert!(prev.is_none_or(|p| round > p), "rounds must be monotone");
+            prev = Some(round);
+        }
+        server.stop();
+    }
+}

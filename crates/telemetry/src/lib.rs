@@ -28,8 +28,10 @@
 
 #![forbid(unsafe_code)]
 
+pub mod live;
 pub mod trace;
 
+pub use live::LiveRegistry;
 pub use trace::{ChromeTrace, TraceEvent};
 
 use std::cell::RefCell;
@@ -192,20 +194,56 @@ impl Recorder for NoopRecorder {
 }
 
 /// Raw-value histogram summarized to count/min/max/mean/p50/p90/p99.
-#[derive(Debug, Default, Clone)]
-struct Histogram {
+///
+/// Keeps every recorded sample, which makes it *mergeable*: combining two
+/// histograms with [`Histogram::merge`] is exactly equivalent to recording
+/// the concatenation of their samples into one histogram (a property test
+/// pins this). That equivalence is what lets per-thread registries be
+/// aggregated without draining recorders, and lets [`LiveRegistry`]
+/// expositions bucket samples at scrape time against any bucket layout.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct Histogram {
     values: Vec<f64>,
 }
 
 impl Histogram {
-    fn record(&mut self, value: f64) {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: f64) {
         self.values.push(value);
+    }
+
+    /// Absorbs every sample of `other`, preserving `other`'s recording
+    /// order after this histogram's own samples — so `a.merge(&b)` leaves
+    /// `a` indistinguishable from a histogram that recorded `a`'s samples
+    /// followed by `b`'s.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.values.extend_from_slice(&other.values);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Sum of all recorded samples (0.0 when empty).
+    pub fn sum(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// The recorded samples, in recording order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
     }
 
     /// Nearest-rank percentile of the recorded values (`p` in 0..=100);
     /// `None` when nothing has been recorded — an empty histogram has no
     /// percentiles, and callers must not invent a 0.0 for it.
-    fn percentile(sorted: &[f64], p: f64) -> Option<f64> {
+    pub fn percentile(sorted: &[f64], p: f64) -> Option<f64> {
         if sorted.is_empty() {
             return None;
         }
@@ -216,7 +254,7 @@ impl Histogram {
     /// Summary object. An empty histogram reports only `{"count": 0}`: the
     /// min/max/mean/percentile/total block is omitted rather than filled
     /// with fabricated zeros.
-    fn summary(&self, scale: f64) -> Value {
+    pub fn summary(&self, scale: f64) -> Value {
         let mut sorted = self.values.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         let count = sorted.len();

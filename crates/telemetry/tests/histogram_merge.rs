@@ -1,0 +1,70 @@
+//! Property tests for `Histogram::merge`, the primitive `LiveRegistry`
+//! uses to aggregate per-thread recorders without draining them: merging
+//! two histograms must be indistinguishable from recording the
+//! concatenated sample streams into one.
+
+use gossip_telemetry::{Histogram, LiveRegistry, Recorder};
+use proptest::prelude::*;
+
+fn record_all(samples: &[f64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn merge_equals_recording_concatenated_samples(
+        a in proptest::collection::vec(0u64..100_000, 0..64),
+        b in proptest::collection::vec(0u64..100_000, 0..64),
+    ) {
+        // The vendored proptest only generates integers; scale into
+        // non-integral floats so ordering/summary bugs can't hide.
+        let a: Vec<f64> = a.into_iter().map(|x| x as f64 / 16.0).collect();
+        let b: Vec<f64> = b.into_iter().map(|x| x as f64 / 16.0).collect();
+
+        let mut merged = record_all(&a);
+        merged.merge(&record_all(&b));
+
+        let concat: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+        let reference = record_all(&concat);
+
+        prop_assert_eq!(&merged, &reference);
+        prop_assert_eq!(merged.count(), a.len() + b.len());
+        // The rendered summary (count/sum/min/max/percentiles) agrees too.
+        prop_assert_eq!(
+            serde_json::to_string(&merged.summary(1.0)).unwrap(),
+            serde_json::to_string(&reference.summary(1.0)).unwrap()
+        );
+    }
+
+    #[test]
+    fn registry_merge_equals_single_registry(
+        a in proptest::collection::vec(0u64..1_000, 0..32),
+        b in proptest::collection::vec(0u64..1_000, 0..32),
+    ) {
+        let shard_a = LiveRegistry::new();
+        let shard_b = LiveRegistry::new();
+        let whole = LiveRegistry::new();
+        for &v in &a {
+            shard_a.observe("lat", v as f64);
+            shard_a.counter("n", v);
+            whole.observe("lat", v as f64);
+            whole.counter("n", v);
+        }
+        for &v in &b {
+            shard_b.observe("lat", v as f64);
+            shard_b.counter("n", v);
+            whole.observe("lat", v as f64);
+            whole.counter("n", v);
+        }
+        shard_a.merge(&shard_b);
+        prop_assert_eq!(
+            shard_a.histogram("lat").unwrap_or_default(),
+            whole.histogram("lat").unwrap_or_default()
+        );
+        prop_assert_eq!(shard_a.counter_value("n"), whole.counter_value("n"));
+    }
+}
