@@ -10,18 +10,29 @@
 //! - `metrics`: the recorded path with a live [`MetricsRecorder`] (no
 //!   sink), the full-observability cost for context;
 //! - `live`: the recorded path with a [`LiveRegistry`] (no event tap) —
-//!   what `gossip serve` pays while scrapeable; also guarded at <5%.
+//!   what `gossip serve` pays while scrapeable; also guarded at <5%;
+//! - `flight`: the recorded path with a [`FlightRecorder`] capturing every
+//!   transmission into the in-memory `.gfr` ring — what `--flight-out`
+//!   pays.
 //!
-//! The threaded online executor gets its own noop-vs-live pair: its cost
-//! is barrier-dominated wall clock, so the live registry must disappear
-//! into the noise there too.
+//! The threaded online executor gets its own noop/live/flight triple: its
+//! cost is barrier-dominated wall clock, so both recorders must disappear
+//! into the noise there. That triple carries the <5% flight guard: the
+//! wall-clock executors are where `--flight-out` attaches in `gossip
+//! serve`/`recover`. On the dense oracle microbench the capture is O(every
+//! transmission) against a simulator whose own per-transmission work is a
+//! handful of nanoseconds, so its ratio (reported as
+//! `simulate_flight_overhead_pct`, ~1x) is a statement about the
+//! simulator's speed, not about recording cost — it is context, not a
+//! guard.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gossip_bench::report::{obj, write_bench_json};
 use gossip_core::{concurrent_updown_recorded, run_online_threaded_recorded, tree_origins};
 use gossip_graph::{min_depth_spanning_tree, ChildOrder};
 use gossip_model::{CommModel, Simulator};
-use gossip_telemetry::{LiveRegistry, MetricsRecorder, NoopRecorder, Value};
+use gossip_telemetry::flight::FlightHeader;
+use gossip_telemetry::{FlightRecorder, LiveRegistry, MetricsRecorder, NoopRecorder, Value};
 use gossip_workloads::torus;
 use std::hint::black_box;
 use std::time::Instant;
@@ -82,6 +93,25 @@ fn bench_overhead(c: &mut Criterion) {
             black_box(sim.run_recorded(black_box(&schedule), &live).unwrap())
         })
     });
+    // A fresh recorder per iteration: the capture grows with the run, so
+    // reusing one would accumulate records (and memory) across samples.
+    let flight_header = FlightHeader {
+        n: g.n() as u32,
+        n_msgs: origins.len() as u32,
+        radius: 0,
+        engine: "bench".to_string(),
+        graph_digest: 0,
+        schedule_digest: 0,
+        fault_digest: 0,
+        origins: origins.iter().map(|&o| o as u32).collect(),
+    };
+    group.bench_function("simulate/flight", |b| {
+        b.iter(|| {
+            let rec = FlightRecorder::new(flight_header.clone());
+            let mut sim = Simulator::with_origins(&g, CommModel::Multicast, &origins).unwrap();
+            black_box(sim.run_recorded(black_box(&schedule), &rec).unwrap())
+        })
+    });
     group.bench_function("generate/noop", |b| {
         b.iter(|| black_box(concurrent_updown_recorded(black_box(&tree), &NoopRecorder)))
     });
@@ -104,31 +134,55 @@ fn bench_overhead(c: &mut Criterion) {
                 0 => black_box(sim.run(&schedule).unwrap()),
                 1 => black_box(sim.run_recorded(&schedule, &NoopRecorder).unwrap()),
                 2 => black_box(sim.run_recorded(&schedule, &metrics).unwrap()),
-                _ => black_box(sim.run_recorded(&schedule, &live).unwrap()),
+                3 => black_box(sim.run_recorded(&schedule, &live).unwrap()),
+                _ => {
+                    let rec = FlightRecorder::new(flight_header.clone());
+                    black_box(sim.run_recorded(&schedule, &rec).unwrap())
+                }
             };
         },
-        4,
+        5,
         iters,
     );
-    let (raw, noop, recorded, live_t) = (best[0], best[1], best[2], best[3]);
+    let (raw, noop, recorded, live_t, flight_t) = (best[0], best[1], best[2], best[3], best[4]);
     let overhead_pct = 100.0 * (noop - raw) / raw;
     let live_overhead_pct = 100.0 * (live_t - raw) / raw;
+    let simulate_flight_overhead_pct = 100.0 * (flight_t - raw) / raw;
 
     // The threaded online executor: per-round wall clock is dominated by
-    // the barrier, so live instrumentation must vanish into it.
+    // the barrier, so live instrumentation must vanish into it. This is
+    // also where the flight guard binds — the wall-clock executors are the
+    // paths `--flight-out` instruments in production.
     let online_tree = min_depth_spanning_tree(&torus(8, 8), ChildOrder::ById).unwrap();
+    let online_origins = tree_origins(&online_tree);
+    let online_header = FlightHeader {
+        n: online_tree.n() as u32,
+        n_msgs: online_origins.len() as u32,
+        radius: 0,
+        engine: "bench".to_string(),
+        graph_digest: 0,
+        schedule_digest: 0,
+        fault_digest: 0,
+        origins: online_origins.iter().map(|&o| o as u32).collect(),
+    };
     let online_best = time_min_interleaved(
         |config| {
             match config {
                 0 => black_box(run_online_threaded_recorded(&online_tree, &NoopRecorder)),
-                _ => black_box(run_online_threaded_recorded(&online_tree, &live)),
+                1 => black_box(run_online_threaded_recorded(&online_tree, &live)),
+                _ => {
+                    let rec = FlightRecorder::new(online_header.clone());
+                    black_box(run_online_threaded_recorded(&online_tree, &rec))
+                }
             };
         },
-        2,
+        3,
         iters,
     );
-    let (online_noop, online_live) = (online_best[0], online_best[1]);
+    let (online_noop, online_live, online_flight) =
+        (online_best[0], online_best[1], online_best[2]);
     let online_live_overhead_pct = 100.0 * (online_live - online_noop) / online_noop;
+    let flight_overhead_pct = 100.0 * (online_flight - online_noop) / online_noop;
 
     let payload = obj(vec![
         ("experiment", Value::String("telemetry_overhead".into())),
@@ -138,18 +192,26 @@ fn bench_overhead(c: &mut Criterion) {
         ("simulate_noop_ms", Value::from_f64(noop * 1e3)),
         ("simulate_metrics_ms", Value::from_f64(recorded * 1e3)),
         ("simulate_live_ms", Value::from_f64(live_t * 1e3)),
+        ("simulate_flight_ms", Value::from_f64(flight_t * 1e3)),
         ("noop_overhead_pct", Value::from_f64(overhead_pct)),
         ("live_overhead_pct", Value::from_f64(live_overhead_pct)),
+        (
+            "simulate_flight_overhead_pct",
+            Value::from_f64(simulate_flight_overhead_pct),
+        ),
         ("online_n", Value::from_u64(online_tree.n() as u64)),
         ("online_noop_ms", Value::from_f64(online_noop * 1e3)),
         ("online_live_ms", Value::from_f64(online_live * 1e3)),
+        ("online_flight_ms", Value::from_f64(online_flight * 1e3)),
         (
             "online_live_overhead_pct",
             Value::from_f64(online_live_overhead_pct),
         ),
+        ("flight_overhead_pct", Value::from_f64(flight_overhead_pct)),
         ("guard_pct", Value::from_f64(5.0)),
         ("guard_ok", Value::Bool(overhead_pct < 5.0)),
         ("live_guard_ok", Value::Bool(live_overhead_pct < 5.0)),
+        ("flight_guard_ok", Value::Bool(flight_overhead_pct < 5.0)),
         (
             "online_live_guard_ok",
             Value::Bool(online_live_overhead_pct < 5.0),
@@ -158,7 +220,9 @@ fn bench_overhead(c: &mut Criterion) {
     if let Some(path) = write_bench_json("telemetry_overhead", &payload) {
         println!(
             "noop overhead: {overhead_pct:.2}%, live registry: {live_overhead_pct:.2}%, \
-             online live: {online_live_overhead_pct:.2}% (guard < 5%), wrote {path}"
+             online live: {online_live_overhead_pct:.2}%, \
+             online flight: {flight_overhead_pct:.2}% (guard < 5%; \
+             dense-capture context: {simulate_flight_overhead_pct:.2}%), wrote {path}"
         );
     }
 }

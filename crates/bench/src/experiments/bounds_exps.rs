@@ -37,12 +37,25 @@ pub fn exp_theorem1_full() -> (String, gossip_telemetry::Value) {
     for &family in Family::all() {
         for target in [16, 64] {
             let g = family.instance(target, 42);
-            let t0 = std::time::Instant::now();
-            let plan = GossipPlanner::new(&g).unwrap().plan().unwrap();
-            let plan_ms = t0.elapsed().as_secs_f64() * 1e3;
-            let t1 = std::time::Instant::now();
-            let o = simulate_gossip(&g, &plan.schedule, &plan.origin_of_message).unwrap();
-            let sim_ms = t1.elapsed().as_secs_f64() * 1e3;
+            // Min-of-3: these are sub-millisecond one-shot wall timings, so a
+            // single descheduling blip can trip the bench-diff 2x gate; the
+            // floor is the honest cost.
+            let mut plan_ms = f64::INFINITY;
+            let mut plan = None;
+            for _ in 0..3 {
+                let t0 = std::time::Instant::now();
+                plan = Some(GossipPlanner::new(&g).unwrap().plan().unwrap());
+                plan_ms = plan_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+            }
+            let plan = plan.unwrap();
+            let mut sim_ms = f64::INFINITY;
+            let mut o = None;
+            for _ in 0..3 {
+                let t1 = std::time::Instant::now();
+                o = Some(simulate_gossip(&g, &plan.schedule, &plan.origin_of_message).unwrap());
+                sim_ms = sim_ms.min(t1.elapsed().as_secs_f64() * 1e3);
+            }
+            let o = o.unwrap();
             assert!(o.complete);
             let n = g.n();
             let r = plan.radius as usize;

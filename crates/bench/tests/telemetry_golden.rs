@@ -74,9 +74,18 @@ fn c8_ring_event_stream_golden() {
     .into_iter()
     .map(str::to_string)
     .chain(probes.iter().map(|p| {
+        // `known_pairs` (added for the flight recorder's knowledge curve) is
+        // the coverage scaled back to absolute pairs: 8 × 8 = 64 on C_8.
         format!(
-            "round round={} sent={} deliveries={} max_fanout={} idle_receivers={} coverage={:.4}",
-            p.round, p.sent, p.deliveries, p.max_fanout, p.idle_receivers, p.coverage
+            "round round={} sent={} deliveries={} max_fanout={} idle_receivers={} \
+             coverage={:.4} known_pairs={}",
+            p.round,
+            p.sent,
+            p.deliveries,
+            p.max_fanout,
+            p.idle_receivers,
+            p.coverage,
+            (p.coverage * 64.0).round() as u64
         )
     }))
     .chain(std::iter::once("span path=simulate".to_string()))

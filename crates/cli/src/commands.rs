@@ -13,6 +13,7 @@ use gossip_model::{
     CommModel, FaultPlan, LossCause,
 };
 use gossip_obsd::{render_dashboard, History, ObsdServer, Paced};
+use gossip_telemetry::flight::{Digest, FlightHeader, FlightLog, FlightRecorder, Tee};
 use gossip_telemetry::{
     check_schema_version, LiveRegistry, MetricsRecorder, Recorder, SharedBuffer, Value,
     SCHEMA_VERSION,
@@ -32,7 +33,8 @@ commands:
   plan      (--family F --n N | --graph FILE|NAME)
             [--algorithm concurrent-updown|simple|updown|telephone]
             [--engine oracle|kernel|both]
-            [--out FILE] [--trace-out FILE [--wall]]   build + verify a schedule
+            [--out FILE] [--trace-out FILE [--wall]]
+            [--flight-out FILE.gfr]                    build + verify a schedule
   trace     --family F --n N --vertex V                per-vertex table (paper style)
   bounds    --family F --n N                           lower bounds for a network
   exact     --family F --n N [--model telephone]       exact optimum (n <= 8)
@@ -49,24 +51,33 @@ commands:
             [--loss-rate P] [--crash V@T[,V@T..]]
             [--outage U-V@A..B[,..]] [--fault-seed S]
             [--max-epochs K] [--out FILE]
-            [--trace-out FILE]                         run under faults + self-heal;
+            [--trace-out FILE] [--flight-out FILE.gfr] run under faults + self-heal;
                                                        exit 1 if recovery falls short
   bench-diff OLD.json NEW.json
             [--threshold PCT] [--wall-factor F]        compare BENCH_* artifacts;
                                                        exit 1 on regression
-  stats     METRICS.json|RECOVERY.json|-               summarize a --metrics file or
-                                                       a recovery report (`-` = stdin)
+  stats     METRICS.json|RECOVERY.json|RUN.gfr|-       summarize a --metrics file, a
+                                                       recovery report, or a flight
+                                                       record (`-` = stdin)
   serve     (--family F --n N | --graph FILE|NAME)
             [--listen ADDR] [--addr-file FILE]
             [--round-delay-ms MS] [--linger-ms MS]
-            [fault flags] [--max-epochs K]             run the self-healing executor
+            [fault flags] [--max-epochs K]
+            [--flight-out FILE.gfr]                    run the self-healing executor
                                                        under a live HTTP observability
                                                        server; exit 1 if recovery
                                                        falls short
+  inspect   RUN.gfr [--round R]                        time-travel a flight record:
+                                                       reconstructed hold-sets after
+                                                       any round, plus anomaly flags
+  diff      A.gfr B.gfr                                compare two flight records:
+                                                       first divergent round, delivery
+                                                       deltas; exit 1 unless identical
   dash      ARTIFACT.json|DIR [MORE...]
             [--out report.html]                        aggregate metrics / BENCH_* /
-                                                       recovery artifacts into one
-                                                       self-contained HTML dashboard
+                                                       recovery / flight artifacts
+                                                       into one self-contained HTML
+                                                       dashboard
 
 options accepted by plan / analyze / pipeline / provenance:
   --metrics FILE    record span timings, counters, and per-round simulation
@@ -93,6 +104,17 @@ live monitoring (serve):
                        final `/metrics` scrape sees the finished state
   endpoints: /metrics (Prometheus text v0.0.4), /healthz (JSON liveness),
   /events (NDJSON stream of round/loss/epoch events)
+
+flight recording (plan / recover / serve):
+  --flight-out FILE.gfr  capture the executed run as a compact binary flight
+                         record: every attempted transmission, suppressed
+                         delivery, round boundary, and repair epoch, plus a
+                         run fingerprint (graph / schedule / fault digests).
+                         `plan` records a clean run (oracle or kernel per
+                         --engine) or, with fault flags, a lossy no-repair
+                         run; `recover` and `serve` capture the self-healing
+                         execution. Inspect with `gossip inspect`, compare
+                         runs with `gossip diff`
 
 fault flags (plan / recover / serve):
   --loss-rate P     drop each delivery independently with probability P
@@ -322,6 +344,86 @@ fn loss_breakdown(lost: &[gossip_model::LostDelivery]) -> String {
     }
 }
 
+/// FNV-1a fingerprint of the network: `n` plus every directed adjacency
+/// entry in vertex order. Stored in the `.gfr` header so `gossip diff`
+/// can flag captures taken on different graphs.
+fn graph_digest(g: &Graph) -> u64 {
+    let mut d = Digest::new();
+    d.write_u64(g.n() as u64);
+    for v in 0..g.n() {
+        for u in g.neighbors(v) {
+            d.write_u64(v as u64);
+            d.write_u64(u as u64);
+        }
+    }
+    d.finish()
+}
+
+/// Digest of a fault plan's JSON serialization; clean runs (no fault
+/// flags) record 0, per the `.gfr` header contract.
+fn fault_digest(faults: &Option<FaultPlan>) -> Result<u64, String> {
+    match faults {
+        None => Ok(0),
+        Some(f) => {
+            let json = serde_json::to_string(f).map_err(|e| e.to_string())?;
+            let mut d = Digest::new();
+            d.write_bytes(json.as_bytes());
+            Ok(d.finish())
+        }
+    }
+}
+
+/// Parses `--flight-out FILE.gfr`, rejecting the parser's value-less
+/// `"true"` sentinel (same treatment as `--metrics`).
+fn flight_out_path(args: &Args) -> Result<Option<String>, String> {
+    match args.options.get("flight-out") {
+        Some(p) if p == "true" => {
+            Err("--flight-out requires a file path (e.g. --flight-out run.gfr)".to_string())
+        }
+        other => Ok(other.cloned()),
+    }
+}
+
+/// Builds the `.gfr` run fingerprint shared by every recording command.
+fn flight_header(
+    engine: &str,
+    g: &Graph,
+    radius: u32,
+    flat: &gossip_model::FlatSchedule,
+    faults: &Option<FaultPlan>,
+    origins: &[usize],
+) -> Result<FlightHeader, String> {
+    Ok(FlightHeader {
+        n: g.n() as u32,
+        n_msgs: origins.len() as u32,
+        radius,
+        engine: engine.to_string(),
+        graph_digest: graph_digest(g),
+        schedule_digest: flat.digest(),
+        fault_digest: fault_digest(faults)?,
+        origins: origins.iter().map(|&o| o as u32).collect(),
+    })
+}
+
+/// Writes a finished flight capture to `path`.
+fn write_flight(path: &str, rec: &FlightRecorder, out: Out) -> Result<(), String> {
+    let bytes = rec.finish();
+    std::fs::write(path, &bytes).map_err(|e| format!("{path}: {e}"))?;
+    out!(
+        out,
+        "wrote flight record ({} record(s), {} bytes) to {path} — inspect with `gossip inspect {path}`",
+        rec.len(),
+        bytes.len()
+    );
+    Ok(())
+}
+
+/// Reads and decodes one `.gfr` capture.
+fn read_flight(path: &str) -> Result<FlightLog, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    FlightLog::decode(&bytes).map_err(|e| format!("{path}: {e}"))
+}
+
 /// Parses `--algorithm` (or its `--algo` shorthand); `concurrent` and
 /// `cud` are accepted for `concurrent-updown`.
 fn parse_algorithm(args: &Args) -> Result<Algorithm, String> {
@@ -503,6 +605,53 @@ pub fn plan(args: &Args) -> Result<(), String> {
             m.recorder.counter("recovery/lost", lost.len() as u64);
         }
     }
+    if let Some(path) = flight_out_path(args)? {
+        // A dedicated recording pass: the verification runs above stay
+        // untimed by the capture, and fault flags turn the capture into a
+        // lossy no-repair run — the natural `gossip diff` partner for a
+        // clean capture of the same plan.
+        let flat = gossip_model::FlatSchedule::from_schedule(&plan.schedule);
+        let faults = parse_fault_plan(args, g.n())?;
+        let label = match (&faults, engine) {
+            (Some(_), _) => "lossy",
+            (None, Engine::Oracle) => "oracle",
+            (None, _) => "kernel",
+        };
+        let header = flight_header(
+            label,
+            &g,
+            plan.radius,
+            &flat,
+            &faults,
+            &plan.origin_of_message,
+        )?;
+        let flight = FlightRecorder::new(header);
+        match &faults {
+            Some(f) => {
+                let mut sim =
+                    gossip_model::SimKernel::with_origins(&g, model, &plan.origin_of_message)
+                        .map_err(|e| e.to_string())?;
+                let mut lost = Vec::new();
+                sim.run_lossy_recorded(&flat, f, &mut lost, &flight)
+                    .map_err(|e| e.to_string())?;
+            }
+            None if engine == Engine::Oracle => {
+                let mut sim =
+                    gossip_model::Simulator::with_origins(&g, model, &plan.origin_of_message)
+                        .map_err(|e| e.to_string())?;
+                sim.run_recorded(&plan.schedule, &flight)
+                    .map_err(|e| e.to_string())?;
+            }
+            None => {
+                let mut sim =
+                    gossip_model::SimKernel::with_origins(&g, model, &plan.origin_of_message)
+                        .map_err(|e| e.to_string())?;
+                sim.run_recorded(&flat, &flight)
+                    .map_err(|e| e.to_string())?;
+            }
+        }
+        write_flight(&path, &flight, out)?;
+    }
     if let Some(path) = args.options.get("out") {
         let artifact = PlanArtifact {
             schema_version: SCHEMA_VERSION,
@@ -577,13 +726,37 @@ pub fn recover(args: &Args) -> Result<(), String> {
         planner = planner.recorder(&m.recorder);
     }
     let plan = planner.plan().map_err(|e| e.to_string())?;
-    let faults = parse_fault_plan(args, g.n())?.unwrap_or_else(FaultPlan::none);
+    let faults_opt = parse_fault_plan(args, g.n())?;
+    let faults = faults_opt.clone().unwrap_or_else(FaultPlan::none);
     let max_epochs = args.get_usize("max-epochs", DEFAULT_MAX_EPOCHS)?;
+    let flight_path = flight_out_path(args)?;
+    let flight = match &flight_path {
+        Some(_) => {
+            let flat = gossip_model::FlatSchedule::from_schedule(&plan.schedule);
+            let header = flight_header(
+                "resilient",
+                &g,
+                plan.radius,
+                &flat,
+                &faults_opt,
+                &plan.origin_of_message,
+            )?;
+            Some(FlightRecorder::new(header))
+        }
+        None => None,
+    };
+    let tee;
     let mut exec = ResilientExecutor::new(&g, &plan.schedule, &plan.origin_of_message, &faults)
         .max_epochs(max_epochs);
-    if let Some(m) = &metrics {
-        exec = exec.recorder(&m.recorder);
-    }
+    exec = match (&metrics, &flight) {
+        (Some(m), Some(f)) => {
+            tee = Tee::new(&m.recorder, f);
+            exec.recorder(&tee)
+        }
+        (Some(m), None) => exec.recorder(&m.recorder),
+        (None, Some(f)) => exec.recorder(f),
+        (None, None) => exec,
+    };
     let report = exec.run().map_err(|e| e.to_string())?;
 
     out!(
@@ -675,6 +848,11 @@ pub fn recover(args: &Args) -> Result<(), String> {
             "wrote Chrome trace ({} events) to {path} — one lane per repair epoch",
             trace.len()
         );
+    }
+    // The capture is written even when recovery fell short — that is
+    // exactly when a post-mortem matters.
+    if let (Some(path), Some(f)) = (&flight_path, &flight) {
+        write_flight(path, f, out)?;
     }
     if let Some(m) = &metrics {
         write_metrics(m)?;
@@ -914,25 +1092,39 @@ pub fn pipeline(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// `gossip stats`: human summary of a metrics file written via `--metrics`.
-/// The path `-` reads the artifact from stdin, so `--metrics -` output can
-/// be piped straight in.
+/// `gossip stats`: human summary of a metrics file written via `--metrics`,
+/// a recovery report, or a `.gfr` flight record (recognized by content,
+/// not extension). The path `-` reads the artifact from stdin, so
+/// `--metrics -` output can be piped straight in.
 pub fn stats(args: &Args) -> Result<(), String> {
     let path = args
         .positional
         .first()
-        .ok_or("usage: gossip stats METRICS.json  (or `-` for stdin)")?;
-    let text = if path == "-" {
+        .ok_or("usage: gossip stats METRICS.json|RUN.gfr  (or `-` for stdin)")?;
+    let bytes = if path == "-" {
         use std::io::Read as _;
-        let mut buf = String::new();
+        let mut buf = Vec::new();
         std::io::stdin()
-            .read_to_string(&mut buf)
+            .read_to_end(&mut buf)
             .map_err(|e| format!("stdin: {e}"))?;
         buf
     } else {
-        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?
+        std::fs::read(path).map_err(|e| format!("{path}: {e}"))?
     };
-    let doc: Value = serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+    if FlightLog::sniff(&bytes) {
+        let log = FlightLog::decode(&bytes).map_err(|e| format!("{path}: {e}"))?;
+        let report = gossip_obsd::inspect(&log, None)?;
+        print!("{}", gossip_obsd::postmortem::render_inspect(&report));
+        let losses = gossip_obsd::postmortem::loss_breakdown(&log);
+        if !losses.is_empty() {
+            println!("losses by cause: {losses}");
+        }
+        println!("(full time-travel view: `gossip inspect {path} --round R`)");
+        return Ok(());
+    }
+    let text = std::str::from_utf8(&bytes)
+        .map_err(|_| format!("{path}: neither a flight record nor UTF-8 JSON"))?;
+    let doc: Value = serde_json::from_str(text).map_err(|e| format!("{path}: {e}"))?;
     check_schema_version(&doc).map_err(|e| format!("{path}: {e}"))?;
     // `gossip recover --out` reports are also schema-versioned artifacts;
     // summarize them with their own (epoch table) rendering.
@@ -1079,8 +1271,10 @@ pub fn serve(args: &Args) -> Result<(), String> {
     let listen = args.get_or("listen", "127.0.0.1:9464");
     let delay = std::time::Duration::from_millis(args.get_u64("round-delay-ms", 0)?);
     let linger = std::time::Duration::from_millis(args.get_u64("linger-ms", 0)?);
-    let faults = parse_fault_plan(args, g.n())?.unwrap_or_else(FaultPlan::none);
+    let faults_opt = parse_fault_plan(args, g.n())?;
+    let faults = faults_opt.clone().unwrap_or_else(FaultPlan::none);
     let max_epochs = args.get_usize("max-epochs", DEFAULT_MAX_EPOCHS)?;
+    let flight_path = flight_out_path(args)?;
 
     let registry = Arc::new(LiveRegistry::new());
     let server =
@@ -1112,11 +1306,42 @@ pub fn serve(args: &Args) -> Result<(), String> {
     );
 
     health.set_phase("executing");
+    // With --flight-out the executor records through Paced(Tee(live
+    // registry, flight)) — the capture sees the same event stream as the
+    // live endpoints, and pacing delays neither one relative to the other.
+    let flight = match &flight_path {
+        Some(_) => {
+            let flat = gossip_model::FlatSchedule::from_schedule(&plan.schedule);
+            let header = flight_header(
+                "resilient",
+                &g,
+                plan.radius,
+                &flat,
+                &faults_opt,
+                &plan.origin_of_message,
+            )?;
+            Some(FlightRecorder::new(header))
+        }
+        None => None,
+    };
+    let tee;
+    let paced_tee;
+    let exec_recorder: &dyn Recorder = match &flight {
+        Some(f) => {
+            tee = Tee::new(&*registry, f);
+            paced_tee = Paced::new(&tee, delay);
+            &paced_tee
+        }
+        None => &paced,
+    };
     let report = ResilientExecutor::new(&g, &plan.schedule, &plan.origin_of_message, &faults)
         .max_epochs(max_epochs)
-        .recorder(&paced)
+        .recorder(exec_recorder)
         .run()
         .map_err(|e| e.to_string())?;
+    if let (Some(path), Some(f)) = (&flight_path, &flight) {
+        write_flight(path, f, Out { to_stderr: false })?;
+    }
     health.set_phase("complete");
     health.set_done();
     println!(
@@ -1143,10 +1368,10 @@ pub fn serve(args: &Args) -> Result<(), String> {
 }
 
 /// `gossip dash`: aggregate schema-versioned run artifacts (metrics
-/// documents, `BENCH_*` files, recovery reports) into one self-contained
-/// HTML dashboard. Directory arguments ingest every `*.json` inside
-/// (unrecognized files are skipped with a warning); file arguments must
-/// parse.
+/// documents, `BENCH_*` files, recovery reports, `.gfr` flight records)
+/// into one self-contained HTML dashboard. Directory arguments ingest
+/// every `*.json` and `*.gfr` inside (unrecognized files are skipped with
+/// a warning); file arguments must parse.
 pub fn dash(args: &Args) -> Result<(), String> {
     if args.positional.is_empty() {
         return Err("usage: gossip dash ARTIFACT.json|DIR [MORE...] [--out report.html]".into());
@@ -1158,7 +1383,7 @@ pub fn dash(args: &Args) -> Result<(), String> {
             let mut entries: Vec<std::path::PathBuf> = std::fs::read_dir(p)
                 .map_err(|e| format!("{arg}: {e}"))?
                 .filter_map(|e| e.ok().map(|e| e.path()))
-                .filter(|q| q.extension().is_some_and(|x| x == "json"))
+                .filter(|q| q.extension().is_some_and(|x| x == "json" || x == "gfr"))
                 .collect();
             entries.sort();
             for q in entries {
@@ -1185,6 +1410,55 @@ pub fn dash(args: &Args) -> Result<(), String> {
         html.len()
     );
     Ok(())
+}
+
+/// `gossip inspect`: time-travel reconstruction of a `.gfr` flight
+/// capture — hold-sets and coverage after any `--round` (default: final
+/// state), plus the anomaly pass (stragglers, utilization dips, `n + r`
+/// violations).
+pub fn inspect(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .first()
+        .ok_or("usage: gossip inspect RUN.gfr [--round R]")?;
+    let log = read_flight(path)?;
+    let round = match args.options.get("round") {
+        Some(_) => Some(args.get_usize("round", 0)?),
+        None => None,
+    };
+    let report = gossip_obsd::inspect(&log, round)?;
+    print!("{}", gossip_obsd::postmortem::render_inspect(&report));
+    let losses = gossip_obsd::postmortem::loss_breakdown(&log);
+    if !losses.is_empty() {
+        println!("losses by cause: {losses}");
+    }
+    let anomalies = gossip_obsd::anomalies(&log)?;
+    print!("{}", gossip_obsd::postmortem::render_anomalies(&anomalies));
+    Ok(())
+}
+
+/// `gossip diff`: align two `.gfr` captures and report the first
+/// divergent round plus per-pair delivery-time deltas. Exits 1 unless the
+/// runs are identical, so scripts and CI can gate on determinism.
+pub fn diff(args: &Args) -> Result<(), String> {
+    let [a, b] = args.positional.as_slice() else {
+        return Err("usage: gossip diff A.gfr B.gfr".into());
+    };
+    let (log_a, log_b) = (read_flight(a)?, read_flight(b)?);
+    let report = gossip_obsd::diff(&log_a, &log_b)?;
+    print!("{}", gossip_obsd::postmortem::render_diff(&report));
+    if report.identical {
+        Ok(())
+    } else if let Some(t) = report.first_divergent_round {
+        Err(format!("captures diverge at round {t}"))
+    } else if !report.comparable {
+        Err("captures are not comparable (different n or n_msgs)".into())
+    } else {
+        Err(format!(
+            "captures differ in length ({} vs {} round(s))",
+            report.rounds.0, report.rounds.1
+        ))
+    }
 }
 
 /// `gossip energy`: sensor-field rounds + radio energy, multicast vs

@@ -10,6 +10,9 @@
 //! gossip sweep    [--sizes 16,32,64]
 //! gossip serve    --graph fig4 --loss-rate 0.1 --listen 127.0.0.1:9464
 //! gossip dash     metrics.json recovery.json --out report.html
+//! gossip plan     --graph fig4 --flight-out run.gfr
+//! gossip inspect  run.gfr --round 5
+//! gossip diff     clean.gfr lossy.gfr
 //! ```
 //!
 //! Graphs and plans serialize as JSON so schedules can be inspected or
@@ -45,6 +48,8 @@ fn main() {
         "recover" => commands::recover(&args),
         "serve" => commands::serve(&args),
         "dash" => commands::dash(&args),
+        "inspect" => commands::inspect(&args),
+        "diff" => commands::diff(&args),
         "bench-diff" => commands::bench_diff(&args),
         "" | "help" | "--help" => {
             println!("{}", commands::USAGE);

@@ -685,3 +685,70 @@ fn plan_with_fault_flags_previews_losses() {
     );
     assert!(stdout.contains("gossip recover"), "{stdout}");
 }
+
+#[test]
+fn plan_flight_out_inspect_and_diff_workflow() {
+    let dir = temp_dir("flight");
+    let clean = dir.join("clean.gfr");
+    let lossy = dir.join("lossy.gfr");
+    let clean = clean.to_str().unwrap();
+    let lossy = lossy.to_str().unwrap();
+
+    let (ok, stdout, _) = gossip(&["plan", "--graph", "fig4", "--flight-out", clean]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("wrote flight record"), "{stdout}");
+
+    let (ok, stdout, _) = gossip(&[
+        "plan",
+        "--graph",
+        "fig4",
+        "--loss-rate",
+        "0.1",
+        "--fault-seed",
+        "1",
+        "--flight-out",
+        lossy,
+    ]);
+    assert!(ok, "{stdout}");
+
+    // Time-travel inspection of a mid-run round.
+    let (ok, stdout, _) = gossip(&["inspect", clean, "--round", "5"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("flight record: engine"), "{stdout}");
+    assert!(stdout.contains("state after round 5"), "{stdout}");
+
+    // A capture diffed against itself is identical: exit 0.
+    let (ok, stdout, _) = gossip(&["diff", clean, clean]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("runs are identical"), "{stdout}");
+
+    // Clean vs lossy diverges: nonzero exit naming the first divergent round.
+    let (ok, stdout, stderr) = gossip(&["diff", clean, lossy]);
+    assert!(!ok, "{stdout}");
+    assert!(stdout.contains("runs DIVERGE at round"), "{stdout}");
+    assert!(stderr.contains("diverge"), "{stderr}");
+}
+
+#[test]
+fn stats_classifies_flight_artifacts() {
+    let dir = temp_dir("flight-stats");
+    let run = dir.join("run.gfr");
+    let run = run.to_str().unwrap();
+    let (ok, stdout, _) = gossip(&["plan", "--family", "ring", "--n", "10", "--flight-out", run]);
+    assert!(ok, "{stdout}");
+
+    let (ok, stdout, _) = gossip(&["stats", run]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("flight record: engine kernel"), "{stdout}");
+    assert!(stdout.contains("gossip inspect"), "{stdout}");
+}
+
+#[test]
+fn inspect_rejects_non_flight_files() {
+    let dir = temp_dir("flight-junk");
+    let junk = dir.join("junk.gfr");
+    std::fs::write(&junk, b"{\"not\": \"a flight record\"}").unwrap();
+    let (ok, _, stderr) = gossip(&["inspect", junk.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("not a flight record"), "{stderr}");
+}

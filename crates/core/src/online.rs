@@ -337,6 +337,7 @@ fn run_online_threaded_impl(
 
     let barrier = Arc::new(std::sync::Barrier::new(n));
     let log: Arc<Mutex<Vec<(usize, Transmission)>>> = Arc::new(Mutex::new(Vec::new()));
+    let wants_tx = recorder.wants_transmissions();
 
     std::thread::scope(|scope| {
         for label in lv.labels() {
@@ -391,8 +392,16 @@ fn run_online_threaded_impl(
                                 dests.push(lv_ref.vertex(lv_ref.params(label).parent_i));
                             }
                             dests.extend(s.to_children.iter().map(|&c| lv_ref.vertex(c)));
-                            log.lock()
-                                .push((t, Transmission::new(s.msg, lv_ref.vertex(label), dests)));
+                            let tx_rec = Transmission::new(s.msg, lv_ref.vertex(label), dests);
+                            if wants_tx {
+                                // Emitted from each sender thread at send
+                                // time; flight records carry their round, so
+                                // cross-thread interleaving cannot scramble
+                                // the capture.
+                                let d32: Vec<u32> = tx_rec.to.iter().map(|&d| d as u32).collect();
+                                recorder.transmission(t, tx_rec.msg, tx_rec.from as u32, &d32);
+                            }
+                            log.lock().push((t, tx_rec));
                         }
                         None => {
                             for (_, tx) in &child_txs {

@@ -148,6 +148,29 @@ impl FlatSchedule {
         &self.dests[self.dest_offsets[i] as usize..self.dest_offsets[i + 1] as usize]
     }
 
+    /// A stable fingerprint of the flattened schedule — the CSR arrays
+    /// hashed in layout order — stamped into flight-record headers so
+    /// `gossip diff` can tell whether two captures replayed the same
+    /// schedule. Identical schedules digest identically regardless of
+    /// which engine later executes them.
+    pub fn digest(&self) -> u64 {
+        let mut d = gossip_telemetry::flight::Digest::new();
+        d.write_u64(self.n as u64);
+        for arr in [
+            &self.round_offsets,
+            &self.tx_msg,
+            &self.tx_from,
+            &self.dest_offsets,
+            &self.dests,
+        ] {
+            d.write_u64(arr.len() as u64);
+            for &x in arr {
+                d.write_u64(u64::from(x));
+            }
+        }
+        d.finish()
+    }
+
     /// Summary statistics — identical to [`Schedule::stats`] on the source
     /// schedule.
     pub fn stats(&self) -> ScheduleStats {

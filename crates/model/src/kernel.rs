@@ -390,6 +390,69 @@ impl<'g> SimKernel<'g> {
         })
     }
 
+    /// Runs a whole flat schedule with full validation, streaming live
+    /// instrumentation into `recorder` — the clean-run counterpart of
+    /// [`SimKernel::run_lossy_recorded`]: per round a `round_start` /
+    /// `round_end` event pair, `exec/deliveries` counters, and the
+    /// knowledge-curve gauges `round_current` / `known_pairs`. Recorders
+    /// that opt into `wants_transmissions` (the flight recorder) also get
+    /// every transmission as it executes. With a disabled recorder this is
+    /// exactly [`SimKernel::run`].
+    pub fn run_recorded(
+        &mut self,
+        flat: &FlatSchedule,
+        recorder: &dyn gossip_telemetry::Recorder,
+    ) -> Result<SimOutcome, ModelError> {
+        use gossip_telemetry::Value;
+        if !recorder.enabled() {
+            return self.run(flat);
+        }
+        if flat.n() != self.n {
+            return Err(ModelError::SizeMismatch {
+                graph_n: self.n,
+                schedule_n: flat.n(),
+            });
+        }
+        let wants_tx = recorder.wants_transmissions();
+        let mut completion_time = if self.gossip_complete() {
+            Some(self.time)
+        } else {
+            None
+        };
+        let rounds = flat.rounds();
+        for r in 0..rounds {
+            let t = self.time;
+            recorder.event("round_start", &[("round", Value::from_u64(t as u64))]);
+            if wants_tx {
+                for i in flat.round_range(r) {
+                    recorder.transmission(t, flat.msg_of(i), flat.from_of(i), flat.dests_of(i));
+                }
+            }
+            self.step_inner(flat, r, true)?;
+            if completion_time.is_none() && self.gossip_complete() {
+                completion_time = Some(self.time);
+            }
+            let delivered: usize = flat.round_range(r).map(|i| flat.dests_of(i).len()).sum();
+            recorder.counter("exec/deliveries", delivered as u64);
+            recorder.gauge("round_current", self.time as f64);
+            recorder.gauge("known_pairs", self.known_pairs as f64);
+            recorder.event(
+                "round_end",
+                &[
+                    ("round", Value::from_u64(t as u64)),
+                    ("delivered", Value::from_u64(delivered as u64)),
+                    ("known_pairs", Value::from_u64(self.known_pairs as u64)),
+                ],
+            );
+        }
+        Ok(SimOutcome {
+            complete: self.gossip_complete(),
+            rounds_executed: rounds,
+            completion_time,
+            stats: flat.stats(),
+        })
+    }
+
     /// Executes round `r` of `flat` under `plan`, degrading on
     /// fault-induced failures exactly as [`crate::Simulator::step_lossy`]:
     /// structural violations error with state unchanged, the hold-set rule
@@ -570,8 +633,10 @@ impl<'g> SimKernel<'g> {
     /// `round_start`/`round_end` event pair, a `loss` event per lost
     /// delivery (with its cause label), `exec/deliveries` /
     /// `exec/losses` / per-cause `exec/lost/<cause>` counters, and the
-    /// knowledge-curve gauges `round_current` / `known_pairs`. With a
-    /// disabled recorder this is exactly [`SimKernel::run_lossy`].
+    /// knowledge-curve gauges `round_current` / `known_pairs`. Recorders
+    /// that opt into `wants_transmissions` (the flight recorder) also get
+    /// every attempted transmission. With a disabled recorder this is
+    /// exactly [`SimKernel::run_lossy`].
     pub fn run_lossy_recorded(
         &mut self,
         flat: &FlatSchedule,
@@ -589,12 +654,21 @@ impl<'g> SimKernel<'g> {
                 schedule_n: flat.n(),
             });
         }
+        let wants_tx = recorder.wants_transmissions();
         let before = lost.len();
         let rounds = flat.rounds();
         let mut delivered = 0;
         for r in 0..rounds {
             let t = self.time;
             recorder.event("round_start", &[("round", Value::from_u64(t as u64))]);
+            if wants_tx {
+                // Every *attempt* is captured, including transmissions whose
+                // deliveries are all suppressed — the matching `loss` events
+                // record which ones, so replay is txs minus losses.
+                for i in flat.round_range(r) {
+                    recorder.transmission(t, flat.msg_of(i), flat.from_of(i), flat.dests_of(i));
+                }
+            }
             let lost_before = lost.len();
             let d = self.step_round_lossy(flat, r, plan, lost)?;
             delivered += d;

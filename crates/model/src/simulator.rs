@@ -351,8 +351,10 @@ impl<'g> Simulator<'g> {
     /// Runs a whole schedule, streaming per-round probes into `recorder`:
     /// a `round` event per round, `sim/*` counters and histograms, and
     /// final `sim/completion_time` / `sim/coverage` gauges, all under one
-    /// `simulate` span. With a disabled recorder this is exactly
-    /// [`Simulator::run`].
+    /// `simulate` span. Recorders that opt into
+    /// [`Recorder::wants_transmissions`] (the flight recorder) also get
+    /// every transmission, before that round's event. With a disabled
+    /// recorder this is exactly [`Simulator::run`].
     pub fn run_recorded(
         &mut self,
         schedule: &Schedule,
@@ -362,9 +364,21 @@ impl<'g> Simulator<'g> {
             return self.run(schedule);
         }
         let _span = recorder.span("simulate");
+        let wants_tx = recorder.wants_transmissions();
         let (outcome, probes) = self.run_probed(schedule)?;
         let total_pairs = (self.hold.len() * self.n_msgs) as f64;
-        for probe in &probes {
+        let mut dests: Vec<u32> = Vec::new();
+        for (round, probe) in schedule.rounds.iter().zip(&probes) {
+            if wants_tx {
+                for tx in &round.transmissions {
+                    // One scratch buffer for the whole run — per-tx capture
+                    // must not allocate on the hot path.
+                    dests.clear();
+                    dests.extend(tx.to.iter().map(|&d| d as u32));
+                    recorder.transmission(probe.round, tx.msg, tx.from as u32, &dests);
+                }
+            }
+            let known = (probe.coverage * total_pairs).round();
             recorder.counter("sim/sent", probe.sent as u64);
             recorder.counter("sim/deliveries", probe.deliveries as u64);
             recorder.observe("sim/fanout_max", probe.max_fanout as f64);
@@ -372,7 +386,7 @@ impl<'g> Simulator<'g> {
             // Live knowledge-curve gauges (top-level names, matching the
             // Prometheus registry: gossip_round_current / gossip_known_pairs).
             recorder.gauge("round_current", (probe.round + 1) as f64);
-            recorder.gauge("known_pairs", (probe.coverage * total_pairs).round());
+            recorder.gauge("known_pairs", known);
             recorder.event(
                 "round",
                 &[
@@ -385,6 +399,7 @@ impl<'g> Simulator<'g> {
                         Value::from_u64(probe.idle_receivers as u64),
                     ),
                     ("coverage", Value::from_f64(probe.coverage)),
+                    ("known_pairs", Value::from_u64(known as u64)),
                 ],
             );
         }

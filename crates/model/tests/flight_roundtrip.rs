@@ -1,0 +1,107 @@
+//! Golden flight-record round trip on C_8: record an oracle run with the
+//! [`FlightRecorder`], decode the bytes, and re-encode them byte-identically.
+//! The schedule is the deterministic ring rotation (every vertex forwards
+//! the message it just learned to its clockwise neighbour), so the capture
+//! is stable across runs and the assertions below are golden values.
+
+use gossip_graph::GraphBuilder;
+use gossip_model::{identity_origins, CommModel, Schedule, Simulator, Transmission};
+use gossip_telemetry::flight::{FlightHeader, FlightLog, FlightRecord, FlightRecorder};
+
+const N: usize = 8;
+
+fn ring() -> gossip_graph::Graph {
+    let mut b = GraphBuilder::new(N);
+    for v in 0..N {
+        b.add_edge_unchecked(v, (v + 1) % N).unwrap();
+    }
+    b.build()
+}
+
+/// Round `t`: vertex `v` multicasts message `(v - t) mod 8` — the one it
+/// received last round — to `(v + 1) mod 8`. Seven rounds complete gossip.
+fn rotation_schedule() -> Schedule {
+    let mut s = Schedule::new(N);
+    for t in 0..N - 1 {
+        for v in 0..N {
+            let m = ((v + N - t) % N) as u32;
+            s.add_transmission(t, Transmission::new(m, v, vec![(v + 1) % N]));
+        }
+    }
+    s.trim();
+    s
+}
+
+fn header() -> FlightHeader {
+    FlightHeader {
+        n: N as u32,
+        n_msgs: N as u32,
+        radius: 4,
+        engine: "oracle".to_string(),
+        graph_digest: 0xc8c8,
+        schedule_digest: 0x5eed,
+        fault_digest: 0,
+        origins: (0..N as u32).collect(),
+    }
+}
+
+#[test]
+fn c8_capture_roundtrips_byte_identically() {
+    let g = ring();
+    let schedule = rotation_schedule();
+    let rec = FlightRecorder::new(header());
+    let mut sim = Simulator::new(&g, CommModel::Multicast, &identity_origins(N)).unwrap();
+    let outcome = sim.run_recorded(&schedule, &rec).unwrap();
+    assert!(outcome.complete);
+    assert_eq!(outcome.rounds_executed, N - 1);
+
+    let bytes = rec.finish();
+    assert_eq!(&bytes[..4], b"GFR1", "magic prefix");
+
+    let log = FlightLog::decode(&bytes).unwrap();
+    assert_eq!(log.encode(), bytes, "decode -> encode must be the identity");
+
+    // Golden shape: 8 senders per round for 7 rounds, no losses, and the
+    // knowledge curve ends at all 64 (vertex, message) pairs.
+    assert_eq!(log.header.n, N as u32);
+    assert_eq!(log.header.engine, "oracle");
+    assert_eq!(log.rounds(), N - 1);
+    assert_eq!(log.txs().len(), N * (N - 1));
+    assert!(log.losses().is_empty());
+    let curve = log.known_pairs_curve();
+    assert_eq!(curve.first(), Some(&(0, 2 * N as u64)));
+    assert_eq!(curve.last(), Some(&((N - 2) as u32, (N * N) as u64)));
+}
+
+#[test]
+fn c8_capture_decodes_to_the_recorded_transmissions() {
+    let g = ring();
+    let schedule = rotation_schedule();
+    let rec = FlightRecorder::new(header());
+    let mut sim = Simulator::new(&g, CommModel::Multicast, &identity_origins(N)).unwrap();
+    sim.run_recorded(&schedule, &rec).unwrap();
+
+    let log = FlightLog::decode(&rec.finish()).unwrap();
+    // Every scheduled transmission appears with its exact round, message,
+    // sender, and destination set.
+    let txs = log.txs();
+    for (t, round) in schedule.rounds.iter().enumerate() {
+        for tx in &round.transmissions {
+            let want: Vec<u32> = tx.to.iter().map(|&d| d as u32).collect();
+            assert!(
+                txs.iter().any(|ft| ft.round == t as u32
+                    && ft.msg == tx.msg
+                    && ft.from == tx.from as u32
+                    && ft.dests == want.as_slice()),
+                "transmission round {t} msg {} from {} missing from capture",
+                tx.msg,
+                tx.from
+            );
+        }
+    }
+    // A second decode of the re-encoded bytes yields the same records.
+    let again = FlightLog::decode(&log.encode()).unwrap();
+    let records: Vec<&FlightRecord> = log.records.iter().collect();
+    let records2: Vec<&FlightRecord> = again.records.iter().collect();
+    assert_eq!(records, records2);
+}

@@ -13,10 +13,14 @@
 //! - **recovery** reports (`kind: "recovery"`): the per-epoch table yields
 //!   residual/loss/delivery trajectories.
 //!
+//! A fourth, binary family also ingests: `.gfr` **flight records**
+//! (recognized by their `GFR1` magic, not by JSON shape), yielding the
+//! knowledge curve and per-round delivery counts.
+//!
 //! [`crate::dash::render_dashboard`] turns the index into a self-contained
 //! HTML page.
 
-use gossip_telemetry::{check_schema_version, Value};
+use gossip_telemetry::{check_schema_version, FlightLog, Value};
 
 /// Which artifact family a run came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,6 +31,8 @@ pub enum RunKind {
     Bench,
     /// A `RecoveryReport` artifact.
     Recovery,
+    /// A `.gfr` flight record (`--flight-out`).
+    Flight,
 }
 
 impl RunKind {
@@ -36,6 +42,7 @@ impl RunKind {
             RunKind::Metrics => "metrics",
             RunKind::Bench => "bench",
             RunKind::Recovery => "recovery",
+            RunKind::Flight => "flight",
         }
     }
 }
@@ -102,16 +109,90 @@ impl History {
         Ok(kind)
     }
 
-    /// [`History::ingest`] from a file path; the label is the file stem.
+    /// Routes raw artifact bytes: `.gfr` flight records by their `GFR1`
+    /// magic, everything else as a UTF-8 JSON document via
+    /// [`History::ingest`].
+    pub fn ingest_bytes(&mut self, label: &str, bytes: &[u8]) -> Result<RunKind, String> {
+        if FlightLog::sniff(bytes) {
+            return self.ingest_gfr(label, bytes);
+        }
+        let content = std::str::from_utf8(bytes)
+            .map_err(|_| format!("{label}: neither a flight record nor UTF-8 JSON"))?;
+        self.ingest(label, content)
+    }
+
+    /// Ingests one `.gfr` flight record: headline scalars (sizes, counts,
+    /// eviction state) plus the knowledge curve and per-round applied
+    /// delivery counts.
+    pub fn ingest_gfr(&mut self, label: &str, bytes: &[u8]) -> Result<RunKind, String> {
+        let log = FlightLog::decode(bytes).map_err(|e| format!("{label}: {e}"))?;
+        let mut scalars = vec![
+            ("n".to_string(), f64::from(log.header.n)),
+            ("n_msgs".to_string(), f64::from(log.header.n_msgs)),
+            ("radius".to_string(), f64::from(log.header.radius)),
+            ("rounds".to_string(), log.rounds() as f64),
+            ("transmissions".to_string(), log.txs().len() as f64),
+            ("losses".to_string(), log.losses().len() as f64),
+            ("epochs".to_string(), log.epochs().len() as f64),
+        ];
+        if log.dropped > 0 {
+            scalars.push(("dropped_records".to_string(), log.dropped as f64));
+        }
+        let mut series = Vec::new();
+        let known: Vec<(f64, f64)> = log
+            .known_pairs_curve()
+            .iter()
+            .map(|&(r, k)| (f64::from(r), k as f64))
+            .collect();
+        if !known.is_empty() {
+            series.push(Series {
+                name: "known_pairs".to_string(),
+                points: known,
+            });
+        }
+        // Applied deliveries per round: destinations attempted minus the
+        // round's suppressed deliveries (retransmissions included).
+        let mut applied: Vec<(f64, f64)> = Vec::new();
+        for tx in log.txs() {
+            let x = f64::from(tx.round);
+            match applied.iter_mut().find(|(r, _)| *r == x) {
+                Some((_, y)) => *y += tx.dests.len() as f64,
+                None => applied.push((x, tx.dests.len() as f64)),
+            }
+        }
+        for l in log.losses() {
+            let x = f64::from(l.round);
+            if let Some((_, y)) = applied.iter_mut().find(|(r, _)| *r == x) {
+                *y -= 1.0;
+            }
+        }
+        if !applied.is_empty() {
+            applied.sort_by(|a, b| a.0.total_cmp(&b.0));
+            series.push(Series {
+                name: "deliveries".to_string(),
+                points: applied,
+            });
+        }
+        self.runs.push(RunRecord {
+            name: label.to_string(),
+            kind: RunKind::Flight,
+            scalars,
+            series,
+        });
+        Ok(RunKind::Flight)
+    }
+
+    /// [`History::ingest_bytes`] from a file path; the label is the file
+    /// stem. Flight records are detected by content, so a `.gfr` capture
+    /// never hits the UTF-8 JSON path.
     pub fn ingest_file(&mut self, path: &std::path::Path) -> Result<RunKind, String> {
         let label = path
             .file_stem()
             .and_then(|s| s.to_str())
             .unwrap_or("artifact")
             .to_string();
-        let content =
-            std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
-        self.ingest(&label, &content)
+        let bytes = std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        self.ingest_bytes(&label, &bytes)
     }
 
     /// All series named `name` across runs, with the run labels.
@@ -320,5 +401,50 @@ mod tests {
             .ingest("x", r#"{"schema_version": 99, "snapshot": {}}"#)
             .is_err());
         assert!(h.runs.is_empty());
+    }
+
+    #[test]
+    fn ingests_flight_records_by_magic_and_skips_unknown_bytes() {
+        use gossip_telemetry::flight::FlightHeader;
+        use gossip_telemetry::{FlightRecorder, Recorder, Value};
+
+        let rec = FlightRecorder::new(FlightHeader {
+            n: 2,
+            n_msgs: 2,
+            radius: 1,
+            engine: "test".into(),
+            graph_digest: 0,
+            schedule_digest: 0,
+            fault_digest: 0,
+            origins: vec![0, 1],
+        });
+        rec.event("round_start", &[("round", Value::from_u64(0))]);
+        rec.transmission(0, 0, 0, &[1]);
+        rec.event(
+            "round_end",
+            &[
+                ("round", Value::from_u64(0)),
+                ("known_pairs", Value::from_u64(3)),
+            ],
+        );
+        let bytes = rec.finish();
+
+        let mut h = History::new();
+        assert_eq!(h.ingest_bytes("run", &bytes), Ok(RunKind::Flight));
+        let run = &h.runs[0];
+        assert_eq!(run.kind.label(), "flight");
+        assert!(run.scalars.contains(&("transmissions".to_string(), 1.0)));
+        let known = h.series_named("known_pairs");
+        assert_eq!(known[0].1.points, vec![(0.0, 3.0)]);
+        let deliveries = h.series_named("deliveries");
+        assert_eq!(deliveries[0].1.points, vec![(0.0, 1.0)]);
+
+        // Unknown binary artifacts are a clean error (the dash directory
+        // scan turns this into a skip-with-warning), never a panic.
+        let mut h2 = History::new();
+        assert!(h2.ingest_bytes("junk", &[0x00, 0xff, 0x80, 0x01]).is_err());
+        // A corrupt capture that still carries the magic errors too.
+        assert!(h2.ingest_bytes("trunc", &bytes[..8]).is_err());
+        assert!(h2.runs.is_empty());
     }
 }

@@ -12,27 +12,36 @@
 //!   exposing `/metrics` (the exposition), `/healthz` (JSON liveness), and
 //!   `/events` (NDJSON streaming of live executor events: round
 //!   start/end, delivery losses, epoch transitions);
-//! - [`pace::Paced`] is a recorder decorator that sleeps after each
-//!   `round_end` event, turning a microseconds-long simulated run into
-//!   something a human (or a CI smoke job) can actually watch;
+//! - [`pace::Paced`] is a recorder decorator that stretches the round
+//!   cadence (sleeping between one round's end and the next round's
+//!   start), turning a microseconds-long simulated run into something a
+//!   human (or a CI smoke job) can actually watch;
 //! - [`history::History`] ingests any set of schema-versioned artifacts
-//!   (metrics JSONL documents, `BENCH_*.json`, recovery reports) into an
-//!   in-memory time-series index, and [`dash::render_dashboard`] renders
-//!   it as one self-contained HTML page with inline SVG sparklines.
+//!   (metrics JSONL documents, `BENCH_*.json`, recovery reports, `.gfr`
+//!   flight records) into an in-memory time-series index, and
+//!   [`dash::render_dashboard`] renders it as one self-contained HTML
+//!   page with inline SVG sparklines;
+//! - [`postmortem`] analyzes `.gfr` flight records after the fact:
+//!   time-travel hold-set reconstruction at any round, cross-run
+//!   divergence diffing, and an anomaly pass (stragglers, utilization
+//!   dips, `n + r` violations).
 //!
 //! The CLI front-ends are `gossip serve` (live: runs plan + resilient
-//! execution under the HTTP server) and `gossip dash` (offline
-//! aggregation). DESIGN.md §12 documents the endpoint contract, the metric
-//! name registry, and the event schema.
+//! execution under the HTTP server), `gossip dash` (offline aggregation),
+//! and `gossip inspect` / `gossip diff` (post-mortem). DESIGN.md §12–§13
+//! document the endpoint contract, the metric name registry, the event
+//! schema, and the `.gfr` format.
 
 pub mod dash;
 pub mod history;
 pub mod pace;
+pub mod postmortem;
 pub mod prometheus;
 pub mod server;
 
 pub use dash::render_dashboard;
 pub use history::{History, RunKind, RunRecord};
 pub use pace::Paced;
+pub use postmortem::{anomalies, diff, inspect, Anomalies, DiffReport, InspectReport};
 pub use prometheus::render;
 pub use server::{Health, ObsdServer};

@@ -1,0 +1,1047 @@
+//! Flight recorder: a compact binary capture of everything a run did.
+//!
+//! The live observability plane (metrics, `/events`, dashboards) shows a
+//! run *while* it happens; nothing so far retains a complete, cheap,
+//! replayable record of what the run actually did. This module is that
+//! record: a `.gfr` ("gossip flight record") artifact — a schema-versioned
+//! binary header (run fingerprint: graph/schedule/fault digests, origins,
+//! engine label) followed by varint-encoded records for every
+//! transmission, suppressed delivery, round boundary, and repair epoch.
+//!
+//! Three pieces:
+//!
+//! - [`FlightRecorder`] implements [`Recorder`] and encodes as events
+//!   arrive. It opts into per-transmission capture via
+//!   [`Recorder::wants_transmissions`], so executors that normally skip
+//!   per-delivery detail emit it only when a flight recorder is listening.
+//!   An optional ring-buffer capacity bounds memory on unbounded runs by
+//!   evicting the oldest records (the eviction count is written into the
+//!   trailing `End` record, so a truncated capture says so).
+//! - [`FlightLog`] decodes a `.gfr` byte stream losslessly — re-encoding a
+//!   decoded log reproduces the input byte for byte (golden-tested), which
+//!   is what makes the format safe to archive.
+//! - [`Tee`] fans one event stream out to two recorders, so a flight
+//!   recorder can ride along with a metrics registry or live registry
+//!   without touching any executor signature.
+//!
+//! Record encoding is LEB128 varints behind one tag byte per record;
+//! transmissions and losses carry their round explicitly, so decoding does
+//! not depend on emission order (the threaded online executor interleaves
+//! sends from many threads). Post-mortem analysis — time-travel hold-set
+//! reconstruction, cross-run diffing, anomaly flagging — lives in
+//! `gossip-obsd`, on top of [`FlightLog`].
+
+use crate::{Recorder, Value};
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Leading magic of every `.gfr` artifact.
+pub const FLIGHT_MAGIC: [u8; 4] = *b"GFR1";
+
+/// Version of the `.gfr` record layout (independent of the JSON
+/// [`crate::SCHEMA_VERSION`]; bumped when the binary format changes).
+pub const FLIGHT_SCHEMA_VERSION: u64 = 1;
+
+const TAG_TX: u8 = 1;
+const TAG_LOSS: u8 = 2;
+const TAG_ROUND_END: u8 = 3;
+const TAG_EPOCH_START: u8 = 4;
+const TAG_EPOCH_END: u8 = 5;
+const TAG_END: u8 = 6;
+
+/// Loss-cause codes stored in [`FlightRecord::Loss`]; stable across
+/// builds because they are part of the on-disk format.
+pub const CAUSE_LABELS: [&str; 5] = [
+    "sampled",
+    "link_down",
+    "sender_crashed",
+    "receiver_crashed",
+    "not_held",
+];
+
+/// The code for a loss-cause label (255 for labels this build does not
+/// know, so future causes degrade to "unknown" instead of erroring).
+pub fn cause_code(label: &str) -> u8 {
+    CAUSE_LABELS
+        .iter()
+        .position(|&l| l == label)
+        .map(|i| i as u8)
+        .unwrap_or(255)
+}
+
+/// The label for a loss-cause code (the inverse of [`cause_code`]).
+pub fn cause_label(code: u8) -> &'static str {
+    CAUSE_LABELS
+        .get(code as usize)
+        .copied()
+        .unwrap_or("unknown")
+}
+
+fn push_varint(out: &mut Vec<u8>, mut x: u64) {
+    loop {
+        let byte = (x & 0x7f) as u8;
+        x >>= 7;
+        if x == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn varint(&mut self) -> Result<u64, String> {
+        let mut x = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let &byte = self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| format!("truncated varint at byte {}", self.pos))?;
+            self.pos += 1;
+            if shift >= 64 {
+                return Err(format!("varint overflow at byte {}", self.pos));
+            }
+            x |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(x);
+            }
+            shift += 7;
+        }
+    }
+
+    fn u32_varint(&mut self, what: &str) -> Result<u32, String> {
+        let x = self.varint()?;
+        u32::try_from(x).map_err(|_| format!("{what} {x} exceeds u32"))
+    }
+
+    fn u64_le(&mut self) -> Result<u64, String> {
+        let end = self.pos + 8;
+        let slice = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| format!("truncated u64 at byte {}", self.pos))?;
+        self.pos = end;
+        Ok(u64::from_le_bytes(slice.try_into().expect("8 bytes")))
+    }
+
+    fn byte(&mut self) -> Option<u8> {
+        let b = self.bytes.get(self.pos).copied();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+}
+
+/// A streaming FNV-1a 64 hasher for run fingerprints: graph, schedule, and
+/// fault-plan digests stamped into the flight header so `gossip diff` can
+/// tell whether two captures even describe the same run inputs.
+/// Deterministic, dependency-free, and stable across builds (the digests
+/// are part of the on-disk format).
+#[derive(Debug, Clone)]
+pub struct Digest(u64);
+
+impl Default for Digest {
+    fn default() -> Self {
+        Digest::new()
+    }
+}
+
+impl Digest {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Digest {
+        Digest(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    /// Absorbs one `u64` (little-endian byte order).
+    pub fn write_u64(&mut self, x: u64) {
+        self.write_bytes(&x.to_le_bytes());
+    }
+
+    /// The digest of everything absorbed so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// The run fingerprint written at the front of every `.gfr` artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightHeader {
+    /// Processor count.
+    pub n: u32,
+    /// Message count (usually `n`).
+    pub n_msgs: u32,
+    /// Graph radius `r`, so post-mortem analysis can check the paper's
+    /// `n + r` bound without the graph at hand.
+    pub radius: u32,
+    /// Which engine produced the capture (`oracle`, `kernel`, `lossy`,
+    /// `resilient`, `online`, ...). Free-form; informational only.
+    pub engine: String,
+    /// Digest of the network the run executed on.
+    pub graph_digest: u64,
+    /// Digest of the schedule the run replayed.
+    pub schedule_digest: u64,
+    /// Digest of the fault plan, or 0 for a clean run.
+    pub fault_digest: u64,
+    /// `origins[m]` is the processor where message `m` originated — the
+    /// initial hold sets, from which replay reconstructs every later one.
+    pub origins: Vec<u32>,
+}
+
+impl FlightHeader {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&FLIGHT_MAGIC);
+        push_varint(out, FLIGHT_SCHEMA_VERSION);
+        push_varint(out, u64::from(self.n));
+        push_varint(out, u64::from(self.n_msgs));
+        push_varint(out, u64::from(self.radius));
+        push_varint(out, self.engine.len() as u64);
+        out.extend_from_slice(self.engine.as_bytes());
+        out.extend_from_slice(&self.graph_digest.to_le_bytes());
+        out.extend_from_slice(&self.schedule_digest.to_le_bytes());
+        out.extend_from_slice(&self.fault_digest.to_le_bytes());
+        push_varint(out, self.origins.len() as u64);
+        for &o in &self.origins {
+            push_varint(out, u64::from(o));
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<FlightHeader, String> {
+        let magic = r
+            .bytes
+            .get(..4)
+            .ok_or_else(|| "not a flight record: shorter than the magic".to_string())?;
+        if magic != FLIGHT_MAGIC {
+            return Err("not a flight record: bad magic (expected GFR1)".to_string());
+        }
+        r.pos = 4;
+        let schema = r.varint()?;
+        if schema != FLIGHT_SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported flight schema {schema}: this build reads version \
+                 {FLIGHT_SCHEMA_VERSION}; regenerate the capture with this build"
+            ));
+        }
+        let n = r.u32_varint("n")?;
+        let n_msgs = r.u32_varint("n_msgs")?;
+        let radius = r.u32_varint("radius")?;
+        let engine_len = r.varint()? as usize;
+        let engine_bytes = r
+            .bytes
+            .get(r.pos..r.pos + engine_len)
+            .ok_or_else(|| "truncated engine label".to_string())?;
+        r.pos += engine_len;
+        let engine = std::str::from_utf8(engine_bytes)
+            .map_err(|_| "engine label is not UTF-8".to_string())?
+            .to_string();
+        let graph_digest = r.u64_le()?;
+        let schedule_digest = r.u64_le()?;
+        let fault_digest = r.u64_le()?;
+        let n_origins = r.varint()? as usize;
+        let mut origins = Vec::with_capacity(n_origins.min(1 << 20));
+        for _ in 0..n_origins {
+            origins.push(r.u32_varint("origin")?);
+        }
+        Ok(FlightHeader {
+            n,
+            n_msgs,
+            radius,
+            engine,
+            graph_digest,
+            schedule_digest,
+            fault_digest,
+            origins,
+        })
+    }
+}
+
+/// One decoded flight record, in capture order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlightRecord {
+    /// One attempted multicast: message `msg` from `from` to `dests` at
+    /// `round`. Under faults the attempt is recorded even when every
+    /// delivery was suppressed (the matching [`FlightRecord::Loss`]
+    /// records say which ones), so a lossy capture still shows what the
+    /// schedule *tried*.
+    Tx {
+        /// Absolute round of the attempt.
+        round: u32,
+        /// Message id.
+        msg: u32,
+        /// Sending processor.
+        from: u32,
+        /// Destination processors.
+        dests: Vec<u32>,
+    },
+    /// One suppressed delivery and its cause code (see [`cause_label`]).
+    Loss {
+        /// Absolute round of the suppression.
+        round: u32,
+        /// Message id.
+        msg: u32,
+        /// Sending processor.
+        from: u32,
+        /// The destination that did not receive.
+        to: u32,
+        /// Cause code (see [`cause_code`] / [`cause_label`]).
+        cause: u8,
+    },
+    /// A completed round and the known-pair count after it — the
+    /// knowledge curve, and an integrity check for replay.
+    RoundEnd {
+        /// Absolute round that completed.
+        round: u32,
+        /// (processor, message) pairs known after the round.
+        known_pairs: u64,
+    },
+    /// A repair epoch began (`ResilientExecutor` only).
+    EpochStart {
+        /// Epoch index (0 = the base schedule).
+        epoch: u32,
+        /// Absolute round the epoch starts at.
+        start_round: u32,
+    },
+    /// A repair epoch finished.
+    EpochEnd {
+        /// Epoch index.
+        epoch: u32,
+    },
+}
+
+fn encode_record(out: &mut Vec<u8>, rec: &FlightRecord) {
+    match rec {
+        FlightRecord::Tx {
+            round,
+            msg,
+            from,
+            dests,
+        } => {
+            out.push(TAG_TX);
+            push_varint(out, u64::from(*round));
+            push_varint(out, u64::from(*msg));
+            push_varint(out, u64::from(*from));
+            push_varint(out, dests.len() as u64);
+            for &d in dests {
+                push_varint(out, u64::from(d));
+            }
+        }
+        FlightRecord::Loss {
+            round,
+            msg,
+            from,
+            to,
+            cause,
+        } => {
+            out.push(TAG_LOSS);
+            push_varint(out, u64::from(*round));
+            push_varint(out, u64::from(*msg));
+            push_varint(out, u64::from(*from));
+            push_varint(out, u64::from(*to));
+            push_varint(out, u64::from(*cause));
+        }
+        FlightRecord::RoundEnd { round, known_pairs } => {
+            out.push(TAG_ROUND_END);
+            push_varint(out, u64::from(*round));
+            push_varint(out, *known_pairs);
+        }
+        FlightRecord::EpochStart { epoch, start_round } => {
+            out.push(TAG_EPOCH_START);
+            push_varint(out, u64::from(*epoch));
+            push_varint(out, u64::from(*start_round));
+        }
+        FlightRecord::EpochEnd { epoch } => {
+            out.push(TAG_EPOCH_END);
+            push_varint(out, u64::from(*epoch));
+        }
+    }
+}
+
+/// A borrowed view of one transmission record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightTx<'a> {
+    /// Absolute round.
+    pub round: u32,
+    /// Message id.
+    pub msg: u32,
+    /// Sender.
+    pub from: u32,
+    /// Destinations.
+    pub dests: &'a [u32],
+}
+
+/// One suppressed delivery, as a plain value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightLoss {
+    /// Absolute round.
+    pub round: u32,
+    /// Message id.
+    pub msg: u32,
+    /// Sender.
+    pub from: u32,
+    /// The destination that did not receive.
+    pub to: u32,
+    /// Cause code (see [`cause_label`]).
+    pub cause: u8,
+}
+
+/// A fully decoded `.gfr` capture. Records keep their capture order, so
+/// [`FlightLog::encode`] reproduces the original bytes exactly; accessors
+/// normalize ordering where analysis needs it (the threaded online
+/// executor emits transmissions in scheduling-race order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightLog {
+    /// The run fingerprint.
+    pub header: FlightHeader,
+    /// Every record, in capture order.
+    pub records: Vec<FlightRecord>,
+    /// Records evicted by the ring buffer before the capture ended
+    /// (0 = the capture is complete).
+    pub dropped: u64,
+}
+
+impl FlightLog {
+    /// Whether `bytes` look like a `.gfr` artifact (magic check only).
+    pub fn sniff(bytes: &[u8]) -> bool {
+        bytes.get(..4) == Some(&FLIGHT_MAGIC)
+    }
+
+    /// Decodes a capture, validating the magic, schema version, and every
+    /// record tag. Lossless: `decode(bytes).encode() == bytes`.
+    pub fn decode(bytes: &[u8]) -> Result<FlightLog, String> {
+        let mut r = Reader { bytes, pos: 0 };
+        let header = FlightHeader::decode(&mut r)?;
+        let mut records = Vec::new();
+        let mut dropped = None;
+        while let Some(tag) = r.byte() {
+            match tag {
+                TAG_TX => {
+                    let round = r.u32_varint("round")?;
+                    let msg = r.u32_varint("msg")?;
+                    let from = r.u32_varint("from")?;
+                    let ndests = r.varint()? as usize;
+                    let mut dests = Vec::with_capacity(ndests.min(1 << 20));
+                    for _ in 0..ndests {
+                        dests.push(r.u32_varint("dest")?);
+                    }
+                    records.push(FlightRecord::Tx {
+                        round,
+                        msg,
+                        from,
+                        dests,
+                    });
+                }
+                TAG_LOSS => records.push(FlightRecord::Loss {
+                    round: r.u32_varint("round")?,
+                    msg: r.u32_varint("msg")?,
+                    from: r.u32_varint("from")?,
+                    to: r.u32_varint("to")?,
+                    cause: r.varint()?.min(255) as u8,
+                }),
+                TAG_ROUND_END => records.push(FlightRecord::RoundEnd {
+                    round: r.u32_varint("round")?,
+                    known_pairs: r.varint()?,
+                }),
+                TAG_EPOCH_START => records.push(FlightRecord::EpochStart {
+                    epoch: r.u32_varint("epoch")?,
+                    start_round: r.u32_varint("start_round")?,
+                }),
+                TAG_EPOCH_END => records.push(FlightRecord::EpochEnd {
+                    epoch: r.u32_varint("epoch")?,
+                }),
+                TAG_END => {
+                    dropped = Some(r.varint()?);
+                    break;
+                }
+                other => return Err(format!("unknown record tag {other} at byte {}", r.pos - 1)),
+            }
+        }
+        let dropped = dropped.ok_or_else(|| "truncated capture: missing End record".to_string())?;
+        if r.pos != bytes.len() {
+            return Err(format!(
+                "{} trailing byte(s) after the End record",
+                bytes.len() - r.pos
+            ));
+        }
+        Ok(FlightLog {
+            header,
+            records,
+            dropped,
+        })
+    }
+
+    /// Re-encodes the capture; byte-identical to what the recorder wrote.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.header.encode_into(&mut out);
+        for rec in &self.records {
+            encode_record(&mut out, rec);
+        }
+        out.push(TAG_END);
+        push_varint(&mut out, self.dropped);
+        out
+    }
+
+    /// Rounds covered by the capture (max record round + 1).
+    pub fn rounds(&self) -> usize {
+        self.records
+            .iter()
+            .map(|rec| match rec {
+                FlightRecord::Tx { round, .. }
+                | FlightRecord::Loss { round, .. }
+                | FlightRecord::RoundEnd { round, .. } => *round as usize + 1,
+                FlightRecord::EpochStart { start_round, .. } => *start_round as usize,
+                FlightRecord::EpochEnd { .. } => 0,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Every transmission, normalized to `(round, from, msg)` order so
+    /// captures of the same run from different engines (or the threaded
+    /// online executor) compare equal.
+    pub fn txs(&self) -> Vec<FlightTx<'_>> {
+        let mut out: Vec<FlightTx<'_>> = self
+            .records
+            .iter()
+            .filter_map(|rec| match rec {
+                FlightRecord::Tx {
+                    round,
+                    msg,
+                    from,
+                    dests,
+                } => Some(FlightTx {
+                    round: *round,
+                    msg: *msg,
+                    from: *from,
+                    dests,
+                }),
+                _ => None,
+            })
+            .collect();
+        out.sort_by_key(|t| (t.round, t.from, t.msg));
+        out
+    }
+
+    /// Every suppressed delivery, normalized to `(round, from, to)` order.
+    pub fn losses(&self) -> Vec<FlightLoss> {
+        let mut out: Vec<FlightLoss> = self
+            .records
+            .iter()
+            .filter_map(|rec| match rec {
+                FlightRecord::Loss {
+                    round,
+                    msg,
+                    from,
+                    to,
+                    cause,
+                } => Some(FlightLoss {
+                    round: *round,
+                    msg: *msg,
+                    from: *from,
+                    to: *to,
+                    cause: *cause,
+                }),
+                _ => None,
+            })
+            .collect();
+        out.sort_by_key(|l| (l.round, l.from, l.to));
+        out
+    }
+
+    /// The `(round, known_pairs)` knowledge curve, in capture order.
+    pub fn known_pairs_curve(&self) -> Vec<(u32, u64)> {
+        self.records
+            .iter()
+            .filter_map(|rec| match rec {
+                FlightRecord::RoundEnd { round, known_pairs } => Some((*round, *known_pairs)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// `(epoch, start_round)` of every recorded repair epoch.
+    pub fn epochs(&self) -> Vec<(u32, u32)> {
+        self.records
+            .iter()
+            .filter_map(|rec| match rec {
+                FlightRecord::EpochStart { epoch, start_round } => Some((*epoch, *start_round)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+struct FlightBuf {
+    /// Encoded records, oldest first, concatenated into one arena —
+    /// recording is on the executor's hot path, so a capture must not
+    /// allocate per record. `start` marks the first live byte (ring
+    /// eviction trims lazily).
+    data: Vec<u8>,
+    start: usize,
+    /// Per-record byte lengths of the live records — maintained only in
+    /// ring mode, where eviction pops whole records off the front.
+    lens: VecDeque<u32>,
+    /// Live record count (also maintained in unbounded mode, where `lens`
+    /// stays empty).
+    count: usize,
+    dropped: u64,
+    capacity: Option<usize>,
+}
+
+impl FlightBuf {
+    fn new(capacity: Option<usize>) -> FlightBuf {
+        FlightBuf {
+            data: Vec::new(),
+            start: 0,
+            lens: VecDeque::new(),
+            count: 0,
+            dropped: 0,
+            capacity,
+        }
+    }
+
+    /// Appends one record encoded by `write` directly into the arena.
+    fn push_with(&mut self, write: impl FnOnce(&mut Vec<u8>)) {
+        let before = self.data.len();
+        write(&mut self.data);
+        if let Some(cap) = self.capacity {
+            self.lens.push_back((self.data.len() - before) as u32);
+            while self.lens.len() > cap {
+                let evicted = self.lens.pop_front().expect("len > cap >= 1") as usize;
+                self.start += evicted;
+                self.dropped += 1;
+            }
+            // Trim lazily so the arena stays within ~2x the live bytes.
+            if self.start > self.data.len() / 2 {
+                self.data.drain(..self.start);
+                self.start = 0;
+            }
+            self.count = self.lens.len();
+        } else {
+            self.count += 1;
+        }
+    }
+
+    fn push(&mut self, rec: &FlightRecord) {
+        self.push_with(|out| encode_record(out, rec));
+    }
+
+    /// The concatenated encoding of every live record.
+    fn live(&self) -> &[u8] {
+        &self.data[self.start..]
+    }
+}
+
+/// A [`Recorder`] that encodes the run into a `.gfr` capture as events
+/// arrive. Metrics calls (counters, gauges, histograms, spans) are
+/// dropped — the flight record is the event/transmission stream only; tee
+/// it with a metrics recorder (see [`Tee`]) when both are wanted.
+pub struct FlightRecorder {
+    header: FlightHeader,
+    buf: Mutex<FlightBuf>,
+}
+
+impl FlightRecorder {
+    /// An unbounded recorder (every record kept).
+    pub fn new(header: FlightHeader) -> FlightRecorder {
+        FlightRecorder {
+            header,
+            buf: Mutex::new(FlightBuf::new(None)),
+        }
+    }
+
+    /// A ring-buffered recorder keeping at most `capacity` records; older
+    /// records are evicted and counted in the capture's `End` record.
+    pub fn with_capacity(header: FlightHeader, capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            header,
+            buf: Mutex::new(FlightBuf::new(Some(capacity.max(1)))),
+        }
+    }
+
+    fn buf(&self) -> std::sync::MutexGuard<'_, FlightBuf> {
+        self.buf.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Records evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.buf().dropped
+    }
+
+    /// Records captured (and still retained) so far.
+    pub fn len(&self) -> usize {
+        self.buf().count
+    }
+
+    /// Whether nothing has been captured yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf().count == 0
+    }
+
+    /// The complete `.gfr` byte stream captured so far (header, records,
+    /// `End`). Non-destructive, so a capture can be written mid-run.
+    pub fn finish(&self) -> Vec<u8> {
+        let buf = self.buf();
+        let live = buf.live();
+        let mut out = Vec::with_capacity(64 + live.len() + 8);
+        self.header.encode_into(&mut out);
+        out.extend_from_slice(live);
+        out.push(TAG_END);
+        push_varint(&mut out, buf.dropped);
+        out
+    }
+}
+
+fn field_u64(fields: &[(&str, Value)], name: &str) -> Option<u64> {
+    fields.iter().find(|(k, _)| *k == name).and_then(|(_, v)| {
+        v.as_u64()
+            .or_else(|| v.as_f64().map(|x| x.round().max(0.0) as u64))
+    })
+}
+
+impl Recorder for FlightRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn counter(&self, _name: &str, _delta: u64) {}
+    fn gauge(&self, _name: &str, _value: f64) {}
+    fn observe(&self, _name: &str, _value: f64) {}
+    fn span_observe(&self, _path: &str, _nanos: u64) {}
+
+    fn event(&self, name: &str, fields: &[(&str, Value)]) {
+        let rec = match name {
+            // The oracle simulator's per-round probe and the kernel's
+            // round_end both mark a completed round; either carries the
+            // knowledge-curve point.
+            "round" | "round_end" => {
+                let Some(round) = field_u64(fields, "round") else {
+                    return;
+                };
+                FlightRecord::RoundEnd {
+                    round: round as u32,
+                    known_pairs: field_u64(fields, "known_pairs").unwrap_or(0),
+                }
+            }
+            "loss" => {
+                let (Some(round), Some(msg), Some(from), Some(to)) = (
+                    field_u64(fields, "round"),
+                    field_u64(fields, "msg"),
+                    field_u64(fields, "from"),
+                    field_u64(fields, "to"),
+                ) else {
+                    return;
+                };
+                let cause = fields
+                    .iter()
+                    .find(|(k, _)| *k == "cause")
+                    .and_then(|(_, v)| v.as_str())
+                    .map(cause_code)
+                    .unwrap_or(255);
+                FlightRecord::Loss {
+                    round: round as u32,
+                    msg: msg as u32,
+                    from: from as u32,
+                    to: to as u32,
+                    cause,
+                }
+            }
+            "epoch_start" => {
+                let (Some(epoch), Some(start)) =
+                    (field_u64(fields, "epoch"), field_u64(fields, "start_round"))
+                else {
+                    return;
+                };
+                FlightRecord::EpochStart {
+                    epoch: epoch as u32,
+                    start_round: start as u32,
+                }
+            }
+            "epoch_end" => {
+                let Some(epoch) = field_u64(fields, "epoch") else {
+                    return;
+                };
+                FlightRecord::EpochEnd {
+                    epoch: epoch as u32,
+                }
+            }
+            _ => return,
+        };
+        self.buf().push(&rec);
+    }
+
+    fn wants_transmissions(&self) -> bool {
+        true
+    }
+
+    fn transmission(&self, round: usize, msg: u32, from: u32, dests: &[u32]) {
+        // The hottest capture path — one record per attempted multicast —
+        // encodes straight into the arena, borrowing `dests` rather than
+        // materializing a `FlightRecord`.
+        self.buf().push_with(|out| {
+            out.push(TAG_TX);
+            push_varint(out, round as u64);
+            push_varint(out, u64::from(msg));
+            push_varint(out, u64::from(from));
+            push_varint(out, dests.len() as u64);
+            for &d in dests {
+                push_varint(out, u64::from(d));
+            }
+        });
+    }
+}
+
+/// Fans every recorder call out to two recorders, so a [`FlightRecorder`]
+/// can capture a run alongside the metrics registry (or live registry)
+/// already attached to it. Enabled (and transmission-hungry) when either
+/// side is.
+pub struct Tee<'a> {
+    a: &'a dyn Recorder,
+    b: &'a dyn Recorder,
+}
+
+impl<'a> Tee<'a> {
+    /// Combines two recorders.
+    pub fn new(a: &'a dyn Recorder, b: &'a dyn Recorder) -> Tee<'a> {
+        Tee { a, b }
+    }
+}
+
+impl Recorder for Tee<'_> {
+    fn enabled(&self) -> bool {
+        self.a.enabled() || self.b.enabled()
+    }
+
+    fn counter(&self, name: &str, delta: u64) {
+        self.a.counter(name, delta);
+        self.b.counter(name, delta);
+    }
+
+    fn gauge(&self, name: &str, value: f64) {
+        self.a.gauge(name, value);
+        self.b.gauge(name, value);
+    }
+
+    fn observe(&self, name: &str, value: f64) {
+        self.a.observe(name, value);
+        self.b.observe(name, value);
+    }
+
+    fn event(&self, name: &str, fields: &[(&str, Value)]) {
+        self.a.event(name, fields);
+        self.b.event(name, fields);
+    }
+
+    fn span_observe(&self, path: &str, nanos: u64) {
+        self.a.span_observe(path, nanos);
+        self.b.span_observe(path, nanos);
+    }
+
+    fn wants_transmissions(&self) -> bool {
+        self.a.wants_transmissions() || self.b.wants_transmissions()
+    }
+
+    fn transmission(&self, round: usize, msg: u32, from: u32, dests: &[u32]) {
+        self.a.transmission(round, msg, from, dests);
+        self.b.transmission(round, msg, from, dests);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> FlightHeader {
+        FlightHeader {
+            n: 4,
+            n_msgs: 4,
+            radius: 2,
+            engine: "oracle".to_string(),
+            graph_digest: 0x1111,
+            schedule_digest: 0x2222,
+            fault_digest: 0,
+            origins: vec![0, 1, 2, 3],
+        }
+    }
+
+    #[test]
+    fn varint_roundtrip_boundaries() {
+        for x in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            push_varint(&mut buf, x);
+            let mut r = Reader {
+                bytes: &buf,
+                pos: 0,
+            };
+            assert_eq!(r.varint(), Ok(x), "{x}");
+            assert_eq!(r.pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn capture_decodes_losslessly() {
+        let rec = FlightRecorder::new(header());
+        rec.transmission(0, 0, 0, &[1, 2]);
+        rec.event(
+            "loss",
+            &[
+                ("round", Value::from_u64(0)),
+                ("msg", Value::from_u64(0)),
+                ("from", Value::from_u64(0)),
+                ("to", Value::from_u64(2)),
+                ("cause", Value::String("sampled".to_string())),
+            ],
+        );
+        rec.event(
+            "round_end",
+            &[
+                ("round", Value::from_u64(0)),
+                ("known_pairs", Value::from_u64(5)),
+            ],
+        );
+        rec.event(
+            "epoch_start",
+            &[
+                ("epoch", Value::from_u64(1)),
+                ("start_round", Value::from_u64(1)),
+            ],
+        );
+        rec.event("epoch_end", &[("epoch", Value::from_u64(1))]);
+        // Metrics calls and unrelated events leave no records.
+        rec.counter("x", 1);
+        rec.gauge("y", 2.0);
+        rec.event("span", &[]);
+
+        let bytes = rec.finish();
+        let log = FlightLog::decode(&bytes).expect("decodes");
+        assert_eq!(log.header, header());
+        assert_eq!(log.records.len(), 5);
+        assert_eq!(log.dropped, 0);
+        assert_eq!(log.encode(), bytes, "re-encode is byte-identical");
+        assert_eq!(log.rounds(), 1);
+        assert_eq!(log.txs().len(), 1);
+        assert_eq!(log.txs()[0].dests, &[1, 2]);
+        assert_eq!(log.losses().len(), 1);
+        assert_eq!(cause_label(log.losses()[0].cause), "sampled");
+        assert_eq!(log.known_pairs_curve(), vec![(0, 5)]);
+        assert_eq!(log.epochs(), vec![(1, 1)]);
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest_and_counts_drops() {
+        let rec = FlightRecorder::with_capacity(header(), 2);
+        for round in 0..5u64 {
+            rec.event(
+                "round_end",
+                &[
+                    ("round", Value::from_u64(round)),
+                    ("known_pairs", Value::from_u64(round)),
+                ],
+            );
+        }
+        assert_eq!(rec.len(), 2);
+        assert_eq!(rec.dropped(), 3);
+        let log = FlightLog::decode(&rec.finish()).expect("decodes");
+        assert_eq!(log.dropped, 3);
+        assert_eq!(log.known_pairs_curve(), vec![(3, 3), (4, 4)]);
+        assert_eq!(log.encode(), rec.finish());
+    }
+
+    #[test]
+    fn decode_rejects_garbage_and_truncation() {
+        assert!(FlightLog::decode(b"").is_err());
+        assert!(FlightLog::decode(b"JSON{}").is_err());
+        let good = FlightRecorder::new(header()).finish();
+        assert!(FlightLog::decode(&good[..good.len() - 1]).is_err());
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(FlightLog::decode(&trailing).is_err());
+        let mut wrong_schema = good;
+        wrong_schema[4] = 9; // schema varint right after the magic
+        let err = FlightLog::decode(&wrong_schema).unwrap_err();
+        assert!(err.contains("schema"), "{err}");
+        assert!(!FlightLog::sniff(b"JSON"));
+        assert!(FlightLog::sniff(&FlightRecorder::new(header()).finish()));
+    }
+
+    #[test]
+    fn tee_forwards_to_both_sides() {
+        let m = crate::MetricsRecorder::new();
+        let f = FlightRecorder::new(header());
+        let tee = Tee::new(&m, &f);
+        assert!(tee.enabled());
+        assert!(tee.wants_transmissions());
+        tee.counter("c", 2);
+        tee.transmission(0, 1, 0, &[1]);
+        tee.event(
+            "round_end",
+            &[
+                ("round", Value::from_u64(0)),
+                ("known_pairs", Value::from_u64(1)),
+            ],
+        );
+        assert_eq!(m.counter_value("c"), 2);
+        assert_eq!(m.events_emitted(), 1);
+        let log = FlightLog::decode(&f.finish()).unwrap();
+        assert_eq!(log.txs().len(), 1);
+        assert_eq!(log.known_pairs_curve(), vec![(0, 1)]);
+        // A tee of two noops stays disabled and transmission-free.
+        let n1 = crate::NoopRecorder;
+        let n2 = crate::NoopRecorder;
+        let quiet = Tee::new(&n1, &n2);
+        assert!(!quiet.enabled());
+        assert!(!quiet.wants_transmissions());
+    }
+
+    #[test]
+    fn digest_is_stable_and_input_sensitive() {
+        let mut a = Digest::new();
+        a.write_u64(42);
+        a.write_bytes(b"edges");
+        let mut b = Digest::new();
+        b.write_u64(42);
+        b.write_bytes(b"edges");
+        assert_eq!(a.finish(), b.finish());
+        let mut c = Digest::new();
+        c.write_u64(43);
+        c.write_bytes(b"edges");
+        assert_ne!(a.finish(), c.finish());
+        // Pin the FNV-1a basis so digests stay stable across builds (they
+        // are part of the on-disk format).
+        assert_eq!(Digest::new().finish(), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn cause_codes_roundtrip() {
+        for (i, label) in CAUSE_LABELS.iter().enumerate() {
+            assert_eq!(cause_code(label), i as u8);
+            assert_eq!(cause_label(i as u8), *label);
+        }
+        assert_eq!(cause_code("mystery"), 255);
+        assert_eq!(cause_label(255), "unknown");
+    }
+}

@@ -28,9 +28,11 @@
 
 #![forbid(unsafe_code)]
 
+pub mod flight;
 pub mod live;
 pub mod trace;
 
+pub use flight::{FlightHeader, FlightLog, FlightRecord, FlightRecorder, Tee};
 pub use live::LiveRegistry;
 pub use trace::{ChromeTrace, TraceEvent};
 
@@ -89,6 +91,20 @@ pub trait Recorder: Send + Sync {
     /// Records one completed span occurrence at `path` taking `nanos`.
     /// Called by [`SpanGuard`]; not usually called directly.
     fn span_observe(&self, path: &str, nanos: u64);
+
+    /// Whether this recorder wants [`Recorder::transmission`] calls.
+    /// Per-transmission capture is too hot for the metrics plane, so
+    /// executors check this once per run and skip the emission entirely
+    /// for recorders (the default) that don't opt in; the flight recorder
+    /// ([`flight::FlightRecorder`]) does.
+    fn wants_transmissions(&self) -> bool {
+        false
+    }
+
+    /// Records one attempted multicast: message `msg` sent by `from` to
+    /// `dests` at absolute round `round`. Only called when
+    /// [`Recorder::wants_transmissions`] is `true`; the default drops it.
+    fn transmission(&self, _round: usize, _msg: u32, _from: u32, _dests: &[u32]) {}
 }
 
 thread_local! {
