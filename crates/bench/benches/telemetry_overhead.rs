@@ -25,17 +25,33 @@
 //! `simulate_flight_overhead_pct`, ~1x) is a statement about the
 //! simulator's speed, not about recording cost — it is context, not a
 //! guard.
+//!
+//! The planner phase profiler gets a `plan/noop` vs `plan/profiled` pair
+//! (full construction pipeline, guards inert vs a [`Profiler`] installed)
+//! guarded at <5% (`profile_guard_ok`): the profiler is designed to stay
+//! always-on. Allocator counting cannot be toggled at runtime — build
+//! with `--features prof-alloc` and compare artifacts; the build flavor
+//! is recorded as `alloc_counting_enabled`, unguarded context.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gossip_bench::report::{obj, write_bench_json};
 use gossip_core::{concurrent_updown_recorded, run_online_threaded_recorded, tree_origins};
 use gossip_graph::{min_depth_spanning_tree, ChildOrder};
-use gossip_model::{CommModel, Simulator};
+use gossip_model::{CommModel, FlatSchedule, Simulator};
 use gossip_telemetry::flight::FlightHeader;
+use gossip_telemetry::profile::Profiler;
 use gossip_telemetry::{FlightRecorder, LiveRegistry, MetricsRecorder, NoopRecorder, Value};
 use gossip_workloads::torus;
 use std::hint::black_box;
 use std::time::Instant;
+
+// With `--features prof-alloc` the counting allocator runs under this
+// bench, so the artifact's plan timings include the counting cost —
+// compare against a default build's artifact to price it. The flag is
+// recorded as `alloc_counting_enabled`.
+#[cfg(feature = "prof-alloc")]
+#[global_allocator]
+static ALLOC: gossip_telemetry::profile::ProfAlloc = gossip_telemetry::profile::ProfAlloc;
 
 /// Minimum wall-clock seconds per run of each routine, with the routines
 /// interleaved round-robin so slow drift (thermal, background load) hits
@@ -118,6 +134,23 @@ fn bench_overhead(c: &mut Criterion) {
     group.bench_function("generate/metrics", |b| {
         b.iter(|| black_box(concurrent_updown_recorded(black_box(&tree), &metrics)))
     });
+    // The planner phase profiler: the full construction pipeline with a
+    // Profiler installed vs the same pipeline with the guards inert. The
+    // profiler is meant to stay always-on, so this pair carries its own
+    // <5% guard (`profile_guard_ok`).
+    let plan_pipeline = |g: &gossip_graph::Graph| {
+        let tree = min_depth_spanning_tree(g, ChildOrder::ById).unwrap();
+        let schedule = concurrent_updown_recorded(&tree, &NoopRecorder);
+        black_box(FlatSchedule::from_schedule(&schedule));
+    };
+    group.bench_function("plan/noop", |b| b.iter(|| plan_pipeline(&g)));
+    group.bench_function("plan/profiled", |b| {
+        b.iter(|| {
+            let profiler = Profiler::begin();
+            plan_pipeline(&g);
+            black_box(profiler.finish());
+        })
+    });
     group.finish();
 
     // Independent wall-clock timings for the JSON artifact (the criterion
@@ -184,6 +217,28 @@ fn bench_overhead(c: &mut Criterion) {
     let online_live_overhead_pct = 100.0 * (online_live - online_noop) / online_noop;
     let flight_overhead_pct = 100.0 * (online_flight - online_noop) / online_noop;
 
+    // The planner profiler pair for the artifact. Allocator counting is a
+    // process-global build decision (`--features prof-alloc`), so it
+    // cannot be toggled per configuration here: its cost is measured
+    // separately by comparing a prof-alloc build's artifact against a
+    // default build's, and reported unguarded as context via
+    // `alloc_counting_enabled`.
+    let plan_best = time_min_interleaved(
+        |config| match config {
+            0 => plan_pipeline(&g),
+            _ => {
+                let profiler = Profiler::begin();
+                plan_pipeline(&g);
+                black_box(profiler.finish());
+            }
+        },
+        2,
+        iters,
+    );
+    let (plan_noop, plan_profiled) = (plan_best[0], plan_best[1]);
+    let profile_overhead_pct = 100.0 * (plan_profiled - plan_noop) / plan_noop;
+    let alloc_counting = Profiler::begin().finish().alloc_tracking();
+
     let payload = obj(vec![
         ("experiment", Value::String("telemetry_overhead".into())),
         ("n", Value::from_u64(g.n() as u64)),
@@ -208,6 +263,13 @@ fn bench_overhead(c: &mut Criterion) {
             Value::from_f64(online_live_overhead_pct),
         ),
         ("flight_overhead_pct", Value::from_f64(flight_overhead_pct)),
+        ("plan_noop_ms", Value::from_f64(plan_noop * 1e3)),
+        ("plan_profiled_ms", Value::from_f64(plan_profiled * 1e3)),
+        (
+            "profile_overhead_pct",
+            Value::from_f64(profile_overhead_pct),
+        ),
+        ("alloc_counting_enabled", Value::Bool(alloc_counting)),
         ("guard_pct", Value::from_f64(5.0)),
         ("guard_ok", Value::Bool(overhead_pct < 5.0)),
         ("live_guard_ok", Value::Bool(live_overhead_pct < 5.0)),
@@ -216,13 +278,16 @@ fn bench_overhead(c: &mut Criterion) {
             "online_live_guard_ok",
             Value::Bool(online_live_overhead_pct < 5.0),
         ),
+        ("profile_guard_ok", Value::Bool(profile_overhead_pct < 5.0)),
     ]);
     if let Some(path) = write_bench_json("telemetry_overhead", &payload) {
         println!(
             "noop overhead: {overhead_pct:.2}%, live registry: {live_overhead_pct:.2}%, \
              online live: {online_live_overhead_pct:.2}%, \
-             online flight: {flight_overhead_pct:.2}% (guard < 5%; \
-             dense-capture context: {simulate_flight_overhead_pct:.2}%), wrote {path}"
+             online flight: {flight_overhead_pct:.2}%, \
+             plan profiler: {profile_overhead_pct:.2}% (guard < 5%; \
+             dense-capture context: {simulate_flight_overhead_pct:.2}%; \
+             alloc counting: {alloc_counting}), wrote {path}"
         );
     }
 }

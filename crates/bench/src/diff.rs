@@ -22,6 +22,18 @@
 //!   cancels; the factor-based tolerance still absorbs the residue while
 //!   catching a fast path that quietly stopped being fast.
 //!
+//! **PROF artifacts** (`kind: "profile"`, from `gossip profile --out` /
+//! `gossip plan --profile-out`) are accepted on either side: the phase
+//! tree is flattened into synthetic rows keyed by the phase path
+//! (`phase=plan/tree/bfs_sweep`), so per-phase `total_ms` / `self_ms`
+//! gate under the wall-clock regime and work counters under the
+//! deterministic threshold — the same thresholds as ordinary rows.
+//!
+//! A field present in only one of two matched rows is **never** a
+//! failure: it is reported as a skip note and excluded from comparison,
+//! so a baseline predating new columns (e.g. the per-phase `plan_*_ms`
+//! scaling fields) keeps gating the fields it does have.
+//!
 //! Both artifacts must pass [`gossip_telemetry::check_schema_version`].
 
 use gossip_telemetry::{check_schema_version, Value};
@@ -72,6 +84,10 @@ pub struct DiffReport {
     pub fields_compared: usize,
     /// Row keys present in only one artifact (compared with nothing).
     pub unmatched: Vec<String>,
+    /// Fields present in only one of two matched rows: warned about and
+    /// excluded from comparison (a baseline predating a new column must
+    /// not fail the gate).
+    pub skipped: Vec<String>,
 }
 
 impl DiffReport {
@@ -97,6 +113,9 @@ impl DiffReport {
         for k in &self.unmatched {
             out.push_str(&format!("note: row {k} present in only one artifact\n"));
         }
+        for s in &self.skipped {
+            out.push_str(&format!("warning: {s} — field skipped\n"));
+        }
         out.push_str(&format!(
             "{} row(s), {} field(s) compared: {}\n",
             self.rows_compared,
@@ -111,9 +130,12 @@ impl DiffReport {
     }
 }
 
-/// The identifying key of a row: `family/n=<n>` when present, else the
-/// row's position.
+/// The identifying key of a row: `phase=<path>` for flattened PROF rows,
+/// `family/n=<n>` when present, else the row's position.
 fn row_key(row: &Value, index: usize) -> String {
+    if let Some(p) = row.get("phase").and_then(Value::as_str) {
+        return format!("phase={p}");
+    }
     let family = row.get("family").and_then(Value::as_str);
     let n = row.get("n").and_then(Value::as_u64);
     match (family, n) {
@@ -136,7 +158,65 @@ fn is_speedup_field(name: &str) -> bool {
 
 /// Fields that are identity, not measurement: never compared.
 fn is_key_field(name: &str) -> bool {
-    matches!(name, "family" | "n" | "m" | "r" | "schema_version")
+    matches!(
+        name,
+        "family" | "n" | "m" | "r" | "schema_version" | "phase"
+    )
+}
+
+/// Whether an artifact is a PROF planner profile (`kind: "profile"`).
+fn is_profile(doc: &Value) -> bool {
+    doc.get("kind").and_then(Value::as_str) == Some("profile")
+}
+
+/// Flattens a PROF artifact into synthetic diff rows: a `(run)` row with
+/// the artifact's makespan / wall-clock scalars, then one row per phase
+/// path carrying `calls`, `total_ms`, `self_ms`, the phase's work
+/// counters, and (when recorded) `peak_bytes`. `attributed_pct` is
+/// deliberately left out: growth there is an improvement, which the
+/// deterministic regime would misread as a regression.
+fn profile_rows(doc: &Value) -> Vec<Value> {
+    fn walk(rows: &mut Vec<Value>, node: &Value, prefix: &str) {
+        let name = node.get("name").and_then(Value::as_str).unwrap_or("?");
+        let path = if prefix.is_empty() {
+            name.to_string()
+        } else {
+            format!("{prefix}/{name}")
+        };
+        let mut fields = vec![("phase".to_string(), Value::String(path.clone()))];
+        for k in ["calls", "total_ms", "self_ms"] {
+            if let Some(v) = node.get(k) {
+                fields.push((k.to_string(), v.clone()));
+            }
+        }
+        if let Some(counters) = node.get("counters").and_then(Value::as_object) {
+            for (k, v) in counters {
+                fields.push((k.clone(), v.clone()));
+            }
+        }
+        if let Some(p) = node.get("alloc").and_then(|a| a.get("peak_bytes")) {
+            fields.push(("peak_bytes".to_string(), p.clone()));
+        }
+        rows.push(Value::Object(fields));
+        if let Some(children) = node.get("children").and_then(Value::as_array) {
+            for c in children {
+                walk(rows, c, &path);
+            }
+        }
+    }
+    let mut run = vec![("phase".to_string(), Value::String("(run)".to_string()))];
+    for k in ["makespan", "plan_ms", "attributed_ms"] {
+        if let Some(v) = doc.get(k) {
+            run.push((k.to_string(), v.clone()));
+        }
+    }
+    let mut rows = vec![Value::Object(run)];
+    if let Some(phases) = doc.get("phases").and_then(Value::as_array) {
+        for p in phases {
+            walk(&mut rows, p, "");
+        }
+    }
+    rows
 }
 
 /// Compares two bench artifacts and reports regressions per [`DiffConfig`].
@@ -146,14 +226,24 @@ fn is_key_field(name: &str) -> bool {
 pub fn diff_bench(old: &Value, new: &Value, cfg: &DiffConfig) -> Result<DiffReport, String> {
     check_schema_version(old).map_err(|e| format!("old artifact: {e}"))?;
     check_schema_version(new).map_err(|e| format!("new artifact: {e}"))?;
-    let old_rows = old
-        .get("rows")
-        .and_then(Value::as_array)
-        .ok_or("old artifact has no \"rows\" array")?;
-    let new_rows = new
-        .get("rows")
-        .and_then(Value::as_array)
-        .ok_or("new artifact has no \"rows\" array")?;
+    let old_flat;
+    let old_rows = if is_profile(old) {
+        old_flat = profile_rows(old);
+        &old_flat
+    } else {
+        old.get("rows")
+            .and_then(Value::as_array)
+            .ok_or("old artifact has no \"rows\" array")?
+    };
+    let new_flat;
+    let new_rows = if is_profile(new) {
+        new_flat = profile_rows(new);
+        &new_flat
+    } else {
+        new.get("rows")
+            .and_then(Value::as_array)
+            .ok_or("new artifact has no \"rows\" array")?
+    };
 
     let mut report = DiffReport::default();
     let old_keyed: Vec<(String, &Value)> = old_rows
@@ -180,9 +270,13 @@ pub fn diff_bench(old: &Value, new: &Value, cfg: &DiffConfig) -> Result<DiffRepo
             if is_key_field(field) {
                 continue;
             }
-            let (Some(old_f), Some(new_f)) =
-                (old_val.as_f64(), new_row.get(field).and_then(Value::as_f64))
-            else {
+            let Some(old_f) = old_val.as_f64() else {
+                continue;
+            };
+            let Some(new_f) = new_row.get(field).and_then(Value::as_f64) else {
+                report
+                    .skipped
+                    .push(format!("{key}: {field} missing from new artifact"));
                 continue;
             };
             report.fields_compared += 1;
@@ -205,6 +299,21 @@ pub fn diff_bench(old: &Value, new: &Value, cfg: &DiffConfig) -> Result<DiffRepo
                     old: old_f,
                     new: new_f,
                 });
+            }
+        }
+        // Numeric fields only the new row has (a baseline predating the
+        // column): warn and skip rather than fail, so refreshed artifacts
+        // keep gating against old baselines.
+        if let Some(new_members) = new_row.as_object() {
+            for (field, new_val) in new_members {
+                if is_key_field(field) || new_val.as_f64().is_none() {
+                    continue;
+                }
+                if members.iter().all(|(f, _)| f != field) {
+                    report
+                        .skipped
+                        .push(format!("{key}: {field} absent from baseline"));
+                }
             }
         }
     }
@@ -351,5 +460,103 @@ mod tests {
         let no_rows = obj(vec![("schema_version", Value::from_u64(SCHEMA_VERSION))]);
         let good = artifact(vec![]);
         assert!(diff_bench(&no_rows, &good, &DiffConfig::default()).is_err());
+    }
+
+    /// A minimal PROF artifact: plan -> {tree, generate} with one counter.
+    fn prof(plan_ms: f64, tree_ms: f64, transmissions: u64) -> Value {
+        let tree = obj(vec![
+            ("name", Value::String("tree".into())),
+            ("calls", Value::from_u64(1)),
+            ("total_ms", Value::from_f64(tree_ms)),
+            ("self_ms", Value::from_f64(tree_ms)),
+        ]);
+        let generate = obj(vec![
+            ("name", Value::String("generate".into())),
+            ("calls", Value::from_u64(1)),
+            ("total_ms", Value::from_f64(plan_ms - tree_ms)),
+            ("self_ms", Value::from_f64(plan_ms - tree_ms)),
+            (
+                "counters",
+                obj(vec![("transmissions", Value::from_u64(transmissions))]),
+            ),
+        ]);
+        let plan = obj(vec![
+            ("name", Value::String("plan".into())),
+            ("calls", Value::from_u64(1)),
+            ("total_ms", Value::from_f64(plan_ms)),
+            ("self_ms", Value::from_f64(0.0)),
+            ("children", Value::Array(vec![tree, generate])),
+        ]);
+        obj(vec![
+            ("schema_version", Value::from_u64(SCHEMA_VERSION)),
+            ("kind", Value::String("profile".into())),
+            ("n", Value::from_u64(64)),
+            ("makespan", Value::from_u64(70)),
+            ("plan_ms", Value::from_f64(plan_ms)),
+            ("attributed_ms", Value::from_f64(plan_ms)),
+            ("attributed_pct", Value::from_f64(100.0)),
+            ("phases", Value::Array(vec![plan])),
+        ])
+    }
+
+    #[test]
+    fn identical_profiles_pass_and_flatten_to_phase_rows() {
+        let a = prof(10.0, 4.0, 124);
+        let rep = diff_bench(&a, &a, &DiffConfig::default()).unwrap();
+        assert!(rep.ok(), "{}", rep.render());
+        // (run) + plan + tree + generate.
+        assert_eq!(rep.rows_compared, 4);
+    }
+
+    #[test]
+    fn per_phase_slowdown_flags_with_phase_key() {
+        let old = prof(10.0, 4.0, 124);
+        let new = prof(40.0, 34.0, 124); // tree 4ms -> 34ms: > 2x + 1ms
+        let rep = diff_bench(&old, &new, &DiffConfig::default()).unwrap();
+        assert!(!rep.ok());
+        assert!(
+            rep.regressions
+                .iter()
+                .any(|r| r.key == "phase=plan/tree" && r.field == "total_ms"),
+            "{}",
+            rep.render()
+        );
+    }
+
+    #[test]
+    fn phase_counter_growth_flags_deterministically() {
+        let old = prof(10.0, 4.0, 100);
+        let new = prof(10.0, 4.0, 120); // +20% transmissions
+        let rep = diff_bench(&old, &new, &DiffConfig::default()).unwrap();
+        assert!(rep
+            .regressions
+            .iter()
+            .any(|r| r.key == "phase=plan/generate" && r.field == "transmissions"));
+    }
+
+    #[test]
+    fn baseline_missing_phase_fields_warns_and_skips() {
+        // A baseline predating the per-phase scaling columns: the new
+        // artifact's extra fields are noted, never failed on.
+        let old = artifact(vec![row("ring", 16, 24, 0.5)]);
+        let new = artifact(vec![obj(vec![
+            ("family", Value::String("ring".into())),
+            ("n", Value::from_u64(16)),
+            ("makespan", Value::from_u64(24)),
+            ("plan_ms", Value::from_f64(0.5)),
+            ("plan_tree_ms", Value::from_f64(0.2)),
+            ("plan_generate_ms", Value::from_f64(0.3)),
+        ])]);
+        let rep = diff_bench(&old, &new, &DiffConfig::default()).unwrap();
+        assert!(rep.ok(), "{}", rep.render());
+        assert_eq!(rep.skipped.len(), 2, "{:?}", rep.skipped);
+        assert!(rep.render().contains("plan_tree_ms absent from baseline"));
+        // The reverse direction — a field the baseline has but the new
+        // artifact dropped — also warns and skips.
+        let rep = diff_bench(&new, &old, &DiffConfig::default()).unwrap();
+        assert!(rep.ok(), "{}", rep.render());
+        assert!(rep
+            .render()
+            .contains("plan_tree_ms missing from new artifact"));
     }
 }

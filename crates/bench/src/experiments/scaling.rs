@@ -74,7 +74,9 @@ pub fn exp_scaling() -> String {
 }
 
 /// [`exp_scaling`] plus the machine-readable payload written to
-/// `BENCH_scaling.json`: per-size stage timings, explicit rows for any
+/// `BENCH_scaling.json`: per-size stage timings, per-phase profiler
+/// attribution (`plan_tree_ms` / `plan_label_ms` / `plan_generate_ms` /
+/// `plan_flatten_ms` / `plan_peak_bytes`), explicit rows for any
 /// budget-skipped sizes, and a full telemetry snapshot (BFS-sweep
 /// histograms, per-stage spans) from a recorded run.
 pub fn exp_scaling_full() -> (String, gossip_telemetry::Value) {
@@ -134,6 +136,12 @@ pub fn exp_scaling_full_with(sizes: &[SizeBudget]) -> (String, gossip_telemetry:
         // historical artifact rows.
         let p = (16.0 / n as f64).min(0.04);
         let g = random_connected(n, p, 77);
+        // The phase profiler runs across the whole size so the artifact
+        // rows carry per-phase attribution (tree / label / generate /
+        // flatten) next to the stopwatch timings; the sequential sweep is
+        // the recorded one ("tree"), the parallel sweep records under the
+        // distinct "tree_par" name, so no double counting.
+        let profiler = gossip_telemetry::profile::Profiler::begin();
         let t0 = Instant::now();
         let tree = gossip_graph::min_depth_spanning_tree_recorded(&g, ChildOrder::ById, &recorder)
             .unwrap();
@@ -160,6 +168,7 @@ pub fn exp_scaling_full_with(sizes: &[SizeBudget]) -> (String, gossip_telemetry:
         let mut kernel = SimKernel::with_origins(&g, CommModel::Multicast, &origins).unwrap();
         let ko = kernel.run_prevalidated(&flat).unwrap();
         let kernelt = t4.elapsed();
+        let profile = profiler.finish();
         assert!(ko.complete);
         assert_eq!(ko.completion_time, o.completion_time);
         let elapsed_ms = size_start.elapsed().as_secs_f64() * 1e3;
@@ -196,6 +205,27 @@ pub fn exp_scaling_full_with(sizes: &[SizeBudget]) -> (String, gossip_telemetry:
                 "deliveries",
                 Value::from_u64(schedule.stats().deliveries as u64),
             ),
+            // Profiler attribution of the same size: the planner phases
+            // (bench-diff gates these like any other wall field) plus the
+            // peak live bytes (0 unless the prof-alloc allocator is
+            // registered in the binary).
+            (
+                "plan_tree_ms",
+                Value::from_f64(profile.named_total_ms("tree")),
+            ),
+            (
+                "plan_label_ms",
+                Value::from_f64(profile.named_total_ms("label")),
+            ),
+            (
+                "plan_generate_ms",
+                Value::from_f64(profile.named_total_ms("generate")),
+            ),
+            (
+                "plan_flatten_ms",
+                Value::from_f64(profile.named_total_ms("flatten")),
+            ),
+            ("plan_peak_bytes", Value::from_u64(profile.peak_bytes())),
             ("budget_ms", Value::from_f64(budget_ms)),
             ("within_budget", Value::Bool(within_budget)),
         ]));
@@ -246,6 +276,26 @@ mod tests {
         let rows = payload.get("rows").and_then(|r| r.as_array()).unwrap();
         assert_eq!(rows.len(), 2);
         assert!(rows[1].get("kernel_sim_ms").is_some());
+        // The phase-attribution columns ride along and carry real time:
+        // the profiled "tree" phase is the sequential sweep measured by
+        // tree_seq_ms, so it can never exceed that stopwatch by much.
+        for row in rows {
+            let tree = row.get("plan_tree_ms").and_then(|v| v.as_f64()).unwrap();
+            let seq = row.get("tree_seq_ms").and_then(|v| v.as_f64()).unwrap();
+            assert!(
+                tree > 0.0 && tree <= seq * 1.5 + 1.0,
+                "tree {tree} vs {seq}"
+            );
+            assert!(
+                row.get("plan_generate_ms")
+                    .and_then(|v| v.as_f64())
+                    .unwrap()
+                    > 0.0
+            );
+            assert!(row.get("plan_label_ms").is_some());
+            assert!(row.get("plan_flatten_ms").is_some());
+            assert!(row.get("plan_peak_bytes").is_some());
+        }
     }
 
     #[test]

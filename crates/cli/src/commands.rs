@@ -34,7 +34,14 @@ commands:
             [--algorithm concurrent-updown|simple|updown|telephone]
             [--engine oracle|kernel|both]
             [--out FILE] [--trace-out FILE [--wall]]
+            [--profile-out PROF.json]
             [--flight-out FILE.gfr]                    build + verify a schedule
+  profile   (GRAPH | --family F --n N | --graph FILE|NAME)
+            [--algorithm A] [--out PROF.json]
+            [--flame FILE]                             plan under the phase profiler:
+                                                       per-phase time + work counters
+                                                       (and heap attribution with the
+                                                       prof-alloc build)
   trace     --family F --n N --vertex V                per-vertex table (paper style)
   bounds    --family F --n N                           lower bounds for a network
   exact     --family F --n N [--model telephone]       exact optimum (n <= 8)
@@ -56,9 +63,11 @@ commands:
   bench-diff OLD.json NEW.json
             [--threshold PCT] [--wall-factor F]        compare BENCH_* artifacts;
                                                        exit 1 on regression
-  stats     METRICS.json|RECOVERY.json|RUN.gfr|-       summarize a --metrics file, a
-                                                       recovery report, or a flight
-                                                       record (`-` = stdin)
+  stats     METRICS.json|RECOVERY.json|PROF.json|RUN.gfr|-
+                                                       summarize a --metrics file, a
+                                                       recovery report, a planner
+                                                       profile, or a flight record
+                                                       (`-` = stdin)
   serve     (--family F --n N | --graph FILE|NAME)
             [--listen ADDR] [--addr-file FILE]
             [--round-delay-ms MS] [--linger-ms MS]
@@ -75,9 +84,9 @@ commands:
                                                        deltas; exit 1 unless identical
   dash      ARTIFACT.json|DIR [MORE...]
             [--out report.html]                        aggregate metrics / BENCH_* /
-                                                       recovery / flight artifacts
-                                                       into one self-contained HTML
-                                                       dashboard
+                                                       recovery / profile / flight
+                                                       artifacts into one
+                                                       self-contained HTML dashboard
 
 options accepted by plan / analyze / pipeline / provenance:
   --metrics FILE    record span timings, counters, and per-round simulation
@@ -92,6 +101,16 @@ trace export (plan):
                     = 1 ms), tagged with the paper rule (U3/U4/D2/D3) that
                     produced it; add --wall to also run the threaded online
                     executor and append its wall-clock lanes
+
+profiling (profile / plan --profile-out):
+  the always-on phase profiler breaks schedule construction into a
+  self-time/total-time phase tree (BFS sweeps, tree build, labeling,
+  generation, CSR flattening, validation) with work counters. `gossip
+  profile --out PROF.json` writes a schema-versioned PROF artifact
+  (render with `gossip stats`, aggregate with `gossip dash`); --flame
+  FILE writes collapsed stacks for flamegraph.pl / speedscope. Binaries
+  built with `--features prof-alloc` additionally attribute allocation
+  count / bytes / peak live bytes to each phase
 
 live monitoring (serve):
   --listen ADDR        bind address (default 127.0.0.1:9464; port 0 picks a
@@ -244,21 +263,26 @@ fn named_instance(name: &str, args: &Args) -> Result<Option<Graph>, String> {
     })
 }
 
+/// Loads a graph from a `--graph`-style spec: a named paper instance
+/// (unless a file of that name exists) or a JSON / edge-list file.
+fn load_graph_spec(spec: &str, args: &Args) -> Result<Graph, String> {
+    if !std::path::Path::new(spec).exists() {
+        if let Some(g) = named_instance(spec, args)? {
+            return Ok(g);
+        }
+    }
+    let text = std::fs::read_to_string(spec).map_err(|e| format!("{spec}: {e}"))?;
+    // JSON first; fall back to the plain edge-list text format.
+    match serde_json::from_str(&text) {
+        Ok(g) => Ok(g),
+        Err(json_err) => gossip_graph::parse_edge_list(&text)
+            .map_err(|el_err| format!("{spec}: not JSON ({json_err}) nor edge list ({el_err})")),
+    }
+}
+
 fn load_graph(args: &Args) -> Result<Graph, String> {
     if let Some(path) = args.options.get("graph") {
-        if !std::path::Path::new(path).exists() {
-            if let Some(g) = named_instance(path, args)? {
-                return Ok(g);
-            }
-        }
-        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-        // JSON first; fall back to the plain edge-list text format.
-        match serde_json::from_str(&text) {
-            Ok(g) => Ok(g),
-            Err(json_err) => gossip_graph::parse_edge_list(&text).map_err(|el_err| {
-                format!("{path}: not JSON ({json_err}) nor edge list ({el_err})")
-            }),
-        }
+        load_graph_spec(path, args)
     } else {
         let family = family_by_name(args.get_or("family", "ring"))?;
         let n = args.get_usize("n", 16)?;
@@ -384,6 +408,15 @@ fn flight_out_path(args: &Args) -> Result<Option<String>, String> {
     }
 }
 
+/// Parses a path-valued option, rejecting the parser's value-less
+/// `"true"` sentinel (same treatment as `--metrics` / `--flight-out`).
+fn path_option(args: &Args, key: &str) -> Result<Option<String>, String> {
+    match args.options.get(key) {
+        Some(p) if p == "true" => Err(format!("--{key} requires a file path")),
+        other => Ok(other.cloned()),
+    }
+}
+
 /// Builds the `.gfr` run fingerprint shared by every recording command.
 fn flight_header(
     engine: &str,
@@ -477,6 +510,14 @@ pub fn plan(args: &Args) -> Result<(), String> {
     if let Some(m) = &metrics {
         planner = planner.recorder(&m.recorder);
     }
+    // --profile-out: install the phase profiler across construction and
+    // engine verification, so the artifact also captures the kernel
+    // path's flatten / validate phases.
+    let profile_out = path_option(args, "profile-out")?;
+    let profiler = profile_out
+        .as_ref()
+        .map(|_| gossip_telemetry::profile::Profiler::begin());
+    let t_profile = std::time::Instant::now();
     let plan = planner.plan().map_err(|e| e.to_string())?;
     let model = if alg == Algorithm::Telephone {
         CommModel::Telephone
@@ -531,6 +572,17 @@ pub fn plan(args: &Args) -> Result<(), String> {
         .expect("at least one engine always runs");
     if !outcome.complete {
         return Err("schedule did not complete gossip (bug)".into());
+    }
+    if let (Some(profiler), Some(path)) = (profiler, &profile_out) {
+        let profiled_ms = t_profile.elapsed().as_secs_f64() * 1e3;
+        let profile = profiler.finish();
+        let doc = profile_artifact(&g, alg, plan.radius, plan.makespan(), profiled_ms, &profile);
+        let json = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+        out!(
+            out,
+            "wrote profile to {path} — render with `gossip stats {path}`"
+        );
     }
     out!(
         out,
@@ -701,6 +753,211 @@ pub fn plan(args: &Args) -> Result<(), String> {
     }
     if let Some(m) = &metrics {
         write_metrics(m)?;
+    }
+    Ok(())
+}
+
+/// Builds the schema-versioned PROF artifact (`kind: "profile"`) shared
+/// by `gossip profile` and `gossip plan --profile-out`.
+fn profile_artifact(
+    g: &Graph,
+    alg: Algorithm,
+    radius: u32,
+    makespan: usize,
+    plan_ms: f64,
+    profile: &gossip_telemetry::profile::Profile,
+) -> Value {
+    let attributed = profile.attributed_ms().min(plan_ms);
+    let pct = if plan_ms > 0.0 {
+        100.0 * attributed / plan_ms
+    } else {
+        100.0
+    };
+    Value::Object(vec![
+        (
+            "schema_version".to_string(),
+            Value::from_u64(SCHEMA_VERSION),
+        ),
+        ("kind".to_string(), Value::String("profile".to_string())),
+        (
+            "algorithm".to_string(),
+            Value::String(alg.name().to_string()),
+        ),
+        ("n".to_string(), Value::from_u64(g.n() as u64)),
+        ("m".to_string(), Value::from_u64(g.m() as u64)),
+        ("radius".to_string(), Value::from_u64(radius as u64)),
+        ("makespan".to_string(), Value::from_u64(makespan as u64)),
+        ("plan_ms".to_string(), Value::from_f64(plan_ms)),
+        ("attributed_ms".to_string(), Value::from_f64(attributed)),
+        (
+            "unattributed_ms".to_string(),
+            Value::from_f64((plan_ms - attributed).max(0.0)),
+        ),
+        ("attributed_pct".to_string(), Value::from_f64(pct)),
+        (
+            "alloc_tracking".to_string(),
+            Value::Bool(profile.alloc_tracking()),
+        ),
+        ("phases".to_string(), profile.to_value()),
+    ])
+}
+
+/// Renders a PROF phase forest as an indented table: one row per phase
+/// with call count, total and self time, plus work counters and (when
+/// recorded) allocation stats. Shared by `gossip profile` and `gossip
+/// stats`.
+fn render_profile_phases(phases: &Value) -> String {
+    fn walk(out: &mut String, node: &Value, depth: usize) {
+        let name = node.get("name").and_then(Value::as_str).unwrap_or("?");
+        let calls = node.get("calls").and_then(Value::as_u64).unwrap_or(0);
+        let total = node.get("total_ms").and_then(Value::as_f64).unwrap_or(0.0);
+        let selfms = node.get("self_ms").and_then(Value::as_f64).unwrap_or(0.0);
+        let label = format!("{}{name}", "  ".repeat(depth));
+        let mut extras = Vec::new();
+        if let Some(counters) = node.get("counters").and_then(Value::as_object) {
+            for (k, v) in counters {
+                extras.push(format!("{k}={}", v.as_u64().unwrap_or(0)));
+            }
+        }
+        if let Some(alloc) = node.get("alloc") {
+            if let (Some(a), Some(b), Some(p)) = (
+                alloc.get("allocs").and_then(Value::as_u64),
+                alloc.get("bytes").and_then(Value::as_u64),
+                alloc.get("peak_bytes").and_then(Value::as_u64),
+            ) {
+                extras.push(format!("allocs={a} bytes={b} peak={p}"));
+            }
+        }
+        let extras = if extras.is_empty() {
+            String::new()
+        } else {
+            format!("  [{}]", extras.join(", "))
+        };
+        out.push_str(&format!(
+            "{label:<34} {calls:>7} {total:>11.3} {selfms:>11.3}{extras}\n"
+        ));
+        if let Some(children) = node.get("children").and_then(Value::as_array) {
+            for c in children {
+                walk(out, c, depth + 1);
+            }
+        }
+    }
+    let mut out = format!(
+        "{:<34} {:>7} {:>11} {:>11}\n",
+        "phase", "calls", "total ms", "self ms"
+    );
+    if let Some(roots) = phases.as_array() {
+        for r in roots {
+            walk(&mut out, r, 0);
+        }
+    }
+    out
+}
+
+/// `gossip profile`: build a schedule with the phase profiler installed
+/// and report where the construction time went. The profiled window
+/// covers the whole construction pipeline — spanning tree sweeps,
+/// labeling, schedule generation, CSR flattening, structural validation —
+/// and the report states how much of the wall time landed in named phases
+/// (the unattributed remainder is printed explicitly). The kernel replay
+/// that verifies gossip completion runs *outside* the window: it is
+/// run-side simulation, not schedule construction. `--out FILE` writes
+/// the PROF artifact (render later with `gossip stats`, aggregate with
+/// `gossip dash`); `--flame FILE` writes collapsed stacks for flamegraph
+/// tooling.
+pub fn profile(args: &Args) -> Result<(), String> {
+    // The graph can come positionally (`gossip profile fig4`) or via the
+    // usual --graph / --family flags.
+    let g = match args.positional.first() {
+        Some(spec) => {
+            if args.options.contains_key("graph") {
+                return Err("give the graph positionally or via --graph, not both".into());
+            }
+            load_graph_spec(spec, args)?
+        }
+        None => load_graph(args)?,
+    };
+    let alg = parse_algorithm(args)?;
+    let out_path = path_option(args, "out")?;
+    let flame_path = path_option(args, "flame")?;
+    let model = if alg == Algorithm::Telephone {
+        CommModel::Telephone
+    } else {
+        CommModel::Multicast
+    };
+
+    let profiler = gossip_telemetry::profile::Profiler::begin();
+    let t0 = std::time::Instant::now();
+    let plan = GossipPlanner::new(&g)
+        .map_err(|e| e.to_string())?
+        .algorithm(alg)
+        .plan()
+        .map_err(|e| e.to_string())?;
+    let flat = gossip_model::FlatSchedule::from_schedule(&plan.schedule);
+    flat.validate(&g, model, plan.origin_of_message.len())
+        .map_err(|e| e.to_string())?;
+    let plan_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let profile = profiler.finish();
+
+    let mut kernel = gossip_model::SimKernel::with_origins(&g, model, &plan.origin_of_message)
+        .map_err(|e| e.to_string())?;
+    let outcome = kernel.run_prevalidated(&flat).map_err(|e| e.to_string())?;
+    if !outcome.complete {
+        return Err("schedule did not complete gossip (bug)".into());
+    }
+
+    let doc = profile_artifact(&g, alg, plan.radius, plan.makespan(), plan_ms, &profile);
+    println!(
+        "network: n = {}, m = {}, radius r = {}",
+        g.n(),
+        g.m(),
+        plan.radius
+    );
+    println!(
+        "algorithm: {} — makespan {} rounds (n + r = {})",
+        alg.name(),
+        plan.makespan(),
+        plan.guarantee()
+    );
+    println!("construction: {plan_ms:.3} ms wall (tree + generate + flatten + validate)");
+    print!("{}", render_profile_phases(&doc["phases"]));
+    let attributed = doc
+        .get("attributed_ms")
+        .and_then(Value::as_f64)
+        .unwrap_or(0.0);
+    let pct = doc
+        .get("attributed_pct")
+        .and_then(Value::as_f64)
+        .unwrap_or(0.0);
+    let unattributed = doc
+        .get("unattributed_ms")
+        .and_then(Value::as_f64)
+        .unwrap_or(0.0);
+    println!(
+        "attribution: {attributed:.3} ms of {plan_ms:.3} ms in named phases ({pct:.1}%); {unattributed:.3} ms unattributed"
+    );
+    if profile.alloc_tracking() {
+        println!(
+            "allocation tracking: on — peak live {} bytes in the hottest phase",
+            profile.peak_bytes()
+        );
+    } else {
+        println!(
+            "allocation tracking: off — build with `--features prof-alloc` to attribute heap traffic"
+        );
+    }
+    if let Some(path) = &out_path {
+        let json = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote profile to {path} — render with `gossip stats {path}`");
+    }
+    if let Some(path) = &flame_path {
+        let flame = profile.collapsed_stacks();
+        std::fs::write(path, &flame).map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "wrote {} collapsed stack line(s) to {path} — feed to flamegraph.pl or speedscope",
+            flame.lines().count()
+        );
     }
     Ok(())
 }
@@ -1131,6 +1388,11 @@ pub fn stats(args: &Args) -> Result<(), String> {
     if doc.get("kind").and_then(Value::as_str) == Some("recovery") {
         return stats_recovery(&doc);
     }
+    // PROF artifacts (`gossip profile --out`, `gossip plan --profile-out`)
+    // render as an indented phase table.
+    if doc.get("kind").and_then(Value::as_str) == Some("profile") {
+        return stats_profile(&doc);
+    }
     let snapshot = &doc["snapshot"];
 
     let section = |title: &str, key: &str, fmt: &dyn Fn(&Value) -> String| {
@@ -1190,6 +1452,38 @@ pub fn stats(args: &Args) -> Result<(), String> {
             scalar(&last["coverage"]),
             scalar(&last["idle_receivers"])
         );
+    }
+    Ok(())
+}
+
+/// Renders a PROF artifact (`kind: "profile"`) for `gossip stats`: the
+/// header scalars plus the indented phase table `gossip profile` prints.
+fn stats_profile(doc: &Value) -> Result<(), String> {
+    let int = |k: &str| {
+        doc.get(k)
+            .and_then(Value::as_u64)
+            .map(|u| u.to_string())
+            .unwrap_or_else(|| "?".into())
+    };
+    let ms = |k: &str| doc.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+    println!(
+        "planner profile: {} on n = {}, m = {}, radius {} (makespan {})",
+        doc.get("algorithm").and_then(Value::as_str).unwrap_or("?"),
+        int("n"),
+        int("m"),
+        int("radius"),
+        int("makespan")
+    );
+    println!(
+        "construction {:.3} ms — attributed {:.3} ms ({:.1}%), unattributed {:.3} ms",
+        ms("plan_ms"),
+        ms("attributed_ms"),
+        ms("attributed_pct"),
+        ms("unattributed_ms")
+    );
+    print!("{}", render_profile_phases(&doc["phases"]));
+    if doc.get("alloc_tracking").and_then(Value::as_bool) == Some(true) {
+        println!("allocation stats recorded by the prof-alloc counting allocator (process-global attribution)");
     }
     Ok(())
 }

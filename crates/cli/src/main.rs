@@ -4,6 +4,7 @@
 //! gossip generate --family ring --n 12 --out ring.json
 //! gossip plan     --family torus --n 64 [--algorithm simple] [--out plan.json]
 //! gossip plan     --graph ring.json
+//! gossip profile  fig4 --out PROF_fig4.json --flame fig4.flame
 //! gossip trace    --family path --n 9 --vertex 4
 //! gossip bounds   --family path --n 9
 //! gossip exact    --family star --n 5 [--model telephone]
@@ -23,6 +24,13 @@ mod commands;
 
 use args::Args;
 
+// With `--features prof-alloc` the counting allocator is registered so
+// `gossip profile` attributes allocation count / bytes / peak live bytes
+// to planner phases. Off by default: the system allocator stays untouched.
+#[cfg(feature = "prof-alloc")]
+#[global_allocator]
+static ALLOC: gossip_telemetry::profile::ProfAlloc = gossip_telemetry::profile::ProfAlloc;
+
 fn main() {
     let args = match Args::parse(std::env::args()) {
         Ok(a) => a,
@@ -34,6 +42,7 @@ fn main() {
     let result = match args.command.as_str() {
         "generate" => commands::generate(&args),
         "plan" => commands::plan(&args),
+        "profile" => commands::profile(&args),
         "trace" => commands::trace(&args),
         "bounds" => commands::bounds(&args),
         "exact" => commands::exact(&args),

@@ -744,6 +744,122 @@ fn stats_classifies_flight_artifacts() {
 }
 
 #[test]
+fn profile_reports_phase_table_and_attribution() {
+    let (ok, stdout, stderr) = gossip(&["profile", "petersen"]);
+    assert!(ok, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("network: n = 10"), "{stdout}");
+    for phase in [
+        "plan",
+        "tree",
+        "bfs_sweep",
+        "generate",
+        "flatten",
+        "validate",
+    ] {
+        assert!(stdout.contains(phase), "missing phase {phase}: {stdout}");
+    }
+    assert!(stdout.contains("attribution:"), "{stdout}");
+    assert!(stdout.contains("ms in named phases"), "{stdout}");
+    assert!(stdout.contains("allocation tracking:"), "{stdout}");
+}
+
+#[test]
+fn profile_writes_artifact_and_collapsed_stacks() {
+    let dir = temp_dir("profile");
+    let prof = dir.join("PROF.json");
+    let flame = dir.join("prof.flame");
+    let (ok, stdout, stderr) = gossip(&[
+        "profile",
+        "fig4",
+        "--out",
+        prof.to_str().unwrap(),
+        "--flame",
+        flame.to_str().unwrap(),
+    ]);
+    assert!(ok, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("wrote profile to"), "{stdout}");
+    assert!(stdout.contains("collapsed stack line"), "{stdout}");
+
+    let text = std::fs::read_to_string(&prof).unwrap();
+    assert!(text.contains("\"schema_version\": 1"), "{text}");
+    assert!(text.contains("\"kind\": \"profile\""), "{text}");
+    assert!(text.contains("\"phases\""), "{text}");
+
+    // Every flame line is `path;with;semicolons <integer>` — the collapsed
+    // stack format flamegraph.pl and speedscope consume.
+    let flame_text = std::fs::read_to_string(&flame).unwrap();
+    assert!(!flame_text.trim().is_empty(), "flame file is empty");
+    for line in flame_text.lines() {
+        let (path, count) = line.rsplit_once(' ').expect("`path count` shape");
+        assert!(!path.is_empty(), "empty path in {line:?}");
+        assert!(count.parse::<u64>().is_ok(), "bad count in {line:?}");
+    }
+    assert!(
+        flame_text.lines().any(|l| l.starts_with("plan;tree")),
+        "{flame_text}"
+    );
+
+    // The PROF artifact renders through stats and ingests into dash.
+    let (ok, stdout, stderr) = gossip(&["stats", prof.to_str().unwrap()]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("planner profile:"), "{stdout}");
+    assert!(stdout.contains("attributed"), "{stdout}");
+
+    let report = dir.join("report.html");
+    let (ok, stdout, _) = gossip(&[
+        "dash",
+        prof.to_str().unwrap(),
+        "--out",
+        report.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("(profile)"), "{stdout}");
+    let html = std::fs::read_to_string(&report).unwrap();
+    assert!(html.contains("construction time by phase"), "{html}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn plan_profile_out_coexists_with_flight_out() {
+    let dir = temp_dir("plan-profile");
+    let prof = dir.join("PROF.json");
+    let flight = dir.join("run.gfr");
+    let (ok, stdout, stderr) = gossip(&[
+        "plan",
+        "--graph",
+        "fig4",
+        "--profile-out",
+        prof.to_str().unwrap(),
+        "--flight-out",
+        flight.to_str().unwrap(),
+    ]);
+    assert!(ok, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("wrote profile to"), "{stdout}");
+    assert!(stdout.contains("wrote flight record"), "{stdout}");
+    let text = std::fs::read_to_string(&prof).unwrap();
+    assert!(text.contains("\"kind\": \"profile\""), "{text}");
+    assert!(std::fs::metadata(&flight).unwrap().len() > 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn profile_requires_path_arguments_for_out_flags() {
+    let (ok, _, stderr) = gossip(&["profile", "petersen", "--out"]);
+    assert!(!ok);
+    assert!(stderr.contains("--out requires a file path"), "{stderr}");
+}
+
+#[test]
+fn stats_rejects_unknown_profile_schema_version() {
+    let (ok, _, stderr) = gossip_stdin(
+        &["stats", "-"],
+        r#"{"schema_version": 99, "kind": "profile", "phases": []}"#,
+    );
+    assert!(!ok);
+    assert!(stderr.contains("schema_version"), "{stderr}");
+}
+
+#[test]
 fn inspect_rejects_non_flight_files() {
     let dir = temp_dir("flight-junk");
     let junk = dir.join("junk.gfr");

@@ -78,6 +78,7 @@ pub fn concurrent_updown(tree: &RootedTree) -> Schedule {
 /// transmissions, deliveries, and merged U4+D3 multicasts scheduled.
 pub fn concurrent_updown_recorded(tree: &RootedTree, recorder: &dyn Recorder) -> Schedule {
     let _span = recorder.span("concurrent_updown");
+    let _phase = gossip_telemetry::profile::phase("generate");
     let lv = {
         let _s = recorder.span("labeling");
         LabelView::new(tree)
@@ -88,6 +89,7 @@ pub fn concurrent_updown_recorded(tree: &RootedTree, recorder: &dyn Recorder) ->
         return schedule;
     }
     let _overlay = recorder.span("overlay");
+    let _overlay_phase = gossip_telemetry::profile::phase("overlay");
     let mut merged_multicasts = 0u64;
 
     // recv_from_parent[label] = (arrival time, message) pairs, filled while
@@ -186,12 +188,15 @@ pub fn concurrent_updown_recorded(tree: &RootedTree, recorder: &dyn Recorder) ->
     }
 
     schedule.trim();
-    if recorder.enabled() {
+    if recorder.enabled() || gossip_telemetry::profile::active() {
         let stats = schedule.stats();
-        recorder.counter("generate/transmissions", stats.transmissions as u64);
-        recorder.counter("generate/deliveries", stats.deliveries as u64);
-        recorder.counter("generate/merged_multicasts", merged_multicasts);
-        recorder.gauge("generate/makespan", schedule.makespan() as f64);
+        gossip_telemetry::profile::count("transmissions", stats.transmissions as u64);
+        if recorder.enabled() {
+            recorder.counter("generate/transmissions", stats.transmissions as u64);
+            recorder.counter("generate/deliveries", stats.deliveries as u64);
+            recorder.counter("generate/merged_multicasts", merged_multicasts);
+            recorder.gauge("generate/makespan", schedule.makespan() as f64);
+        }
     }
     schedule
 }

@@ -77,6 +77,7 @@ pub struct LabelView {
 impl LabelView {
     /// Builds the label-space view of `tree`.
     pub fn new(tree: &RootedTree) -> Self {
+        let _phase = gossip_telemetry::profile::phase("label");
         let n = tree.n();
         let mut params = Vec::with_capacity(n);
         let mut children = vec![Vec::new(); n];

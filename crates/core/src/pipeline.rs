@@ -52,12 +52,16 @@ impl Algorithm {
             Algorithm::UpDown => updown_gossip_recorded(tree, recorder),
             Algorithm::Telephone => {
                 let _span = recorder.span("telephone");
+                let _phase = gossip_telemetry::profile::phase("generate");
                 let schedule = telephone_tree_gossip(tree);
-                if recorder.enabled() {
+                if recorder.enabled() || gossip_telemetry::profile::active() {
                     let stats = schedule.stats();
-                    recorder.counter("generate/transmissions", stats.transmissions as u64);
-                    recorder.counter("generate/deliveries", stats.deliveries as u64);
-                    recorder.gauge("generate/makespan", schedule.makespan() as f64);
+                    gossip_telemetry::profile::count("transmissions", stats.transmissions as u64);
+                    if recorder.enabled() {
+                        recorder.counter("generate/transmissions", stats.transmissions as u64);
+                        recorder.counter("generate/deliveries", stats.deliveries as u64);
+                        recorder.gauge("generate/makespan", schedule.makespan() as f64);
+                    }
                 }
                 schedule
             }
@@ -180,6 +184,7 @@ impl<'g> GossipPlanner<'g> {
     /// Builds the minimum-depth spanning tree and the schedule.
     pub fn plan(&self) -> Result<GossipPlan, GraphError> {
         let _span = self.recorder.span("plan");
+        let _phase = gossip_telemetry::profile::phase("plan");
         let tree = if self.parallel_tree {
             min_depth_spanning_tree_parallel_recorded(self.g, self.child_order, self.recorder)?
         } else {

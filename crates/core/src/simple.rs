@@ -44,6 +44,7 @@ pub fn simple_gossip(tree: &RootedTree) -> Schedule {
 /// and deliveries scheduled.
 pub fn simple_gossip_recorded(tree: &RootedTree, recorder: &dyn Recorder) -> Schedule {
     let _span = recorder.span("simple");
+    let _phase = gossip_telemetry::profile::phase("generate");
     let lv = LabelView::new(tree);
     let n = lv.n();
     let mut schedule = Schedule::new(n);
@@ -56,6 +57,7 @@ pub fn simple_gossip_recorded(tree: &RootedTree, recorder: &dyn Recorder) -> Sch
     // (for m in [i, j], m >= 1) to its parent at time m - k.
     {
         let _up = recorder.span("phase_up");
+        let _p = gossip_telemetry::profile::phase("phase_up");
         for label in lv.labels() {
             let p = lv.params(label);
             if p.is_root() {
@@ -75,6 +77,7 @@ pub fn simple_gossip_recorded(tree: &RootedTree, recorder: &dyn Recorder) -> Sch
     // forward on arrival).
     {
         let _down = recorder.span("phase_down");
+        let _p = gossip_telemetry::profile::phase("phase_down");
         for label in lv.labels() {
             let p = lv.params(label);
             if p.is_leaf() {
@@ -90,11 +93,14 @@ pub fn simple_gossip_recorded(tree: &RootedTree, recorder: &dyn Recorder) -> Sch
     }
 
     schedule.trim();
-    if recorder.enabled() {
+    if recorder.enabled() || gossip_telemetry::profile::active() {
         let stats = schedule.stats();
-        recorder.counter("generate/transmissions", stats.transmissions as u64);
-        recorder.counter("generate/deliveries", stats.deliveries as u64);
-        recorder.gauge("generate/makespan", schedule.makespan() as f64);
+        gossip_telemetry::profile::count("transmissions", stats.transmissions as u64);
+        if recorder.enabled() {
+            recorder.counter("generate/transmissions", stats.transmissions as u64);
+            recorder.counter("generate/deliveries", stats.deliveries as u64);
+            recorder.gauge("generate/makespan", schedule.makespan() as f64);
+        }
     }
     schedule
 }

@@ -131,6 +131,9 @@ pub fn bfs_into(g: &Graph, source: usize, out: &mut BfsResult) {
             }
         }
     }
+    // One counter update per sweep (not per vertex): attributes the whole
+    // frontier to whatever profiler phase is active, a no-op otherwise.
+    gossip_telemetry::profile::count("frontier_popped", out.order.len() as u64);
 }
 
 /// Hop distance between two vertices, or `None` if disconnected.

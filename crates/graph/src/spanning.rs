@@ -71,13 +71,20 @@ pub fn min_depth_spanning_tree_recorded(
         return Err(GraphError::EmptyGraph);
     }
     let _span = recorder.span("spanning_tree");
-    let radius_floor = lower_radius_bound(g);
+    let _phase = gossip_telemetry::profile::phase("tree");
+    let radius_floor = {
+        let _p = gossip_telemetry::profile::phase("radius_bound");
+        lower_radius_bound(g)
+    };
     let mut scratch = bfs(g, 0);
     let mut best: Option<(u32, usize, Vec<u32>)> = None;
     let mut sweeps = 0u64;
     for v in 0..g.n() {
         let t0 = recorder.enabled().then(Instant::now);
-        bfs_into(g, v, &mut scratch);
+        {
+            let _sweep = gossip_telemetry::profile::phase("bfs_sweep");
+            bfs_into(g, v, &mut scratch);
+        }
         if let Some(t0) = t0 {
             recorder.observe("spanning/bfs_sweep_ns", t0.elapsed().as_nanos() as f64);
         }
@@ -97,6 +104,7 @@ pub fn min_depth_spanning_tree_recorded(
         }
     }
     let (radius, root, parent) = best.expect("n > 0");
+    gossip_telemetry::profile::count("bfs_sweeps", sweeps);
     if recorder.enabled() {
         recorder.counter("spanning/sweeps", sweeps);
         recorder.gauge("spanning/radius", f64::from(radius));
@@ -142,6 +150,10 @@ pub fn min_depth_spanning_tree_parallel_recorded(
         return Err(GraphError::EmptyGraph);
     }
     let _span = recorder.span("spanning_tree_parallel");
+    // Distinct phase name from the sequential sweep: the per-sweep work
+    // happens on rayon workers, which the thread-local profiler cannot
+    // see, so only the calling thread's wall-clock wait is attributed.
+    let _phase = gossip_telemetry::profile::phase("tree_par");
     let best = (0..g.n())
         .into_par_iter()
         .map(|v| {
@@ -198,6 +210,8 @@ fn parents_to_tree(
     parent: &[u32],
     order: ChildOrder,
 ) -> Result<RootedTree, GraphError> {
+    let _phase = gossip_telemetry::profile::phase("build_tree");
+    gossip_telemetry::profile::count("tree_edges", parent.len().saturating_sub(1) as u64);
     let mut parent = parent.to_vec();
     parent[root] = NO_PARENT;
     match order {

@@ -186,6 +186,11 @@ impl<'g> ScheduleBuilder<'g> {
 
     /// Finalizes the schedule (trailing empty rounds trimmed).
     pub fn finish(mut self) -> Schedule {
+        let _phase = gossip_telemetry::profile::phase("builder_finish");
+        gossip_telemetry::profile::count(
+            "transmissions",
+            self.schedule.stats().transmissions as u64,
+        );
         self.schedule.trim();
         self.schedule
     }

@@ -60,6 +60,7 @@ impl FlatSchedule {
     /// deliveries — beyond any schedule this workspace can build (gossip on
     /// n = 8192 is ~67M tuples) but a hard cap of the `u32` CSR offsets.
     pub fn from_schedule(schedule: &Schedule) -> FlatSchedule {
+        let _phase = gossip_telemetry::profile::phase("flatten");
         let makespan = schedule.makespan();
         let mut tx_count = 0usize;
         let mut deliveries = 0usize;
@@ -96,6 +97,13 @@ impl FlatSchedule {
             }
             out.round_offsets.push(out.tx_msg.len() as u32);
         }
+        // Every element of the five CSR arrays is a u32 write.
+        let csr_words = out.round_offsets.len()
+            + out.tx_msg.len()
+            + out.tx_from.len()
+            + out.dest_offsets.len()
+            + out.dests.len();
+        gossip_telemetry::profile::count("csr_bytes", 4 * csr_words as u64);
         out
     }
 
@@ -198,6 +206,10 @@ impl FlatSchedule {
     /// error surfaces — use [`crate::SimKernel::run`] when byte-identical
     /// oracle errors matter.
     pub fn validate(&self, g: &Graph, model: CommModel, n_msgs: usize) -> Result<(), ModelError> {
+        // Round checks run on rayon workers, so only the calling thread's
+        // wall-clock wait is attributed (see the profiler's threading
+        // caveat).
+        let _phase = gossip_telemetry::profile::phase("validate");
         if self.n != g.n() {
             return Err(ModelError::SizeMismatch {
                 graph_n: g.n(),

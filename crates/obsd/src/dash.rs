@@ -6,9 +6,11 @@
 //! Layout: an overview table of every ingested run, then one section per
 //! run with its headline scalars and a sparkline per extracted series
 //! (knowledge curves for metrics runs, sweep columns for bench artifacts,
-//! per-epoch residual/loss trajectories for recovery reports).
+//! per-epoch residual/loss trajectories for recovery reports). Planner
+//! profiles get a per-phase stacked bar partitioning construction time by
+//! phase self time.
 
-use crate::history::{History, RunRecord, Series};
+use crate::history::{History, RunKind, RunRecord, Series};
 use std::fmt::Write as _;
 
 const WIDTH: f64 = 260.0;
@@ -86,6 +88,73 @@ pub fn sparkline(series: &Series) -> String {
     )
 }
 
+/// Segment colors for stacked bars, cycled when a profile has more
+/// phases than the palette.
+const PALETTE: [&str; 8] = [
+    "#2a6fb0", "#d2542c", "#3f9c5a", "#8958b3", "#c9a227", "#16808a", "#b0486e", "#6b7b8c",
+];
+
+/// An inline SVG horizontal stacked bar: each segment's width is its
+/// share of the total, with a color-swatch legend listing every segment
+/// (including those too small to see). Zero/negative segments are kept
+/// in the legend but get no rect.
+pub fn stacked_bar(title: &str, segments: &[(String, f64)]) -> String {
+    let total: f64 = segments.iter().map(|(_, v)| v.max(0.0)).sum();
+    if total <= 0.0 {
+        return String::new();
+    }
+    let bar_w = 520.0;
+    let bar_h = 20.0;
+    let mut rects = String::new();
+    let mut x = 0.0;
+    for (i, (name, v)) in segments.iter().enumerate() {
+        let w = v.max(0.0) / total * bar_w;
+        if w > 0.0 {
+            let _ = write!(
+                rects,
+                concat!(
+                    "<rect x=\"{x:.1}\" y=\"0\" width=\"{w:.1}\" height=\"{h}\" ",
+                    "fill=\"{fill}\"><title>{name}: {v} ms</title></rect>"
+                ),
+                x = x,
+                w = w,
+                h = bar_h,
+                fill = PALETTE[i % PALETTE.len()],
+                name = escape_html(name),
+                v = fmt_num(*v),
+            );
+            x += w;
+        }
+    }
+    let mut legend = String::new();
+    for (i, (name, v)) in segments.iter().enumerate() {
+        let _ = write!(
+            legend,
+            concat!(
+                "<span class=\"seg\"><span class=\"sw\" ",
+                "style=\"background:{fill}\"></span>{name} {v}</span>"
+            ),
+            fill = PALETTE[i % PALETTE.len()],
+            name = escape_html(name),
+            v = fmt_num(*v),
+        );
+    }
+    format!(
+        concat!(
+            "<figure class=\"stack\"><figcaption>{title} ",
+            "<span class=\"range\">[total {total}]</span></figcaption>",
+            "<svg viewBox=\"0 0 {w} {h}\" width=\"{w}\" height=\"{h}\" role=\"img\">",
+            "{rects}</svg><div class=\"legend\">{legend}</div></figure>"
+        ),
+        title = escape_html(title),
+        total = fmt_num(total),
+        w = bar_w,
+        h = bar_h,
+        rects = rects,
+        legend = legend,
+    )
+}
+
 fn run_section(out: &mut String, run: &RunRecord) {
     let _ = write!(
         out,
@@ -93,16 +162,32 @@ fn run_section(out: &mut String, run: &RunRecord) {
         escape_html(&run.name),
         run.kind.label()
     );
-    if !run.scalars.is_empty() {
+    // Profile runs carry one `phase/<path>` scalar per phase-tree node;
+    // those feed the stacked bar instead of the headline table.
+    let (phases, headline): (Vec<_>, Vec<_>) = run
+        .scalars
+        .iter()
+        .partition(|(k, _)| run.kind == RunKind::Profile && k.starts_with("phase/"));
+    if !headline.is_empty() {
         out.push_str("<table class=\"scalars\"><tr>");
-        for (k, _) in &run.scalars {
+        for (k, _) in &headline {
             let _ = write!(out, "<th>{}</th>", escape_html(k));
         }
         out.push_str("</tr><tr>");
-        for (_, v) in &run.scalars {
+        for (_, v) in &headline {
             let _ = write!(out, "<td>{}</td>", fmt_num(*v));
         }
         out.push_str("</tr></table>");
+    }
+    if !phases.is_empty() {
+        let segments: Vec<(String, f64)> = phases
+            .iter()
+            .map(|(k, v)| (k.trim_start_matches("phase/").to_string(), *v))
+            .collect();
+        out.push_str(&stacked_bar(
+            "construction time by phase (self ms)",
+            &segments,
+        ));
     }
     if !run.series.is_empty() {
         out.push_str("<div class=\"sparks\">");
@@ -134,6 +219,13 @@ pub fn render_dashboard(history: &History) -> String {
         ".spark figcaption{font-size:.78rem;color:#44525f}",
         ".spark{margin:0;border:1px solid #e3e8ee;border-radius:4px;padding:.35rem .5rem}",
         ".range{color:#8a97a3}",
+        ".stack{margin:.5rem 0;border:1px solid #e3e8ee;border-radius:4px;",
+        "padding:.35rem .5rem;max-width:34rem}",
+        ".stack figcaption{font-size:.78rem;color:#44525f}",
+        ".legend{display:flex;flex-wrap:wrap;gap:.3rem .9rem;font-size:.75rem;",
+        "color:#44525f;margin-top:.25rem}",
+        ".sw{display:inline-block;width:.7em;height:.7em;border-radius:2px;",
+        "margin-right:.3em;vertical-align:baseline}",
         ".overview td:first-child,.overview th:first-child{text-align:left}",
         "</style></head><body><h1>gossip run history</h1>"
     ));
@@ -188,6 +280,32 @@ mod tests {
         assert!(html.contains("<svg"), "needs at least one sparkline");
         assert!(html.contains("residual_after"));
         // Self-contained: no external fetches of any kind.
+        for marker in ["http://", "https://", "src=", "href=", "@import", "url("] {
+            assert!(!html.contains(marker), "external asset marker {marker:?}");
+        }
+    }
+
+    #[test]
+    fn profile_runs_get_a_stacked_bar_and_stay_self_contained() {
+        let mut h = History::new();
+        h.ingest(
+            "PROF_fig4",
+            r#"{"schema_version": 1, "kind": "profile", "n": 12, "plan_ms": 3.5,
+                "attributed_ms": 3.4, "attributed_pct": 97.1,
+                "phases": [
+                    {"name": "plan", "calls": 1, "total_ms": 3.0, "self_ms": 0.2,
+                     "children": [
+                        {"name": "tree", "calls": 1, "total_ms": 1.8, "self_ms": 1.8}]},
+                    {"name": "flatten", "calls": 1, "total_ms": 0.4, "self_ms": 0.4}]}"#,
+        )
+        .unwrap();
+        let html = render_dashboard(&h);
+        assert!(html.contains("construction time by phase"));
+        assert!(html.contains("<rect"), "stacked bar needs segments");
+        assert!(html.contains("plan/tree"));
+        // Phase scalars live in the bar, not the headline table.
+        assert!(!html.contains("<th>phase/plan</th>"));
+        assert!(html.contains("<th>plan_ms</th>"));
         for marker in ["http://", "https://", "src=", "href=", "@import", "url("] {
             assert!(!html.contains(marker), "external asset marker {marker:?}");
         }

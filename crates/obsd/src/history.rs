@@ -12,6 +12,10 @@
 //!   series over the sweep.
 //! - **recovery** reports (`kind: "recovery"`): the per-epoch table yields
 //!   residual/loss/delivery trajectories.
+//! - **profile** artifacts (`kind: "profile"`, from `gossip profile` /
+//!   `gossip plan --profile-out`): headline construction numbers plus one
+//!   `phase/<path>` scalar per planner phase (self time), which the
+//!   dashboard renders as a per-phase stacked bar.
 //!
 //! A fourth, binary family also ingests: `.gfr` **flight records**
 //! (recognized by their `GFR1` magic, not by JSON shape), yielding the
@@ -33,6 +37,8 @@ pub enum RunKind {
     Recovery,
     /// A `.gfr` flight record (`--flight-out`).
     Flight,
+    /// A planner profile (`gossip profile` / `plan --profile-out`).
+    Profile,
 }
 
 impl RunKind {
@@ -43,6 +49,7 @@ impl RunKind {
             RunKind::Bench => "bench",
             RunKind::Recovery => "recovery",
             RunKind::Flight => "flight",
+            RunKind::Profile => "profile",
         }
     }
 }
@@ -95,6 +102,8 @@ impl History {
         check_schema_version(&doc).map_err(|e| format!("{label}: {e}"))?;
         let record = if doc.get("kind").and_then(Value::as_str) == Some("recovery") {
             ingest_recovery(label, &doc)
+        } else if doc.get("kind").and_then(Value::as_str) == Some("profile") {
+            ingest_profile(label, &doc)
         } else if doc.get("experiment").is_some() {
             ingest_bench(label, &doc)
         } else if doc.get("snapshot").is_some() {
@@ -312,6 +321,53 @@ fn ingest_bench(label: &str, doc: &Value) -> RunRecord {
     }
 }
 
+fn ingest_profile(label: &str, doc: &Value) -> RunRecord {
+    let mut scalars = Vec::new();
+    for key in [
+        "n",
+        "m",
+        "radius",
+        "makespan",
+        "plan_ms",
+        "attributed_ms",
+        "unattributed_ms",
+        "attributed_pct",
+    ] {
+        if let Some(x) = doc.get(key).and_then(num) {
+            scalars.push((key.to_string(), x));
+        }
+    }
+    // One `phase/<path>` scalar per phase-tree node carrying its *self*
+    // time, so the dashboard's stacked bar partitions construction time
+    // without double-counting parents.
+    fn walk(prefix: &str, phases: &Value, scalars: &mut Vec<(String, f64)>) {
+        let Some(list) = phases.as_array() else {
+            return;
+        };
+        for p in list {
+            let Some(name) = p["name"].as_str() else {
+                continue;
+            };
+            let path = if prefix.is_empty() {
+                name.to_string()
+            } else {
+                format!("{prefix}/{name}")
+            };
+            if let Some(self_ms) = p["self_ms"].as_f64() {
+                scalars.push((format!("phase/{path}"), self_ms));
+            }
+            walk(&path, &p["children"], scalars);
+        }
+    }
+    walk("", &doc["phases"], &mut scalars);
+    RunRecord {
+        name: label.to_string(),
+        kind: RunKind::Profile,
+        scalars,
+        series: Vec::new(),
+    }
+}
+
 fn ingest_recovery(label: &str, doc: &Value) -> RunRecord {
     let mut scalars = Vec::new();
     for key in [
@@ -390,6 +446,33 @@ mod tests {
         let resid = h.series_named("residual_after");
         assert_eq!(resid[0].1.points, vec![(0.0, 9.0), (1.0, 0.0)]);
         assert_eq!(h.scalar_trend("recovered"), vec![("recovery", 1.0)]);
+    }
+
+    #[test]
+    fn classifies_profiles_and_flattens_phase_tree() {
+        let mut h = History::new();
+        let profile = r#"{"schema_version": 1, "kind": "profile",
+            "algorithm": "concurrent-updown", "n": 12, "m": 18, "radius": 2,
+            "makespan": 14, "plan_ms": 3.5, "attributed_ms": 3.4,
+            "unattributed_ms": 0.1, "attributed_pct": 97.1,
+            "alloc_tracking": false,
+            "phases": [
+                {"name": "plan", "calls": 1, "total_ms": 3.0, "self_ms": 0.2,
+                 "children": [
+                     {"name": "tree", "calls": 1, "total_ms": 1.8, "self_ms": 1.8},
+                     {"name": "generate", "calls": 1, "total_ms": 1.0, "self_ms": 1.0}]},
+                {"name": "flatten", "calls": 1, "total_ms": 0.4, "self_ms": 0.4}]}"#;
+        assert_eq!(h.ingest("PROF_fig4", profile), Ok(RunKind::Profile));
+        let run = &h.runs[0];
+        assert_eq!(run.kind.label(), "profile");
+        assert!(run.scalars.contains(&("plan_ms".to_string(), 3.5)));
+        assert!(run.scalars.contains(&("phase/plan".to_string(), 0.2)));
+        assert!(run.scalars.contains(&("phase/plan/tree".to_string(), 1.8)));
+        assert!(run
+            .scalars
+            .contains(&("phase/plan/generate".to_string(), 1.0)));
+        assert!(run.scalars.contains(&("phase/flatten".to_string(), 0.4)));
+        assert_eq!(h.scalar_trend("attributed_pct"), vec![("PROF_fig4", 97.1)]);
     }
 
     #[test]

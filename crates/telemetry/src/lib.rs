@@ -26,10 +26,15 @@
 //! assert!(snap["spans"]["plan/bfs"]["count"].as_u64() == Some(1));
 //! ```
 
-#![forbid(unsafe_code)]
+// The one `unsafe impl` in this crate is the `GlobalAlloc` for the
+// feature-gated counting allocator (`profile::ProfAlloc`); every build
+// without `prof-alloc` keeps the blanket forbid.
+#![cfg_attr(not(feature = "prof-alloc"), forbid(unsafe_code))]
+#![cfg_attr(feature = "prof-alloc", deny(unsafe_code))]
 
 pub mod flight;
 pub mod live;
+pub mod profile;
 pub mod trace;
 
 pub use flight::{FlightHeader, FlightLog, FlightRecord, FlightRecorder, Tee};

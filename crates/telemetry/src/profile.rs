@@ -1,0 +1,659 @@
+//! Planner cost profiler: hierarchical phase timing with work counters,
+//! plus an optional counting global allocator attributing heap traffic to
+//! the active phase.
+//!
+//! The planner-side complement to the run-side observability stack
+//! ([`crate::Recorder`] metrics, flight capture): where `plan_ms` used to
+//! be one opaque number, the profiler breaks schedule construction into a
+//! self-time/total-time call tree — BFS sweeps, tree building, labeling,
+//! generation, CSR flattening, validation — cheap enough to stay on in
+//! production binaries.
+//!
+//! # Model
+//!
+//! A [`Profiler`] installs itself into a thread-local slot on
+//! [`Profiler::begin`]; instrumented code calls the free function
+//! [`phase`] which returns an RAII [`PhaseGuard`]. When no profiler is
+//! installed the guard is inert and the call costs one thread-local read
+//! and a branch, so instrumentation sites need no configuration plumbing
+//! and no signature changes. Phases nest: a guard opened while another is
+//! live becomes (or reuses) a child node of the active phase. Work
+//! counters ([`count`]) attribute to the active phase.
+//!
+//! [`Profiler::finish`] uninstalls the profiler and returns the recorded
+//! [`Profile`] forest. Self time is derived at report time as a node's
+//! total minus the totals of its children, so the invariant *sum of child
+//! totals ≤ parent total* holds by construction (modulo clock monotonicity).
+//!
+//! # Threading caveat
+//!
+//! The profiler is deliberately thread-local: the sequential construction
+//! path is the profiled one. Work done on rayon workers (the parallel
+//! spanning-tree sweep, parallel schedule validation) is *not* attributed
+//! to phases opened on the calling thread — only the calling thread's
+//! wall-clock wait shows up, under the phase that spawned the parallel
+//! section. `gossip profile` therefore drives the sequential planner.
+//!
+//! # Allocator attribution (`prof-alloc` feature)
+//!
+//! [`ProfAlloc`] is a counting [`std::alloc::GlobalAlloc`] wrapper around
+//! the system allocator. Binaries opt in with:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: gossip_telemetry::profile::ProfAlloc =
+//!     gossip_telemetry::profile::ProfAlloc;
+//! ```
+//!
+//! It maintains four process-global relaxed atomics (allocation count,
+//! allocated bytes, live bytes, peak live bytes) and never touches
+//! thread-locals or the profiler itself, so there is no reentrancy hazard.
+//! [`PhaseGuard`]s snapshot the counters at enter/exit and attribute the
+//! deltas to their phase; per-phase peak live bytes piggybacks on a single
+//! global high-water atomic that guards swap on enter and fold back on
+//! exit. Caveats: attribution is process-global, so allocations from
+//! *other* threads during a phase are charged to it; and like `total_ns`,
+//! a parent phase's numbers include its children's. Both are documented
+//! properties, not bugs — the profiler answers "what does this phase cost
+//! the process", not "what did this stack frame malloc".
+
+use crate::Value;
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// One phase in the recorded tree.
+#[derive(Debug, Clone)]
+struct Node {
+    name: String,
+    parent: Option<usize>,
+    children: Vec<usize>,
+    calls: u64,
+    total_ns: u64,
+    counters: BTreeMap<String, u64>,
+    allocs: u64,
+    alloc_bytes: u64,
+    peak_bytes: u64,
+}
+
+impl Node {
+    fn new(name: &str, parent: Option<usize>) -> Node {
+        Node {
+            name: name.to_string(),
+            parent,
+            children: Vec::new(),
+            calls: 0,
+            total_ns: 0,
+            counters: BTreeMap::new(),
+            allocs: 0,
+            alloc_bytes: 0,
+            peak_bytes: 0,
+        }
+    }
+}
+
+struct State {
+    epoch: u64,
+    nodes: Vec<Node>,
+    roots: Vec<usize>,
+    current: Option<usize>,
+}
+
+thread_local! {
+    static PROFILER: RefCell<Option<State>> = const { RefCell::new(None) };
+    static NEXT_EPOCH: Cell<u64> = const { Cell::new(1) };
+}
+
+/// Handle for an installed profiler. Created by [`Profiler::begin`];
+/// consumed by [`Profiler::finish`]. Dropping it without finishing
+/// uninstalls the profiler and discards the recording.
+pub struct Profiler {
+    epoch: u64,
+}
+
+impl Profiler {
+    /// Installs a fresh profiler into this thread's slot (replacing any
+    /// prior one — the replaced handle's `finish` then returns an empty
+    /// profile) and starts recording phases.
+    pub fn begin() -> Profiler {
+        let epoch = NEXT_EPOCH.with(|e| {
+            let v = e.get();
+            e.set(v + 1);
+            v
+        });
+        PROFILER.with(|p| {
+            *p.borrow_mut() = Some(State {
+                epoch,
+                nodes: Vec::new(),
+                roots: Vec::new(),
+                current: None,
+            });
+        });
+        Profiler { epoch }
+    }
+
+    /// Uninstalls the profiler and returns everything recorded since
+    /// [`Profiler::begin`]. Phases still open on other live guards keep
+    /// their recorded calls but contribute no further time.
+    pub fn finish(self) -> Profile {
+        let state = PROFILER.with(|p| {
+            let mut slot = p.borrow_mut();
+            if slot.as_ref().is_some_and(|s| s.epoch == self.epoch) {
+                slot.take()
+            } else {
+                None
+            }
+        });
+        std::mem::forget(self);
+        match state {
+            Some(s) => Profile {
+                nodes: s.nodes,
+                roots: s.roots,
+                alloc_tracking: alloc_tracking(),
+            },
+            None => Profile {
+                nodes: Vec::new(),
+                roots: Vec::new(),
+                alloc_tracking: alloc_tracking(),
+            },
+        }
+    }
+}
+
+impl Drop for Profiler {
+    fn drop(&mut self) {
+        PROFILER.with(|p| {
+            let mut slot = p.borrow_mut();
+            if slot.as_ref().is_some_and(|s| s.epoch == self.epoch) {
+                *slot = None;
+            }
+        });
+    }
+}
+
+/// Whether a profiler is installed on this thread. Instrumentation sites
+/// may use this to skip computing expensive counter deltas.
+pub fn active() -> bool {
+    PROFILER.with(|p| p.borrow().is_some())
+}
+
+/// Opens a phase named `name` under the currently active phase (or as a
+/// root). Returns an inert guard (one TLS read, no allocation) when no
+/// profiler is installed. Re-entering a name under the same parent reuses
+/// the existing node and bumps its call count.
+pub fn phase(name: &str) -> PhaseGuard {
+    PROFILER.with(|p| {
+        let mut slot = p.borrow_mut();
+        let Some(state) = slot.as_mut() else {
+            return PhaseGuard { live: None };
+        };
+        let parent = state.current;
+        let siblings = match parent {
+            Some(pi) => &state.nodes[pi].children,
+            None => &state.roots,
+        };
+        let existing = siblings
+            .iter()
+            .copied()
+            .find(|&c| state.nodes[c].name == name);
+        let idx = existing.unwrap_or_else(|| {
+            let idx = state.nodes.len();
+            state.nodes.push(Node::new(name, parent));
+            match parent {
+                Some(pi) => state.nodes[pi].children.push(idx),
+                None => state.roots.push(idx),
+            }
+            idx
+        });
+        state.nodes[idx].calls += 1;
+        state.current = Some(idx);
+        PhaseGuard {
+            live: Some(LiveGuard {
+                epoch: state.epoch,
+                idx,
+                #[cfg(feature = "prof-alloc")]
+                alloc_enter: prof_alloc::phase_enter(),
+                start: Instant::now(),
+            }),
+        }
+    })
+}
+
+/// Adds `delta` to the named work counter of the active phase. A no-op
+/// when no profiler is installed or no phase is open.
+pub fn count(name: &str, delta: u64) {
+    PROFILER.with(|p| {
+        let mut slot = p.borrow_mut();
+        let Some(state) = slot.as_mut() else { return };
+        let Some(cur) = state.current else { return };
+        *state.nodes[cur]
+            .counters
+            .entry(name.to_string())
+            .or_insert(0) += delta;
+    });
+}
+
+struct LiveGuard {
+    epoch: u64,
+    idx: usize,
+    #[cfg(feature = "prof-alloc")]
+    alloc_enter: prof_alloc::PhaseEnter,
+    start: Instant,
+}
+
+/// RAII guard for one phase occurrence; see [`phase`].
+pub struct PhaseGuard {
+    live: Option<LiveGuard>,
+}
+
+impl Drop for PhaseGuard {
+    fn drop(&mut self) {
+        let Some(live) = self.live.take() else { return };
+        let elapsed = live.start.elapsed().as_nanos() as u64;
+        PROFILER.with(|p| {
+            let mut slot = p.borrow_mut();
+            let Some(state) = slot.as_mut() else { return };
+            if state.epoch != live.epoch {
+                return;
+            }
+            #[cfg(feature = "prof-alloc")]
+            {
+                let (d_allocs, d_bytes, phase_peak) = prof_alloc::phase_exit(&live.alloc_enter);
+                let node = &mut state.nodes[live.idx];
+                node.allocs += d_allocs;
+                node.alloc_bytes += d_bytes;
+                node.peak_bytes = node.peak_bytes.max(phase_peak);
+            }
+            let node = &mut state.nodes[live.idx];
+            node.total_ns += elapsed;
+            state.current = node.parent;
+        });
+    }
+}
+
+/// The recorded phase forest, returned by [`Profiler::finish`].
+#[derive(Debug, Clone)]
+pub struct Profile {
+    nodes: Vec<Node>,
+    roots: Vec<usize>,
+    alloc_tracking: bool,
+}
+
+impl Profile {
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.roots.is_empty()
+    }
+
+    /// Whether the counting allocator was registered and saw traffic
+    /// (alloc fields are meaningful only then).
+    pub fn alloc_tracking(&self) -> bool {
+        self.alloc_tracking
+    }
+
+    /// Total milliseconds attributed to root phases (the profiler's view
+    /// of the whole profiled region).
+    pub fn attributed_ms(&self) -> f64 {
+        self.roots
+            .iter()
+            .map(|&r| self.nodes[r].total_ns as f64 * 1e-6)
+            .sum()
+    }
+
+    /// Self time of a node: total minus children's totals (saturating, in
+    /// case of clock jitter).
+    fn self_ns(&self, idx: usize) -> u64 {
+        let child_total: u64 = self.nodes[idx]
+            .children
+            .iter()
+            .map(|&c| self.nodes[c].total_ns)
+            .sum();
+        self.nodes[idx].total_ns.saturating_sub(child_total)
+    }
+
+    /// Sum of `total_ns` (as ms) over every node with this phase name,
+    /// anywhere in the forest. Phase names in the planner taxonomy do not
+    /// nest under themselves, so no double counting occurs there.
+    pub fn named_total_ms(&self, name: &str) -> f64 {
+        self.nodes
+            .iter()
+            .filter(|n| n.name == name)
+            .map(|n| n.total_ns as f64 * 1e-6)
+            .sum()
+    }
+
+    /// Sum of the named work counter over every phase.
+    pub fn named_counter(&self, name: &str) -> u64 {
+        self.nodes.iter().filter_map(|n| n.counters.get(name)).sum()
+    }
+
+    /// Highest per-phase peak live bytes seen (0 without `prof-alloc`
+    /// tracking).
+    pub fn peak_bytes(&self) -> u64 {
+        self.nodes.iter().map(|n| n.peak_bytes).max().unwrap_or(0)
+    }
+
+    fn node_value(&self, idx: usize) -> Value {
+        let n = &self.nodes[idx];
+        let mut fields = vec![
+            ("name".to_string(), Value::String(n.name.clone())),
+            ("calls".to_string(), Value::from_u64(n.calls)),
+            (
+                "total_ms".to_string(),
+                Value::from_f64(n.total_ns as f64 * 1e-6),
+            ),
+            (
+                "self_ms".to_string(),
+                Value::from_f64(self.self_ns(idx) as f64 * 1e-6),
+            ),
+        ];
+        if !n.counters.is_empty() {
+            fields.push((
+                "counters".to_string(),
+                Value::Object(
+                    n.counters
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Value::from_u64(v)))
+                        .collect(),
+                ),
+            ));
+        }
+        if self.alloc_tracking {
+            fields.push((
+                "alloc".to_string(),
+                Value::Object(vec![
+                    ("allocs".to_string(), Value::from_u64(n.allocs)),
+                    ("bytes".to_string(), Value::from_u64(n.alloc_bytes)),
+                    ("peak_bytes".to_string(), Value::from_u64(n.peak_bytes)),
+                ]),
+            ));
+        }
+        if !n.children.is_empty() {
+            fields.push((
+                "children".to_string(),
+                Value::Array(n.children.iter().map(|&c| self.node_value(c)).collect()),
+            ));
+        }
+        Value::Object(fields)
+    }
+
+    /// The phase forest as a JSON array of nested phase objects
+    /// (`{name, calls, total_ms, self_ms, counters?, alloc?, children?}`),
+    /// ready to embed in a PROF artifact.
+    pub fn to_value(&self) -> Value {
+        Value::Array(self.roots.iter().map(|&r| self.node_value(r)).collect())
+    }
+
+    /// Collapsed-stack export for flamegraph tooling: one line per phase,
+    /// `root;child;leaf <self-time-µs>`.
+    pub fn collapsed_stacks(&self) -> String {
+        let mut out = String::new();
+        let mut stack: Vec<(usize, String)> = self
+            .roots
+            .iter()
+            .rev()
+            .map(|&r| (r, self.nodes[r].name.clone()))
+            .collect();
+        while let Some((idx, path)) = stack.pop() {
+            let self_us = self.self_ns(idx) / 1_000;
+            out.push_str(&format!("{path} {self_us}\n"));
+            for &c in self.nodes[idx].children.iter().rev() {
+                stack.push((c, format!("{path};{}", self.nodes[c].name)));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(feature = "prof-alloc")]
+#[allow(unsafe_code)]
+mod prof_alloc {
+    //! The counting global allocator. Process-global relaxed atomics only:
+    //! the allocator must never touch thread-locals or the profiler (it
+    //! runs during TLS teardown and inside the profiler's own
+    //! allocations).
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+    static BYTES: AtomicU64 = AtomicU64::new(0);
+    static LIVE: AtomicU64 = AtomicU64::new(0);
+    static PEAK: AtomicU64 = AtomicU64::new(0);
+    /// High-water mark since the innermost open phase began; see
+    /// [`phase_enter`]/[`phase_exit`].
+    static PHASE_PEAK: AtomicU64 = AtomicU64::new(0);
+
+    /// Counting wrapper around the system allocator; register with
+    /// `#[global_allocator]`.
+    pub struct ProfAlloc;
+
+    fn on_alloc(size: u64) {
+        ALLOCS.fetch_add(1, Relaxed);
+        BYTES.fetch_add(size, Relaxed);
+        let live = LIVE.fetch_add(size, Relaxed) + size;
+        PEAK.fetch_max(live, Relaxed);
+        PHASE_PEAK.fetch_max(live, Relaxed);
+    }
+
+    fn on_dealloc(size: u64) {
+        LIVE.fetch_sub(size, Relaxed);
+    }
+
+    // SAFETY: defers all allocation to `System`; the bookkeeping is plain
+    // relaxed atomics with no allocation, locking, or TLS of its own.
+    unsafe impl GlobalAlloc for ProfAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            let p = System.alloc(layout);
+            if !p.is_null() {
+                on_alloc(layout.size() as u64);
+            }
+            p
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            let p = System.alloc_zeroed(layout);
+            if !p.is_null() {
+                on_alloc(layout.size() as u64);
+            }
+            p
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout);
+            on_dealloc(layout.size() as u64);
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            let p = System.realloc(ptr, layout, new_size);
+            if !p.is_null() {
+                on_dealloc(layout.size() as u64);
+                on_alloc(new_size as u64);
+            }
+            p
+        }
+    }
+
+    /// Snapshot taken when a phase opens.
+    pub(super) struct PhaseEnter {
+        allocs: u64,
+        bytes: u64,
+        saved_peak: u64,
+    }
+
+    pub(super) fn phase_enter() -> PhaseEnter {
+        PhaseEnter {
+            allocs: ALLOCS.load(Relaxed),
+            bytes: BYTES.load(Relaxed),
+            // Reset the phase high-water mark to current live, saving the
+            // enclosing phase's mark to fold back on exit.
+            saved_peak: PHASE_PEAK.swap(LIVE.load(Relaxed), Relaxed),
+        }
+    }
+
+    /// Returns `(allocations, bytes, peak live bytes)` attributed to the
+    /// phase, and restores the enclosing phase's high-water mark (a parent
+    /// peak is at least its child's, so `fetch_max` is the correct fold).
+    pub(super) fn phase_exit(enter: &PhaseEnter) -> (u64, u64, u64) {
+        let phase_peak = PHASE_PEAK.load(Relaxed);
+        PHASE_PEAK.fetch_max(enter.saved_peak, Relaxed);
+        (
+            ALLOCS.load(Relaxed).wrapping_sub(enter.allocs),
+            BYTES.load(Relaxed).wrapping_sub(enter.bytes),
+            phase_peak,
+        )
+    }
+
+    /// Whether the counting allocator is registered (detected by traffic:
+    /// any Rust program allocates long before profiling starts).
+    pub(super) fn tracking() -> bool {
+        ALLOCS.load(Relaxed) > 0
+    }
+}
+
+#[cfg(feature = "prof-alloc")]
+pub use prof_alloc::ProfAlloc;
+
+#[cfg(feature = "prof-alloc")]
+fn alloc_tracking() -> bool {
+    prof_alloc::tracking()
+}
+
+#[cfg(not(feature = "prof-alloc"))]
+fn alloc_tracking() -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin_for(micros: u64) {
+        let t0 = Instant::now();
+        while t0.elapsed().as_micros() < micros as u128 {
+            std::hint::black_box(0u64);
+        }
+    }
+
+    #[test]
+    fn uninstalled_guards_are_inert() {
+        assert!(!active());
+        {
+            let _g = phase("tree");
+            count("sweeps", 3);
+        }
+        // Nothing was installed, so a later profiler starts clean.
+        let prof = Profiler::begin().finish();
+        assert!(prof.is_empty());
+        assert_eq!(prof.named_counter("sweeps"), 0);
+    }
+
+    #[test]
+    fn records_nested_tree_with_counts() {
+        let profiler = Profiler::begin();
+        assert!(active());
+        {
+            let _plan = phase("plan");
+            for _ in 0..3 {
+                let _sweep = phase("bfs_sweep");
+                count("frontier_popped", 10);
+                spin_for(200);
+            }
+            {
+                let _label = phase("label");
+                spin_for(100);
+            }
+            spin_for(50);
+        }
+        let prof = profiler.finish();
+        assert!(!active());
+        assert_eq!(prof.roots.len(), 1);
+        let plan = &prof.nodes[prof.roots[0]];
+        assert_eq!(plan.name, "plan");
+        assert_eq!(plan.calls, 1);
+        assert_eq!(plan.children.len(), 2);
+        let sweep_idx = plan.children[0];
+        assert_eq!(prof.nodes[sweep_idx].name, "bfs_sweep");
+        assert_eq!(prof.nodes[sweep_idx].calls, 3);
+        assert_eq!(prof.named_counter("frontier_popped"), 30);
+        // Children's totals never exceed the parent's.
+        let child_total: u64 = plan.children.iter().map(|&c| prof.nodes[c].total_ns).sum();
+        assert!(child_total <= plan.total_ns);
+        assert!(prof.attributed_ms() > 0.0);
+        assert!(prof.named_total_ms("bfs_sweep") > 0.0);
+    }
+
+    #[test]
+    fn value_export_has_expected_fields() {
+        let profiler = Profiler::begin();
+        {
+            let _a = phase("plan");
+            let _b = phase("tree");
+            count("tree_edges", 9);
+        }
+        let prof = profiler.finish();
+        let v = prof.to_value();
+        let roots = match &v {
+            Value::Array(a) => a,
+            other => panic!("expected array, got {other:?}"),
+        };
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].get("name").and_then(Value::as_str), Some("plan"));
+        assert_eq!(roots[0].get("calls").and_then(Value::as_u64), Some(1));
+        assert!(roots[0].get("total_ms").and_then(Value::as_f64).is_some());
+        assert!(roots[0].get("self_ms").and_then(Value::as_f64).is_some());
+        let children = roots[0].get("children").and_then(Value::as_array).unwrap();
+        assert_eq!(
+            children[0].get("name").and_then(Value::as_str),
+            Some("tree")
+        );
+        let counters = children[0].get("counters").unwrap();
+        assert_eq!(counters.get("tree_edges").and_then(Value::as_u64), Some(9));
+    }
+
+    #[test]
+    fn collapsed_stacks_are_semicolon_paths() {
+        let profiler = Profiler::begin();
+        {
+            let _a = phase("plan");
+            {
+                let _b = phase("tree");
+                let _c = phase("bfs_sweep");
+            }
+            let _d = phase("flatten");
+        }
+        let prof = profiler.finish();
+        let flame = prof.collapsed_stacks();
+        let lines: Vec<&str> = flame.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().any(|l| l.starts_with("plan ")));
+        assert!(lines.iter().any(|l| l.starts_with("plan;tree;bfs_sweep ")));
+        for line in lines {
+            let (_stack, n) = line.rsplit_once(' ').expect("space-separated");
+            n.parse::<u64>().expect("self-time in µs");
+        }
+    }
+
+    #[test]
+    fn dropping_profiler_uninstalls() {
+        {
+            let _p = Profiler::begin();
+            assert!(active());
+        }
+        assert!(!active());
+    }
+
+    #[test]
+    fn replacement_leaves_newest_profiler_installed() {
+        let old = Profiler::begin();
+        let new = Profiler::begin();
+        {
+            let _g = phase("tree");
+        }
+        // The replaced handle finishes empty and must not uninstall the
+        // newer profiler.
+        assert!(old.finish().is_empty());
+        assert!(active());
+        let prof = new.finish();
+        assert_eq!(prof.roots.len(), 1);
+    }
+}
