@@ -1,0 +1,11 @@
+//! E25 (textual): churn — mid-run topology changes with incremental
+//! schedule repair, plus `BENCH_churn.json` with the per-scenario repair
+//! accounting.
+
+fn main() {
+    let (report, payload) = gossip_bench::experiments::exp_churn_full();
+    println!("{report}");
+    if let Some(path) = gossip_bench::report::write_bench_json("churn", &payload) {
+        println!("wrote {path}");
+    }
+}

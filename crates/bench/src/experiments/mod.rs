@@ -1,6 +1,7 @@
 //! One module per experiment (see DESIGN.md §4 for the index).
 
 mod bounds_exps;
+mod churn;
 mod exhaustive;
 mod extensions;
 mod figures;
@@ -10,6 +11,7 @@ mod scaling;
 mod tables;
 
 pub use bounds_exps::{exp_lemma1, exp_line, exp_theorem1, exp_theorem1_full, exp_updown};
+pub use churn::{exp_churn, exp_churn_full};
 pub use exhaustive::{exp_energy, exp_exhaustive};
 pub use extensions::{exp_exact, exp_online, exp_pipeline, exp_weighted};
 pub use figures::{exp_fig45, exp_n3, exp_petersen, exp_ring};
@@ -111,6 +113,11 @@ pub fn all_reports() -> Vec<(&'static str, &'static str, String)> {
             "E24",
             "Self-healing recovery under seeded fault plans",
             exp_resilience(),
+        ),
+        (
+            "E25",
+            "Churn: mid-run topology changes with incremental repair",
+            exp_churn(),
         ),
     ]
 }

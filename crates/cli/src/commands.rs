@@ -4,13 +4,13 @@ use crate::args::Args;
 use gossip_bench::{diff_bench, DiffConfig};
 use gossip_core::{
     annotated_concurrent_updown, gossip_lower_bound, optimal_gossip_time, rule_tag_index,
-    run_online_threaded_traced, Algorithm, ExactResult, GossipPlanner, ResilientExecutor,
-    DEFAULT_MAX_EPOCHS,
+    run_online_threaded_traced, Algorithm, ChurnExecutor, ExactResult, GossipPlanner,
+    ResilientExecutor, DEFAULT_MAX_EPOCHS,
 };
 use gossip_graph::Graph;
 use gossip_model::{
     schedule_chrome_trace, simulate_gossip, trace_gossip, trace_gossip_lossy, vertex_trace,
-    CommModel, FaultPlan, LossCause,
+    ChurnPlan, CommModel, FaultPlan, LossCause,
 };
 use gossip_obsd::{render_dashboard, History, ObsdServer, Paced};
 use gossip_telemetry::flight::{Digest, FlightHeader, FlightLog, FlightRecorder, Tee};
@@ -60,14 +60,23 @@ commands:
             [--max-epochs K] [--out FILE]
             [--trace-out FILE] [--flight-out FILE.gfr] run under faults + self-heal;
                                                        exit 1 if recovery falls short
+  churn     (--family F --n N | --graph FILE|NAME)
+            [--churn-rate P] [--churn-seed S]
+            [--churn-plan FILE] [--churn-out FILE]
+            [--max-epochs K] [--out FILE]
+            [--flight-out FILE.gfr]                    run while a seeded churn plan
+                                                       rewires the topology mid-run;
+                                                       incremental schedule repair,
+                                                       exit 1 if a reachable pair
+                                                       is left undelivered
   bench-diff OLD.json NEW.json
             [--threshold PCT] [--wall-factor F]        compare BENCH_* artifacts;
                                                        exit 1 on regression
-  stats     METRICS.json|RECOVERY.json|PROF.json|RUN.gfr|-
+  stats     METRICS.json|RECOVERY.json|CHURN.json|PROF.json|RUN.gfr|-
                                                        summarize a --metrics file, a
-                                                       recovery report, a planner
-                                                       profile, or a flight record
-                                                       (`-` = stdin)
+                                                       recovery report, a churn
+                                                       report, a planner profile, or
+                                                       a flight record (`-` = stdin)
   serve     (--family F --n N | --graph FILE|NAME)
             [--listen ADDR] [--addr-file FILE]
             [--round-delay-ms MS] [--linger-ms MS]
@@ -144,8 +153,17 @@ fault flags (plan / recover / serve):
   `plan` with fault flags additionally reports what a lossy run would lose
   (no repair); `recover` and `serve` run the self-healing executor
 
+churn flags (churn):
+  --churn-rate P    per-round probability of a topology event (default 0.05)
+  --churn-seed S    seed of the deterministic churn generator (default 0)
+  --churn-plan FILE replay a saved JSON churn plan instead of generating one
+  --churn-out FILE  write the plan that ran (generated or loaded) as JSON,
+                    so a generated run can be replayed exactly
+
 --graph also accepts the paper's named instances: petersen (N2), n1 (the
-Fig 1 ring, size --n), fig4, fig5
+Fig 1 ring, size --n), fig4, fig5 — and the generator spec
+unit-disk:n,radius (seeded random geometric graph via --seed; the radius
+grows by 1.25x until the field is connected)
 
 --algo is accepted as shorthand for --algorithm, and `concurrent` for
 `concurrent-updown`
@@ -263,9 +281,42 @@ fn named_instance(name: &str, args: &Args) -> Result<Option<Graph>, String> {
     })
 }
 
-/// Loads a graph from a `--graph`-style spec: a named paper instance
-/// (unless a file of that name exists) or a JSON / edge-list file.
+/// Parses a `unit-disk:n,radius` spec into a seeded random geometric
+/// graph (`--seed` selects the point set; the radius grows until the
+/// field is connected, matching [`gossip_workloads::unit_disk_connected`]).
+fn unit_disk_spec(spec: &str, args: &Args) -> Result<Option<Graph>, String> {
+    let Some(params) = spec.strip_prefix("unit-disk:") else {
+        return Ok(None);
+    };
+    let (n_str, r_str) = params.split_once(',').ok_or_else(|| {
+        format!("bad unit-disk spec {spec:?}: expected unit-disk:n,radius (e.g. unit-disk:16,0.4)")
+    })?;
+    let n: usize = n_str
+        .trim()
+        .parse()
+        .map_err(|e| format!("bad unit-disk n {n_str:?}: {e}"))?;
+    let radius: f64 = r_str
+        .trim()
+        .parse()
+        .map_err(|e| format!("bad unit-disk radius {r_str:?}: {e}"))?;
+    // `radius <= 0.0` (not `!(radius > 0.0)`) would wave NaN through.
+    if n == 0 || !radius.is_finite() || radius <= 0.0 {
+        return Err(format!(
+            "bad unit-disk spec {spec:?}: need n >= 1 and radius > 0"
+        ));
+    }
+    let seed = args.get_u64("seed", 0)?;
+    let (g, _pts, _used) = gossip_workloads::unit_disk_connected(n, radius, seed);
+    Ok(Some(g))
+}
+
+/// Loads a graph from a `--graph`-style spec: a `unit-disk:n,radius`
+/// generator, a named paper instance (unless a file of that name
+/// exists), or a JSON / edge-list file.
 fn load_graph_spec(spec: &str, args: &Args) -> Result<Graph, String> {
+    if let Some(g) = unit_disk_spec(spec, args)? {
+        return Ok(g);
+    }
     if !std::path::Path::new(spec).exists() {
         if let Some(g) = named_instance(spec, args)? {
             return Ok(g);
@@ -1125,6 +1176,206 @@ pub fn recover(args: &Args) -> Result<(), String> {
     }
 }
 
+/// `gossip churn`: execute while a (scripted or generated) churn plan
+/// mutates the topology mid-run, repairing the schedule incrementally.
+/// Exits 1 when a recoverable pair was left undelivered.
+pub fn churn(args: &Args) -> Result<(), String> {
+    let g = load_graph(args)?;
+    let metrics = open_metrics(args)?;
+    let out = Out::for_metrics(&metrics);
+    // The base plan is only consulted for the report header (radius,
+    // baseline makespan) and the generator horizon; the executor plans
+    // internally so its tree stays in sync with its repairs.
+    let plan = GossipPlanner::new(&g)
+        .map_err(|e| e.to_string())?
+        .plan()
+        .map_err(|e| e.to_string())?;
+    let churn_plan = match path_option(args, "churn-plan")? {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+            let plan: ChurnPlan =
+                serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+            plan.validate(g.n()).map_err(|e| format!("{path}: {e}"))?;
+            plan
+        }
+        None => {
+            let rate = args.get_f64("churn-rate", 0.05)?;
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(format!("--churn-rate {rate} out of range [0, 1]"));
+            }
+            let seed = args.get_u64("churn-seed", 0)?;
+            // Aim events at the interior of the run: the last couple of
+            // rounds are excluded so every event lands while entries are
+            // still in flight.
+            let horizon = plan.schedule.makespan().saturating_sub(2).max(1) as u32;
+            gossip_model::ChurnPlan::generate(&g, rate, seed, horizon)
+        }
+    };
+    if let Some(path) = path_option(args, "churn-out")? {
+        let json = serde_json::to_string_pretty(&churn_plan).map_err(|e| e.to_string())?;
+        std::fs::write(&path, json).map_err(|e| format!("{path}: {e}"))?;
+        out!(
+            out,
+            "wrote churn plan ({} event(s), seed {}) to {path}",
+            churn_plan.events.len(),
+            churn_plan.seed
+        );
+    }
+    let max_epochs = args.get_usize("max-epochs", DEFAULT_MAX_EPOCHS)?;
+    let flight_path = flight_out_path(args)?;
+    let flight = match &flight_path {
+        Some(_) => {
+            let flat = gossip_model::FlatSchedule::from_schedule(&plan.schedule);
+            let mut header = flight_header(
+                "churn",
+                &g,
+                plan.radius,
+                &flat,
+                &None,
+                &plan.origin_of_message,
+            )?;
+            // The fault-digest slot fingerprints the churn plan instead:
+            // two churn captures with the same graph/schedule digests but
+            // different topology scripts must not diff as "same inputs".
+            let json = serde_json::to_string(&churn_plan).map_err(|e| e.to_string())?;
+            let mut d = Digest::new();
+            d.write_bytes(json.as_bytes());
+            header.fault_digest = d.finish();
+            Some(FlightRecorder::new(header))
+        }
+        None => None,
+    };
+    let tee;
+    let mut exec = ChurnExecutor::new(&g, &churn_plan).max_epochs(max_epochs);
+    exec = match (&metrics, &flight) {
+        (Some(m), Some(f)) => {
+            tee = Tee::new(&m.recorder, f);
+            exec.recorder(&tee)
+        }
+        (Some(m), None) => exec.recorder(&m.recorder),
+        (None, Some(f)) => exec.recorder(f),
+        (None, None) => exec,
+    };
+    let report = exec.run().map_err(|e| e.to_string())?;
+
+    out!(
+        out,
+        "network: n = {}, m = {}, radius r = {}; baseline schedule {} round(s)",
+        g.n(),
+        g.m(),
+        plan.radius,
+        report.baseline_rounds
+    );
+    out!(
+        out,
+        "churn plan: seed {}, {} event(s) ({} after flap expansion), last at round {}",
+        churn_plan.seed,
+        churn_plan.events.len(),
+        report.events_applied,
+        report.last_event_round
+    );
+    if !report.batches.is_empty() {
+        out!(
+            out,
+            "{:>6} {:>7} {:>12} {:>12} {:>12} {:>9}",
+            "round",
+            "events",
+            "invalidated",
+            "repair",
+            "replanned",
+            "scratch"
+        );
+        for b in &report.batches {
+            out!(
+                out,
+                "{:>6} {:>7} {:>12} {:>12} {:>12} {:>9}",
+                b.round,
+                b.events,
+                b.invalidated_deliveries,
+                b.decision.label(),
+                b.repaired_entries,
+                b.scratch_entries
+            );
+        }
+    }
+    out!(
+        out,
+        "repair: {} incremental, {} full replan(s); {} entr(ies) replanned vs {} from scratch{}",
+        report.incremental_repairs,
+        report.full_replans,
+        report.repaired_entries,
+        report.scratch_entries,
+        if report.bound_fallback {
+            format!(
+                " (+{} from the bound-guard full plan)",
+                report.fallback_entries
+            )
+        } else {
+            String::new()
+        }
+    );
+    out!(
+        out,
+        "totals: {} round(s), {} completion epoch(s), {} retransmission(s), {} delivery(ies) invalidated",
+        report.total_rounds,
+        report.completion_epochs,
+        report.retransmissions,
+        report.deliveries_invalidated
+    );
+    match (report.final_radius, report.final_bound) {
+        (Some(r), Some(bound)) => out!(
+            out,
+            "final graph: {} node(s) present, radius {r}; {} round(s) after the last event vs bound n + r = {bound} — {}",
+            report.final_present,
+            report.rounds_after_last_event,
+            if report.within_final_bound {
+                "WITHIN BOUND"
+            } else {
+                "OVER BOUND"
+            }
+        ),
+        _ => out!(
+            out,
+            "final graph: {} node(s) present, disconnected — the n + r bound is undefined",
+            report.final_present
+        ),
+    }
+    if !report.unrecoverable.is_empty() {
+        out!(
+            out,
+            "unrecoverable: {} pair(s) — message extinct among present nodes or cut off",
+            report.unrecoverable.len()
+        );
+    }
+    if report.recovered {
+        out!(
+            out,
+            "recovered: every reachable (message, vertex) pair completed"
+        );
+    }
+
+    if let Some(path) = path_option(args, "out")? {
+        let json = serde_json::to_string_pretty(&report.to_value()).map_err(|e| e.to_string())?;
+        std::fs::write(&path, json).map_err(|e| format!("{path}: {e}"))?;
+        out!(out, "wrote churn report to {path}");
+    }
+    // Like recover: the capture is written even on failure — that is
+    // exactly when a post-mortem matters.
+    if let (Some(path), Some(f)) = (&flight_path, &flight) {
+        write_flight(path, f, out)?;
+    }
+    if let Some(m) = &metrics {
+        write_metrics(m)?;
+    }
+    if report.recovered {
+        Ok(())
+    } else {
+        Err(format!(
+            "churn recovery incomplete: a recoverable pair is still missing after {max_epochs} completion epoch(s) (raise --max-epochs)"
+        ))
+    }
+}
+
 /// `gossip trace`: print one vertex's schedule in the paper's table format.
 pub fn trace(args: &Args) -> Result<(), String> {
     let g = load_graph(args)?;
@@ -1388,6 +1639,10 @@ pub fn stats(args: &Args) -> Result<(), String> {
     if doc.get("kind").and_then(Value::as_str) == Some("recovery") {
         return stats_recovery(&doc);
     }
+    // `gossip churn --out` reports render as their per-batch repair table.
+    if doc.get("kind").and_then(Value::as_str) == Some("churn") {
+        return stats_churn(&doc);
+    }
     // PROF artifacts (`gossip profile --out`, `gossip plan --profile-out`)
     // render as an indented phase table.
     if doc.get("kind").and_then(Value::as_str) == Some("profile") {
@@ -1485,6 +1740,69 @@ fn stats_profile(doc: &Value) -> Result<(), String> {
     if doc.get("alloc_tracking").and_then(Value::as_bool) == Some(true) {
         println!("allocation stats recorded by the prof-alloc counting allocator (process-global attribution)");
     }
+    Ok(())
+}
+
+/// Renders a `ChurnReport` artifact (`kind: "churn"`) for `gossip stats`:
+/// the per-batch repair table plus the final-bound verdict, mirroring
+/// what `gossip churn` printed when it wrote the file.
+fn stats_churn(doc: &Value) -> Result<(), String> {
+    let int = |v: &Value| {
+        v.as_u64()
+            .map(|u| u.to_string())
+            .unwrap_or_else(|| "?".into())
+    };
+    println!(
+        "churn report: n = {}, {} event(s) applied, baseline {} rounds",
+        int(&doc["n"]),
+        int(&doc["events_applied"]),
+        int(&doc["baseline_rounds"])
+    );
+    let batches = doc["batches"].as_array().cloned().unwrap_or_default();
+    if !batches.is_empty() {
+        println!(
+            "{:>6} {:>7} {:>12} {:>12} {:>12} {:>9}",
+            "round", "events", "invalidated", "repair", "replanned", "scratch"
+        );
+        for b in &batches {
+            println!(
+                "{:>6} {:>7} {:>12} {:>12} {:>12} {:>9}",
+                int(&b["round"]),
+                int(&b["events"]),
+                int(&b["invalidated_deliveries"]),
+                b["decision"].as_str().unwrap_or("?"),
+                int(&b["repaired_entries"]),
+                int(&b["scratch_entries"])
+            );
+        }
+    }
+    println!(
+        "repair: {} incremental, {} full replan(s); {} entr(ies) replanned vs {} from scratch",
+        int(&doc["incremental_repairs"]),
+        int(&doc["full_replans"]),
+        int(&doc["repaired_entries"]),
+        int(&doc["scratch_entries"])
+    );
+    println!(
+        "totals: {} round(s), {} completion epoch(s), {} delivery(ies) invalidated",
+        int(&doc["total_rounds"]),
+        int(&doc["completion_epochs"]),
+        int(&doc["deliveries_invalidated"])
+    );
+    let unrecoverable = doc["unrecoverable"].as_array().map_or(0, Vec::len);
+    let verdict = match (
+        doc["recovered"].as_bool(),
+        doc["within_final_bound"].as_bool(),
+    ) {
+        (Some(true), Some(true)) => "recovered WITHIN the final n + r bound",
+        (Some(true), _) => "recovered (bound undefined or exceeded)",
+        _ => "INCOMPLETE",
+    };
+    println!(
+        "verdict: {verdict}; {} round(s) after the last event vs bound {}; {unrecoverable} unrecoverable pair(s)",
+        int(&doc["rounds_after_last_event"]),
+        int(&doc["final_bound"]),
+    );
     Ok(())
 }
 

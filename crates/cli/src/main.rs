@@ -55,6 +55,7 @@ fn main() {
         "stats" => commands::stats(&args),
         "provenance" => commands::provenance(&args),
         "recover" => commands::recover(&args),
+        "churn" => commands::churn(&args),
         "serve" => commands::serve(&args),
         "dash" => commands::dash(&args),
         "inspect" => commands::inspect(&args),

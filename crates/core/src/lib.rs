@@ -20,8 +20,10 @@
 //! optimal Petersen schedule ([`search`]), weighted gossiping by chain
 //! splitting ([`weighted`]), the online/distributed protocol with a
 //! thread-per-processor harness ([`online`]), the graph-to-schedule
-//! pipeline ([`pipeline`]), and self-healing execution under seeded fault
-//! plans — residual planning plus epoch-based repair ([`recovery`]).
+//! pipeline ([`pipeline`]), self-healing execution under seeded fault
+//! plans — residual planning plus epoch-based repair ([`recovery`]) — and
+//! churn-resilient execution under mid-run topology changes with
+//! incremental schedule repair ([`churn`]).
 //!
 //! ## Quick start
 //!
@@ -53,6 +55,7 @@ pub mod annotated;
 pub mod bounds;
 pub mod broadcast;
 pub mod broadcast_model;
+pub mod churn;
 pub mod classify;
 pub mod concurrent;
 pub mod exact;
@@ -81,13 +84,14 @@ pub use annotated::{
 pub use bounds::{cut_vertex_lower_bound, gossip_lower_bound, trivial_lower_bound};
 pub use broadcast::broadcast_schedule;
 pub use broadcast_model::broadcast_model_gossip;
+pub use churn::{ChurnEpoch, ChurnError, ChurnExecutor, ChurnReport, RepairDecision};
 pub use classify::{classify, is_lip, is_rip, MessageClass};
 pub use concurrent::{concurrent_updown, concurrent_updown_recorded, tree_origins};
 pub use exact::{optimal_gossip_schedule, optimal_gossip_time, ExactResult};
 pub use gather::gather_schedule;
 pub use labeling::{LabelView, VertexParams};
 pub use line::{line_gossip_schedule, MAX_LINE_N};
-pub use maintenance::{MaintenanceOutcome, TreeMaintainer};
+pub use maintenance::{EdgeOp, MaintenanceOutcome, TreeMaintainer};
 pub use multi_broadcast::multi_broadcast_schedule;
 pub use online::{
     run_online, run_online_threaded, run_online_threaded_recorded, run_online_threaded_traced,

@@ -28,6 +28,15 @@ pub enum MaintenanceOutcome {
     Rebuilt,
 }
 
+/// One edge operation in a [`TreeMaintainer::batch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeOp {
+    /// Insert edge `(u, v)`.
+    Insert(usize, usize),
+    /// Remove edge `(u, v)`.
+    Remove(usize, usize),
+}
+
 /// A long-lived planner that owns the evolving network and its current
 /// gossip plan.
 #[derive(Debug, Clone)]
@@ -106,6 +115,45 @@ impl TreeMaintainer {
         } else {
             // The tree still spans. Its height equals the old radius, which
             // removal can only have grown, so the tree stays optimal.
+            self.commit(candidate, None);
+            Ok(MaintenanceOutcome::Kept)
+        }
+    }
+
+    /// Applies several edge operations atomically, in order, with one
+    /// rebuild decision at the end — at most one `O(mn)` construction no
+    /// matter how many operations the batch carries.
+    ///
+    /// All-or-nothing: if any operation is invalid (duplicate insert,
+    /// missing removal), the batch disconnects the network, or the rebuild
+    /// itself fails, the maintainer's graph and plan are both unchanged —
+    /// callers never observe a torn intermediate state, which a loop of
+    /// single ops cannot promise under panic or mid-loop error.
+    pub fn batch(&mut self, ops: &[EdgeOp]) -> Result<MaintenanceOutcome, GraphError> {
+        let mut candidate = self.graph.clone();
+        let mut tree_edge_lost = false;
+        for op in ops {
+            match *op {
+                EdgeOp::Insert(u, v) => candidate = candidate.with_edge(u, v)?,
+                EdgeOp::Remove(u, v) => {
+                    candidate = candidate.without_edge(u, v)?;
+                    tree_edge_lost |=
+                        self.plan.tree.parent(u) == Some(v) || self.plan.tree.parent(v) == Some(u);
+                }
+            }
+        }
+        if !gossip_graph::is_connected(&candidate) {
+            return Err(GraphError::Disconnected);
+        }
+        // One decision for the whole batch: rebuild if the tree no longer
+        // spans (a tree edge was removed) or is no longer optimal (the net
+        // effect shrank the radius below the tree's height).
+        let rebuild = tree_edge_lost || gossip_graph::radius(&candidate)? < self.plan.radius;
+        if rebuild {
+            let plan = self.build_plan(&candidate)?;
+            self.commit(candidate, Some(plan));
+            Ok(MaintenanceOutcome::Rebuilt)
+        } else {
             self.commit(candidate, None);
             Ok(MaintenanceOutcome::Kept)
         }
@@ -256,6 +304,99 @@ mod tests {
             m.remove_edge(root, child).unwrap(),
             MaintenanceOutcome::Rebuilt
         );
+        assert_plan_valid(&m);
+    }
+
+    #[test]
+    fn batch_applies_all_ops_with_one_rebuild() {
+        let mut m = TreeMaintainer::new(ring(8)).unwrap();
+        let root = m.plan().tree.root();
+        let child = m.plan().tree.children(root)[0] as usize;
+        // Remove a tree edge and add two chords in one batch: exactly one
+        // rebuild, not three.
+        let ops = [
+            EdgeOp::Remove(root, child),
+            EdgeOp::Insert(0, 4),
+            EdgeOp::Insert(1, 5),
+        ];
+        assert_eq!(m.batch(&ops).unwrap(), MaintenanceOutcome::Rebuilt);
+        assert_eq!(m.rebuilds(), 2);
+        assert!(!m.graph().has_edge(root, child));
+        assert!(m.graph().has_edge(0, 4) && m.graph().has_edge(1, 5));
+        assert_plan_valid(&m);
+    }
+
+    #[test]
+    fn batch_keeps_plan_when_tree_unaffected() {
+        let mut m = TreeMaintainer::new(ring(9)).unwrap();
+        // Two short chords on the same arc: the tree still spans and C9's
+        // radius (4) is unchanged — chords this local shortcut nothing far.
+        let ops = [EdgeOp::Insert(0, 2), EdgeOp::Insert(1, 3)];
+        assert_eq!(m.batch(&ops).unwrap(), MaintenanceOutcome::Kept);
+        assert_eq!(m.rebuilds(), 1);
+        assert_plan_valid(&m);
+    }
+
+    #[test]
+    fn batch_is_all_or_nothing_on_invalid_op() {
+        let mut m = TreeMaintainer::new(ring(8)).unwrap();
+        let before = m.graph().clone();
+        // The first op is fine, the second inserts a duplicate: nothing
+        // may land.
+        let ops = [EdgeOp::Insert(0, 3), EdgeOp::Insert(1, 2)];
+        assert!(m.batch(&ops).is_err());
+        assert!(!m.graph().has_edge(0, 3), "first op must be rolled back");
+        assert_eq!(m.graph().m(), before.m());
+        assert_eq!(m.rebuilds(), 1);
+        assert_plan_valid(&m);
+    }
+
+    #[test]
+    fn batch_rejects_net_disconnection() {
+        let path = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let mut m = TreeMaintainer::new(path).unwrap();
+        let ops = [EdgeOp::Insert(0, 2), EdgeOp::Remove(2, 3)];
+        assert_eq!(m.batch(&ops).unwrap_err(), GraphError::Disconnected);
+        assert!(!m.graph().has_edge(0, 2), "batch must be rolled back");
+        assert!(m.graph().has_edge(2, 3));
+        assert_plan_valid(&m);
+    }
+
+    #[test]
+    fn batch_survives_mid_batch_disconnection_if_net_connected() {
+        // Removing a path edge disconnects transiently; the insert in the
+        // same batch restores connectivity, so the batch must succeed.
+        let path = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let mut m = TreeMaintainer::new(path).unwrap();
+        let ops = [EdgeOp::Remove(1, 2), EdgeOp::Insert(0, 2)];
+        assert_eq!(m.batch(&ops).unwrap(), MaintenanceOutcome::Rebuilt);
+        assert!(!m.graph().has_edge(1, 2));
+        assert!(m.graph().has_edge(0, 2));
+        assert_plan_valid(&m);
+    }
+
+    #[test]
+    fn batch_failed_rebuild_rolls_back_everything() {
+        let mut m = TreeMaintainer::new(ring(8)).unwrap();
+        let root = m.plan().tree.root();
+        let child = m.plan().tree.children(root)[0] as usize;
+        let before_plan = m.plan().clone();
+        m.fail_next_rebuild = true;
+        assert!(m
+            .batch(&[EdgeOp::Remove(root, child), EdgeOp::Insert(0, 4)])
+            .is_err());
+        assert!(m.graph().has_edge(root, child));
+        assert!(!m.graph().has_edge(0, 4));
+        assert_eq!(m.plan().schedule, before_plan.schedule);
+        assert_eq!(m.rebuilds(), 1);
+        assert_plan_valid(&m);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let mut m = TreeMaintainer::new(ring(6)).unwrap();
+        assert_eq!(m.batch(&[]).unwrap(), MaintenanceOutcome::Kept);
+        assert_eq!(m.rebuilds(), 1);
         assert_plan_valid(&m);
     }
 

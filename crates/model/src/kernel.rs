@@ -142,6 +142,61 @@ impl<'g> SimKernel<'g> {
         })
     }
 
+    /// Creates a kernel whose knowledge is seeded from explicit hold sets
+    /// — one [`BitSet`] per processor, all with the same capacity (which
+    /// becomes `n_msgs`). This resumes replay from a mid-run state: when
+    /// the topology changes the kernel must be rebuilt over the patched
+    /// graph, but the processors' accumulated knowledge persists.
+    pub fn with_holds(
+        g: &'g Graph,
+        model: CommModel,
+        holds: &[BitSet],
+    ) -> Result<Self, ModelError> {
+        let n = g.n();
+        if holds.len() != n {
+            return Err(ModelError::BadOriginTable {
+                reason: format!("{} hold sets for {n} processors", holds.len()),
+            });
+        }
+        let n_msgs = holds.first().map_or(0, BitSet::capacity);
+        if holds.iter().any(|h| h.capacity() != n_msgs) {
+            return Err(ModelError::BadOriginTable {
+                reason: "hold sets have mixed capacities".to_string(),
+            });
+        }
+        let hold_words = n_msgs.div_ceil(64);
+        let adj_words = n.div_ceil(64);
+        let mut hold = vec![0u64; n * hold_words];
+        let mut known_pairs = 0;
+        for (p, h) in holds.iter().enumerate() {
+            let row = p * hold_words;
+            hold[row..row + h.words().len()].copy_from_slice(h.words());
+            known_pairs += h.len();
+        }
+        let mut adj = vec![0u64; n * adj_words];
+        for v in 0..n {
+            let row = v * adj_words;
+            for u in g.neighbors(v) {
+                adj[row + u / 64] |= 1u64 << (u % 64);
+            }
+        }
+        Ok(SimKernel {
+            g,
+            model,
+            n,
+            n_msgs,
+            hold_words,
+            hold,
+            adj_words,
+            adj,
+            time: 0,
+            send_stamp: vec![0; n],
+            recv_stamp: vec![0; n],
+            round_stamp: 0,
+            known_pairs,
+        })
+    }
+
     /// The current time (number of rounds executed).
     #[inline]
     pub fn time(&self) -> usize {
@@ -894,6 +949,44 @@ mod tests {
             (lost, k.hold_bitsets())
         };
         assert_eq!(run(7), run(3));
+    }
+
+    #[test]
+    fn with_holds_resumes_a_split_run() {
+        let n = 8;
+        let g = ring(n);
+        let s = ring_schedule(n);
+        let split = 4;
+        let mut first = Schedule::new(n);
+        let mut second = Schedule::new(n);
+        for (t, tx) in s.iter() {
+            if t < split {
+                first.add_transmission(t, tx.clone());
+            } else {
+                second.add_transmission(t - split, tx.clone());
+            }
+        }
+        let mut whole = SimKernel::new(&g, CommModel::Multicast, &identity(n)).unwrap();
+        whole.run(&FlatSchedule::from_schedule(&s)).unwrap();
+        let mut head = SimKernel::new(&g, CommModel::Multicast, &identity(n)).unwrap();
+        head.run(&FlatSchedule::from_schedule(&first)).unwrap();
+        // Rebuild a fresh kernel from the mid-run hold sets (as the churn
+        // executor does across a topology patch) and finish the run.
+        let mid = head.hold_bitsets();
+        let mut tail = SimKernel::with_holds(&g, CommModel::Multicast, &mid).unwrap();
+        tail.run(&FlatSchedule::from_schedule(&second)).unwrap();
+        assert_eq!(tail.hold_bitsets(), whole.hold_bitsets());
+        assert_eq!(tail.known_pairs(), whole.known_pairs());
+        assert!(tail.gossip_complete());
+    }
+
+    #[test]
+    fn with_holds_rejects_bad_shapes() {
+        let g = ring(3);
+        let short = vec![BitSet::new(3); 2];
+        assert!(SimKernel::with_holds(&g, CommModel::Multicast, &short).is_err());
+        let mixed = vec![BitSet::new(3), BitSet::new(3), BitSet::new(4)];
+        assert!(SimKernel::with_holds(&g, CommModel::Multicast, &mixed).is_err());
     }
 
     #[test]

@@ -21,7 +21,9 @@
 //!   Chrome-trace export;
 //! - [`fault_plan`] / [`lossy`]: seeded environment faults (message loss,
 //!   link outages, crash-stop processors) and the degraded execution mode
-//!   that records losses and residual work instead of erroring.
+//!   that records losses and residual work instead of erroring;
+//! - [`churn`]: seeded, schema-versioned topology-change scripts
+//!   ([`ChurnPlan`]) applied mid-run by `gossip_core`'s churn executor.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,6 +31,7 @@
 pub mod analysis;
 pub mod bitset;
 pub mod builder;
+pub mod churn;
 pub mod compact;
 pub mod error;
 pub mod fault_plan;
@@ -48,6 +51,7 @@ pub use analysis::{
 };
 pub use bitset::BitSet;
 pub use builder::ScheduleBuilder;
+pub use churn::{ChurnEvent, ChurnOp, ChurnPlan, CHURN_PLAN_SCHEMA_VERSION};
 pub use compact::{compact_schedule, verify_compaction, CompactionReport};
 pub use error::ModelError;
 pub use fault_plan::{Crash, FaultPlan, LinkOutage, FAULT_PLAN_SCHEMA_VERSION};

@@ -22,7 +22,7 @@
 //!   than typical), and messages whose completion exceeds the paper's
 //!   `n + r` bound.
 
-use gossip_telemetry::flight::{cause_label, FlightLog};
+use gossip_telemetry::flight::{cause_label, churn_op_label, FlightChurn, FlightLog};
 use std::collections::HashSet;
 use std::fmt::Write as _;
 
@@ -178,6 +178,14 @@ pub struct InspectReport {
     pub loss_count: usize,
     /// `(epoch, start_round)` repair epochs.
     pub epochs: Vec<(u32, u32)>,
+    /// Applied topology changes, in round order (churn captures only).
+    pub churn_events: Vec<FlightChurn>,
+    /// Deliveries invalidated by churn (losses with cause
+    /// `churn_invalidated`), over the whole capture.
+    pub churn_invalidated: usize,
+    /// Of those, `(message, destination)` pairs the repaired schedule
+    /// delivered anyway by the end of the run.
+    pub churn_repaired: usize,
     /// Records evicted by the ring buffer (nonzero = truncated capture).
     pub dropped: u64,
     /// The round inspected (state after this round applied).
@@ -226,6 +234,28 @@ pub fn inspect(log: &FlightLog, round: Option<usize>) -> Result<InspectReport, S
         .iter()
         .find(|&&(r, _)| r as usize == round)
         .map(|&(_, k)| k);
+    let churn_events = log.churn_events();
+    let invalidated: Vec<(u32, u32)> = log
+        .losses()
+        .iter()
+        .filter(|l| cause_label(l.cause) == "churn_invalidated")
+        .map(|l| (l.msg, l.to))
+        .collect();
+    let churn_repaired = if invalidated.is_empty() {
+        0
+    } else {
+        // "Repaired" is a whole-run judgment: replay to the end and ask
+        // whether the pair landed anyway via the repaired schedule.
+        let full = replay(log, None)?;
+        invalidated
+            .iter()
+            .filter(|&&(m, to)| {
+                (m as usize) < full.n_msgs
+                    && (to as usize) < full.n
+                    && full.first_hold[m as usize * full.n + to as usize] != u32::MAX
+            })
+            .count()
+    };
     Ok(InspectReport {
         engine: log.header.engine.clone(),
         n: view.n,
@@ -235,6 +265,9 @@ pub fn inspect(log: &FlightLog, round: Option<usize>) -> Result<InspectReport, S
         tx_count: replayed_tx_count(log),
         loss_count: view.loss_count,
         epochs: log.epochs(),
+        churn_invalidated: invalidated.len(),
+        churn_repaired,
+        churn_events,
         dropped: log.dropped,
         round,
         known_pairs: known,
@@ -277,6 +310,22 @@ pub fn render_inspect(r: &InspectReport) -> String {
             out,
             "warning: ring buffer evicted {} record(s) — replay is partial",
             r.dropped
+        );
+    }
+    if !r.churn_events.is_empty() {
+        let _ = writeln!(out, "topology churn: {} event(s)", r.churn_events.len());
+        for c in &r.churn_events {
+            let what = churn_op_label(c.op);
+            if c.u == c.v {
+                let _ = writeln!(out, "  round {:>3}: {what} v{}", c.round, c.u);
+            } else {
+                let _ = writeln!(out, "  round {:>3}: {what} {}-{}", c.round, c.u, c.v);
+            }
+        }
+        let _ = writeln!(
+            out,
+            "churn repair: {} delivery(ies) invalidated, {} of them delivered anyway by the repaired schedule",
+            r.churn_invalidated, r.churn_repaired
         );
     }
     let _ = writeln!(
@@ -802,5 +851,71 @@ mod tests {
     fn loss_breakdown_labels_causes() {
         assert_eq!(loss_breakdown(&tiny_log(false)), "");
         assert_eq!(loss_breakdown(&tiny_log(true)), "sampled 1");
+    }
+
+    #[test]
+    fn inspect_surfaces_churn_timeline_and_repairs() {
+        use gossip_telemetry::flight::churn_op_code;
+        // A churn capture by hand: the 1-2 edge dies at round 1,
+        // invalidating msg 1's delivery to v2; a repair resends it at
+        // round 3 (delivered). Msg 0's delivery to v2 is invalidated too
+        // and never repaired.
+        let records = vec![
+            FlightRecord::Tx {
+                round: 0,
+                msg: 1,
+                from: 1,
+                dests: vec![0],
+            },
+            FlightRecord::Churn {
+                round: 1,
+                op: churn_op_code("edge_remove"),
+                u: 1,
+                v: 2,
+            },
+            FlightRecord::Churn {
+                round: 1,
+                op: churn_op_code("node_leave"),
+                u: 2,
+                v: 2,
+            },
+            FlightRecord::Loss {
+                round: 1,
+                msg: 1,
+                from: 1,
+                to: 2,
+                cause: 5,
+            },
+            FlightRecord::Loss {
+                round: 2,
+                msg: 0,
+                from: 0,
+                to: 2,
+                cause: 5,
+            },
+            FlightRecord::Tx {
+                round: 3,
+                msg: 1,
+                from: 1,
+                dests: vec![2],
+            },
+        ];
+        let log = FlightLog {
+            header: header(3, "churn"),
+            records,
+            dropped: 0,
+        };
+        let report = inspect(&log, None).unwrap();
+        assert_eq!(report.churn_events.len(), 2);
+        assert_eq!(report.churn_invalidated, 2);
+        assert_eq!(report.churn_repaired, 1, "msg 1 -> v2 lands at round 3");
+        let text = render_inspect(&report);
+        assert!(text.contains("topology churn: 2 event(s)"), "{text}");
+        assert!(text.contains("edge_remove 1-2"), "{text}");
+        assert!(text.contains("node_leave v2"), "{text}");
+        assert!(
+            text.contains("2 delivery(ies) invalidated, 1 of them"),
+            "{text}"
+        );
     }
 }

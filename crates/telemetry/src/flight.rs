@@ -48,15 +48,17 @@ const TAG_ROUND_END: u8 = 3;
 const TAG_EPOCH_START: u8 = 4;
 const TAG_EPOCH_END: u8 = 5;
 const TAG_END: u8 = 6;
+const TAG_CHURN: u8 = 7;
 
 /// Loss-cause codes stored in [`FlightRecord::Loss`]; stable across
-/// builds because they are part of the on-disk format.
-pub const CAUSE_LABELS: [&str; 5] = [
+/// builds because they are part of the on-disk format (append-only).
+pub const CAUSE_LABELS: [&str; 6] = [
     "sampled",
     "link_down",
     "sender_crashed",
     "receiver_crashed",
     "not_held",
+    "churn_invalidated",
 ];
 
 /// The code for a loss-cause label (255 for labels this build does not
@@ -72,6 +74,36 @@ pub fn cause_code(label: &str) -> u8 {
 /// The label for a loss-cause code (the inverse of [`cause_code`]).
 pub fn cause_label(code: u8) -> &'static str {
     CAUSE_LABELS
+        .get(code as usize)
+        .copied()
+        .unwrap_or("unknown")
+}
+
+/// Topology-change op codes stored in [`FlightRecord::Churn`]; stable
+/// across builds because they are part of the on-disk format
+/// (append-only). Mirrors `gossip_model::ChurnOp::label` without a
+/// dependency on the model crate.
+pub const CHURN_OP_LABELS: [&str; 5] = [
+    "edge_add",
+    "edge_remove",
+    "node_leave",
+    "node_join",
+    "link_flap",
+];
+
+/// The code for a churn-op label (255 for labels this build does not
+/// know, so future ops degrade to "unknown" instead of erroring).
+pub fn churn_op_code(label: &str) -> u8 {
+    CHURN_OP_LABELS
+        .iter()
+        .position(|&l| l == label)
+        .map(|i| i as u8)
+        .unwrap_or(255)
+}
+
+/// The label for a churn-op code (the inverse of [`churn_op_code`]).
+pub fn churn_op_label(code: u8) -> &'static str {
+    CHURN_OP_LABELS
         .get(code as usize)
         .copied()
         .unwrap_or("unknown")
@@ -320,6 +352,17 @@ pub enum FlightRecord {
         /// Epoch index.
         epoch: u32,
     },
+    /// One applied topology change (`ChurnExecutor` only).
+    Churn {
+        /// Absolute round the change fired at.
+        round: u32,
+        /// Op code (see [`churn_op_code`] / [`churn_op_label`]).
+        op: u8,
+        /// First endpoint (the departing/joining node for node events).
+        u: u32,
+        /// Second endpoint (equal to `u` for node events).
+        v: u32,
+    },
 }
 
 fn encode_record(out: &mut Vec<u8>, rec: &FlightRecord) {
@@ -367,6 +410,13 @@ fn encode_record(out: &mut Vec<u8>, rec: &FlightRecord) {
             out.push(TAG_EPOCH_END);
             push_varint(out, u64::from(*epoch));
         }
+        FlightRecord::Churn { round, op, u, v } => {
+            out.push(TAG_CHURN);
+            push_varint(out, u64::from(*round));
+            push_varint(out, u64::from(*op));
+            push_varint(out, u64::from(*u));
+            push_varint(out, u64::from(*v));
+        }
     }
 }
 
@@ -381,6 +431,19 @@ pub struct FlightTx<'a> {
     pub from: u32,
     /// Destinations.
     pub dests: &'a [u32],
+}
+
+/// One applied topology change, as a plain value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightChurn {
+    /// Absolute round.
+    pub round: u32,
+    /// Op code (see [`churn_op_label`]).
+    pub op: u8,
+    /// First endpoint.
+    pub u: u32,
+    /// Second endpoint (equal to `u` for node events).
+    pub v: u32,
 }
 
 /// One suppressed delivery, as a plain value.
@@ -462,6 +525,12 @@ impl FlightLog {
                 TAG_EPOCH_END => records.push(FlightRecord::EpochEnd {
                     epoch: r.u32_varint("epoch")?,
                 }),
+                TAG_CHURN => records.push(FlightRecord::Churn {
+                    round: r.u32_varint("round")?,
+                    op: r.varint()?.min(255) as u8,
+                    u: r.u32_varint("u")?,
+                    v: r.u32_varint("v")?,
+                }),
                 TAG_END => {
                     dropped = Some(r.varint()?);
                     break;
@@ -504,6 +573,7 @@ impl FlightLog {
                 | FlightRecord::Loss { round, .. }
                 | FlightRecord::RoundEnd { round, .. } => *round as usize + 1,
                 FlightRecord::EpochStart { start_round, .. } => *start_round as usize,
+                FlightRecord::Churn { round, .. } => *round as usize,
                 FlightRecord::EpochEnd { .. } => 0,
             })
             .max()
@@ -582,6 +652,25 @@ impl FlightLog {
                 _ => None,
             })
             .collect()
+    }
+
+    /// Every applied topology change, normalized to `(round, u, v)` order.
+    pub fn churn_events(&self) -> Vec<FlightChurn> {
+        let mut out: Vec<FlightChurn> = self
+            .records
+            .iter()
+            .filter_map(|rec| match rec {
+                FlightRecord::Churn { round, op, u, v } => Some(FlightChurn {
+                    round: *round,
+                    op: *op,
+                    u: *u,
+                    v: *v,
+                }),
+                _ => None,
+            })
+            .collect();
+        out.sort_by_key(|c| (c.round, c.u, c.v));
+        out
     }
 }
 
@@ -777,6 +866,27 @@ impl Recorder for FlightRecorder {
                 };
                 FlightRecord::EpochEnd {
                     epoch: epoch as u32,
+                }
+            }
+            "churn" => {
+                let (Some(round), Some(u), Some(v)) = (
+                    field_u64(fields, "round"),
+                    field_u64(fields, "u"),
+                    field_u64(fields, "v"),
+                ) else {
+                    return;
+                };
+                let op = fields
+                    .iter()
+                    .find(|(k, _)| *k == "op")
+                    .and_then(|(_, val)| val.as_str())
+                    .map(churn_op_code)
+                    .unwrap_or(255);
+                FlightRecord::Churn {
+                    round: round as u32,
+                    op,
+                    u: u as u32,
+                    v: v as u32,
                 }
             }
             _ => return,
@@ -1043,5 +1153,46 @@ mod tests {
         }
         assert_eq!(cause_code("mystery"), 255);
         assert_eq!(cause_label(255), "unknown");
+        for (i, label) in CHURN_OP_LABELS.iter().enumerate() {
+            assert_eq!(churn_op_code(label), i as u8);
+            assert_eq!(churn_op_label(i as u8), *label);
+        }
+        assert_eq!(churn_op_code("teleport"), 255);
+        assert_eq!(churn_op_label(255), "unknown");
+    }
+
+    #[test]
+    fn churn_records_roundtrip() {
+        let rec = FlightRecorder::new(header());
+        rec.event(
+            "churn",
+            &[
+                ("round", Value::from_u64(3)),
+                ("op", Value::String("edge_remove".to_string())),
+                ("u", Value::from_u64(1)),
+                ("v", Value::from_u64(2)),
+            ],
+        );
+        rec.event(
+            "loss",
+            &[
+                ("round", Value::from_u64(4)),
+                ("msg", Value::from_u64(0)),
+                ("from", Value::from_u64(1)),
+                ("to", Value::from_u64(2)),
+                ("cause", Value::String("churn_invalidated".to_string())),
+            ],
+        );
+        let bytes = rec.finish();
+        let log = FlightLog::decode(&bytes).expect("decodes");
+        assert_eq!(log.encode(), bytes, "re-encode is byte-identical");
+        let churn = log.churn_events();
+        assert_eq!(churn.len(), 1);
+        assert_eq!(churn[0].round, 3);
+        assert_eq!(churn_op_label(churn[0].op), "edge_remove");
+        assert_eq!((churn[0].u, churn[0].v), (1, 2));
+        assert_eq!(cause_label(log.losses()[0].cause), "churn_invalidated");
+        // A churn record alone does not extend the executed-round count.
+        assert_eq!(log.rounds(), 5);
     }
 }
