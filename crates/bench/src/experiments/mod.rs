@@ -18,7 +18,7 @@ pub use figures::{exp_fig45, exp_n3, exp_petersen, exp_ring};
 pub use models_exps::{exp_broadcast, exp_compaction, exp_curves, exp_curves_full, exp_models};
 pub use resilience::{exp_resilience, exp_resilience_full};
 pub use scaling::{
-    exp_scaling, exp_scaling_full, exp_scaling_full_with, SizeBudget, DEFAULT_SIZES,
+    exp_scaling, exp_scaling_full, exp_scaling_full_with, SizeBudget, SizeMode, DEFAULT_SIZES,
 };
 pub use tables::exp_tables;
 

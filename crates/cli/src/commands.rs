@@ -32,12 +32,23 @@ commands:
                                                        emit a graph as JSON
   plan      (--family F --n N | --graph FILE|NAME)
             [--algorithm concurrent-updown|simple|updown|telephone]
+            [--planner fast|reference|both]
+            [--stages all|tree]
             [--engine oracle|kernel|both]
             [--out FILE] [--trace-out FILE [--wall]]
             [--profile-out PROF.json]
-            [--flight-out FILE.gfr]                    build + verify a schedule
+            [--flight-out FILE.gfr]                    build + verify a schedule;
+                                                       --planner fast runs the
+                                                       CSR-direct pipeline, both
+                                                       cross-checks it against the
+                                                       reference; --stages tree stops
+                                                       after the spanning tree (the
+                                                       plan-at-scale mode: past
+                                                       n = 65536 a full schedule
+                                                       overflows u32 CSR offsets)
   profile   (GRAPH | --family F --n N | --graph FILE|NAME)
-            [--algorithm A] [--out PROF.json]
+            [--algorithm A] [--planner fast|reference]
+            [--out PROF.json]
             [--flame FILE]                             plan under the phase profiler:
                                                        per-phase time + work counters
                                                        (and heap attribution with the
@@ -161,9 +172,11 @@ churn flags (churn):
                     so a generated run can be replayed exactly
 
 --graph also accepts the paper's named instances: petersen (N2), n1 (the
-Fig 1 ring, size --n), fig4, fig5 — and the generator spec
+Fig 1 ring, size --n), fig4, fig5 — and the generator specs
 unit-disk:n,radius (seeded random geometric graph via --seed; the radius
-grows by 1.25x until the field is connected)
+grows by 1.25x until the field is connected) and gnp:n,p (seeded connected
+G(n, p) via --seed; unlike the random-sparse family's fixed p = 0.1, the
+density is explicit — at scale use p ~ 16/n to keep m ∝ n)
 
 --algo is accepted as shorthand for --algorithm, and `concurrent` for
 `concurrent-updown`
@@ -313,8 +326,40 @@ fn unit_disk_spec(spec: &str, args: &Args) -> Result<Option<Graph>, String> {
 /// Loads a graph from a `--graph`-style spec: a `unit-disk:n,radius`
 /// generator, a named paper instance (unless a file of that name
 /// exists), or a JSON / edge-list file.
+/// Parses a `gnp:n,p` spec into a seeded G(n, p) kept connected by
+/// bridging components (`--seed` selects the instance). Unlike the
+/// `random-sparse` family (fixed p = 0.1), this exposes the edge density —
+/// the scale sweeps need m ∝ n, not m ∝ n².
+fn gnp_spec(spec: &str, args: &Args) -> Result<Option<Graph>, String> {
+    let Some(params) = spec.strip_prefix("gnp:") else {
+        return Ok(None);
+    };
+    let (n_str, p_str) = params.split_once(',').ok_or_else(|| {
+        format!("bad gnp spec {spec:?}: expected gnp:n,p (e.g. gnp:65536,0.00025)")
+    })?;
+    let n: usize = n_str
+        .trim()
+        .parse()
+        .map_err(|e| format!("bad gnp n {n_str:?}: {e}"))?;
+    let p: f64 = p_str
+        .trim()
+        .parse()
+        .map_err(|e| format!("bad gnp p {p_str:?}: {e}"))?;
+    // `!(p >= 0.0)` would wave NaN through; check the closed interval.
+    if n == 0 || !p.is_finite() || !(0.0..=1.0).contains(&p) {
+        return Err(format!(
+            "bad gnp spec {spec:?}: need n >= 1 and p in [0, 1]"
+        ));
+    }
+    let seed = args.get_u64("seed", 0)?;
+    Ok(Some(gossip_workloads::random_connected(n, p, seed)))
+}
+
 fn load_graph_spec(spec: &str, args: &Args) -> Result<Graph, String> {
     if let Some(g) = unit_disk_spec(spec, args)? {
+        return Ok(g);
+    }
+    if let Some(g) = gnp_spec(spec, args)? {
         return Ok(g);
     }
     if !std::path::Path::new(spec).exists() {
@@ -526,6 +571,44 @@ fn parse_algorithm(args: &Args) -> Result<Algorithm, String> {
     }
 }
 
+/// Which planning path `gossip plan` / `gossip profile` runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Planner {
+    /// The reference pipeline: n-sweep tree + `Schedule` generator (default).
+    Reference,
+    /// The fast pipeline: pruned multi-source bitset tree sweep + CSR-direct
+    /// generator (ConcurrentUpDown only).
+    Fast,
+    /// Reference plan plus a fast-path cross-check: the fast schedule must
+    /// validate, complete gossip, and meet the same `n + r` bound (and be
+    /// byte-identical when the trees agree).
+    Both,
+}
+
+/// Parses `--planner fast|reference|both` (default `reference`).
+fn parse_planner(args: &Args) -> Result<Planner, String> {
+    match args.options.get("planner").map(String::as_str) {
+        None | Some("reference") => Ok(Planner::Reference),
+        Some("fast") => Ok(Planner::Fast),
+        Some("both") => Ok(Planner::Both),
+        Some(other) => Err(format!(
+            "--planner must be fast, reference, or both (got {other})"
+        )),
+    }
+}
+
+/// Parses `--stages all|tree` (default `all`); `tree` stops after the
+/// spanning tree + label arena — the plan-at-scale mode for sizes whose
+/// full schedule cannot be materialized (gossip delivers exactly n(n-1)
+/// messages, which overflows u32 CSR offsets past n = 65536).
+fn parse_tree_only(args: &Args) -> Result<bool, String> {
+    match args.options.get("stages").map(String::as_str) {
+        None | Some("all") => Ok(false),
+        Some("tree") => Ok(true),
+        Some(other) => Err(format!("--stages must be all or tree (got {other})")),
+    }
+}
+
 /// `gossip plan`: build, verify, and summarize (optionally dump) a schedule.
 /// Which verification engine `gossip plan` runs after building a schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -553,6 +636,16 @@ fn parse_engine(args: &Args) -> Result<Engine, String> {
 pub fn plan(args: &Args) -> Result<(), String> {
     let g = load_graph(args)?;
     let alg = parse_algorithm(args)?;
+    let planner_mode = parse_planner(args)?;
+    if planner_mode != Planner::Reference && alg != Algorithm::ConcurrentUpDown {
+        return Err("--planner fast/both implements concurrent-updown only".into());
+    }
+    if parse_tree_only(args)? {
+        return plan_tree_only(args, &g, planner_mode);
+    }
+    if planner_mode == Planner::Fast {
+        return plan_fast_only(args, &g);
+    }
     let metrics = open_metrics(args)?;
     let out = Out::for_metrics(&metrics);
     let mut planner = GossipPlanner::new(&g)
@@ -624,6 +717,57 @@ pub fn plan(args: &Args) -> Result<(), String> {
     if !outcome.complete {
         return Err("schedule did not complete gossip (bug)".into());
     }
+    // --planner both: rebuild through the fast pipeline and cross-check it
+    // against the reference plan (inside the profiled window, so the fast
+    // phases land in --profile-out artifacts).
+    let mut planner_note = None;
+    if planner_mode == Planner::Both {
+        let t0 = std::time::Instant::now();
+        let fast = planner.plan_fast().map_err(|e| e.to_string())?;
+        fast.schedule
+            .validate(&g, model, fast.origin_of_message.len())
+            .map_err(|e| format!("planner cross-check: fast schedule invalid: {e}"))?;
+        let mut kern = gossip_model::SimKernel::with_origins(&g, model, &fast.origin_of_message)
+            .map_err(|e| e.to_string())?;
+        let ko = kern
+            .run_prevalidated(&fast.schedule)
+            .map_err(|e| e.to_string())?;
+        if !ko.complete {
+            return Err("planner cross-check: fast schedule did not complete gossip".into());
+        }
+        if fast.radius != plan.radius {
+            return Err(format!(
+                "planner cross-check: radii differ (fast {} vs reference {})",
+                fast.radius, plan.radius
+            ));
+        }
+        if fast.makespan() != plan.makespan() {
+            return Err(format!(
+                "planner cross-check: makespans differ (fast {} vs reference {})",
+                fast.makespan(),
+                plan.makespan()
+            ));
+        }
+        let fast_ms = t0.elapsed().as_secs_f64() * 1e3;
+        planner_note = Some(if fast.tree == plan.tree {
+            let ref_flat = gossip_model::FlatSchedule::from_schedule(&plan.schedule);
+            if fast.schedule != ref_flat {
+                return Err(
+                    "planner cross-check: schedules differ on identical trees (bug)".into(),
+                );
+            }
+            format!(
+                "planner cross-check: fast path byte-identical (digest {:016x}) in {fast_ms:.2} ms",
+                fast.schedule.digest()
+            )
+        } else {
+            format!(
+                "planner cross-check: fast path valid at the same n + r = {} \
+                 (equal-depth root tie broken differently) in {fast_ms:.2} ms",
+                fast.makespan()
+            )
+        });
+    }
     if let (Some(profiler), Some(path)) = (profiler, &profile_out) {
         let profiled_ms = t_profile.elapsed().as_secs_f64() * 1e3;
         let profile = profiler.finish();
@@ -676,6 +820,9 @@ pub fn plan(args: &Args) -> Result<(), String> {
             "engine timings: oracle {oracle_ms:.2} ms, kernel {kernel_ms:.2} ms ({:.1}x)",
             oracle_ms / kernel_ms.max(1e-9)
         );
+    }
+    if let Some(note) = &planner_note {
+        out!(out, "{note}");
     }
     if let Some(faults) = parse_fault_plan(args, g.n())? {
         // Fault flags: additionally report what a lossy run (no repair)
@@ -808,6 +955,202 @@ pub fn plan(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `gossip plan --planner fast`: the CSR-direct pipeline end to end —
+/// pruned bitset tree sweep, flat label arena, straight-into-CSR
+/// generation — verified by structural validation plus a bitset-kernel
+/// replay. Options that need the reference `Schedule` representation
+/// (trace export, plan artifacts, fault injection, the oracle engine) are
+/// rejected; use `--planner both` to combine them with a fast cross-check.
+fn plan_fast_only(args: &Args, g: &Graph) -> Result<(), String> {
+    const NEEDS_REFERENCE: &[&str] = &[
+        "engine",
+        "trace-out",
+        "wall",
+        "out",
+        "flight-out",
+        "loss-rate",
+        "crash",
+        "outage",
+        "fault-seed",
+    ];
+    if let Some(k) = NEEDS_REFERENCE
+        .iter()
+        .find(|k| args.options.contains_key(**k))
+    {
+        return Err(format!(
+            "--{k} needs the reference schedule; use --planner reference or both"
+        ));
+    }
+    let metrics = open_metrics(args)?;
+    let out = Out::for_metrics(&metrics);
+    let mut planner = GossipPlanner::new(g).map_err(|e| e.to_string())?;
+    if let Some(m) = &metrics {
+        planner = planner.recorder(&m.recorder);
+    }
+    let profile_out = path_option(args, "profile-out")?;
+    let profiler = profile_out
+        .as_ref()
+        .map(|_| gossip_telemetry::profile::Profiler::begin());
+    let t0 = std::time::Instant::now();
+    let plan = planner.plan_fast().map_err(|e| e.to_string())?;
+    plan.schedule
+        .validate(g, CommModel::Multicast, plan.origin_of_message.len())
+        .map_err(|e| e.to_string())?;
+    let plan_ms = t0.elapsed().as_secs_f64() * 1e3;
+    if let (Some(profiler), Some(path)) = (profiler, &profile_out) {
+        let profile = profiler.finish();
+        let doc = profile_artifact(
+            g,
+            Algorithm::ConcurrentUpDown,
+            plan.radius,
+            plan.makespan(),
+            plan_ms,
+            &profile,
+        );
+        let json = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+        out!(
+            out,
+            "wrote profile to {path} — render with `gossip stats {path}`"
+        );
+    }
+    let t1 = std::time::Instant::now();
+    let mut kernel =
+        gossip_model::SimKernel::with_origins(g, CommModel::Multicast, &plan.origin_of_message)
+            .map_err(|e| e.to_string())?;
+    let outcome = kernel
+        .run_prevalidated(&plan.schedule)
+        .map_err(|e| e.to_string())?;
+    let kernel_ms = t1.elapsed().as_secs_f64() * 1e3;
+    if !outcome.complete {
+        return Err("schedule did not complete gossip (bug)".into());
+    }
+    out!(
+        out,
+        "network: n = {}, m = {}, radius r = {}",
+        g.n(),
+        g.m(),
+        plan.radius
+    );
+    out!(
+        out,
+        "algorithm: concurrent-updown (fast planner, CSR-direct)"
+    );
+    out!(
+        out,
+        "makespan: {} rounds (guarantee n + r = {})",
+        plan.makespan(),
+        plan.guarantee()
+    );
+    let stats = plan.schedule.stats();
+    out!(
+        out,
+        "verified (flat validate + bitset kernel): complete; {} transmissions, {} deliveries, max fanout {}",
+        stats.transmissions,
+        stats.deliveries,
+        stats.max_fanout
+    );
+    out!(
+        out,
+        "timings: plan + flatten + validate {plan_ms:.2} ms, kernel replay {kernel_ms:.2} ms"
+    );
+    if let Some(m) = &metrics {
+        write_metrics(m)?;
+    }
+    Ok(())
+}
+
+/// `gossip plan --stages tree`: build (and, with `--planner both`,
+/// cross-check) only the spanning tree and label arena. This is the
+/// plan-at-scale mode: past n = 65536 a full gossip schedule carries more
+/// than `u32::MAX` deliveries and cannot be materialized in CSR form, but
+/// the tree+label phases — the part the fast sweep accelerates — still run
+/// and can be profiled.
+fn plan_tree_only(args: &Args, g: &Graph, mode: Planner) -> Result<(), String> {
+    let metrics = open_metrics(args)?;
+    let out = Out::for_metrics(&metrics);
+    let profile_out = path_option(args, "profile-out")?;
+    let profiler = profile_out
+        .as_ref()
+        .map(|_| gossip_telemetry::profile::Profiler::begin());
+    let t_all = std::time::Instant::now();
+    let order = gossip_graph::ChildOrder::default();
+    let recorder: &dyn Recorder = match &metrics {
+        Some(m) => &m.recorder,
+        None => &gossip_telemetry::NoopRecorder,
+    };
+    out!(out, "network: n = {}, m = {}", g.n(), g.m());
+
+    let mut radius = 0;
+    let mut fast_tree = None;
+    if mode != Planner::Reference {
+        let t0 = std::time::Instant::now();
+        let tree = gossip_graph::min_depth_spanning_tree_fast_recorded(g, order, recorder)
+            .map_err(|e| e.to_string())?;
+        let tree_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = std::time::Instant::now();
+        let labels = gossip_core::FlatLabels::new(&tree);
+        let label_ms = t1.elapsed().as_secs_f64() * 1e3;
+        out!(
+            out,
+            "fast planner: tree of height r = {} (root {}) in {tree_ms:.2} ms; {} labels in {label_ms:.2} ms",
+            tree.height(),
+            tree.root(),
+            labels.n()
+        );
+        radius = tree.height();
+        fast_tree = Some(tree);
+    }
+    if mode != Planner::Fast {
+        let t0 = std::time::Instant::now();
+        let tree = gossip_graph::min_depth_spanning_tree_recorded(g, order, recorder)
+            .map_err(|e| e.to_string())?;
+        let tree_ms = t0.elapsed().as_secs_f64() * 1e3;
+        radius = tree.height();
+        out!(
+            out,
+            "reference planner: tree of height r = {} (root {}) in {tree_ms:.2} ms",
+            tree.height(),
+            tree.root()
+        );
+        if let Some(fast) = &fast_tree {
+            if fast.height() != tree.height() {
+                return Err(format!(
+                    "planner cross-check: tree heights differ (fast {} vs reference {})",
+                    fast.height(),
+                    tree.height()
+                ));
+            }
+            out!(
+                out,
+                "planner cross-check: equal radius r = {}{}",
+                tree.height(),
+                if fast.root() == tree.root() {
+                    ", same root"
+                } else {
+                    " (equal-depth root tie broken differently)"
+                }
+            );
+        }
+    }
+    out!(out, "stages: tree — schedule generation skipped");
+    if let (Some(profiler), Some(path)) = (profiler, &profile_out) {
+        let wall_ms = t_all.elapsed().as_secs_f64() * 1e3;
+        let profile = profiler.finish();
+        let doc = profile_artifact(g, Algorithm::ConcurrentUpDown, radius, 0, wall_ms, &profile);
+        let json = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+        out!(
+            out,
+            "wrote profile to {path} — render with `gossip stats {path}`"
+        );
+    }
+    if let Some(m) = &metrics {
+        write_metrics(m)?;
+    }
+    Ok(())
+}
+
 /// Builds the schema-versioned PROF artifact (`kind: "profile"`) shared
 /// by `gossip profile` and `gossip plan --profile-out`.
 fn profile_artifact(
@@ -929,6 +1272,15 @@ pub fn profile(args: &Args) -> Result<(), String> {
         None => load_graph(args)?,
     };
     let alg = parse_algorithm(args)?;
+    let planner_mode = parse_planner(args)?;
+    if planner_mode == Planner::Both {
+        return Err(
+            "--planner both is a `gossip plan` cross-check; profile one planner at a time".into(),
+        );
+    }
+    if planner_mode == Planner::Fast && alg != Algorithm::ConcurrentUpDown {
+        return Err("--planner fast implements concurrent-updown only".into());
+    }
     let out_path = path_option(args, "out")?;
     let flame_path = path_option(args, "flame")?;
     let model = if alg == Algorithm::Telephone {
@@ -939,36 +1291,65 @@ pub fn profile(args: &Args) -> Result<(), String> {
 
     let profiler = gossip_telemetry::profile::Profiler::begin();
     let t0 = std::time::Instant::now();
-    let plan = GossipPlanner::new(&g)
-        .map_err(|e| e.to_string())?
-        .algorithm(alg)
-        .plan()
-        .map_err(|e| e.to_string())?;
-    let flat = gossip_model::FlatSchedule::from_schedule(&plan.schedule);
-    flat.validate(&g, model, plan.origin_of_message.len())
-        .map_err(|e| e.to_string())?;
+    let (radius, makespan, guarantee, flat, origins) = if planner_mode == Planner::Fast {
+        let plan = GossipPlanner::new(&g)
+            .map_err(|e| e.to_string())?
+            .plan_fast()
+            .map_err(|e| e.to_string())?;
+        plan.schedule
+            .validate(&g, model, plan.origin_of_message.len())
+            .map_err(|e| e.to_string())?;
+        (
+            plan.radius,
+            plan.makespan(),
+            plan.guarantee(),
+            plan.schedule,
+            plan.origin_of_message,
+        )
+    } else {
+        let plan = GossipPlanner::new(&g)
+            .map_err(|e| e.to_string())?
+            .algorithm(alg)
+            .plan()
+            .map_err(|e| e.to_string())?;
+        let flat = gossip_model::FlatSchedule::from_schedule(&plan.schedule);
+        flat.validate(&g, model, plan.origin_of_message.len())
+            .map_err(|e| e.to_string())?;
+        (
+            plan.radius,
+            plan.makespan(),
+            plan.guarantee(),
+            flat,
+            plan.origin_of_message,
+        )
+    };
     let plan_ms = t0.elapsed().as_secs_f64() * 1e3;
     let profile = profiler.finish();
 
-    let mut kernel = gossip_model::SimKernel::with_origins(&g, model, &plan.origin_of_message)
-        .map_err(|e| e.to_string())?;
+    let mut kernel =
+        gossip_model::SimKernel::with_origins(&g, model, &origins).map_err(|e| e.to_string())?;
     let outcome = kernel.run_prevalidated(&flat).map_err(|e| e.to_string())?;
     if !outcome.complete {
         return Err("schedule did not complete gossip (bug)".into());
     }
 
-    let doc = profile_artifact(&g, alg, plan.radius, plan.makespan(), plan_ms, &profile);
+    let doc = profile_artifact(&g, alg, radius, makespan, plan_ms, &profile);
     println!(
         "network: n = {}, m = {}, radius r = {}",
         g.n(),
         g.m(),
-        plan.radius
+        radius
     );
     println!(
-        "algorithm: {} — makespan {} rounds (n + r = {})",
+        "algorithm: {}{} — makespan {} rounds (n + r = {})",
         alg.name(),
-        plan.makespan(),
-        plan.guarantee()
+        if planner_mode == Planner::Fast {
+            " (fast planner, CSR-direct)"
+        } else {
+            ""
+        },
+        makespan,
+        guarantee
     );
     println!("construction: {plan_ms:.3} ms wall (tree + generate + flatten + validate)");
     print!("{}", render_profile_phases(&doc["phases"]));

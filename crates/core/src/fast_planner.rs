@@ -1,0 +1,758 @@
+//! CSR-direct **ConcurrentUpDown**: the fast planner's generator.
+//!
+//! [`concurrent_updown`](crate::concurrent_updown) materializes a
+//! `Vec`-of-`Vec` [`Schedule`](gossip_model::Schedule) (one allocation per
+//! transmission plus a `BTreeMap` per vertex) and then flattens it; at
+//! n = 10⁵ that intermediate representation is the dominant cost of
+//! planning. This module emits the *same* schedule straight into
+//! [`FlatSchedule`] CSR arenas:
+//!
+//! - [`FlatLabels`] packs the per-label parameters (`j`, `k`, parent, child
+//!   lists) into flat arrays — the arena-backed replacement for
+//!   [`LabelView`](crate::LabelView)'s `Vec<Vec<u32>>` children;
+//! - the per-vertex Propagate-Up (U3/U4) and Propagate-Down (D3/D2) event
+//!   sequences are each generated *in nondecreasing time order* by O(1)
+//!   state machines, so a three-way merge replaces the reference's
+//!   `BTreeMap` overlay;
+//! - arrivals flow down a DFS stack of *streams* (the down-multicasts of
+//!   each ancestor still on the stack), bounding live memory by
+//!   O(n · height) instead of the reference's Θ(n²) `recv_from_parent`
+//!   table;
+//! - a **count pass** sizes every CSR array exactly (per-round transmission
+//!   and delivery totals → prefix sums), then an **emit pass** writes each
+//!   transmission into its final slot via per-round cursors. No
+//!   re-allocation, no sort, no intermediate `Schedule`.
+//!
+//! Both passes walk vertices in ascending label order and each vertex sends
+//! at most once per round, so within every round the transmissions appear
+//! in ascending sender label — exactly the order
+//! [`FlatSchedule::from_schedule`] produces from the reference generator.
+//! On the same tree the two pipelines are **byte-identical** (same
+//! [`digest`](FlatSchedule::digest)); the equivalence tests below and the
+//! `planner_equivalence` suite pin that down.
+
+use crate::concurrent::tree_origins;
+use gossip_graph::{RootedTree, NO_PARENT};
+use gossip_model::FlatSchedule;
+use gossip_telemetry::{NoopRecorder, Recorder, RecorderExt};
+
+/// A scheduled down-multicast (or a pending event during the merge):
+/// message `msg` leaves the vertex at time `t`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Ev {
+    t: u32,
+    msg: u32,
+}
+
+/// Destination set of a down event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Down {
+    /// Pure Propagate-Up send: no child destinations.
+    No,
+    /// All children: D2 forwards and the own-message D3.
+    All,
+    /// All children except the one (given by label) whose subtree contains
+    /// the message: D3 for `m > i`.
+    Except(u32),
+}
+
+/// The per-label parameter arena: everything the generator reads, packed
+/// into flat arrays indexed by DFS label (children as CSR).
+#[derive(Debug, Clone)]
+pub struct FlatLabels {
+    /// Subtree range end `j` per label (`i..=j` is the subtree).
+    j: Vec<u32>,
+    /// Level `k` per label (root = 0).
+    k: Vec<u32>,
+    /// Parent label per label; [`NO_PARENT`] for the root.
+    parent: Vec<u32>,
+    /// Original vertex id per label.
+    vertex: Vec<u32>,
+    /// CSR offsets into `child_labels`, length n + 1.
+    child_offsets: Vec<u32>,
+    /// Children as labels, ascending within each vertex (DFS order).
+    child_labels: Vec<u32>,
+    /// Tree height (max level).
+    height: u32,
+}
+
+impl FlatLabels {
+    /// Packs `tree` into the flat label-space arena (the fast planner's
+    /// `label_flat` phase).
+    pub fn new(tree: &RootedTree) -> Self {
+        let _phase = gossip_telemetry::profile::phase("label_flat");
+        let n = tree.n();
+        let mut j = Vec::with_capacity(n);
+        let mut k = Vec::with_capacity(n);
+        let mut parent = Vec::with_capacity(n);
+        let mut vertex = Vec::with_capacity(n);
+        let mut child_offsets = Vec::with_capacity(n + 1);
+        let mut child_labels = Vec::with_capacity(n.saturating_sub(1));
+        child_offsets.push(0u32);
+        for label in 0..n as u32 {
+            let v = tree.vertex_of_label(label);
+            let (i0, j0) = tree.subtree_range(v);
+            debug_assert_eq!(i0, label);
+            j.push(j0);
+            k.push(tree.level(v));
+            parent.push(match tree.parent(v) {
+                Some(p) => tree.label(p),
+                None => NO_PARENT,
+            });
+            vertex.push(v as u32);
+            for &c in tree.children(v) {
+                child_labels.push(tree.label(c as usize));
+            }
+            child_offsets.push(child_labels.len() as u32);
+        }
+        debug_assert!(
+            child_offsets
+                .windows(2)
+                .all(|w| child_labels[w[0] as usize..w[1] as usize].is_sorted()),
+            "DFS child labels must ascend within each vertex"
+        );
+        FlatLabels {
+            j,
+            k,
+            parent,
+            vertex,
+            child_offsets,
+            child_labels,
+            height: tree.height(),
+        }
+    }
+
+    /// Number of vertices (= messages).
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.vertex.len()
+    }
+
+    /// Tree height.
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Subtree range end `j` of `label`.
+    #[inline]
+    fn j(&self, label: u32) -> u32 {
+        self.j[label as usize]
+    }
+
+    /// Level `k` of `label`.
+    #[inline]
+    fn k(&self, label: u32) -> u32 {
+        self.k[label as usize]
+    }
+
+    /// Parent label of `label` ([`NO_PARENT`] for the root).
+    #[inline]
+    fn parent(&self, label: u32) -> u32 {
+        self.parent[label as usize]
+    }
+
+    /// Original vertex id of `label`.
+    #[inline]
+    fn vertex(&self, label: u32) -> u32 {
+        self.vertex[label as usize]
+    }
+
+    /// Children of `label` as labels, ascending.
+    #[inline]
+    fn children(&self, label: u32) -> &[u32] {
+        let lo = self.child_offsets[label as usize] as usize;
+        let hi = self.child_offsets[label as usize + 1] as usize;
+        &self.child_labels[lo..hi]
+    }
+
+    /// The origin table for the simulator (same as
+    /// [`tree_origins`](crate::tree_origins)).
+    pub fn origins(&self) -> Vec<usize> {
+        self.vertex.iter().map(|&v| v as usize).collect()
+    }
+}
+
+/// Propagate-Up events: the lip-message (U3, time 0) then the rip-messages
+/// (U4, `m - k` for `m ∈ [max(i, i'+2), j]`). Nondecreasing `t`.
+struct UpSeq {
+    lip_pending: bool,
+    lip_msg: u32,
+    next_rip: u32,
+    rip_end: u32,
+    k: u32,
+}
+
+impl UpSeq {
+    fn next(&mut self) -> Option<Ev> {
+        if self.lip_pending {
+            self.lip_pending = false;
+            return Some(Ev {
+                t: 0,
+                msg: self.lip_msg,
+            });
+        }
+        if self.next_rip <= self.rip_end {
+            let m = self.next_rip;
+            self.next_rip += 1;
+            return Some(Ev {
+                t: m - self.k,
+                msg: m,
+            });
+        }
+        None
+    }
+}
+
+/// D3 events (own-subtree multicasts): `m` at `m - k` for `m ∈ [i, j]`,
+/// except that when `i = k` the own message moves to `j - k + 1` — which in
+/// time order means it is produced *last* instead of first. Increasing `t`.
+struct OwnSeq {
+    i: u32,
+    j: u32,
+    k: u32,
+    next_m: u32,
+    own_pending: bool,
+    /// `i == k`: the own message is deferred behind the rest.
+    own_last: bool,
+}
+
+impl OwnSeq {
+    fn next(&mut self) -> Option<Ev> {
+        if self.own_pending && !self.own_last {
+            self.own_pending = false;
+            return Some(Ev {
+                t: self.i - self.k,
+                msg: self.i,
+            });
+        }
+        if self.next_m <= self.j {
+            let m = self.next_m;
+            self.next_m += 1;
+            return Some(Ev {
+                t: m - self.k,
+                msg: m,
+            });
+        }
+        if self.own_pending {
+            self.own_pending = false;
+            return Some(Ev {
+                t: self.j - self.k + 1,
+                msg: self.i,
+            });
+        }
+        None
+    }
+}
+
+/// D2 events: o-messages forwarded on arrival (`t_arrive = parent's send
+/// time + 1`), with arrivals at `i - k` / `i - k + 1` deferred to
+/// `j - k + 1` / `j - k + 2`. The parent stream is time-sorted and — by the
+/// schedule's correctness — has no arrivals inside the busy window
+/// `(i - k + 1, j - k + 1)`, so the deferral keeps the output sorted; the
+/// merge in [`walk`] `debug_assert`s that.
+struct FwdSeq<'a> {
+    parent_stream: &'a [Ev],
+    idx: usize,
+    i: u32,
+    j: u32,
+    k: u32,
+    enabled: bool,
+}
+
+impl FwdSeq<'_> {
+    fn next(&mut self) -> Option<Ev> {
+        if !self.enabled {
+            return None;
+        }
+        while self.idx < self.parent_stream.len() {
+            let e = self.parent_stream[self.idx];
+            self.idx += 1;
+            if e.msg >= self.i && e.msg <= self.j {
+                continue; // own-subtree message: handled by D3, not forwarded
+            }
+            let t_arrive = e.t + 1;
+            let t = if t_arrive == self.i - self.k {
+                self.j - self.k + 1
+            } else if t_arrive == self.i - self.k + 1 {
+                self.j - self.k + 2
+            } else {
+                t_arrive
+            };
+            return Some(Ev { t, msg: e.msg });
+        }
+        None
+    }
+}
+
+/// Walks every vertex in label order and fires `on_tx(label, t, msg,
+/// to_parent, down)` once per scheduled transmission, in increasing `t`
+/// within each vertex. Both generator passes share this walk, so their
+/// event sequences are identical by construction.
+fn walk<F: FnMut(u32, u32, u32, bool, Down)>(fl: &FlatLabels, on_tx: &mut F) {
+    let n = fl.n();
+    if n <= 1 {
+        return;
+    }
+    struct Frame {
+        label: u32,
+        j: u32,
+        stream: Vec<Ev>,
+    }
+    // The DFS stack: ancestors of the current vertex, each with the stream
+    // of down events its children replay. Streams are recycled through a
+    // pool, so live memory is O(height) vectors of O(n) events.
+    let mut stack: Vec<Frame> = Vec::with_capacity(fl.height() as usize + 1);
+    let mut pool: Vec<Vec<Ev>> = Vec::new();
+
+    for label in 0..n as u32 {
+        while stack.last().is_some_and(|f| f.j < label) {
+            let mut s = stack.pop().expect("nonempty stack").stream;
+            s.clear();
+            pool.push(s);
+        }
+        let i = label;
+        let j = fl.j(i);
+        let k = fl.k(i);
+        let parent = fl.parent(i);
+        let is_root = parent == NO_PARENT;
+        let is_leaf = i == j;
+        let kids = fl.children(i);
+        debug_assert_eq!(is_root, stack.is_empty());
+        debug_assert!(is_root || stack.last().map(|f| f.label) == Some(parent));
+
+        let mut up = UpSeq {
+            lip_pending: !is_root && i == parent + 1,
+            lip_msg: i,
+            next_rip: if is_root { 1 } else { i.max(parent + 2) },
+            rip_end: if is_root { 0 } else { j },
+            k,
+        };
+        let mut own = OwnSeq {
+            i,
+            j,
+            k,
+            next_m: i + 1,
+            own_pending: !is_leaf,
+            own_last: i == k,
+        };
+        let mut stream: Vec<Ev> = if is_leaf {
+            Vec::new()
+        } else {
+            pool.pop().unwrap_or_default()
+        };
+        {
+            let parent_stream: &[Ev] = stack.last().map_or(&[], |f| f.stream.as_slice());
+            let mut fwd = FwdSeq {
+                parent_stream,
+                idx: 0,
+                i,
+                j,
+                k,
+                enabled: !is_leaf && !is_root,
+            };
+
+            let mut up_ev = up.next();
+            let mut own_ev = own.next();
+            let mut fwd_ev = fwd.next();
+            // Containing-child cursor: D3 messages `m > i` ascend, and the
+            // child subtree ranges partition `(i, j]`, so it only advances.
+            let mut child_idx = 0usize;
+            let mut last_t: Option<u32> = None;
+
+            while let Some(t) = [up_ev, own_ev, fwd_ev].iter().flatten().map(|e| e.t).min() {
+                debug_assert!(
+                    last_t.is_none_or(|lt| t > lt),
+                    "vertex {i} scheduled two transmissions at time {t}"
+                );
+                last_t = Some(t);
+                let from_up = up_ev.is_some_and(|e| e.t == t);
+                let from_own = own_ev.is_some_and(|e| e.t == t);
+                let from_fwd = fwd_ev.is_some_and(|e| e.t == t);
+                debug_assert!(
+                    !(from_fwd && (from_up || from_own)),
+                    "vertex {i} scheduled a forward and another message at time {t}"
+                );
+                if from_fwd {
+                    let e = fwd_ev.expect("fwd event");
+                    on_tx(i, t, e.msg, false, Down::All);
+                    stream.push(e);
+                    fwd_ev = fwd.next();
+                    continue;
+                }
+                let down = if from_own {
+                    let e = own_ev.expect("own event");
+                    let d = if e.msg == i {
+                        Down::All
+                    } else {
+                        while fl.j(kids[child_idx]) < e.msg {
+                            child_idx += 1;
+                        }
+                        debug_assert!(kids[child_idx] <= e.msg);
+                        Down::Except(kids[child_idx])
+                    };
+                    stream.push(e);
+                    own_ev = own.next();
+                    Some((e.msg, d))
+                } else {
+                    None
+                };
+                if from_up {
+                    let e = up_ev.expect("up event");
+                    if let Some((m_down, d)) = down {
+                        // U4 + D3 merge: both carry the same message.
+                        debug_assert_eq!(e.msg, m_down, "U4/D3 disagree at vertex {i} time {t}");
+                        on_tx(i, t, e.msg, true, d);
+                    } else {
+                        on_tx(i, t, e.msg, true, Down::No);
+                    }
+                    up_ev = up.next();
+                } else if let Some((m, d)) = down {
+                    // D3-only: suppress the transmission when the only child
+                    // is the one whose subtree contains the message (its
+                    // entry still enters the stream vacuously — children
+                    // filter own-subtree messages — but costs nothing).
+                    let has_dest = match d {
+                        Down::All => !kids.is_empty(),
+                        Down::Except(_) => kids.len() > 1,
+                        Down::No => false,
+                    };
+                    if has_dest {
+                        on_tx(i, t, m, false, d);
+                    }
+                }
+            }
+        }
+        if !is_leaf {
+            stack.push(Frame {
+                label: i,
+                j,
+                stream,
+            });
+        }
+    }
+}
+
+/// CSR-direct ConcurrentUpDown on a prebuilt [`FlatLabels`] arena.
+///
+/// Byte-identical to `FlatSchedule::from_schedule(&concurrent_updown(tree))`
+/// on the same tree, in O(output) time and O(output + n·height) memory.
+///
+/// # Panics
+///
+/// Panics when the schedule exceeds `u32` CSR offsets (more than
+/// `u32::MAX - 1` transmissions or deliveries — gossiping delivers exactly
+/// `n(n-1)` messages, so this caps at n = 65536).
+pub fn concurrent_updown_flat_on(fl: &FlatLabels, recorder: &dyn Recorder) -> FlatSchedule {
+    let _span = recorder.span("concurrent_updown_flat");
+    let _phase = gossip_telemetry::profile::phase("generate_csr");
+    let n = fl.n();
+    if n <= 1 {
+        return FlatSchedule::from_raw_parts(
+            n,
+            vec![0],
+            Vec::new(),
+            Vec::new(),
+            vec![0],
+            Vec::new(),
+        );
+    }
+
+    // Pass 1: per-round transmission / delivery counts. The makespan is
+    // exactly n + r (Theorem 1), so the last send fires at t = n + r - 1;
+    // allocate a couple of slack rounds and trim by the observed max.
+    let slots = n + fl.height() as usize + 2;
+    let mut tx_per_round = vec![0u32; slots];
+    let mut deliv_per_round = vec![0u32; slots];
+    let mut max_t = 0u32;
+    let mut merged_multicasts = 0u64;
+    {
+        let _count = gossip_telemetry::profile::phase("count_pass");
+        walk(fl, &mut |label, t, _msg, to_parent, down| {
+            let nc = fl.children(label).len() as u32;
+            let child_dc = match down {
+                Down::No => 0,
+                Down::All => nc,
+                Down::Except(_) => nc - 1,
+            };
+            tx_per_round[t as usize] += 1;
+            deliv_per_round[t as usize] += to_parent as u32 + child_dc;
+            if to_parent && child_dc > 0 {
+                merged_multicasts += 1;
+            }
+            max_t = max_t.max(t);
+        });
+    }
+    let rounds = max_t as usize + 1;
+    let tx_total: u64 = tx_per_round[..rounds].iter().map(|&c| c as u64).sum();
+    let deliv_total: u64 = deliv_per_round[..rounds].iter().map(|&c| c as u64).sum();
+    assert!(
+        tx_total < u32::MAX as u64 && deliv_total < u32::MAX as u64,
+        "schedule too large to flatten: {tx_total} transmissions / {deliv_total} \
+         deliveries overflow u32 CSR offsets"
+    );
+
+    // Prefix sums -> round offsets plus per-round write cursors.
+    let mut round_offsets = Vec::with_capacity(rounds + 1);
+    let mut tx_cursor: Vec<usize> = Vec::with_capacity(rounds);
+    let mut dest_cursor: Vec<usize> = Vec::with_capacity(rounds);
+    let mut tx_acc = 0u64;
+    let mut dv_acc = 0u64;
+    round_offsets.push(0u32);
+    for t in 0..rounds {
+        tx_cursor.push(tx_acc as usize);
+        dest_cursor.push(dv_acc as usize);
+        tx_acc += tx_per_round[t] as u64;
+        dv_acc += deliv_per_round[t] as u64;
+        round_offsets.push(tx_acc as u32);
+    }
+
+    // Pass 2: emit straight into the final CSR slots. The walk visits labels
+    // ascending and a vertex sends at most once per round, so the per-round
+    // cursors reproduce the reference flatten's within-round order exactly.
+    let mut tx_msg = vec![0u32; tx_total as usize];
+    let mut tx_from = vec![0u32; tx_total as usize];
+    let mut dest_offsets = vec![0u32; tx_total as usize + 1];
+    let mut dests = vec![0u32; deliv_total as usize];
+    {
+        let _emit = gossip_telemetry::profile::phase("emit_pass");
+        walk(fl, &mut |label, t, msg, to_parent, down| {
+            let t = t as usize;
+            let idx = tx_cursor[t];
+            tx_cursor[t] = idx + 1;
+            tx_msg[idx] = msg;
+            tx_from[idx] = fl.vertex(label);
+            let dc_start = dest_cursor[t];
+            let mut dc = dc_start;
+            if to_parent {
+                dests[dc] = fl.vertex(fl.parent(label));
+                dc += 1;
+            }
+            match down {
+                Down::No => {}
+                Down::All => {
+                    for &c in fl.children(label) {
+                        dests[dc] = fl.vertex(c);
+                        dc += 1;
+                    }
+                }
+                Down::Except(skip) => {
+                    for &c in fl.children(label) {
+                        if c != skip {
+                            dests[dc] = fl.vertex(c);
+                            dc += 1;
+                        }
+                    }
+                }
+            }
+            // `Transmission::new` normalizes destination sets to ascending
+            // vertex id (the kernel binary-searches them); match it here.
+            dests[dc_start..dc].sort_unstable();
+            dest_cursor[t] = dc;
+            dest_offsets[idx + 1] = dc as u32;
+        });
+    }
+    debug_assert_eq!(tx_cursor.last().copied(), Some(tx_total as usize));
+    debug_assert_eq!(dest_cursor.last().copied(), Some(deliv_total as usize));
+
+    gossip_telemetry::profile::count("transmissions", tx_total);
+    if recorder.enabled() {
+        recorder.counter("generate/transmissions", tx_total);
+        recorder.counter("generate/deliveries", deliv_total);
+        recorder.counter("generate/merged_multicasts", merged_multicasts);
+        recorder.gauge("generate/makespan", rounds as f64);
+    }
+    FlatSchedule::from_raw_parts(n, round_offsets, tx_msg, tx_from, dest_offsets, dests)
+}
+
+/// Builds the ConcurrentUpDown schedule for `tree` directly in
+/// [`FlatSchedule`] form — equal (including [`FlatSchedule::digest`]) to
+/// flattening [`concurrent_updown`](crate::concurrent_updown), without ever
+/// materializing the intermediate `Schedule`.
+///
+/// # Examples
+///
+/// ```
+/// use gossip_graph::{RootedTree, NO_PARENT};
+/// use gossip_core::{concurrent_updown, concurrent_updown_flat};
+/// use gossip_model::FlatSchedule;
+///
+/// let tree = RootedTree::from_parents(0, &[NO_PARENT, 0, 1, 2, 3]).unwrap();
+/// let fast = concurrent_updown_flat(&tree);
+/// let reference = FlatSchedule::from_schedule(&concurrent_updown(&tree));
+/// assert_eq!(fast, reference);
+/// ```
+pub fn concurrent_updown_flat(tree: &RootedTree) -> FlatSchedule {
+    concurrent_updown_flat_recorded(tree, &NoopRecorder)
+}
+
+/// [`concurrent_updown_flat`] with telemetry: `label_flat` and
+/// `generate_csr` (`count_pass` / `emit_pass`) phases plus the same
+/// `generate/*` counters the reference generator records.
+pub fn concurrent_updown_flat_recorded(tree: &RootedTree, recorder: &dyn Recorder) -> FlatSchedule {
+    let labels = {
+        let _s = recorder.span("labeling");
+        FlatLabels::new(tree)
+    };
+    concurrent_updown_flat_on(&labels, recorder)
+}
+
+/// A complete fast-path gossip plan: like
+/// [`GossipPlan`](crate::GossipPlan) but carrying the schedule in flat CSR
+/// form (the `Vec`-of-`Vec` `Schedule` is never built).
+#[derive(Debug, Clone)]
+pub struct FastGossipPlan {
+    /// The minimum-depth spanning tree all communication runs on.
+    pub tree: RootedTree,
+    /// The communication schedule, CSR-flat, in vertex space.
+    pub schedule: FlatSchedule,
+    /// `origin_of_message[m]` = the processor whose message is labeled `m`.
+    pub origin_of_message: Vec<usize>,
+    /// The network radius `r` (= tree height).
+    pub radius: u32,
+}
+
+impl FastGossipPlan {
+    /// The schedule's total communication time.
+    pub fn makespan(&self) -> usize {
+        self.schedule.rounds()
+    }
+
+    /// The paper's guarantee for this plan: `n + r`.
+    pub fn guarantee(&self) -> usize {
+        if self.tree.n() <= 1 {
+            0
+        } else {
+            self.tree.n() + self.radius as usize
+        }
+    }
+}
+
+/// Builds a [`FastGossipPlan`] on a caller-supplied spanning tree.
+pub(crate) fn fast_plan_on_tree(tree: RootedTree, recorder: &dyn Recorder) -> FastGossipPlan {
+    let schedule = concurrent_updown_flat_recorded(&tree, recorder);
+    FastGossipPlan {
+        origin_of_message: tree_origins(&tree),
+        radius: tree.height(),
+        tree,
+        schedule,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concurrent::concurrent_updown;
+    use gossip_graph::NO_PARENT;
+    use gossip_model::CommModel;
+
+    fn fig5() -> RootedTree {
+        let mut p = vec![0u32; 16];
+        for (v, par) in [
+            (1, 0),
+            (2, 1),
+            (3, 1),
+            (4, 0),
+            (5, 4),
+            (6, 5),
+            (7, 5),
+            (8, 4),
+            (9, 8),
+            (10, 8),
+            (11, 0),
+            (12, 11),
+            (13, 12),
+            (14, 12),
+            (15, 11),
+        ] {
+            p[v] = par;
+        }
+        p[0] = NO_PARENT;
+        RootedTree::from_parents(0, &p).unwrap()
+    }
+
+    fn assert_matches_reference(tree: &RootedTree) {
+        let fast = concurrent_updown_flat(tree);
+        let reference = FlatSchedule::from_schedule(&concurrent_updown(tree));
+        assert_eq!(fast, reference, "CSR mismatch on {tree:?}");
+        assert_eq!(fast.digest(), reference.digest());
+        fast.validate(&tree.to_graph(), CommModel::Multicast, tree.n())
+            .expect("fast schedule must validate");
+    }
+
+    #[test]
+    fn matches_reference_flatten_on_fig5() {
+        let tree = fig5();
+        assert_matches_reference(&tree);
+        let fast = concurrent_updown_flat(&tree);
+        assert_eq!(fast.rounds(), 16 + 3); // n + r
+    }
+
+    #[test]
+    fn matches_reference_on_structured_trees() {
+        // Path of 7 rooted at the center.
+        assert_matches_reference(
+            &RootedTree::from_parents(3, &[1, 2, 3, NO_PARENT, 3, 4, 5]).unwrap(),
+        );
+        // Path of 5 rooted at an end (every vertex on the leftmost path:
+        // exercises the i = k exception at every level).
+        assert_matches_reference(&RootedTree::from_parents(0, &[NO_PARENT, 0, 1, 2, 3]).unwrap());
+        // Star (every non-root a leaf; the root multicasts everything).
+        let mut star = vec![0u32; 9];
+        star[0] = NO_PARENT;
+        assert_matches_reference(&RootedTree::from_parents(0, &star).unwrap());
+        // Caterpillar: spine 0-1-2-3, one leaf per spine vertex.
+        assert_matches_reference(
+            &RootedTree::from_parents(0, &[NO_PARENT, 0, 1, 2, 0, 1, 2, 3]).unwrap(),
+        );
+        // Permuted vertex ids: label space != vertex space.
+        assert_matches_reference(&RootedTree::from_parents(2, &[2, 0, NO_PARENT, 2, 3]).unwrap());
+        // Pair.
+        assert_matches_reference(&RootedTree::from_parents(0, &[NO_PARENT, 0]).unwrap());
+    }
+
+    #[test]
+    fn matches_reference_on_synthetic_families() {
+        // Binary-ish heap shapes and skewed mixed trees, a few hundred
+        // vertices: deep D2 deferral chains and single-child vertices.
+        for n in [33usize, 100, 257] {
+            let mut p: Vec<u32> = (0..n).map(|v| (v.saturating_sub(1) / 2) as u32).collect();
+            p[0] = NO_PARENT;
+            assert_matches_reference(&RootedTree::from_parents(0, &p).unwrap());
+
+            // Mixed: alternate chain and fan parents.
+            let mut q: Vec<u32> = Vec::with_capacity(n);
+            q.push(NO_PARENT);
+            for v in 1..n {
+                let par = if v % 3 == 0 { v - 1 } else { v / 3 };
+                q.push(par as u32);
+            }
+            assert_matches_reference(&RootedTree::from_parents(0, &q).unwrap());
+        }
+    }
+
+    #[test]
+    fn singleton_is_empty() {
+        let t = RootedTree::from_parents(0, &[NO_PARENT]).unwrap();
+        let fast = concurrent_updown_flat(&t);
+        assert_eq!(fast.rounds(), 0);
+        assert_eq!(fast.tx_count(), 0);
+        assert_eq!(fast, FlatSchedule::from_schedule(&concurrent_updown(&t)));
+    }
+
+    #[test]
+    fn flat_labels_round_trip() {
+        let tree = fig5();
+        let fl = FlatLabels::new(&tree);
+        assert_eq!(fl.n(), 16);
+        assert_eq!(fl.height(), 3);
+        assert_eq!(fl.children(0), &[1, 4, 11]);
+        assert_eq!(fl.children(4), &[5, 8]);
+        assert_eq!(fl.children(3), &[] as &[u32]);
+        assert_eq!(fl.j(4), 10);
+        assert_eq!(fl.k(8), 2);
+        assert_eq!(fl.parent(0), NO_PARENT);
+        assert_eq!(fl.parent(5), 4);
+        assert_eq!(fl.origins(), tree_origins(&tree));
+    }
+}

@@ -59,6 +59,7 @@ pub mod churn;
 pub mod classify;
 pub mod concurrent;
 pub mod exact;
+pub mod fast_planner;
 pub(crate) mod flood;
 pub mod gather;
 pub mod labeling;
@@ -88,6 +89,10 @@ pub use churn::{ChurnEpoch, ChurnError, ChurnExecutor, ChurnReport, RepairDecisi
 pub use classify::{classify, is_lip, is_rip, MessageClass};
 pub use concurrent::{concurrent_updown, concurrent_updown_recorded, tree_origins};
 pub use exact::{optimal_gossip_schedule, optimal_gossip_time, ExactResult};
+pub use fast_planner::{
+    concurrent_updown_flat, concurrent_updown_flat_on, concurrent_updown_flat_recorded,
+    FastGossipPlan, FlatLabels,
+};
 pub use gather::gather_schedule;
 pub use labeling::{LabelView, VertexParams};
 pub use line::{line_gossip_schedule, MAX_LINE_N};

@@ -2,12 +2,13 @@
 //! → communication schedule, exactly the paper's two-step procedure (§3).
 
 use crate::concurrent::{concurrent_updown_recorded, tree_origins};
+use crate::fast_planner::{fast_plan_on_tree, FastGossipPlan};
 use crate::simple::simple_gossip_recorded;
 use crate::telephone::telephone_tree_gossip;
 use crate::updown::updown_gossip_recorded;
 use gossip_graph::{
-    is_connected, min_depth_spanning_tree_parallel_recorded, min_depth_spanning_tree_recorded,
-    ChildOrder, Graph, GraphError, RootedTree,
+    is_connected, min_depth_spanning_tree_fast_recorded, min_depth_spanning_tree_parallel_recorded,
+    min_depth_spanning_tree_recorded, ChildOrder, Graph, GraphError, RootedTree,
 };
 use gossip_model::Schedule;
 use gossip_telemetry::{NoopRecorder, Recorder, RecorderExt};
@@ -193,6 +194,42 @@ impl<'g> GossipPlanner<'g> {
         Ok(self.plan_on_tree(tree))
     }
 
+    /// The fast planning path: pruned multi-source bitset sweep for the
+    /// tree ([`min_depth_spanning_tree_fast_recorded`]) followed by the
+    /// CSR-direct ConcurrentUpDown generator
+    /// ([`concurrent_updown_flat_recorded`](crate::concurrent_updown_flat_recorded)).
+    /// On the same tree the resulting schedule is byte-identical to
+    /// flattening [`plan`](GossipPlanner::plan)'s; the tree itself may
+    /// differ from the reference construction only when root-candidate
+    /// pruning drops an equal-depth tie.
+    ///
+    /// # Panics
+    ///
+    /// The fast path implements ConcurrentUpDown only; panics if another
+    /// [`algorithm`](GossipPlanner::algorithm) was selected.
+    pub fn plan_fast(&self) -> Result<FastGossipPlan, GraphError> {
+        assert_eq!(
+            self.algorithm,
+            Algorithm::ConcurrentUpDown,
+            "plan_fast implements ConcurrentUpDown only"
+        );
+        let _span = self.recorder.span("plan_fast");
+        let _phase = gossip_telemetry::profile::phase("plan");
+        let tree = min_depth_spanning_tree_fast_recorded(self.g, self.child_order, self.recorder)?;
+        Ok(self.plan_fast_on_tree(tree))
+    }
+
+    /// Builds a fast-path plan on a caller-supplied spanning tree.
+    pub fn plan_fast_on_tree(&self, tree: RootedTree) -> FastGossipPlan {
+        debug_assert!(tree.is_spanning_tree_of(self.g));
+        let plan = fast_plan_on_tree(tree, self.recorder);
+        if self.recorder.enabled() {
+            self.recorder.gauge("plan/radius", plan.radius as f64);
+            self.recorder.gauge("plan/makespan", plan.makespan() as f64);
+        }
+        plan
+    }
+
     /// Builds a plan on a caller-supplied spanning tree (must span `g`; the
     /// paper reuses one tree across many gossip runs, re-planning only when
     /// the network changes).
@@ -259,6 +296,39 @@ mod tests {
             .unwrap();
         assert_eq!(a.schedule, b.schedule);
         assert_eq!(a.tree, b.tree);
+    }
+
+    #[test]
+    fn fast_plan_matches_reference() {
+        use gossip_model::{CommModel, FlatSchedule};
+        for n in [3, 6, 11, 24] {
+            let g = ring(n);
+            let planner = GossipPlanner::new(&g).unwrap();
+            let reference = planner.plan().unwrap();
+            let fast = planner.plan_fast().unwrap();
+            assert_eq!(fast.radius, reference.radius);
+            assert_eq!(fast.makespan(), reference.makespan());
+            assert!(fast.makespan() <= fast.guarantee());
+            fast.schedule.validate(&g, CommModel::Multicast, n).unwrap();
+            // Equal roots imply byte-identical schedules; the fast sweep may
+            // only diverge on equal-depth root ties.
+            if fast.tree == reference.tree {
+                assert_eq!(
+                    fast.schedule,
+                    FlatSchedule::from_schedule(&reference.schedule)
+                );
+            } else {
+                assert_eq!(fast.tree.height(), reference.tree.height());
+            }
+        }
+    }
+
+    #[test]
+    fn fast_plan_singleton() {
+        let g = Graph::from_edges(1, &[]).unwrap();
+        let plan = GossipPlanner::new(&g).unwrap().plan_fast().unwrap();
+        assert_eq!(plan.makespan(), 0);
+        assert_eq!(plan.guarantee(), 0);
     }
 
     #[test]

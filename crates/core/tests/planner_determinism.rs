@@ -1,0 +1,59 @@
+//! Seeded determinism of the fast planner: its output is a pure function
+//! of the graph — independent of worker thread count (the multi-source
+//! BFS reduces candidates with an exact `(eccentricity, id)` min, so the
+//! chunk schedule cannot leak into the tree) and repeatable across runs.
+//!
+//! Everything lives in one `#[test]` because it mutates
+//! `RAYON_NUM_THREADS` (read per `run_chunks` call by the vendored
+//! rayon): parallel test functions in the same binary would race on it.
+
+use gossip_core::GossipPlanner;
+use gossip_workloads::random_connected;
+
+#[test]
+fn fast_planner_byte_identical_across_thread_counts() {
+    for (n, p, seed) in [
+        (64usize, 0.10, 7u64),
+        (256, 0.03, 13),
+        (512, 0.05, 77),
+        (300, 0.01, 42),
+    ] {
+        let g = random_connected(n, p, seed);
+        let planner = GossipPlanner::new(&g).unwrap();
+
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+        let single = planner.plan_fast().unwrap();
+        std::env::set_var("RAYON_NUM_THREADS", "3");
+        let three = planner.plan_fast().unwrap();
+        std::env::remove_var("RAYON_NUM_THREADS");
+        let default = planner.plan_fast().unwrap();
+
+        assert_eq!(
+            single.tree, three.tree,
+            "n = {n}: tree differs at 1 vs 3 threads"
+        );
+        assert_eq!(
+            single.tree, default.tree,
+            "n = {n}: tree differs at 1 vs default threads"
+        );
+        assert_eq!(
+            single.schedule.digest(),
+            default.schedule.digest(),
+            "n = {n}: schedule digest differs across thread counts"
+        );
+        assert_eq!(single.schedule, three.schedule, "n = {n}");
+        assert_eq!(single.schedule, default.schedule, "n = {n}");
+        assert_eq!(
+            single.origin_of_message, default.origin_of_message,
+            "n = {n}"
+        );
+
+        // Same-process repeatability: planning twice at the same thread
+        // count is byte-identical too.
+        let again = planner.plan_fast().unwrap();
+        assert_eq!(
+            default.schedule, again.schedule,
+            "n = {n}: re-plan diverged"
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! Fast-vs-reference planner equivalence: on the same tree the CSR-direct
+//! generator must be byte-identical to flattening the reference generator,
+//! and through the full pipeline (fast tree sweep included) the fast plan
+//! must validate with the same `n + r` makespan.
+
+use gossip_core::{concurrent_updown, concurrent_updown_flat, GossipPlanner};
+use gossip_graph::{min_depth_spanning_tree, ChildOrder, Graph};
+use gossip_model::{CommModel, FlatSchedule, SimKernel};
+use gossip_workloads::random_connected;
+use proptest::prelude::*;
+
+fn diff_flat(fast: &FlatSchedule, reference: &FlatSchedule) -> Option<String> {
+    if fast == reference {
+        return None;
+    }
+    if fast.rounds() != reference.rounds() {
+        return Some(format!(
+            "rounds differ: fast {} vs reference {}",
+            fast.rounds(),
+            reference.rounds()
+        ));
+    }
+    for t in 0..fast.rounds() {
+        let (fr, rr) = (fast.round_range(t), reference.round_range(t));
+        if fr.len() != rr.len() {
+            return Some(format!(
+                "round {t}: {} vs {} transmissions",
+                fr.len(),
+                rr.len()
+            ));
+        }
+        for (a, b) in fr.zip(rr) {
+            if fast.msg_of(a) != reference.msg_of(b)
+                || fast.from_of(a) != reference.from_of(b)
+                || fast.dests_of(a) != reference.dests_of(b)
+            {
+                return Some(format!(
+                    "round {t}: tx (msg {} from {} -> {:?}) vs (msg {} from {} -> {:?})",
+                    fast.msg_of(a),
+                    fast.from_of(a),
+                    fast.dests_of(a),
+                    reference.msg_of(b),
+                    reference.from_of(b),
+                    reference.dests_of(b),
+                ));
+            }
+        }
+    }
+    Some("arrays differ outside per-round content (offsets/metadata)".to_string())
+}
+
+fn assert_equivalent_on(g: &Graph) {
+    let tree = min_depth_spanning_tree(g, ChildOrder::ById).unwrap();
+    let fast = concurrent_updown_flat(&tree);
+    let reference = FlatSchedule::from_schedule(&concurrent_updown(&tree));
+    if let Some(d) = diff_flat(&fast, &reference) {
+        panic!("CSR mismatch on n = {}: {d}", g.n());
+    }
+    assert_eq!(fast.digest(), reference.digest());
+}
+
+#[test]
+fn csr_direct_matches_reference_on_random_graphs() {
+    for (n, p, seed) in [
+        (64, 0.10, 7u64),
+        (128, 0.05, 11),
+        (256, 0.02, 13),
+        (512, 0.05, 77),
+        (512, 0.104, 77),
+        (300, 0.01, 42),
+    ] {
+        assert_equivalent_on(&random_connected(n, p, seed));
+    }
+}
+
+#[test]
+fn fast_plan_validates_with_same_bound_on_random_graphs() {
+    for (n, p, seed) in [(96usize, 0.08, 3u64), (200, 0.03, 9), (400, 0.015, 21)] {
+        let g = random_connected(n, p, seed);
+        let planner = GossipPlanner::new(&g).unwrap();
+        let reference = planner.plan().unwrap();
+        let fast = planner.plan_fast().unwrap();
+        assert_eq!(fast.radius, reference.radius, "n = {n}");
+        assert_eq!(fast.makespan(), reference.makespan(), "n = {n}");
+        assert!(fast.makespan() <= fast.guarantee());
+        fast.schedule.validate(&g, CommModel::Multicast, n).unwrap();
+        let mut kernel =
+            SimKernel::with_origins(&g, CommModel::Multicast, &fast.origin_of_message).unwrap();
+        let outcome = kernel.run_prevalidated(&fast.schedule).unwrap();
+        assert!(outcome.complete, "n = {n}");
+        if fast.tree == reference.tree {
+            let ref_flat = FlatSchedule::from_schedule(&reference.schedule);
+            if let Some(d) = diff_flat(&fast.schedule, &ref_flat) {
+                panic!("pipeline CSR mismatch on n = {n}: {d}");
+            }
+        }
+    }
+}
+
+proptest! {
+    // 48 cases per CI run; the nightly property job raises this through
+    // the global PROPTEST_CASES override (see vendor/proptest).
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// On arbitrary seeded connected G(n, p): the fast plan validates,
+    /// meets the reference's exact makespan (n + r by Theorem 1), and —
+    /// whenever the root tie-break picked the same tree — is
+    /// byte-identical to the reference flatten.
+    fn fast_and_reference_agree_on_random_connected(
+        n in 4usize..72,
+        p_mille in 20u64..250,
+        seed in 0u64..1u64 << 48,
+    ) {
+        let g = random_connected(n, p_mille as f64 / 1000.0, seed);
+        let planner = GossipPlanner::new(&g).unwrap();
+        let reference = planner.plan().unwrap();
+        let fast = planner.plan_fast().unwrap();
+        prop_assert_eq!(fast.radius, reference.radius);
+        prop_assert_eq!(fast.makespan(), reference.makespan());
+        prop_assert!(fast.makespan() <= fast.guarantee());
+        fast.schedule.validate(&g, CommModel::Multicast, n).unwrap();
+        if fast.tree == reference.tree {
+            let ref_flat = FlatSchedule::from_schedule(&reference.schedule);
+            if let Some(d) = diff_flat(&fast.schedule, &ref_flat) {
+                return Err(format!("CSR mismatch: {d}"));
+            }
+        }
+    }
+}

@@ -12,6 +12,9 @@
 //!   algorithms consume;
 //! - [`min_depth_spanning_tree`]: the paper's §3.1 construction (n BFS
 //!   sweeps, keep the shallowest; sequential and rayon-parallel);
+//! - [`min_depth_spanning_tree_fast`]: the pruned multi-source bitset sweep
+//!   (double-sweep eccentricity bounds + 64-source `u64` frontiers) that
+//!   reaches the same radius with far fewer than n sweeps;
 //! - [`find_hamiltonian_circuit`]: exact search backing the Fig 1 / Fig 2
 //!   discussion.
 //!
@@ -54,6 +57,7 @@ pub use metrics::{
     distance_metrics_parallel, radius, DistanceMetrics,
 };
 pub use render::render_tree;
+pub use spanning::fast::{min_depth_spanning_tree_fast, min_depth_spanning_tree_fast_recorded};
 pub use spanning::{
     bfs_tree, min_depth_spanning_tree, min_depth_spanning_tree_parallel,
     min_depth_spanning_tree_parallel_recorded, min_depth_spanning_tree_recorded, ChildOrder,

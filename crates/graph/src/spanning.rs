@@ -20,6 +20,8 @@ use gossip_telemetry::{NoopRecorder, Recorder, RecorderExt};
 use rayon::prelude::*;
 use std::time::Instant;
 
+pub mod fast;
+
 /// How child order is fixed when a BFS parent forest is turned into a
 /// [`RootedTree`].
 ///
@@ -205,7 +207,7 @@ fn lower_radius_bound(g: &Graph) -> u32 {
     }
 }
 
-fn parents_to_tree(
+pub(crate) fn parents_to_tree(
     root: usize,
     parent: &[u32],
     order: ChildOrder,

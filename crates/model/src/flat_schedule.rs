@@ -107,6 +107,78 @@ impl FlatSchedule {
         out
     }
 
+    /// Assembles a `FlatSchedule` directly from its five CSR arrays — the
+    /// fast planner's entry point: generators that emit straight into CSR
+    /// (no `Vec`-of-tuples `Schedule`, no [`FlatSchedule::from_schedule`]
+    /// pass) hand their arenas over here.
+    ///
+    /// `max_fanout` and `busiest_round` are derived from the arrays, so a
+    /// CSR-direct build is indistinguishable (including [`PartialEq`] and
+    /// [`FlatSchedule::digest`]) from flattening the equivalent `Schedule`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrays are not a well-formed CSR: offsets must start
+    /// at 0, be monotone, and end at the length of the array they index,
+    /// and the two transmission arrays must have equal length.
+    pub fn from_raw_parts(
+        n: usize,
+        round_offsets: Vec<u32>,
+        tx_msg: Vec<u32>,
+        tx_from: Vec<u32>,
+        dest_offsets: Vec<u32>,
+        dests: Vec<u32>,
+    ) -> FlatSchedule {
+        assert_eq!(tx_msg.len(), tx_from.len(), "tx arrays disagree");
+        for (name, offsets, indexed_len) in [
+            ("round_offsets", &round_offsets, tx_msg.len()),
+            ("dest_offsets", &dest_offsets, dests.len()),
+        ] {
+            assert_eq!(offsets.first(), Some(&0), "{name} must start at 0");
+            assert!(
+                offsets.windows(2).all(|w| w[0] <= w[1]),
+                "{name} must be monotone"
+            );
+            assert_eq!(
+                *offsets.last().expect("nonempty") as usize,
+                indexed_len,
+                "{name} must end at the indexed array's length"
+            );
+        }
+        assert_eq!(
+            dest_offsets.len(),
+            tx_msg.len() + 1,
+            "one destination range per transmission"
+        );
+        let max_fanout = dest_offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0);
+        let busiest_round = round_offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0);
+        let out = FlatSchedule {
+            n,
+            round_offsets,
+            tx_msg,
+            tx_from,
+            dest_offsets,
+            dests,
+            max_fanout,
+            busiest_round,
+        };
+        let csr_words = out.round_offsets.len()
+            + out.tx_msg.len()
+            + out.tx_from.len()
+            + out.dest_offsets.len()
+            + out.dests.len();
+        gossip_telemetry::profile::count("csr_bytes", 4 * csr_words as u64);
+        out
+    }
+
     /// Number of processors the source schedule was built for.
     #[inline]
     pub fn n(&self) -> usize {
@@ -428,6 +500,49 @@ mod tests {
             flat.validate(&g, CommModel::Multicast, 5).unwrap_err(),
             ModelError::SizeMismatch { .. }
         ));
+    }
+
+    #[test]
+    fn from_raw_parts_matches_from_schedule() {
+        let s = ring_schedule(6);
+        let flat = FlatSchedule::from_schedule(&s);
+        let rebuilt = FlatSchedule::from_raw_parts(
+            flat.n,
+            flat.round_offsets.clone(),
+            flat.tx_msg.clone(),
+            flat.tx_from.clone(),
+            flat.dest_offsets.clone(),
+            flat.dests.clone(),
+        );
+        assert_eq!(rebuilt, flat);
+        assert_eq!(rebuilt.digest(), flat.digest());
+        assert_eq!(rebuilt.stats(), flat.stats());
+    }
+
+    #[test]
+    fn from_raw_parts_empty() {
+        let flat = FlatSchedule::from_raw_parts(4, vec![0], vec![], vec![], vec![0], vec![]);
+        assert_eq!(flat.rounds(), 0);
+        assert_eq!(flat, FlatSchedule::from_schedule(&Schedule::new(4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn from_raw_parts_rejects_descending_offsets() {
+        FlatSchedule::from_raw_parts(
+            2,
+            vec![0, 2, 1, 2],
+            vec![0, 1],
+            vec![0, 1],
+            vec![0, 1, 2],
+            vec![1, 0],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one destination range per transmission")]
+    fn from_raw_parts_rejects_missing_dest_range() {
+        FlatSchedule::from_raw_parts(2, vec![0, 1], vec![0], vec![0], vec![0], vec![]);
     }
 
     #[test]

@@ -80,8 +80,14 @@ where
     F: Fn(T) -> R + Sync,
 {
     let n = items.len();
-    let threads = std::thread::available_parallelism()
-        .map_or(1, usize::from)
+    // Like real rayon, RAYON_NUM_THREADS pins the worker count (the
+    // determinism suite runs pipelines at 1 vs default and requires
+    // byte-identical output); otherwise one chunk per available core.
+    let threads = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, usize::from))
         .min(n.max(1));
     if threads <= 1 || n <= 1 {
         return items.into_iter().map(f).collect();
