@@ -15,9 +15,11 @@
 //!   transmission into the in-memory `.gfr` ring — what `--flight-out`
 //!   pays.
 //!
-//! The threaded online executor gets its own noop/live/flight triple: its
-//! cost is barrier-dominated wall clock, so both recorders must disappear
-//! into the noise there. That triple carries the <5% flight guard: the
+//! The threaded online executor gets its own noop/live/flight/alerts
+//! quadruple: its cost is barrier-dominated wall clock, so the recorders —
+//! including an [`AlertEngine`] running the full default rule set, what
+//! `gossip serve --alerts` pays (`alerts_guard_ok`) — must disappear into
+//! the noise there. That quadruple carries the <5% flight guard: the
 //! wall-clock executors are where `--flight-out` attaches in `gossip
 //! serve`/`recover`. On the dense oracle microbench the capture is O(every
 //! transmission) against a simulator whose own per-transmission work is a
@@ -40,7 +42,9 @@ use gossip_graph::{min_depth_spanning_tree, ChildOrder};
 use gossip_model::{CommModel, FlatSchedule, Simulator};
 use gossip_telemetry::flight::FlightHeader;
 use gossip_telemetry::profile::Profiler;
-use gossip_telemetry::{FlightRecorder, LiveRegistry, MetricsRecorder, NoopRecorder, Value};
+use gossip_telemetry::{
+    AlertEngine, FlightRecorder, LiveRegistry, MetricsRecorder, NoopRecorder, RuleSet, Value,
+};
 use gossip_workloads::torus;
 use std::hint::black_box;
 use std::time::Instant;
@@ -203,19 +207,33 @@ fn bench_overhead(c: &mut Criterion) {
             match config {
                 0 => black_box(run_online_threaded_recorded(&online_tree, &NoopRecorder)),
                 1 => black_box(run_online_threaded_recorded(&online_tree, &live)),
-                _ => {
+                2 => {
                     let rec = FlightRecorder::new(online_header.clone());
                     black_box(run_online_threaded_recorded(&online_tree, &rec))
                 }
+                _ => {
+                    // What `gossip serve --alerts` pays: the full default
+                    // rule set evaluating every round over the live
+                    // registry. Fresh engine per run so the single-shot
+                    // latches judge every round, never a latched fast path.
+                    let engine = AlertEngine::new(&live, RuleSet::default())
+                        .total_pairs((online_tree.n() * online_origins.len()) as u64);
+                    black_box(run_online_threaded_recorded(&online_tree, &engine))
+                }
             };
         },
-        3,
+        4,
         iters,
     );
-    let (online_noop, online_live, online_flight) =
-        (online_best[0], online_best[1], online_best[2]);
+    let (online_noop, online_live, online_flight, online_alerts) = (
+        online_best[0],
+        online_best[1],
+        online_best[2],
+        online_best[3],
+    );
     let online_live_overhead_pct = 100.0 * (online_live - online_noop) / online_noop;
     let flight_overhead_pct = 100.0 * (online_flight - online_noop) / online_noop;
+    let alerts_overhead_pct = 100.0 * (online_alerts - online_noop) / online_noop;
 
     // The planner profiler pair for the artifact. Allocator counting is a
     // process-global build decision (`--features prof-alloc`), so it
@@ -258,11 +276,13 @@ fn bench_overhead(c: &mut Criterion) {
         ("online_noop_ms", Value::from_f64(online_noop * 1e3)),
         ("online_live_ms", Value::from_f64(online_live * 1e3)),
         ("online_flight_ms", Value::from_f64(online_flight * 1e3)),
+        ("online_alerts_ms", Value::from_f64(online_alerts * 1e3)),
         (
             "online_live_overhead_pct",
             Value::from_f64(online_live_overhead_pct),
         ),
         ("flight_overhead_pct", Value::from_f64(flight_overhead_pct)),
+        ("alerts_overhead_pct", Value::from_f64(alerts_overhead_pct)),
         ("plan_noop_ms", Value::from_f64(plan_noop * 1e3)),
         ("plan_profiled_ms", Value::from_f64(plan_profiled * 1e3)),
         (
@@ -279,12 +299,14 @@ fn bench_overhead(c: &mut Criterion) {
             Value::Bool(online_live_overhead_pct < 5.0),
         ),
         ("profile_guard_ok", Value::Bool(profile_overhead_pct < 5.0)),
+        ("alerts_guard_ok", Value::Bool(alerts_overhead_pct < 5.0)),
     ]);
     if let Some(path) = write_bench_json("telemetry_overhead", &payload) {
         println!(
             "noop overhead: {overhead_pct:.2}%, live registry: {live_overhead_pct:.2}%, \
              online live: {online_live_overhead_pct:.2}%, \
              online flight: {flight_overhead_pct:.2}%, \
+             online alerts: {alerts_overhead_pct:.2}%, \
              plan profiler: {profile_overhead_pct:.2}% (guard < 5%; \
              dense-capture context: {simulate_flight_overhead_pct:.2}%; \
              alloc counting: {alloc_counting}), wrote {path}"

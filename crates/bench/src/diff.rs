@@ -36,7 +36,7 @@
 //!
 //! Both artifacts must pass [`gossip_telemetry::check_schema_version`].
 
-use gossip_telemetry::{check_schema_version, Value};
+use gossip_telemetry::{check_schema_version, Value, SCHEMA_VERSION};
 
 /// Thresholds for [`diff_bench`].
 #[derive(Debug, Clone, Copy)]
@@ -73,11 +73,37 @@ pub struct Regression {
     pub new: f64,
 }
 
+/// One compared field's full verdict — every field that was judged, not
+/// just the failures. This is what `bench-diff --json` serializes, so
+/// tooling can see the threshold each value was held to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldCheck {
+    /// Row key, e.g. `ring/n=64` or `phase=plan/tree`.
+    pub key: String,
+    /// Field compared.
+    pub field: String,
+    /// Comparison regime: `deterministic`, `wall`, or `speedup`.
+    pub regime: &'static str,
+    /// Baseline value.
+    pub old: f64,
+    /// Candidate value.
+    pub new: f64,
+    /// The limit the candidate was judged against: an upper bound for
+    /// `deterministic` / `wall` fields, a lower bound for `speedup`.
+    pub threshold: f64,
+    /// Signed percentage change vs the baseline (0 when the baseline is 0).
+    pub delta_pct: f64,
+    /// Whether the field passed.
+    pub ok: bool,
+}
+
 /// The outcome of a bench diff.
 #[derive(Debug, Clone, Default)]
 pub struct DiffReport {
     /// Regressions found (empty = gate passes).
     pub regressions: Vec<Regression>,
+    /// Per-field verdicts for every compared field, in row order.
+    pub checks: Vec<FieldCheck>,
     /// Rows present in both artifacts and compared.
     pub rows_compared: usize,
     /// Numeric fields compared across all matched rows.
@@ -127,6 +153,58 @@ impl DiffReport {
             }
         ));
         out
+    }
+
+    /// A machine-readable artifact (`bench-diff --json`): every compared
+    /// field's verdict with the threshold it was judged against, plus the
+    /// overall gate outcome. Exit semantics are unchanged — this mirrors
+    /// [`DiffReport::ok`], it does not replace it.
+    pub fn to_json(&self) -> Value {
+        use crate::report::obj;
+        let checks = self
+            .checks
+            .iter()
+            .map(|c| {
+                obj(vec![
+                    ("key", Value::String(c.key.clone())),
+                    ("field", Value::String(c.field.clone())),
+                    ("regime", Value::String(c.regime.into())),
+                    ("old", Value::from_f64(c.old)),
+                    ("new", Value::from_f64(c.new)),
+                    ("threshold", Value::from_f64(c.threshold)),
+                    ("delta_pct", Value::from_f64(c.delta_pct)),
+                    ("ok", Value::Bool(c.ok)),
+                ])
+            })
+            .collect();
+        let regressions = self
+            .regressions
+            .iter()
+            .map(|r| {
+                obj(vec![
+                    ("key", Value::String(r.key.clone())),
+                    ("field", Value::String(r.field.clone())),
+                    ("old", Value::from_f64(r.old)),
+                    ("new", Value::from_f64(r.new)),
+                ])
+            })
+            .collect();
+        let strings =
+            |v: &[String]| Value::Array(v.iter().map(|s| Value::String(s.clone())).collect());
+        obj(vec![
+            ("schema_version", Value::from_u64(SCHEMA_VERSION)),
+            ("kind", Value::String("bench-diff".into())),
+            ("ok", Value::Bool(self.ok())),
+            ("rows_compared", Value::from_u64(self.rows_compared as u64)),
+            (
+                "fields_compared",
+                Value::from_u64(self.fields_compared as u64),
+            ),
+            ("checks", Value::Array(checks)),
+            ("regressions", Value::Array(regressions)),
+            ("unmatched", strings(&self.unmatched)),
+            ("skipped", strings(&self.skipped)),
+        ])
     }
 }
 
@@ -280,18 +358,36 @@ pub fn diff_bench(old: &Value, new: &Value, cfg: &DiffConfig) -> Result<DiffRepo
                 continue;
             };
             report.fields_compared += 1;
-            let regressed = if is_speedup_field(field) {
-                new_f < old_f / cfg.wall_factor
+            let (regime, threshold, regressed) = if is_speedup_field(field) {
+                let limit = old_f / cfg.wall_factor;
+                ("speedup", limit, new_f < limit)
             } else if is_wall_field(field) {
                 let grace = if field.ends_with("_ns") {
                     WALL_GRACE_MS * 1e6
                 } else {
                     WALL_GRACE_MS
                 };
-                new_f > old_f * cfg.wall_factor + grace
+                let limit = old_f * cfg.wall_factor + grace;
+                ("wall", limit, new_f > limit)
             } else {
-                new_f > old_f * (1.0 + cfg.threshold_pct / 100.0)
+                let limit = old_f * (1.0 + cfg.threshold_pct / 100.0);
+                ("deterministic", limit, new_f > limit)
             };
+            let delta_pct = if old_f == 0.0 {
+                0.0
+            } else {
+                (new_f - old_f) / old_f * 100.0
+            };
+            report.checks.push(FieldCheck {
+                key: key.clone(),
+                field: field.clone(),
+                regime,
+                old: old_f,
+                new: new_f,
+                threshold,
+                delta_pct,
+                ok: !regressed,
+            });
             if regressed {
                 report.regressions.push(Regression {
                     key: key.clone(),
@@ -558,5 +654,85 @@ mod tests {
         assert!(rep
             .render()
             .contains("plan_tree_ms missing from new artifact"));
+    }
+
+    #[test]
+    fn every_compared_field_gets_a_verdict_with_its_threshold() {
+        let old = artifact(vec![row("ring", 16, 24, 0.5)]);
+        let new = artifact(vec![row("ring", 16, 30, 0.5)]); // makespan +25%
+        let rep = diff_bench(&old, &new, &DiffConfig::default()).unwrap();
+        assert_eq!(rep.checks.len(), 2);
+        let make = rep
+            .checks
+            .iter()
+            .find(|c| c.field == "makespan")
+            .expect("makespan check");
+        assert_eq!(make.key, "ring/n=16");
+        assert_eq!(make.regime, "deterministic");
+        assert!(!make.ok);
+        assert!((make.threshold - 24.0 * 1.15).abs() < 1e-9);
+        assert!((make.delta_pct - 25.0).abs() < 1e-9);
+        let wall = rep
+            .checks
+            .iter()
+            .find(|c| c.field == "plan_ms")
+            .expect("plan_ms check");
+        assert_eq!(wall.regime, "wall");
+        assert!(wall.ok);
+        assert!((wall.threshold - (0.5 * 2.0 + WALL_GRACE_MS)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_checks_carry_a_lower_bound_threshold() {
+        let old = artifact(vec![speedup_row(6.0)]);
+        let new = artifact(vec![speedup_row(4.0)]);
+        let rep = diff_bench(&old, &new, &DiffConfig::default()).unwrap();
+        let c = &rep.checks[0];
+        assert_eq!(c.regime, "speedup");
+        assert!(c.ok);
+        assert!((c.threshold - 3.0).abs() < 1e-9); // 6.0 / wall_factor
+    }
+
+    #[test]
+    fn json_artifact_mirrors_the_gate_verdict() {
+        let old = artifact(vec![row("ring", 16, 24, 0.5), row("wheel", 8, 12, 0.1)]);
+        let new = artifact(vec![row("ring", 16, 60, 0.5)]);
+        let rep = diff_bench(&old, &new, &DiffConfig::default()).unwrap();
+        let json = rep.to_json();
+        assert_eq!(json.get("kind").and_then(Value::as_str), Some("bench-diff"));
+        assert_eq!(
+            json.get("schema_version").and_then(Value::as_u64),
+            Some(SCHEMA_VERSION)
+        );
+        assert_eq!(json.get("ok").and_then(Value::as_bool), Some(false));
+        let checks = json.get("checks").and_then(Value::as_array).unwrap();
+        assert_eq!(checks.len(), 2);
+        let failing = checks
+            .iter()
+            .find(|c| c.get("ok").and_then(Value::as_bool) == Some(false))
+            .expect("a failing check");
+        assert_eq!(
+            failing.get("field").and_then(Value::as_str),
+            Some("makespan")
+        );
+        assert!(failing.get("threshold").and_then(Value::as_f64).is_some());
+        assert_eq!(
+            json.get("regressions")
+                .and_then(Value::as_array)
+                .unwrap()
+                .len(),
+            1
+        );
+        assert_eq!(
+            json.get("unmatched")
+                .and_then(Value::as_array)
+                .unwrap()
+                .len(),
+            1
+        );
+        // The artifact parses back through the same JSON layer it ships on.
+        let text = serde_json::to_string_pretty(&json).unwrap();
+        let back: Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, json);
     }
 }

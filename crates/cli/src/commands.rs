@@ -15,8 +15,8 @@ use gossip_model::{
 use gossip_obsd::{render_dashboard, History, ObsdServer, Paced};
 use gossip_telemetry::flight::{Digest, FlightHeader, FlightLog, FlightRecorder, Tee};
 use gossip_telemetry::{
-    check_schema_version, LiveRegistry, MetricsRecorder, Recorder, SharedBuffer, Value,
-    SCHEMA_VERSION,
+    check_schema_version, AlertEngine, AlertSink, LiveRegistry, MetricsRecorder, Recorder, RuleSet,
+    SharedBuffer, Value, SCHEMA_VERSION,
 };
 use gossip_workloads::Family;
 use serde::{Deserialize, Serialize};
@@ -81,13 +81,17 @@ commands:
                                                        exit 1 if a reachable pair
                                                        is left undelivered
   bench-diff OLD.json NEW.json
-            [--threshold PCT] [--wall-factor F]        compare BENCH_* artifacts;
-                                                       exit 1 on regression
-  stats     METRICS.json|RECOVERY.json|CHURN.json|PROF.json|RUN.gfr|-
+            [--threshold PCT] [--wall-factor F]
+            [--json]                                   compare BENCH_* artifacts;
+                                                       exit 1 on regression; --json
+                                                       prints per-field verdicts with
+                                                       thresholds and deltas
+  stats     METRICS.json|RECOVERY.json|CHURN.json|PROF.json|ALERTS.json|RUN.gfr|-
                                                        summarize a --metrics file, a
                                                        recovery report, a churn
-                                                       report, a planner profile, or
-                                                       a flight record (`-` = stdin)
+                                                       report, a planner profile, an
+                                                       --alerts-out artifact, or a
+                                                       flight record (`-` = stdin)
   serve     (--family F --n N | --graph FILE|NAME)
             [--listen ADDR] [--addr-file FILE]
             [--round-delay-ms MS] [--linger-ms MS]
@@ -96,17 +100,21 @@ commands:
                                                        under a live HTTP observability
                                                        server; exit 1 if recovery
                                                        falls short
-  inspect   RUN.gfr [--round R]                        time-travel a flight record:
+  inspect   RUN.gfr|- [--round R]                      time-travel a flight record:
                                                        reconstructed hold-sets after
-                                                       any round, plus anomaly flags
+                                                       any round, the alert timeline,
+                                                       and anomaly flags (`-` = stdin)
   diff      A.gfr B.gfr                                compare two flight records:
                                                        first divergent round, delivery
                                                        deltas; exit 1 unless identical
+                                                       (one side may be `-` for stdin)
   dash      ARTIFACT.json|DIR [MORE...]
-            [--out report.html]                        aggregate metrics / BENCH_* /
+            [--out report.html] [--check]              aggregate metrics / BENCH_* /
                                                        recovery / profile / flight
                                                        artifacts into one
-                                                       self-contained HTML dashboard
+                                                       self-contained HTML dashboard;
+                                                       --check exits 1 when cross-run
+                                                       regression detection fires
 
 options accepted by plan / analyze / pipeline / provenance:
   --metrics FILE    record span timings, counters, and per-round simulation
@@ -141,8 +149,25 @@ live monitoring (serve):
                        scrapers can watch `gossip_round_current` advance
   --linger-ms MS       keep serving for MS after the run completes so a
                        final `/metrics` scrape sees the finished state
-  endpoints: /metrics (Prometheus text v0.0.4), /healthz (JSON liveness),
-  /events (NDJSON stream of round/loss/epoch events)
+  endpoints: /metrics (Prometheus text v0.0.4), /healthz (JSON liveness;
+  degraded once a critical alert fires), /events (NDJSON stream of
+  round/loss/epoch events), /alerts (JSON snapshot; /alerts/stream NDJSON)
+
+alerting (plan / recover / churn / serve):
+  --alerts [RULES.json]  evaluate streaming invariant monitors against the
+                         run: round stall, knowledge-curve flatline,
+                         projected breach of the n + r bound (fires before
+                         the bound is crossed), loss-rate spike, recovery
+                         epoch budget burn, churn invalidation storm. With
+                         no file the built-in rule set runs; a JSON rule
+                         file replaces it (severities info|warn|critical).
+                         Fired alerts print after the run, land in the
+                         flight record (`gossip inspect` timeline), count
+                         into gossip_alerts_total{rule,severity}, and are
+                         served on /alerts
+  --alerts-fatal         exit 1 if any alert fired (implies --alerts)
+  --alerts-out FILE      write fired alerts as a JSON artifact (implies
+                         --alerts; render with `gossip stats FILE`)
 
 flight recording (plan / recover / serve):
   --flight-out FILE.gfr  capture the executed run as a compact binary flight
@@ -547,10 +572,102 @@ fn write_flight(path: &str, rec: &FlightRecorder, out: Out) -> Result<(), String
     Ok(())
 }
 
-/// Reads and decodes one `.gfr` capture.
+/// Reads and decodes one `.gfr` capture; `-` reads the capture from
+/// stdin (same convention as `gossip stats -`), so a recording command
+/// can pipe straight into `gossip inspect -`.
 fn read_flight(path: &str) -> Result<FlightLog, String> {
-    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    let bytes = if path == "-" {
+        use std::io::Read as _;
+        let mut buf = Vec::new();
+        std::io::stdin()
+            .read_to_end(&mut buf)
+            .map_err(|e| format!("stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read(path).map_err(|e| format!("{path}: {e}"))?
+    };
+    if !FlightLog::sniff(&bytes) {
+        return Err(format!("{path}: not a flight record (bad magic)"));
+    }
     FlightLog::decode(&bytes).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Parses the watchdog flags shared by `plan` / `recover` / `churn` /
+/// `serve`. Returns the rule set to monitor with, or `None` when no
+/// alert flag was passed. `--alerts RULES.json` loads a declarative rule
+/// file (which *replaces* the default set); a bare `--alerts` — or
+/// `--alerts-fatal` / `--alerts-out` on their own — monitors with the
+/// default rules.
+fn parse_alert_rules(args: &Args) -> Result<Option<RuleSet>, String> {
+    let wanted = ["alerts", "alerts-fatal", "alerts-out"]
+        .iter()
+        .any(|k| args.options.contains_key(*k));
+    if !wanted {
+        return Ok(None);
+    }
+    match args.options.get("alerts").map(String::as_str) {
+        None | Some("true") => Ok(Some(RuleSet::default())),
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            text.parse::<RuleSet>()
+                .map(Some)
+                .map_err(|e| format!("{path}: {e}"))
+        }
+    }
+}
+
+/// The watchdog epilogue shared by every monitored command: disarms the
+/// wall-clock poll, prints the fired alerts (or the all-clear), and
+/// writes the `kind: "alerts"` artifact when `--alerts-out` asked for
+/// one. Returns how many alerts fired so callers can apply
+/// `--alerts-fatal` *after* their own pass/fail verdict.
+fn alerts_epilogue(sink: &Arc<AlertSink>, args: &Args, out: Out) -> Result<usize, String> {
+    sink.set_done();
+    let alerts = sink.alerts();
+    if alerts.is_empty() {
+        out!(out, "alerts: none fired");
+    } else {
+        out!(
+            out,
+            "alerts: {} fired{}",
+            alerts.len(),
+            if sink.has_critical() {
+                " (critical)"
+            } else {
+                ""
+            }
+        );
+        for a in &alerts {
+            out!(
+                out,
+                "  round {:>3}: [{}] {} — {}",
+                a.round,
+                a.severity.label(),
+                a.rule,
+                a.message
+            );
+        }
+    }
+    if let Some(path) = path_option(args, "alerts-out")? {
+        let json = serde_json::to_string_pretty(&sink.to_value()).map_err(|e| e.to_string())?;
+        std::fs::write(&path, json).map_err(|e| format!("{path}: {e}"))?;
+        out!(
+            out,
+            "wrote alerts artifact to {path} — render with `gossip stats {path}`"
+        );
+    }
+    Ok(alerts.len())
+}
+
+/// `--alerts-fatal`: exit nonzero when any alert fired. Applied after a
+/// command's own verdict so a failed run reports its primary error, not
+/// the watchdog's.
+fn alerts_fatal(args: &Args, fired: usize) -> Result<(), String> {
+    if args.options.contains_key("alerts-fatal") && fired > 0 {
+        Err(format!("--alerts-fatal: {fired} alert(s) fired"))
+    } else {
+        Ok(())
+    }
 }
 
 /// Parses `--algorithm` (or its `--algo` shorthand); `concurrent` and
@@ -854,6 +971,34 @@ pub fn plan(args: &Args) -> Result<(), String> {
         if let Some(m) = &metrics {
             m.recorder.counter("recovery/lost", lost.len() as u64);
         }
+    }
+    // --alerts: replay the planned schedule through the bitset kernel
+    // with the watchdog attached — the bound and loss monitors see the
+    // same per-round stream an executor would emit, so a lossy plan
+    // (fault flags) surfaces loss_spike / bound alerts without leaving
+    // `gossip plan`.
+    if let Some(rules) = parse_alert_rules(args)? {
+        let flat = gossip_model::FlatSchedule::from_schedule(&plan.schedule);
+        let faults = parse_fault_plan(args, g.n())?;
+        let engine = AlertEngine::new(&gossip_telemetry::NoopRecorder, rules)
+            .bound(plan.guarantee() as u64)
+            .total_pairs((g.n() * plan.origin_of_message.len()) as u64);
+        let mut sim = gossip_model::SimKernel::with_origins(&g, model, &plan.origin_of_message)
+            .map_err(|e| e.to_string())?;
+        match &faults {
+            Some(f) => {
+                let mut lost = Vec::new();
+                sim.run_lossy_recorded(&flat, f, &mut lost, &engine)
+                    .map_err(|e| e.to_string())?;
+            }
+            None => {
+                sim.run_recorded(&flat, &engine)
+                    .map_err(|e| e.to_string())?;
+            }
+        }
+        let sink = engine.sink();
+        let fired = alerts_epilogue(&sink, args, out)?;
+        alerts_fatal(args, fired)?;
     }
     if let Some(path) = flight_out_path(args)? {
         // A dedicated recording pass: the verification runs above stay
@@ -1434,17 +1579,34 @@ pub fn recover(args: &Args) -> Result<(), String> {
         }
         None => None,
     };
+    let rules = parse_alert_rules(args)?;
     let tee;
-    let mut exec = ResilientExecutor::new(&g, &plan.schedule, &plan.origin_of_message, &faults)
-        .max_epochs(max_epochs);
-    exec = match (&metrics, &flight) {
+    let base: &dyn Recorder = match (&metrics, &flight) {
         (Some(m), Some(f)) => {
             tee = Tee::new(&m.recorder, f);
-            exec.recorder(&tee)
+            &tee
         }
-        (Some(m), None) => exec.recorder(&m.recorder),
-        (None, Some(f)) => exec.recorder(f),
-        (None, None) => exec,
+        (Some(m), None) => &m.recorder,
+        (None, Some(f)) => f,
+        (None, None) => &gossip_telemetry::NoopRecorder,
+    };
+    // The watchdog wraps whatever the run already records through, so
+    // the same event stream feeds metrics, the flight capture, and the
+    // streaming invariant monitors.
+    let engine;
+    let mut sink = None;
+    let mut exec = ResilientExecutor::new(&g, &plan.schedule, &plan.origin_of_message, &faults)
+        .max_epochs(max_epochs);
+    exec = match rules {
+        Some(r) => {
+            engine = AlertEngine::new(base, r)
+                .bound(plan.guarantee() as u64)
+                .total_pairs((g.n() * plan.origin_of_message.len()) as u64)
+                .max_epochs(max_epochs as u64);
+            sink = Some(engine.sink());
+            exec.recorder(&engine)
+        }
+        None => exec.recorder(base),
     };
     let report = exec.run().map_err(|e| e.to_string())?;
 
@@ -1546,7 +1708,12 @@ pub fn recover(args: &Args) -> Result<(), String> {
     if let Some(m) = &metrics {
         write_metrics(m)?;
     }
+    let fired = match &sink {
+        Some(s) => alerts_epilogue(s, args, out)?,
+        None => 0,
+    };
     if report.recovered {
+        alerts_fatal(args, fired)?;
         Ok(())
     } else {
         Err(format!(
@@ -1626,16 +1793,33 @@ pub fn churn(args: &Args) -> Result<(), String> {
         }
         None => None,
     };
+    let rules = parse_alert_rules(args)?;
     let tee;
-    let mut exec = ChurnExecutor::new(&g, &churn_plan).max_epochs(max_epochs);
-    exec = match (&metrics, &flight) {
+    let base: &dyn Recorder = match (&metrics, &flight) {
         (Some(m), Some(f)) => {
             tee = Tee::new(&m.recorder, f);
-            exec.recorder(&tee)
+            &tee
         }
-        (Some(m), None) => exec.recorder(&m.recorder),
-        (None, Some(f)) => exec.recorder(f),
-        (None, None) => exec,
+        (Some(m), None) => &m.recorder,
+        (None, Some(f)) => f,
+        (None, None) => &gossip_telemetry::NoopRecorder,
+    };
+    // Under churn the bound context is the *baseline* n + r: topology
+    // events legitimately extend the run, so the churn-storm rule (not
+    // the bound rule) is the signal a rule file usually tightens here.
+    let engine;
+    let mut sink = None;
+    let mut exec = ChurnExecutor::new(&g, &churn_plan).max_epochs(max_epochs);
+    exec = match rules {
+        Some(r) => {
+            engine = AlertEngine::new(base, r)
+                .bound(plan.guarantee() as u64)
+                .total_pairs((g.n() * plan.origin_of_message.len()) as u64)
+                .max_epochs(max_epochs as u64);
+            sink = Some(engine.sink());
+            exec.recorder(&engine)
+        }
+        None => exec.recorder(base),
     };
     let report = exec.run().map_err(|e| e.to_string())?;
 
@@ -1748,7 +1932,12 @@ pub fn churn(args: &Args) -> Result<(), String> {
     if let Some(m) = &metrics {
         write_metrics(m)?;
     }
+    let fired = match &sink {
+        Some(s) => alerts_epilogue(s, args, out)?,
+        None => 0,
+    };
     if report.recovered {
+        alerts_fatal(args, fired)?;
         Ok(())
     } else {
         Err(format!(
@@ -2029,6 +2218,10 @@ pub fn stats(args: &Args) -> Result<(), String> {
     if doc.get("kind").and_then(Value::as_str) == Some("profile") {
         return stats_profile(&doc);
     }
+    // Watchdog artifacts (`--alerts-out`) render as an alert timeline.
+    if doc.get("kind").and_then(Value::as_str) == Some("alerts") {
+        return stats_alerts(&doc);
+    }
     let snapshot = &doc["snapshot"];
 
     let section = |title: &str, key: &str, fmt: &dyn Fn(&Value) -> String| {
@@ -2120,6 +2313,37 @@ fn stats_profile(doc: &Value) -> Result<(), String> {
     print!("{}", render_profile_phases(&doc["phases"]));
     if doc.get("alloc_tracking").and_then(Value::as_bool) == Some(true) {
         println!("allocation stats recorded by the prof-alloc counting allocator (process-global attribution)");
+    }
+    Ok(())
+}
+
+/// Renders a watchdog artifact (`kind: "alerts"`, from `--alerts-out`)
+/// for `gossip stats`: the alert timeline in firing order, mirroring
+/// the epilogue the monitored command printed.
+fn stats_alerts(doc: &Value) -> Result<(), String> {
+    let alerts = doc["alerts"].as_array().cloned().unwrap_or_default();
+    println!(
+        "alerts artifact: {} alert(s){}",
+        alerts.len(),
+        if doc["critical"].as_bool() == Some(true) {
+            " (critical)"
+        } else {
+            ""
+        }
+    );
+    for a in &alerts {
+        println!(
+            "  round {:>3}: [{}] {} — {} (value {:.2}, threshold {:.2})",
+            a["round"].as_u64().unwrap_or(0),
+            a["severity"].as_str().unwrap_or("?"),
+            a["rule"].as_str().unwrap_or("?"),
+            a["message"].as_str().unwrap_or(""),
+            a["value"].as_f64().unwrap_or(0.0),
+            a["threshold"].as_f64().unwrap_or(0.0)
+        );
+    }
+    if alerts.is_empty() {
+        println!("  (clean run — every monitored invariant held)");
     }
     Ok(())
 }
@@ -2279,9 +2503,10 @@ pub fn serve(args: &Args) -> Result<(), String> {
         }
         std::fs::write(path, format!("{addr}\n")).map_err(|e| format!("{path}: {e}"))?;
     }
-    println!("serving on http://{addr} — endpoints: /metrics /healthz /events");
+    println!("serving on http://{addr} — endpoints: /metrics /healthz /events /alerts");
     let health = server.health();
     let paced = Paced::new(&*registry, delay);
+    let rules = parse_alert_rules(args)?;
 
     health.set_phase("planning");
     let plan = GossipPlanner::new(&g)
@@ -2318,18 +2543,37 @@ pub fn serve(args: &Args) -> Result<(), String> {
         None => None,
     };
     let tee;
-    let paced_tee;
-    let exec_recorder: &dyn Recorder = match &flight {
+    let base: &dyn Recorder = match &flight {
         Some(f) => {
             tee = Tee::new(&*registry, f);
-            paced_tee = Paced::new(&tee, delay);
-            &paced_tee
+            &tee
         }
-        None => &paced,
+        None => &*registry,
     };
+    // With --alerts the chain is Paced(AlertEngine(Tee(registry,
+    // flight))): pacing sits outermost so the watchdog's wall-clock
+    // stall budget observes the same cadence the scrapers do, and the
+    // engine forwards everything so the live endpoints and the capture
+    // see an unchanged stream (plus the fired-alert events).
+    let engine;
+    let mut sink = None;
+    let monitored: &dyn Recorder = match rules {
+        Some(r) => {
+            engine = AlertEngine::new(base, r)
+                .bound(plan.guarantee() as u64)
+                .total_pairs((g.n() * plan.origin_of_message.len()) as u64)
+                .max_epochs(max_epochs as u64);
+            let s = engine.sink();
+            server.set_alerts(Arc::clone(&s));
+            sink = Some(s);
+            &engine
+        }
+        None => base,
+    };
+    let paced_exec = Paced::new(monitored, delay);
     let report = ResilientExecutor::new(&g, &plan.schedule, &plan.origin_of_message, &faults)
         .max_epochs(max_epochs)
-        .recorder(exec_recorder)
+        .recorder(&paced_exec)
         .run()
         .map_err(|e| e.to_string())?;
     if let (Some(path), Some(f)) = (&flight_path, &flight) {
@@ -2344,12 +2588,19 @@ pub fn serve(args: &Args) -> Result<(), String> {
         report.retransmissions,
         if report.recovered { "yes" } else { "NO" }
     );
+    // The epilogue disarms the watchdog's wall-clock stall poll *before*
+    // the linger window, so a long linger never fires a phantom stall.
+    let fired = match &sink {
+        Some(s) => alerts_epilogue(s, args, Out { to_stderr: false })?,
+        None => 0,
+    };
     if !linger.is_zero() {
         println!("lingering {} ms for final scrapes", linger.as_millis());
         std::thread::sleep(linger);
     }
     server.stop();
     if report.recovered {
+        alerts_fatal(args, fired)?;
         Ok(())
     } else {
         Err(format!(
@@ -2402,6 +2653,37 @@ pub fn dash(args: &Args) -> Result<(), String> {
         if history.runs.len() == 1 { "" } else { "s" },
         html.len()
     );
+    // Cross-run regression detection always reports; --check turns a
+    // non-empty report into a nonzero exit so nightly jobs can gate on
+    // it (the dashboard is still written first — that is the artifact
+    // you want when the gate trips).
+    let regressions = history.regressions();
+    for r in &regressions {
+        println!(
+            "regression: [{}] {} — {} at {} vs baseline {} ({:+.1}%, robust z {})",
+            r.group,
+            r.metric,
+            r.run,
+            r.value,
+            r.baseline,
+            r.delta_pct,
+            if r.z.is_finite() {
+                format!("{:.1}", r.z)
+            } else {
+                "inf".to_string()
+            }
+        );
+    }
+    if args.flag("check") {
+        if regressions.is_empty() {
+            println!("check: no cross-run regressions detected");
+        } else {
+            return Err(format!(
+                "{} cross-run regression(s) detected",
+                regressions.len()
+            ));
+        }
+    }
     Ok(())
 }
 
@@ -2413,7 +2695,7 @@ pub fn inspect(args: &Args) -> Result<(), String> {
     let path = args
         .positional
         .first()
-        .ok_or("usage: gossip inspect RUN.gfr [--round R]")?;
+        .ok_or("usage: gossip inspect RUN.gfr [--round R]  (or `-` for stdin)")?;
     let log = read_flight(path)?;
     let round = match args.options.get("round") {
         Some(_) => Some(args.get_usize("round", 0)?),
@@ -2435,8 +2717,11 @@ pub fn inspect(args: &Args) -> Result<(), String> {
 /// runs are identical, so scripts and CI can gate on determinism.
 pub fn diff(args: &Args) -> Result<(), String> {
     let [a, b] = args.positional.as_slice() else {
-        return Err("usage: gossip diff A.gfr B.gfr".into());
+        return Err("usage: gossip diff A.gfr B.gfr  (one side may be `-` for stdin)".into());
     };
+    if a == "-" && b == "-" {
+        return Err("only one side of a diff can read from stdin".into());
+    }
     let (log_a, log_b) = (read_flight(a)?, read_flight(b)?);
     let report = gossip_obsd::diff(&log_a, &log_b)?;
     print!("{}", gossip_obsd::postmortem::render_diff(&report));
@@ -2648,7 +2933,14 @@ pub fn bench_diff(args: &Args) -> Result<(), String> {
         wall_factor,
     };
     let report = diff_bench(&read(old_path)?, &read(new_path)?, &cfg)?;
-    print!("{}", report.render());
+    if args.flag("json") {
+        // Machine-readable gate result: per-field verdicts with the
+        // thresholds each value was judged against. Exit code unchanged.
+        let json = serde_json::to_string_pretty(&report.to_json()).map_err(|e| e.to_string())?;
+        println!("{json}");
+    } else {
+        print!("{}", report.render());
+    }
     if report.ok() {
         Ok(())
     } else {

@@ -157,7 +157,7 @@ fn duplicate_flag_rejected() {
 }
 
 /// Like [`gossip`] but feeding `stdin` to the child process.
-fn gossip_stdin(args: &[&str], stdin: &str) -> (bool, String, String) {
+fn gossip_stdin_bytes(args: &[&str], stdin: &[u8]) -> (bool, String, String) {
     use std::io::Write as _;
     use std::process::Stdio;
     let mut child = Command::new(env!("CARGO_BIN_EXE_gossip"))
@@ -167,18 +167,24 @@ fn gossip_stdin(args: &[&str], stdin: &str) -> (bool, String, String) {
         .stderr(Stdio::piped())
         .spawn()
         .expect("binary runs");
-    child
-        .stdin
-        .take()
-        .expect("piped stdin")
-        .write_all(stdin.as_bytes())
-        .expect("write stdin");
+    // The child may exit without draining stdin (usage errors reject
+    // `diff - -` before reading it), closing the pipe mid-write; a broken
+    // pipe is not a test failure — callers assert on the output.
+    match child.stdin.take().expect("piped stdin").write_all(stdin) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => {}
+        Err(e) => panic!("write stdin: {e}"),
+    }
     let out = child.wait_with_output().expect("binary exits");
     (
         out.status.success(),
         String::from_utf8_lossy(&out.stdout).into_owned(),
         String::from_utf8_lossy(&out.stderr).into_owned(),
     )
+}
+
+fn gossip_stdin(args: &[&str], stdin: &str) -> (bool, String, String) {
+    gossip_stdin_bytes(args, stdin.as_bytes())
 }
 
 fn temp_dir(tag: &str) -> std::path::PathBuf {
@@ -867,4 +873,177 @@ fn inspect_rejects_non_flight_files() {
     let (ok, _, stderr) = gossip(&["inspect", junk.to_str().unwrap()]);
     assert!(!ok);
     assert!(stderr.contains("not a flight record"), "{stderr}");
+}
+
+#[test]
+fn bench_diff_json_reports_per_field_verdicts() {
+    let dir = temp_dir("diff-json");
+    let old = dir.join("old.json");
+    let new_bad = dir.join("new_bad.json");
+    std::fs::write(
+        &old,
+        r#"{"schema_version": 1, "rows": [{"family": "ring", "n": 16, "makespan": 17, "plan_ms": 1.0}]}"#,
+    )
+    .unwrap();
+    std::fs::write(
+        &new_bad,
+        r#"{"schema_version": 1, "rows": [{"family": "ring", "n": 16, "makespan": 22, "plan_ms": 1.0}]}"#,
+    )
+    .unwrap();
+    let (ok, stdout, stderr) = gossip(&[
+        "bench-diff",
+        old.to_str().unwrap(),
+        new_bad.to_str().unwrap(),
+        "--json",
+    ]);
+    assert!(!ok, "regression must still exit nonzero under --json");
+    assert!(stderr.contains("regression(s)"), "{stderr}");
+    // Machine-readable body: overall verdict plus one check per field,
+    // each carrying the threshold it was judged against.
+    assert!(stdout.contains("\"kind\": \"bench-diff\""), "{stdout}");
+    assert!(stdout.contains("\"ok\": false"), "{stdout}");
+    assert!(stdout.contains("\"field\": \"makespan\""), "{stdout}");
+    assert!(stdout.contains("\"regime\": \"deterministic\""), "{stdout}");
+    assert!(stdout.contains("\"regime\": \"wall\""), "{stdout}");
+    assert!(stdout.contains("\"threshold\""), "{stdout}");
+    assert!(stdout.contains("\"delta_pct\""), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn plan_alerts_fire_render_and_gate() {
+    let dir = temp_dir("alerts");
+    let rules = dir.join("rules.json");
+    let artifact = dir.join("alerts.json");
+    // A hair-trigger loss-spike rule: any lost delivery fires it.
+    std::fs::write(
+        &rules,
+        r#"{"schema_version": 1, "rules": [
+            {"rule": "loss_spike", "rate": 0.01, "min_count": 1, "severity": "critical"}]}"#,
+    )
+    .unwrap();
+    let lossy = [
+        "plan",
+        "--graph",
+        "petersen",
+        "--loss-rate",
+        "0.9",
+        "--fault-seed",
+        "1",
+        "--alerts",
+        rules.to_str().unwrap(),
+    ];
+    let (ok, stdout, stderr) =
+        gossip(&[&lossy[..], &["--alerts-out", artifact.to_str().unwrap()]].concat());
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("alerts:"), "{stdout}");
+    assert!(stdout.contains("[critical] loss_spike"), "{stdout}");
+    assert!(stdout.contains("wrote alerts artifact"), "{stdout}");
+
+    let (ok, stats_out, stats_err) = gossip(&["stats", artifact.to_str().unwrap()]);
+    assert!(ok, "{stats_err}");
+    assert!(stats_out.contains("alerts artifact:"), "{stats_out}");
+    assert!(stats_out.contains("loss_spike"), "{stats_out}");
+
+    // --alerts-fatal turns the fired rule into a gate.
+    let (ok, _, stderr) = gossip(&[&lossy[..], &["--alerts-fatal"]].concat());
+    assert!(!ok, "--alerts-fatal must exit nonzero when a rule fired");
+    assert!(stderr.contains("--alerts-fatal"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn plan_clean_run_fires_no_alerts() {
+    // Bare --alerts enables the built-in rule set; a clean fast run must
+    // end silent and pass even under --alerts-fatal.
+    let (ok, stdout, stderr) = gossip(&[
+        "plan",
+        "--family",
+        "ring",
+        "--n",
+        "8",
+        "--alerts",
+        "--alerts-fatal",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("alerts: none fired"), "{stdout}");
+}
+
+#[test]
+fn dash_check_gates_on_doctored_regression() {
+    let dir = temp_dir("dash-check");
+    let profile = |makespan: u64| {
+        format!(
+            r#"{{"schema_version": 1, "kind": "profile", "n": 64, "m": 96,
+                 "makespan": {makespan}, "plan_ms": 1.0}}"#
+        )
+    };
+    for i in 0..5 {
+        std::fs::write(dir.join(format!("PROF_{i}.json")), profile(130)).unwrap();
+    }
+    let report = dir.join("report.html");
+    let (ok, stdout, stderr) = gossip(&[
+        "dash",
+        dir.to_str().unwrap(),
+        "--out",
+        report.to_str().unwrap(),
+        "--check",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(
+        stdout.contains("check: no cross-run regressions detected"),
+        "{stdout}"
+    );
+
+    // Doctor the newest run to a 2x makespan: --check must exit nonzero
+    // and name the offender.
+    std::fs::write(dir.join("PROF_4.json"), profile(260)).unwrap();
+    let (ok, stdout, stderr) = gossip(&[
+        "dash",
+        dir.to_str().unwrap(),
+        "--out",
+        report.to_str().unwrap(),
+        "--check",
+    ]);
+    assert!(!ok, "doctored set must fail --check");
+    assert!(stdout.contains("regression:"), "{stdout}");
+    assert!(stdout.contains("makespan"), "{stdout}");
+    assert!(stderr.contains("regression(s) detected"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn inspect_and_diff_read_flight_records_from_stdin() {
+    let dir = temp_dir("flight-stdin");
+    let gfr = dir.join("run.gfr");
+    let (ok, _, stderr) = gossip(&[
+        "plan",
+        "--family",
+        "ring",
+        "--n",
+        "8",
+        "--flight-out",
+        gfr.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stderr}");
+    let bytes = std::fs::read(&gfr).unwrap();
+
+    let (ok, stdout, stderr) = gossip_stdin_bytes(&["inspect", "-"], &bytes);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("flight record:"), "{stdout}");
+
+    let (ok, stdout, stderr) = gossip_stdin_bytes(&["diff", "-", gfr.to_str().unwrap()], &bytes);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("identical"), "{stdout}");
+
+    // Junk on stdin gets the same magic-sniff rejection as a junk file.
+    let (ok, _, stderr) = gossip_stdin_bytes(&["inspect", "-"], b"not a capture");
+    assert!(!ok);
+    assert!(stderr.contains("not a flight record"), "{stderr}");
+
+    // Both sides of a diff cannot stream from one stdin.
+    let (ok, _, stderr) = gossip_stdin_bytes(&["diff", "-", "-"], &bytes);
+    assert!(!ok);
+    assert!(stderr.contains("stdin"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
 }

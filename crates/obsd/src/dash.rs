@@ -10,7 +10,7 @@
 //! profiles get a per-phase stacked bar partitioning construction time by
 //! phase self time.
 
-use crate::history::{History, RunKind, RunRecord, Series};
+use crate::history::{History, Regression, RunKind, RunRecord, Series};
 use std::fmt::Write as _;
 
 const WIDTH: f64 = 260.0;
@@ -155,6 +155,49 @@ pub fn stacked_bar(title: &str, segments: &[(String, f64)]) -> String {
     )
 }
 
+/// The cross-run regressions panel: one row per [`Regression`], or a
+/// quiet all-clear line when the judged groups are healthy. Rendered
+/// right under the overview so a broken nightly is the first thing the
+/// page shows.
+fn regressions_panel(out: &mut String, regs: &[Regression]) {
+    if regs.is_empty() {
+        out.push_str("<p class=\"allclear\">No cross-run regressions detected.</p>");
+        return;
+    }
+    let _ = write!(
+        out,
+        "<h2>regressions <span class=\"kind bad\">{}</span></h2>",
+        regs.len()
+    );
+    out.push_str(concat!(
+        "<table class=\"regressions\"><tr><th>group</th><th>metric</th>",
+        "<th>run</th><th>value</th><th>baseline</th><th>ewma</th>",
+        "<th>delta %</th><th>robust z</th></tr>"
+    ));
+    for r in regs {
+        let _ = write!(
+            out,
+            concat!(
+                "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td>",
+                "<td>{}</td><td>{}</td><td class=\"bad\">{:+.1}</td><td>{}</td></tr>"
+            ),
+            escape_html(&r.group),
+            escape_html(&r.metric),
+            escape_html(&r.run),
+            fmt_num(r.value),
+            fmt_num(r.baseline),
+            fmt_num(r.ewma),
+            r.delta_pct,
+            if r.z.is_finite() {
+                format!("{:.1}", r.z)
+            } else {
+                "inf".to_string()
+            },
+        );
+    }
+    out.push_str("</table>");
+}
+
 fn run_section(out: &mut String, run: &RunRecord) {
     let _ = write!(
         out,
@@ -227,6 +270,12 @@ pub fn render_dashboard(history: &History) -> String {
         ".sw{display:inline-block;width:.7em;height:.7em;border-radius:2px;",
         "margin-right:.3em;vertical-align:baseline}",
         ".overview td:first-child,.overview th:first-child{text-align:left}",
+        ".regressions td:first-child,.regressions th:first-child,",
+        ".regressions td:nth-child(2),.regressions td:nth-child(3)",
+        "{text-align:left}",
+        ".bad{background:#b0486e;color:#fff}",
+        "td.bad{background:#fbeef3;color:#9c2f58;font-weight:600}",
+        ".allclear{color:#3f9c5a}",
         "</style></head><body><h1>gossip run history</h1>"
     ));
     let _ = write!(
@@ -236,6 +285,7 @@ pub fn render_dashboard(history: &History) -> String {
         if history.runs.len() == 1 { "" } else { "s" }
     );
     if !history.runs.is_empty() {
+        regressions_panel(&mut out, &history.regressions());
         out.push_str(concat!(
             "<table class=\"overview\"><tr><th>run</th><th>kind</th>",
             "<th>scalars</th><th>series</th></tr>"
@@ -309,6 +359,39 @@ mod tests {
         for marker in ["http://", "https://", "src=", "href=", "@import", "url("] {
             assert!(!html.contains(marker), "external asset marker {marker:?}");
         }
+    }
+
+    #[test]
+    fn regressions_panel_flags_a_doctored_set_and_stays_self_contained() {
+        let profile = |makespan: f64| {
+            format!(
+                r#"{{"schema_version": 1, "kind": "profile", "n": 64,
+                    "makespan": {makespan}, "plan_ms": 0.4}}"#
+            )
+        };
+        let mut h = History::new();
+        for (i, ms) in [130.0, 130.0, 130.0, 260.0].iter().enumerate() {
+            h.ingest(&format!("PROF_{i}"), &profile(*ms)).unwrap();
+        }
+        let html = render_dashboard(&h);
+        assert!(html.contains("<h2>regressions"));
+        assert!(html.contains("<td>makespan</td>"));
+        assert!(html.contains("<td>PROF_3</td>"));
+        assert!(html.contains("<td>profile n=64</td>"));
+        assert!(html.contains(">+100.0</td>"));
+        assert!(!html.contains("No cross-run regressions detected"));
+        for marker in ["http://", "https://", "src=", "href=", "@import", "url("] {
+            assert!(!html.contains(marker), "external asset marker {marker:?}");
+        }
+
+        // A healthy set renders the quiet all-clear line instead.
+        let mut clean = History::new();
+        for (i, ms) in [130.0, 130.0, 130.0, 130.0].iter().enumerate() {
+            clean.ingest(&format!("PROF_{i}"), &profile(*ms)).unwrap();
+        }
+        let html = render_dashboard(&clean);
+        assert!(html.contains("No cross-run regressions detected"));
+        assert!(!html.contains("<h2>regressions"));
     }
 
     #[test]

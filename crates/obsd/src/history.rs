@@ -70,10 +70,41 @@ pub struct RunRecord {
     pub name: String,
     /// Artifact family.
     pub kind: RunKind,
+    /// Sub-family discriminator (the bench `experiment` name) so
+    /// regression groups never mix measurements from different
+    /// experiments that happen to share instance sizes.
+    pub variant: Option<String>,
     /// Headline numbers, in artifact order.
     pub scalars: Vec<(String, f64)>,
     /// Extracted time series.
     pub series: Vec<Series>,
+}
+
+/// One flagged cross-run regression: the newest point of a judged
+/// metric clears both the robust noise band and the metric's
+/// directional gate relative to the prior runs in its group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Comparison group: run kind, variant, and instance-size scalars
+    /// (e.g. `profile n=64 m=96`) — runs are only judged against runs
+    /// of the same shape.
+    pub group: String,
+    /// The judged scalar (e.g. `plan_ms`, `phase/plan/tree`).
+    pub metric: String,
+    /// Label of the offending (latest) run.
+    pub run: String,
+    /// The latest value.
+    pub value: f64,
+    /// Median of the prior runs.
+    pub baseline: f64,
+    /// Signed percentage change of the latest value vs the baseline.
+    pub delta_pct: f64,
+    /// Robust z-score (`0.6745 * dev / MAD`); infinite when the priors
+    /// are exactly stable and the latest value moved at all.
+    pub z: f64,
+    /// EWMA (alpha 0.3) of the prior runs — the smoothed trend shown
+    /// next to the baseline in the dashboard panel.
+    pub ewma: f64,
 }
 
 /// The in-memory index of every ingested run.
@@ -185,6 +216,7 @@ impl History {
         self.runs.push(RunRecord {
             name: label.to_string(),
             kind: RunKind::Flight,
+            variant: None,
             scalars,
             series,
         });
@@ -229,6 +261,134 @@ impl History {
                     .map(|&(_, v)| (r.name.as_str(), v))
             })
             .collect()
+    }
+
+    /// Cross-run regression detection: judges the *latest* run of each
+    /// comparison group against the prior runs of the same group.
+    ///
+    /// Groups are `(kind, variant, n, m)` so only same-shaped runs are
+    /// compared. Judged metrics: `makespan`, `plan_ms`, kernel speedups
+    /// (`*_speedup_x`), and profile phase self-times (`phase/*`). A
+    /// group needs [`MIN_REGRESSION_POINTS`] observations of a metric
+    /// before its latest value is judged — anything thinner stays
+    /// silent, so a fresh artifact directory never cries wolf.
+    ///
+    /// Two tests must both pass for a finding:
+    ///
+    /// - **noise gate**: the deviation from the prior median exceeds
+    ///   3 robust z-units (`0.6745 * |dev| / MAD`); perfectly stable
+    ///   priors (MAD 0) treat any movement as out of band.
+    /// - **directional gate**, per metric class: wall-clock metrics
+    ///   (`plan_ms`, `phase/*`) must exceed `2x median + 5ms` (the
+    ///   absolute grace keeps micro-timings from flapping); `makespan`
+    ///   (deterministic plan quality) must grow by more than 25%;
+    ///   speedups must *fall* below half the median.
+    ///
+    /// Improvements never flag.
+    pub fn regressions(&self) -> Vec<Regression> {
+        const EWMA_ALPHA: f64 = 0.3;
+        // (group, metric) -> (run name, value) points in ingestion order.
+        // Vec-backed so the output ordering is deterministic across runs.
+        type MetricPoints<'a> = Vec<((String, String), Vec<(&'a str, f64)>)>;
+        let mut table: MetricPoints = Vec::new();
+        for run in &self.runs {
+            let group = group_key(run);
+            for (name, v) in &run.scalars {
+                if !judged_metric(name) {
+                    continue;
+                }
+                let key = (group.clone(), name.clone());
+                match table.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, pts)) => pts.push((run.name.as_str(), *v)),
+                    None => table.push((key, vec![(run.name.as_str(), *v)])),
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for ((group, metric), pts) in table {
+            if pts.len() < MIN_REGRESSION_POINTS {
+                continue;
+            }
+            let (last_run, last) = *pts.last().expect("non-empty");
+            let priors: Vec<f64> = pts[..pts.len() - 1].iter().map(|&(_, v)| v).collect();
+            let med = median(&priors);
+            let deviations: Vec<f64> = priors.iter().map(|v| (v - med).abs()).collect();
+            let mad = median(&deviations);
+            let dev = last - med;
+            let beyond_noise = if mad > 0.0 {
+                0.6745 * dev.abs() / mad >= 3.0
+            } else {
+                dev != 0.0
+            };
+            let regressed = if metric.ends_with("_speedup_x") {
+                last < med / 2.0
+            } else if metric == "makespan" {
+                med > 0.0 && dev / med > 0.25
+            } else {
+                last > med * 2.0 + 5.0
+            };
+            if !(beyond_noise && regressed) {
+                continue;
+            }
+            let z = if mad > 0.0 {
+                0.6745 * dev / mad
+            } else if dev > 0.0 {
+                f64::INFINITY
+            } else {
+                f64::NEG_INFINITY
+            };
+            let ewma = priors
+                .iter()
+                .skip(1)
+                .fold(priors[0], |e, &v| EWMA_ALPHA * v + (1.0 - EWMA_ALPHA) * e);
+            let delta_pct = if med != 0.0 { dev / med * 100.0 } else { 0.0 };
+            out.push(Regression {
+                group,
+                metric,
+                run: last_run.to_string(),
+                value: last,
+                baseline: med,
+                delta_pct,
+                z,
+                ewma,
+            });
+        }
+        out
+    }
+}
+
+/// Minimum observations of a `(group, metric)` pair before the latest
+/// value is judged for regression.
+pub const MIN_REGRESSION_POINTS: usize = 4;
+
+fn judged_metric(name: &str) -> bool {
+    name == "makespan"
+        || name == "plan_ms"
+        || name.ends_with("_speedup_x")
+        || name.starts_with("phase/")
+}
+
+fn group_key(run: &RunRecord) -> String {
+    use std::fmt::Write as _;
+    let mut key = run.kind.label().to_string();
+    if let Some(variant) = &run.variant {
+        let _ = write!(key, " {variant}");
+    }
+    for dim in ["n", "m"] {
+        if let Some(&(_, v)) = run.scalars.iter().find(|(k, _)| k == dim) {
+            let _ = write!(key, " {dim}={v}");
+        }
+    }
+    key
+}
+
+fn median(vals: &[f64]) -> f64 {
+    let mut v = vals.to_vec();
+    v.sort_by(f64::total_cmp);
+    match v.len() {
+        0 => 0.0,
+        n if n % 2 == 1 => v[n / 2],
+        n => (v[n / 2 - 1] + v[n / 2]) / 2.0,
     }
 }
 
@@ -279,6 +439,7 @@ fn ingest_metrics(label: &str, doc: &Value) -> RunRecord {
     RunRecord {
         name: label.to_string(),
         kind: RunKind::Metrics,
+        variant: None,
         scalars,
         series,
     }
@@ -316,6 +477,7 @@ fn ingest_bench(label: &str, doc: &Value) -> RunRecord {
     RunRecord {
         name: label.to_string(),
         kind: RunKind::Bench,
+        variant: doc["experiment"].as_str().map(str::to_string),
         scalars,
         series,
     }
@@ -363,6 +525,7 @@ fn ingest_profile(label: &str, doc: &Value) -> RunRecord {
     RunRecord {
         name: label.to_string(),
         kind: RunKind::Profile,
+        variant: None,
         scalars,
         series: Vec::new(),
     }
@@ -407,6 +570,7 @@ fn ingest_recovery(label: &str, doc: &Value) -> RunRecord {
     RunRecord {
         name: label.to_string(),
         kind: RunKind::Recovery,
+        variant: None,
         scalars,
         series,
     }
@@ -484,6 +648,129 @@ mod tests {
             .ingest("x", r#"{"schema_version": 99, "snapshot": {}}"#)
             .is_err());
         assert!(h.runs.is_empty());
+    }
+
+    fn profile_doc(makespan: f64, plan_ms: f64) -> String {
+        format!(
+            r#"{{"schema_version": 1, "kind": "profile", "n": 64, "m": 96,
+                "makespan": {makespan}, "plan_ms": {plan_ms}}}"#
+        )
+    }
+
+    #[test]
+    fn regression_trips_on_doctored_makespan_but_not_on_a_stable_set() {
+        // Stable: identical deterministic makespans, jittery plan times.
+        let mut stable = History::new();
+        for (i, plan_ms) in [0.41, 0.39, 0.44, 0.40].iter().enumerate() {
+            stable
+                .ingest(&format!("PROF_{i}"), &profile_doc(130.0, *plan_ms))
+                .unwrap();
+        }
+        assert!(stable.regressions().is_empty());
+
+        // Doctored: the last run's makespan doubles.
+        let mut doctored = History::new();
+        for (i, doc) in [
+            profile_doc(130.0, 0.41),
+            profile_doc(130.0, 0.39),
+            profile_doc(130.0, 0.44),
+            profile_doc(260.0, 0.40),
+        ]
+        .iter()
+        .enumerate()
+        {
+            doctored.ingest(&format!("PROF_{i}"), doc).unwrap();
+        }
+        let regs = doctored.regressions();
+        assert_eq!(regs.len(), 1, "only makespan should flag: {regs:?}");
+        let r = &regs[0];
+        assert_eq!(r.metric, "makespan");
+        assert_eq!(r.run, "PROF_3");
+        assert_eq!(r.group, "profile n=64 m=96");
+        assert_eq!(r.value, 260.0);
+        assert_eq!(r.baseline, 130.0);
+        assert!((r.delta_pct - 100.0).abs() < 1e-9);
+        // Stable priors: the movement is infinitely out of band.
+        assert_eq!(r.z, f64::INFINITY);
+        assert!((r.ewma - 130.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regression_needs_min_points_and_ignores_improvements() {
+        // Three points: one short of the floor, even with a 10x jump.
+        let mut thin = History::new();
+        for (i, doc) in [
+            profile_doc(130.0, 0.4),
+            profile_doc(130.0, 0.4),
+            profile_doc(1300.0, 0.4),
+        ]
+        .iter()
+        .enumerate()
+        {
+            thin.ingest(&format!("PROF_{i}"), doc).unwrap();
+        }
+        assert!(thin.regressions().is_empty());
+
+        // Improvements (makespan halves) never flag.
+        let mut better = History::new();
+        for (i, doc) in [
+            profile_doc(130.0, 0.4),
+            profile_doc(130.0, 0.4),
+            profile_doc(130.0, 0.4),
+            profile_doc(65.0, 0.4),
+        ]
+        .iter()
+        .enumerate()
+        {
+            better.ingest(&format!("PROF_{i}"), doc).unwrap();
+        }
+        assert!(better.regressions().is_empty());
+    }
+
+    #[test]
+    fn wall_metrics_get_absolute_grace_and_speedups_judge_downward() {
+        let bench = |plan_ms: f64, speedup: f64| {
+            format!(
+                r#"{{"schema_version": 1, "experiment": "kernels", "n": 64,
+                    "plan_ms": {plan_ms}, "csr_speedup_x": {speedup}}}"#,
+            )
+        };
+        // Micro-timing doubles but stays inside the 5ms grace: silent.
+        let mut micro = History::new();
+        for (i, (p, s)) in [(0.4, 8.0), (0.5, 8.1), (0.4, 7.9), (1.2, 8.0)]
+            .iter()
+            .enumerate()
+        {
+            micro.ingest(&format!("B{i}"), &bench(*p, *s)).unwrap();
+        }
+        assert!(micro.regressions().is_empty());
+
+        // A speedup collapse flags, and the group carries the experiment
+        // name so other experiments' artifacts can't dilute it.
+        let mut slow = History::new();
+        for (i, (p, s)) in [(0.4, 8.0), (0.5, 8.1), (0.4, 7.9), (0.4, 2.0)]
+            .iter()
+            .enumerate()
+        {
+            slow.ingest(&format!("B{i}"), &bench(*p, *s)).unwrap();
+        }
+        let regs = slow.regressions();
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert_eq!(regs[0].metric, "csr_speedup_x");
+        assert_eq!(regs[0].group, "bench kernels n=64");
+        assert!(regs[0].z < 0.0, "downward move, negative z: {}", regs[0].z);
+
+        // A genuine wall blowup past the grace flags too.
+        let mut wall = History::new();
+        for (i, (p, s)) in [(3.0, 8.0), (3.2, 8.1), (2.9, 7.9), (40.0, 8.0)]
+            .iter()
+            .enumerate()
+        {
+            wall.ingest(&format!("B{i}"), &bench(*p, *s)).unwrap();
+        }
+        let regs = wall.regressions();
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert_eq!(regs[0].metric, "plan_ms");
     }
 
     #[test]

@@ -22,7 +22,10 @@
 //!   than typical), and messages whose completion exceeds the paper's
 //!   `n + r` bound.
 
-use gossip_telemetry::flight::{cause_label, churn_op_label, FlightChurn, FlightLog};
+use gossip_telemetry::flight::{
+    alert_rule_label, alert_severity_label, cause_label, churn_op_label, FlightAlert, FlightChurn,
+    FlightLog,
+};
 use std::collections::HashSet;
 use std::fmt::Write as _;
 
@@ -186,6 +189,8 @@ pub struct InspectReport {
     /// Of those, `(message, destination)` pairs the repaired schedule
     /// delivered anyway by the end of the run.
     pub churn_repaired: usize,
+    /// Watchdog alerts captured in the record, in firing order.
+    pub alerts: Vec<FlightAlert>,
     /// Records evicted by the ring buffer (nonzero = truncated capture).
     pub dropped: u64,
     /// The round inspected (state after this round applied).
@@ -268,6 +273,7 @@ pub fn inspect(log: &FlightLog, round: Option<usize>) -> Result<InspectReport, S
         churn_invalidated: invalidated.len(),
         churn_repaired,
         churn_events,
+        alerts: log.alerts(),
         dropped: log.dropped,
         round,
         known_pairs: known,
@@ -327,6 +333,20 @@ pub fn render_inspect(r: &InspectReport) -> String {
             "churn repair: {} delivery(ies) invalidated, {} of them delivered anyway by the repaired schedule",
             r.churn_invalidated, r.churn_repaired
         );
+    }
+    if !r.alerts.is_empty() {
+        let _ = writeln!(out, "alert timeline: {} alert(s)", r.alerts.len());
+        for a in &r.alerts {
+            let _ = writeln!(
+                out,
+                "  round {:>3}: [{}] {} — value {:.2}, threshold {:.2}",
+                a.round,
+                alert_severity_label(a.severity),
+                alert_rule_label(a.rule),
+                a.value,
+                a.threshold
+            );
+        }
     }
     let _ = writeln!(
         out,
@@ -851,6 +871,41 @@ mod tests {
     fn loss_breakdown_labels_causes() {
         assert_eq!(loss_breakdown(&tiny_log(false)), "");
         assert_eq!(loss_breakdown(&tiny_log(true)), "sampled 1");
+    }
+
+    #[test]
+    fn inspect_surfaces_alert_timeline() {
+        use gossip_telemetry::flight::{alert_rule_code, alert_severity_code};
+        let mut log = tiny_log(true);
+        log.records.push(FlightRecord::Alert {
+            round: 1,
+            rule: alert_rule_code("loss_spike"),
+            severity: alert_severity_code("warn"),
+            value_bits: 0.75f64.to_bits(),
+            threshold_bits: 0.5f64.to_bits(),
+        });
+        log.records.push(FlightRecord::Alert {
+            round: 3,
+            rule: alert_rule_code("bound"),
+            severity: alert_severity_code("critical"),
+            value_bits: 9.0f64.to_bits(),
+            threshold_bits: 5.0f64.to_bits(),
+        });
+        let report = inspect(&log, None).unwrap();
+        assert_eq!(report.alerts.len(), 2);
+        let text = render_inspect(&report);
+        assert!(text.contains("alert timeline: 2 alert(s)"), "{text}");
+        assert!(
+            text.contains("round   1: [warn] loss_spike — value 0.75, threshold 0.50"),
+            "{text}"
+        );
+        assert!(
+            text.contains("round   3: [critical] bound — value 9.00, threshold 5.00"),
+            "{text}"
+        );
+        // Alert-free captures render no timeline header.
+        let clean = inspect(&tiny_log(false), None).unwrap();
+        assert!(!render_inspect(&clean).contains("alert timeline"));
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! (`gossip_span_completed_total{path="..."}`), keeping the whole document
 //! deterministic for a deterministic run (the golden test relies on this).
 
-use gossip_telemetry::{Histogram, LiveRegistry};
+use gossip_telemetry::{AlertSink, Histogram, LiveRegistry};
 use std::fmt::Write as _;
 
 /// Upper bounds (`le`) of the histogram buckets, in ascending order; a
@@ -75,12 +75,59 @@ fn render_histogram(out: &mut String, name: &str, raw: &str, h: &Histogram) {
 /// gauges, then histograms (all name-sorted within their group), then span
 /// completion counts and the event counter.
 pub fn render(registry: &LiveRegistry) -> String {
+    render_with_alerts(registry, None)
+}
+
+/// [`render`], but with an attached [`AlertSink`] as the authoritative
+/// source for `gossip_alerts_total`. The registry's `alerts/...` counters
+/// only see alerts the engine emitted downstream; the sink also holds
+/// wall-clock poll firings the engine has not flushed yet, so a scrape
+/// arriving between the poll and the next recorded event still reports
+/// them.
+pub fn render_with_alerts(registry: &LiveRegistry, sink: Option<&AlertSink>) -> String {
     let mut out = String::new();
+    // Watchdog counters (`alerts/<rule>/<severity>`) render as one
+    // labeled family instead of a name per series; collected while the
+    // plain counters stream out, emitted right after them. A run with no
+    // alerts leaves the document byte-identical to pre-watchdog builds.
+    let mut alert_series: Vec<(String, String, u64)> = match sink {
+        Some(s) => s
+            .counts()
+            .into_iter()
+            .map(|((rule, severity), v)| (rule, severity.to_string(), v))
+            .collect(),
+        None => Vec::new(),
+    };
     for (raw, v) in registry.counters() {
+        if let Some((rule, severity)) = raw
+            .strip_prefix("alerts/")
+            .and_then(|rest| rest.split_once('/'))
+        {
+            // With a sink attached its counts already cover these.
+            if sink.is_none() {
+                alert_series.push((rule.to_string(), severity.to_string(), v));
+            }
+            continue;
+        }
         let name = metric_name(&raw);
         let _ = writeln!(out, "# HELP {name} Counter \"{raw}\".");
         let _ = writeln!(out, "# TYPE {name} counter");
         let _ = writeln!(out, "{name} {v}");
+    }
+    if !alert_series.is_empty() {
+        let _ = writeln!(
+            out,
+            "# HELP gossip_alerts_total Watchdog alerts fired, by rule and severity."
+        );
+        let _ = writeln!(out, "# TYPE gossip_alerts_total counter");
+        for (rule, severity, v) in alert_series {
+            let _ = writeln!(
+                out,
+                "gossip_alerts_total{{rule=\"{}\",severity=\"{}\"}} {v}",
+                escape_label(&rule),
+                escape_label(&severity)
+            );
+        }
     }
     for (raw, v) in registry.gauges() {
         let name = metric_name(&raw);
@@ -178,6 +225,26 @@ mod tests {
                 assert!(line.rsplit(' ').next().unwrap().parse::<f64>().is_ok());
             }
         }
+    }
+
+    #[test]
+    fn alert_counters_render_as_one_labeled_family() {
+        let r = LiveRegistry::new();
+        r.counter("alerts/stall/critical", 1);
+        r.counter("alerts/loss_spike/warn", 2);
+        r.counter("exec/deliveries", 7);
+        let text = render(&r);
+        assert!(text.contains("# TYPE gossip_alerts_total counter\n"));
+        assert!(text.contains("gossip_alerts_total{rule=\"stall\",severity=\"critical\"} 1\n"));
+        assert!(text.contains("gossip_alerts_total{rule=\"loss_spike\",severity=\"warn\"} 2\n"));
+        // The raw per-severity counter names must not leak as families.
+        assert!(!text.contains("gossip_alerts_stall_critical"));
+        assert!(text.contains("gossip_exec_deliveries 7\n"));
+        // No alerts: the family is absent entirely, keeping alert-free
+        // expositions byte-identical to pre-watchdog builds.
+        let clean = LiveRegistry::new();
+        clean.counter("exec/deliveries", 7);
+        assert!(!render(&clean).contains("gossip_alerts_total"));
     }
 
     #[test]

@@ -6,11 +6,19 @@
 //! - `/metrics` — Prometheus text exposition v0.0.4 of the registry
 //!   ([`crate::prometheus::render`]);
 //! - `/healthz` — JSON liveness: `{"status":"ok","phase":...,"done":...,
-//!   "uptime_ms":...}`;
+//!   "uptime_ms":...}`; the status flips to `"degraded"` once a critical
+//!   watchdog alert fires (see [`ObsdServer::set_alerts`]);
 //! - `/events` — NDJSON stream: the connection subscribes to the
 //!   registry's event tap and receives every event from subscription
 //!   onward, one JSON object per line, until the run is marked done (or
-//!   the server stops).
+//!   the server stops);
+//! - `/alerts` — JSON snapshot of every watchdog alert fired so far
+//!   (`{"schema_version":...,"kind":"alerts","count":...,"critical":...,
+//!   "alerts":[...]}`); serving the request also runs the sink's
+//!   wall-clock stall poll, so a *hung* run surfaces here even though it
+//!   emits nothing;
+//! - `/alerts/stream` — NDJSON: one line per fired alert, replaying those
+//!   already fired and then following new ones until the run is done.
 //!
 //! The implementation is deliberately minimal — request line parsing only,
 //! one thread per connection, no keep-alive, no chunked encoding — because
@@ -18,7 +26,7 @@
 //! of which speak exactly this much HTTP.
 
 use crate::prometheus;
-use gossip_telemetry::{LiveRegistry, Value};
+use gossip_telemetry::{AlertSink, LiveRegistry, Value, SCHEMA_VERSION};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -30,6 +38,7 @@ use std::time::{Duration, Instant};
 pub struct Health {
     started: Instant,
     done: AtomicBool,
+    degraded: AtomicBool,
     phase: Mutex<String>,
 }
 
@@ -38,6 +47,7 @@ impl Health {
         Health {
             started: Instant::now(),
             done: AtomicBool::new(false),
+            degraded: AtomicBool::new(false),
             phase: Mutex::new("starting".to_string()),
         }
     }
@@ -58,10 +68,23 @@ impl Health {
         self.done.load(Ordering::Relaxed)
     }
 
+    /// Marks the run degraded: `/healthz` reports `"degraded"` from now
+    /// on. Sticky (a degraded run does not recover its status) — flipped
+    /// when a critical watchdog alert fires.
+    pub fn set_degraded(&self) {
+        self.degraded.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the run was marked degraded.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
     fn to_json(&self) -> String {
         let phase = self.phase.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        let status = if self.is_degraded() { "degraded" } else { "ok" };
         serde_json::to_string(&Value::Object(vec![
-            ("status".to_string(), Value::String("ok".to_string())),
+            ("status".to_string(), Value::String(status.to_string())),
             ("phase".to_string(), Value::String(phase)),
             ("done".to_string(), Value::Bool(self.is_done())),
             (
@@ -74,6 +97,7 @@ impl Health {
 }
 
 type Subscribers = Arc<Mutex<Vec<mpsc::Sender<String>>>>;
+type SharedSink = Arc<Mutex<Option<Arc<AlertSink>>>>;
 
 /// The running server; dropping (or [`ObsdServer::stop`]) shuts it down.
 pub struct ObsdServer {
@@ -81,6 +105,7 @@ pub struct ObsdServer {
     registry: Arc<LiveRegistry>,
     health: Arc<Health>,
     shutdown: Arc<AtomicBool>,
+    alerts: SharedSink,
     accept_handle: Option<JoinHandle<()>>,
 }
 
@@ -93,6 +118,7 @@ impl ObsdServer {
         let health = Arc::new(Health::new());
         let shutdown = Arc::new(AtomicBool::new(false));
         let subscribers: Subscribers = Arc::new(Mutex::new(Vec::new()));
+        let alerts: SharedSink = Arc::new(Mutex::new(None));
 
         // Broadcast tap: each rendered event line fans out to every live
         // `/events` subscriber; dead subscribers drop out on send failure.
@@ -107,6 +133,7 @@ impl ObsdServer {
             let health = Arc::clone(&health);
             let shutdown = Arc::clone(&shutdown);
             let subscribers = Arc::clone(&subscribers);
+            let alerts = Arc::clone(&alerts);
             std::thread::spawn(move || {
                 for stream in listener.incoming() {
                     if shutdown.load(Ordering::Relaxed) {
@@ -117,9 +144,16 @@ impl ObsdServer {
                     let health = Arc::clone(&health);
                     let shutdown = Arc::clone(&shutdown);
                     let subscribers = Arc::clone(&subscribers);
+                    let alerts = Arc::clone(&alerts);
                     std::thread::spawn(move || {
-                        let _ =
-                            handle_connection(stream, &registry, &health, &shutdown, &subscribers);
+                        let _ = handle_connection(
+                            stream,
+                            &registry,
+                            &health,
+                            &shutdown,
+                            &subscribers,
+                            &alerts,
+                        );
                     });
                 }
             })
@@ -130,8 +164,17 @@ impl ObsdServer {
             registry,
             health,
             shutdown,
+            alerts,
             accept_handle: Some(accept_handle),
         })
+    }
+
+    /// Attaches a watchdog alert sink: `/alerts` and `/alerts/stream`
+    /// serve it, and `/healthz` degrades once it carries a critical
+    /// alert. May be called after the server is already serving (the CLI
+    /// builds its `AlertEngine` only once planning is done).
+    pub fn set_alerts(&self, sink: Arc<AlertSink>) {
+        *self.alerts.lock().unwrap_or_else(|e| e.into_inner()) = Some(sink);
     }
 
     /// The bound address (resolves the actual port when `:0` was asked).
@@ -185,12 +228,30 @@ fn write_response(
     stream.flush()
 }
 
+/// The sink, if one was attached — consulted per request so a sink set
+/// mid-run is picked up. Also the degradation point: the wall-clock stall
+/// poll runs and a critical alert flips `/healthz`, so watching happens
+/// even when the run thread itself is wedged.
+fn current_sink(alerts: &SharedSink, health: &Health) -> Option<Arc<AlertSink>> {
+    let sink = alerts
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .as_ref()
+        .map(Arc::clone)?;
+    sink.poll();
+    if sink.has_critical() {
+        health.set_degraded();
+    }
+    Some(sink)
+}
+
 fn handle_connection(
     mut stream: TcpStream,
     registry: &LiveRegistry,
     health: &Health,
     shutdown: &AtomicBool,
     subscribers: &Subscribers,
+    alerts: &SharedSink,
 ) -> io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(5)))?;
     let mut reader = BufReader::new(stream.try_clone()?);
@@ -216,15 +277,93 @@ fn handle_connection(
         );
     }
     match path {
-        "/metrics" => write_response(
-            &mut stream,
-            "200 OK",
-            "text/plain; version=0.0.4; charset=utf-8",
-            &prometheus::render(registry),
-        ),
-        "/healthz" => write_response(&mut stream, "200 OK", "application/json", &health.to_json()),
+        "/metrics" => {
+            // Scraping also runs the sink's wall-clock stall poll, and
+            // the sink (when attached) is the authoritative source for
+            // `gossip_alerts_total` — a poll-fired alert shows up on the
+            // very scrape that fired it, not at the next recorded event.
+            let sink = current_sink(alerts, health);
+            write_response(
+                &mut stream,
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &prometheus::render_with_alerts(registry, sink.as_deref()),
+            )
+        }
+        "/healthz" => {
+            current_sink(alerts, health);
+            write_response(&mut stream, "200 OK", "application/json", &health.to_json())
+        }
         "/events" => stream_events(stream, health, shutdown, subscribers),
+        "/alerts" => {
+            let body = match current_sink(alerts, health) {
+                Some(sink) => sink.to_value(),
+                None => empty_alerts(),
+            };
+            write_response(
+                &mut stream,
+                "200 OK",
+                "application/json",
+                &serde_json::to_string(&body).unwrap_or_else(|_| String::from("{}")),
+            )
+        }
+        "/alerts/stream" => stream_alerts(stream, health, shutdown, alerts),
         _ => write_response(&mut stream, "404 Not Found", "text/plain", "not found\n"),
+    }
+}
+
+/// The `/alerts` shape when no sink is attached: a valid, empty snapshot.
+fn empty_alerts() -> Value {
+    Value::Object(vec![
+        (
+            "schema_version".to_string(),
+            Value::from_u64(SCHEMA_VERSION),
+        ),
+        ("kind".to_string(), Value::String("alerts".to_string())),
+        ("count".to_string(), Value::from_u64(0)),
+        ("critical".to_string(), Value::Bool(false)),
+        ("alerts".to_string(), Value::Array(Vec::new())),
+    ])
+}
+
+/// NDJSON follow of the alert sink: replays every alert already fired,
+/// then polls for new ones until the run finishes. Alerts are rare, so a
+/// 50 ms poll against the sink (there is no per-alert broadcast channel)
+/// costs nothing and keeps the sink free of subscriber plumbing.
+fn stream_alerts(
+    mut stream: TcpStream,
+    health: &Health,
+    shutdown: &AtomicBool,
+    alerts: &SharedSink,
+) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    let mut sent = 0usize;
+    loop {
+        // Observe the finish flag *before* draining, so alerts fired
+        // before the run was marked done are always delivered.
+        let finished = health.is_done() || shutdown.load(Ordering::Relaxed);
+        if let Some(sink) = current_sink(alerts, health) {
+            let all = sink.alerts();
+            for alert in &all[sent.min(all.len())..] {
+                let line =
+                    serde_json::to_string(&alert.to_value()).unwrap_or_else(|_| String::from("{}"));
+                stream.write_all(line.as_bytes())?;
+                stream.write_all(b"\n")?;
+            }
+            if all.len() > sent {
+                sent = all.len();
+                stream.flush()?;
+            }
+        }
+        if finished {
+            stream.flush()?;
+            return Ok(());
+        }
+        std::thread::sleep(Duration::from_millis(50));
     }
 }
 
@@ -316,6 +455,60 @@ mod tests {
         assert!(get(addr, "/metrics").contains("gossip_round_current 1\n"));
         registry.gauge("round_current", 5.0);
         assert!(get(addr, "/metrics").contains("gossip_round_current 5\n"));
+        server.stop();
+    }
+
+    #[test]
+    fn alerts_endpoint_snapshots_and_degrades_healthz() {
+        use gossip_telemetry::watch::{RuleSet, Severity, StallRule};
+        let registry = Arc::new(LiveRegistry::new());
+        let server = ObsdServer::start("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+        let addr = server.addr();
+
+        // No sink attached: a valid empty snapshot, healthy status.
+        let body = get(addr, "/alerts");
+        assert!(body.contains("\"kind\":\"alerts\""), "{body}");
+        assert!(body.contains("\"count\":0"));
+        assert!(get(addr, "/healthz").contains("\"status\":\"ok\""));
+
+        // A sink whose stall budget is already blown: the request-side
+        // poll fires the alert and flips health to degraded.
+        let rules = RuleSet {
+            stall: Some(StallRule {
+                budget_ms: 1,
+                severity: Severity::Critical,
+            }),
+            ..Default::default()
+        };
+        let sink = Arc::new(AlertSink::new(rules));
+        server.set_alerts(Arc::clone(&sink));
+        std::thread::sleep(Duration::from_millis(10));
+        let body = get(addr, "/alerts");
+        assert!(body.contains("\"rule\":\"stall\""), "{body}");
+        assert!(body.contains("\"critical\":true"));
+        assert!(get(addr, "/healthz").contains("\"status\":\"degraded\""));
+
+        // The exposition reports the poll-fired alert straight from the
+        // sink — no registry counter exists yet (nothing flowed through
+        // an engine), but the scrape must not miss it.
+        let metrics = get(addr, "/metrics");
+        assert!(
+            metrics.contains("gossip_alerts_total{rule=\"stall\",severity=\"critical\"} 1\n"),
+            "{metrics}"
+        );
+
+        // The NDJSON follow drains the fired alert and closes on done.
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GET /alerts/stream HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        server.health().set_done();
+        let mut body = String::new();
+        s.read_to_string(&mut body).unwrap();
+        let payload = body.split("\r\n\r\n").nth(1).unwrap();
+        let lines: Vec<&str> = payload.lines().collect();
+        assert_eq!(lines.len(), 1, "{payload}");
+        let v: Value = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(v["rule"].as_str(), Some("stall"));
+        assert_eq!(v["severity"].as_str(), Some("critical"));
         server.stop();
     }
 

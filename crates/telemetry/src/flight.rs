@@ -49,6 +49,7 @@ const TAG_EPOCH_START: u8 = 4;
 const TAG_EPOCH_END: u8 = 5;
 const TAG_END: u8 = 6;
 const TAG_CHURN: u8 = 7;
+const TAG_ALERT: u8 = 8;
 
 /// Loss-cause codes stored in [`FlightRecord::Loss`]; stable across
 /// builds because they are part of the on-disk format (append-only).
@@ -104,6 +105,59 @@ pub fn churn_op_code(label: &str) -> u8 {
 /// The label for a churn-op code (the inverse of [`churn_op_code`]).
 pub fn churn_op_label(code: u8) -> &'static str {
     CHURN_OP_LABELS
+        .get(code as usize)
+        .copied()
+        .unwrap_or("unknown")
+}
+
+/// Watchdog rule codes stored in [`FlightRecord::Alert`]; stable across
+/// builds because they are part of the on-disk format (append-only).
+/// Mirrors `gossip_telemetry::watch`'s rule names without coupling the
+/// binary format to the rule structs.
+pub const ALERT_RULE_LABELS: [&str; 6] = [
+    "stall",
+    "flatline",
+    "bound",
+    "loss_spike",
+    "epoch_budget",
+    "churn_storm",
+];
+
+/// The code for an alert-rule label (255 for labels this build does not
+/// know, so future rules degrade to "unknown" instead of erroring).
+pub fn alert_rule_code(label: &str) -> u8 {
+    ALERT_RULE_LABELS
+        .iter()
+        .position(|&l| l == label)
+        .map(|i| i as u8)
+        .unwrap_or(255)
+}
+
+/// The label for an alert-rule code (the inverse of [`alert_rule_code`]).
+pub fn alert_rule_label(code: u8) -> &'static str {
+    ALERT_RULE_LABELS
+        .get(code as usize)
+        .copied()
+        .unwrap_or("unknown")
+}
+
+/// Alert severity codes stored in [`FlightRecord::Alert`]; stable across
+/// builds because they are part of the on-disk format (append-only).
+pub const ALERT_SEVERITY_LABELS: [&str; 3] = ["info", "warn", "critical"];
+
+/// The code for a severity label (255 for labels this build does not
+/// know).
+pub fn alert_severity_code(label: &str) -> u8 {
+    ALERT_SEVERITY_LABELS
+        .iter()
+        .position(|&l| l == label)
+        .map(|i| i as u8)
+        .unwrap_or(255)
+}
+
+/// The label for a severity code (the inverse of [`alert_severity_code`]).
+pub fn alert_severity_label(code: u8) -> &'static str {
+    ALERT_SEVERITY_LABELS
         .get(code as usize)
         .copied()
         .unwrap_or("unknown")
@@ -363,6 +417,21 @@ pub enum FlightRecord {
         /// Second endpoint (equal to `u` for node events).
         v: u32,
     },
+    /// A watchdog rule fired (`gossip_telemetry::watch::AlertEngine`):
+    /// the alert timeline against the round axis. The observed value and
+    /// threshold are stored as `f64` bit patterns so re-encoding is exact.
+    Alert {
+        /// The last completed round when the rule fired.
+        round: u32,
+        /// Rule code (see [`alert_rule_code`] / [`alert_rule_label`]).
+        rule: u8,
+        /// Severity code (see [`alert_severity_code`]).
+        severity: u8,
+        /// `f64::to_bits` of the observed value.
+        value_bits: u64,
+        /// `f64::to_bits` of the configured threshold.
+        threshold_bits: u64,
+    },
 }
 
 fn encode_record(out: &mut Vec<u8>, rec: &FlightRecord) {
@@ -417,6 +486,21 @@ fn encode_record(out: &mut Vec<u8>, rec: &FlightRecord) {
             push_varint(out, u64::from(*u));
             push_varint(out, u64::from(*v));
         }
+        FlightRecord::Alert {
+            round,
+            rule,
+            severity,
+            value_bits,
+            threshold_bits,
+        } => {
+            out.push(TAG_ALERT);
+            push_varint(out, u64::from(*round));
+            push_varint(out, u64::from(*rule));
+            push_varint(out, u64::from(*severity));
+            // Fixed-width: arbitrary f64 bit patterns varint badly.
+            out.extend_from_slice(&value_bits.to_le_bytes());
+            out.extend_from_slice(&threshold_bits.to_le_bytes());
+        }
     }
 }
 
@@ -444,6 +528,22 @@ pub struct FlightChurn {
     pub u: u32,
     /// Second endpoint (equal to `u` for node events).
     pub v: u32,
+}
+
+/// One fired watchdog alert, as a plain value (bit patterns decoded back
+/// to `f64`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlightAlert {
+    /// The last completed round when the rule fired.
+    pub round: u32,
+    /// Rule code (see [`alert_rule_label`]).
+    pub rule: u8,
+    /// Severity code (see [`alert_severity_label`]).
+    pub severity: u8,
+    /// The observed value that tripped the rule.
+    pub value: f64,
+    /// The configured threshold it tripped against.
+    pub threshold: f64,
 }
 
 /// One suppressed delivery, as a plain value.
@@ -531,6 +631,13 @@ impl FlightLog {
                     u: r.u32_varint("u")?,
                     v: r.u32_varint("v")?,
                 }),
+                TAG_ALERT => records.push(FlightRecord::Alert {
+                    round: r.u32_varint("round")?,
+                    rule: r.varint()?.min(255) as u8,
+                    severity: r.varint()?.min(255) as u8,
+                    value_bits: r.u64_le()?,
+                    threshold_bits: r.u64_le()?,
+                }),
                 TAG_END => {
                     dropped = Some(r.varint()?);
                     break;
@@ -573,7 +680,9 @@ impl FlightLog {
                 | FlightRecord::Loss { round, .. }
                 | FlightRecord::RoundEnd { round, .. } => *round as usize + 1,
                 FlightRecord::EpochStart { start_round, .. } => *start_round as usize,
-                FlightRecord::Churn { round, .. } => *round as usize,
+                FlightRecord::Churn { round, .. } | FlightRecord::Alert { round, .. } => {
+                    *round as usize
+                }
                 FlightRecord::EpochEnd { .. } => 0,
             })
             .max()
@@ -649,6 +758,29 @@ impl FlightLog {
             .iter()
             .filter_map(|rec| match rec {
                 FlightRecord::EpochStart { epoch, start_round } => Some((*epoch, *start_round)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Every fired watchdog alert, in capture (= firing) order.
+    pub fn alerts(&self) -> Vec<FlightAlert> {
+        self.records
+            .iter()
+            .filter_map(|rec| match rec {
+                FlightRecord::Alert {
+                    round,
+                    rule,
+                    severity,
+                    value_bits,
+                    threshold_bits,
+                } => Some(FlightAlert {
+                    round: *round,
+                    rule: *rule,
+                    severity: *severity,
+                    value: f64::from_bits(*value_bits),
+                    threshold: f64::from_bits(*threshold_bits),
+                }),
                 _ => None,
             })
             .collect()
@@ -887,6 +1019,34 @@ impl Recorder for FlightRecorder {
                     op,
                     u: u as u32,
                     v: v as u32,
+                }
+            }
+            "alert" => {
+                let Some(round) = field_u64(fields, "round") else {
+                    return;
+                };
+                let label = |key: &str| {
+                    fields
+                        .iter()
+                        .find(|(k, _)| *k == key)
+                        .and_then(|(_, v)| v.as_str())
+                };
+                // Bit patterns, not field_u64: the observed value and
+                // threshold are true f64s and must round-trip exactly.
+                let bits = |key: &str| {
+                    fields
+                        .iter()
+                        .find(|(k, _)| *k == key)
+                        .and_then(|(_, v)| v.as_f64())
+                        .map(f64::to_bits)
+                        .unwrap_or(0f64.to_bits())
+                };
+                FlightRecord::Alert {
+                    round: round as u32,
+                    rule: label("rule").map(alert_rule_code).unwrap_or(255),
+                    severity: label("severity").map(alert_severity_code).unwrap_or(255),
+                    value_bits: bits("value"),
+                    threshold_bits: bits("threshold"),
                 }
             }
             _ => return,
@@ -1159,6 +1319,51 @@ mod tests {
         }
         assert_eq!(churn_op_code("teleport"), 255);
         assert_eq!(churn_op_label(255), "unknown");
+    }
+
+    #[test]
+    fn alert_records_roundtrip() {
+        let rec = FlightRecorder::new(header());
+        rec.event(
+            "round_end",
+            &[
+                ("round", Value::from_u64(2)),
+                ("known_pairs", Value::from_u64(9)),
+            ],
+        );
+        rec.event(
+            "alert",
+            &[
+                ("rule", Value::String("bound".to_string())),
+                ("round", Value::from_u64(2)),
+                ("severity", Value::String("critical".to_string())),
+                ("message", Value::String("projected breach".to_string())),
+                ("value", Value::from_f64(17.25)),
+                ("threshold", Value::from_f64(6.5)),
+            ],
+        );
+        let bytes = rec.finish();
+        let log = FlightLog::decode(&bytes).expect("decodes");
+        assert_eq!(log.encode(), bytes, "re-encode is byte-identical");
+        let alerts = log.alerts();
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].round, 2);
+        assert_eq!(alert_rule_label(alerts[0].rule), "bound");
+        assert_eq!(alert_severity_label(alerts[0].severity), "critical");
+        assert_eq!(alerts[0].value, 17.25);
+        assert_eq!(alerts[0].threshold, 6.5);
+        // An alert record alone does not extend the executed-round count.
+        assert_eq!(log.rounds(), 3);
+        for (i, label) in ALERT_RULE_LABELS.iter().enumerate() {
+            assert_eq!(alert_rule_code(label), i as u8);
+            assert_eq!(alert_rule_label(i as u8), *label);
+        }
+        for (i, label) in ALERT_SEVERITY_LABELS.iter().enumerate() {
+            assert_eq!(alert_severity_code(label), i as u8);
+            assert_eq!(alert_severity_label(i as u8), *label);
+        }
+        assert_eq!(alert_rule_code("mystery"), 255);
+        assert_eq!(alert_severity_label(255), "unknown");
     }
 
     #[test]

@@ -36,10 +36,12 @@ pub mod flight;
 pub mod live;
 pub mod profile;
 pub mod trace;
+pub mod watch;
 
 pub use flight::{FlightHeader, FlightLog, FlightRecord, FlightRecorder, Tee};
 pub use live::LiveRegistry;
 pub use trace::{ChromeTrace, TraceEvent};
+pub use watch::{Alert, AlertEngine, AlertSink, RuleSet, Severity};
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
